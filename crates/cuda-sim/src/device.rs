@@ -1,0 +1,678 @@
+//! The simulated device: memory, kernel execution, and virtual time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::alloc::Allocator;
+use crate::error::SimError;
+use crate::event::Event;
+use crate::trace::OpRecord;
+use crate::kernel::{Dim3, LaunchConfig, ThreadCtx, WorkerState};
+use crate::memory::{Allocation, DeviceBuffer, DeviceScalar};
+use crate::meter::{Cost, LaunchRecord, Meters};
+use crate::props::{DeviceProps, ExecMode};
+use crate::stream::{StreamId, Timelines};
+use crate::Result;
+
+static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Virtual-time interval of one device operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSpan {
+    /// When the operation started on its stream.
+    pub start_s: f64,
+    /// When it finished.
+    pub end_s: f64,
+}
+
+/// Mutable bookkeeping behind one lock.
+#[derive(Debug)]
+struct DeviceState {
+    timelines: Timelines,
+    meters: Meters,
+    records: Vec<LaunchRecord>,
+    ops: Vec<OpRecord>,
+    exec_mode: ExecMode,
+}
+
+/// A software CUDA-like device.
+///
+/// All methods take `&self`; internal state is lock-protected, and kernel
+/// execution itself runs outside the locks so simulated threads can be
+/// spread over host threads.
+#[derive(Debug)]
+pub struct Device {
+    id: u64,
+    props: DeviceProps,
+    allocator: Arc<Mutex<Allocator>>,
+    state: Mutex<DeviceState>,
+}
+
+impl Device {
+    /// Create a device with the given properties. Execution defaults to
+    /// [`ExecMode::Sequential`] (bit-deterministic); switch with
+    /// [`set_exec_mode`](Self::set_exec_mode).
+    pub fn new(props: DeviceProps) -> Device {
+        Device {
+            id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
+            allocator: Arc::new(Mutex::new(Allocator::new(props.total_mem))),
+            state: Mutex::new(DeviceState {
+                timelines: Timelines::new(),
+                meters: Meters::default(),
+                records: Vec::new(),
+                ops: Vec::new(),
+                exec_mode: ExecMode::Sequential,
+            }),
+            props,
+        }
+    }
+
+    /// The device's performance model.
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    /// Choose how simulated threads run on the host.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        if let ExecMode::Threaded(n) = mode {
+            assert!(n > 0, "threaded execution needs at least one worker");
+        }
+        self.state.lock().exec_mode = mode;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------------
+
+    /// Allocate an uninitialised (zero-filled) buffer of `len` elements.
+    pub fn alloc<T: DeviceScalar>(&self, len: usize) -> Result<DeviceBuffer<T>> {
+        if len == 0 {
+            return Err(SimError::InvalidRequest("zero-length buffer".into()));
+        }
+        let bytes = len as u64 * T::SIZE;
+        let addr = self.allocator.lock().alloc(bytes)?;
+        let allocation = Allocation { addr, bytes, allocator: Arc::clone(&self.allocator) };
+        Ok(DeviceBuffer::new(len, allocation, self.id))
+    }
+
+    /// Allocate a zero-filled buffer (alias of [`alloc`](Self::alloc); the
+    /// simulator zero-fills all fresh memory).
+    pub fn alloc_zeroed<T: DeviceScalar>(&self, len: usize) -> Result<DeviceBuffer<T>> {
+        self.alloc(len)
+    }
+
+    /// Allocate and upload in one step (charges the H2D transfer).
+    pub fn alloc_from_slice<T: DeviceScalar>(&self, data: &[T]) -> Result<DeviceBuffer<T>> {
+        let buf = self.alloc::<T>(data.len())?;
+        self.memcpy_htod(&buf, data)?;
+        Ok(buf)
+    }
+
+    /// Explicitly free a buffer (equivalent to dropping the last handle).
+    pub fn free<T: DeviceScalar>(&self, buf: DeviceBuffer<T>) {
+        drop(buf);
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_used(&self) -> u64 {
+        self.allocator.lock().used()
+    }
+
+    /// High-water mark of device memory use.
+    pub fn mem_peak(&self) -> u64 {
+        self.allocator.lock().peak_used()
+    }
+
+    /// Modeled capacity.
+    pub fn mem_capacity(&self) -> u64 {
+        self.allocator.lock().capacity()
+    }
+
+    // ------------------------------------------------------------------
+    // Transfers
+    // ------------------------------------------------------------------
+
+    fn check_buffer<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>) -> Result<()> {
+        if buf.device_id != self.id {
+            return Err(SimError::ForeignBuffer);
+        }
+        Ok(())
+    }
+
+    /// Copy host → device on the default stream.
+    pub fn memcpy_htod<T: DeviceScalar>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        src: &[T],
+    ) -> Result<TimeSpan> {
+        self.memcpy_htod_on(StreamId::DEFAULT, buf, src)
+    }
+
+    /// Copy host → device on a chosen stream.
+    pub fn memcpy_htod_on<T: DeviceScalar>(
+        &self,
+        stream: StreamId,
+        buf: &DeviceBuffer<T>,
+        src: &[T],
+    ) -> Result<TimeSpan> {
+        self.check_buffer(buf)?;
+        if src.len() != buf.len() {
+            return Err(SimError::CopyLengthMismatch {
+                device_len: buf.len(),
+                host_len: src.len(),
+            });
+        }
+        for (i, &v) in src.iter().enumerate() {
+            buf.store(i, v);
+        }
+        let bytes = buf.modeled_bytes();
+        let dur = self.props.transfer_time(bytes);
+        let mut st = self.state.lock();
+        let (start_s, end_s) = st.timelines.schedule(stream, dur);
+        st.meters.comm_time_s += dur;
+        st.meters.h2d_bytes += bytes;
+        st.meters.transfers += 1;
+        st.ops.push(OpRecord {
+            kind: "h2d",
+            name: format!("H2D {bytes} B"),
+            stream: stream.index(),
+            start_s,
+            end_s,
+        });
+        Ok(TimeSpan { start_s, end_s })
+    }
+
+    /// Copy device → host on the default stream.
+    pub fn memcpy_dtoh<T: DeviceScalar>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        dst: &mut [T],
+    ) -> Result<TimeSpan> {
+        self.memcpy_dtoh_on(StreamId::DEFAULT, buf, dst)
+    }
+
+    /// Copy device → host on a chosen stream.
+    pub fn memcpy_dtoh_on<T: DeviceScalar>(
+        &self,
+        stream: StreamId,
+        buf: &DeviceBuffer<T>,
+        dst: &mut [T],
+    ) -> Result<TimeSpan> {
+        self.check_buffer(buf)?;
+        if dst.len() != buf.len() {
+            return Err(SimError::CopyLengthMismatch {
+                device_len: buf.len(),
+                host_len: dst.len(),
+            });
+        }
+        for (i, v) in dst.iter_mut().enumerate() {
+            *v = buf.load(i);
+        }
+        let bytes = buf.modeled_bytes();
+        let dur = self.props.transfer_time(bytes);
+        let mut st = self.state.lock();
+        let (start_s, end_s) = st.timelines.schedule(stream, dur);
+        st.meters.comm_time_s += dur;
+        st.meters.d2h_bytes += bytes;
+        st.meters.transfers += 1;
+        st.ops.push(OpRecord {
+            kind: "d2h",
+            name: format!("D2H {bytes} B"),
+            stream: stream.index(),
+            start_s,
+            end_s,
+        });
+        Ok(TimeSpan { start_s, end_s })
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel launches
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel on the default stream. The closure runs once per
+    /// simulated thread; see [`ThreadCtx`] for the device-side API.
+    pub fn launch<F>(&self, name: &str, cfg: LaunchConfig, kernel: F) -> Result<LaunchRecord>
+    where
+        F: Fn(&mut ThreadCtx<'_>) + Sync,
+    {
+        self.launch_on(StreamId::DEFAULT, name, cfg, kernel)
+    }
+
+    /// Launch a kernel on a chosen stream.
+    pub fn launch_on<F>(
+        &self,
+        stream: StreamId,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> Result<LaunchRecord>
+    where
+        F: Fn(&mut ThreadCtx<'_>) + Sync,
+    {
+        cfg.validate(&self.props)?;
+        let exec_mode = self.state.lock().exec_mode;
+        let (cost, traces) = match exec_mode {
+            ExecMode::Sequential => run_blocks(cfg, 0..cfg.grid.count(), &kernel),
+            ExecMode::Threaded(workers) => {
+                let next = AtomicU64::new(0);
+                let total = cfg.grid.count();
+                let states = Mutex::new(Vec::new());
+                std::thread::scope(|scope| {
+                    for _ in 0..workers.min(total as usize).max(1) {
+                        scope.spawn(|| {
+                            let mut state = WorkerState::new();
+                            loop {
+                                // Grab a batch of blocks to amortize the counter.
+                                let start = next.fetch_add(8, Ordering::Relaxed);
+                                if start >= total {
+                                    break;
+                                }
+                                let end = (start + 8).min(total);
+                                run_block_range(cfg, start..end, &kernel, &mut state);
+                            }
+                            states.lock().push(state);
+                        });
+                    }
+                });
+                merge_states(states.into_inner())
+            }
+        };
+        let duration = self.props.kernel_time(&cost);
+        let record = LaunchRecord {
+            name: name.to_string(),
+            threads: cfg.total_threads(),
+            cost,
+            duration_s: duration,
+            stream: stream.index(),
+            start_s: 0.0,
+            end_s: 0.0,
+            traces,
+        };
+        let mut st = self.state.lock();
+        let (start_s, end_s) = st.timelines.schedule(stream, duration);
+        let record = LaunchRecord { start_s, end_s, ..record };
+        st.meters.compute_time_s += duration;
+        st.meters.launches += 1;
+        st.meters.kernel_cost.merge(&cost);
+        st.ops.push(OpRecord {
+            kind: "kernel",
+            name: record.name.clone(),
+            stream: stream.index(),
+            start_s,
+            end_s,
+        });
+        st.records.push(record.clone());
+        Ok(record)
+    }
+
+    // ------------------------------------------------------------------
+    // Streams & time
+    // ------------------------------------------------------------------
+
+    /// Create an additional stream.
+    pub fn create_stream(&self) -> StreamId {
+        self.state.lock().timelines.create_stream()
+    }
+
+    /// Make `stream` wait for all work currently enqueued on `other`.
+    pub fn stream_wait(&self, stream: StreamId, other: StreamId) {
+        let mut st = self.state.lock();
+        let t = st.timelines.schedule(other, 0.0).0;
+        st.timelines.wait_until(stream, t);
+    }
+
+    /// Make `stream` wait until virtual time `t` — the event-wait primitive
+    /// double-buffered pipelines use (`t` usually comes from a prior op's
+    /// [`TimeSpan::end_s`] or [`LaunchRecord::end_s`]).
+    pub fn wait_until(&self, stream: StreamId, t: f64) {
+        self.state.lock().timelines.wait_until(stream, t);
+    }
+
+    /// Device-wide barrier; returns the virtual time at the barrier.
+    pub fn synchronize(&self) -> f64 {
+        self.state.lock().timelines.synchronize()
+    }
+
+    /// Overlapped makespan so far.
+    pub fn elapsed_s(&self) -> f64 {
+        self.state.lock().timelines.elapsed()
+    }
+
+    /// Snapshot of the accumulated meters.
+    pub fn meters(&self) -> Meters {
+        self.state.lock().meters
+    }
+
+    /// Copy of the per-launch records.
+    pub fn records(&self) -> Vec<LaunchRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Record an event capturing all work enqueued on `stream` so far.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        let mut st = self.state.lock();
+        let (time_s, _) = st.timelines.schedule(stream, 0.0);
+        Event { time_s }
+    }
+
+    /// Make `stream` wait for a recorded event (`cudaStreamWaitEvent`).
+    pub fn stream_wait_event(&self, stream: StreamId, event: &Event) {
+        self.state.lock().timelines.wait_until(stream, event.time_s);
+    }
+
+    /// Export the virtual timeline in Chrome Trace Event Format (view in
+    /// `chrome://tracing` or Perfetto).
+    pub fn export_chrome_trace(&self) -> String {
+        let st = self.state.lock();
+        crate::trace::chrome_trace(&self.props.name, &st.ops)
+    }
+
+    /// Copy of the raw operation log behind the trace export.
+    pub fn ops(&self) -> Vec<OpRecord> {
+        self.state.lock().ops.clone()
+    }
+
+    /// Reset meters, records and stream clocks (memory stays allocated).
+    pub fn reset_meters(&self) {
+        let mut st = self.state.lock();
+        st.meters = Meters::default();
+        st.records.clear();
+        st.ops.clear();
+        st.timelines.reset();
+    }
+}
+
+/// Decompose a linear block index into grid coordinates (x fastest).
+fn block_coords(grid: Dim3, linear: u64) -> Dim3 {
+    let x = linear % grid.x;
+    let y = (linear / grid.x) % grid.y;
+    let z = linear / (grid.x * grid.y);
+    Dim3 { x, y, z }
+}
+
+fn run_block_range<F>(
+    cfg: LaunchConfig,
+    blocks: std::ops::Range<u64>,
+    kernel: &F,
+    state: &mut WorkerState,
+) where
+    F: Fn(&mut ThreadCtx<'_>) + Sync,
+{
+    for b in blocks {
+        let block_idx = block_coords(cfg.grid, b);
+        for tz in 0..cfg.block.z {
+            for ty in 0..cfg.block.y {
+                for tx in 0..cfg.block.x {
+                    let mut ctx = ThreadCtx {
+                        block_idx,
+                        thread_idx: Dim3 { x: tx, y: ty, z: tz },
+                        grid_dim: cfg.grid,
+                        block_dim: cfg.block,
+                        state,
+                    };
+                    kernel(&mut ctx);
+                }
+            }
+        }
+    }
+}
+
+fn run_blocks<F>(
+    cfg: LaunchConfig,
+    blocks: std::ops::Range<u64>,
+    kernel: &F,
+) -> (Cost, [u64; crate::meter::TRACE_SLOTS])
+where
+    F: Fn(&mut ThreadCtx<'_>) + Sync,
+{
+    let mut state = WorkerState::new();
+    run_block_range(cfg, blocks, kernel, &mut state);
+    let mut cost = state.cost;
+    cost.atomic_max_chain = state.chain.max_chain();
+    (cost, state.traces)
+}
+
+fn merge_states(states: Vec<WorkerState>) -> (Cost, [u64; crate::meter::TRACE_SLOTS]) {
+    let mut cost = Cost::default();
+    let mut chain = crate::meter::ChainEstimator::new();
+    let mut traces = [0u64; crate::meter::TRACE_SLOTS];
+    for s in states {
+        cost.merge(&s.cost);
+        chain.merge(&s.chain);
+        for (t, v) in traces.iter_mut().zip(s.traces) {
+            *t += v;
+        }
+    }
+    cost.atomic_max_chain = chain.max_chain();
+    (cost, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_device() -> Device {
+        Device::new(DeviceProps::tiny(1 << 16))
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let d = tiny_device();
+        let a = d.alloc::<f64>(4096).unwrap(); // 32 KiB
+        let _b = d.alloc::<f64>(3000).unwrap(); // ~24 KiB
+        assert!(matches!(d.alloc::<f64>(2048), Err(SimError::OutOfMemory { .. })));
+        d.free(a);
+        assert!(d.alloc::<f64>(2048).is_ok(), "freeing makes room");
+        assert!(d.mem_peak() >= d.mem_used());
+    }
+
+    #[test]
+    fn zero_length_alloc_rejected() {
+        let d = tiny_device();
+        assert!(d.alloc::<u8>(0).is_err());
+    }
+
+    #[test]
+    fn copies_move_real_data() {
+        let d = tiny_device();
+        let buf = d.alloc_from_slice(&[1.5f64, -2.0, 3.25]).unwrap();
+        let mut back = [0.0f64; 3];
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        assert_eq!(back, [1.5, -2.0, 3.25]);
+        let m = d.meters();
+        assert_eq!(m.transfers, 2);
+        assert_eq!(m.h2d_bytes, 24);
+        assert_eq!(m.d2h_bytes, 24);
+        assert!(m.comm_time_s > 0.0);
+    }
+
+    #[test]
+    fn copy_length_mismatch_rejected() {
+        let d = tiny_device();
+        let buf = d.alloc::<u32>(4).unwrap();
+        assert!(matches!(
+            d.memcpy_htod(&buf, &[1u32, 2]),
+            Err(SimError::CopyLengthMismatch { device_len: 4, host_len: 2 })
+        ));
+        let mut small = [0u32; 3];
+        assert!(d.memcpy_dtoh(&buf, &mut small).is_err());
+    }
+
+    #[test]
+    fn foreign_buffers_rejected() {
+        let d1 = tiny_device();
+        let d2 = tiny_device();
+        let buf = d1.alloc::<f64>(4).unwrap();
+        assert!(matches!(
+            d2.memcpy_htod(&buf, &[0.0; 4]),
+            Err(SimError::ForeignBuffer)
+        ));
+    }
+
+    #[test]
+    fn launch_runs_every_thread_once() {
+        let d = tiny_device();
+        let counts = d.alloc_zeroed::<u64>(100).unwrap();
+        let cfg = LaunchConfig::linear(100, 16); // 112 threads; guard excess
+        d.launch("count", cfg, |ctx| {
+            let i = ctx.global_id().x as usize;
+            if i < 100 {
+                ctx.atomic_add_u64(&counts, i, 1);
+            }
+        })
+        .unwrap();
+        let mut host = vec![0u64; 100];
+        d.memcpy_dtoh(&counts, &mut host).unwrap();
+        assert!(host.iter().all(|&c| c == 1), "each element visited exactly once");
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let run = |mode: ExecMode| -> (Vec<f64>, Cost) {
+            let d = tiny_device();
+            d.set_exec_mode(mode);
+            let xs: Vec<f64> = (0..256).map(|i| i as f64 * 0.5).collect();
+            let input = d.alloc_from_slice(&xs).unwrap();
+            let out = d.alloc_zeroed::<f64>(16).unwrap();
+            let cfg = LaunchConfig::linear(256, 32);
+            d.launch("hist", cfg, |ctx| {
+                let i = ctx.global_id().x as usize;
+                let v = ctx.read(&input, i);
+                ctx.charge_flops(2);
+                ctx.atomic_add_f64(&out, i % 16, v);
+            })
+            .unwrap();
+            let mut host = vec![0.0f64; 16];
+            d.memcpy_dtoh(&out, &mut host).unwrap();
+            let m = d.meters();
+            (host, m.kernel_cost)
+        };
+        let (seq, cost_seq) = run(ExecMode::Sequential);
+        let (thr, cost_thr) = run(ExecMode::Threaded(4));
+        for (a, b) in seq.iter().zip(&thr) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(cost_seq.flops, cost_thr.flops);
+        assert_eq!(cost_seq.atomic_ops, cost_thr.atomic_ops);
+        assert_eq!(cost_seq.mem_bytes, cost_thr.mem_bytes);
+    }
+
+    #[test]
+    fn atomic_f64_is_exact_under_contention() {
+        let d = tiny_device();
+        d.set_exec_mode(ExecMode::Threaded(8));
+        let out = d.alloc_zeroed::<f64>(1).unwrap();
+        let cfg = LaunchConfig::linear(1024, 64);
+        // Summing 1024 copies of 1.0 is exact in f64 regardless of order.
+        d.launch("sum", cfg, |ctx| {
+            let _ = ctx.global_id();
+            ctx.atomic_add_f64(&out, 0, 1.0);
+        })
+        .unwrap();
+        let mut host = [0.0f64];
+        d.memcpy_dtoh(&out, &mut host).unwrap();
+        assert_eq!(host[0], 1024.0);
+        let m = d.meters();
+        assert_eq!(m.kernel_cost.atomic_ops, 1024);
+        assert!(m.kernel_cost.atomic_max_chain >= 1024, "single hot address");
+    }
+
+    #[test]
+    fn launch_validation_propagates() {
+        let d = tiny_device();
+        let cfg = LaunchConfig::linear(4096, 512); // tiny device: max 256/block
+        assert!(matches!(
+            d.launch("bad", cfg, |_| {}),
+            Err(SimError::InvalidLaunch(_))
+        ));
+        assert_eq!(d.meters().launches, 0);
+    }
+
+    #[test]
+    fn meters_accumulate_and_reset() {
+        let d = tiny_device();
+        let buf = d.alloc_from_slice(&[0.0f64; 8]).unwrap();
+        d.launch("noop", LaunchConfig::linear(8, 8), |ctx| {
+            ctx.charge_flops(10);
+        })
+        .unwrap();
+        let m = d.meters();
+        assert_eq!(m.launches, 1);
+        assert_eq!(m.kernel_cost.flops, 80);
+        assert!(m.compute_time_s > 0.0);
+        assert!(m.serial_total_s() > m.compute_time_s);
+        assert_eq!(d.records().len(), 1);
+        assert_eq!(d.records()[0].name, "noop");
+        d.reset_meters();
+        assert_eq!(d.meters(), Meters::default());
+        assert!(d.records().is_empty());
+        assert_eq!(d.elapsed_s(), 0.0);
+        drop(buf);
+    }
+
+    #[test]
+    fn streams_overlap_copies_and_kernels() {
+        let d = tiny_device();
+        let copy_stream = d.create_stream();
+        let big = d.alloc::<f64>(4096).unwrap();
+        let host = vec![0.0f64; 4096];
+        // Serial: copy then kernel on the same stream.
+        d.memcpy_htod(&big, &host).unwrap();
+        d.launch("work", LaunchConfig::linear(256, 64), |ctx| {
+            ctx.charge_flops(1_000_000);
+        })
+        .unwrap();
+        let serial_elapsed = d.synchronize();
+        let serial_meters = d.meters();
+        assert!((serial_elapsed - serial_meters.serial_total_s()).abs() < 1e-12);
+
+        // Overlapped: same work split over two streams.
+        d.reset_meters();
+        d.memcpy_htod_on(copy_stream, &big, &host).unwrap();
+        d.launch("work", LaunchConfig::linear(256, 64), |ctx| {
+            ctx.charge_flops(1_000_000);
+        })
+        .unwrap();
+        let overlapped = d.synchronize();
+        let m = d.meters();
+        assert!(
+            overlapped < m.serial_total_s() - 1e-12,
+            "two streams must beat the serial sum: {overlapped} vs {}",
+            m.serial_total_s()
+        );
+    }
+
+    #[test]
+    fn stream_wait_creates_dependency() {
+        let d = tiny_device();
+        let s = d.create_stream();
+        let buf = d.alloc::<f64>(2048).unwrap();
+        d.memcpy_htod(&buf, &vec![0.0; 2048]).unwrap();
+        let copy_done = d.elapsed_s();
+        d.stream_wait(s, StreamId::DEFAULT);
+        d.launch_on(s, "dependent", LaunchConfig::linear(8, 8), |_| {})
+            .unwrap();
+        assert!(d.elapsed_s() >= copy_done);
+    }
+
+    #[test]
+    fn grid_3d_ids_cover_domain() {
+        // The paper's Fig 6 mapping: (rows, cols, images) = (2, 9, 4).
+        let d = tiny_device();
+        let seen = d.alloc_zeroed::<u64>(72).unwrap();
+        let cfg = LaunchConfig::cover(Dim3::new(2, 9, 4), Dim3::new(2, 3, 4));
+        d.launch("map", cfg, |ctx| {
+            let g = ctx.global_id();
+            if g.x < 2 && g.y < 9 && g.z < 4 {
+                let lin = (g.z * 9 + g.y) * 2 + g.x;
+                ctx.atomic_add_u64(&seen, lin as usize, 1);
+            }
+        })
+        .unwrap();
+        let mut host = vec![0u64; 72];
+        d.memcpy_dtoh(&seen, &mut host).unwrap();
+        assert!(host.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the device simulator.
+
+use std::fmt;
+
+/// Everything that can go wrong talking to the simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The modeled device memory is exhausted (or too fragmented).
+    OutOfMemory {
+        requested: u64,
+        largest_free: u64,
+        free_total: u64,
+        capacity: u64,
+    },
+    /// Launch configuration exceeds the device limits.
+    InvalidLaunch(String),
+    /// Host buffer length does not match the device buffer in a copy.
+    CopyLengthMismatch { device_len: usize, host_len: usize },
+    /// A buffer from a different device was used.
+    ForeignBuffer,
+    /// Zero-sized allocation or other invalid request.
+    InvalidRequest(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested, largest_free, free_total, capacity } => write!(
+                f,
+                "device out of memory: requested {requested} B, largest free block {largest_free} B \
+                 ({free_total} B free of {capacity} B)"
+            ),
+            SimError::InvalidLaunch(what) => write!(f, "invalid launch: {what}"),
+            SimError::CopyLengthMismatch { device_len, host_len } => write!(
+                f,
+                "copy length mismatch: device buffer holds {device_len} elements, host side {host_len}"
+            ),
+            SimError::ForeignBuffer => write!(f, "buffer belongs to a different device"),
+            SimError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::OutOfMemory {
+            requested: 100,
+            largest_free: 10,
+            free_total: 30,
+            capacity: 640,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("640"));
+        assert!(SimError::ForeignBuffer.to_string().contains("different device"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Stream timelines: the virtual-time scheduling model.
+//!
+//! Operations issued to the same stream execute back to back; operations on
+//! different streams overlap freely (data hazards are the caller's
+//! responsibility, as in CUDA). [`Timelines::elapsed`] is the overlapped
+//! makespan — with everything on the default stream it equals the serial
+//! `comm + compute` sum, and with a double-buffered two-stream pipeline it
+//! approaches `max(comm, compute)`, which is precisely the ablation the
+//! paper's related-work section motivates.
+
+/// Identifies a stream on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// The default stream every device starts with.
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// Index for reports.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Per-stream virtual clocks.
+#[derive(Debug, Default)]
+pub struct Timelines {
+    cursors: Vec<f64>,
+}
+
+impl Timelines {
+    /// Fresh set containing only the default stream.
+    pub fn new() -> Timelines {
+        Timelines { cursors: vec![0.0] }
+    }
+
+    /// Add a stream, starting "now" (at the current makespan, as if created
+    /// after the preceding work was enqueued).
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.cursors.len());
+        self.cursors.push(0.0);
+        id
+    }
+
+    /// Number of streams.
+    pub fn count(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Schedule an operation of `duration` on `stream`; returns its
+    /// `(start, end)` interval. Panics on an unknown stream id (programmer
+    /// error, like using a destroyed `cudaStream_t`).
+    pub fn schedule(&mut self, stream: StreamId, duration: f64) -> (f64, f64) {
+        let cursor = &mut self.cursors[stream.0];
+        let start = *cursor;
+        let end = start + duration;
+        *cursor = end;
+        (start, end)
+    }
+
+    /// Make `stream` wait until `time` (an event dependency).
+    pub fn wait_until(&mut self, stream: StreamId, time: f64) {
+        let cursor = &mut self.cursors[stream.0];
+        if *cursor < time {
+            *cursor = time;
+        }
+    }
+
+    /// Overlapped makespan: when the last stream goes idle.
+    pub fn elapsed(&self) -> f64 {
+        self.cursors.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Device-wide barrier: all streams advance to the makespan.
+    pub fn synchronize(&mut self) -> f64 {
+        let t = self.elapsed();
+        for c in &mut self.cursors {
+            *c = t;
+        }
+        t
+    }
+
+    /// Reset all clocks to zero (used with meter resets between runs).
+    pub fn reset(&mut self) {
+        for c in &mut self.cursors {
+            *c = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_serializes() {
+        let mut t = Timelines::new();
+        let (s1, e1) = t.schedule(StreamId::DEFAULT, 2.0);
+        let (s2, e2) = t.schedule(StreamId::DEFAULT, 3.0);
+        assert_eq!((s1, e1), (0.0, 2.0));
+        assert_eq!((s2, e2), (2.0, 5.0));
+        assert_eq!(t.elapsed(), 5.0);
+    }
+
+    #[test]
+    fn two_streams_overlap() {
+        let mut t = Timelines::new();
+        let s = t.create_stream();
+        t.schedule(StreamId::DEFAULT, 2.0);
+        t.schedule(s, 3.0);
+        assert_eq!(t.elapsed(), 3.0, "copy and compute overlap");
+    }
+
+    #[test]
+    fn synchronize_is_a_barrier() {
+        let mut t = Timelines::new();
+        let s = t.create_stream();
+        t.schedule(StreamId::DEFAULT, 2.0);
+        t.schedule(s, 5.0);
+        let when = t.synchronize();
+        assert_eq!(when, 5.0);
+        // Work after the barrier starts at the barrier on every stream.
+        let (start, _) = t.schedule(StreamId::DEFAULT, 1.0);
+        assert_eq!(start, 5.0);
+    }
+
+    #[test]
+    fn wait_until_orders_dependencies() {
+        let mut t = Timelines::new();
+        let s = t.create_stream();
+        let (_, copy_done) = t.schedule(StreamId::DEFAULT, 2.0);
+        t.wait_until(s, copy_done); // kernel on s consumes the copy
+        let (start, _) = t.schedule(s, 1.0);
+        assert_eq!(start, 2.0);
+        // Waiting on an earlier time is a no-op.
+        t.wait_until(s, 0.5);
+        let (start2, _) = t.schedule(s, 1.0);
+        assert_eq!(start2, 3.0);
+    }
+
+    #[test]
+    fn reset_zeroes_clocks() {
+        let mut t = Timelines::new();
+        t.schedule(StreamId::DEFAULT, 4.0);
+        t.reset();
+        assert_eq!(t.elapsed(), 0.0);
+    }
+}

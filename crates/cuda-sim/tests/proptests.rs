@@ -1,0 +1,192 @@
+//! Property tests for the device simulator: allocator soundness, functional
+//! equivalence across execution modes, and cost-model monotonicity.
+
+use cuda_sim::{Device, DeviceProps, Dim3, ExecMode, LaunchConfig, StreamId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Allocations never alias and frees always restore capacity.
+    #[test]
+    fn allocator_soundness(sizes in proptest::collection::vec(1usize..2048, 1..20)) {
+        let d = Device::new(DeviceProps::tiny(1 << 20));
+        let mut bufs = Vec::new();
+        for &s in &sizes {
+            match d.alloc::<f64>(s) {
+                Ok(b) => bufs.push(b),
+                Err(_) => break,
+            }
+        }
+        // Distinct modeled address ranges.
+        for i in 0..bufs.len() {
+            for j in i + 1..bufs.len() {
+                let (a0, a1) = (bufs[i].device_addr(), bufs[i].device_addr() + bufs[i].modeled_bytes());
+                let (b0, b1) = (bufs[j].device_addr(), bufs[j].device_addr() + bufs[j].modeled_bytes());
+                prop_assert!(a1 <= b0 || b1 <= a0, "buffers overlap");
+            }
+        }
+        let used = d.mem_used();
+        prop_assert!(used >= bufs.iter().map(|b| b.modeled_bytes()).sum::<u64>());
+        bufs.clear();
+        prop_assert_eq!(d.mem_used(), 0, "all memory returned on drop");
+    }
+
+    /// Data survives a round trip through device memory bit-exactly.
+    #[test]
+    fn htod_dtoh_round_trip(data in proptest::collection::vec(any::<f64>(), 1..512)) {
+        let d = Device::new(DeviceProps::tiny(1 << 16));
+        let buf = d.alloc_from_slice(&data).unwrap();
+        let mut back = vec![0.0f64; data.len()];
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!(a.to_bits() == b.to_bits(), "bit-exact round trip");
+        }
+    }
+
+    /// A scatter-add kernel computes the same sums in sequential and
+    /// threaded mode (within FP reorder tolerance), and the metered flops
+    /// and atomics match exactly.
+    #[test]
+    fn exec_modes_equivalent(
+        values in proptest::collection::vec(-100.0..100.0f64, 16..256),
+        n_bins in 1usize..16,
+        workers in 2usize..6,
+    ) {
+        let run = |mode: ExecMode| {
+            let d = Device::new(DeviceProps::tiny(1 << 16));
+            d.set_exec_mode(mode);
+            let n = values.len();
+            let input = d.alloc_from_slice(&values).unwrap();
+            let out = d.alloc_zeroed::<f64>(n_bins).unwrap();
+            let cfg = LaunchConfig::linear(n as u64, 32);
+            d.launch("scatter", cfg, |ctx| {
+                let i = ctx.global_id().x as usize;
+                if i < n {
+                    let v = ctx.read(&input, i);
+                    ctx.charge_flops(1);
+                    ctx.atomic_add_f64(&out, i % n_bins, v);
+                }
+            })
+            .unwrap();
+            let mut host = vec![0.0f64; n_bins];
+            d.memcpy_dtoh(&out, &mut host).unwrap();
+            (host, d.meters().kernel_cost)
+        };
+        let (a, ca) = run(ExecMode::Sequential);
+        let (b, cb) = run(ExecMode::Threaded(workers));
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+        prop_assert_eq!(ca.flops, cb.flops);
+        prop_assert_eq!(ca.atomic_ops, cb.atomic_ops);
+        prop_assert_eq!(ca.mem_bytes, cb.mem_bytes);
+    }
+
+    /// Kernel time is monotone in each cost component.
+    #[test]
+    fn kernel_time_monotone(flops in 0u64..1u64 << 40, bytes in 0u64..1u64 << 36, atomics in 0u64..1u64 << 24) {
+        let p = DeviceProps::tesla_m2070();
+        let base = cuda_sim::Cost { flops, mem_bytes: bytes, atomic_ops: atomics, ..Default::default() };
+        let t0 = p.kernel_time(&base);
+        let mut more = base;
+        more.flops += 1 << 30;
+        prop_assert!(p.kernel_time(&more) >= t0);
+        let mut more = base;
+        more.mem_bytes += 1 << 30;
+        prop_assert!(p.kernel_time(&more) >= t0);
+        let mut more = base;
+        more.atomic_max_chain = 1 << 20;
+        prop_assert!(p.kernel_time(&more) >= t0);
+    }
+
+    /// Transfer time is strictly increasing and superadditive-free
+    /// (splitting a transfer only adds latency).
+    #[test]
+    fn transfer_split_costs_latency(bytes in 2u64..1 << 30, splits in 2u64..16) {
+        let p = DeviceProps::tesla_m2070();
+        let whole = p.transfer_time(bytes);
+        let per = bytes / splits;
+        let split_total: f64 = (0..splits).map(|_| p.transfer_time(per)).sum::<f64>()
+            + p.transfer_time(bytes - per * splits + 1);
+        prop_assert!(split_total > whole - 1e-12, "splitting cannot be cheaper");
+    }
+
+    /// Timeline invariants: per-stream ops never overlap and appear in
+    /// issue order; the device elapsed time is the max op end; the Chrome
+    /// trace is structurally sound.
+    #[test]
+    fn timeline_and_trace_invariants(
+        ops in proptest::collection::vec((0usize..3, 1usize..256), 1..24),
+    ) {
+        let d = Device::new(DeviceProps::tiny(1 << 20));
+        let s1 = d.create_stream();
+        let s2 = d.create_stream();
+        let streams = [StreamId::DEFAULT, s1, s2];
+        let buf = d.alloc::<f64>(256).unwrap();
+        let host = vec![0.0f64; 256];
+        let mut scratch = vec![0.0f64; 256];
+        for &(which, size) in &ops {
+            let stream = streams[which];
+            match size % 3 {
+                0 => {
+                    d.memcpy_htod_on(stream, &buf, &host).unwrap();
+                }
+                1 => {
+                    d.memcpy_dtoh_on(stream, &buf, &mut scratch).unwrap();
+                }
+                _ => {
+                    d.launch_on(stream, "w", LaunchConfig::linear(size as u64, 32), |ctx| {
+                        ctx.charge_flops(100);
+                    })
+                    .unwrap();
+                }
+            }
+        }
+        let recorded = d.ops();
+        prop_assert_eq!(recorded.len(), ops.len());
+        // Per-stream: ordered, non-overlapping, positive duration.
+        for stream in 0..3 {
+            let mut last_end = 0.0f64;
+            for op in recorded.iter().filter(|o| o.stream == stream) {
+                prop_assert!(op.end_s > op.start_s);
+                prop_assert!(op.start_s >= last_end - 1e-15, "ops overlap on stream {stream}");
+                last_end = op.end_s;
+            }
+        }
+        // Elapsed = max end.
+        let max_end = recorded.iter().map(|o| o.end_s).fold(0.0f64, f64::max);
+        prop_assert!((d.elapsed_s() - max_end).abs() < 1e-15);
+        // Trace document is balanced and mentions every op kind used.
+        let json = d.export_chrome_trace();
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for op in &recorded {
+            let needle = format!("\"cat\":\"{}\"", op.kind);
+            prop_assert!(json.contains(&needle), "trace missing kind {}", op.kind);
+        }
+    }
+
+    /// Covering launches always reach every domain point exactly once, for
+    /// arbitrary block shapes.
+    #[test]
+    fn cover_reaches_every_point(
+        dx in 1u64..6, dy in 1u64..6, dz in 1u64..4,
+        bx in 1u64..4, by in 1u64..4, bz in 1u64..3,
+    ) {
+        let d = Device::new(DeviceProps::tiny(1 << 16));
+        let n = (dx * dy * dz) as usize;
+        let seen = d.alloc_zeroed::<u64>(n).unwrap();
+        let cfg = LaunchConfig::cover(Dim3::new(dx, dy, dz), Dim3::new(bx, by, bz));
+        d.launch("cover", cfg, |ctx| {
+            let g = ctx.global_id();
+            if g.x < dx && g.y < dy && g.z < dz {
+                let lin = ((g.z * dy + g.y) * dx + g.x) as usize;
+                ctx.atomic_add_u64(&seen, lin, 1);
+            }
+        })
+        .unwrap();
+        let mut host = vec![0u64; n];
+        d.memcpy_dtoh(&seen, &mut host).unwrap();
+        prop_assert!(host.iter().all(|&c| c == 1));
+    }
+}

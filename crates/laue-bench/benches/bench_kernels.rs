@@ -1,0 +1,106 @@
+//! Microbenchmarks of the hot primitives (host wall-clock): the depth
+//! triangulation, the per-pair planner, the occlusion test, and the mh5
+//! hyperslab read path that feeds the slab pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use laue_core::pair::plan_pair;
+use laue_core::{ReconstructionConfig, ScanGeometry};
+use laue_geometry::WireEdge;
+use mh5::{Dtype, FileReader, FileWriter};
+use std::hint::black_box;
+
+fn bench_geometry(c: &mut Criterion) {
+    let geom = ScanGeometry::demo(64, 64, 32, -60.0, 5.0).unwrap();
+    let mapper = geom.mapper().unwrap();
+    let pixel = geom.detector.pixel_to_xyz(30, 30).unwrap();
+    let wire = geom.wire.center(10).unwrap();
+
+    c.bench_function("depth_triangulation", |b| {
+        b.iter(|| mapper.depth(black_box(pixel), black_box(wire), WireEdge::Leading))
+    });
+
+    c.bench_function("occlusion_test", |b| {
+        b.iter(|| mapper.occludes(black_box(12.5), black_box(pixel), black_box(wire)))
+    });
+
+    let cfg = ReconstructionConfig::new(-2000.0, 2000.0, 200);
+    let w0 = geom.wire.center(10).unwrap();
+    let w1 = geom.wire.center(11).unwrap();
+    c.bench_function("plan_pair_active", |b| {
+        b.iter(|| {
+            let mut fl = 0u64;
+            plan_pair(
+                &mapper,
+                &cfg,
+                black_box(pixel),
+                black_box(w0),
+                black_box(w1),
+                black_box(200.0),
+                black_box(150.0),
+                &mut fl,
+            )
+        })
+    });
+    let mut cut = cfg.clone();
+    cut.intensity_cutoff = 100.0;
+    c.bench_function("plan_pair_cutoff", |b| {
+        b.iter(|| {
+            let mut fl = 0u64;
+            plan_pair(
+                &mapper,
+                &cut,
+                black_box(pixel),
+                black_box(w0),
+                black_box(w1),
+                black_box(200.0),
+                black_box(199.0),
+                &mut fl,
+            )
+        })
+    });
+}
+
+fn bench_mh5(c: &mut Criterion) {
+    let path = std::env::temp_dir().join(format!("bench_mh5_{}.mh5", std::process::id()));
+    let (p, m, n) = (16usize, 64usize, 64usize);
+    {
+        let mut w = FileWriter::create(&path).unwrap();
+        let ds = w
+            .create_dataset(FileWriter::ROOT, "images", Dtype::U16, &[p, m, n], &[1, 8, n])
+            .unwrap();
+        let data: Vec<u16> = (0..p * m * n).map(|i| (i % 60000) as u16).collect();
+        w.write_all(ds, &data).unwrap();
+        w.finish().unwrap();
+    }
+    let r = FileReader::open(&path).unwrap();
+    let ds = r.resolve_path("/images").unwrap();
+    c.bench_function("mh5_hyperslab_2rows", |b| {
+        b.iter(|| {
+            let rows: Vec<u16> = r.read_hyperslab(ds, &[0, 8, 0], &[p, 2, n]).unwrap();
+            black_box(rows)
+        })
+    });
+    c.bench_function("mh5_read_all", |b| {
+        b.iter(|| {
+            let all: Vec<u16> = r.read_all(ds).unwrap();
+            black_box(all)
+        })
+    });
+
+    c.bench_function("rle_encode_detector_background", |b| {
+        let flat = vec![0x0Au8; 64 * 1024];
+        b.iter_batched(
+            || flat.clone(),
+            |data| black_box(mh5::codec::rle_encode(&data)),
+            BatchSize::SmallInput,
+        )
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_geometry, bench_mh5
+}
+criterion_main!(benches);

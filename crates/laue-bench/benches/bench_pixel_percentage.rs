@@ -1,0 +1,35 @@
+//! Fig 9 companion (host wall-clock): the intensity cutoff really changes
+//! how much work the engines do — below-cutoff pairs skip the triangulation
+//! entirely, so wall-clock drops with the pixel percentage on both engines.
+//! The calibrated virtual-time figure is produced by
+//! `--bin fig9_pixel_percentage`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laue_bench::{delta_percentile, standard_config, Workload};
+use laue_core::{cpu, ScanView};
+use std::hint::black_box;
+
+fn bench_pixel_percentage(c: &mut Criterion) {
+    let w = Workload::of_megabytes(0.3, 11);
+    let g = w.scan.geometry.clone();
+    let view = ScanView::new(
+        &w.scan.images,
+        g.wire.n_steps,
+        g.detector.n_rows,
+        g.detector.n_cols,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig9_pixel_percentage");
+    group.sample_size(10);
+    for (label, frac) in [("100pct", 0.0f64), ("50pct", 0.5), ("25pct", 0.75)] {
+        let mut cfg = standard_config();
+        cfg.intensity_cutoff = if frac == 0.0 { 0.0 } else { delta_percentile(&w, frac) };
+        group.bench_with_input(BenchmarkId::new("cpu_seq", label), &cfg, |b, cfg| {
+            b.iter(|| black_box(cpu::reconstruct_seq(&view, &g, cfg).unwrap().stats))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pixel_percentage);
+criterion_main!(benches);

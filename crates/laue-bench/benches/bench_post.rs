@@ -1,0 +1,45 @@
+//! Microbenchmarks of the post-processing and uncertainty paths (host
+//! wall-clock): smoothing, peak finding, depth-map extraction, and the
+//! covariance-aware variance propagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laue_bench::{standard_config, Workload};
+use laue_core::post::{depth_map, find_peaks, smooth_profile, DepthMapOptions};
+use laue_core::uncertainty::reconstruct_with_variance;
+use laue_core::{cpu, ScanView};
+use std::hint::black_box;
+
+fn bench_post(c: &mut Criterion) {
+    // A reconstructed image to post-process.
+    let w = Workload::of_megabytes(0.2, 5);
+    let g = w.scan.geometry.clone();
+    let cfg = standard_config();
+    let view = ScanView::new(
+        &w.scan.images,
+        g.wire.n_steps,
+        g.detector.n_rows,
+        g.detector.n_cols,
+    )
+    .unwrap();
+    let out = cpu::reconstruct_seq(&view, &g, &cfg).unwrap();
+    let profile = out.image.depth_profile(g.detector.n_rows / 2, g.detector.n_cols / 2);
+
+    c.bench_function("smooth_profile_200bins", |b| {
+        b.iter(|| black_box(smooth_profile(&profile, 1.5)))
+    });
+    c.bench_function("find_peaks_200bins", |b| {
+        b.iter(|| black_box(find_peaks(&profile, &cfg, 1.0)))
+    });
+    let mut group = c.benchmark_group("heavy");
+    group.sample_size(10);
+    group.bench_function("depth_map_full_frame", |b| {
+        b.iter(|| black_box(depth_map(&out.image, &cfg, &DepthMapOptions::default())))
+    });
+    group.bench_function("reconstruct_with_variance", |b| {
+        b.iter(|| black_box(reconstruct_with_variance(&view, &g, &cfg).unwrap().stats))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_post);
+criterion_main!(benches);

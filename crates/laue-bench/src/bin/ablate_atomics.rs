@@ -1,0 +1,84 @@
+//! **Design ablation (paper §III-C)**: what the CAS-loop `atomicAdd(double)`
+//! costs.
+//!
+//! The paper implements double-precision atomic accumulation with an
+//! `atomicCAS` loop because Fermi lacks native f64 atomicAdd. This ablation
+//! (a) re-costs the recorded kernels with the atomic term removed to show
+//! the modeled cost share, and (b) runs the kernels on the threaded
+//! executor to measure *real* CAS retries under contention.
+//!
+//! Run: `cargo run --release -p laue-bench --bin ablate_atomics`
+
+use cuda_sim::{Cost, Device, DeviceProps, ExecMode};
+use laue_bench::{ms, print_table, standard_config, Workload};
+use laue_core::gpu::{self, Layout};
+
+fn main() {
+    let w = Workload::of_megabytes(2.1, 555);
+    let cfg = standard_config();
+    println!("atomicAdd(double) ablation — {} stack\n", w.label);
+
+    // (a) Modeled cost share.
+    let props = DeviceProps::tesla_m2070();
+    let device = Device::new(props.clone());
+    let mut source = w.source();
+    let out = gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
+        .expect("run");
+    let cost = out.meters.kernel_cost;
+    let no_atomics = Cost { atomic_ops: 0, atomic_retries: 0, atomic_max_chain: 0, ..cost };
+    let t_with = props.kernel_time(&cost);
+    let t_without = props.kernel_time(&no_atomics);
+    print_table(
+        &["variant", "kernel time (ms)", "atomic ops", "deposits"],
+        &[
+            vec![
+                "CAS atomicAdd (paper)".into(),
+                ms(t_with),
+                cost.atomic_ops.to_string(),
+                out.stats.deposits.to_string(),
+            ],
+            vec![
+                "free accumulation (bound)".into(),
+                ms(t_without),
+                "0".into(),
+                out.stats.deposits.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\natomics account for {:.1} % of the modeled kernel time — removing \
+         them (e.g. by privatised per-thread bins + reduction) bounds the \
+         possible gain.\n",
+        100.0 * (t_with - t_without) / t_with
+    );
+
+    // (b) Real contention: run threaded and report observed CAS retries.
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let device = Device::new(props.clone());
+        device.set_exec_mode(if workers == 1 {
+            ExecMode::Sequential
+        } else {
+            ExecMode::Threaded(workers)
+        });
+        let mut source = w.source();
+        let out = gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
+            .expect("run");
+        let c = out.meters.kernel_cost;
+        rows.push(vec![
+            workers.to_string(),
+            c.atomic_ops.to_string(),
+            c.atomic_retries.to_string(),
+            format!("{:.4} %", 100.0 * c.atomic_retries as f64 / c.atomic_ops.max(1) as f64),
+        ]);
+    }
+    print_table(&["host workers", "atomic ops", "CAS retries", "retry rate"], &rows);
+    println!(
+        "\nthe CAS loop is functionally real: retries appear whenever two host\n\
+         workers interleave between the load and the compare-exchange. On a\n\
+         single-core host that interleaving needs a preemption, so a zero\n\
+         retry count here is expected; on a multi-core host the rate becomes\n\
+         non-zero and the results stay exact (the equivalence tests assert\n\
+         this)."
+    );
+}

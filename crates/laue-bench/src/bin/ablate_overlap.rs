@@ -1,0 +1,62 @@
+//! **Extension ablation (related work, §II)**: copy/compute overlap.
+//!
+//! The paper's related-work section surveys systems that overlap PCIe
+//! transfers with kernels but its own pipeline is strictly serial (copy →
+//! kernel → copy). This ablation runs the double-buffered two-stream
+//! pipeline and measures how much of the paper's transfer time overlap
+//! hides, as a function of slab count.
+//!
+//! Run: `cargo run --release -p laue-bench --bin ablate_overlap`
+
+use cuda_sim::{Device, DeviceProps};
+use laue_bench::{ms, print_table, standard_config, Workload};
+use laue_core::gpu::{self, Layout};
+
+fn main() {
+    let w = Workload::of_megabytes(5.2, 321);
+    println!("copy/compute-overlap ablation — {} stack\n", w.label);
+    // Cap the device so the stack streams in several slabs.
+    let props = DeviceProps {
+        total_mem: 32 * 1024 * 1024,
+        ..DeviceProps::tesla_m2070()
+    };
+
+    let mut rows = Vec::new();
+    for slab_rows in [4usize, 8, 16, 32] {
+        let mut cfg = standard_config();
+        cfg.rows_per_slab = Some(slab_rows);
+
+        let device = Device::new(props.clone());
+        let mut source = w.source();
+        let serial =
+            gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
+                .expect("serial");
+
+        let device = Device::new(props.clone());
+        let mut source = w.source();
+        let overlapped =
+            gpu::reconstruct_overlapped(&device, &mut source, &w.scan.geometry, &cfg)
+                .expect("overlapped");
+        assert_eq!(serial.image.data, overlapped.image.data);
+
+        rows.push(vec![
+            slab_rows.to_string(),
+            serial.n_slabs.to_string(),
+            ms(serial.elapsed_s),
+            ms(overlapped.elapsed_s),
+            format!(
+                "{:.1} %",
+                100.0 * (serial.elapsed_s - overlapped.elapsed_s) / serial.elapsed_s
+            ),
+        ]);
+    }
+    print_table(
+        &["rows/slab", "slabs", "serial (ms)", "overlapped (ms)", "saved"],
+        &rows,
+    );
+    println!(
+        "\ndouble buffering hides transfer time behind kernels; the benefit \
+         grows with slab count until latency dominates — the optimisation \
+         the paper leaves on the table."
+    );
+}

@@ -1,0 +1,139 @@
+//! Reconstruction parameters.
+
+use crate::error::CoreError;
+use crate::Result;
+use laue_geometry::WireEdge;
+
+/// Parameters of a depth reconstruction run.
+///
+/// ```
+/// use laue_core::ReconstructionConfig;
+///
+/// let mut cfg = ReconstructionConfig::new(-100.0, 100.0, 50);
+/// cfg.intensity_cutoff = 2.5; // the paper's d_cutoff
+/// cfg.validate().unwrap();
+/// assert_eq!(cfg.bin_width(), 4.0);
+/// assert_eq!(cfg.bin_center(0), -98.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructionConfig {
+    /// First reconstructed depth, µm (depths below are discarded).
+    pub depth_start: f64,
+    /// One-past-last reconstructed depth, µm.
+    pub depth_end: f64,
+    /// Number of depth bins between `depth_start` and `depth_end`.
+    pub n_depth_bins: usize,
+    /// Differential intensities with `|ΔI|` below this are skipped — the
+    /// paper's `d_cutoff`; raising it lowers the "pixel percentage" of
+    /// Fig 9.
+    pub intensity_cutoff: f64,
+    /// Which wire edge the reconstruction follows.
+    pub wire_edge: WireEdge,
+    /// Detector rows shipped to the device per slab (the paper's Fig 2
+    /// passes 2 of 6 rows at a time). `None` lets the GPU engine pick the
+    /// largest slab that fits device memory.
+    pub rows_per_slab: Option<usize>,
+}
+
+impl ReconstructionConfig {
+    /// A reasonable default over a given depth window.
+    pub fn new(depth_start: f64, depth_end: f64, n_depth_bins: usize) -> ReconstructionConfig {
+        ReconstructionConfig {
+            depth_start,
+            depth_end,
+            n_depth_bins,
+            intensity_cutoff: 0.0,
+            wire_edge: WireEdge::Leading,
+            rows_per_slab: None,
+        }
+    }
+
+    /// Validate parameter consistency.
+    pub fn validate(&self) -> Result<()> {
+        if !self.depth_start.is_finite() || !self.depth_end.is_finite() {
+            return Err(CoreError::InvalidConfig("depth range must be finite".into()));
+        }
+        if self.depth_end <= self.depth_start {
+            return Err(CoreError::InvalidConfig(format!(
+                "depth_end {} must exceed depth_start {}",
+                self.depth_end, self.depth_start
+            )));
+        }
+        if self.n_depth_bins == 0 {
+            return Err(CoreError::InvalidConfig("need at least one depth bin".into()));
+        }
+        if self.intensity_cutoff < 0.0 || !self.intensity_cutoff.is_finite() {
+            return Err(CoreError::InvalidConfig(format!(
+                "intensity cutoff {} must be ≥ 0 and finite",
+                self.intensity_cutoff
+            )));
+        }
+        if self.rows_per_slab == Some(0) {
+            return Err(CoreError::InvalidConfig("rows_per_slab must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Width of one depth bin, µm.
+    #[inline]
+    pub fn bin_width(&self) -> f64 {
+        (self.depth_end - self.depth_start) / self.n_depth_bins as f64
+    }
+
+    /// Centre depth of bin `k`, µm.
+    #[inline]
+    pub fn bin_center(&self, k: usize) -> f64 {
+        self.depth_start + (k as f64 + 0.5) * self.bin_width()
+    }
+
+    /// All bin centres, in order.
+    pub fn bin_centers(&self) -> Vec<f64> {
+        (0..self.n_depth_bins).map(|k| self.bin_center(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = ReconstructionConfig::new(-100.0, 100.0, 50);
+        c.validate().unwrap();
+        assert_eq!(c.bin_width(), 4.0);
+        assert_eq!(c.bin_center(0), -98.0);
+        assert_eq!(c.bin_center(49), 98.0);
+        assert_eq!(c.bin_centers().len(), 50);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let base = ReconstructionConfig::new(0.0, 100.0, 10);
+        let mut c = base.clone();
+        c.depth_end = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.depth_start = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.n_depth_bins = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.intensity_cutoff = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.rows_per_slab = Some(0);
+        assert!(c.validate().is_err());
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn bin_centers_span_range_symmetrically() {
+        let c = ReconstructionConfig::new(10.0, 20.0, 4);
+        let centers = c.bin_centers();
+        assert!((centers[0] - 11.25).abs() < 1e-12);
+        assert!((centers[3] - 18.75).abs() < 1e-12);
+        // First and last centres are half a bin from the range edges.
+        assert!((centers[0] - c.depth_start - c.bin_width() / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,412 @@
+//! CPU reconstruction engines: the paper's sequential baseline and a
+//! row-parallel threaded variant.
+//!
+//! The sequential engine is a faithful restructuring of the "prior CPU
+//! design" the paper benchmarks against: one pass over every
+//! `(row, col, step-pair)` element in row-major order. The threaded variant
+//! splits detector rows across OS threads — output rows are disjoint per
+//! thread, so no synchronisation is needed (unlike the GPU kernel, whose
+//! thread-per-pair mapping races on output bins and needs `atomicAdd`).
+
+use cuda_sim::{Cost, HostProps};
+use laue_geometry::DepthMapper;
+
+use crate::config::ReconstructionConfig;
+use crate::error::CoreError;
+use crate::geometry::ScanGeometry;
+use crate::input::ScanView;
+use crate::output::DepthImage;
+use crate::pair::{process_pair, MEM_BYTES_PER_DEPOSIT, MEM_BYTES_PER_PAIR};
+use crate::stats::ReconStats;
+use crate::Result;
+
+/// Result of a CPU reconstruction.
+#[derive(Debug, Clone)]
+pub struct CpuReconstruction {
+    /// The depth-resolved output.
+    pub image: DepthImage,
+    /// Outcome counters.
+    pub stats: ReconStats,
+    /// Logical work performed, for the virtual-time model.
+    pub cost: Cost,
+}
+
+impl CpuReconstruction {
+    /// Modeled runtime on `host` using `cores` cores (the paper's baseline
+    /// is `cores = 1`).
+    pub fn modeled_time_s(&self, host: &HostProps, cores: u32) -> f64 {
+        host.kernel_time(&self.cost, cores)
+    }
+}
+
+/// Validate that the stack matches the geometry.
+pub(crate) fn check_shapes(view: &ScanView<'_>, geom: &ScanGeometry) -> Result<()> {
+    if view.n_images != geom.wire.n_steps {
+        return Err(CoreError::ShapeMismatch(format!(
+            "stack has {} images but the wire scan has {} steps",
+            view.n_images, geom.wire.n_steps
+        )));
+    }
+    if view.n_rows != geom.detector.n_rows || view.n_cols != geom.detector.n_cols {
+        return Err(CoreError::ShapeMismatch(format!(
+            "stack is {}×{} pixels but the detector is {}×{}",
+            view.n_rows, view.n_cols, geom.detector.n_rows, geom.detector.n_cols
+        )));
+    }
+    Ok(())
+}
+
+/// Reconstruct a row range into a slab-local image (rows are relative to
+/// `rows.start`). `detector_row_offset` maps the view's row indices onto
+/// detector rows (non-zero when `view` is a streamed slab). Shared by the
+/// sequential, threaded and streaming engines.
+fn reconstruct_rows(
+    view: &ScanView<'_>,
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    rows: std::ops::Range<usize>,
+    detector_row_offset: usize,
+) -> (DepthImage, ReconStats, Cost) {
+    let n_rows_out = rows.len();
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows_out, view.n_cols);
+    let mut stats = ReconStats::default();
+    let mut cost = Cost::default();
+    let wire_centers = geom.wire.centers();
+    let n_pairs = view.n_images - 1;
+    let row0 = rows.start;
+    for r in rows {
+        for c in 0..view.n_cols {
+            let pixel = geom
+                .detector
+                .pixel_to_xyz_unchecked((detector_row_offset + r) as f64, c as f64);
+            for z in 0..n_pairs {
+                cost.mem_bytes += MEM_BYTES_PER_PAIR;
+                let outcome = process_pair(
+                    mapper,
+                    cfg,
+                    pixel,
+                    wire_centers[z],
+                    wire_centers[z + 1],
+                    view.at(z, r, c),
+                    view.at(z + 1, r, c),
+                    |bin, amount| {
+                        cost.mem_bytes += MEM_BYTES_PER_DEPOSIT;
+                        *image.at_mut(bin, r - row0, c) += amount;
+                    },
+                    &mut cost.flops,
+                );
+                stats.record(outcome);
+            }
+        }
+    }
+    (image, stats, cost)
+}
+
+/// The paper's baseline: a single-threaded pass over the whole stack.
+pub fn reconstruct_seq(
+    view: &ScanView<'_>,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+) -> Result<CpuReconstruction> {
+    cfg.validate()?;
+    check_shapes(view, geom)?;
+    let mapper = geom.mapper()?;
+    let (image, stats, cost) = reconstruct_rows(view, geom, &mapper, cfg, 0..view.n_rows, 0);
+    Ok(CpuReconstruction { image, stats, cost })
+}
+
+/// Streaming variant of the sequential engine: pulls `rows_per_chunk`
+/// detector rows at a time from a [`SlabSource`], never materialising the
+/// full stack — the same memory profile as the GPU pipeline, bit-identical
+/// results.
+pub fn reconstruct_streaming(
+    source: &mut dyn crate::SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    rows_per_chunk: usize,
+) -> Result<CpuReconstruction> {
+    cfg.validate()?;
+    if rows_per_chunk == 0 {
+        return Err(CoreError::InvalidConfig("rows_per_chunk must be ≥ 1".into()));
+    }
+    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+    if n_images != geom.wire.n_steps
+        || n_rows != geom.detector.n_rows
+        || n_cols != geom.detector.n_cols
+    {
+        return Err(CoreError::ShapeMismatch(format!(
+            "source {n_images}×{n_rows}×{n_cols} disagrees with geometry {}×{}×{}",
+            geom.wire.n_steps, geom.detector.n_rows, geom.detector.n_cols
+        )));
+    }
+    let mapper = geom.mapper()?;
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
+    let mut stats = ReconStats::default();
+    let mut cost = Cost::default();
+    let mut row0 = 0usize;
+    while row0 < n_rows {
+        let rows = rows_per_chunk.min(n_rows - row0);
+        let slab = source.read_slab(row0, rows)?;
+        let view = ScanView::new(&slab, n_images, rows, n_cols)?;
+        let (part, part_stats, part_cost) =
+            reconstruct_rows(&view, geom, &mapper, cfg, 0..rows, row0);
+        stats.merge(&part_stats);
+        cost.merge(&part_cost);
+        for bin in 0..cfg.n_depth_bins {
+            for r in 0..rows {
+                for c in 0..n_cols {
+                    *image.at_mut(bin, row0 + r, c) = part.at(bin, r, c);
+                }
+            }
+        }
+        row0 += rows;
+    }
+    Ok(CpuReconstruction { image, stats, cost })
+}
+
+/// Row-parallel reconstruction across `n_threads` OS threads.
+///
+/// Bitwise-identical to [`reconstruct_seq`]: each output element is the sum
+/// of the same contributions in the same (step-ascending) order, and rows
+/// never cross threads.
+pub fn reconstruct_threaded(
+    view: &ScanView<'_>,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    n_threads: usize,
+) -> Result<CpuReconstruction> {
+    cfg.validate()?;
+    check_shapes(view, geom)?;
+    if n_threads == 0 {
+        return Err(CoreError::InvalidConfig("n_threads must be ≥ 1".into()));
+    }
+    let mapper = geom.mapper()?;
+    let n_threads = n_threads.min(view.n_rows);
+    // Split rows as evenly as possible.
+    let base = view.n_rows / n_threads;
+    let extra = view.n_rows % n_threads;
+    let mut ranges = Vec::with_capacity(n_threads);
+    let mut start = 0;
+    for t in 0..n_threads {
+        let len = base + usize::from(t < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    let parts: Vec<(DepthImage, ReconStats, Cost, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let mapper = &mapper;
+                scope.spawn(move || {
+                    let row0 = range.start;
+                    let (img, stats, cost) =
+                        reconstruct_rows(view, geom, mapper, cfg, range, 0);
+                    (img, stats, cost, row0)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, view.n_rows, view.n_cols);
+    let mut stats = ReconStats::default();
+    let mut cost = Cost::default();
+    for (part, part_stats, part_cost, row0) in parts {
+        stats.merge(&part_stats);
+        cost.merge(&part_cost);
+        for bin in 0..cfg.n_depth_bins {
+            for r in 0..part.n_rows {
+                for c in 0..part.n_cols {
+                    *image.at_mut(bin, row0 + r, c) = part.at(bin, r, c);
+                }
+            }
+        }
+    }
+    Ok(CpuReconstruction { image, stats, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InMemorySlabSource;
+
+    /// A stack where image z+1 loses a constant amount at one pixel —
+    /// everything else is static, so exactly one pair deposits.
+    fn single_drop_stack(geom: &ScanGeometry, r: usize, c: usize, at_step: usize) -> Vec<f64> {
+        let (p, m, n) = (geom.wire.n_steps, geom.detector.n_rows, geom.detector.n_cols);
+        let mut data = vec![100.0; p * m * n];
+        for z in at_step + 1..p {
+            data[(z * m + r) * n + c] = 40.0;
+        }
+        data
+    }
+
+    fn demo() -> (ScanGeometry, ReconstructionConfig) {
+        let geom = ScanGeometry::demo(6, 6, 10, -60.0, 6.0).unwrap();
+        // Wide enough that every pixel's depth band lies inside the window.
+        let cfg = ReconstructionConfig::new(-1200.0, 1200.0, 120);
+        (geom, cfg)
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (geom, cfg) = demo();
+        let bad = vec![0.0; 10];
+        assert!(ScanView::new(&bad, 10, 6, 6).is_err());
+        let wrong_rows = vec![0.0; 10 * 5 * 6];
+        let view = ScanView::new(&wrong_rows, 10, 5, 6).unwrap();
+        assert!(matches!(
+            reconstruct_seq(&view, &geom, &cfg),
+            Err(CoreError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn static_stack_reconstructs_to_zero() {
+        let (geom, cfg) = demo();
+        let data = vec![77.0; 10 * 6 * 6];
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let out = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert_eq!(out.image.total_intensity(), 0.0);
+        assert_eq!(out.stats.pairs_deposited, 0);
+        assert_eq!(out.stats.pairs_total, (10 - 1) * 36);
+        assert!(out.stats.is_consistent());
+    }
+
+    #[test]
+    fn single_drop_deposits_at_the_right_depth() {
+        let (geom, cfg) = demo();
+        let (r, c, step) = (2, 3, 4);
+        let data = single_drop_stack(&geom, r, c, step);
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let out = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert_eq!(out.stats.pairs_deposited, 1);
+        // All 60 units land on pixel (r, c).
+        let profile_total: f64 = out.image.depth_profile(r, c).iter().sum();
+        assert!((profile_total - 60.0).abs() < 1e-9, "got {profile_total}");
+        // The peak sits inside the leading-edge band of the drop step.
+        let mapper = geom.mapper().unwrap();
+        let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
+        let d0 = mapper
+            .depth(pixel, geom.wire.center(step).unwrap(), cfg.wire_edge)
+            .unwrap();
+        let d1 = mapper
+            .depth(pixel, geom.wire.center(step + 1).unwrap(), cfg.wire_edge)
+            .unwrap();
+        let peak = out.image.pixel_peak_depth(r, c, &cfg).unwrap();
+        let (lo, hi) = (d0.min(d1), d0.max(d1));
+        assert!(
+            peak >= lo - cfg.bin_width() && peak <= hi + cfg.bin_width(),
+            "peak {peak} outside band [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn cutoff_suppresses_small_differentials() {
+        let (geom, mut cfg) = demo();
+        let data = single_drop_stack(&geom, 1, 1, 3);
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        cfg.intensity_cutoff = 100.0; // bigger than the 60-unit drop
+        let out = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert_eq!(out.stats.pairs_deposited, 0);
+        assert_eq!(out.image.total_intensity(), 0.0);
+        assert_eq!(out.stats.active_fraction(), 0.0);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bitwise() {
+        let (geom, cfg) = demo();
+        // A busier stack: every pixel ramps down over the scan.
+        let (p, m, n) = (10, 6, 6);
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                let px = i % (m * n);
+                1000.0 - 37.0 * z as f64 - (px % 7) as f64 * 11.0
+            })
+            .collect();
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        let seq = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        for threads in [1, 2, 3, 5, 8] {
+            let par = reconstruct_threaded(&view, &geom, &cfg, threads).unwrap();
+            assert_eq!(
+                seq.image.data, par.image.data,
+                "threaded({threads}) must be bitwise identical"
+            );
+            assert_eq!(seq.stats, par.stats);
+            assert_eq!(seq.cost.flops, par.cost.flops);
+        }
+        assert!(matches!(
+            reconstruct_threaded(&view, &geom, &cfg, 0),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn intensity_is_conserved_for_interior_bands() {
+        // With a generous depth window, every deposited pair lands fully
+        // inside the window, so total output = total of deposited ΔI.
+        let (geom, cfg) = demo();
+        let (p, m, n) = (10, 6, 6);
+        // Monotone decreasing stacks → all ΔI ≥ 0.
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                500.0 - 13.0 * z as f64
+            })
+            .collect();
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        let out = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        // Every pair drops 13 units; all 9×36 pairs deposit.
+        let expected = 13.0 * 9.0 * 36.0;
+        assert_eq!(out.stats.pairs_deposited + out.stats.pairs_out_of_range, 9 * 36);
+        let captured = out.image.total_intensity();
+        assert!(
+            (captured - expected).abs() / expected < 1e-6,
+            "captured {captured} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn modeled_time_uses_host_props() {
+        let (geom, cfg) = demo();
+        let data = single_drop_stack(&geom, 0, 0, 2);
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let out = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let host = HostProps::xeon_e5630();
+        let t1 = out.modeled_time_s(&host, 1);
+        let t4 = out.modeled_time_s(&host, 4);
+        assert!(t1 > 0.0 && t4 > 0.0 && t4 <= t1);
+    }
+
+    #[test]
+    fn streaming_matches_sequential_bitwise() {
+        let (geom, cfg) = demo();
+        let (p, m, n) = (10, 6, 6);
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| 700.0 - 29.0 * (i / (m * n)) as f64 + (i % 11) as f64)
+            .collect();
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        let seq = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        for chunk in [1usize, 2, 3, 6, 100] {
+            let mut src = InMemorySlabSource::new(data.clone(), p, m, n).unwrap();
+            let streamed = reconstruct_streaming(&mut src, &geom, &cfg, chunk).unwrap();
+            assert_eq!(seq.image.data, streamed.image.data, "chunk = {chunk}");
+            assert_eq!(seq.stats, streamed.stats);
+            assert_eq!(seq.cost.flops, streamed.cost.flops);
+        }
+        let mut src = InMemorySlabSource::new(data, p, m, n).unwrap();
+        assert!(reconstruct_streaming(&mut src, &geom, &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn slab_source_view_round_trip() {
+        let (geom, cfg) = demo();
+        let data = single_drop_stack(&geom, 3, 3, 5);
+        let src = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let out_a = reconstruct_seq(&src.view(), &geom, &cfg).unwrap();
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let out_b = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert_eq!(out_a.image.data, out_b.image.data);
+    }
+}

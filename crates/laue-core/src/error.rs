@@ -1,0 +1,67 @@
+//! Error type for the reconstruction engines.
+
+use std::fmt;
+
+/// Everything that can go wrong configuring or running a reconstruction.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Bad reconstruction parameters.
+    InvalidConfig(String),
+    /// Image stack dimensions disagree with the geometry.
+    ShapeMismatch(String),
+    /// The beam/wire/detector configuration cannot be triangulated at all.
+    Geometry(laue_geometry::GeometryError),
+    /// The simulated device failed (OOM, bad launch, …).
+    Device(cuda_sim::SimError),
+    /// A streaming slab source failed to produce data.
+    Source(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            CoreError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
+            CoreError::Geometry(e) => write!(f, "geometry error: {e}"),
+            CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::Source(what) => write!(f, "slab source error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Geometry(e) => Some(e),
+            CoreError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<laue_geometry::GeometryError> for CoreError {
+    fn from(e: laue_geometry::GeometryError) -> Self {
+        CoreError::Geometry(e)
+    }
+}
+
+impl From<cuda_sim::SimError> for CoreError {
+    fn from(e: cuda_sim::SimError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = laue_geometry::GeometryError::RayParallelToBeam.into();
+        assert!(e.to_string().contains("geometry"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = cuda_sim::SimError::ForeignBuffer.into();
+        assert!(e.to_string().contains("device"));
+        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,1061 @@
+//! The paper's CUDA design, executed on the simulated device.
+//!
+//! This module reproduces the program structure of §III of the paper:
+//!
+//! * **Row-slab chunking** (Fig 2): the stack never fits device memory as a
+//!   whole; the host streams `rows_per_slab` detector rows of *every* image
+//!   to the device, reconstructs them, and copies the partial depth image
+//!   back. [`fit_rows_per_slab`] picks the largest slab that fits the
+//!   modeled memory, mirroring the M2070's 6 GB cap.
+//! * **Thread mapping** (Fig 6): one kernel thread per
+//!   `(row, col, image-pair)` element. The launch is 1-D with in-kernel
+//!   index arithmetic — the "1D array" design the paper selects after its
+//!   Fig 4 comparison — with the pair index fastest so that, under the
+//!   deterministic executor, per-bin accumulation order matches the CPU
+//!   baseline exactly.
+//! * **`setTwo` kernel**: computes the differential intensity, triangulates
+//!   both wire edges via the same [`plan_pair`] routine the CPU uses, and
+//!   accumulates into the depth image with the CAS-loop
+//!   `atomicAdd(double)` — multiple `z`-threads of one pixel race on the
+//!   same output bins, exactly why the paper needed the atomic.
+//! * **Layouts** (Fig 4): [`Layout::Flat1d`] ships one contiguous buffer
+//!   per slab; [`Layout::Pointer3d`] reproduces the rejected design — one
+//!   allocation per image (and per output bin) plus device pointer tables —
+//!   paying per-transfer latency, pointer shipping, and an extra pointer
+//!   dereference per access.
+//! * **Copy/compute overlap** ([`reconstruct_overlapped`]): the
+//!   double-buffered two-stream pipeline the paper's related work discusses
+//!   but its implementation does not do; kept as an ablation.
+
+use cuda_sim::{Device, DeviceBuffer, LaunchConfig, Meters, StreamId};
+use laue_geometry::{DepthMapper, Vec3};
+
+use crate::config::ReconstructionConfig;
+use crate::error::CoreError;
+use crate::geometry::ScanGeometry;
+use crate::input::SlabSource;
+use crate::output::DepthImage;
+use crate::pair::{plan_pair, PairPlan};
+use crate::stats::ReconStats;
+use crate::Result;
+
+/// Device data layout for the image stack and output (the paper's Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// One flat buffer per slab; kernels do 1-D↔3-D index arithmetic.
+    Flat1d,
+    /// One allocation per image / per output bin plus device pointer
+    /// tables; more transfers, extra pointer chases.
+    Pointer3d,
+}
+
+/// Where the edge-depth triangulation happens.
+///
+/// The paper's kernel signature ships precomputed `edge` / `firstedge` /
+/// `gpuPointArray` tables, i.e. parts of the triangulation are done on the
+/// host and traded against PCIe transfer. The two modes below bracket that
+/// design space; both produce bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangulation {
+    /// Each kernel thread triangulates its own pair (compute on device).
+    InKernel,
+    /// The host precomputes the per-(pixel, step) depth table and ships it
+    /// with each slab (transfer instead of device compute; host pays the
+    /// triangulation FLOPs once per slab).
+    HostTables,
+}
+
+/// How kernel threads are mapped onto the `(row, col, pair)` domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadMapping {
+    /// 1-D launch with in-kernel index arithmetic — the layout-independent
+    /// mapping this reproduction defaults to (deposit order matches the CPU
+    /// loop nest, enabling bitwise equivalence).
+    Linear,
+    /// The paper's Fig 6 mapping: 3-D blocks over `(rows, cols, pairs)`
+    /// (its example launches a `(2, 9, 4)` block). Fermi forbids `grid.z
+    /// > 1`, so pair-blocks beyond `block.z` fold into `grid.x`, exactly as
+    /// > era CUDA code did.
+    Grid3d,
+}
+
+/// Full GPU-engine options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuOptions {
+    pub layout: Layout,
+    pub triangulation: Triangulation,
+    pub mapping: ThreadMapping,
+}
+
+impl Default for GpuOptions {
+    fn default() -> Self {
+        GpuOptions {
+            layout: Layout::Flat1d,
+            triangulation: Triangulation::InKernel,
+            mapping: ThreadMapping::Linear,
+        }
+    }
+}
+
+/// Trace-slot assignments for the `set_two` kernel.
+const TRACE_BELOW_CUTOFF: usize = 0;
+const TRACE_INVALID: usize = 1;
+const TRACE_OUT_OF_RANGE: usize = 2;
+const TRACE_DEPOSITED: usize = 3;
+const TRACE_DEPOSITS: usize = 4;
+
+/// Threads per block for the 1-D launches (the paper's hardware caps at
+/// 1024; 256 keeps plenty of blocks in flight).
+const BLOCK_SIZE: u64 = 256;
+
+/// Result of a GPU reconstruction.
+#[derive(Debug, Clone)]
+pub struct GpuReconstruction {
+    /// The depth-resolved output.
+    pub image: DepthImage,
+    /// Outcome counters (from the kernel's trace instrumentation).
+    pub stats: ReconStats,
+    /// Transfer/compute meters for the whole run.
+    pub meters: Meters,
+    /// Rows shipped per slab.
+    pub rows_per_slab: usize,
+    /// Number of slabs processed.
+    pub n_slabs: usize,
+    /// Virtual makespan (equals `meters.serial_total_s()` for the
+    /// single-stream pipeline; smaller when overlapped).
+    pub elapsed_s: f64,
+    /// Peak modeled device memory, bytes.
+    pub peak_device_mem: u64,
+    /// Host-side triangulation FLOPs spent building depth tables
+    /// ([`Triangulation::HostTables`] only; model with `HostProps`).
+    pub host_table_flops: u64,
+}
+
+/// Modeled device bytes needed for a slab of `rows` detector rows.
+fn slab_bytes(
+    rows: usize,
+    n_images: usize,
+    n_cols: usize,
+    n_bins: usize,
+    opts: GpuOptions,
+    double_buffered: bool,
+) -> u64 {
+    let layout = opts.layout;
+    let row = (n_cols * 8) as u64;
+    let mut intensity = n_images as u64 * rows as u64 * row;
+    if opts.triangulation == Triangulation::HostTables {
+        // The depth table has the same (steps × rows × cols) footprint.
+        intensity *= 2;
+    }
+    let pixels = rows as u64 * n_cols as u64 * 3 * 8;
+    let output = n_bins as u64 * rows as u64 * row;
+    let tables = match layout {
+        Layout::Flat1d => 0,
+        Layout::Pointer3d => (n_images as u64 + n_bins as u64) * 8,
+    };
+    // Alignment padding: every allocation rounds up to 256 bytes; the
+    // pointer layout makes one allocation per image/bin.
+    let allocs: u64 = match layout {
+        Layout::Flat1d => 4,
+        Layout::Pointer3d => (n_images + n_bins) as u64 + 4,
+    };
+    let base = intensity + pixels + output + tables + allocs * 256;
+    if double_buffered {
+        2 * base
+    } else {
+        base
+    }
+}
+
+/// Largest `rows_per_slab` whose working set fits in `budget` bytes.
+pub fn fit_rows_per_slab(
+    budget: u64,
+    n_rows: usize,
+    n_images: usize,
+    n_cols: usize,
+    n_bins: usize,
+    opts: GpuOptions,
+    double_buffered: bool,
+) -> Result<usize> {
+    // Leave headroom for the wire-centre table and fragmentation.
+    let budget = budget - budget / 10;
+    let mut best = 0usize;
+    let mut lo = 1usize;
+    let mut hi = n_rows;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        if slab_bytes(mid, n_images, n_cols, n_bins, opts, double_buffered) <= budget {
+            best = mid;
+            lo = mid + 1;
+        } else {
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        }
+    }
+    if best == 0 {
+        return Err(CoreError::InvalidConfig(format!(
+            "one detector row needs {} B on-device but only {budget} B fit",
+            slab_bytes(1, n_images, n_cols, n_bins, opts, double_buffered)
+        )));
+    }
+    Ok(best)
+}
+
+/// Per-slab device-resident data, under either layout.
+pub(crate) enum SlabBuffers {
+    Flat {
+        intensity: DeviceBuffer<f64>,
+        output: DeviceBuffer<f64>,
+    },
+    Pointer {
+        /// One buffer per image (slab rows × cols each).
+        images: Vec<DeviceBuffer<f64>>,
+        /// One buffer per output bin (slab rows × cols each).
+        bins: Vec<DeviceBuffer<f64>>,
+        /// Device copies of the pointer tables (transfer + storage cost;
+        /// the table contents are the modeled addresses).
+        _image_table: DeviceBuffer<u64>,
+        _bin_table: DeviceBuffer<u64>,
+    },
+}
+
+pub(crate) struct SlabUpload {
+    buffers: SlabBuffers,
+    pub(crate) mapping: ThreadMapping,
+    pixels: DeviceBuffer<f64>,
+    /// Precomputed per-(step, pixel) edge depths (HostTables mode).
+    depth_table: Option<DeviceBuffer<f64>>,
+    /// Host FLOPs spent building the depth table.
+    host_flops: u64,
+    rows: usize,
+    row0: usize,
+    /// Virtual time when the last H2D copy of this slab completes.
+    ready_at: f64,
+}
+
+/// Upload one slab's data under the chosen layout.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn upload_slab(
+    device: &Device,
+    stream: StreamId,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    row0: usize,
+    rows: usize,
+) -> Result<SlabUpload> {
+    let layout = opts.layout;
+    let n_images = source.n_images();
+    let n_cols = source.n_cols();
+    let slab = source.read_slab(row0, rows)?;
+    debug_assert_eq!(slab.len(), n_images * rows * n_cols);
+
+    // Pixel positions for the slab (the `pixel_xyz` table).
+    let mut pix = Vec::with_capacity(rows * n_cols * 3);
+    for r in row0..row0 + rows {
+        for c in 0..n_cols {
+            let p = geom.detector.pixel_to_xyz_unchecked(r as f64, c as f64);
+            pix.extend_from_slice(&[p.x, p.y, p.z]);
+        }
+    }
+    let pixels = device.alloc::<f64>(pix.len())?;
+    let mut ready_at = device.memcpy_htod_on(stream, &pixels, &pix)?.end_s;
+
+    // Precomputed depth tables (the paper's `edge`/`gpuPointArray` design):
+    // depths[(z · rows + r) · cols + c], NaN where no tangent exists.
+    let mut host_flops = 0u64;
+    let depth_table = if opts.triangulation == Triangulation::HostTables {
+        let mut table = Vec::with_capacity(n_images * rows * n_cols);
+        for z in 0..n_images {
+            let wire = geom.wire.center_unchecked(z as f64);
+            for r in row0..row0 + rows {
+                for c in 0..n_cols {
+                    let p = geom.detector.pixel_to_xyz_unchecked(r as f64, c as f64);
+                    host_flops += crate::pair::FLOPS_PER_DEPTH;
+                    table.push(mapper.depth(p, wire, cfg.wire_edge).unwrap_or(f64::NAN));
+                }
+            }
+        }
+        let buf = device.alloc::<f64>(table.len())?;
+        ready_at = ready_at.max(device.memcpy_htod_on(stream, &buf, &table)?.end_s);
+        Some(buf)
+    } else {
+        None
+    };
+
+    let buffers = match layout {
+        Layout::Flat1d => {
+            let intensity = device.alloc::<f64>(slab.len())?;
+            ready_at = ready_at.max(device.memcpy_htod_on(stream, &intensity, &slab)?.end_s);
+            let output = device.alloc_zeroed::<f64>(cfg.n_depth_bins * rows * n_cols)?;
+            SlabBuffers::Flat { intensity, output }
+        }
+        Layout::Pointer3d => {
+            // One allocation + one memcpy per image: the "3D array" design.
+            let per_image = rows * n_cols;
+            let mut images = Vec::with_capacity(n_images);
+            for z in 0..n_images {
+                let buf = device.alloc::<f64>(per_image)?;
+                let span = device.memcpy_htod_on(
+                    stream,
+                    &buf,
+                    &slab[z * per_image..(z + 1) * per_image],
+                )?;
+                ready_at = ready_at.max(span.end_s);
+                images.push(buf);
+            }
+            let mut bins = Vec::with_capacity(cfg.n_depth_bins);
+            for _ in 0..cfg.n_depth_bins {
+                bins.push(device.alloc_zeroed::<f64>(per_image)?);
+            }
+            // The pointer tables themselves must also be shipped.
+            let image_ptrs: Vec<u64> = images.iter().map(|b| b.device_addr()).collect();
+            let bin_ptrs: Vec<u64> = bins.iter().map(|b| b.device_addr()).collect();
+            let image_table = device.alloc::<u64>(image_ptrs.len())?;
+            ready_at = ready_at.max(device.memcpy_htod_on(stream, &image_table, &image_ptrs)?.end_s);
+            let bin_table = device.alloc::<u64>(bin_ptrs.len())?;
+            ready_at = ready_at.max(device.memcpy_htod_on(stream, &bin_table, &bin_ptrs)?.end_s);
+            SlabBuffers::Pointer {
+                images,
+                bins,
+                _image_table: image_table,
+                _bin_table: bin_table,
+            }
+        }
+    };
+    Ok(SlabUpload {
+        buffers,
+        mapping: opts.mapping,
+        pixels,
+        depth_table,
+        host_flops,
+        rows,
+        row0,
+        ready_at,
+    })
+}
+
+/// Launch the `set_two` kernel for one uploaded slab.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_set_two(
+    device: &Device,
+    stream: StreamId,
+    upload: &SlabUpload,
+    wires: &DeviceBuffer<f64>,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    n_images: usize,
+    n_cols: usize,
+) -> Result<cuda_sim::LaunchRecord> {
+    let rows = upload.rows;
+    let n_pairs = n_images - 1;
+    let total = (rows * n_cols * n_pairs) as u64;
+    let mapping = upload.mapping;
+    // Fig 6 mapping: 3-D blocks over (rows, cols, pairs); pair-blocks past
+    // block.z fold into grid.x to satisfy Fermi's grid.z = 1.
+    let block = cuda_sim::Dim3::new(4, 8, (n_pairs as u64).clamp(1, 8));
+    let rows_blocks = (rows as u64).div_ceil(block.x);
+    let pair_blocks = (n_pairs as u64).div_ceil(block.z);
+    let grid3d = cuda_sim::Dim3::new(
+        rows_blocks * pair_blocks,
+        (n_cols as u64).div_ceil(block.y),
+        1,
+    );
+    let launch_cfg = match mapping {
+        ThreadMapping::Linear => LaunchConfig::linear(total, BLOCK_SIZE),
+        ThreadMapping::Grid3d => LaunchConfig::new(grid3d, block),
+    };
+    let kernel = |ctx: &mut cuda_sim::ThreadCtx<'_>| {
+        let (r, c, z) = match mapping {
+            ThreadMapping::Linear => {
+                let id = ctx.global_id().x as usize;
+                if id as u64 >= total {
+                    return;
+                }
+                // Pair index fastest: deposits into one pixel's bins happen
+                // in step order, matching the CPU loop nest.
+                let z = id % n_pairs;
+                let pc = id / n_pairs;
+                (pc / n_cols, pc % n_cols, z)
+            }
+            ThreadMapping::Grid3d => {
+                // Unfold the pair-block component from grid.x.
+                let bx = ctx.block_idx.x % rows_blocks;
+                let pz = ctx.block_idx.x / rows_blocks;
+                let r = (bx * ctx.block_dim.x + ctx.thread_idx.x) as usize;
+                let c = ctx.global_id().y as usize;
+                let z = (pz * ctx.block_dim.z + ctx.thread_idx.z) as usize;
+                if r >= rows || c >= n_cols || z >= n_pairs {
+                    return;
+                }
+                (r, c, z)
+            }
+        };
+        // The 1-D↔3-D index conversions the paper trades against pointer
+        // shipping (§III-B).
+        ctx.charge_flops(6);
+
+        let in_kernel = upload.depth_table.is_none();
+        // In table mode the kernel never touches the pixel/wire arrays.
+        let (pixel, w0, w1) = if in_kernel {
+            let pi = (r * n_cols + c) * 3;
+            (
+                Vec3::new(
+                    ctx.read(&upload.pixels, pi),
+                    ctx.read(&upload.pixels, pi + 1),
+                    ctx.read(&upload.pixels, pi + 2),
+                ),
+                Vec3::new(
+                    ctx.read(wires, z * 3),
+                    ctx.read(wires, z * 3 + 1),
+                    ctx.read(wires, z * 3 + 2),
+                ),
+                Vec3::new(
+                    ctx.read(wires, (z + 1) * 3),
+                    ctx.read(wires, (z + 1) * 3 + 1),
+                    ctx.read(wires, (z + 1) * 3 + 2),
+                ),
+            )
+        } else {
+            (Vec3::ZERO, Vec3::ZERO, Vec3::ZERO)
+        };
+        let pixel_in_slab = r * n_cols + c;
+        let (i0, i1) = match &upload.buffers {
+            SlabBuffers::Flat { intensity, .. } => (
+                ctx.read(intensity, (z * rows + r) * n_cols + c),
+                ctx.read(intensity, ((z + 1) * rows + r) * n_cols + c),
+            ),
+            SlabBuffers::Pointer { images, .. } => {
+                // Pointer chase: fetch the row pointer, then the element.
+                ctx.charge_mem_bytes(16);
+                (
+                    ctx.read(&images[z], pixel_in_slab),
+                    ctx.read(&images[z + 1], pixel_in_slab),
+                )
+            }
+        };
+
+        let mut flops = 0u64;
+        let plan = match &upload.depth_table {
+            None => plan_pair(mapper, cfg, pixel, w0, w1, i0, i1, &mut flops),
+            Some(table) => {
+                // Table mode: the differential/cutoff logic is identical,
+                // but the depths come from the precomputed array.
+                let delta = crate::pair::differential(cfg, i0, i1);
+                flops += crate::pair::FLOPS_PER_PAIR;
+                if delta.abs() <= cfg.intensity_cutoff {
+                    PairPlan::BelowCutoff
+                } else {
+                    let d0 = ctx.read(table, (z * rows + r) * n_cols + c);
+                    let d1 = ctx.read(table, ((z + 1) * rows + r) * n_cols + c);
+                    crate::pair::plan_from_band(cfg, delta, d0, d1, &mut flops)
+                }
+            }
+        };
+        match plan {
+            PairPlan::BelowCutoff => ctx.trace(TRACE_BELOW_CUTOFF),
+            PairPlan::InvalidGeometry => ctx.trace(TRACE_INVALID),
+            PairPlan::OutOfRange => ctx.trace(TRACE_OUT_OF_RANGE),
+            PairPlan::Deposit(plan) => {
+                ctx.trace(TRACE_DEPOSITED);
+                for bin in plan.first_bin..plan.last_bin {
+                    let amount = plan.amount(bin, cfg);
+                    if amount != 0.0 {
+                        match &upload.buffers {
+                            SlabBuffers::Flat { output, .. } => {
+                                ctx.atomic_add_f64(
+                                    output,
+                                    (bin * rows + r) * n_cols + c,
+                                    amount,
+                                );
+                            }
+                            SlabBuffers::Pointer { bins, .. } => {
+                                ctx.charge_mem_bytes(8); // bin-pointer fetch
+                                ctx.atomic_add_f64(&bins[bin], pixel_in_slab, amount);
+                            }
+                        }
+                        ctx.trace(TRACE_DEPOSITS);
+                    }
+                }
+            }
+        }
+        ctx.charge_flops(flops);
+    };
+    device
+        .launch_on(stream, "set_two", launch_cfg, kernel)
+        .map_err(CoreError::from)
+}
+
+/// Download one slab's output and merge it into the full image.
+pub(crate) fn download_slab(
+    device: &Device,
+    stream: StreamId,
+    upload: &SlabUpload,
+    image: &mut DepthImage,
+    cfg: &ReconstructionConfig,
+    n_cols: usize,
+) -> Result<()> {
+    let rows = upload.rows;
+    match &upload.buffers {
+        SlabBuffers::Flat { output, .. } => {
+            let mut host = vec![0.0f64; cfg.n_depth_bins * rows * n_cols];
+            device.memcpy_dtoh_on(stream, output, &mut host)?;
+            for bin in 0..cfg.n_depth_bins {
+                for r in 0..rows {
+                    for c in 0..n_cols {
+                        *image.at_mut(bin, upload.row0 + r, c) =
+                            host[(bin * rows + r) * n_cols + c];
+                    }
+                }
+            }
+        }
+        SlabBuffers::Pointer { bins, .. } => {
+            // One D2H per bin: the 3D layout pays latency both ways.
+            let mut host = vec![0.0f64; rows * n_cols];
+            for (bin, buf) in bins.iter().enumerate() {
+                device.memcpy_dtoh_on(stream, buf, &mut host)?;
+                for r in 0..rows {
+                    for c in 0..n_cols {
+                        *image.at_mut(bin, upload.row0 + r, c) = host[r * n_cols + c];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn stats_from_records(device: &Device, pairs_total: u64) -> ReconStats {
+    let mut stats = ReconStats::default();
+    for rec in device.records() {
+        if rec.name != "set_two" {
+            continue;
+        }
+        stats.pairs_below_cutoff += rec.traces[TRACE_BELOW_CUTOFF];
+        stats.pairs_invalid_geometry += rec.traces[TRACE_INVALID];
+        stats.pairs_out_of_range += rec.traces[TRACE_OUT_OF_RANGE];
+        stats.pairs_deposited += rec.traces[TRACE_DEPOSITED];
+        stats.deposits += rec.traces[TRACE_DEPOSITS];
+    }
+    stats.pairs_total = pairs_total;
+    stats
+}
+
+pub(crate) fn validate_inputs(
+    source: &dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+) -> Result<()> {
+    cfg.validate()?;
+    if source.n_images() != geom.wire.n_steps {
+        return Err(CoreError::ShapeMismatch(format!(
+            "source has {} images but the wire scan has {} steps",
+            source.n_images(),
+            geom.wire.n_steps
+        )));
+    }
+    if source.n_rows() != geom.detector.n_rows || source.n_cols() != geom.detector.n_cols {
+        return Err(CoreError::ShapeMismatch(format!(
+            "source is {}×{} pixels but the detector is {}×{}",
+            source.n_rows(),
+            source.n_cols(),
+            geom.detector.n_rows,
+            geom.detector.n_cols
+        )));
+    }
+    if source.n_images() < 2 {
+        return Err(CoreError::ShapeMismatch("need at least two images".into()));
+    }
+    Ok(())
+}
+
+/// Reconstruct with the paper's single-stream pipeline: for each row slab,
+/// copy in → `set_two` kernel → copy out (no overlap, like the original).
+pub fn reconstruct(
+    device: &Device,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    layout: Layout,
+) -> Result<GpuReconstruction> {
+    reconstruct_with_options(
+        device,
+        source,
+        geom,
+        cfg,
+        GpuOptions { layout, triangulation: Triangulation::InKernel, ..GpuOptions::default() },
+    )
+}
+
+/// As [`reconstruct`], with the full option set (layout × triangulation).
+pub fn reconstruct_with_options(
+    device: &Device,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+) -> Result<GpuReconstruction> {
+    validate_inputs(source, geom, cfg)?;
+    let mapper = geom.mapper()?;
+    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+
+    device.reset_meters();
+    // Wire centres, shipped once (interleaved x, y, z).
+    let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
+    for w in geom.wire.centers() {
+        wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
+    }
+    let wires = device.alloc_from_slice(&wire_flat)?;
+
+    let budget = device.mem_capacity() - device.mem_used();
+    let rows_per_slab = match cfg.rows_per_slab {
+        Some(r) => r.min(n_rows),
+        None => fit_rows_per_slab(budget, n_rows, n_images, n_cols, cfg.n_depth_bins, opts, false)?,
+    };
+
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
+    let mut n_slabs = 0usize;
+    let mut host_table_flops = 0u64;
+    let mut row0 = 0usize;
+    while row0 < n_rows {
+        let rows = rows_per_slab.min(n_rows - row0);
+        let upload = upload_slab(
+            device,
+            StreamId::DEFAULT,
+            source,
+            geom,
+            &mapper,
+            cfg,
+            opts,
+            row0,
+            rows,
+        )?;
+        host_table_flops += upload.host_flops;
+        launch_set_two(
+            device,
+            StreamId::DEFAULT,
+            &upload,
+            &wires,
+            &mapper,
+            cfg,
+            n_images,
+            n_cols,
+        )?;
+        download_slab(device, StreamId::DEFAULT, &upload, &mut image, cfg, n_cols)?;
+        n_slabs += 1;
+        row0 += rows;
+        // Buffers drop here, freeing device memory for the next slab.
+    }
+
+    let elapsed_s = device.synchronize();
+    let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
+    Ok(GpuReconstruction {
+        image,
+        stats: stats_from_records(device, pairs_total),
+        meters: device.meters(),
+        rows_per_slab,
+        n_slabs,
+        elapsed_s,
+        peak_device_mem: device.mem_peak(),
+        host_table_flops,
+    })
+}
+
+/// Double-buffered variant: slab `i+1` uploads on a copy stream while slab
+/// `i` computes — the overlap optimisation the paper leaves as future work.
+/// Only the [`Layout::Flat1d`] layout is supported (the pointer layout's
+/// transfer storm makes overlap moot).
+pub fn reconstruct_overlapped(
+    device: &Device,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+) -> Result<GpuReconstruction> {
+    validate_inputs(source, geom, cfg)?;
+    let mapper = geom.mapper()?;
+    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+
+    device.reset_meters();
+    let copy_stream = device.create_stream();
+    let compute_stream = device.create_stream();
+
+    let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
+    for w in geom.wire.centers() {
+        wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
+    }
+    let wires = device.alloc_from_slice(&wire_flat)?;
+
+    let budget = device.mem_capacity() - device.mem_used();
+    let rows_per_slab = match cfg.rows_per_slab {
+        Some(r) => r.min(n_rows),
+        None => fit_rows_per_slab(
+            budget,
+            n_rows,
+            n_images,
+            n_cols,
+            cfg.n_depth_bins,
+            GpuOptions::default(),
+            true,
+        )?,
+    };
+
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
+    let mut slab_starts = Vec::new();
+    let mut row0 = 0usize;
+    while row0 < n_rows {
+        let rows = rows_per_slab.min(n_rows - row0);
+        slab_starts.push((row0, rows));
+        row0 += rows;
+    }
+
+    // Pipeline: in-flight holds the previous slab until its kernel is done.
+    let mut in_flight: Option<(SlabUpload, f64)> = None; // (upload, kernel end)
+    let mut n_slabs = 0usize;
+    for &(row0, rows) in &slab_starts {
+        // Upload slab on the copy stream. Reusing freed memory is safe in
+        // virtual time because the previous slab's buffers are only dropped
+        // after its kernel's end time has been sequenced before this
+        // upload's start via the wait below.
+        let upload = upload_slab(
+            device,
+            copy_stream,
+            source,
+            geom,
+            &mapper,
+            cfg,
+            GpuOptions::default(),
+            row0,
+            rows,
+        )?;
+        if let Some((prev, prev_end)) = in_flight.take() {
+            // Drain the previous slab: download after its kernel.
+            device.wait_until(copy_stream, prev_end);
+            download_slab(device, compute_stream, &prev, &mut image, cfg, n_cols)?;
+        }
+        // The kernel must wait for this slab's copies.
+        device.wait_until(compute_stream, upload.ready_at);
+        let rec = launch_set_two(
+            device,
+            compute_stream,
+            &upload,
+            &wires,
+            &mapper,
+            cfg,
+            n_images,
+            n_cols,
+        )?;
+        in_flight = Some((upload, rec.end_s));
+        n_slabs += 1;
+    }
+    if let Some((prev, _)) = in_flight.take() {
+        download_slab(device, compute_stream, &prev, &mut image, cfg, n_cols)?;
+    }
+
+    let elapsed_s = device.synchronize();
+    let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
+    Ok(GpuReconstruction {
+        image,
+        stats: stats_from_records(device, pairs_total),
+        meters: device.meters(),
+        rows_per_slab,
+        n_slabs,
+        elapsed_s,
+        peak_device_mem: device.mem_peak(),
+        host_table_flops: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu;
+    use crate::input::{InMemorySlabSource, ScanView};
+    use cuda_sim::{DeviceProps, ExecMode};
+
+    fn demo() -> (ScanGeometry, ReconstructionConfig, Vec<f64>) {
+        let geom = ScanGeometry::demo(6, 6, 10, -60.0, 6.0).unwrap();
+        let cfg = ReconstructionConfig::new(-400.0, 400.0, 40);
+        let (p, m, n) = (10, 6, 6);
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                let px = i % (m * n);
+                900.0 - 31.0 * z as f64 - (px % 5) as f64 * 17.0
+            })
+            .collect();
+        (geom, cfg, data)
+    }
+
+    fn big_device() -> Device {
+        Device::new(DeviceProps::tiny(64 * 1024 * 1024))
+    }
+
+    #[test]
+    fn gpu_matches_cpu_bitwise_when_sequential() {
+        let (geom, cfg, data) = demo();
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let gpu_out =
+            reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(
+            cpu_out.image.data, gpu_out.image.data,
+            "sequential executor must reproduce the CPU bit-for-bit"
+        );
+        assert_eq!(cpu_out.stats, gpu_out.stats);
+    }
+
+    #[test]
+    fn pointer_layout_same_result_more_transfers() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let flat = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let ptr = reconstruct(&device, &mut source, &geom, &cfg, Layout::Pointer3d).unwrap();
+        assert_eq!(flat.image.data, ptr.image.data, "layouts agree functionally");
+        assert!(
+            ptr.meters.transfers > flat.meters.transfers,
+            "pointer layout must pay more transfers: {} vs {}",
+            ptr.meters.transfers,
+            flat.meters.transfers
+        );
+        assert!(
+            ptr.meters.comm_time_s > flat.meters.comm_time_s,
+            "and more communication time"
+        );
+        assert!(ptr.elapsed_s > flat.elapsed_s, "Fig 4: 1D beats 3D end to end");
+    }
+
+    #[test]
+    fn chunking_is_invariant() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut reference = None;
+        for rows in [1usize, 2, 3, 6] {
+            let mut cfg = cfg.clone();
+            cfg.rows_per_slab = Some(rows);
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+            assert_eq!(out.n_slabs, 6usize.div_ceil(rows));
+            match &reference {
+                None => reference = Some(out.image.data),
+                Some(r) => assert_eq!(r, &out.image.data, "rows_per_slab = {rows}"),
+            }
+        }
+    }
+
+    #[test]
+    fn memory_cap_forces_small_slabs() {
+        let (geom, cfg, data) = demo();
+        // Budget only fits ~2 rows: intensity 10 img × 6 cols × 8 B = 480 B
+        // per row, output 40 bins × 48 B per row...
+        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), false);
+        let device = Device::new(DeviceProps::tiny(3 * need_1));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(
+            out.rows_per_slab < 6,
+            "cap must force chunking: {} rows/slab",
+            out.rows_per_slab
+        );
+        assert!(out.n_slabs >= 2);
+        assert!(out.peak_device_mem <= device.mem_capacity());
+    }
+
+    #[test]
+    fn device_too_small_is_a_clean_error() {
+        let (geom, cfg, data) = demo();
+        let device = Device::new(DeviceProps::tiny(2048));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        match reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d) {
+            Err(CoreError::InvalidConfig(msg)) => assert!(msg.contains("detector row")),
+            other => panic!("expected clean OOM-at-fit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_executor_matches_within_tolerance() {
+        let (geom, cfg, data) = demo();
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let device = big_device();
+        device.set_exec_mode(ExecMode::Threaded(4));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let gpu_out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let diff = cpu_out.image.max_abs_diff(&gpu_out.image);
+        let scale = cpu_out.image.data.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(diff <= 1e-9 * (1.0 + scale), "diff {diff} vs scale {scale}");
+        assert_eq!(cpu_out.stats, gpu_out.stats);
+    }
+
+    #[test]
+    fn overlap_beats_serial_pipeline() {
+        let (geom, mut cfg, data) = demo();
+        cfg.rows_per_slab = Some(1); // many slabs → pipelining matters
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let serial = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let overlapped = reconstruct_overlapped(&device, &mut source, &geom, &cfg).unwrap();
+        assert_eq!(serial.image.data, overlapped.image.data);
+        assert!(
+            overlapped.elapsed_s < serial.elapsed_s,
+            "double buffering must shorten the makespan: {} vs {}",
+            overlapped.elapsed_s,
+            serial.elapsed_s
+        );
+    }
+
+    #[test]
+    fn grid3d_mapping_matches_linear() {
+        // The paper's Fig 6 thread mapping must reach the same answer as
+        // the linear launch. Deposit order per output slot differs, so the
+        // comparison is within FP-reassociation tolerance; the statistics
+        // must be identical.
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let linear = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let grid = reconstruct_with_options(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions { mapping: ThreadMapping::Grid3d, ..GpuOptions::default() },
+        )
+        .unwrap();
+        let scale = linear.image.data.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+        assert!(
+            linear.image.max_abs_diff(&grid.image) <= 1e-9 * scale,
+            "diff {}",
+            linear.image.max_abs_diff(&grid.image)
+        );
+        assert_eq!(linear.stats, grid.stats);
+        // The folded launch is legal on the real M2070 limits (grid.z = 1).
+        let records = device.records();
+        let rec = records.iter().rev().find(|r| r.name == "set_two").unwrap();
+        assert!(rec.threads >= 6 * 6 * 9, "covers the domain: {}", rec.threads);
+    }
+
+    #[test]
+    fn grid3d_is_valid_on_fermi_limits() {
+        // Launch on the faithful M2070 preset: grid.z must be 1, block.z
+        // ≤ 64 — the folding construction must satisfy both even for scans
+        // with many more pairs than block.z.
+        let geom = ScanGeometry::demo(6, 6, 40, -80.0, 3.0).unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 40);
+        let (p, m, n) = (40, 6, 6);
+        let data: Vec<f64> = (0..p * m * n).map(|i| (i % 97) as f64).collect();
+        let device = Device::new(cuda_sim::DeviceProps::tesla_m2070());
+        let mut source = InMemorySlabSource::new(data.clone(), p, m, n).unwrap();
+        let grid = reconstruct_with_options(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions { mapping: ThreadMapping::Grid3d, ..GpuOptions::default() },
+        )
+        .unwrap();
+        let view = crate::ScanView::new(&data, p, m, n).unwrap();
+        let cpu_out = crate::cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let scale = cpu_out.image.data.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+        assert!(cpu_out.image.max_abs_diff(&grid.image) <= 1e-9 * scale);
+        assert_eq!(cpu_out.stats, grid.stats);
+    }
+
+    #[test]
+    fn host_tables_match_in_kernel_bitwise() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let in_kernel = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let tables = reconstruct_with_options(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions { layout: Layout::Flat1d, triangulation: Triangulation::HostTables, ..GpuOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(in_kernel.image.data, tables.image.data);
+        assert_eq!(in_kernel.stats, tables.stats);
+        // Tables trade device FLOPs for transfer + host FLOPs.
+        assert_eq!(in_kernel.host_table_flops, 0);
+        assert!(tables.host_table_flops > 0);
+        assert!(tables.meters.h2d_bytes > in_kernel.meters.h2d_bytes);
+        assert!(
+            tables.meters.kernel_cost.flops < in_kernel.meters.kernel_cost.flops,
+            "table kernel must skip the triangulation FLOPs"
+        );
+    }
+
+    #[test]
+    fn host_tables_chunking_invariance() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut reference = None;
+        for rows in [1usize, 3, 6] {
+            let mut cfg = cfg.clone();
+            cfg.rows_per_slab = Some(rows);
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let out = reconstruct_with_options(
+                &device,
+                &mut source,
+                &geom,
+                &cfg,
+                GpuOptions { layout: Layout::Flat1d, triangulation: Triangulation::HostTables, ..GpuOptions::default() },
+            )
+            .unwrap();
+            match &reference {
+                None => reference = Some(out.image.data),
+                Some(r) => assert_eq!(r, &out.image.data, "rows_per_slab = {rows}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_come_from_kernel_traces() {
+        let (geom, mut cfg, data) = demo();
+        cfg.intensity_cutoff = 1e12; // everything below cutoff
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(out.stats.pairs_below_cutoff, out.stats.pairs_total);
+        assert_eq!(out.stats.deposits, 0);
+        assert!(out.stats.is_consistent());
+        assert_eq!(out.image.total_intensity(), 0.0);
+    }
+
+    #[test]
+    fn fit_rows_per_slab_is_maximal() {
+        let budget = 10 * 1024 * 1024;
+        let rows =
+            fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), false).unwrap();
+        assert!(rows >= 1);
+        let used = slab_bytes(rows, 32, 128, 64, GpuOptions::default(), false);
+        let next = slab_bytes(rows + 1, 32, 128, 64, GpuOptions::default(), false);
+        let headroom = budget - budget / 10;
+        assert!(used <= headroom && next > headroom, "{used} {next} {headroom}");
+        // Double buffering halves the slab.
+        let rows_db =
+            fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), true).unwrap();
+        assert!(rows_db <= rows / 2 + 1);
+        // The depth table enlarges the working set, shrinking the slab.
+        let opts_tables = GpuOptions {
+            layout: Layout::Flat1d,
+            triangulation: Triangulation::HostTables,
+            ..GpuOptions::default()
+        };
+        let rows_tbl =
+            fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, false).unwrap();
+        assert!(rows_tbl <= rows);
+    }
+}

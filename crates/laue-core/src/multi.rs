@@ -1,0 +1,238 @@
+//! Multi-GPU reconstruction — the design space the paper's related work
+//! opens (Schaa & Kaeli, §II) but its implementation never explores.
+//!
+//! The detector is split into contiguous row bands, one per device; each
+//! device runs the paper's single-stream slab pipeline over its band.
+//! Bands are disjoint, so no cross-device synchronisation is needed and the
+//! result is bit-identical to the single-GPU run. In virtual time the
+//! devices work concurrently: the makespan is the slowest device's
+//! timeline (each device owns its PCIe link, as in a multi-socket node).
+
+use cuda_sim::{Device, Meters, StreamId};
+
+use crate::config::ReconstructionConfig;
+use crate::error::CoreError;
+use crate::geometry::ScanGeometry;
+use crate::gpu::{
+    download_slab, fit_rows_per_slab, launch_set_two, stats_from_records, upload_slab,
+    validate_inputs, GpuOptions,
+};
+use crate::input::SlabSource;
+use crate::output::DepthImage;
+use crate::stats::ReconStats;
+use crate::Result;
+
+/// Result of a multi-device reconstruction.
+#[derive(Debug, Clone)]
+pub struct MultiGpuReconstruction {
+    /// The depth-resolved output (all bands merged).
+    pub image: DepthImage,
+    /// Outcome counters over all devices.
+    pub stats: ReconStats,
+    /// Per-device meters, in device order.
+    pub per_device: Vec<Meters>,
+    /// Rows assigned to each device.
+    pub rows_per_device: Vec<usize>,
+    /// Virtual makespan: the slowest device's elapsed time.
+    pub elapsed_s: f64,
+}
+
+/// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
+pub(crate) fn row_bands(n_rows: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let n = n.min(n_rows).max(1);
+    let base = n_rows / n;
+    let extra = n_rows % n;
+    let mut bands = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        bands.push(start..start + len);
+        start += len;
+    }
+    bands
+}
+
+/// Reconstruct across several devices, one row band per device.
+pub fn reconstruct_multi(
+    devices: &[&Device],
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+) -> Result<MultiGpuReconstruction> {
+    if devices.is_empty() {
+        return Err(CoreError::InvalidConfig("need at least one device".into()));
+    }
+    validate_inputs(source, geom, cfg)?;
+    let mapper = geom.mapper()?;
+    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+    let bands = row_bands(n_rows, devices.len());
+
+    let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
+    for w in geom.wire.centers() {
+        wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
+    }
+
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
+    let mut per_device = Vec::with_capacity(bands.len());
+    let mut stats = ReconStats::default();
+    let mut elapsed_s: f64 = 0.0;
+    let mut rows_per_device = Vec::with_capacity(bands.len());
+
+    for (device, band) in devices.iter().zip(&bands) {
+        device.reset_meters();
+        let wires = device.alloc_from_slice(&wire_flat)?;
+        let budget = device.mem_capacity() - device.mem_used();
+        let rows_per_slab = match cfg.rows_per_slab {
+            Some(r) => r.min(band.len()),
+            None => fit_rows_per_slab(
+                budget,
+                band.len().max(1),
+                n_images,
+                n_cols,
+                cfg.n_depth_bins,
+                opts,
+                false,
+            )?,
+        };
+        let mut row0 = band.start;
+        let mut band_pairs = 0u64;
+        while row0 < band.end {
+            let rows = rows_per_slab.min(band.end - row0);
+            let upload =
+                upload_slab(device, StreamId::DEFAULT, source, geom, &mapper, cfg, opts, row0, rows)?;
+            launch_set_two(
+                device,
+                StreamId::DEFAULT,
+                &upload,
+                &wires,
+                &mapper,
+                cfg,
+                n_images,
+                n_cols,
+            )?;
+            download_slab(device, StreamId::DEFAULT, &upload, &mut image, cfg, n_cols)?;
+            band_pairs += (rows * n_cols * (n_images - 1)) as u64;
+            row0 += rows;
+        }
+        elapsed_s = elapsed_s.max(device.synchronize());
+        stats.merge(&stats_from_records(device, band_pairs));
+        per_device.push(device.meters());
+        rows_per_device.push(band.len());
+    }
+
+    Ok(MultiGpuReconstruction {
+        image,
+        stats,
+        per_device,
+        rows_per_device,
+        elapsed_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{self, Layout};
+    use crate::input::InMemorySlabSource;
+    use cuda_sim::DeviceProps;
+
+    fn demo() -> (ScanGeometry, ReconstructionConfig, Vec<f64>) {
+        let geom = ScanGeometry::demo(8, 6, 10, -60.0, 6.0).unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 60);
+        let (p, m, n) = (10, 8, 6);
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                let px = i % (m * n);
+                800.0 - 23.0 * z as f64 - (px % 5) as f64 * 13.0
+            })
+            .collect();
+        (geom, cfg, data)
+    }
+
+    #[test]
+    fn row_bands_cover_exactly() {
+        for (rows, n) in [(8usize, 2usize), (7, 3), (5, 8), (1, 1), (10, 4)] {
+            let bands = row_bands(rows, n);
+            assert_eq!(bands[0].start, 0);
+            assert_eq!(bands.last().unwrap().end, rows);
+            for w in bands.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(!w[0].is_empty());
+            }
+            // Balanced within one row.
+            let lens: Vec<usize> = bands.iter().map(|b| b.len()).collect();
+            assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_matches_single_gpu_bitwise() {
+        let (geom, cfg, data) = demo();
+        let single = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let ref_out =
+            gpu::reconstruct(&single, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        for n_dev in [1usize, 2, 3, 4] {
+            let devices: Vec<Device> = (0..n_dev)
+                .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+                .collect();
+            let refs: Vec<&Device> = devices.iter().collect();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+            let out =
+                reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default())
+                    .unwrap();
+            assert_eq!(out.image.data, ref_out.image.data, "{n_dev} devices");
+            assert_eq!(out.stats, ref_out.stats);
+            assert_eq!(out.per_device.len(), n_dev);
+            assert_eq!(out.rows_per_device.iter().sum::<usize>(), 8);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_shortens_the_makespan() {
+        let (geom, cfg, data) = demo();
+        let run_with = |n_dev: usize| {
+            let devices: Vec<Device> = (0..n_dev)
+                .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+                .collect();
+            let refs: Vec<&Device> = devices.iter().collect();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default())
+                .unwrap()
+                .elapsed_s
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        assert!(
+            four < one,
+            "4 devices must beat 1 in virtual time: {four} vs {one}"
+        );
+    }
+
+    #[test]
+    fn no_devices_is_an_error() {
+        let (geom, cfg, data) = demo();
+        let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
+        assert!(matches!(
+            reconstruct_multi(&[], &mut source, &geom, &cfg, GpuOptions::default()),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn more_devices_than_rows_still_works() {
+        let (geom, cfg, data) = demo();
+        let devices: Vec<Device> = (0..12)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        let refs: Vec<&Device> = devices.iter().collect();
+        let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
+        let out =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+        // Only 8 rows → at most 8 bands get work.
+        assert_eq!(out.rows_per_device.len(), 8);
+    }
+}

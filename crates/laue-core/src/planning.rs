@@ -1,0 +1,261 @@
+//! Scan planning: the instrument-side math a beamline scientist runs
+//! *before* a wire scan — what depth range a scan covers, at what
+//! resolution, and how far the two wire edges are apart (the unambiguous
+//! depth window).
+//!
+//! These quantities also drive the synthetic-workload builders and explain
+//! the reconstruction's accuracy limits, so they live next to the engines.
+
+use laue_geometry::{DepthMapper, Vec3, WireEdge, WireGeometry};
+
+use crate::error::CoreError;
+use crate::geometry::ScanGeometry;
+use crate::Result;
+
+/// Per-pixel scan characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelScanInfo {
+    /// Depths the leading edge crosses during the scan, `(low, high)`, µm.
+    pub sweep: (f64, f64),
+    /// Depth advance per wire step at mid-scan (the resolution limit), µm.
+    pub resolution: f64,
+    /// Leading-to-trailing edge separation at mid-scan: structure deeper
+    /// than this below the shallowest scanned depth aliases with opposite
+    /// sign (the unambiguous window), µm.
+    pub valid_window: f64,
+}
+
+/// Analyse one pixel of a configured scan.
+pub fn pixel_scan_info(
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    row: usize,
+    col: usize,
+) -> Result<PixelScanInfo> {
+    let pixel = geom.detector.pixel_to_xyz(row, col)?;
+    let n = geom.wire.n_steps;
+    let first = mapper.depth(pixel, geom.wire.center(0)?, WireEdge::Leading)?;
+    let last = mapper.depth(pixel, geom.wire.center(n - 1)?, WireEdge::Leading)?;
+    let mid = (n - 1) / 2;
+    let d_mid = mapper.depth(pixel, geom.wire.center(mid)?, WireEdge::Leading)?;
+    let d_mid1 = mapper.depth(pixel, geom.wire.center(mid + 1)?, WireEdge::Leading)?;
+    let t_mid = mapper.depth(pixel, geom.wire.center(mid)?, WireEdge::Trailing)?;
+    Ok(PixelScanInfo {
+        sweep: (first.min(last), first.max(last)),
+        resolution: (d_mid1 - d_mid).abs(),
+        valid_window: (d_mid - t_mid).abs(),
+    })
+}
+
+/// The sweep window of one pixel (shared helper for the workload plans).
+pub fn sweep_window(
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    row: usize,
+    col: usize,
+) -> Result<(f64, f64)> {
+    Ok(pixel_scan_info(geom, mapper, row, col)?.sweep)
+}
+
+/// A planned wire scan for a target depth range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPlan {
+    /// The wire trajectory to run.
+    pub wire: WireGeometry,
+    /// Expected depth resolution at the reference pixel, µm.
+    pub resolution: f64,
+    /// The reference pixel's sweep window with this plan.
+    pub sweep: (f64, f64),
+    /// The unambiguous window at the reference pixel.
+    pub valid_window: f64,
+}
+
+/// Plan a wire scan: choose start position and step count so the detector's
+/// central pixel sweeps `[depth_lo, depth_hi]` (with 10 % margin) at a
+/// per-step depth advance of at most `max_resolution` µm.
+///
+/// ```
+/// use laue_core::{planning::plan_scan, ScanGeometry};
+///
+/// let base = ScanGeometry::demo(9, 9, 16, -40.0, 8.0).unwrap();
+/// let plan = plan_scan(&base, 0.0, 60.0, 3.0).unwrap();
+/// assert!(plan.resolution <= 3.0 + 1e-9);
+/// assert!(plan.sweep.0 <= 0.0 && plan.sweep.1 >= 60.0);
+/// ```
+///
+/// `template` supplies axis, radius and step *direction*; its magnitude is
+/// rescaled to hit the resolution target. Errors when the requested range
+/// exceeds the wire's unambiguous window (the fix is a thicker wire —
+/// exactly the trade the microindent example demonstrates).
+pub fn plan_scan(
+    geom: &ScanGeometry,
+    depth_lo: f64,
+    depth_hi: f64,
+    max_resolution: f64,
+) -> Result<ScanPlan> {
+    if !(depth_hi > depth_lo) {
+        return Err(CoreError::InvalidConfig(format!(
+            "empty depth range [{depth_lo}, {depth_hi}]"
+        )));
+    }
+    if !(max_resolution > 0.0) {
+        return Err(CoreError::InvalidConfig("resolution must be positive".into()));
+    }
+    let mapper = geom.mapper()?;
+    let (rc, cc) = (geom.detector.n_rows / 2, geom.detector.n_cols / 2);
+    let info = pixel_scan_info(geom, &mapper, rc, cc)?;
+    let range = (depth_hi - depth_lo) * 1.2; // 10 % margin each side
+    if range > info.valid_window {
+        return Err(CoreError::InvalidConfig(format!(
+            "depth range {range:.1} µm exceeds the wire's unambiguous window \
+             {:.1} µm; use a thicker wire",
+            info.valid_window
+        )));
+    }
+
+    // Local linearisation at the current scan: depth advance per µm of wire
+    // travel ≈ resolution / |step|.
+    let step_len = geom.wire.step.norm();
+    let gain = info.resolution / step_len; // µm depth per µm travel
+    if !(gain > 0.0) || !gain.is_finite() {
+        return Err(CoreError::InvalidConfig("degenerate scan geometry".into()));
+    }
+    let step_dir = geom.wire.step / step_len;
+    let new_step_len = (max_resolution / gain).min(step_len.max(max_resolution / gain));
+    // Travel needed to cover the (padded) range.
+    let travel = range / gain;
+    let n_steps = (travel / new_step_len).ceil() as usize + 1;
+
+    // Start position: shift the wire so the sweep begins at depth_lo − 10 %.
+    // depth(center + t·dir) is monotone in t with slope ≈ gain.
+    let pixel = geom.detector.pixel_to_xyz(rc, cc)?;
+    let current_start_depth = mapper.depth(pixel, geom.wire.center(0)?, WireEdge::Leading)?;
+    let target_start = depth_lo - (depth_hi - depth_lo) * 0.1;
+    let shift = (target_start - current_start_depth) / gain;
+    let origin = geom.wire.origin + step_dir * shift;
+
+    let wire = WireGeometry::new(
+        geom.wire.axis,
+        geom.wire.radius,
+        origin,
+        step_dir * new_step_len,
+        n_steps.max(2),
+    )?;
+    let planned = ScanGeometry { beam: geom.beam, wire: wire.clone(), detector: geom.detector.clone() };
+    let planned_mapper = planned.mapper()?;
+    let info = pixel_scan_info(&planned, &planned_mapper, rc, cc)?;
+    Ok(ScanPlan {
+        wire,
+        resolution: info.resolution,
+        sweep: info.sweep,
+        valid_window: info.valid_window,
+    })
+}
+
+/// Convenience: lab-frame position of the planned wire at its first step —
+/// useful when driving real motors from a plan.
+pub fn plan_start_position(plan: &ScanPlan) -> Vec3 {
+    plan.wire.origin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ScanGeometry {
+        ScanGeometry::demo(9, 9, 32, -60.0, 5.0).unwrap()
+    }
+
+    #[test]
+    fn pixel_info_is_consistent() {
+        let g = demo();
+        let mapper = g.mapper().unwrap();
+        let info = pixel_scan_info(&g, &mapper, 4, 4).unwrap();
+        assert!(info.sweep.0 < info.sweep.1);
+        // Central pixel advance ≈ 2 × step for the demo frame.
+        assert!((info.resolution - 10.0).abs() < 1.0, "{}", info.resolution);
+        assert!(info.valid_window > 50.0);
+        // Sweep length ≈ resolution × (n_steps − 1).
+        let sweep_len = info.sweep.1 - info.sweep.0;
+        assert!((sweep_len - info.resolution * 31.0).abs() / sweep_len < 0.05);
+    }
+
+    #[test]
+    fn planned_scan_covers_the_requested_range() {
+        let g = demo();
+        let plan = plan_scan(&g, -20.0, 40.0, 4.0).unwrap();
+        assert!(plan.resolution <= 4.0 + 1e-6, "resolution {}", plan.resolution);
+        assert!(
+            plan.sweep.0 <= -20.0 && plan.sweep.1 >= 40.0,
+            "sweep {:?} must cover [-20, 40]",
+            plan.sweep
+        );
+        // The plan should not be wasteful: sweep at most ~3× the request.
+        assert!(plan.sweep.1 - plan.sweep.0 < 3.0 * 60.0 * 1.2);
+        // And it is runnable: the geometry validates end to end.
+        let planned = ScanGeometry { beam: g.beam, wire: plan.wire.clone(), detector: g.detector.clone() };
+        planned.mapper().unwrap();
+        assert_eq!(plan_start_position(&plan), plan.wire.origin);
+    }
+
+    #[test]
+    fn range_beyond_valid_window_rejected_with_advice() {
+        let g = demo();
+        let err = plan_scan(&g, 0.0, 5_000.0, 5.0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("thicker wire"), "{msg}");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let g = demo();
+        assert!(plan_scan(&g, 10.0, 10.0, 5.0).is_err());
+        assert!(plan_scan(&g, 20.0, 10.0, 5.0).is_err());
+        assert!(plan_scan(&g, 0.0, 10.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn finer_resolution_means_more_steps() {
+        let g = demo();
+        let coarse = plan_scan(&g, 0.0, 50.0, 8.0).unwrap();
+        let fine = plan_scan(&g, 0.0, 50.0, 2.0).unwrap();
+        assert!(fine.wire.n_steps > coarse.wire.n_steps);
+        assert!(fine.resolution < coarse.resolution);
+    }
+
+    #[test]
+    fn plan_round_trips_through_reconstruction() {
+        // Plan a scan, render a scatterer at a depth inside the plan, and
+        // recover it — the full instrument loop.
+        let g = demo();
+        let plan = plan_scan(&g, 0.0, 60.0, 4.0).unwrap();
+        let planned =
+            ScanGeometry { beam: g.beam, wire: plan.wire.clone(), detector: g.detector.clone() };
+        let mapper = planned.mapper().unwrap();
+        // Choose a depth the central pixel actually sweeps.
+        let info = pixel_scan_info(&planned, &mapper, 4, 4).unwrap();
+        let depth = (info.sweep.0 + info.sweep.1) / 2.0;
+        let occ0 = mapper.occludes(
+            depth,
+            planned.detector.pixel_to_xyz(4, 4).unwrap(),
+            planned.wire.center(0).unwrap(),
+        );
+        assert!(!occ0, "scatterer must start visible");
+        let mut images =
+            vec![0.0; planned.wire.n_steps * 9 * 9];
+        let pixel = planned.detector.pixel_to_xyz(4, 4).unwrap();
+        for z in 0..planned.wire.n_steps {
+            if !mapper.occludes(depth, pixel, planned.wire.center(z).unwrap()) {
+                images[(z * 9 + 4) * 9 + 4] = 150.0;
+            }
+        }
+        let view = crate::ScanView::new(&images, planned.wire.n_steps, 9, 9).unwrap();
+        let cfg = crate::ReconstructionConfig::new(-400.0, 400.0, 200);
+        let out = crate::cpu::reconstruct_seq(&view, &planned, &cfg).unwrap();
+        let peak = out.image.pixel_peak_depth(4, 4, &cfg).unwrap();
+        assert!(
+            (peak - depth).abs() <= plan.resolution + 2.0 * cfg.bin_width(),
+            "recovered {peak} vs planned depth {depth}"
+        );
+    }
+}

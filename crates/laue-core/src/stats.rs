@@ -1,0 +1,115 @@
+//! Outcome counters for a reconstruction run.
+
+/// What happened to one `(pixel, step-pair)` element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairOutcome {
+    /// `|ΔI|` at or below the cutoff — skipped (the paper's `d_cutoff`).
+    BelowCutoff,
+    /// Edge triangulation failed (pixel inside wire, ray ∥ beam, …).
+    InvalidGeometry,
+    /// The depth band missed the reconstruction window entirely.
+    OutOfRange,
+    /// ΔI deposited into `bins` depth bins.
+    Deposited { bins: usize },
+}
+
+/// Aggregated counters over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconStats {
+    /// Total `(pixel, pair)` elements examined.
+    pub pairs_total: u64,
+    /// Skipped: below the intensity cutoff.
+    pub pairs_below_cutoff: u64,
+    /// Skipped: no valid triangulation.
+    pub pairs_invalid_geometry: u64,
+    /// Skipped: band outside the depth window.
+    pub pairs_out_of_range: u64,
+    /// Deposited into at least one bin.
+    pub pairs_deposited: u64,
+    /// Total (bin, amount) deposits performed.
+    pub deposits: u64,
+}
+
+impl ReconStats {
+    /// Record one outcome.
+    #[inline]
+    pub fn record(&mut self, outcome: PairOutcome) {
+        self.pairs_total += 1;
+        match outcome {
+            PairOutcome::BelowCutoff => self.pairs_below_cutoff += 1,
+            PairOutcome::InvalidGeometry => self.pairs_invalid_geometry += 1,
+            PairOutcome::OutOfRange => self.pairs_out_of_range += 1,
+            PairOutcome::Deposited { bins } => {
+                self.pairs_deposited += 1;
+                self.deposits += bins as u64;
+            }
+        }
+    }
+
+    /// Merge counters from another (partial) run.
+    pub fn merge(&mut self, other: &ReconStats) {
+        self.pairs_total += other.pairs_total;
+        self.pairs_below_cutoff += other.pairs_below_cutoff;
+        self.pairs_invalid_geometry += other.pairs_invalid_geometry;
+        self.pairs_out_of_range += other.pairs_out_of_range;
+        self.pairs_deposited += other.pairs_deposited;
+        self.deposits += other.deposits;
+    }
+
+    /// Fraction of pairs that passed the cutoff — the paper's
+    /// "pixel percentage" axis of Fig 9.
+    pub fn active_fraction(&self) -> f64 {
+        if self.pairs_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.pairs_below_cutoff as f64 / self.pairs_total as f64
+    }
+
+    /// Internal consistency: category counts add up.
+    pub fn is_consistent(&self) -> bool {
+        self.pairs_below_cutoff
+            + self.pairs_invalid_geometry
+            + self.pairs_out_of_range
+            + self.pairs_deposited
+            == self.pairs_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_categorises() {
+        let mut s = ReconStats::default();
+        s.record(PairOutcome::BelowCutoff);
+        s.record(PairOutcome::InvalidGeometry);
+        s.record(PairOutcome::OutOfRange);
+        s.record(PairOutcome::Deposited { bins: 3 });
+        s.record(PairOutcome::Deposited { bins: 1 });
+        assert_eq!(s.pairs_total, 5);
+        assert_eq!(s.pairs_below_cutoff, 1);
+        assert_eq!(s.pairs_deposited, 2);
+        assert_eq!(s.deposits, 4);
+        assert!(s.is_consistent());
+        assert!((s.active_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ReconStats::default();
+        a.record(PairOutcome::Deposited { bins: 2 });
+        let mut b = ReconStats::default();
+        b.record(PairOutcome::BelowCutoff);
+        b.record(PairOutcome::Deposited { bins: 1 });
+        a.merge(&b);
+        assert_eq!(a.pairs_total, 3);
+        assert_eq!(a.deposits, 3);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn empty_stats_fraction_is_zero() {
+        assert_eq!(ReconStats::default().active_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the reconstruction invariants:
+//! CPU ≡ GPU, chunking invariance, intensity conservation, cutoff monotonicity.
+
+use cuda_sim::{Device, DeviceProps, ExecMode};
+use laue_core::gpu::Layout;
+use laue_core::{cpu, gpu, InMemorySlabSource, ReconstructionConfig, ScanGeometry, ScanView};
+use proptest::prelude::*;
+
+/// A generated scan scenario: geometry dims + synthetic stack.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_rows: usize,
+    n_cols: usize,
+    n_steps: usize,
+    data: Vec<f64>,
+    cutoff: f64,
+    rows_per_slab: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=5, 2usize..=5, 3usize..=8).prop_flat_map(|(n_rows, n_cols, n_steps)| {
+        let n = n_rows * n_cols * n_steps;
+        (
+            proptest::collection::vec(0.0..1000.0f64, n..=n),
+            0.0..50.0f64,
+            1usize..=5,
+        )
+            .prop_map(move |(data, cutoff, rows_per_slab)| Scenario {
+                n_rows,
+                n_cols,
+                n_steps,
+                data,
+                cutoff,
+                rows_per_slab: rows_per_slab.min(n_rows),
+            })
+    })
+}
+
+fn geometry(s: &Scenario) -> ScanGeometry {
+    ScanGeometry::demo(s.n_rows, s.n_cols, s.n_steps, -40.0, 5.0).unwrap()
+}
+
+fn config(s: &Scenario) -> ReconstructionConfig {
+    let mut cfg = ReconstructionConfig::new(-1500.0, 1500.0, 60);
+    cfg.intensity_cutoff = s.cutoff;
+    cfg.rows_per_slab = Some(s.rows_per_slab);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The GPU pipeline (sequential executor) reproduces the CPU baseline
+    /// bit for bit, for any stack, cutoff and slab size.
+    #[test]
+    fn gpu_equals_cpu_bitwise(s in arb_scenario()) {
+        let geom = geometry(&s);
+        let cfg = config(&s);
+        let view = ScanView::new(&s.data, s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let device = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let mut src = InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let gpu_out = gpu::reconstruct(&device, &mut src, &geom, &cfg, Layout::Flat1d).unwrap();
+        prop_assert_eq!(&cpu_out.image.data, &gpu_out.image.data);
+        prop_assert_eq!(cpu_out.stats, gpu_out.stats);
+    }
+
+    /// Both device layouts agree functionally; the pointer layout always
+    /// costs at least as many transfers.
+    #[test]
+    fn layouts_agree(s in arb_scenario()) {
+        let geom = geometry(&s);
+        let cfg = config(&s);
+        let device = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let mut src = InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let flat = gpu::reconstruct(&device, &mut src, &geom, &cfg, Layout::Flat1d).unwrap();
+        let mut src = InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let ptr = gpu::reconstruct(&device, &mut src, &geom, &cfg, Layout::Pointer3d).unwrap();
+        prop_assert_eq!(&flat.image.data, &ptr.image.data);
+        prop_assert!(ptr.meters.transfers >= flat.meters.transfers);
+        prop_assert!(ptr.meters.comm_time_s >= flat.meters.comm_time_s);
+    }
+
+    /// Slab size never changes the answer (chunking invariance).
+    #[test]
+    fn chunking_invariance(s in arb_scenario()) {
+        let geom = geometry(&s);
+        let device = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let mut reference: Option<Vec<f64>> = None;
+        for rows in 1..=s.n_rows {
+            let mut cfg = config(&s);
+            cfg.rows_per_slab = Some(rows);
+            let mut src =
+                InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+            let out = gpu::reconstruct(&device, &mut src, &geom, &cfg, Layout::Flat1d).unwrap();
+            match &reference {
+                None => reference = Some(out.image.data),
+                Some(r) => prop_assert_eq!(r, &out.image.data),
+            }
+        }
+    }
+
+    /// The threaded device executor matches within FP-reassociation
+    /// tolerance and produces identical statistics.
+    #[test]
+    fn threaded_executor_tolerant_match(s in arb_scenario(), workers in 2usize..5) {
+        let geom = geometry(&s);
+        let cfg = config(&s);
+        let view = ScanView::new(&s.data, s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let device = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        device.set_exec_mode(ExecMode::Threaded(workers));
+        let mut src = InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let gpu_out = gpu::reconstruct(&device, &mut src, &geom, &cfg, Layout::Flat1d).unwrap();
+        let scale = cpu_out.image.data.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+        prop_assert!(cpu_out.image.max_abs_diff(&gpu_out.image) <= 1e-9 * scale);
+        prop_assert_eq!(cpu_out.stats, gpu_out.stats);
+    }
+
+    /// Raising the cutoff never increases the number of active pairs, and
+    /// stats stay internally consistent.
+    #[test]
+    fn cutoff_monotone(s in arb_scenario(), extra in 1.0..200.0f64) {
+        let geom = geometry(&s);
+        let view = ScanView::new(&s.data, s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let cfg_lo = config(&s);
+        let mut cfg_hi = cfg_lo.clone();
+        cfg_hi.intensity_cutoff += extra;
+        let lo = cpu::reconstruct_seq(&view, &geom, &cfg_lo).unwrap();
+        let hi = cpu::reconstruct_seq(&view, &geom, &cfg_hi).unwrap();
+        prop_assert!(lo.stats.is_consistent());
+        prop_assert!(hi.stats.is_consistent());
+        prop_assert!(hi.stats.pairs_below_cutoff >= lo.stats.pairs_below_cutoff);
+        prop_assert!(hi.stats.active_fraction() <= lo.stats.active_fraction() + 1e-12);
+        prop_assert!(hi.cost.flops <= lo.cost.flops);
+    }
+
+    /// Total deposited intensity equals the sum of each deposited pair's
+    /// in-window fraction of ΔI — intensity conservation at the run level.
+    #[test]
+    fn intensity_conservation(s in arb_scenario()) {
+        let geom = geometry(&s);
+        let cfg = config(&s);
+        let view = ScanView::new(&s.data, s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        // Recompute expected deposits directly through the pair planner.
+        let mapper = geom.mapper().unwrap();
+        let mut expected = 0.0;
+        for r in 0..s.n_rows {
+            for c in 0..s.n_cols {
+                let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
+                for z in 0..s.n_steps - 1 {
+                    let mut fl = 0u64;
+                    if let laue_core::pair::PairPlan::Deposit(plan) = laue_core::pair::plan_pair(
+                        &mapper,
+                        &cfg,
+                        pixel,
+                        geom.wire.center(z).unwrap(),
+                        geom.wire.center(z + 1).unwrap(),
+                        view.at(z, r, c),
+                        view.at(z + 1, r, c),
+                        &mut fl,
+                    ) {
+                        expected += plan.delta * (plan.hi - plan.lo) / plan.band_len;
+                    }
+                }
+            }
+        }
+        let got = out.image.total_intensity();
+        prop_assert!(
+            (got - expected).abs() <= 1e-6 * (1.0 + expected.abs()),
+            "conservation: got {}, expected {}", got, expected
+        );
+    }
+}

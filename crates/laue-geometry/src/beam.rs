@@ -1,0 +1,78 @@
+//! The incident X-ray beam: the line along which "depth" is measured.
+
+use crate::error::GeometryError;
+use crate::vec3::Vec3;
+
+/// The incident (polychromatic) beam, modelled as a line.
+///
+/// Depth `d` denotes the point `origin + d * direction`; the sample surface
+/// is conventionally at depth 0 with positive depths into the sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beam {
+    /// A point on the beam (conventionally where the beam enters the sample).
+    pub origin: Vec3,
+    /// Unit direction of propagation.
+    pub direction: Vec3,
+}
+
+impl Beam {
+    /// Build a beam, normalising `direction`. Errors on a zero direction.
+    pub fn new(origin: Vec3, direction: Vec3) -> Result<Beam, GeometryError> {
+        let direction = direction
+            .normalized()
+            .ok_or(GeometryError::ZeroVector("beam direction"))?;
+        Ok(Beam { origin, direction })
+    }
+
+    /// The conventional 34-ID-style beam: along `+z` through the origin.
+    pub fn along_z() -> Beam {
+        Beam { origin: Vec3::ZERO, direction: Vec3::Z }
+    }
+
+    /// Point at a given depth along the beam.
+    #[inline]
+    pub fn point_at(&self, depth: f64) -> Vec3 {
+        self.origin + self.direction * depth
+    }
+
+    /// Depth of the orthogonal projection of `p` onto the beam line.
+    #[inline]
+    pub fn depth_of(&self, p: Vec3) -> f64 {
+        (p - self.origin).dot(self.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_direction() {
+        let b = Beam::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0)).unwrap();
+        assert!(b.direction.approx_eq(Vec3::Z, 1e-15));
+    }
+
+    #[test]
+    fn zero_direction_rejected() {
+        assert_eq!(
+            Beam::new(Vec3::ZERO, Vec3::ZERO).unwrap_err(),
+            GeometryError::ZeroVector("beam direction")
+        );
+    }
+
+    #[test]
+    fn point_and_depth_round_trip() {
+        let b = Beam::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 1.0, 0.0)).unwrap();
+        for d in [-5.0, 0.0, 0.25, 42.0] {
+            let p = b.point_at(d);
+            assert!((b.depth_of(p) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn depth_of_off_axis_point_uses_projection() {
+        let b = Beam::along_z();
+        // A point displaced perpendicular to the beam has the same depth.
+        assert_eq!(b.depth_of(Vec3::new(10.0, -3.0, 7.0)), 7.0);
+    }
+}

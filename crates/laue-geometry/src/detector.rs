@@ -1,0 +1,322 @@
+//! Area-detector calibration: pixel indices → laboratory-frame positions.
+//!
+//! The calibration follows the convention of the APS reconstruction code: a
+//! detector is a regular grid of pixels in its own frame, placed in the lab
+//! by a Rodrigues rotation plus a translation. `pixel_to_xyz` plays the role
+//! of the `pixel_xyz` lookup used by the original `depth.c`.
+
+use crate::error::GeometryError;
+use crate::rotation::Rotation;
+use crate::vec3::Vec3;
+
+/// Calibrated area detector geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorGeometry {
+    /// Number of pixel rows (slow axis).
+    pub n_rows: usize,
+    /// Number of pixel columns (fast axis).
+    pub n_cols: usize,
+    /// Pixel pitch along the row (slow) axis, µm.
+    pub pixel_pitch_row: f64,
+    /// Pixel pitch along the column (fast) axis, µm.
+    pub pixel_pitch_col: f64,
+    /// Rotation taking detector-frame vectors to the lab frame.
+    pub rotation: Rotation,
+    /// Lab-frame position of the detector centre, µm.
+    pub translation: Vec3,
+}
+
+impl DetectorGeometry {
+    /// Build and validate a detector geometry.
+    pub fn new(
+        n_rows: usize,
+        n_cols: usize,
+        pixel_pitch_row: f64,
+        pixel_pitch_col: f64,
+        rotation: Rotation,
+        translation: Vec3,
+    ) -> Result<Self, GeometryError> {
+        if n_rows == 0 {
+            return Err(GeometryError::InvalidParameter {
+                name: "n_rows",
+                value: 0.0,
+                reason: "detector must have at least one row",
+            });
+        }
+        if n_cols == 0 {
+            return Err(GeometryError::InvalidParameter {
+                name: "n_cols",
+                value: 0.0,
+                reason: "detector must have at least one column",
+            });
+        }
+        if !(pixel_pitch_row > 0.0) || !pixel_pitch_row.is_finite() {
+            return Err(GeometryError::InvalidParameter {
+                name: "pixel_pitch_row",
+                value: pixel_pitch_row,
+                reason: "pixel pitch must be positive and finite",
+            });
+        }
+        if !(pixel_pitch_col > 0.0) || !pixel_pitch_col.is_finite() {
+            return Err(GeometryError::InvalidParameter {
+                name: "pixel_pitch_col",
+                value: pixel_pitch_col,
+                reason: "pixel pitch must be positive and finite",
+            });
+        }
+        Ok(DetectorGeometry {
+            n_rows,
+            n_cols,
+            pixel_pitch_row,
+            pixel_pitch_col,
+            rotation,
+            translation,
+        })
+    }
+
+    /// A convenient test/example geometry: detector of `n_rows × n_cols`
+    /// pixels with `pitch` µm pitch, lying parallel to the x–z plane at
+    /// height `height` µm above the sample (beam along `+z`, detector normal
+    /// `-y`, i.e. looking down at the sample). Rows advance along `+z`
+    /// (downstream), columns along `+x` (the wire axis).
+    pub fn overhead(n_rows: usize, n_cols: usize, pitch: f64, height: f64) -> Result<Self, GeometryError> {
+        // Detector frame: row axis = +z, col axis = +x. Build the rotation
+        // taking detector axes (u=cols→x̂_det, v=rows→ŷ_det) into lab (x, z).
+        // Using explicit rows: lab = R * det where det basis (e_col, e_row, n).
+        let rotation = Rotation {
+            rows: [
+                Vec3::new(1.0, 0.0, 0.0),  // lab x gets detector col axis
+                Vec3::new(0.0, 0.0, -1.0), // lab y gets -detector normal
+                Vec3::new(0.0, 1.0, 0.0),  // lab z gets detector row axis
+            ],
+        };
+        DetectorGeometry::new(
+            n_rows,
+            n_cols,
+            pitch,
+            pitch,
+            rotation,
+            Vec3::new(0.0, height, 0.0),
+        )
+    }
+
+    /// Number of pixels per image.
+    #[inline]
+    pub fn n_pixels(&self) -> usize {
+        self.n_rows * self.n_cols
+    }
+
+    /// Lab-frame position of the centre of pixel `(row, col)`.
+    ///
+    /// Pixel `(0, 0)` is one corner; the detector centre (the `translation`)
+    /// corresponds to fractional pixel `((n_rows-1)/2, (n_cols-1)/2)`.
+    pub fn pixel_to_xyz(&self, row: usize, col: usize) -> Result<Vec3, GeometryError> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(GeometryError::PixelOutOfRange {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        Ok(self.pixel_to_xyz_unchecked(row as f64, col as f64))
+    }
+
+    /// As [`pixel_to_xyz`](Self::pixel_to_xyz) but for fractional
+    /// (sub-pixel) coordinates and without bounds checking — used by the hot
+    /// table-building loops after bounds are established once.
+    #[inline]
+    pub fn pixel_to_xyz_unchecked(&self, row: f64, col: f64) -> Vec3 {
+        let dr = (row - (self.n_rows as f64 - 1.0) / 2.0) * self.pixel_pitch_row;
+        let dc = (col - (self.n_cols as f64 - 1.0) / 2.0) * self.pixel_pitch_col;
+        // Detector frame: (col axis, row axis, normal) = (x̂, ŷ, ẑ) pre-rotation.
+        let det = Vec3::new(dc, dr, 0.0);
+        self.rotation.apply(det) + self.translation
+    }
+
+    /// A sub-detector covering rows `r0..r0+n_rows` and columns
+    /// `c0..c0+n_cols` of this detector: pixel `(r, c)` of the crop sits at
+    /// exactly the same lab position as pixel `(r0 + r, c0 + c)` of the
+    /// original. Used for region-of-interest reconstructions.
+    pub fn crop(
+        &self,
+        r0: usize,
+        c0: usize,
+        n_rows: usize,
+        n_cols: usize,
+    ) -> Result<DetectorGeometry, GeometryError> {
+        if r0 + n_rows > self.n_rows || c0 + n_cols > self.n_cols {
+            return Err(GeometryError::PixelOutOfRange {
+                row: r0 + n_rows.saturating_sub(1),
+                col: c0 + n_cols.saturating_sub(1),
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        // The crop's centre pixel index, expressed in original coordinates,
+        // determines the new translation.
+        let centre_row = r0 as f64 + (n_rows as f64 - 1.0) / 2.0;
+        let centre_col = c0 as f64 + (n_cols as f64 - 1.0) / 2.0;
+        let translation = self.pixel_to_xyz_unchecked(centre_row, centre_col);
+        DetectorGeometry::new(
+            n_rows,
+            n_cols,
+            self.pixel_pitch_row,
+            self.pixel_pitch_col,
+            self.rotation,
+            translation,
+        )
+    }
+
+    /// Build the full `n_rows × n_cols` table of pixel positions in row-major
+    /// order. This is the `pixel_xyz` array the original code precomputes on
+    /// the host and ships to the device.
+    pub fn pixel_table(&self) -> Vec<Vec3> {
+        let mut out = Vec::with_capacity(self.n_pixels());
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                out.push(self.pixel_to_xyz_unchecked(r as f64, c as f64));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overhead_8x6() -> DetectorGeometry {
+        DetectorGeometry::overhead(8, 6, 100.0, 50_000.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(DetectorGeometry::new(0, 4, 1.0, 1.0, Rotation::IDENTITY, Vec3::ZERO).is_err());
+        assert!(DetectorGeometry::new(4, 0, 1.0, 1.0, Rotation::IDENTITY, Vec3::ZERO).is_err());
+        assert!(DetectorGeometry::new(4, 4, 0.0, 1.0, Rotation::IDENTITY, Vec3::ZERO).is_err());
+        assert!(DetectorGeometry::new(4, 4, 1.0, -2.0, Rotation::IDENTITY, Vec3::ZERO).is_err());
+        assert!(
+            DetectorGeometry::new(4, 4, f64::NAN, 1.0, Rotation::IDENTITY, Vec3::ZERO).is_err()
+        );
+    }
+
+    #[test]
+    fn centre_pixel_sits_at_translation() {
+        // 9x9 detector has an exact centre pixel (4,4).
+        let det = DetectorGeometry::overhead(9, 9, 100.0, 50_000.0).unwrap();
+        let p = det.pixel_to_xyz(4, 4).unwrap();
+        assert!(p.approx_eq(Vec3::new(0.0, 50_000.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn overhead_axes_follow_convention() {
+        let det = overhead_8x6();
+        let a = det.pixel_to_xyz(0, 0).unwrap();
+        let b = det.pixel_to_xyz(0, 1).unwrap(); // one column over → +x
+        let c = det.pixel_to_xyz(1, 0).unwrap(); // one row down → +z
+        assert!((b - a).approx_eq(Vec3::new(100.0, 0.0, 0.0), 1e-9));
+        assert!((c - a).approx_eq(Vec3::new(0.0, 0.0, 100.0), 1e-9));
+        // all pixels at the detector height
+        assert!((a.y - 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_pixels_rejected() {
+        let det = overhead_8x6();
+        assert!(det.pixel_to_xyz(7, 5).is_ok());
+        assert!(matches!(
+            det.pixel_to_xyz(8, 0),
+            Err(GeometryError::PixelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            det.pixel_to_xyz(0, 6),
+            Err(GeometryError::PixelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn pixel_table_matches_individual_queries() {
+        let det = overhead_8x6();
+        let table = det.pixel_table();
+        assert_eq!(table.len(), 48);
+        for r in 0..det.n_rows {
+            for c in 0..det.n_cols {
+                assert_eq!(table[r * det.n_cols + c], det.pixel_to_xyz(r, c).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_pixels_interpolate() {
+        let det = overhead_8x6();
+        let a = det.pixel_to_xyz_unchecked(0.0, 0.0);
+        let b = det.pixel_to_xyz_unchecked(0.0, 1.0);
+        let mid = det.pixel_to_xyz_unchecked(0.0, 0.5);
+        assert!(mid.approx_eq((a + b) * 0.5, 1e-9));
+    }
+
+    #[test]
+    fn crop_preserves_pixel_positions() {
+        let det = DetectorGeometry::overhead(10, 12, 150.0, 40_000.0).unwrap();
+        let crop = det.crop(2, 3, 5, 6).unwrap();
+        assert_eq!(crop.n_rows, 5);
+        assert_eq!(crop.n_cols, 6);
+        for r in 0..5 {
+            for c in 0..6 {
+                let a = crop.pixel_to_xyz(r, c).unwrap();
+                let b = det.pixel_to_xyz(r + 2, c + 3).unwrap();
+                assert!(a.approx_eq(b, 1e-9), "({r},{c}): {a:?} vs {b:?}");
+            }
+        }
+        // Whole-detector crop is the identity mapping.
+        let full = det.crop(0, 0, 10, 12).unwrap();
+        assert!(full
+            .pixel_to_xyz(9, 11)
+            .unwrap()
+            .approx_eq(det.pixel_to_xyz(9, 11).unwrap(), 1e-9));
+        // Out-of-range crops rejected.
+        assert!(det.crop(6, 0, 5, 12).is_err());
+        assert!(det.crop(0, 10, 10, 3).is_err());
+    }
+
+    #[test]
+    fn crop_of_rotated_detector_still_matches() {
+        let rot = Rotation::from_axis_angle(Vec3::new(0.3, 0.5, 0.8).normalized().unwrap(), 0.4);
+        let det = DetectorGeometry::new(
+            8,
+            8,
+            100.0,
+            120.0,
+            rot,
+            Vec3::new(500.0, 30_000.0, -200.0),
+        )
+        .unwrap();
+        let crop = det.crop(1, 2, 4, 3).unwrap();
+        for r in 0..4 {
+            for c in 0..3 {
+                let a = crop.pixel_to_xyz(r, c).unwrap();
+                let b = det.pixel_to_xyz(r + 1, c + 2).unwrap();
+                assert!(a.approx_eq(b, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_detector_moves_pixels() {
+        // Tilt detector 30° about x: pixel plane no longer at constant y.
+        let rot = Rotation::from_axis_angle(Vec3::X, 30f64.to_radians());
+        let base = DetectorGeometry::overhead(4, 4, 100.0, 1000.0).unwrap();
+        let tilted = DetectorGeometry::new(
+            4,
+            4,
+            100.0,
+            100.0,
+            base.rotation.then(&rot),
+            base.translation,
+        )
+        .unwrap();
+        let ys: Vec<f64> = (0..4).map(|r| tilted.pixel_to_xyz(r, 0).unwrap().y).collect();
+        assert!((ys[0] - ys[3]).abs() > 1.0, "tilt should spread pixel heights: {ys:?}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for geometry construction and depth triangulation.
+
+use std::fmt;
+
+/// Everything that can go wrong while building beamline geometry or
+/// triangulating a pixel back to a depth.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// A vector that must be non-zero (axis, beam direction, …) was zero.
+    ZeroVector(&'static str),
+    /// A scalar parameter was out of its valid domain.
+    InvalidParameter { name: &'static str, value: f64, reason: &'static str },
+    /// A pixel index was outside the detector.
+    PixelOutOfRange { row: usize, col: usize, n_rows: usize, n_cols: usize },
+    /// A wire scan index was outside the scan.
+    StepOutOfRange { step: usize, n_steps: usize },
+    /// The pixel projects inside the wire cross-section; no tangent exists.
+    PixelInsideWire { distance: f64, radius: f64 },
+    /// The grazing ray is (numerically) parallel to the incident beam.
+    RayParallelToBeam,
+    /// The beam is (numerically) parallel to the wire axis, so the
+    /// triangulation plane degenerates.
+    BeamParallelToWireAxis,
+    /// The wire step direction has no component in the triangulation plane,
+    /// so leading/trailing edges cannot be distinguished.
+    StepParallelToWireAxis,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroVector(what) => write!(f, "{what} must be non-zero"),
+            GeometryError::InvalidParameter { name, value, reason } => {
+                write!(f, "invalid parameter {name} = {value}: {reason}")
+            }
+            GeometryError::PixelOutOfRange { row, col, n_rows, n_cols } => {
+                write!(f, "pixel ({row}, {col}) outside {n_rows}×{n_cols} detector")
+            }
+            GeometryError::StepOutOfRange { step, n_steps } => {
+                write!(f, "wire step {step} outside scan of {n_steps} steps")
+            }
+            GeometryError::PixelInsideWire { distance, radius } => write!(
+                f,
+                "pixel projects {distance} µm from wire axis, inside radius {radius} µm; no tangent"
+            ),
+            GeometryError::RayParallelToBeam => {
+                write!(f, "grazing ray is parallel to the incident beam")
+            }
+            GeometryError::BeamParallelToWireAxis => {
+                write!(f, "incident beam is parallel to the wire axis")
+            }
+            GeometryError::StepParallelToWireAxis => {
+                write!(f, "wire step direction is parallel to the wire axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeometryError::PixelInsideWire { distance: 10.0, radius: 26.0 };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("26"));
+
+        let e = GeometryError::PixelOutOfRange { row: 9, col: 4, n_rows: 8, n_cols: 8 };
+        assert!(e.to_string().contains("(9, 4)"));
+
+        let e = GeometryError::InvalidParameter {
+            name: "radius",
+            value: -1.0,
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("radius"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GeometryError::RayParallelToBeam);
+    }
+}

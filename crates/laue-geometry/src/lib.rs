@@ -1,0 +1,41 @@
+//! Beamline geometry for wire-scan (differential-aperture) Laue depth
+//! reconstruction.
+//!
+//! This crate provides the geometric substrate used by the depth
+//! reconstruction algorithm of Yue, Schwarz & Tischler (CLUSTER 2015):
+//!
+//! * [`Vec3`] / [`Rotation`] — small fixed-size linear algebra, including
+//!   Rodrigues axis-angle rotations as used by detector calibrations.
+//! * [`DetectorGeometry`] — maps a detector pixel `(row, col)` to its
+//!   laboratory-frame position, the role played by the `pixel_xyz` tables in
+//!   the original APS reconstruction code.
+//! * [`WireGeometry`] — the absorbing wire: axis, radius, and the scan
+//!   trajectory (origin + step), yielding the wire centre for any scan index.
+//! * [`DepthMapper`] — the core triangulation `pixel_xyz_to_depth`: given a
+//!   pixel and a wire edge (leading or trailing tangent), intersect the
+//!   grazing ray with the incident beam to obtain the depth along the beam
+//!   from which the detected intensity originated.
+//!
+//! All lengths are in **micrometres** and all frames are right-handed. The
+//! conventional beamline frame used throughout the examples and tests puts
+//! the incident beam along `+z`, the detector above the sample along `+y`,
+//! and the wire axis along `x` (perpendicular to both).
+
+pub mod beam;
+pub mod depth;
+pub mod detector;
+pub mod error;
+pub mod rotation;
+pub mod vec3;
+pub mod wire;
+
+pub use beam::Beam;
+pub use depth::{DepthMapper, WireEdge};
+pub use detector::DetectorGeometry;
+pub use error::GeometryError;
+pub use rotation::Rotation;
+pub use vec3::Vec3;
+pub use wire::WireGeometry;
+
+/// Result alias for geometry operations.
+pub type Result<T> = std::result::Result<T, GeometryError>;

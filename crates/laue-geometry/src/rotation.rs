@@ -1,0 +1,241 @@
+//! 3×3 rotation matrices with Rodrigues axis-angle construction.
+//!
+//! Detector calibrations at 34-ID are stored as a Rodrigues vector `R` whose
+//! direction is the rotation axis and whose magnitude is the rotation angle
+//! in radians; [`Rotation::from_rodrigues`] mirrors that convention.
+
+use crate::vec3::Vec3;
+
+/// A proper rotation, stored as a row-major 3×3 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation {
+    /// Rows of the matrix; `apply(v) = (r0·v, r1·v, r2·v)`.
+    pub rows: [Vec3; 3],
+}
+
+impl Default for Rotation {
+    fn default() -> Self {
+        Rotation::IDENTITY
+    }
+}
+
+impl Rotation {
+    /// The identity rotation.
+    pub const IDENTITY: Rotation = Rotation {
+        rows: [Vec3::X, Vec3::Y, Vec3::Z],
+    };
+
+    /// Build from a Rodrigues vector: axis = `r / |r|`, angle = `|r|` radians.
+    /// The zero vector yields the identity.
+    pub fn from_rodrigues(r: Vec3) -> Rotation {
+        let theta = r.norm();
+        match r.normalized() {
+            None => Rotation::IDENTITY,
+            Some(axis) => Rotation::from_axis_angle(axis, theta),
+        }
+    }
+
+    /// Build from a unit `axis` and `angle` in radians (right-hand rule).
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Rotation {
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (axis.x, axis.y, axis.z);
+        Rotation {
+            rows: [
+                Vec3::new(t * x * x + c, t * x * y - s * z, t * x * z + s * y),
+                Vec3::new(t * x * y + s * z, t * y * y + c, t * y * z - s * x),
+                Vec3::new(t * x * z - s * y, t * y * z + s * x, t * z * z + c),
+            ],
+        }
+    }
+
+    /// Build from intrinsic Z-Y-X Euler angles (yaw, pitch, roll), radians —
+    /// the convention beamline motor stacks report.
+    pub fn from_euler_zyx(yaw: f64, pitch: f64, roll: f64) -> Rotation {
+        let rz = Rotation::from_axis_angle(Vec3::Z, yaw);
+        let ry = Rotation::from_axis_angle(Vec3::Y, pitch);
+        let rx = Rotation::from_axis_angle(Vec3::X, roll);
+        // Intrinsic Z-Y-X: apply roll first in the body frame ⇒ R = Rz·Ry·Rx.
+        rx.then(&ry).then(&rz)
+    }
+
+    /// The minimal rotation taking unit-ish vector `from` onto `to`
+    /// (both are normalised internally). Returns `None` when either vector
+    /// is zero or when they are exactly opposite (the axis is ambiguous —
+    /// pick one explicitly with [`from_axis_angle`](Self::from_axis_angle)).
+    pub fn between(from: Vec3, to: Vec3) -> Option<Rotation> {
+        let f = from.normalized()?;
+        let t = to.normalized()?;
+        let c = f.dot(t);
+        if c > 1.0 - 1e-12 {
+            return Some(Rotation::IDENTITY);
+        }
+        if c < -1.0 + 1e-9 {
+            return None; // antiparallel: ambiguous axis
+        }
+        let axis = f.cross(t).normalized()?;
+        Some(Rotation::from_axis_angle(axis, c.clamp(-1.0, 1.0).acos()))
+    }
+
+    /// Rotate a vector.
+    #[inline]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+
+    /// The inverse rotation (matrix transpose).
+    pub fn inverse(&self) -> Rotation {
+        let [a, b, c] = self.rows;
+        Rotation {
+            rows: [
+                Vec3::new(a.x, b.x, c.x),
+                Vec3::new(a.y, b.y, c.y),
+                Vec3::new(a.z, b.z, c.z),
+            ],
+        }
+    }
+
+    /// Compose: `self.then(&g)` applies `self` first, then `g`.
+    pub fn then(&self, g: &Rotation) -> Rotation {
+        // result = g * self
+        let cols = self.inverse(); // rows of inverse are columns of self
+        Rotation {
+            rows: [
+                Vec3::new(
+                    g.rows[0].dot(cols.rows[0]),
+                    g.rows[0].dot(cols.rows[1]),
+                    g.rows[0].dot(cols.rows[2]),
+                ),
+                Vec3::new(
+                    g.rows[1].dot(cols.rows[0]),
+                    g.rows[1].dot(cols.rows[1]),
+                    g.rows[1].dot(cols.rows[2]),
+                ),
+                Vec3::new(
+                    g.rows[2].dot(cols.rows[0]),
+                    g.rows[2].dot(cols.rows[1]),
+                    g.rows[2].dot(cols.rows[2]),
+                ),
+            ],
+        }
+    }
+
+    /// Maximum absolute deviation of `RᵀR` from the identity — a measure of
+    /// numerical orthonormality used by validation code and tests.
+    pub fn orthonormality_error(&self) -> f64 {
+        let rt = self.inverse();
+        let prod = rt.then(self); // self * rt ... both orders work for the error
+        let mut err: f64 = 0.0;
+        let id = Rotation::IDENTITY;
+        for i in 0..3 {
+            let d = prod.rows[i] - id.rows[i];
+            err = err.max(d.x.abs()).max(d.y.abs()).max(d.z.abs());
+        }
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_from_zero_rodrigues() {
+        let r = Rotation::from_rodrigues(Vec3::ZERO);
+        assert_eq!(r, Rotation::IDENTITY);
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert_eq!(r.apply(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let r = Rotation::from_rodrigues(Vec3::new(0.0, 0.0, FRAC_PI_2));
+        assert!(r.apply(Vec3::X).approx_eq(Vec3::Y, 1e-12));
+        assert!(r.apply(Vec3::Y).approx_eq(-Vec3::X, 1e-12));
+        assert!(r.apply(Vec3::Z).approx_eq(Vec3::Z, 1e-12));
+    }
+
+    #[test]
+    fn half_turn_about_x() {
+        let r = Rotation::from_axis_angle(Vec3::X, PI);
+        assert!(r.apply(Vec3::Y).approx_eq(-Vec3::Y, 1e-12));
+        assert!(r.apply(Vec3::Z).approx_eq(-Vec3::Z, 1e-12));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let r = Rotation::from_rodrigues(Vec3::new(0.3, -1.2, 0.7));
+        let v = Vec3::new(4.0, 5.0, -6.0);
+        assert!(r.inverse().apply(r.apply(v)).approx_eq(v, 1e-12));
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_dot() {
+        let r = Rotation::from_rodrigues(Vec3::new(1.0, 2.0, 3.0));
+        let a = Vec3::new(0.1, 0.2, -0.3);
+        let b = Vec3::new(-5.0, 4.0, 3.0);
+        assert!((r.apply(a).norm() - a.norm()).abs() < 1e-12);
+        assert!((r.apply(a).dot(r.apply(b)) - a.dot(b)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let r1 = Rotation::from_rodrigues(Vec3::new(0.2, 0.0, 0.9));
+        let r2 = Rotation::from_rodrigues(Vec3::new(-0.5, 0.4, 0.0));
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let composed = r1.then(&r2);
+        assert!(composed.apply(v).approx_eq(r2.apply(r1.apply(v)), 1e-12));
+    }
+
+    #[test]
+    fn orthonormality_error_small() {
+        let r = Rotation::from_rodrigues(Vec3::new(0.83, -2.1, 1.4));
+        assert!(r.orthonormality_error() < 1e-12);
+    }
+
+    #[test]
+    fn euler_zyx_matches_sequential_axis_rotations() {
+        let (yaw, pitch, roll) = (0.3, -0.8, 1.2);
+        let r = Rotation::from_euler_zyx(yaw, pitch, roll);
+        let manual = Rotation::from_axis_angle(Vec3::X, roll)
+            .then(&Rotation::from_axis_angle(Vec3::Y, pitch))
+            .then(&Rotation::from_axis_angle(Vec3::Z, yaw));
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert!(r.apply(v).approx_eq(manual.apply(v), 1e-12));
+        // Pure single-angle cases reduce to axis rotations.
+        let r = Rotation::from_euler_zyx(FRAC_PI_2, 0.0, 0.0);
+        assert!(r.apply(Vec3::X).approx_eq(Vec3::Y, 1e-12));
+        let r = Rotation::from_euler_zyx(0.0, 0.0, FRAC_PI_2);
+        assert!(r.apply(Vec3::Y).approx_eq(Vec3::Z, 1e-12));
+        assert!(r.orthonormality_error() < 1e-12);
+    }
+
+    #[test]
+    fn between_aligns_vectors() {
+        let cases = [
+            (Vec3::X, Vec3::Y),
+            (Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.5, 0.25, 2.0)),
+            (Vec3::Z, Vec3::Z),
+        ];
+        for (from, to) in cases {
+            let r = Rotation::between(from, to).unwrap();
+            let aligned = r.apply(from.normalized().unwrap());
+            assert!(
+                aligned.approx_eq(to.normalized().unwrap(), 1e-10),
+                "{from:?} → {to:?} gave {aligned:?}"
+            );
+            assert!(r.orthonormality_error() < 1e-10);
+        }
+        // Degenerate cases.
+        assert!(Rotation::between(Vec3::ZERO, Vec3::X).is_none());
+        assert!(Rotation::between(Vec3::X, -Vec3::X).is_none(), "antiparallel ambiguous");
+    }
+
+    #[test]
+    fn full_turn_is_identity() {
+        let r = Rotation::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 2.0 * PI);
+        let v = Vec3::new(7.0, -3.0, 2.0);
+        assert!(r.apply(v).approx_eq(v, 1e-10));
+    }
+}

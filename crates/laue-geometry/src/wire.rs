@@ -1,0 +1,180 @@
+//! The absorbing wire and its scan trajectory.
+//!
+//! A platinum wire of radius ~25 µm is stepped across the space between the
+//! sample and the detector. At scan step `i` its axis passes through
+//! `origin + i * step`, parallel to `axis`. The *edges* of the wire — the
+//! tangent lines as seen from a detector pixel — define which depths along
+//! the incident beam are occluded.
+
+use crate::error::GeometryError;
+use crate::vec3::Vec3;
+
+/// The wire: a cylinder of radius `radius` with axis direction `axis`,
+/// stepped along `step` between consecutive images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGeometry {
+    /// Unit direction of the wire axis.
+    pub axis: Vec3,
+    /// Wire radius, µm.
+    pub radius: f64,
+    /// Axis point at scan step 0, µm.
+    pub origin: Vec3,
+    /// Displacement of the axis per scan step, µm.
+    pub step: Vec3,
+    /// Number of scan steps (= number of images in the stack).
+    pub n_steps: usize,
+}
+
+impl WireGeometry {
+    /// Build and validate a wire geometry.
+    pub fn new(
+        axis: Vec3,
+        radius: f64,
+        origin: Vec3,
+        step: Vec3,
+        n_steps: usize,
+    ) -> Result<Self, GeometryError> {
+        let axis = axis.normalized().ok_or(GeometryError::ZeroVector("wire axis"))?;
+        if !(radius > 0.0) || !radius.is_finite() {
+            return Err(GeometryError::InvalidParameter {
+                name: "radius",
+                value: radius,
+                reason: "wire radius must be positive and finite",
+            });
+        }
+        if step.normalized().is_none() {
+            return Err(GeometryError::ZeroVector("wire step"));
+        }
+        if step.reject_from_unit(axis).normalized().is_none() {
+            return Err(GeometryError::StepParallelToWireAxis);
+        }
+        if n_steps < 2 {
+            return Err(GeometryError::InvalidParameter {
+                name: "n_steps",
+                value: n_steps as f64,
+                reason: "a wire scan needs at least two steps to form one differential",
+            });
+        }
+        Ok(WireGeometry { axis, radius, origin, step, n_steps })
+    }
+
+    /// Conventional scan for the overhead-detector frame: wire along `x̂`,
+    /// starting at `origin`, stepping by `step` per image.
+    pub fn along_x(
+        radius: f64,
+        origin: Vec3,
+        step: Vec3,
+        n_steps: usize,
+    ) -> Result<Self, GeometryError> {
+        WireGeometry::new(Vec3::X, radius, origin, step, n_steps)
+    }
+
+    /// Wire-axis point at scan step `i` (bounds-checked).
+    pub fn center(&self, step: usize) -> Result<Vec3, GeometryError> {
+        if step >= self.n_steps {
+            return Err(GeometryError::StepOutOfRange { step, n_steps: self.n_steps });
+        }
+        Ok(self.center_unchecked(step as f64))
+    }
+
+    /// Wire-axis point at (possibly fractional) scan coordinate `i`.
+    #[inline]
+    pub fn center_unchecked(&self, step: f64) -> Vec3 {
+        self.origin + self.step * step
+    }
+
+    /// All wire centres for the scan, in step order.
+    pub fn centers(&self) -> Vec<Vec3> {
+        (0..self.n_steps).map(|i| self.center_unchecked(i as f64)).collect()
+    }
+
+    /// Total travel of the wire over the scan, µm.
+    pub fn travel(&self) -> f64 {
+        self.step.norm() * (self.n_steps.saturating_sub(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_wire() -> WireGeometry {
+        WireGeometry::along_x(
+            25.0,
+            Vec3::new(0.0, 5_000.0, -300.0),
+            Vec3::new(0.0, 0.0, 10.0),
+            11,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let o = Vec3::new(0.0, 5_000.0, 0.0);
+        let s = Vec3::new(0.0, 0.0, 10.0);
+        assert_eq!(
+            WireGeometry::new(Vec3::ZERO, 25.0, o, s, 5).unwrap_err(),
+            GeometryError::ZeroVector("wire axis")
+        );
+        assert!(matches!(
+            WireGeometry::along_x(0.0, o, s, 5).unwrap_err(),
+            GeometryError::InvalidParameter { name: "radius", .. }
+        ));
+        assert!(matches!(
+            WireGeometry::along_x(-3.0, o, s, 5).unwrap_err(),
+            GeometryError::InvalidParameter { name: "radius", .. }
+        ));
+        assert_eq!(
+            WireGeometry::along_x(25.0, o, Vec3::ZERO, 5).unwrap_err(),
+            GeometryError::ZeroVector("wire step")
+        );
+        // Step along the axis itself never sweeps the wire across rays.
+        assert_eq!(
+            WireGeometry::along_x(25.0, o, Vec3::new(4.0, 0.0, 0.0), 5).unwrap_err(),
+            GeometryError::StepParallelToWireAxis
+        );
+        assert!(matches!(
+            WireGeometry::along_x(25.0, o, s, 1).unwrap_err(),
+            GeometryError::InvalidParameter { name: "n_steps", .. }
+        ));
+    }
+
+    #[test]
+    fn axis_is_normalized() {
+        let w = WireGeometry::new(
+            Vec3::new(2.0, 0.0, 0.0),
+            25.0,
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+            3,
+        )
+        .unwrap();
+        assert!(w.axis.approx_eq(Vec3::X, 1e-15));
+    }
+
+    #[test]
+    fn centers_advance_by_step() {
+        let w = demo_wire();
+        let centers = w.centers();
+        assert_eq!(centers.len(), 11);
+        assert_eq!(centers[0], w.origin);
+        for i in 1..centers.len() {
+            assert!((centers[i] - centers[i - 1]).approx_eq(w.step, 1e-12));
+        }
+        assert!(matches!(w.center(11), Err(GeometryError::StepOutOfRange { .. })));
+        assert_eq!(w.center(10).unwrap(), centers[10]);
+    }
+
+    #[test]
+    fn travel_is_step_times_intervals() {
+        let w = demo_wire();
+        assert!((w.travel() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_center_interpolates() {
+        let w = demo_wire();
+        let mid = w.center_unchecked(0.5);
+        assert!(mid.approx_eq((w.center(0).unwrap() + w.center(1).unwrap()) * 0.5, 1e-12));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the geometric invariants the reconstruction
+//! relies on. These are the "one geometric truth" guarantees shared by the
+//! forward model and the reconstruction engines.
+
+use laue_geometry::{Beam, DepthMapper, DetectorGeometry, Rotation, Vec3, WireEdge, WireGeometry};
+use proptest::prelude::*;
+
+fn finite_component() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+prop_compose! {
+    fn arb_vec3()(x in finite_component(), y in finite_component(), z in finite_component()) -> Vec3 {
+        Vec3::new(x, y, z)
+    }
+}
+
+proptest! {
+    #[test]
+    fn rotation_preserves_lengths(r in arb_vec3(), v in arb_vec3()) {
+        let rot = Rotation::from_rodrigues(r);
+        let rv = rot.apply(v);
+        prop_assert!((rv.norm() - v.norm()).abs() <= 1e-9 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn rotation_inverse_round_trips(r in arb_vec3(), v in arb_vec3()) {
+        let rot = Rotation::from_rodrigues(r);
+        let back = rot.inverse().apply(rot.apply(v));
+        prop_assert!(back.approx_eq(v, 1e-8 * (1.0 + v.norm())));
+    }
+
+    #[test]
+    fn cross_product_is_perpendicular(a in arb_vec3(), b in arb_vec3()) {
+        let c = a.cross(b);
+        let scale = 1.0 + a.norm() * b.norm();
+        prop_assert!(c.dot(a).abs() <= 1e-9 * scale * (1.0 + a.norm()));
+        prop_assert!(c.dot(b).abs() <= 1e-9 * scale * (1.0 + b.norm()));
+    }
+
+    #[test]
+    fn beam_depth_point_round_trip(o in arb_vec3(), d in arb_vec3(), depth in -500.0..500.0f64) {
+        prop_assume!(d.norm() > 1e-3);
+        let beam = Beam::new(o, d).unwrap();
+        let p = beam.point_at(depth);
+        prop_assert!((beam.depth_of(p) - depth).abs() < 1e-8);
+    }
+}
+
+/// Strategy producing a well-conditioned wire-scan configuration in the
+/// conventional frame: beam +z, wire along x at positive height, pixel above.
+#[derive(Debug, Clone)]
+struct Scene {
+    radius: f64,
+    wire_height: f64,
+    wire_z: f64,
+    pixel_height: f64,
+    pixel_z: f64,
+    pixel_x: f64,
+}
+
+fn arb_scene() -> impl Strategy<Value = Scene> {
+    (
+        5.0..60.0f64,            // radius
+        2_000.0..8_000.0f64,     // wire height
+        -300.0..300.0f64,        // wire z
+        12_000.0..30_000.0f64,   // pixel height (well above wire)
+        -2_000.0..2_000.0f64,    // pixel z
+        -500.0..500.0f64,        // pixel x (along wire axis)
+    )
+        .prop_map(|(radius, wire_height, wire_z, pixel_height, pixel_z, pixel_x)| Scene {
+            radius,
+            wire_height,
+            wire_z,
+            pixel_height,
+            pixel_z,
+            pixel_x,
+        })
+}
+
+fn scene_mapper(s: &Scene) -> DepthMapper {
+    DepthMapper::from_parts(Beam::along_z(), Vec3::X, s.radius, Vec3::new(0.0, 0.0, 10.0))
+        .unwrap()
+}
+
+proptest! {
+    /// The occluded-depth interval computed from the two edge tangents must
+    /// agree with the direct segment/cylinder occlusion test.
+    #[test]
+    fn edge_interval_matches_occlusion(s in arb_scene()) {
+        let m = scene_mapper(&s);
+        let pixel = Vec3::new(s.pixel_x, s.pixel_height, s.pixel_z);
+        let wire = Vec3::new(0.0, s.wire_height, s.wire_z);
+        if let Some((lo, hi)) = m.occluded_interval(pixel, wire) {
+            prop_assume!(hi - lo > 1e-6);
+            let mid = (lo + hi) / 2.0;
+            prop_assert!(m.occludes(mid, pixel, wire));
+            let margin = (hi - lo) * 1e-3 + 1e-6;
+            prop_assert!(!m.occludes(lo - margin - 1.0, pixel, wire));
+            prop_assert!(!m.occludes(hi + margin + 1.0, pixel, wire));
+            // Interior sampling: every point strictly inside is occluded.
+            for k in 1..8 {
+                let d = lo + (hi - lo) * (k as f64) / 8.0;
+                prop_assert!(m.occludes(d, pixel, wire), "depth {d} in ({lo}, {hi})");
+            }
+        }
+    }
+
+    /// Leading-edge depth grows monotonically as the wire steps forward.
+    #[test]
+    fn leading_depth_monotone_in_scan(s in arb_scene()) {
+        let m = scene_mapper(&s);
+        let pixel = Vec3::new(s.pixel_x, s.pixel_height, s.pixel_z);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..10 {
+            let wire = Vec3::new(0.0, s.wire_height, s.wire_z + 10.0 * i as f64);
+            let d = m.depth(pixel, wire, WireEdge::Leading).unwrap();
+            prop_assert!(d > last);
+            last = d;
+        }
+    }
+
+    /// Depths are invariant under translation of pixel and wire along the
+    /// wire axis (cylindrical symmetry).
+    #[test]
+    fn axis_translation_invariance(s in arb_scene(), dx in -5_000.0..5_000.0f64) {
+        let m = scene_mapper(&s);
+        let pixel = Vec3::new(s.pixel_x, s.pixel_height, s.pixel_z);
+        let wire = Vec3::new(0.0, s.wire_height, s.wire_z);
+        let d0 = m.depth(pixel, wire, WireEdge::Leading);
+        let d1 = m.depth(pixel + Vec3::X * dx, wire + Vec3::X * dx, WireEdge::Leading);
+        match (d0, d1) {
+            (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs())),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "asymmetric results: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    /// Detector pixel tables are affine: equal pitch between neighbours.
+    #[test]
+    fn detector_rows_are_affine(
+        n_rows in 2usize..12,
+        n_cols in 2usize..12,
+        pitch in 10.0..400.0f64,
+        rod in arb_vec3(),
+    ) {
+        let rot = Rotation::from_rodrigues(rod * 0.001);
+        let det = DetectorGeometry::new(n_rows, n_cols, pitch, pitch, rot, Vec3::new(0.0, 5e4, 0.0)).unwrap();
+        let t = det.pixel_table();
+        let step_col = t[1] - t[0];
+        let step_row = t[n_cols] - t[0];
+        prop_assert!((step_col.norm() - pitch).abs() < 1e-6);
+        prop_assert!((step_row.norm() - pitch).abs() < 1e-6);
+        for r in 0..n_rows {
+            for c in 0..n_cols {
+                let expect = t[0] + step_row * r as f64 + step_col * c as f64;
+                prop_assert!(t[r * n_cols + c].approx_eq(expect, 1e-6));
+            }
+        }
+    }
+
+    /// Wire centres advance linearly and in-bounds lookups never fail.
+    #[test]
+    fn wire_centers_linear(n_steps in 2usize..40, step_z in 0.5..50.0f64) {
+        let w = WireGeometry::along_x(
+            25.0,
+            Vec3::new(0.0, 5_000.0, -100.0),
+            Vec3::new(0.0, 0.0, step_z),
+            n_steps,
+        ).unwrap();
+        for i in 0..n_steps {
+            let c = w.center(i).unwrap();
+            prop_assert!(c.approx_eq(w.origin + w.step * i as f64, 1e-9));
+        }
+        prop_assert!(w.center(n_steps).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! The `laue` command-line tool: generate, reconstruct, validate and
+//! inspect wire-scan files. See `laue help`.
+
+use laue_pipeline::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("laue: {msg}");
+            eprintln!("{}", cli::HELP);
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match cli::run(&cmd, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("laue: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,727 @@
+//! Command-line interface (`laue` binary): argument parsing and command
+//! execution, kept in the library so both are unit-testable.
+//!
+//! ```text
+//! laue generate    --out scan.mh5 [--rows N] [--cols N] [--steps N] …
+//! laue reconstruct --input scan.mh5 [--engine E] [--out recon.mh5] …
+//! laue validate    --input scan.mh5 [--engine E] …
+//! laue inspect     <file.mh5>
+//! ```
+
+use std::collections::BTreeMap;
+
+use laue_core::gpu::Layout;
+use laue_core::ReconstructionConfig;
+
+use crate::engine::Engine;
+use crate::{Pipeline, PipelineError, Result};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Generate(GenerateArgs),
+    Reconstruct(ReconstructArgs),
+    Validate(ReconstructArgs),
+    /// Reconstruct every `.mh5` scan in a directory, printing one summary
+    /// row per file.
+    Batch { dir: String, engine: Engine, args: ReconstructArgs },
+    Inspect { path: String },
+    Help,
+}
+
+/// Arguments of `laue generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    pub out: String,
+    pub rows: usize,
+    pub cols: usize,
+    pub steps: usize,
+    pub scatterers: usize,
+    pub background: f64,
+    pub noise: f64,
+    pub seed: u64,
+}
+
+/// Arguments of `laue reconstruct` / `laue validate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructArgs {
+    pub input: String,
+    pub out: Option<String>,
+    pub histogram: Option<String>,
+    pub trace: Option<String>,
+    pub variance: Option<String>,
+    pub engine: Engine,
+    pub depth_start: f64,
+    pub depth_end: f64,
+    pub bins: usize,
+    pub cutoff: f64,
+    pub rows_per_slab: Option<usize>,
+    /// Detector region of interest: `(r0, c0, rows, cols)`.
+    pub roi: Option<(usize, usize, usize, usize)>,
+}
+
+/// Parse an engine name.
+pub fn parse_engine(s: &str) -> std::result::Result<Engine, String> {
+    if let Some(t) = s.strip_prefix("cpu-threaded:") {
+        let threads: usize = t
+            .parse()
+            .map_err(|_| format!("bad thread count in engine {s:?}"))?;
+        return Ok(Engine::CpuThreaded { threads });
+    }
+    match s {
+        "cpu" | "cpu-seq" => Ok(Engine::CpuSeq),
+        "gpu" | "gpu-1d" => Ok(Engine::Gpu { layout: Layout::Flat1d }),
+        "gpu-3d" => Ok(Engine::Gpu { layout: Layout::Pointer3d }),
+        "gpu-tables" => Ok(Engine::GpuTables),
+        "gpu-overlap" => Ok(Engine::GpuOverlapped),
+        other => Err(format!(
+            "unknown engine {other:?} (try cpu, cpu-threaded:N, gpu-1d, gpu-3d, gpu-tables, gpu-overlap)"
+        )),
+    }
+}
+
+/// Split `--key value` pairs; positional arguments keep their order.
+fn split_flags(args: &[String]) -> std::result::Result<(BTreeMap<String, String>, Vec<String>), String> {
+    let mut flags = BTreeMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            if flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_parse<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> std::result::Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+    }
+}
+
+fn reject_unknown(
+    flags: &BTreeMap<String, String>,
+    allowed: &[&str],
+) -> std::result::Result<(), String> {
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown flag --{key}"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        "generate" => {
+            let (flags, positional) = split_flags(rest)?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument {:?}", positional[0]));
+            }
+            reject_unknown(
+                &flags,
+                &["out", "rows", "cols", "steps", "scatterers", "background", "noise", "seed"],
+            )?;
+            let out = flags.get("out").ok_or("generate needs --out <file>")?.clone();
+            Ok(Command::Generate(GenerateArgs {
+                out,
+                rows: get_parse(&flags, "rows", 32)?,
+                cols: get_parse(&flags, "cols", 32)?,
+                steps: get_parse(&flags, "steps", 32)?,
+                scatterers: get_parse(&flags, "scatterers", 24)?,
+                background: get_parse(&flags, "background", 10.0)?,
+                noise: get_parse(&flags, "noise", 0.0)?,
+                seed: get_parse(&flags, "seed", 0)?,
+            }))
+        }
+        "batch" => {
+            let (flags, positional) = split_flags(rest)?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument {:?}", positional[0]));
+            }
+            reject_unknown(
+                &flags,
+                &["dir", "engine", "depth-start", "depth-end", "bins", "cutoff"],
+            )?;
+            let dir = flags.get("dir").ok_or("batch needs --dir <directory>")?.clone();
+            let engine = match flags.get("engine") {
+                None => Engine::Gpu { layout: Layout::Flat1d },
+                Some(e) => parse_engine(e)?,
+            };
+            let args = ReconstructArgs {
+                input: String::new(),
+                out: None,
+                histogram: None,
+                trace: None,
+                variance: None,
+                engine,
+                depth_start: get_parse(&flags, "depth-start", -4000.0)?,
+                depth_end: get_parse(&flags, "depth-end", 4000.0)?,
+                bins: get_parse(&flags, "bins", 400)?,
+                cutoff: get_parse(&flags, "cutoff", 0.0)?,
+                rows_per_slab: None,
+                roi: None,
+            };
+            Ok(Command::Batch { dir, engine, args })
+        }
+        "reconstruct" | "validate" => {
+            let (flags, positional) = split_flags(rest)?;
+            if !positional.is_empty() {
+                return Err(format!("unexpected argument {:?}", positional[0]));
+            }
+            reject_unknown(
+                &flags,
+                &[
+                    "input", "out", "histogram", "trace", "variance", "engine", "depth-start",
+                    "depth-end", "bins", "cutoff", "rows-per-slab", "roi",
+                ],
+            )?;
+            let input = flags
+                .get("input")
+                .ok_or(format!("{cmd} needs --input <file>"))?
+                .clone();
+            let engine = match flags.get("engine") {
+                None => Engine::Gpu { layout: Layout::Flat1d },
+                Some(e) => parse_engine(e)?,
+            };
+            let roi = match flags.get("roi") {
+                None => None,
+                Some(spec) => {
+                    let parts: Vec<usize> = spec
+                        .split(':')
+                        .map(|t| t.parse().map_err(|_| format!("bad --roi component {t:?}")))
+                        .collect::<std::result::Result<_, String>>()?;
+                    let [r0, c0, rows, cols] = parts.as_slice() else {
+                        return Err(format!("--roi wants r0:c0:rows:cols, got {spec:?}"));
+                    };
+                    Some((*r0, *c0, *rows, *cols))
+                }
+            };
+            let args = ReconstructArgs {
+                input,
+                out: flags.get("out").cloned(),
+                histogram: flags.get("histogram").cloned(),
+                trace: flags.get("trace").cloned(),
+                variance: flags.get("variance").cloned(),
+                engine,
+                depth_start: get_parse(&flags, "depth-start", -4000.0)?,
+                depth_end: get_parse(&flags, "depth-end", 4000.0)?,
+                bins: get_parse(&flags, "bins", 400)?,
+                cutoff: get_parse(&flags, "cutoff", 0.0)?,
+                rows_per_slab: flags
+                    .get("rows-per-slab")
+                    .map(|v| v.parse().map_err(|_| format!("bad --rows-per-slab: {v:?}")))
+                    .transpose()?,
+                roi,
+            };
+            if cmd == "reconstruct" {
+                Ok(Command::Reconstruct(args))
+            } else {
+                Ok(Command::Validate(args))
+            }
+        }
+        "inspect" => {
+            let (flags, positional) = split_flags(rest)?;
+            reject_unknown(&flags, &[])?;
+            match positional.as_slice() {
+                [path] => Ok(Command::Inspect { path: path.clone() }),
+                _ => Err("inspect takes exactly one file".into()),
+            }
+        }
+        other => Err(format!("unknown command {other:?} (try help)")),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+laue — wire-scan Laue depth reconstruction (CLUSTER 2015 reproduction)
+
+USAGE:
+  laue generate    --out <scan.mh5> [--rows N] [--cols N] [--steps N]
+                   [--scatterers K] [--background B] [--noise X] [--seed S]
+  laue reconstruct --input <scan.mh5> [--engine E] [--out <recon.mh5>]
+                   [--histogram <file.txt>] [--trace <trace.json>]
+                   [--variance <sigma.mh5>] [--roi r0:c0:rows:cols]
+                   [--depth-start UM] [--depth-end UM] [--bins N]
+                   [--cutoff C] [--rows-per-slab R]
+  laue validate    --input <scan.mh5> [same options as reconstruct]
+  laue batch       --dir <directory> [--engine E] [--depth-start/-end UM]
+                   [--bins N] [--cutoff C]
+  laue inspect     <file.mh5>
+
+ENGINES:
+  cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-overlap
+";
+
+fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
+    let mut cfg = ReconstructionConfig::new(args.depth_start, args.depth_end, args.bins);
+    cfg.intensity_cutoff = args.cutoff;
+    cfg.rows_per_slab = args.rows_per_slab;
+    cfg
+}
+
+/// Execute a parsed command, writing human output to `out`.
+pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
+    match cmd {
+        Command::Help => {
+            write!(out, "{HELP}")?;
+            Ok(())
+        }
+        Command::Generate(a) => {
+            let scan = laue_wire::SyntheticScanBuilder::new(a.rows, a.cols, a.steps)
+                .scatterers(a.scatterers)
+                .background(a.background)
+                .noise(a.noise)
+                .seed(a.seed)
+                .build()?;
+            laue_wire::write_scan(&a.out, &scan.geometry, &scan.images, Some(&scan.truth), 8)?;
+            let bytes = std::fs::metadata(&a.out).map(|m| m.len()).unwrap_or(0);
+            writeln!(
+                out,
+                "wrote {} ({} images of {}×{}, {} scatterers, {} bytes)",
+                a.out,
+                a.steps,
+                a.rows,
+                a.cols,
+                scan.truth.len(),
+                bytes
+            )?;
+            Ok(())
+        }
+        Command::Reconstruct(a) => {
+            let cfg = recon_config(a);
+            let pipeline = Pipeline::default();
+            let mut scan = laue_wire::ScanFile::open(&a.input)?;
+            let geometry = scan.geometry().clone();
+            let report = match a.roi {
+                None => pipeline.run_source(&mut scan, &geometry, &cfg, a.engine)?,
+                Some((r0, c0, rows, cols)) => {
+                    let roi_geom = geometry.crop(r0, c0, rows, cols)?;
+                    let mut roi =
+                        laue_core::input::RoiSlabSource::new(scan, r0, c0, rows, cols)?;
+                    pipeline.run_source(&mut roi, &roi_geom, &cfg, a.engine)?
+                }
+            };
+            writeln!(out, "{}", report.summary())?;
+            if let Some(path) = &a.out {
+                crate::export::write_mh5(path, &report, &cfg)?;
+                writeln!(out, "wrote {path}")?;
+            }
+            if let Some(path) = &a.histogram {
+                let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+                crate::export::write_histogram_text(&mut f, &report.image, &cfg)?;
+                writeln!(out, "wrote {path}")?;
+            }
+            if let Some(path) = &a.variance {
+                // Variance runs the sequential CPU path (exact propagation).
+                let mut scan = laue_wire::ScanFile::open(&a.input)?;
+                let geometry = scan.geometry().clone();
+                let (geom_v, stack) = match a.roi {
+                    None => {
+                        let rows = geometry.detector.n_rows;
+                        (geometry.clone(), laue_core::SlabSource::read_slab(&mut scan, 0, rows)?)
+                    }
+                    Some((r0, c0, rows, cols)) => {
+                        let g = geometry.crop(r0, c0, rows, cols)?;
+                        let mut roi =
+                            laue_core::input::RoiSlabSource::new(scan, r0, c0, rows, cols)?;
+                        let slab = laue_core::SlabSource::read_slab(&mut roi, 0, rows)?;
+                        (g, slab)
+                    }
+                };
+                let view = laue_core::ScanView::new(
+                    &stack,
+                    geom_v.wire.n_steps,
+                    geom_v.detector.n_rows,
+                    geom_v.detector.n_cols,
+                )?;
+                let var = laue_core::uncertainty::reconstruct_with_variance(&view, &geom_v, &cfg)?;
+                let var_report = crate::report::RunReport {
+                    engine: "variance(cpu-seq)".into(),
+                    image: var.variance,
+                    stats: var.stats,
+                    total_time_s: 0.0,
+                    comm_time_s: 0.0,
+                    compute_time_s: 0.0,
+                    input_bytes: report.input_bytes,
+                    dims: report.dims,
+                    rows_per_slab: 0,
+                    n_slabs: 0,
+                    transfers: 0,
+                };
+                crate::export::write_mh5(path, &var_report, &cfg)?;
+                writeln!(out, "wrote {path} (per-bin variance; σ = sqrt)")?;
+            }
+            if let Some(path) = &a.trace {
+                // Re-run on a dedicated device to capture the op timeline.
+                let device = cuda_sim::Device::new(pipeline.device.clone());
+                let mut scan = laue_wire::ScanFile::open(&a.input)?;
+                let geometry = scan.geometry().clone();
+                if a.engine.is_gpu() {
+                    laue_core::gpu::reconstruct(
+                        &device,
+                        &mut scan,
+                        &geometry,
+                        &cfg,
+                        laue_core::gpu::Layout::Flat1d,
+                    )?;
+                    std::fs::write(path, device.export_chrome_trace())?;
+                    writeln!(out, "wrote {path} (open in chrome://tracing)")?;
+                } else {
+                    writeln!(out, "--trace only applies to GPU engines; skipped")?;
+                }
+            }
+            Ok(())
+        }
+        Command::Validate(a) => {
+            let cfg = recon_config(a);
+            let pipeline = Pipeline::default();
+            let scan = laue_wire::ScanFile::open(&a.input)?;
+            let Some(truth) = scan.truth().cloned() else {
+                return Err(PipelineError::Wire(laue_wire::WireError::MissingField(
+                    "/entry/truth (validate needs a synthetic scan)".into(),
+                )));
+            };
+            let step = scan.geometry().wire.step.norm();
+            let report = pipeline.run_scan_file(&a.input, &cfg, a.engine)?;
+            let tol = 2.0 * step + 2.0 * cfg.bin_width();
+            let mut recovered = 0usize;
+            let mut worst: f64 = 0.0;
+            for s in &truth.scatterers {
+                if let Some(p) = report.image.pixel_peak_depth(s.row, s.col, &cfg) {
+                    let err = (p - s.depth).abs();
+                    if err <= tol {
+                        recovered += 1;
+                        worst = worst.max(err);
+                    }
+                }
+            }
+            writeln!(out, "{}", report.summary())?;
+            writeln!(
+                out,
+                "validation: {recovered}/{} scatterers recovered within ±{tol:.1} µm \
+                 (worst accepted error {worst:.1} µm)",
+                truth.len()
+            )?;
+            Ok(())
+        }
+        Command::Batch { dir, engine, args } => {
+            let cfg = recon_config(args);
+            let pipeline = Pipeline::default();
+            let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "mh5"))
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                writeln!(out, "no .mh5 files in {dir}")?;
+                return Ok(());
+            }
+            writeln!(
+                out,
+                "{:<32} {:>14} {:>12} {:>12} {:>9}",
+                "file", "stack", "total (ms)", "xfer (ms)", "active"
+            )?;
+            let mut failures = 0usize;
+            for path in &paths {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().to_string())
+                    .unwrap_or_default();
+                match pipeline.run_scan_file(path, &cfg, *engine) {
+                    Ok(r) => {
+                        let (p, m, n) = r.dims;
+                        writeln!(
+                            out,
+                            "{name:<32} {:>14} {:>12.3} {:>12.3} {:>8.1}%",
+                            format!("{p}×{m}×{n}"),
+                            r.total_time_s * 1e3,
+                            r.comm_time_s * 1e3,
+                            100.0 * r.stats.active_fraction(),
+                        )?;
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        writeln!(out, "{name:<32} ERROR: {e}")?;
+                    }
+                }
+            }
+            writeln!(out, "{} file(s), {failures} failure(s)", paths.len())?;
+            Ok(())
+        }
+        Command::Inspect { path } => {
+            let reader = mh5::FileReader::open(path)?;
+            write!(out, "{}", mh5::tools::dump_tree(&reader)?)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn engine_names_parse() {
+        assert_eq!(parse_engine("cpu").unwrap(), Engine::CpuSeq);
+        assert_eq!(
+            parse_engine("cpu-threaded:4").unwrap(),
+            Engine::CpuThreaded { threads: 4 }
+        );
+        assert_eq!(parse_engine("gpu").unwrap(), Engine::Gpu { layout: Layout::Flat1d });
+        assert_eq!(parse_engine("gpu-3d").unwrap(), Engine::Gpu { layout: Layout::Pointer3d });
+        assert_eq!(parse_engine("gpu-tables").unwrap(), Engine::GpuTables);
+        assert_eq!(parse_engine("gpu-overlap").unwrap(), Engine::GpuOverlapped);
+        assert!(parse_engine("tpu").is_err());
+        assert!(parse_engine("cpu-threaded:x").is_err());
+    }
+
+    #[test]
+    fn generate_parses_with_defaults() {
+        let cmd = parse(&sv(&["generate", "--out", "x.mh5", "--rows", "8", "--seed", "9"]))
+            .unwrap();
+        let Command::Generate(a) = cmd else { panic!("wrong command") };
+        assert_eq!(a.out, "x.mh5");
+        assert_eq!(a.rows, 8);
+        assert_eq!(a.cols, 32, "default");
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn reconstruct_parses() {
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "scan.mh5",
+            "--engine",
+            "gpu-3d",
+            "--bins",
+            "128",
+            "--rows-per-slab",
+            "2",
+        ]))
+        .unwrap();
+        let Command::Reconstruct(a) = cmd else { panic!("wrong command") };
+        assert_eq!(a.input, "scan.mh5");
+        assert_eq!(a.engine, Engine::Gpu { layout: Layout::Pointer3d });
+        assert_eq!(a.bins, 128);
+        assert_eq!(a.rows_per_slab, Some(2));
+        assert_eq!(a.cutoff, 0.0);
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse(&sv(&["generate"])).unwrap_err().contains("--out"));
+        assert!(parse(&sv(&["reconstruct"])).unwrap_err().contains("--input"));
+        assert!(parse(&sv(&["reconstruct", "--input"])).unwrap_err().contains("needs a value"));
+        assert!(parse(&sv(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(parse(&sv(&["generate", "--out", "x", "--bogus", "1"]))
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(parse(&sv(&["generate", "--out", "a", "--out", "b"]))
+            .unwrap_err()
+            .contains("twice"));
+        assert!(parse(&sv(&["inspect"])).is_err());
+        assert!(parse(&sv(&["inspect", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["--help"])).unwrap(), Command::Help);
+        let mut buf = Vec::new();
+        run(&Command::Help, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_reconstruct_validate_inspect_round_trip() {
+        let dir = std::env::temp_dir();
+        let scan = dir.join(format!("cli_scan_{}.mh5", std::process::id()));
+        let recon = dir.join(format!("cli_recon_{}.mh5", std::process::id()));
+        let scan_s = scan.to_string_lossy().to_string();
+        let recon_s = recon.to_string_lossy().to_string();
+
+        let mut buf = Vec::new();
+        let cmd = parse(&sv(&[
+            "generate", "--out", &scan_s, "--rows", "8", "--cols", "8", "--steps", "12",
+            "--scatterers", "4", "--seed", "5",
+        ]))
+        .unwrap();
+        run(&cmd, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("wrote"));
+
+        let mut buf = Vec::new();
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            &scan_s,
+            "--out",
+            &recon_s,
+            "--engine",
+            "gpu-1d",
+            "--depth-start",
+            "-1500",
+            "--depth-end",
+            "1500",
+            "--bins",
+            "300",
+        ]))
+        .unwrap();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("gpu-1d"), "{text}");
+        assert!(std::fs::metadata(&recon).is_ok());
+
+        let mut buf = Vec::new();
+        let cmd = parse(&sv(&[
+            "validate", "--input", &scan_s, "--depth-start", "-1500", "--depth-end", "1500",
+            "--bins", "300",
+        ]))
+        .unwrap();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("validation:"), "{text}");
+        assert!(text.contains("4 scatterers") || text.contains("/4"), "{text}");
+
+        let mut buf = Vec::new();
+        run(&Command::Inspect { path: scan_s.clone() }, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("/entry/images"), "{text}");
+
+        std::fs::remove_file(&scan).ok();
+        std::fs::remove_file(&recon).ok();
+    }
+
+    #[test]
+    fn batch_reconstructs_a_directory() {
+        let dir = std::env::temp_dir().join(format!("laue_batch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_string_lossy().to_string();
+        for (i, seed) in [3u64, 4].iter().enumerate() {
+            let scan_path = dir.join(format!("scan_{i}.mh5"));
+            let cmd = parse(&sv(&[
+                "generate",
+                "--out",
+                &scan_path.to_string_lossy(),
+                "--rows",
+                "6",
+                "--cols",
+                "6",
+                "--steps",
+                "10",
+                "--scatterers",
+                "3",
+                "--seed",
+                &seed.to_string(),
+            ]))
+            .unwrap();
+            run(&cmd, &mut Vec::new()).unwrap();
+        }
+        // A decoy non-mh5 file is ignored; a corrupt mh5 is reported.
+        std::fs::write(dir.join("notes.txt"), b"ignore me").unwrap();
+        std::fs::write(dir.join("broken.mh5"), b"not a container").unwrap();
+
+        let mut buf = Vec::new();
+        let cmd = parse(&sv(&[
+            "batch", "--dir", &dir_s, "--engine", "cpu", "--depth-start", "-1500",
+            "--depth-end", "1500", "--bins", "100",
+        ]))
+        .unwrap();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("scan_0.mh5"), "{text}");
+        assert!(text.contains("scan_1.mh5"), "{text}");
+        assert!(text.contains("broken.mh5"), "{text}");
+        assert!(text.contains("ERROR"), "{text}");
+        assert!(text.contains("3 file(s), 1 failure(s)"), "{text}");
+        assert!(!text.contains("notes.txt"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn roi_and_variance_flags_work_end_to_end() {
+        let dir = std::env::temp_dir();
+        let scan = dir.join(format!("cli_roi_{}.mh5", std::process::id()));
+        let var = dir.join(format!("cli_var_{}.mh5", std::process::id()));
+        let scan_s = scan.to_string_lossy().to_string();
+        let var_s = var.to_string_lossy().to_string();
+
+        let mut buf = Vec::new();
+        let cmd = parse(&sv(&[
+            "generate", "--out", &scan_s, "--rows", "10", "--cols", "10", "--steps", "12",
+            "--scatterers", "5", "--seed", "8",
+        ]))
+        .unwrap();
+        run(&cmd, &mut buf).unwrap();
+
+        let mut buf = Vec::new();
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            &scan_s,
+            "--roi",
+            "2:3:4:5",
+            "--variance",
+            &var_s,
+            "--depth-start",
+            "-1500",
+            "--depth-end",
+            "1500",
+            "--bins",
+            "150",
+        ]))
+        .unwrap();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("12×4×5"), "ROI dims in summary: {text}");
+        assert!(text.contains("variance"), "{text}");
+        // The variance file holds a 150×4×5 dataset.
+        let f = mh5::FileReader::open(&var).unwrap();
+        let ds = f.resolve_path("/reconstruction/depth_image").unwrap();
+        assert_eq!(f.dataset_info(ds).unwrap().shape, vec![150, 4, 5]);
+
+        // Bad ROI specs are parse errors.
+        assert!(parse(&sv(&["reconstruct", "--input", "x", "--roi", "1:2:3"]))
+            .unwrap_err()
+            .contains("r0:c0:rows:cols"));
+        assert!(parse(&sv(&["reconstruct", "--input", "x", "--roi", "a:2:3:4"]))
+            .unwrap_err()
+            .contains("bad --roi"));
+
+        std::fs::remove_file(&scan).ok();
+        std::fs::remove_file(&var).ok();
+    }
+
+    #[test]
+    fn run_surfaces_io_errors() {
+        let cmd = Command::Inspect { path: "/nonexistent/nope.mh5".into() };
+        let mut buf = Vec::new();
+        assert!(run(&cmd, &mut buf).is_err());
+    }
+}

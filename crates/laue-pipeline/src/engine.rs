@@ -1,0 +1,63 @@
+//! Engine selection.
+
+use laue_core::gpu::Layout;
+
+/// Which implementation reconstructs the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The paper's baseline: the prior sequential CPU program.
+    CpuSeq,
+    /// Row-parallel CPU variant on `threads` OS threads.
+    CpuThreaded { threads: usize },
+    /// The paper's CUDA design on the simulated device.
+    Gpu { layout: Layout },
+    /// GPU with host-precomputed depth tables (the paper's
+    /// `edge`/`gpuPointArray` design point).
+    GpuTables,
+    /// Double-buffered two-stream GPU pipeline (the overlap ablation).
+    GpuOverlapped,
+}
+
+impl Engine {
+    /// Short label for reports and bench output.
+    pub fn label(&self) -> String {
+        match self {
+            Engine::CpuSeq => "cpu-seq".to_string(),
+            Engine::CpuThreaded { threads } => format!("cpu-threaded({threads})"),
+            Engine::Gpu { layout: Layout::Flat1d } => "gpu-1d".to_string(),
+            Engine::Gpu { layout: Layout::Pointer3d } => "gpu-3d".to_string(),
+            Engine::GpuTables => "gpu-tables".to_string(),
+            Engine::GpuOverlapped => "gpu-overlap".to_string(),
+        }
+    }
+
+    /// Does this engine run on the simulated device?
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Engine::Gpu { .. } | Engine::GpuTables | Engine::GpuOverlapped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let engines = [
+            Engine::CpuSeq,
+            Engine::CpuThreaded { threads: 4 },
+            Engine::Gpu { layout: Layout::Flat1d },
+            Engine::Gpu { layout: Layout::Pointer3d },
+            Engine::GpuTables,
+            Engine::GpuOverlapped,
+        ];
+        let labels: Vec<String> = engines.iter().map(|e| e.label()).collect();
+        for i in 0..labels.len() {
+            for j in i + 1..labels.len() {
+                assert_ne!(labels[i], labels[j]);
+            }
+        }
+        assert!(!Engine::CpuSeq.is_gpu());
+        assert!(Engine::GpuOverlapped.is_gpu());
+    }
+}

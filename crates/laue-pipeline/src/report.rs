@@ -1,0 +1,110 @@
+//! Run reports: what happened and where the virtual time went.
+
+use laue_core::{DepthImage, ReconStats};
+
+/// Everything a reconstruction run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine label (e.g. `cpu-seq`, `gpu-1d`).
+    pub engine: String,
+    /// The depth-resolved output.
+    pub image: DepthImage,
+    /// Outcome counters.
+    pub stats: ReconStats,
+    /// Modeled end-to-end time, seconds (virtual).
+    pub total_time_s: f64,
+    /// Time in host↔device transfers (zero for CPU engines).
+    pub comm_time_s: f64,
+    /// Time computing.
+    pub compute_time_s: f64,
+    /// Logical input size (detector counts), bytes.
+    pub input_bytes: u64,
+    /// Stack dimensions `(images, rows, cols)`.
+    pub dims: (usize, usize, usize),
+    /// Rows per device slab (GPU engines; 0 for CPU).
+    pub rows_per_slab: usize,
+    /// Slabs processed (GPU engines; 0 for CPU).
+    pub n_slabs: usize,
+    /// Host↔device transfers performed (GPU engines; 0 for CPU).
+    pub transfers: u64,
+}
+
+impl RunReport {
+    /// A one-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        let (p, m, n) = self.dims;
+        let mut s = format!(
+            "engine {} reconstructed a {p}×{m}×{n} stack ({:.1} MiB) in {:.4} s \
+             (compute {:.4} s, transfers {:.4} s)",
+            self.engine,
+            self.input_bytes as f64 / (1024.0 * 1024.0),
+            self.total_time_s,
+            self.compute_time_s,
+            self.comm_time_s,
+        );
+        s.push_str(&format!(
+            "; {} of {} pairs deposited ({:.1} % active), {} skipped by cutoff",
+            self.stats.pairs_deposited,
+            self.stats.pairs_total,
+            100.0 * self.stats.active_fraction(),
+            self.stats.pairs_below_cutoff,
+        ));
+        if self.n_slabs > 0 {
+            s.push_str(&format!(
+                "; {} slab(s) of {} row(s)",
+                self.n_slabs, self.rows_per_slab
+            ));
+        }
+        s
+    }
+
+    /// Fraction of total time spent communicating (GPU engines).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.comm_time_s / self.total_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut stats = ReconStats::default();
+        stats.record(laue_core::stats::PairOutcome::Deposited { bins: 2 });
+        stats.record(laue_core::stats::PairOutcome::BelowCutoff);
+        RunReport {
+            engine: "gpu-1d".into(),
+            image: DepthImage::zeroed(2, 2, 2),
+            stats,
+            total_time_s: 2.0,
+            comm_time_s: 0.5,
+            compute_time_s: 1.5,
+            input_bytes: 4 * 1024 * 1024,
+            dims: (8, 64, 64),
+            rows_per_slab: 16,
+            n_slabs: 4,
+            transfers: 12,
+        }
+    }
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let s = report().summary();
+        assert!(s.contains("gpu-1d"));
+        assert!(s.contains("8×64×64"));
+        assert!(s.contains("4.0 MiB"));
+        assert!(s.contains("slab"));
+        assert!(s.contains("50.0 % active"));
+    }
+
+    #[test]
+    fn comm_fraction() {
+        assert!((report().comm_fraction() - 0.25).abs() < 1e-12);
+        let mut r = report();
+        r.total_time_s = 0.0;
+        assert_eq!(r.comm_fraction(), 0.0);
+    }
+}

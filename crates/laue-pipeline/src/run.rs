@@ -1,0 +1,255 @@
+//! The pipeline driver.
+
+use std::path::Path;
+
+use cuda_sim::{Device, DeviceProps, ExecMode, HostProps};
+use laue_core::gpu::{self, GpuOptions, Layout, Triangulation};
+use laue_core::{cpu, ReconstructionConfig, ScanGeometry, ScanView, SlabSource};
+use laue_wire::ScanFile;
+
+use crate::engine::Engine;
+use crate::report::RunReport;
+use crate::Result;
+
+/// A configured pipeline: the machines to model and how to execute
+/// simulated kernels.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Host CPU model for the CPU engines (paper: Xeon E5630).
+    pub host: HostProps,
+    /// Device model for the GPU engines (paper: Tesla M2070).
+    pub device: DeviceProps,
+    /// How simulated kernel threads execute on this machine.
+    pub exec_mode: ExecMode,
+}
+
+impl Default for Pipeline {
+    /// The paper's evaluation node.
+    fn default() -> Self {
+        Pipeline {
+            host: HostProps::xeon_e5630(),
+            device: DeviceProps::tesla_m2070(),
+            exec_mode: ExecMode::Sequential,
+        }
+    }
+}
+
+impl Pipeline {
+    /// Reconstruct a scan file on the chosen engine.
+    pub fn run_scan_file<P: AsRef<Path>>(
+        &self,
+        path: P,
+        cfg: &ReconstructionConfig,
+        engine: Engine,
+    ) -> Result<RunReport> {
+        let mut scan = ScanFile::open(path)?;
+        let geometry = scan.geometry().clone();
+        self.run_source(&mut scan, &geometry, cfg, engine)
+    }
+
+    /// Reconstruct from any slab source (streaming for GPU engines; CPU
+    /// engines materialise the stack once).
+    pub fn run_source(
+        &self,
+        source: &mut dyn SlabSource,
+        geom: &ScanGeometry,
+        cfg: &ReconstructionConfig,
+        engine: Engine,
+    ) -> Result<RunReport> {
+        let dims = (source.n_images(), source.n_rows(), source.n_cols());
+        let input_bytes = (dims.0 * dims.1 * dims.2 * 2) as u64; // u16 counts
+        match engine {
+            Engine::CpuSeq | Engine::CpuThreaded { .. } => {
+                let stack = source.read_slab(0, dims.1)?;
+                // read_slab returns slab[z][r][c] over all rows = the stack.
+                let view = ScanView::new(&stack, dims.0, dims.1, dims.2)?;
+                let (out, cores) = match engine {
+                    Engine::CpuSeq => (cpu::reconstruct_seq(&view, geom, cfg)?, 1u32),
+                    Engine::CpuThreaded { threads } => (
+                        cpu::reconstruct_threaded(&view, geom, cfg, threads)?,
+                        threads as u32,
+                    ),
+                    _ => unreachable!(),
+                };
+                let t = out.modeled_time_s(&self.host, cores);
+                Ok(RunReport {
+                    engine: engine.label(),
+                    image: out.image,
+                    stats: out.stats,
+                    total_time_s: t,
+                    comm_time_s: 0.0,
+                    compute_time_s: t,
+                    input_bytes,
+                    dims,
+                    rows_per_slab: 0,
+                    n_slabs: 0,
+                    transfers: 0,
+                })
+            }
+            Engine::Gpu { .. } | Engine::GpuTables => {
+                let opts = match engine {
+                    Engine::Gpu { layout } => {
+                        GpuOptions { layout, triangulation: Triangulation::InKernel, ..GpuOptions::default() }
+                    }
+                    _ => GpuOptions {
+                        layout: Layout::Flat1d,
+                        triangulation: Triangulation::HostTables,
+                        ..GpuOptions::default()
+                    },
+                };
+                let device = Device::new(self.device.clone());
+                device.set_exec_mode(self.exec_mode);
+                let out = gpu::reconstruct_with_options(&device, source, geom, cfg, opts)?;
+                Ok(RunReport {
+                    engine: engine.label(),
+                    image: out.image,
+                    stats: out.stats,
+                    total_time_s: out.elapsed_s,
+                    comm_time_s: out.meters.comm_time_s,
+                    compute_time_s: out.meters.compute_time_s,
+                    input_bytes,
+                    dims,
+                    rows_per_slab: out.rows_per_slab,
+                    n_slabs: out.n_slabs,
+                    transfers: out.meters.transfers,
+                })
+            }
+            Engine::GpuOverlapped => {
+                let device = Device::new(self.device.clone());
+                device.set_exec_mode(self.exec_mode);
+                let out = gpu::reconstruct_overlapped(&device, source, geom, cfg)?;
+                Ok(RunReport {
+                    engine: engine.label(),
+                    image: out.image,
+                    stats: out.stats,
+                    total_time_s: out.elapsed_s,
+                    comm_time_s: out.meters.comm_time_s,
+                    compute_time_s: out.meters.compute_time_s,
+                    input_bytes,
+                    dims,
+                    rows_per_slab: out.rows_per_slab,
+                    n_slabs: out.n_slabs,
+                    transfers: out.meters.transfers,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laue_core::gpu::Layout;
+    use laue_wire::{write_scan, SyntheticScanBuilder};
+    use std::path::PathBuf;
+
+    fn scan_file(name: &str) -> (PathBuf, laue_wire::SyntheticScan) {
+        let scan = SyntheticScanBuilder::new(8, 8, 12)
+            .scatterers(6)
+            .seed(21)
+            .build()
+            .unwrap();
+        let path =
+            std::env::temp_dir().join(format!("pipeline_{}_{name}.mh5", std::process::id()));
+        write_scan(&path, &scan.geometry, &scan.images, Some(&scan.truth), 2).unwrap();
+        (path, scan)
+    }
+
+    fn cfg() -> ReconstructionConfig {
+        ReconstructionConfig::new(-1500.0, 1500.0, 100)
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_file() {
+        let (path, _) = scan_file("agree");
+        let p = Pipeline::default();
+        let engines = [
+            Engine::CpuSeq,
+            Engine::CpuThreaded { threads: 3 },
+            Engine::Gpu { layout: Layout::Flat1d },
+            Engine::Gpu { layout: Layout::Pointer3d },
+            Engine::GpuOverlapped,
+        ];
+        let reports: Vec<RunReport> = engines
+            .iter()
+            .map(|&e| p.run_scan_file(&path, &cfg(), e).unwrap())
+            .collect();
+        for r in &reports[1..] {
+            assert_eq!(
+                reports[0].image.data, r.image.data,
+                "{} diverges from cpu-seq",
+                r.engine
+            );
+            assert_eq!(reports[0].stats, r.stats);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gpu_report_accounts_for_transfers() {
+        let (path, _) = scan_file("meters");
+        let p = Pipeline::default();
+        let r = p
+            .run_scan_file(&path, &cfg(), Engine::Gpu { layout: Layout::Flat1d })
+            .unwrap();
+        assert!(r.comm_time_s > 0.0);
+        assert!(r.compute_time_s > 0.0);
+        assert!((r.total_time_s - (r.comm_time_s + r.compute_time_s)).abs() < 1e-9);
+        assert!(r.n_slabs >= 1);
+        assert!(r.rows_per_slab >= 1);
+        assert!(r.summary().contains("gpu-1d"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cpu_gpu_speedup_is_in_the_papers_ballpark() {
+        // The headline claim (GPU ≈ 25–30 % of CPU) only holds once the
+        // stack is big enough that per-pair work dominates the fixed launch
+        // and PCIe latencies — on a tiny scan the GPU correctly *loses*.
+        // Use a noisy mid-size scan where every pair is active.
+        let scan = SyntheticScanBuilder::new(48, 48, 24)
+            .scatterers(40)
+            .noise(1.0)
+            .background(20.0)
+            .seed(3)
+            .build()
+            .unwrap();
+        let path = std::env::temp_dir()
+            .join(format!("pipeline_{}_speedup.mh5", std::process::id()));
+        write_scan(&path, &scan.geometry, &scan.images, None, 8).unwrap();
+        let p = Pipeline::default();
+        let cpu_r = p.run_scan_file(&path, &cfg(), Engine::CpuSeq).unwrap();
+        let gpu_r = p
+            .run_scan_file(&path, &cfg(), Engine::Gpu { layout: Layout::Flat1d })
+            .unwrap();
+        let ratio = gpu_r.total_time_s / cpu_r.total_time_s;
+        // This mid-size stack is still fairly transfer-heavy; the calibrated
+        // 25–30 % figure needs the full-scale Fig 8 workloads (laue-bench).
+        assert!(
+            ratio < 0.75,
+            "the modeled GPU must beat the modeled CPU at this scale (ratio {ratio})"
+        );
+
+        // And the inverse crossover: on a tiny scan the fixed overheads make
+        // the GPU slower — the scalability story of the paper's Fig 8.
+        let (tiny_path, _) = scan_file("speedup_tiny");
+        let cpu_t = p.run_scan_file(&tiny_path, &cfg(), Engine::CpuSeq).unwrap();
+        let gpu_t = p
+            .run_scan_file(&tiny_path, &cfg(), Engine::Gpu { layout: Layout::Flat1d })
+            .unwrap();
+        assert!(
+            gpu_t.total_time_s > cpu_t.total_time_s,
+            "fixed overheads must dominate a tiny scan"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tiny_path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let p = Pipeline::default();
+        assert!(p
+            .run_scan_file("/nonexistent/scan.mh5", &cfg(), Engine::CpuSeq)
+            .is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! One-stop synthetic scan generation.
+//!
+//! The builder places random scatterers *inside each pixel's depth-sweep
+//! window* — the range of depths the wire's leading edge crosses for that
+//! pixel during the scan — so every scatterer is actually scanned and the
+//! reconstruction can recover its depth. This mirrors how a real experiment
+//! positions the wire travel to cover the depth region of interest.
+
+use laue_core::ScanGeometry;
+use laue_geometry::WireEdge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::forward::{render_stack, RenderOptions};
+use crate::scatterer::SamplePlan;
+use crate::{Result, WireError};
+
+/// A generated scan: geometry, rendered stack, and the ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticScan {
+    /// The beamline calibration used.
+    pub geometry: ScanGeometry,
+    /// The rendered stack `stack[z][row][col]`.
+    pub images: Vec<f64>,
+    /// The ground-truth scatterers.
+    pub truth: SamplePlan,
+}
+
+/// Builder for [`SyntheticScan`].
+#[derive(Debug, Clone)]
+pub struct SyntheticScanBuilder {
+    n_rows: usize,
+    n_cols: usize,
+    n_steps: usize,
+    n_scatterers: usize,
+    intensity_range: (f64, f64),
+    background: f64,
+    noise: f64,
+    seed: u64,
+    wire_z0: f64,
+    step_um: f64,
+    /// Keep scatterer depths this fraction away from the sweep edges.
+    margin: f64,
+}
+
+impl SyntheticScanBuilder {
+    /// A scan over an `n_rows × n_cols` detector with `n_steps` wire steps.
+    pub fn new(n_rows: usize, n_cols: usize, n_steps: usize) -> SyntheticScanBuilder {
+        SyntheticScanBuilder {
+            n_rows,
+            n_cols,
+            n_steps,
+            n_scatterers: 8,
+            intensity_range: (50.0, 500.0),
+            background: 10.0,
+            noise: 0.0,
+            seed: 0,
+            wire_z0: -40.0,
+            step_um: 5.0,
+            margin: 0.15,
+        }
+    }
+
+    /// Number of point scatterers to place.
+    pub fn scatterers(mut self, n: usize) -> Self {
+        self.n_scatterers = n;
+        self
+    }
+
+    /// Scatterer intensity range (uniform).
+    pub fn intensity_range(mut self, lo: f64, hi: f64) -> Self {
+        self.intensity_range = (lo, hi);
+        self
+    }
+
+    /// Constant background counts.
+    pub fn background(mut self, b: f64) -> Self {
+        self.background = b;
+        self
+    }
+
+    /// Noise amplitude (0 = deterministic).
+    pub fn noise(mut self, n: f64) -> Self {
+        self.noise = n;
+        self
+    }
+
+    /// RNG seed (scatterer placement and noise).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Wire start position and step size along the beam, µm.
+    pub fn wire_travel(mut self, z0: f64, step: f64) -> Self {
+        self.wire_z0 = z0;
+        self.step_um = step;
+        self
+    }
+
+    /// Generate the scan.
+    pub fn build(&self) -> Result<SyntheticScan> {
+        if self.n_scatterers == 0 {
+            return Err(WireError::InvalidParameter("need at least one scatterer".into()));
+        }
+        if self.intensity_range.0 <= 0.0 || self.intensity_range.1 < self.intensity_range.0 {
+            return Err(WireError::InvalidParameter(format!(
+                "bad intensity range {:?}",
+                self.intensity_range
+            )));
+        }
+        let geometry = ScanGeometry::demo(
+            self.n_rows,
+            self.n_cols,
+            self.n_steps,
+            self.wire_z0,
+            self.step_um,
+        )
+        .map_err(|e| match e {
+            laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
+            other => WireError::InvalidParameter(other.to_string()),
+        })?;
+        let mapper = geometry.mapper().map_err(|e| match e {
+            laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
+            other => WireError::InvalidParameter(other.to_string()),
+        })?;
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut truth = SamplePlan::new();
+        for _ in 0..self.n_scatterers {
+            let row = rng.gen_range(0..self.n_rows);
+            let col = rng.gen_range(0..self.n_cols);
+            let pixel = geometry.detector.pixel_to_xyz(row, col)?;
+            // This pixel's leading-edge sweep window.
+            let d_first =
+                mapper.depth(pixel, geometry.wire.center(0)?, WireEdge::Leading)?;
+            let d_last = mapper.depth(
+                pixel,
+                geometry.wire.center(self.n_steps - 1)?,
+                WireEdge::Leading,
+            )?;
+            let (lo, hi) = if d_first < d_last { (d_first, d_last) } else { (d_last, d_first) };
+            let m = (hi - lo) * self.margin;
+            let depth = rng.gen_range(lo + m..hi - m);
+            let intensity = rng.gen_range(self.intensity_range.0..=self.intensity_range.1);
+            truth.add_point(row, col, depth, intensity)?;
+        }
+        let images = render_stack(
+            &geometry,
+            &truth,
+            &RenderOptions {
+                background: self.background,
+                noise: self.noise,
+                seed: self.seed,
+                ..Default::default()
+            },
+        )?;
+        Ok(SyntheticScan { geometry, images, truth })
+    }
+}
+
+/// Detector dimensions (square) that make a u16 scan of `n_steps` images
+/// approximately `target_bytes` on disk (ignoring container overhead). Used
+/// by the data-set-size sweep of the paper's Fig 8.
+pub fn dims_for_bytes(target_bytes: u64, n_steps: usize) -> usize {
+    let per_image = target_bytes as f64 / n_steps as f64;
+    let side = (per_image / 2.0).sqrt().floor() as usize;
+    side.max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let b = SyntheticScanBuilder::new(8, 8, 12).scatterers(5).seed(7);
+        let s1 = b.build().unwrap();
+        let s2 = b.build().unwrap();
+        assert_eq!(s1.images, s2.images);
+        assert_eq!(s1.truth, s2.truth);
+        let s3 = b.clone().seed(8).build().unwrap();
+        assert_ne!(s1.truth, s3.truth);
+    }
+
+    #[test]
+    fn scatterers_land_in_their_sweep_windows() {
+        let scan = SyntheticScanBuilder::new(8, 8, 16)
+            .scatterers(20)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mapper = scan.geometry.mapper().unwrap();
+        for s in &scan.truth.scatterers {
+            let pixel = scan.geometry.detector.pixel_to_xyz(s.row, s.col).unwrap();
+            let d0 = mapper
+                .depth(pixel, scan.geometry.wire.center(0).unwrap(), WireEdge::Leading)
+                .unwrap();
+            let d1 = mapper
+                .depth(pixel, scan.geometry.wire.center(15).unwrap(), WireEdge::Leading)
+                .unwrap();
+            let (lo, hi) = if d0 < d1 { (d0, d1) } else { (d1, d0) };
+            assert!(s.depth > lo && s.depth < hi, "depth {} outside [{lo}, {hi}]", s.depth);
+        }
+    }
+
+    #[test]
+    fn each_scatterer_is_occluded_somewhere_in_the_scan() {
+        let scan = SyntheticScanBuilder::new(6, 6, 12)
+            .scatterers(10)
+            .background(0.0)
+            .seed(11)
+            .build()
+            .unwrap();
+        let (m, n) = (6, 6);
+        // Because depths sit inside the sweep window, each scatterer's pixel
+        // must lose intensity at some step.
+        for s in &scan.truth.scatterers {
+            let series: Vec<f64> =
+                (0..12).map(|z| scan.images[(z * m + s.row) * n + s.col]).collect();
+            let max = series.iter().cloned().fold(f64::MIN, f64::max);
+            let min = series.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                max - min >= s.intensity * 0.99,
+                "scatterer at ({}, {}) never fully occluded: {series:?}",
+                s.row,
+                s.col
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SyntheticScanBuilder::new(4, 4, 8).scatterers(0).build().is_err());
+        assert!(SyntheticScanBuilder::new(4, 4, 8)
+            .intensity_range(10.0, 5.0)
+            .build()
+            .is_err());
+        assert!(SyntheticScanBuilder::new(4, 4, 8)
+            .intensity_range(0.0, 5.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn dims_for_bytes_targets_size() {
+        for (target, steps) in [(1u64 << 20, 16), (5 * (1u64 << 20), 32), (1 << 24, 64)] {
+            let side = dims_for_bytes(target, steps);
+            let actual = (steps * side * side * 2) as u64;
+            let ratio = actual as f64 / target as f64;
+            assert!(
+                (0.8..=1.01).contains(&ratio),
+                "target {target}, side {side}, ratio {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Geometry ↔ mh5-attribute serialization.
+//!
+//! A scan file carries its full beamline calibration as attributes of the
+//! `/entry/geometry` group, the way beamline HDF5 files carry calibration in
+//! NXtransformations-style metadata.
+
+use laue_core::ScanGeometry;
+use laue_geometry::{Beam, DetectorGeometry, Rotation, Vec3, WireGeometry};
+use mh5::{AttrValue, FileReader, FileWriter, ObjectId};
+
+use crate::{Result, WireError};
+
+fn vec3_attr(v: Vec3) -> AttrValue {
+    AttrValue::FloatArray(vec![v.x, v.y, v.z])
+}
+
+fn attr_vec3(value: &AttrValue, name: &str) -> Result<Vec3> {
+    let a = value
+        .as_float_array()
+        .filter(|a| a.len() == 3)
+        .ok_or_else(|| WireError::MissingField(format!("{name} (3-element float array)")))?;
+    Ok(Vec3::new(a[0], a[1], a[2]))
+}
+
+/// Write the calibration attributes onto `group`.
+pub fn write_geometry(w: &mut FileWriter, group: ObjectId, geom: &ScanGeometry) -> Result<()> {
+    w.set_attr(group, "beam_origin", vec3_attr(geom.beam.origin))?;
+    w.set_attr(group, "beam_direction", vec3_attr(geom.beam.direction))?;
+    w.set_attr(group, "wire_axis", vec3_attr(geom.wire.axis))?;
+    w.set_attr(group, "wire_radius_um", AttrValue::Float(geom.wire.radius))?;
+    w.set_attr(group, "wire_origin", vec3_attr(geom.wire.origin))?;
+    w.set_attr(group, "wire_step", vec3_attr(geom.wire.step))?;
+    w.set_attr(group, "wire_n_steps", AttrValue::Int(geom.wire.n_steps as i64))?;
+    w.set_attr(group, "det_rows", AttrValue::Int(geom.detector.n_rows as i64))?;
+    w.set_attr(group, "det_cols", AttrValue::Int(geom.detector.n_cols as i64))?;
+    w.set_attr(group, "det_pitch_row_um", AttrValue::Float(geom.detector.pixel_pitch_row))?;
+    w.set_attr(group, "det_pitch_col_um", AttrValue::Float(geom.detector.pixel_pitch_col))?;
+    let r = &geom.detector.rotation.rows;
+    w.set_attr(
+        group,
+        "det_rotation",
+        AttrValue::FloatArray(vec![
+            r[0].x, r[0].y, r[0].z, r[1].x, r[1].y, r[1].z, r[2].x, r[2].y, r[2].z,
+        ]),
+    )?;
+    w.set_attr(group, "det_translation", vec3_attr(geom.detector.translation))?;
+    Ok(())
+}
+
+fn require<'a>(r: &'a FileReader, group: ObjectId, name: &str) -> Result<&'a AttrValue> {
+    r.attr(group, name)?
+        .ok_or_else(|| WireError::MissingField(format!("attribute {name}")))
+}
+
+/// Read the calibration attributes back from `group`.
+pub fn read_geometry(r: &FileReader, group: ObjectId) -> Result<ScanGeometry> {
+    let beam = Beam::new(
+        attr_vec3(require(r, group, "beam_origin")?, "beam_origin")?,
+        attr_vec3(require(r, group, "beam_direction")?, "beam_direction")?,
+    )?;
+    let n_steps = require(r, group, "wire_n_steps")?
+        .as_int()
+        .ok_or_else(|| WireError::MissingField("wire_n_steps (int)".into()))?;
+    if n_steps < 2 {
+        return Err(WireError::InvalidParameter(format!("wire_n_steps {n_steps} < 2")));
+    }
+    let wire = WireGeometry::new(
+        attr_vec3(require(r, group, "wire_axis")?, "wire_axis")?,
+        require(r, group, "wire_radius_um")?
+            .as_float()
+            .ok_or_else(|| WireError::MissingField("wire_radius_um (float)".into()))?,
+        attr_vec3(require(r, group, "wire_origin")?, "wire_origin")?,
+        attr_vec3(require(r, group, "wire_step")?, "wire_step")?,
+        n_steps as usize,
+    )?;
+    let rot = require(r, group, "det_rotation")?
+        .as_float_array()
+        .filter(|a| a.len() == 9)
+        .ok_or_else(|| WireError::MissingField("det_rotation (9 floats)".into()))?;
+    let rotation = Rotation {
+        rows: [
+            Vec3::new(rot[0], rot[1], rot[2]),
+            Vec3::new(rot[3], rot[4], rot[5]),
+            Vec3::new(rot[6], rot[7], rot[8]),
+        ],
+    };
+    let n_rows = require(r, group, "det_rows")?
+        .as_int()
+        .ok_or_else(|| WireError::MissingField("det_rows (int)".into()))?;
+    let n_cols = require(r, group, "det_cols")?
+        .as_int()
+        .ok_or_else(|| WireError::MissingField("det_cols (int)".into()))?;
+    let detector = DetectorGeometry::new(
+        n_rows as usize,
+        n_cols as usize,
+        require(r, group, "det_pitch_row_um")?
+            .as_float()
+            .ok_or_else(|| WireError::MissingField("det_pitch_row_um".into()))?,
+        require(r, group, "det_pitch_col_um")?
+            .as_float()
+            .ok_or_else(|| WireError::MissingField("det_pitch_col_um".into()))?,
+        rotation,
+        attr_vec3(require(r, group, "det_translation")?, "det_translation")?,
+    )?;
+    Ok(ScanGeometry { beam, wire, detector })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_round_trips_through_attrs() {
+        let geom = ScanGeometry::demo(8, 10, 16, -25.0, 3.5).unwrap();
+        let path = std::env::temp_dir().join(format!("geom_io_{}.mh5", std::process::id()));
+        let mut w = FileWriter::create(&path).unwrap();
+        let g = w.create_group(FileWriter::ROOT, "geometry").unwrap();
+        write_geometry(&mut w, g, &geom).unwrap();
+        w.finish().unwrap();
+
+        let r = FileReader::open(&path).unwrap();
+        let g = r.resolve_path("/geometry").unwrap();
+        let back = read_geometry(&r, g).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.beam, geom.beam);
+        assert_eq!(back.wire, geom.wire);
+        assert_eq!(back.detector, geom.detector);
+    }
+
+    #[test]
+    fn missing_attr_is_a_clean_error() {
+        let geom = ScanGeometry::demo(4, 4, 4, 0.0, 5.0).unwrap();
+        let path = std::env::temp_dir().join(format!("geom_io_missing_{}.mh5", std::process::id()));
+        let mut w = FileWriter::create(&path).unwrap();
+        let g = w.create_group(FileWriter::ROOT, "geometry").unwrap();
+        write_geometry(&mut w, g, &geom).unwrap();
+        // Clobber one attribute with the wrong type.
+        w.set_attr(g, "wire_radius_um", AttrValue::Str("oops".into())).unwrap();
+        w.finish().unwrap();
+
+        let r = FileReader::open(&path).unwrap();
+        let g = r.resolve_path("/geometry").unwrap();
+        assert!(matches!(read_geometry(&r, g), Err(WireError::MissingField(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

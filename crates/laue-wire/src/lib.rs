@@ -1,0 +1,80 @@
+//! `laue-wire` — forward model and synthetic-workload generator for
+//! wire-scan Laue microscopy.
+//!
+//! The paper evaluates on proprietary HDF5 scans from the 34-ID-E detector.
+//! This crate replaces them with *physically consistent* synthetic scans:
+//! point scatterers with known depths are placed along each pixel's
+//! depth-sweep window, and the detector images are rendered by the **same
+//! occlusion geometry** ([`laue_geometry::DepthMapper::occludes`]) that the
+//! reconstruction triangulates against. The reconstruction therefore has a
+//! ground truth to round-trip against — something the original evaluation
+//! could not check — while the data volume, value distribution and sparsity
+//! knobs reproduce the paper's workload axes (data-set size, pixel
+//! percentage).
+//!
+//! * [`Scatterer`] / [`SamplePlan`] — the ground-truth depth structure.
+//! * [`forward`] — renders a wire-scan image stack from a plan.
+//! * [`builder::SyntheticScanBuilder`] — one-stop random scan generation.
+//! * [`dataset`] — writes/reads scans (geometry + stack + truth) as `mh5`
+//!   files, the pipeline's interchange format.
+
+pub mod builder;
+pub mod dataset;
+pub mod forward;
+pub mod geom_io;
+pub mod plans;
+pub mod scatterer;
+
+pub use builder::{SyntheticScan, SyntheticScanBuilder};
+pub use dataset::{concat_scans, read_scan, write_scan, ScanFile};
+pub use forward::render_stack;
+pub use scatterer::{SamplePlan, Scatterer};
+
+/// Errors from generation or dataset I/O.
+#[derive(Debug)]
+pub enum WireError {
+    /// Geometry construction/triangulation failed.
+    Geometry(laue_geometry::GeometryError),
+    /// Container I/O failed.
+    Mh5(mh5::Mh5Error),
+    /// The file lacks required structure (missing attr/dataset).
+    MissingField(String),
+    /// Parameters out of range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Geometry(e) => write!(f, "geometry error: {e}"),
+            WireError::Mh5(e) => write!(f, "mh5 error: {e}"),
+            WireError::MissingField(what) => write!(f, "scan file missing {what}"),
+            WireError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Geometry(e) => Some(e),
+            WireError::Mh5(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<laue_geometry::GeometryError> for WireError {
+    fn from(e: laue_geometry::GeometryError) -> Self {
+        WireError::Geometry(e)
+    }
+}
+
+impl From<mh5::Mh5Error> for WireError {
+    fn from(e: mh5::Mh5Error) -> Self {
+        WireError::Mh5(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, WireError>;

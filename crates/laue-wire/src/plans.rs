@@ -1,0 +1,254 @@
+//! Reusable ground-truth sample builders for the materials-science
+//! scenarios the paper's introduction motivates: depth-graded deformation
+//! under an indent, buried layers, and grain boundaries.
+//!
+//! All builders place scatterers *inside each pixel's depth-sweep window*
+//! (the depths the wire's leading edge actually crosses during the scan),
+//! parameterised by a fraction of that window so the same plan description
+//! works for any scan geometry.
+
+use laue_core::ScanGeometry;
+
+use crate::scatterer::SamplePlan;
+use crate::{Result, WireError};
+
+/// The depth window of one pixel's sweep (delegates to the planning math).
+fn sweep_window(
+    geom: &ScanGeometry,
+    mapper: &laue_geometry::DepthMapper,
+    row: usize,
+    col: usize,
+) -> Result<(f64, f64)> {
+    laue_core::planning::sweep_window(geom, mapper, row, col).map_err(|e| match e {
+        laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
+        other => WireError::InvalidParameter(other.to_string()),
+    })
+}
+
+fn check_fraction(name: &'static str, f: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&f) || !f.is_finite() {
+        return Err(WireError::InvalidParameter(format!(
+            "{name} = {f} must lie in [0, 1]"
+        )));
+    }
+    Ok(())
+}
+
+/// A buried layer: every pixel scatters from one depth at fractional sweep
+/// position `depth_frac` (0 = shallow end, 1 = deep end), with uniform
+/// `intensity`. Models a thin film or marker layer.
+pub fn layered_sample(
+    geom: &ScanGeometry,
+    depth_frac: f64,
+    intensity: f64,
+) -> Result<SamplePlan> {
+    check_fraction("depth_frac", depth_frac)?;
+    let mapper = geom.mapper().map_err(|e| match e {
+        laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
+        other => WireError::InvalidParameter(other.to_string()),
+    })?;
+    let mut plan = SamplePlan::new();
+    for r in 0..geom.detector.n_rows {
+        for c in 0..geom.detector.n_cols {
+            let (lo, hi) = sweep_window(geom, &mapper, r, c)?;
+            let depth = lo + (hi - lo) * (0.1 + 0.8 * depth_frac);
+            plan.add_point(r, c, depth, intensity)?;
+        }
+    }
+    Ok(plan)
+}
+
+/// A grain boundary: columns left of `boundary_col` scatter from fractional
+/// depth `depth_a`, the rest from `depth_b`. Models two grains meeting at a
+/// vertical boundary, the classic 34-ID polycrystal measurement.
+pub fn grain_boundary(
+    geom: &ScanGeometry,
+    boundary_col: usize,
+    depth_a: f64,
+    depth_b: f64,
+    intensity: f64,
+) -> Result<SamplePlan> {
+    check_fraction("depth_a", depth_a)?;
+    check_fraction("depth_b", depth_b)?;
+    if boundary_col == 0 || boundary_col >= geom.detector.n_cols {
+        return Err(WireError::InvalidParameter(format!(
+            "boundary_col {boundary_col} must split the {}-column detector",
+            geom.detector.n_cols
+        )));
+    }
+    let mapper = geom.mapper().map_err(|e| match e {
+        laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
+        other => WireError::InvalidParameter(other.to_string()),
+    })?;
+    let mut plan = SamplePlan::new();
+    for r in 0..geom.detector.n_rows {
+        for c in 0..geom.detector.n_cols {
+            let frac = if c < boundary_col { depth_a } else { depth_b };
+            let (lo, hi) = sweep_window(geom, &mapper, r, c)?;
+            let depth = lo + (hi - lo) * (0.1 + 0.8 * frac);
+            plan.add_point(r, c, depth, intensity)?;
+        }
+    }
+    Ok(plan)
+}
+
+/// Depth-graded indent damage: intensity decays exponentially below each
+/// pixel's "surface" (fractional sweep position `surface_frac`) with decay
+/// length `decay_frac` of the window, and laterally (Gaussian, `sigma_px`)
+/// from the detector centre. Scatterers below 1 % of the peak are dropped.
+pub fn indent_damage(
+    geom: &ScanGeometry,
+    surface_frac: f64,
+    decay_frac: f64,
+    sigma_px: f64,
+    peak_intensity: f64,
+    layers: usize,
+) -> Result<SamplePlan> {
+    check_fraction("surface_frac", surface_frac)?;
+    if !(decay_frac > 0.0) || !decay_frac.is_finite() {
+        return Err(WireError::InvalidParameter("decay_frac must be positive".into()));
+    }
+    if layers == 0 {
+        return Err(WireError::InvalidParameter("need at least one layer".into()));
+    }
+    let mapper = geom.mapper().map_err(|e| match e {
+        laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
+        other => WireError::InvalidParameter(other.to_string()),
+    })?;
+    let (m, n) = (geom.detector.n_rows, geom.detector.n_cols);
+    let (cr, cc) = ((m as f64 - 1.0) / 2.0, (n as f64 - 1.0) / 2.0);
+    let mut plan = SamplePlan::new();
+    for r in 0..m {
+        for c in 0..n {
+            let lateral = (-((r as f64 - cr).powi(2) + (c as f64 - cc).powi(2))
+                / (2.0 * sigma_px * sigma_px))
+                .exp();
+            if lateral * peak_intensity < peak_intensity * 0.01 {
+                continue;
+            }
+            let (lo, hi) = sweep_window(geom, &mapper, r, c)?;
+            let window = hi - lo;
+            let surface = lo + window * (0.1 + 0.8 * surface_frac);
+            let usable = hi - window * 0.1 - surface;
+            if usable <= 0.0 {
+                continue;
+            }
+            for k in 0..layers {
+                let below = usable * k as f64 / layers as f64;
+                let intensity =
+                    peak_intensity * lateral * (-below / (decay_frac * window)).exp();
+                if intensity < peak_intensity * 0.01 {
+                    break;
+                }
+                plan.add_point(r, c, surface + below, intensity)?;
+            }
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::{render_stack, RenderOptions};
+    use laue_core::{cpu, ReconstructionConfig, ScanView};
+
+    fn geom() -> ScanGeometry {
+        ScanGeometry::demo(8, 8, 24, -60.0, 5.0).unwrap()
+    }
+
+    #[test]
+    fn layered_sample_covers_every_pixel() {
+        let g = geom();
+        let plan = layered_sample(&g, 0.5, 100.0).unwrap();
+        assert_eq!(plan.len(), 64);
+        assert!(layered_sample(&g, 1.5, 100.0).is_err());
+        assert!(layered_sample(&g, -0.1, 100.0).is_err());
+    }
+
+    #[test]
+    fn layer_reconstructs_at_consistent_fraction() {
+        let g = geom();
+        let plan = layered_sample(&g, 0.3, 200.0).unwrap();
+        let images = render_stack(&g, &plan, &RenderOptions::default()).unwrap();
+        let view = ScanView::new(&images, 24, 8, 8).unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 600);
+        let out = cpu::reconstruct_seq(&view, &g, &cfg).unwrap();
+        let mapper = g.mapper().unwrap();
+        // Each pixel's recovered depth sits near its own truth.
+        let mut hits = 0;
+        for s in &plan.scatterers {
+            let peak = out.image.pixel_peak_depth(s.row, s.col, &cfg);
+            if let Some(p) = peak {
+                if (p - s.depth).abs() <= 2.0 * g.wire.step.norm() + 2.0 * cfg.bin_width() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits * 10 >= plan.len() * 9, "only {hits}/{} layered pixels", plan.len());
+        let _ = mapper;
+    }
+
+    #[test]
+    fn grain_boundary_splits_depths() {
+        let g = geom();
+        let plan = grain_boundary(&g, 4, 0.2, 0.8, 150.0).unwrap();
+        assert_eq!(plan.len(), 64);
+        // Left and right scatterers at one row have clearly different depths.
+        let left = plan.scatterers.iter().find(|s| s.row == 3 && s.col == 0).unwrap();
+        let right = plan.scatterers.iter().find(|s| s.row == 3 && s.col == 7).unwrap();
+        assert!((right.depth - left.depth).abs() > 20.0);
+        assert!(grain_boundary(&g, 0, 0.2, 0.8, 1.0).is_err());
+        assert!(grain_boundary(&g, 8, 0.2, 0.8, 1.0).is_err());
+    }
+
+    #[test]
+    fn grain_boundary_recovered_in_depth_map() {
+        let g = geom();
+        let plan = grain_boundary(&g, 4, 0.2, 0.8, 300.0).unwrap();
+        let images = render_stack(&g, &plan, &RenderOptions::default()).unwrap();
+        let view = ScanView::new(&images, 24, 8, 8).unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 600);
+        let out = cpu::reconstruct_seq(&view, &g, &cfg).unwrap();
+        let map = laue_core::post::depth_map(
+            &out.image,
+            &cfg,
+            &laue_core::post::DepthMapOptions::default(),
+        );
+        // Compare each pixel's mapped depth against its truth.
+        let mut ok = 0;
+        for s in &plan.scatterers {
+            if let Some(d) = map[s.row * 8 + s.col] {
+                if (d - s.depth).abs() <= 25.0 {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok * 10 >= plan.len() * 9, "depth map recovered {ok}/{}", plan.len());
+    }
+
+    #[test]
+    fn indent_damage_decays_with_depth() {
+        let g = geom();
+        let plan = indent_damage(&g, 0.1, 0.2, 2.5, 400.0, 8).unwrap();
+        assert!(!plan.is_empty());
+        // Centre pixel: intensities must decrease monotonically with depth.
+        let mut centre: Vec<_> = plan
+            .scatterers
+            .iter()
+            .filter(|s| s.row == 3 && s.col == 3)
+            .collect();
+        centre.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+        assert!(centre.len() >= 3);
+        for w in centre.windows(2) {
+            assert!(w[1].intensity < w[0].intensity);
+        }
+        // Edge pixels get less than the centre (lateral Gaussian).
+        let centre_peak = centre[0].intensity;
+        if let Some(edge) = plan.scatterers.iter().find(|s| s.row == 0 && s.col == 0) {
+            assert!(edge.intensity < centre_peak);
+        }
+        assert!(indent_damage(&g, 0.1, 0.0, 2.5, 400.0, 8).is_err());
+        assert!(indent_damage(&g, 0.1, 0.2, 2.5, 400.0, 0).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Monte-Carlo validation of the Poisson variance propagation: the
+//! *predicted* error bars must match the *empirical* scatter over many
+//! noisy realizations of the same scan.
+
+use laue_core::uncertainty::reconstruct_with_variance;
+use laue_core::{ReconstructionConfig, ScanGeometry, ScanView};
+use laue_wire::forward::{render_stack, RenderOptions};
+use laue_wire::SamplePlan;
+
+#[test]
+fn predicted_sigma_matches_empirical_scatter() {
+    let geom = ScanGeometry::demo(6, 6, 16, -40.0, 5.0).unwrap();
+    let mapper = geom.mapper().unwrap();
+    let (r, c) = (3, 3);
+    let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
+    let d0 = mapper
+        .depth(pixel, geom.wire.center(0).unwrap(), laue_core::WireEdge::Leading)
+        .unwrap();
+    let d15 = mapper
+        .depth(pixel, geom.wire.center(15).unwrap(), laue_core::WireEdge::Leading)
+        .unwrap();
+    let mut plan = SamplePlan::new();
+    plan.add_point(r, c, (d0 + d15) / 2.0, 900.0).unwrap();
+
+    let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 150);
+
+    // `noise = 1.0` gives var(count) = count — exactly the Poisson model the
+    // propagation assumes.
+    let n_trials = 48;
+    let mut per_trial: Vec<Vec<f64>> = Vec::with_capacity(n_trials);
+    let mut predicted_var = None;
+    for seed in 0..n_trials as u64 {
+        let images = render_stack(
+            &geom,
+            &plan,
+            &RenderOptions { background: 200.0, noise: 1.0, seed: 1000 + seed, ..Default::default() },
+        )
+        .unwrap();
+        let view = ScanView::new(&images, 16, 6, 6).unwrap();
+        let out = reconstruct_with_variance(&view, &geom, &cfg).unwrap();
+        per_trial.push(out.image.depth_profile(r, c));
+        if predicted_var.is_none() {
+            predicted_var = Some(
+                (0..cfg.n_depth_bins)
+                    .map(|b| out.variance.at(b, r, c))
+                    .collect::<Vec<f64>>(),
+            );
+        }
+    }
+    let predicted_var = predicted_var.unwrap();
+
+    // Compare empirical vs predicted standard deviation on the bins with
+    // meaningful predicted uncertainty.
+    let mut checked = 0;
+    for b in 0..cfg.n_depth_bins {
+        let pred = predicted_var[b].sqrt();
+        if pred < 5.0 {
+            continue; // skip bins that barely receive deposits
+        }
+        let vals: Vec<f64> = per_trial.iter().map(|t| t[b]).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let emp =
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() - 1) as f64).sqrt();
+        let ratio = emp / pred;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "bin {b}: empirical σ {emp:.2} vs predicted {pred:.2} (ratio {ratio:.2})"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "need several bins with real uncertainty, got {checked}");
+}

@@ -1,0 +1,195 @@
+//! Attributes: small typed metadata attached to groups and datasets.
+
+use crate::error::Mh5Error;
+use crate::Result;
+
+/// An attribute value. Mirrors the scalar/string/small-array attributes the
+/// beamline files use for geometry calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Small integer array.
+    IntArray(Vec<i64>),
+    /// Small float array (e.g. a Rodrigues vector or translation).
+    FloatArray(Vec<f64>),
+}
+
+impl AttrValue {
+    /// On-disk tag.
+    pub(crate) const fn tag(&self) -> u8 {
+        match self {
+            AttrValue::Int(_) => 0,
+            AttrValue::Float(_) => 1,
+            AttrValue::Str(_) => 2,
+            AttrValue::IntArray(_) => 3,
+            AttrValue::FloatArray(_) => 4,
+        }
+    }
+
+    /// Convenience accessor: the value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the value as a float (integers widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AttrValue::Float(v) => Some(*v),
+            AttrValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the value as a float array.
+    pub fn as_float_array(&self) -> Option<&[f64]> {
+        match self {
+            AttrValue::FloatArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize into `out`.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            AttrValue::Int(v) => out.extend_from_slice(&v.to_le_bytes()),
+            AttrValue::Float(v) => out.extend_from_slice(&v.to_le_bytes()),
+            AttrValue::Str(s) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            AttrValue::IntArray(a) => {
+                out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                for v in a {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            AttrValue::FloatArray(a) => {
+                out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                for v in a {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Deserialize from `cur`, advancing it.
+    pub(crate) fn decode(cur: &mut crate::meta::Cursor<'_>) -> Result<AttrValue> {
+        let tag = cur.u8()?;
+        Ok(match tag {
+            0 => AttrValue::Int(i64::from_le_bytes(cur.bytes(8)?.try_into().unwrap())),
+            1 => AttrValue::Float(f64::from_le_bytes(cur.bytes(8)?.try_into().unwrap())),
+            2 => {
+                let len = cur.u32()? as usize;
+                let raw = cur.bytes(len)?;
+                AttrValue::Str(
+                    String::from_utf8(raw.to_vec())
+                        .map_err(|_| Mh5Error::Corrupt("attribute string is not UTF-8".into()))?,
+                )
+            }
+            3 => {
+                let len = cur.u32()? as usize;
+                let mut a = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    a.push(i64::from_le_bytes(cur.bytes(8)?.try_into().unwrap()));
+                }
+                AttrValue::IntArray(a)
+            }
+            4 => {
+                let len = cur.u32()? as usize;
+                let mut a = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    a.push(f64::from_le_bytes(cur.bytes(8)?.try_into().unwrap()));
+                }
+                AttrValue::FloatArray(a)
+            }
+            other => return Err(Mh5Error::Corrupt(format!("unknown attribute tag {other}"))),
+        })
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<Vec<f64>> for AttrValue {
+    fn from(v: Vec<f64>) -> Self {
+        AttrValue::FloatArray(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::Cursor;
+
+    fn round_trip(v: AttrValue) -> AttrValue {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut cur = Cursor::new(&buf);
+        let back = AttrValue::decode(&mut cur).unwrap();
+        assert!(cur.is_empty(), "decoder must consume exactly what encode produced");
+        back
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        for v in [
+            AttrValue::Int(-42),
+            AttrValue::Float(std::f64::consts::E),
+            AttrValue::Str("34-ID-E µ-Laue".into()),
+            AttrValue::IntArray(vec![1, -2, 3]),
+            AttrValue::FloatArray(vec![0.25, -1e12, 5e-324]),
+        ] {
+            assert_eq!(round_trip(v.clone()), v);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(AttrValue::Int(5).as_int(), Some(5));
+        assert_eq!(AttrValue::Int(5).as_float(), Some(5.0));
+        assert_eq!(AttrValue::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(AttrValue::Float(2.5).as_int(), None);
+        assert_eq!(AttrValue::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(AttrValue::from(vec![1.0]).as_float_array(), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag_and_truncation() {
+        let mut cur = Cursor::new(&[9u8]);
+        assert!(AttrValue::decode(&mut cur).is_err());
+        let mut cur = Cursor::new(&[0u8, 1, 2]); // Int but only 3 bytes
+        assert!(AttrValue::decode(&mut cur).is_err());
+    }
+}

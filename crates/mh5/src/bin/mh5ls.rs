@@ -1,0 +1,29 @@
+//! `mh5ls` — list the contents of an mh5 file, in the spirit of `h5ls -rv`.
+//!
+//! Usage: `mh5ls <file.mh5> [<file.mh5> …]`
+
+use mh5::tools::dump_tree;
+use mh5::FileReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: mh5ls <file.mh5> [<file.mh5> …]");
+        return ExitCode::from(2);
+    }
+    let mut status = ExitCode::SUCCESS;
+    for path in &args {
+        if args.len() > 1 {
+            println!("== {path} ==");
+        }
+        match FileReader::open(path).and_then(|r| dump_tree(&r)) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("mh5ls: {path}: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}

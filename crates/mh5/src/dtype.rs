@@ -1,0 +1,173 @@
+//! Element types storable in mh5 datasets.
+
+use crate::error::Mh5Error;
+use crate::Result;
+
+/// Scalar types a dataset can hold. All are stored little-endian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    U8,
+    U16,
+    U32,
+    I32,
+    F32,
+    F64,
+}
+
+impl Dtype {
+    /// Size of one element in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            Dtype::U8 => 1,
+            Dtype::U16 => 2,
+            Dtype::U32 | Dtype::I32 | Dtype::F32 => 4,
+            Dtype::F64 => 8,
+        }
+    }
+
+    /// Stable on-disk code.
+    pub const fn code(self) -> u8 {
+        match self {
+            Dtype::U8 => 0,
+            Dtype::U16 => 1,
+            Dtype::U32 => 2,
+            Dtype::I32 => 3,
+            Dtype::F32 => 4,
+            Dtype::F64 => 5,
+        }
+    }
+
+    /// Decode an on-disk code.
+    pub fn from_code(code: u8) -> Result<Dtype> {
+        Ok(match code {
+            0 => Dtype::U8,
+            1 => Dtype::U16,
+            2 => Dtype::U32,
+            3 => Dtype::I32,
+            4 => Dtype::F32,
+            5 => Dtype::F64,
+            other => return Err(Mh5Error::Corrupt(format!("unknown dtype code {other}"))),
+        })
+    }
+
+    /// Human-readable name (used in error messages).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dtype::U8 => "u8",
+            Dtype::U16 => "u16",
+            Dtype::U32 => "u32",
+            Dtype::I32 => "i32",
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+}
+
+/// Rust scalar types that map onto a [`Dtype`].
+///
+/// The byte conversions go through explicit little-endian encoding rather
+/// than transmutes, keeping the format portable and the crate free of
+/// `unsafe`.
+pub trait Element: Copy + Default + 'static {
+    /// The corresponding dtype tag.
+    const DTYPE: Dtype;
+
+    /// Append this element's little-endian bytes to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+
+    /// Decode one element from the start of `bytes` (must be long enough).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $dtype:expr) => {
+        impl Element for $t {
+            const DTYPE: Dtype = $dtype;
+
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(&bytes[..std::mem::size_of::<$t>()]);
+                <$t>::from_le_bytes(buf)
+            }
+        }
+    };
+}
+
+impl_element!(u8, Dtype::U8);
+impl_element!(u16, Dtype::U16);
+impl_element!(u32, Dtype::U32);
+impl_element!(i32, Dtype::I32);
+impl_element!(f32, Dtype::F32);
+impl_element!(f64, Dtype::F64);
+
+/// Encode a slice of elements into little-endian bytes.
+pub fn encode_slice<T: Element>(data: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * T::DTYPE.size());
+    for &x in data {
+        x.write_le(&mut out);
+    }
+    out
+}
+
+/// Decode little-endian bytes into elements; errors when `bytes` is not a
+/// whole number of elements.
+pub fn decode_slice<T: Element>(bytes: &[u8]) -> Result<Vec<T>> {
+    let sz = T::DTYPE.size();
+    if !bytes.len().is_multiple_of(sz) {
+        return Err(Mh5Error::Corrupt(format!(
+            "payload of {} bytes is not a multiple of element size {sz}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes.chunks_exact(sz).map(T::read_le).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_codes_round_trip() {
+        for d in [Dtype::U8, Dtype::U16, Dtype::U32, Dtype::I32, Dtype::F32, Dtype::F64] {
+            assert_eq!(Dtype::from_code(d.code()).unwrap(), d);
+            assert!(d.size() >= 1 && d.size() <= 8);
+        }
+        assert!(Dtype::from_code(99).is_err());
+    }
+
+    #[test]
+    fn element_round_trips() {
+        fn rt<T: Element + PartialEq + std::fmt::Debug>(vals: &[T]) {
+            let bytes = encode_slice(vals);
+            assert_eq!(bytes.len(), vals.len() * T::DTYPE.size());
+            let back: Vec<T> = decode_slice(&bytes).unwrap();
+            assert_eq!(&back, vals);
+        }
+        rt::<u8>(&[0, 1, 127, 255]);
+        rt::<u16>(&[0, 1, 0xABCD, u16::MAX]);
+        rt::<u32>(&[0, 42, u32::MAX]);
+        rt::<i32>(&[i32::MIN, -1, 0, i32::MAX]);
+        rt::<f32>(&[0.0, -1.5, f32::MAX, f32::MIN_POSITIVE]);
+        rt::<f64>(&[0.0, std::f64::consts::PI, -1e300, 5e-324]);
+    }
+
+    #[test]
+    fn decode_rejects_ragged_payload() {
+        assert!(decode_slice::<u16>(&[1, 2, 3]).is_err());
+        assert!(decode_slice::<f64>(&[0; 12]).is_err());
+        assert!(decode_slice::<u8>(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn nan_survives_round_trip_as_bits() {
+        let bytes = encode_slice(&[f64::NAN]);
+        let back: Vec<f64> = decode_slice(&bytes).unwrap();
+        assert!(back[0].is_nan());
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for the mh5 container.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong reading or writing an mh5 file.
+#[derive(Debug)]
+pub enum Mh5Error {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the mh5 magic.
+    BadMagic([u8; 8]),
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header claims.
+    Truncated { expected: u64, actual: u64 },
+    /// Metadata CRC mismatch.
+    ChecksumMismatch { stored: u32, computed: u32 },
+    /// Structurally invalid metadata or chunk payload.
+    Corrupt(String),
+    /// Lookup of a path or name failed.
+    NotFound(String),
+    /// A child with this name already exists in the group.
+    DuplicateName(String),
+    /// Object names must be non-empty and must not contain `/` or NUL.
+    InvalidName(String),
+    /// The object exists but has the wrong kind (group vs dataset).
+    WrongKind { path: String, expected: &'static str },
+    /// Element type requested does not match the dataset dtype.
+    TypeMismatch { expected: &'static str, actual: &'static str },
+    /// Shape/chunk-shape validation failure.
+    BadShape(String),
+    /// A hyperslab selection leaves the dataset bounds.
+    SelectionOutOfBounds { axis: usize, offset: usize, count: usize, extent: usize },
+    /// Data length handed to a write does not match the selection.
+    LengthMismatch { expected: usize, actual: usize },
+    /// Writer misuse: operating on a finished writer, double-writing a
+    /// dataset, or finishing with unwritten datasets.
+    WriterState(String),
+}
+
+impl fmt::Display for Mh5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mh5Error::Io(e) => write!(f, "I/O error: {e}"),
+            Mh5Error::BadMagic(m) => write!(f, "not an mh5 file (magic {m:02x?})"),
+            Mh5Error::UnsupportedVersion(v) => write!(f, "unsupported mh5 format version {v}"),
+            Mh5Error::Truncated { expected, actual } => {
+                write!(f, "file truncated: header records {expected} bytes, found {actual}")
+            }
+            Mh5Error::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "metadata checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Mh5Error::Corrupt(what) => write!(f, "corrupt file: {what}"),
+            Mh5Error::NotFound(path) => write!(f, "object not found: {path}"),
+            Mh5Error::DuplicateName(name) => write!(f, "name already exists in group: {name}"),
+            Mh5Error::InvalidName(name) => {
+                write!(f, "invalid object name {name:?}: must be non-empty, no '/' or NUL")
+            }
+            Mh5Error::WrongKind { path, expected } => {
+                write!(f, "{path} is not a {expected}")
+            }
+            Mh5Error::TypeMismatch { expected, actual } => {
+                write!(f, "dataset holds {actual}, requested {expected}")
+            }
+            Mh5Error::BadShape(what) => write!(f, "invalid shape: {what}"),
+            Mh5Error::SelectionOutOfBounds { axis, offset, count, extent } => write!(
+                f,
+                "hyperslab out of bounds on axis {axis}: offset {offset} + count {count} > extent {extent}"
+            ),
+            Mh5Error::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match selection size {expected}")
+            }
+            Mh5Error::WriterState(what) => write!(f, "writer misuse: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Mh5Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Mh5Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Mh5Error {
+    fn from(e: io::Error) -> Self {
+        Mh5Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Mh5Error::BadMagic(*b"NOTMH5!!").to_string().contains("not an mh5 file"));
+        assert!(Mh5Error::Truncated { expected: 100, actual: 7 }.to_string().contains("100"));
+        let e = Mh5Error::SelectionOutOfBounds { axis: 2, offset: 5, count: 9, extent: 10 };
+        assert!(e.to_string().contains("axis 2"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: Mh5Error = io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,96 @@
+//! `mh5` — a minimal hierarchical scientific data container.
+//!
+//! The Laue reconstruction pipeline of Yue, Schwarz & Tischler consumes
+//! detector image stacks stored in HDF5. This crate is a from-scratch,
+//! dependency-free container implementing the *subset of HDF5 semantics the
+//! pipeline actually uses*:
+//!
+//! * a tree of named **groups**;
+//! * typed **attributes** (integers, floats, strings, small arrays) on any
+//!   object — used for the beamline geometry metadata;
+//! * N-dimensional (≤ 4-D) **datasets** of `u8 / u16 / u32 / i32 / f32 / f64`
+//!   with **chunked storage** and an optional RLE codec;
+//! * **hyperslab reads** (offset + count per axis), so the reconstruction can
+//!   stream a few detector rows at a time — exactly the access pattern of the
+//!   paper's row-slab GPU pipeline (its Fig. 2);
+//! * CRC-protected metadata with explicit corruption/truncation errors.
+//!
+//! # On-disk layout (version 1, little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"MH5F\r\n\x1a\n"
+//! 8       4     format version (u32) = 1
+//! 12      8     metadata block offset (u64, patched on finish)
+//! 20      8     metadata block length (u64)
+//! 28      8     total file length     (u64, truncation check)
+//! 36      ...   chunk payloads, back to back
+//! ...     ...   metadata block: crc32(u32) ‖ serialized object table
+//! ```
+//!
+//! The metadata block is a flat table of objects (object 0 is the root
+//! group); each object records its kind, name, attributes, and — for
+//! datasets — dtype, shape, chunk shape and the chunk directory
+//! `(file offset, stored length, raw length, codec)` in row-major chunk
+//! order.
+//!
+//! # Example
+//!
+//! ```
+//! use mh5::{AttrValue, Dtype, FileReader, FileWriter};
+//!
+//! let path = std::env::temp_dir().join("mh5_doc_example.mh5");
+//! let mut w = FileWriter::create(&path).unwrap();
+//! let entry = w.create_group(FileWriter::ROOT, "entry").unwrap();
+//! w.set_attr(entry, "beamline", AttrValue::Str("34-ID-E".into())).unwrap();
+//! let ds = w
+//!     .create_dataset(entry, "images", Dtype::U16, &[4, 8, 8], &[1, 4, 8])
+//!     .unwrap();
+//! let data: Vec<u16> = (0..4 * 8 * 8).map(|i| i as u16).collect();
+//! w.write_all(ds, &data).unwrap();
+//! w.finish().unwrap();
+//!
+//! let r = FileReader::open(&path).unwrap();
+//! let ds = r.resolve_path("/entry/images").unwrap();
+//! let rows: Vec<u16> = r.read_hyperslab(ds, &[2, 3, 0], &[1, 2, 8]).unwrap();
+//! assert_eq!(rows.len(), 16);
+//! assert_eq!(rows[0], data[2 * 64 + 3 * 8]);
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+pub mod attr;
+pub mod codec;
+pub mod crc;
+pub mod dtype;
+pub mod error;
+pub mod extend;
+pub mod meta;
+pub mod reader;
+pub mod shape;
+pub mod tools;
+pub mod writer;
+
+pub use attr::AttrValue;
+pub use codec::Codec;
+pub use dtype::{Dtype, Element};
+pub use error::Mh5Error;
+pub use meta::{DatasetInfo, ObjectId, ObjectKind};
+pub use reader::FileReader;
+pub use shape::Shape;
+pub use writer::FileWriter;
+
+/// Result alias for mh5 operations.
+pub type Result<T> = std::result::Result<T, Mh5Error>;
+
+/// File magic: mirrors the PNG/HDF5 trick of embedding CR LF and EOF bytes to
+/// catch text-mode transfer mangling.
+pub const MAGIC: [u8; 8] = *b"MH5F\r\n\x1a\n";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size preceding chunk payloads.
+pub const HEADER_LEN: u64 = 36;
+
+/// Maximum supported dataset rank.
+pub const MAX_RANK: usize = 4;

@@ -1,0 +1,467 @@
+//! The in-memory object table and its (de)serialization.
+//!
+//! The metadata block is a flat, index-addressed table of objects; object 0
+//! is always the root group. Children are referenced by index, names are
+//! unique within a group.
+
+use crate::attr::AttrValue;
+use crate::codec::Codec;
+use crate::dtype::Dtype;
+use crate::error::Mh5Error;
+use crate::shape::{Chunking, Shape};
+use crate::Result;
+
+/// Handle to an object (group or dataset) within one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectId(pub(crate) u32);
+
+impl ObjectId {
+    /// Index into the object table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What an object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    Group,
+    Dataset,
+}
+
+/// Directory entry for one stored chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Absolute file offset of the payload.
+    pub offset: u64,
+    /// Stored (possibly compressed) payload length.
+    pub stored_len: u64,
+    /// Decoded payload length.
+    pub raw_len: u64,
+    /// Codec the payload was stored with.
+    pub codec: Codec,
+    /// CRC-32 of the stored payload bytes; verified on every read so
+    /// payload corruption is caught, not just metadata corruption.
+    pub checksum: u32,
+}
+
+/// Dataset-specific metadata.
+#[derive(Debug, Clone)]
+pub struct DatasetMeta {
+    pub dtype: Dtype,
+    pub chunking: Chunking,
+    /// One entry per chunk, row-major over the chunk grid.
+    pub chunks: Vec<ChunkEntry>,
+}
+
+/// Public, read-only summary of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    pub dtype: Dtype,
+    pub shape: Vec<usize>,
+    pub chunk_shape: Vec<usize>,
+    pub n_chunks: usize,
+    /// Total stored bytes (after compression).
+    pub stored_bytes: u64,
+}
+
+/// One object in the table.
+#[derive(Debug, Clone)]
+pub struct Object {
+    pub name: String,
+    pub attrs: Vec<(String, AttrValue)>,
+    pub payload: Payload,
+}
+
+/// Kind-specific payload of an object.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    Group { children: Vec<u32> },
+    Dataset(DatasetMeta),
+}
+
+impl Object {
+    pub fn kind(&self) -> ObjectKind {
+        match self.payload {
+            Payload::Group { .. } => ObjectKind::Group,
+            Payload::Dataset(_) => ObjectKind::Dataset,
+        }
+    }
+}
+
+/// Validate an object name.
+pub fn validate_name(name: &str) -> Result<()> {
+    if name.is_empty() || name.contains('/') || name.contains('\0') {
+        return Err(Mh5Error::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// The whole object table.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectTable {
+    pub objects: Vec<Object>,
+}
+
+impl ObjectTable {
+    /// A table containing just the root group.
+    pub fn with_root() -> ObjectTable {
+        ObjectTable {
+            objects: vec![Object {
+                name: String::new(),
+                attrs: Vec::new(),
+                payload: Payload::Group { children: Vec::new() },
+            }],
+        }
+    }
+
+    /// Fetch an object, failing with `Corrupt` on a dangling id.
+    pub fn get(&self, id: ObjectId) -> Result<&Object> {
+        self.objects
+            .get(id.index())
+            .ok_or_else(|| Mh5Error::Corrupt(format!("dangling object id {}", id.0)))
+    }
+
+    /// Mutable fetch.
+    pub fn get_mut(&mut self, id: ObjectId) -> Result<&mut Object> {
+        self.objects
+            .get_mut(id.index())
+            .ok_or_else(|| Mh5Error::Corrupt(format!("dangling object id {}", id.0)))
+    }
+
+    /// Look up a child by name within a group.
+    pub fn child(&self, group: ObjectId, name: &str) -> Result<Option<ObjectId>> {
+        let obj = self.get(group)?;
+        let children = match &obj.payload {
+            Payload::Group { children } => children,
+            Payload::Dataset(_) => {
+                return Err(Mh5Error::WrongKind {
+                    path: obj.name.clone(),
+                    expected: "group",
+                })
+            }
+        };
+        for &c in children {
+            if self.get(ObjectId(c))?.name == name {
+                return Ok(Some(ObjectId(c)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Resolve an absolute `/a/b/c` path from the root.
+    pub fn resolve_path(&self, path: &str) -> Result<ObjectId> {
+        let mut cur = ObjectId(0);
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            cur = self
+                .child(cur, part)?
+                .ok_or_else(|| Mh5Error::NotFound(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Serialize the table (without the CRC prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.objects.len() * 64);
+        out.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
+        for obj in &self.objects {
+            match &obj.payload {
+                Payload::Group { .. } => out.push(0u8),
+                Payload::Dataset(_) => out.push(1u8),
+            }
+            write_str(&mut out, &obj.name);
+            out.extend_from_slice(&(obj.attrs.len() as u32).to_le_bytes());
+            for (name, value) in &obj.attrs {
+                write_str(&mut out, name);
+                value.encode(&mut out);
+            }
+            match &obj.payload {
+                Payload::Group { children } => {
+                    out.extend_from_slice(&(children.len() as u32).to_le_bytes());
+                    for c in children {
+                        out.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+                Payload::Dataset(ds) => {
+                    out.push(ds.dtype.code());
+                    let shape = ds.chunking.shape.dims();
+                    let chunk = ds.chunking.chunk.dims();
+                    out.push(shape.len() as u8);
+                    for &d in shape {
+                        out.extend_from_slice(&(d as u64).to_le_bytes());
+                    }
+                    for &d in chunk {
+                        out.extend_from_slice(&(d as u64).to_le_bytes());
+                    }
+                    out.extend_from_slice(&(ds.chunks.len() as u64).to_le_bytes());
+                    for e in &ds.chunks {
+                        out.extend_from_slice(&e.offset.to_le_bytes());
+                        out.extend_from_slice(&e.stored_len.to_le_bytes());
+                        out.extend_from_slice(&e.raw_len.to_le_bytes());
+                        out.push(e.codec.code());
+                        out.extend_from_slice(&e.checksum.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a serialized table, validating internal consistency.
+    pub fn decode(data: &[u8]) -> Result<ObjectTable> {
+        let mut cur = Cursor::new(data);
+        let count = cur.u32()? as usize;
+        if count == 0 {
+            return Err(Mh5Error::Corrupt("object table is empty (no root)".into()));
+        }
+        if count > 1 << 24 {
+            return Err(Mh5Error::Corrupt(format!("implausible object count {count}")));
+        }
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = cur.u8()?;
+            let name = cur.string()?;
+            let n_attrs = cur.u32()? as usize;
+            let mut attrs = Vec::with_capacity(n_attrs.min(1 << 16));
+            for _ in 0..n_attrs {
+                let aname = cur.string()?;
+                let value = AttrValue::decode(&mut cur)?;
+                attrs.push((aname, value));
+            }
+            let payload = match kind {
+                0 => {
+                    let n_children = cur.u32()? as usize;
+                    let mut children = Vec::with_capacity(n_children.min(1 << 20));
+                    for _ in 0..n_children {
+                        children.push(cur.u32()?);
+                    }
+                    Payload::Group { children }
+                }
+                1 => {
+                    let dtype = Dtype::from_code(cur.u8()?)?;
+                    let rank = cur.u8()? as usize;
+                    if rank == 0 || rank > crate::MAX_RANK {
+                        return Err(Mh5Error::Corrupt(format!("dataset rank {rank}")));
+                    }
+                    let mut shape = Vec::with_capacity(rank);
+                    for _ in 0..rank {
+                        shape.push(cur.u64()? as usize);
+                    }
+                    let mut chunk = Vec::with_capacity(rank);
+                    for _ in 0..rank {
+                        chunk.push(cur.u64()? as usize);
+                    }
+                    let chunking = Chunking::new(Shape::new(&shape)?, Shape::new(&chunk)?)?;
+                    let n_chunks = cur.u64()? as usize;
+                    if n_chunks != chunking.n_chunks() {
+                        return Err(Mh5Error::Corrupt(format!(
+                            "chunk directory has {n_chunks} entries, grid needs {}",
+                            chunking.n_chunks()
+                        )));
+                    }
+                    let mut chunks = Vec::with_capacity(n_chunks);
+                    for _ in 0..n_chunks {
+                        let offset = cur.u64()?;
+                        let stored_len = cur.u64()?;
+                        let raw_len = cur.u64()?;
+                        let codec = Codec::from_code(cur.u8()?)?;
+                        let checksum = cur.u32()?;
+                        chunks.push(ChunkEntry { offset, stored_len, raw_len, codec, checksum });
+                    }
+                    Payload::Dataset(DatasetMeta { dtype, chunking, chunks })
+                }
+                other => return Err(Mh5Error::Corrupt(format!("unknown object kind {other}"))),
+            };
+            objects.push(Object { name, attrs, payload });
+        }
+        if !cur.is_empty() {
+            return Err(Mh5Error::Corrupt(format!(
+                "{} trailing bytes after object table",
+                cur.remaining()
+            )));
+        }
+        let table = ObjectTable { objects };
+        // Validate child references.
+        for obj in &table.objects {
+            if let Payload::Group { children } = &obj.payload {
+                for &c in children {
+                    if c as usize >= table.objects.len() {
+                        return Err(Mh5Error::Corrupt(format!("dangling child id {c}")));
+                    }
+                }
+            }
+        }
+        match table.objects[0].payload {
+            Payload::Group { .. } => {}
+            _ => return Err(Mh5Error::Corrupt("object 0 is not a group".into())),
+        }
+        Ok(table)
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader used by all metadata decoding.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Mh5Error::Corrupt(format!(
+                "unexpected end of metadata: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| Mh5Error::Corrupt("name is not UTF-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ObjectTable {
+        let mut t = ObjectTable::with_root();
+        t.objects.push(Object {
+            name: "entry".into(),
+            attrs: vec![
+                ("beamline".into(), AttrValue::Str("34-ID-E".into())),
+                ("run".into(), AttrValue::Int(7)),
+            ],
+            payload: Payload::Group { children: vec![2] },
+        });
+        let chunking = Chunking::new(
+            Shape::new(&[4, 6, 9]).unwrap(),
+            Shape::new(&[1, 2, 9]).unwrap(),
+        )
+        .unwrap();
+        let chunks = (0..chunking.n_chunks())
+            .map(|i| ChunkEntry {
+                offset: 36 + 100 * i as u64,
+                stored_len: 36,
+                raw_len: 36,
+                codec: Codec::Raw,
+                checksum: 0xDEAD_BEEF,
+            })
+            .collect();
+        t.objects.push(Object {
+            name: "images".into(),
+            attrs: vec![("units".into(), AttrValue::Str("counts".into()))],
+            payload: Payload::Dataset(DatasetMeta { dtype: Dtype::U16, chunking, chunks }),
+        });
+        if let Payload::Group { children } = &mut t.objects[0].payload {
+            children.push(1);
+        }
+        t
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = sample_table();
+        let bytes = t.encode();
+        let back = ObjectTable::decode(&bytes).unwrap();
+        assert_eq!(back.objects.len(), 3);
+        assert_eq!(back.objects[1].name, "entry");
+        assert_eq!(back.objects[1].attrs, t.objects[1].attrs);
+        match (&back.objects[2].payload, &t.objects[2].payload) {
+            (Payload::Dataset(a), Payload::Dataset(b)) => {
+                assert_eq!(a.dtype, b.dtype);
+                assert_eq!(a.chunking, b.chunking);
+                assert_eq!(a.chunks, b.chunks);
+            }
+            _ => panic!("kind mismatch"),
+        }
+    }
+
+    #[test]
+    fn path_resolution() {
+        let t = sample_table();
+        assert_eq!(t.resolve_path("/").unwrap(), ObjectId(0));
+        assert_eq!(t.resolve_path("/entry").unwrap(), ObjectId(1));
+        assert_eq!(t.resolve_path("/entry/images").unwrap(), ObjectId(2));
+        assert_eq!(t.resolve_path("entry/images").unwrap(), ObjectId(2));
+        assert!(matches!(t.resolve_path("/entry/nope"), Err(Mh5Error::NotFound(_))));
+        // Descending through a dataset is a kind error.
+        assert!(matches!(
+            t.resolve_path("/entry/images/deeper"),
+            Err(Mh5Error::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let t = sample_table();
+        let bytes = t.encode();
+        // Truncation anywhere must error, never panic.
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ObjectTable::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage detected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(ObjectTable::decode(&extended).is_err());
+        // Unknown object kind.
+        let mut bad = bytes.clone();
+        bad[4] = 7; // first object's kind byte
+        assert!(ObjectTable::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("images").is_ok());
+        assert!(validate_name("with space").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("nul\0byte").is_err());
+    }
+
+    #[test]
+    fn dangling_child_rejected() {
+        let mut t = ObjectTable::with_root();
+        if let Payload::Group { children } = &mut t.objects[0].payload {
+            children.push(42);
+        }
+        let bytes = t.encode();
+        assert!(ObjectTable::decode(&bytes).is_err());
+    }
+}

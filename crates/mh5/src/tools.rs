@@ -1,0 +1,101 @@
+//! Inspection helpers: render a file's tree the way `h5ls -rv` would.
+
+use crate::attr::AttrValue;
+use crate::meta::{ObjectId, ObjectKind};
+use crate::reader::FileReader;
+use crate::Result;
+
+fn fmt_attr(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Int(v) => format!("{v}"),
+        AttrValue::Float(v) => format!("{v}"),
+        AttrValue::Str(s) => format!("{s:?}"),
+        AttrValue::IntArray(a) => format!("{a:?}"),
+        AttrValue::FloatArray(a) => {
+            if a.len() <= 6 {
+                format!("{a:?}")
+            } else {
+                format!("[{} floats]", a.len())
+            }
+        }
+    }
+}
+
+fn dump_object(r: &FileReader, id: ObjectId, path: &str, out: &mut String) -> Result<()> {
+    match r.kind(id)? {
+        ObjectKind::Group => {
+            out.push_str(&format!("{path}/\n"));
+            for (name, value) in r.attrs(id)? {
+                out.push_str(&format!("{path}/@{name} = {}\n", fmt_attr(value)));
+            }
+            for (name, child) in r.list(id)? {
+                let child_path = if path.is_empty() {
+                    format!("/{name}")
+                } else {
+                    format!("{path}/{name}")
+                };
+                dump_object(r, child, &child_path, out)?;
+            }
+        }
+        ObjectKind::Dataset => {
+            let info = r.dataset_info(id)?;
+            let shape: Vec<String> = info.shape.iter().map(|d| d.to_string()).collect();
+            let chunk: Vec<String> = info.chunk_shape.iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!(
+                "{path}  {} ({}) chunks ({}) ×{}, {} B stored\n",
+                info.dtype.name(),
+                shape.join("×"),
+                chunk.join("×"),
+                info.n_chunks,
+                info.stored_bytes,
+            ));
+            for (name, value) in r.attrs(id)? {
+                out.push_str(&format!("{path}/@{name} = {}\n", fmt_attr(value)));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Render the whole tree (groups, datasets, attributes) as text.
+pub fn dump_tree(r: &FileReader) -> Result<String> {
+    let mut out = String::new();
+    dump_object(r, r.root(), "", &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dtype, FileWriter};
+
+    #[test]
+    fn dump_covers_groups_datasets_and_attrs() {
+        let path = std::env::temp_dir().join(format!("mh5_tools_{}.mh5", std::process::id()));
+        let mut w = FileWriter::create(&path).unwrap();
+        let g = w.create_group(FileWriter::ROOT, "entry").unwrap();
+        w.set_attr(g, "beamline", AttrValue::Str("34-ID-E".into())).unwrap();
+        w.set_attr(g, "run", AttrValue::Int(12)).unwrap();
+        let ds = w
+            .create_dataset(g, "images", Dtype::U16, &[2, 3, 4], &[1, 3, 4])
+            .unwrap();
+        w.set_attr(ds, "units", AttrValue::Str("counts".into())).unwrap();
+        w.write_all(ds, &[7u16; 24]).unwrap();
+        w.finish().unwrap();
+
+        let r = FileReader::open(&path).unwrap();
+        let text = dump_tree(&r).unwrap();
+        assert!(text.contains("/entry/"));
+        assert!(text.contains("@beamline = \"34-ID-E\""));
+        assert!(text.contains("@run = 12"));
+        assert!(text.contains("/entry/images  u16 (2×3×4) chunks (1×3×4) ×2"));
+        assert!(text.contains("@units = \"counts\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn long_float_arrays_abbreviated() {
+        assert_eq!(fmt_attr(&AttrValue::FloatArray(vec![0.0; 9])), "[9 floats]");
+        assert_eq!(fmt_attr(&AttrValue::FloatArray(vec![1.0, 2.0])), "[1.0, 2.0]");
+    }
+}

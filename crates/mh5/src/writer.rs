@@ -1,0 +1,455 @@
+//! Writing mh5 files.
+//!
+//! The writer streams chunk payloads to disk as they arrive and keeps only
+//! metadata in memory; the metadata block and header back-patch happen in
+//! [`FileWriter::finish`]. Datasets may be written wholesale
+//! ([`write_all`](FileWriter::write_all)) or chunk by chunk
+//! ([`write_chunk`](FileWriter::write_chunk)) for generators that produce
+//! one image at a time.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::attr::AttrValue;
+use crate::codec::{encode_chunk, Codec};
+use crate::crc::crc32;
+use crate::dtype::{encode_slice, Dtype, Element};
+use crate::error::Mh5Error;
+use crate::meta::{
+    validate_name, ChunkEntry, DatasetMeta, Object, ObjectId, ObjectTable, Payload,
+};
+use crate::extend::ExtendableState;
+use crate::shape::{copy_box, Chunking, Shape};
+use crate::{Result, FORMAT_VERSION, HEADER_LEN, MAGIC};
+
+/// Streaming writer for an mh5 file.
+#[derive(Debug)]
+pub struct FileWriter {
+    out: BufWriter<File>,
+    table: ObjectTable,
+    /// Per-dataset chunk directories being filled (`None` = not yet written).
+    pending: Vec<Option<Vec<Option<ChunkEntry>>>>,
+    /// Preferred codec per dataset.
+    codecs: Vec<Codec>,
+    /// Growing datasets (see [`crate::extend`]).
+    extendables: Vec<ExtendableState>,
+    /// Next payload byte goes here.
+    offset: u64,
+    finished: bool,
+}
+
+impl FileWriter {
+    /// The root group of every file.
+    pub const ROOT: ObjectId = ObjectId(0);
+
+    /// Create (truncate) `path` and write the provisional header.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<FileWriter> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?; // metadata offset, patched later
+        out.write_all(&0u64.to_le_bytes())?; // metadata length
+        out.write_all(&0u64.to_le_bytes())?; // file length
+        Ok(FileWriter {
+            out,
+            table: ObjectTable::with_root(),
+            pending: vec![None],
+            codecs: vec![Codec::Raw],
+            extendables: Vec::new(),
+            offset: HEADER_LEN,
+            finished: false,
+        })
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.finished {
+            return Err(Mh5Error::WriterState("writer already finished".into()));
+        }
+        Ok(())
+    }
+
+    fn add_child(&mut self, parent: ObjectId, name: &str, payload: Payload) -> Result<ObjectId> {
+        validate_name(name)?;
+        if self.table.child(parent, name)?.is_some() {
+            return Err(Mh5Error::DuplicateName(name.to_string()));
+        }
+        let id = ObjectId(self.table.objects.len() as u32);
+        self.table.objects.push(Object {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            payload,
+        });
+        match &mut self.table.get_mut(parent)?.payload {
+            Payload::Group { children } => children.push(id.0),
+            Payload::Dataset(_) => {
+                // `child` above already rejected datasets; defensive.
+                return Err(Mh5Error::WrongKind {
+                    path: name.to_string(),
+                    expected: "group",
+                });
+            }
+        }
+        Ok(id)
+    }
+
+    /// Create a group under `parent`.
+    pub fn create_group(&mut self, parent: ObjectId, name: &str) -> Result<ObjectId> {
+        self.check_open()?;
+        let id = self.add_child(parent, name, Payload::Group { children: Vec::new() })?;
+        self.pending.push(None);
+        self.codecs.push(Codec::Raw);
+        Ok(id)
+    }
+
+    /// Create a dataset under `parent` with raw (uncompressed) chunks.
+    pub fn create_dataset(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        dtype: Dtype,
+        shape: &[usize],
+        chunk_shape: &[usize],
+    ) -> Result<ObjectId> {
+        self.create_dataset_with_codec(parent, name, dtype, shape, chunk_shape, Codec::Raw)
+    }
+
+    /// Create a dataset choosing the preferred chunk codec. With
+    /// [`Codec::Rle`], each chunk falls back to raw storage when RLE does not
+    /// shrink it.
+    pub fn create_dataset_with_codec(
+        &mut self,
+        parent: ObjectId,
+        name: &str,
+        dtype: Dtype,
+        shape: &[usize],
+        chunk_shape: &[usize],
+        codec: Codec,
+    ) -> Result<ObjectId> {
+        self.check_open()?;
+        let chunking = Chunking::new(Shape::new(shape)?, Shape::new(chunk_shape)?)?;
+        let n_chunks = chunking.n_chunks();
+        let id = self.add_child(
+            parent,
+            name,
+            Payload::Dataset(DatasetMeta { dtype, chunking, chunks: Vec::new() }),
+        )?;
+        self.pending.push(Some(vec![None; n_chunks]));
+        self.codecs.push(codec);
+        Ok(id)
+    }
+
+    /// Set (or replace) an attribute on any object.
+    pub fn set_attr(&mut self, obj: ObjectId, name: &str, value: AttrValue) -> Result<()> {
+        self.check_open()?;
+        validate_name(name)?;
+        let o = self.table.get_mut(obj)?;
+        if let Some(slot) = o.attrs.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            o.attrs.push((name.to_string(), value));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register_extendable(&mut self, state: ExtendableState) {
+        self.extendables.push(state);
+    }
+
+    pub(crate) fn extendable_mut(&mut self, ds: ObjectId) -> Option<&mut ExtendableState> {
+        self.extendables.iter_mut().find(|e| e.dataset == ds)
+    }
+
+    /// Grow an extendable dataset's pending chunk directory to `total`.
+    pub(crate) fn reserve_extendable_chunks(&mut self, ds: ObjectId, total: usize) -> Result<()> {
+        let dir = self.pending[ds.index()]
+            .as_mut()
+            .ok_or_else(|| Mh5Error::WriterState("not a dataset".into()))?;
+        if dir.len() < total {
+            dir.resize(total, None);
+        }
+        // Patch the recorded shape so write_chunk's bounds checks see the
+        // grown axis.
+        let state_slices = self
+            .extendables
+            .iter()
+            .find(|e| e.dataset == ds)
+            .map(|e| e.n_slices)
+            .unwrap_or(0);
+        if let Payload::Dataset(meta) = &mut self.table.get_mut(ds)?.payload {
+            let mut shape = meta.chunking.shape.dims().to_vec();
+            shape[0] = state_slices.max(1);
+            let chunk = meta.chunking.chunk.dims().to_vec();
+            meta.chunking = Chunking::new(Shape::new(&shape)?, Shape::new(&chunk)?)?;
+        }
+        Ok(())
+    }
+
+    fn dataset_meta(&self, ds: ObjectId) -> Result<&DatasetMeta> {
+        match &self.table.get(ds)?.payload {
+            Payload::Dataset(m) => Ok(m),
+            Payload::Group { .. } => Err(Mh5Error::WrongKind {
+                path: self.table.get(ds)?.name.clone(),
+                expected: "dataset",
+            }),
+        }
+    }
+
+    /// Write one chunk (by linear chunk index) of a dataset. `data` must
+    /// contain exactly the chunk's (clipped) elements in row-major order.
+    pub fn write_chunk<T: Element>(
+        &mut self,
+        ds: ObjectId,
+        chunk_index: usize,
+        data: &[T],
+    ) -> Result<()> {
+        self.check_open()?;
+        let meta = self.dataset_meta(ds)?;
+        if T::DTYPE != meta.dtype {
+            return Err(Mh5Error::TypeMismatch {
+                expected: T::DTYPE.name(),
+                actual: meta.dtype.name(),
+            });
+        }
+        let n_chunks = meta.chunking.n_chunks();
+        if chunk_index >= n_chunks {
+            return Err(Mh5Error::BadShape(format!(
+                "chunk index {chunk_index} outside directory of {n_chunks}"
+            )));
+        }
+        let expected = meta.chunking.chunk_elements(chunk_index);
+        if data.len() != expected {
+            return Err(Mh5Error::LengthMismatch { expected, actual: data.len() });
+        }
+        let raw = encode_slice(data);
+        let prefer = self.codecs[ds.index()];
+        let (payload, codec) = encode_chunk(&raw, prefer);
+        let entry = ChunkEntry {
+            offset: self.offset,
+            stored_len: payload.len() as u64,
+            raw_len: raw.len() as u64,
+            codec,
+            checksum: crc32(&payload),
+        };
+        let slot = self.pending[ds.index()]
+            .as_mut()
+            .expect("dataset always has a pending directory");
+        if slot[chunk_index].is_some() {
+            return Err(Mh5Error::WriterState(format!(
+                "chunk {chunk_index} written twice"
+            )));
+        }
+        self.out.write_all(&payload)?;
+        self.offset += payload.len() as u64;
+        slot[chunk_index] = Some(entry);
+        Ok(())
+    }
+
+    /// Write a whole dataset at once; `data` is the full row-major array.
+    pub fn write_all<T: Element>(&mut self, ds: ObjectId, data: &[T]) -> Result<()> {
+        self.check_open()?;
+        let meta = self.dataset_meta(ds)?;
+        let chunking = meta.chunking;
+        let n_elements = chunking.shape.n_elements();
+        if data.len() != n_elements {
+            return Err(Mh5Error::LengthMismatch { expected: n_elements, actual: data.len() });
+        }
+        let rank = chunking.shape.rank();
+        let elem = T::DTYPE.size();
+        let bytes = encode_slice(data);
+        let mut chunk_buf: Vec<u8> = Vec::new();
+        for ci in 0..chunking.n_chunks() {
+            let coords = chunking.chunk_coords(ci);
+            let origin = chunking.chunk_origin(&coords[..rank]);
+            let extent = chunking.chunk_extent(&coords[..rank]);
+            let n: usize = extent[..rank].iter().product();
+            chunk_buf.clear();
+            chunk_buf.resize(n * elem, 0);
+            copy_box(
+                &bytes,
+                chunking.shape.dims(),
+                &origin[..rank],
+                &mut chunk_buf,
+                &extent[..rank],
+                &vec![0; rank],
+                &extent[..rank],
+                elem,
+            );
+            let decoded: Vec<T> = crate::dtype::decode_slice(&chunk_buf)?;
+            self.write_chunk(ds, ci, &decoded)?;
+        }
+        Ok(())
+    }
+
+    /// Finish the file: verify every dataset is complete, append the
+    /// CRC-protected metadata block, and patch the header.
+    pub fn finish(mut self) -> Result<()> {
+        self.check_open()?;
+        // Finalize extendable datasets: at least one slice, shape patched.
+        for state in &self.extendables {
+            if state.n_slices == 0 {
+                let name = self.table.get(state.dataset)?.name.clone();
+                return Err(Mh5Error::WriterState(format!(
+                    "extendable dataset {name:?} never received a slice"
+                )));
+            }
+        }
+        // Move pending chunk directories into the table, verifying coverage.
+        for (idx, pending) in self.pending.iter_mut().enumerate() {
+            if let Some(dir) = pending.take() {
+                let name = self.table.objects[idx].name.clone();
+                let mut chunks = Vec::with_capacity(dir.len());
+                for (ci, e) in dir.into_iter().enumerate() {
+                    match e {
+                        Some(e) => chunks.push(e),
+                        None => {
+                            return Err(Mh5Error::WriterState(format!(
+                                "dataset {name:?} chunk {ci} never written"
+                            )))
+                        }
+                    }
+                }
+                if let Payload::Dataset(meta) = &mut self.table.objects[idx].payload {
+                    meta.chunks = chunks;
+                }
+            }
+        }
+        let body = self.table.encode();
+        let crc = crc32(&body);
+        let meta_offset = self.offset;
+        let meta_len = 4 + body.len() as u64;
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.out.write_all(&body)?;
+        let file_len = meta_offset + meta_len;
+        // Patch the header.
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(12))?;
+        file.write_all(&meta_offset.to_le_bytes())?;
+        file.write_all(&meta_len.to_le_bytes())?;
+        file.write_all(&file_len.to_le_bytes())?;
+        file.flush()?;
+        self.finished = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("mh5_writer_{}_{name}.mh5", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn header_is_written_up_front() {
+        let p = tmp("header");
+        let w = FileWriter::create(&p).unwrap();
+        drop(w);
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.len() >= HEADER_LEN as usize);
+        assert_eq!(&bytes[..8], &MAGIC);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let p = tmp("dup");
+        let mut w = FileWriter::create(&p).unwrap();
+        w.create_group(FileWriter::ROOT, "entry").unwrap();
+        assert!(matches!(
+            w.create_group(FileWriter::ROOT, "entry"),
+            Err(Mh5Error::DuplicateName(_))
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let p = tmp("names");
+        let mut w = FileWriter::create(&p).unwrap();
+        assert!(w.create_group(FileWriter::ROOT, "a/b").is_err());
+        assert!(w.create_group(FileWriter::ROOT, "").is_err());
+        assert!(w.set_attr(FileWriter::ROOT, "", AttrValue::Int(1)).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_dtype_rejected() {
+        let p = tmp("dtype");
+        let mut w = FileWriter::create(&p).unwrap();
+        let ds = w
+            .create_dataset(FileWriter::ROOT, "d", Dtype::U16, &[4], &[2])
+            .unwrap();
+        let bad = [1.0f64, 2.0];
+        assert!(matches!(
+            w.write_chunk(ds, 0, &bad),
+            Err(Mh5Error::TypeMismatch { .. })
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_chunk_length_rejected() {
+        let p = tmp("len");
+        let mut w = FileWriter::create(&p).unwrap();
+        let ds = w
+            .create_dataset(FileWriter::ROOT, "d", Dtype::U16, &[5], &[2])
+            .unwrap();
+        // chunks: [2, 2, 1]
+        assert!(w.write_chunk(ds, 0, &[1u16, 2]).is_ok());
+        assert!(matches!(
+            w.write_chunk(ds, 2, &[1u16, 2]),
+            Err(Mh5Error::LengthMismatch { expected: 1, actual: 2 })
+        ));
+        assert!(w.write_chunk(ds, 3, &[1u16]).is_err(), "index out of range");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let p = tmp("double");
+        let mut w = FileWriter::create(&p).unwrap();
+        let ds = w
+            .create_dataset(FileWriter::ROOT, "d", Dtype::U8, &[2], &[2])
+            .unwrap();
+        w.write_chunk(ds, 0, &[1u8, 2]).unwrap();
+        assert!(matches!(
+            w.write_chunk(ds, 0, &[1u8, 2]),
+            Err(Mh5Error::WriterState(_))
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn finish_requires_complete_datasets() {
+        let p = tmp("incomplete");
+        let mut w = FileWriter::create(&p).unwrap();
+        let ds = w
+            .create_dataset(FileWriter::ROOT, "d", Dtype::U8, &[4], &[2])
+            .unwrap();
+        w.write_chunk(ds, 0, &[1u8, 2]).unwrap();
+        assert!(matches!(w.finish(), Err(Mh5Error::WriterState(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn attrs_replace_in_place() {
+        let p = tmp("attrs");
+        let mut w = FileWriter::create(&p).unwrap();
+        w.set_attr(FileWriter::ROOT, "x", AttrValue::Int(1)).unwrap();
+        w.set_attr(FileWriter::ROOT, "x", AttrValue::Int(2)).unwrap();
+        assert_eq!(w.table.objects[0].attrs.len(), 1);
+        assert_eq!(w.table.objects[0].attrs[0].1, AttrValue::Int(2));
+        std::fs::remove_file(&p).ok();
+    }
+}

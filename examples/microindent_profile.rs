@@ -1,0 +1,125 @@
+//! Domain scenario from the paper's introduction: plastic-deformation
+//! microstructure under a microindent in a Cu single crystal.
+//!
+//! The damage zone under an indent scatters strongly near the surface and
+//! decays with depth. We synthesize that depth-graded structure, run the
+//! wire-scan reconstruction, and print the recovered damage-vs-depth
+//! profile — the measurement 34-ID-E makes with this algorithm.
+//!
+//! Run with: `cargo run --release --example microindent_profile`
+
+use laue::prelude::*;
+use laue::wire::forward::{render_stack, RenderOptions};
+
+fn main() {
+    // 64 wire steps to cover a deep column of sample. The unambiguous
+    // depth window of a wire scan is set by the separation of the two wire
+    // edges (structure deeper than that aliases with opposite sign), so a
+    // deep damage profile needs a thick wire: 120 µm radius here gives a
+    // ≈ 400 µm valid window.
+    let detector = DetectorGeometry::overhead(12, 12, 200.0, 30_000.0).expect("detector");
+    let wire = WireGeometry::along_x(
+        120.0,
+        Vec3::new(0.0, 15_000.0, -100.0),
+        Vec3::new(0.0, 0.0, 4.0),
+        64,
+    )
+    .expect("wire");
+    let geom = ScanGeometry { beam: Beam::along_z(), wire, detector };
+    let mapper = geom.mapper().expect("mapper");
+
+    // ------------------------------------------------------------------
+    // Build the indent damage field: scatterers at depths 0..250 µm below
+    // the (per-pixel) top of the sweep window, with intensity decaying
+    // exponentially over 80 µm and laterally over 3 pixels from the
+    // indent axis at detector centre.
+    // ------------------------------------------------------------------
+    let mut plan = SamplePlan::new();
+    let (cr, cc) = (5.5f64, 5.5f64);
+    for r in 0..12 {
+        for c in 0..12 {
+            let lateral =
+                (((r as f64 - cr).powi(2) + (c as f64 - cc).powi(2)) / (2.0 * 3.0f64 * 3.0)).exp();
+            let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
+            let d0 = mapper
+                .depth(pixel, geom.wire.center(0).unwrap(), WireEdge::Leading)
+                .unwrap();
+            let d_last = mapper
+                .depth(pixel, geom.wire.center(63).unwrap(), WireEdge::Leading)
+                .unwrap();
+            let (lo, hi) = (d0.min(d_last), d0.max(d_last));
+            let surface = lo + (hi - lo) * 0.15; // "sample surface" for this pixel
+            for layer in 0..12 {
+                let depth_below_surface = layer as f64 * 20.0;
+                let depth = surface + depth_below_surface;
+                if depth > hi - (hi - lo) * 0.15 {
+                    break;
+                }
+                let intensity = 400.0 * (-depth_below_surface / 80.0).exp() / lateral;
+                if intensity < 2.0 {
+                    continue;
+                }
+                plan.add_point(r, c, depth, intensity).unwrap();
+            }
+        }
+    }
+    println!("indent model: {} scatterers, {:.0} total counts", plan.len(), plan.total_intensity());
+
+    let images = render_stack(
+        &geom,
+        &plan,
+        &RenderOptions { background: 8.0, noise: 0.5, seed: 1, ..Default::default() },
+    )
+    .expect("forward model");
+
+    // ------------------------------------------------------------------
+    // Reconstruct on the GPU engine and integrate laterally.
+    // ------------------------------------------------------------------
+    let mut cfg = ReconstructionConfig::new(-2000.0, 2000.0, 400);
+    cfg.intensity_cutoff = 3.0;
+    let pipeline = Pipeline::default();
+    let mut source = InMemorySlabSource::new(images, 64, 12, 12).expect("source");
+    let report = pipeline
+        .run_source(&mut source, &geom, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .expect("reconstruction");
+    println!("{}\n", report.summary());
+
+    // Per-pixel damage profile relative to each pixel's surface: realign by
+    // the pixel's surface depth and accumulate.
+    let mut aligned = vec![0.0f64; 30]; // 20 µm bins below surface
+    for r in 0..12 {
+        for c in 0..12 {
+            let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
+            let d0 = mapper
+                .depth(pixel, geom.wire.center(0).unwrap(), WireEdge::Leading)
+                .unwrap();
+            let d_last = mapper
+                .depth(pixel, geom.wire.center(63).unwrap(), WireEdge::Leading)
+                .unwrap();
+            let (lo, hi) = (d0.min(d_last), d0.max(d_last));
+            let surface = lo + (hi - lo) * 0.15;
+            for bin in 0..cfg.n_depth_bins {
+                let depth = cfg.bin_center(bin);
+                let below = depth - surface;
+                if below < 0.0 {
+                    continue;
+                }
+                let k = (below / 20.0) as usize;
+                if k < aligned.len() {
+                    aligned[k] += report.image.at(bin, r, c);
+                }
+            }
+        }
+    }
+
+    println!("depth below surface (µm)   integrated damage signal");
+    let max = aligned.iter().cloned().fold(1.0f64, f64::max);
+    for (k, v) in aligned.iter().enumerate().take(15) {
+        let bar = "█".repeat(((v / max) * 40.0).round() as usize);
+        println!("{:>8} – {:<8} {:>12.0}  {bar}", k * 20, (k + 1) * 20, v);
+    }
+    println!(
+        "\nthe signal decays with depth (e-folding ≈ 80 µm in the model) — \
+         the depth-graded deformation the paper's intro describes"
+    );
+}

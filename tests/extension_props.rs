@@ -1,0 +1,250 @@
+//! Property tests for the extension modules: post-processing, multi-GPU,
+//! planning, and the depth-table engine.
+
+use laue::prelude::*;
+use laue::sim::Device;
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// post-processing
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Smoothing never moves values outside the input's [min, max] hull and
+    /// is the identity for sigma = 0.
+    #[test]
+    fn smoothing_respects_hull(
+        profile in proptest::collection::vec(-50.0..500.0f64, 4..64),
+        sigma in 0.0..4.0f64,
+    ) {
+        let s = laue::core::post::smooth_profile(&profile, sigma);
+        prop_assert_eq!(s.len(), profile.len());
+        let lo = profile.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = profile.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in &s {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+        if sigma == 0.0 {
+            prop_assert_eq!(s, profile);
+        }
+    }
+
+    /// Every peak found is a genuine local maximum above threshold, and the
+    /// global maximum (when above threshold) is always found first.
+    #[test]
+    fn peaks_are_local_maxima(
+        profile in proptest::collection::vec(0.0..100.0f64, 3..48),
+        threshold in 0.0..60.0f64,
+    ) {
+        let cfg = ReconstructionConfig::new(0.0, profile.len() as f64, profile.len());
+        let peaks = laue::core::post::find_peaks(&profile, &cfg, threshold);
+        for p in &peaks {
+            prop_assert!(p.height > threshold);
+            let i = p.bin;
+            if i > 0 {
+                prop_assert!(profile[i - 1] < profile[i] + 1e-12);
+            }
+            if i + 1 < profile.len() {
+                prop_assert!(profile[i + 1] <= profile[i]);
+            }
+        }
+        let global = profile.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if global > threshold {
+            prop_assert!(!peaks.is_empty(), "global max {global} above threshold must be found");
+            prop_assert!((peaks[0].height - global).abs() < 1e-12);
+        }
+        // Sorted by height.
+        for w in peaks.windows(2) {
+            prop_assert!(w[0].height >= w[1].height);
+        }
+    }
+
+    /// The depth map returns the global-maximum bin of each profile when no
+    /// smoothing is applied.
+    #[test]
+    fn depth_map_matches_argmax(
+        values in proptest::collection::vec(0.0..100.0f64, 12),
+    ) {
+        let cfg = ReconstructionConfig::new(0.0, 120.0, 12);
+        let mut img = DepthImage::zeroed(12, 1, 1);
+        for (b, v) in values.iter().enumerate() {
+            *img.at_mut(b, 0, 0) = *v;
+        }
+        let map = depth_map(&img, &cfg, &DepthMapOptions { smoothing_sigma: 0.0, min_height: 0.0 });
+        let best = values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        match map[0] {
+            Some(d) => {
+                let bin = ((d - cfg.depth_start) / cfg.bin_width()) as usize;
+                prop_assert!((values[bin] - best).abs() < 1e-12);
+            }
+            None => prop_assert!(best <= 0.0, "no peak only when profile is non-positive"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// multi-GPU and engine equivalences over random scenarios
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    rows: usize,
+    cols: usize,
+    steps: usize,
+    seed: u64,
+    n_dev: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..=6, 3usize..=6, 4usize..=8, any::<u64>(), 1usize..=4).prop_map(
+        |(rows, cols, steps, seed, n_dev)| Scenario { rows, cols, steps, seed, n_dev },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multi-GPU banding and the depth-table engine both reproduce the CPU
+    /// result bit-for-bit on arbitrary scans.
+    #[test]
+    fn all_engines_bitwise_equal(s in arb_scenario()) {
+        let scan = SyntheticScanBuilder::new(s.rows, s.cols, s.steps)
+            .scatterers(3)
+            .noise(0.5)
+            .seed(s.seed)
+            .build()
+            .unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 50);
+        let view = ScanView::new(&scan.images, s.steps, s.rows, s.cols).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &scan.geometry, &cfg).unwrap();
+
+        // Multi-GPU.
+        let devices: Vec<Device> = (0..s.n_dev)
+            .map(|_| Device::new(DeviceProps::tiny(8 * 1024 * 1024)))
+            .collect();
+        let refs: Vec<&Device> = devices.iter().collect();
+        let mut source =
+            InMemorySlabSource::new(scan.images.clone(), s.steps, s.rows, s.cols).unwrap();
+        let multi = reconstruct_multi(&refs, &mut source, &scan.geometry, &cfg, GpuOptions::default())
+            .unwrap();
+        prop_assert_eq!(&multi.image.data, &cpu_out.image.data);
+        prop_assert_eq!(multi.stats, cpu_out.stats);
+
+        // Depth-table engine.
+        let device = Device::new(DeviceProps::tiny(8 * 1024 * 1024));
+        let mut source =
+            InMemorySlabSource::new(scan.images.clone(), s.steps, s.rows, s.cols).unwrap();
+        let tables = gpu::reconstruct_with_options(
+            &device,
+            &mut source,
+            &scan.geometry,
+            &cfg,
+            GpuOptions { layout: Layout::Flat1d, triangulation: Triangulation::HostTables, ..GpuOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(&tables.image.data, &cpu_out.image.data);
+    }
+
+    /// Rebinning conserves intensity for arbitrary images and bin counts.
+    #[test]
+    fn rebin_conserves_mass(
+        values in proptest::collection::vec(0.0..100.0f64, 24),
+        new_bins in 1usize..40,
+    ) {
+        let cfg = ReconstructionConfig::new(-60.0, 60.0, 24);
+        let mut img = DepthImage::zeroed(24, 1, 1);
+        for (b, v) in values.iter().enumerate() {
+            *img.at_mut(b, 0, 0) = *v;
+        }
+        let (out, new_cfg) = laue::core::post::rebin(&img, &cfg, new_bins);
+        let total: f64 = values.iter().sum();
+        prop_assert!((out.total_intensity() - total).abs() <= 1e-9 * (1.0 + total));
+        prop_assert_eq!(out.n_bins, new_bins);
+        prop_assert_eq!(new_cfg.n_depth_bins, new_bins);
+        // Round-tripping back to the original axis also conserves.
+        let (back, _) = laue::core::post::rebin(&out, &new_cfg, 24);
+        prop_assert!((back.total_intensity() - total).abs() <= 1e-9 * (1.0 + total));
+    }
+
+    /// Wire calibration recovers random scan-direction shifts from clean
+    /// transition observations.
+    #[test]
+    fn calibration_recovers_random_shifts(shift in -25.0..25.0f64) {
+        use laue::core::calibrate::{calibrate_wire_origin, transitions_from_stack};
+        let nominal = ScanGeometry::demo(6, 6, 40, -70.0, 4.0).unwrap();
+        let step_dir = nominal.wire.step.normalized().unwrap();
+        let true_geom = ScanGeometry {
+            beam: nominal.beam,
+            wire: WireGeometry::new(
+                nominal.wire.axis,
+                nominal.wire.radius,
+                nominal.wire.origin + step_dir * shift,
+                nominal.wire.step,
+                nominal.wire.n_steps,
+            )
+            .unwrap(),
+            detector: nominal.detector.clone(),
+        };
+        // Sources at mid-sweep of a few pixels, rendered with the TRUE wire.
+        let mapper_nom = nominal.mapper().unwrap();
+        let mapper_true = true_geom.mapper().unwrap();
+        let mut pixels = Vec::new();
+        for &(r, c) in &[(1usize, 1usize), (4, 4), (2, 5)] {
+            let (lo, hi) =
+                laue::core::planning::sweep_window(&nominal, &mapper_nom, r, c).unwrap();
+            pixels.push((r, c, (lo + hi) / 2.0));
+        }
+        let (p, m, n) = (40, 6, 6);
+        let mut stack = vec![5.0f64; p * m * n];
+        for &(r, c, d) in &pixels {
+            let px = true_geom.detector.pixel_to_xyz(r, c).unwrap();
+            for z in 0..p {
+                if !mapper_true.occludes(d, px, true_geom.wire.center(z).unwrap()) {
+                    stack[(z * m + r) * n + c] += 300.0;
+                }
+            }
+        }
+        let view = ScanView::new(&stack, p, m, n).unwrap();
+        let obs = transitions_from_stack(&view, &pixels);
+        prop_assume!(obs.len() == pixels.len()); // shift must keep all transitions in-scan
+        let cal = calibrate_wire_origin(&nominal, &obs, 40.0, 6).unwrap();
+        // Observed steps quantise to ±0.5 step ⇒ ±2 µm of wire travel.
+        prop_assert!(
+            (cal.offset_along_scan - shift).abs() <= 2.5,
+            "fitted {} vs true {shift}",
+            cal.offset_along_scan
+        );
+    }
+
+    /// The planner always produces a runnable scan that covers its target
+    /// whenever it claims success.
+    #[test]
+    fn planner_delivers_what_it_promises(
+        lo in -60.0..40.0f64,
+        len in 10.0..60.0f64,
+        res in 1.0..8.0f64,
+    ) {
+        let base = ScanGeometry::demo(9, 9, 16, -40.0, 8.0).unwrap();
+        match plan_scan(&base, lo, lo + len, res) {
+            Err(_) => {} // out of the valid window — allowed
+            Ok(plan) => {
+                prop_assert!(plan.resolution <= res + 1e-6);
+                prop_assert!(plan.sweep.0 <= lo + 1e-6);
+                prop_assert!(plan.sweep.1 >= lo + len - 1e-6);
+                // Runnable geometry.
+                let g = ScanGeometry {
+                    beam: base.beam,
+                    wire: plan.wire.clone(),
+                    detector: base.detector.clone(),
+                };
+                prop_assert!(g.mapper().is_ok());
+                prop_assert!(plan.wire.n_steps >= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Region-of-interest reconstruction: cropping the detector and the source
+//! must reproduce exactly the corresponding sub-block of the full
+//! reconstruction, on every engine.
+
+use laue::prelude::*;
+use laue::sim::Device;
+
+fn scan() -> SyntheticScan {
+    SyntheticScanBuilder::new(10, 12, 14)
+        .scatterers(20)
+        .noise(0.5)
+        .background(15.0)
+        .seed(77)
+        .build()
+        .unwrap()
+}
+
+fn cfg() -> ReconstructionConfig {
+    ReconstructionConfig::new(-2000.0, 2000.0, 120)
+}
+
+#[test]
+fn roi_reconstruction_is_a_subblock_of_the_full_one() {
+    let s = scan();
+    let cfg = cfg();
+    let (r0, c0, nr, nc) = (3usize, 4usize, 5usize, 6usize);
+
+    // Full reconstruction.
+    let view = ScanView::new(&s.images, 14, 10, 12).unwrap();
+    let full = cpu::reconstruct_seq(&view, &s.geometry, &cfg).unwrap();
+
+    // ROI reconstruction: cropped geometry + ROI source.
+    let roi_geom = s.geometry.crop(r0, c0, nr, nc).unwrap();
+    let inner = InMemorySlabSource::new(s.images.clone(), 14, 10, 12).unwrap();
+    let mut roi_src = laue::core::input::RoiSlabSource::new(inner, r0, c0, nr, nc).unwrap();
+
+    // CPU streaming over the ROI.
+    let roi_cpu = cpu::reconstruct_streaming(&mut roi_src, &roi_geom, &cfg, 2).unwrap();
+    for bin in 0..cfg.n_depth_bins {
+        for r in 0..nr {
+            for c in 0..nc {
+                assert_eq!(
+                    roi_cpu.image.at(bin, r, c),
+                    full.image.at(bin, r0 + r, c0 + c),
+                    "bin {bin}, pixel ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    // GPU over the ROI.
+    let inner = InMemorySlabSource::new(s.images.clone(), 14, 10, 12).unwrap();
+    let mut roi_src = laue::core::input::RoiSlabSource::new(inner, r0, c0, nr, nc).unwrap();
+    let device = Device::new(DeviceProps::tiny(8 * 1024 * 1024));
+    let roi_gpu =
+        gpu::reconstruct(&device, &mut roi_src, &roi_geom, &cfg, Layout::Flat1d).unwrap();
+    assert_eq!(roi_gpu.image.data, roi_cpu.image.data, "GPU ROI matches CPU ROI");
+}
+
+#[test]
+fn full_frame_roi_is_the_identity() {
+    let s = scan();
+    let cfg = cfg();
+    let view = ScanView::new(&s.images, 14, 10, 12).unwrap();
+    let full = cpu::reconstruct_seq(&view, &s.geometry, &cfg).unwrap();
+
+    let roi_geom = s.geometry.crop(0, 0, 10, 12).unwrap();
+    let inner = InMemorySlabSource::new(s.images.clone(), 14, 10, 12).unwrap();
+    let mut roi_src = laue::core::input::RoiSlabSource::new(inner, 0, 0, 10, 12).unwrap();
+    let roi = cpu::reconstruct_streaming(&mut roi_src, &roi_geom, &cfg, 4).unwrap();
+    assert_eq!(roi.image.data, full.image.data);
+    assert_eq!(roi.stats, full.stats);
+}
+
+#[test]
+fn roi_runs_cost_proportionally_less() {
+    // The point of ROIs: a quarter of the pixels costs a quarter of the work.
+    let s = scan();
+    let cfg = cfg();
+    let view = ScanView::new(&s.images, 14, 10, 12).unwrap();
+    let full = cpu::reconstruct_seq(&view, &s.geometry, &cfg).unwrap();
+
+    let roi_geom = s.geometry.crop(0, 0, 5, 6).unwrap();
+    let inner = InMemorySlabSource::new(s.images.clone(), 14, 10, 12).unwrap();
+    let mut roi_src = laue::core::input::RoiSlabSource::new(inner, 0, 0, 5, 6).unwrap();
+    let roi = cpu::reconstruct_streaming(&mut roi_src, &roi_geom, &cfg, 5).unwrap();
+    assert_eq!(roi.stats.pairs_total * 4, full.stats.pairs_total);
+    assert!(roi.cost.flops < full.cost.flops / 3);
+}
