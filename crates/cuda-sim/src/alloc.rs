@@ -24,6 +24,10 @@ struct FreeBlock {
 #[derive(Debug)]
 pub struct Allocator {
     capacity: u64,
+    /// Optional soft cap below `capacity`: the device *reports* (and this
+    /// allocator enforces) only this many bytes, modelling a card partly
+    /// occupied by another tenant. Installed by fault injection.
+    limit: Option<u64>,
     /// Sorted, non-adjacent free blocks.
     free: Vec<FreeBlock>,
     /// Outstanding allocations: `(start, len)`, kept for validation.
@@ -37,20 +41,35 @@ impl Allocator {
     pub fn new(capacity: u64) -> Allocator {
         Allocator {
             capacity,
-            free: vec![FreeBlock { start: 0, len: capacity }],
+            limit: None,
+            free: vec![FreeBlock {
+                start: 0,
+                len: capacity,
+            }],
             live: Vec::new(),
             peak_used: 0,
         }
     }
 
-    /// Total capacity in bytes.
+    /// Total capacity in bytes, as reported to callers. A soft limit (see
+    /// [`Allocator::set_limit`]) lowers the reported value.
     pub fn capacity(&self) -> u64 {
-        self.capacity
+        match self.limit {
+            Some(l) => l.min(self.capacity),
+            None => self.capacity,
+        }
+    }
+
+    /// Install (or clear) a soft capacity cap below the physical size.
+    /// Capping below the bytes already in use makes every further
+    /// allocation fail until enough is freed.
+    pub fn set_limit(&mut self, limit: Option<u64>) {
+        self.limit = limit;
     }
 
     /// Bytes currently allocated.
     pub fn used(&self) -> u64 {
-        self.capacity - self.free_total()
+        self.capacity - self.raw_free()
     }
 
     /// High-water mark of allocated bytes.
@@ -58,14 +77,26 @@ impl Allocator {
         self.peak_used
     }
 
-    /// Total free bytes (may be fragmented).
-    pub fn free_total(&self) -> u64 {
+    /// Free bytes in the actual free list, ignoring any soft limit.
+    fn raw_free(&self) -> u64 {
         self.free.iter().map(|b| b.len).sum()
     }
 
-    /// Largest single free block.
+    /// Total free bytes (may be fragmented), as reported to callers —
+    /// clamped by the soft limit so the capacity lie stays consistent.
+    pub fn free_total(&self) -> u64 {
+        self.raw_free()
+            .min(self.capacity().saturating_sub(self.used()))
+    }
+
+    /// Largest single free block, clamped like [`Allocator::free_total`].
     pub fn largest_free(&self) -> u64 {
-        self.free.iter().map(|b| b.len).max().unwrap_or(0)
+        self.free
+            .iter()
+            .map(|b| b.len)
+            .max()
+            .unwrap_or(0)
+            .min(self.free_total())
     }
 
     /// Number of live allocations.
@@ -79,6 +110,16 @@ impl Allocator {
             return Err(SimError::InvalidRequest("zero-byte allocation".into()));
         }
         let len = bytes.div_ceil(ALIGN) * ALIGN;
+        // Enforce the soft limit before touching the free list, so a cap
+        // below current usage fails cleanly instead of finding a real block.
+        if self.used() + len > self.capacity() {
+            return Err(SimError::OutOfMemory {
+                requested: len,
+                largest_free: self.largest_free(),
+                free_total: self.free_total(),
+                capacity: self.capacity(),
+            });
+        }
         // First fit.
         for i in 0..self.free.len() {
             if self.free[i].len >= len {
@@ -98,7 +139,7 @@ impl Allocator {
             requested: len,
             largest_free: self.largest_free(),
             free_total: self.free_total(),
-            capacity: self.capacity,
+            capacity: self.capacity(),
         })
     }
 
@@ -169,7 +210,12 @@ mod tests {
         a.free(c0);
         // Now free space = 256 (hole) — asking 512 must OOM with stats.
         match a.alloc(512) {
-            Err(SimError::OutOfMemory { requested, largest_free, free_total, capacity }) => {
+            Err(SimError::OutOfMemory {
+                requested,
+                largest_free,
+                free_total,
+                capacity,
+            }) => {
                 assert_eq!(requested, 512);
                 assert_eq!(largest_free, 256);
                 assert_eq!(free_total, 256);
@@ -214,6 +260,46 @@ mod tests {
             a.free(b);
         }
         assert!(a.alloc(1024).is_ok());
+    }
+
+    #[test]
+    fn soft_limit_caps_reported_and_usable_memory() {
+        let mut a = Allocator::new(4096);
+        a.set_limit(Some(1024));
+        assert_eq!(a.capacity(), 1024);
+        assert_eq!(a.free_total(), 1024);
+        let x = a.alloc(512).unwrap();
+        assert_eq!(a.free_total(), 512);
+        assert_eq!(a.largest_free(), 512, "clamped below the real 3584 B hole");
+        match a.alloc(1024) {
+            Err(SimError::OutOfMemory {
+                requested,
+                free_total,
+                capacity,
+                ..
+            }) => {
+                assert_eq!(requested, 1024);
+                assert_eq!(free_total, 512);
+                assert_eq!(capacity, 1024, "the lie is consistent");
+            }
+            other => panic!("expected OOM under the soft limit, got {other:?}"),
+        }
+        a.free(x);
+        a.set_limit(None);
+        assert_eq!(a.capacity(), 4096);
+        assert!(
+            a.alloc(4096).is_ok(),
+            "clearing the limit restores capacity"
+        );
+    }
+
+    #[test]
+    fn soft_limit_below_usage_blocks_all_allocation() {
+        let mut a = Allocator::new(4096);
+        let _x = a.alloc(2048).unwrap();
+        a.set_limit(Some(1024));
+        assert_eq!(a.free_total(), 0, "already over the cap");
+        assert!(a.alloc(1).is_err());
     }
 
     #[test]

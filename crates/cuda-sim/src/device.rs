@@ -5,15 +5,16 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::alloc::Allocator;
-use crate::error::SimError;
+use crate::alloc::{Allocator, ALIGN};
+use crate::error::{SimError, TransferDir};
 use crate::event::Event;
-use crate::trace::OpRecord;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::kernel::{Dim3, LaunchConfig, ThreadCtx, WorkerState};
 use crate::memory::{Allocation, DeviceBuffer, DeviceScalar};
 use crate::meter::{Cost, LaunchRecord, Meters};
 use crate::props::{DeviceProps, ExecMode};
 use crate::stream::{StreamId, Timelines};
+use crate::trace::OpRecord;
 use crate::Result;
 
 static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
@@ -48,6 +49,8 @@ pub struct Device {
     props: DeviceProps,
     allocator: Arc<Mutex<Allocator>>,
     state: Mutex<DeviceState>,
+    /// Scripted fault schedule, if any (see [`crate::fault`]).
+    fault: Mutex<Option<FaultState>>,
 }
 
 impl Device {
@@ -65,6 +68,7 @@ impl Device {
                 ops: Vec::new(),
                 exec_mode: ExecMode::Sequential,
             }),
+            fault: Mutex::new(None),
             props,
         }
     }
@@ -83,6 +87,87 @@ impl Device {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install a scripted fault schedule. Subsequent allocations, copies
+    /// and launches consult the plan; a `report_mem` knob additionally caps
+    /// the memory this device reports and grants.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.allocator.lock().set_limit(plan.report_mem);
+        *self.fault.lock() = Some(FaultState::new(plan));
+    }
+
+    /// Remove any fault schedule and restore the real memory capacity.
+    pub fn clear_fault_plan(&self) {
+        self.allocator.lock().set_limit(None);
+        *self.fault.lock() = None;
+    }
+
+    /// What the installed plan has injected so far (`None` without a plan).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.lock().as_ref().map(|f| f.stats)
+    }
+
+    /// Consult the fault plan before an allocation of `bytes` (pre-align).
+    /// An injected allocation fault is surfaced as an ordinary
+    /// [`SimError::OutOfMemory`] carrying the real allocator statistics, so
+    /// callers re-plan identically for scripted and genuine exhaustion.
+    fn fault_check_alloc(&self, bytes: u64) -> Result<()> {
+        let outcome = match self.fault.lock().as_mut() {
+            Some(f) => f.on_alloc(),
+            None => Ok(()),
+        };
+        outcome.map_err(|e| match e {
+            SimError::InvalidRequest(_) => {
+                let a = self.allocator.lock();
+                SimError::OutOfMemory {
+                    requested: bytes.div_ceil(ALIGN) * ALIGN,
+                    largest_free: a.largest_free(),
+                    free_total: a.free_total(),
+                    capacity: a.capacity(),
+                }
+            }
+            other => other,
+        })
+    }
+
+    /// Consult the fault plan before a transfer. A transient fault still
+    /// charges the bus time (the wire was busy while the copy failed) and
+    /// leaves a `"fault"` op in the trace.
+    fn fault_check_transfer(&self, dir: TransferDir, stream: StreamId, bytes: u64) -> Result<()> {
+        let outcome = match self.fault.lock().as_mut() {
+            Some(f) => f.on_transfer(dir),
+            None => Ok(()),
+        };
+        if let Err(e) = outcome {
+            if e.is_transient() {
+                let dur = self.props.transfer_time(bytes);
+                let mut st = self.state.lock();
+                let (start_s, end_s) = st.timelines.schedule(stream, dur);
+                st.meters.comm_time_s += dur;
+                st.ops.push(OpRecord {
+                    kind: "fault",
+                    name: format!("{} fault {bytes} B", dir.to_string().to_uppercase()),
+                    stream: stream.index(),
+                    start_s,
+                    end_s,
+                });
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Consult the fault plan before a kernel launch.
+    fn fault_check_launch(&self) -> Result<()> {
+        match self.fault.lock().as_mut() {
+            Some(f) => f.on_launch(),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Memory management
     // ------------------------------------------------------------------
 
@@ -92,8 +177,13 @@ impl Device {
             return Err(SimError::InvalidRequest("zero-length buffer".into()));
         }
         let bytes = len as u64 * T::SIZE;
+        self.fault_check_alloc(bytes)?;
         let addr = self.allocator.lock().alloc(bytes)?;
-        let allocation = Allocation { addr, bytes, allocator: Arc::clone(&self.allocator) };
+        let allocation = Allocation {
+            addr,
+            bytes,
+            allocator: Arc::clone(&self.allocator),
+        };
         Ok(DeviceBuffer::new(len, allocation, self.id))
     }
 
@@ -164,6 +254,16 @@ impl Device {
                 host_len: src.len(),
             });
         }
+        if let Err(e) =
+            self.fault_check_transfer(TransferDir::HostToDevice, stream, buf.modeled_bytes())
+        {
+            if e.is_transient() {
+                // A failed DMA may have written any prefix of the buffer;
+                // poison it all so a retry must fully rewrite the data.
+                buf.poison();
+            }
+            return Err(e);
+        }
         for (i, &v) in src.iter().enumerate() {
             buf.store(i, v);
         }
@@ -206,6 +306,18 @@ impl Device {
                 device_len: buf.len(),
                 host_len: dst.len(),
             });
+        }
+        if let Err(e) =
+            self.fault_check_transfer(TransferDir::DeviceToHost, stream, buf.modeled_bytes())
+        {
+            if e.is_transient() {
+                // Partial-DMA analogue on the host side: scribble garbage
+                // into the destination so the caller cannot use it.
+                for v in dst.iter_mut() {
+                    *v = T::from_word(0xDEAD_BEEF_DEAD_BEEF);
+                }
+            }
+            return Err(e);
         }
         for (i, v) in dst.iter_mut().enumerate() {
             *v = buf.load(i);
@@ -252,6 +364,7 @@ impl Device {
         F: Fn(&mut ThreadCtx<'_>) + Sync,
     {
         cfg.validate(&self.props)?;
+        self.fault_check_launch()?;
         let exec_mode = self.state.lock().exec_mode;
         let (cost, traces) = match exec_mode {
             ExecMode::Sequential => run_blocks(cfg, 0..cfg.grid.count(), &kernel),
@@ -292,7 +405,11 @@ impl Device {
         };
         let mut st = self.state.lock();
         let (start_s, end_s) = st.timelines.schedule(stream, duration);
-        let record = LaunchRecord { start_s, end_s, ..record };
+        let record = LaunchRecord {
+            start_s,
+            end_s,
+            ..record
+        };
         st.meters.compute_time_s += duration;
         st.meters.launches += 1;
         st.meters.kernel_cost.merge(&cost);
@@ -328,6 +445,22 @@ impl Device {
     /// [`TimeSpan::end_s`] or [`LaunchRecord::end_s`]).
     pub fn wait_until(&self, stream: StreamId, t: f64) {
         self.state.lock().timelines.wait_until(stream, t);
+    }
+
+    /// Enqueue idle time on `stream` — the virtual-time analogue of a
+    /// host-side sleep, used as retry backoff after a transient fault. The
+    /// interval shows up in the trace but charges no meter.
+    pub fn delay(&self, stream: StreamId, seconds: f64) -> TimeSpan {
+        let mut st = self.state.lock();
+        let (start_s, end_s) = st.timelines.schedule(stream, seconds.max(0.0));
+        st.ops.push(OpRecord {
+            kind: "idle",
+            name: format!("backoff {seconds:.3e} s"),
+            stream: stream.index(),
+            start_s,
+            end_s,
+        });
+        TimeSpan { start_s, end_s }
     }
 
     /// Device-wide barrier; returns the virtual time at the barrier.
@@ -407,7 +540,11 @@ fn run_block_range<F>(
                 for tx in 0..cfg.block.x {
                     let mut ctx = ThreadCtx {
                         block_idx,
-                        thread_idx: Dim3 { x: tx, y: ty, z: tz },
+                        thread_idx: Dim3 {
+                            x: tx,
+                            y: ty,
+                            z: tz,
+                        },
                         grid_dim: cfg.grid,
                         block_dim: cfg.block,
                         state,
@@ -462,7 +599,10 @@ mod tests {
         let d = tiny_device();
         let a = d.alloc::<f64>(4096).unwrap(); // 32 KiB
         let _b = d.alloc::<f64>(3000).unwrap(); // ~24 KiB
-        assert!(matches!(d.alloc::<f64>(2048), Err(SimError::OutOfMemory { .. })));
+        assert!(matches!(
+            d.alloc::<f64>(2048),
+            Err(SimError::OutOfMemory { .. })
+        ));
         d.free(a);
         assert!(d.alloc::<f64>(2048).is_ok(), "freeing makes room");
         assert!(d.mem_peak() >= d.mem_used());
@@ -494,7 +634,10 @@ mod tests {
         let buf = d.alloc::<u32>(4).unwrap();
         assert!(matches!(
             d.memcpy_htod(&buf, &[1u32, 2]),
-            Err(SimError::CopyLengthMismatch { device_len: 4, host_len: 2 })
+            Err(SimError::CopyLengthMismatch {
+                device_len: 4,
+                host_len: 2
+            })
         ));
         let mut small = [0u32; 3];
         assert!(d.memcpy_dtoh(&buf, &mut small).is_err());
@@ -525,7 +668,10 @@ mod tests {
         .unwrap();
         let mut host = vec![0u64; 100];
         d.memcpy_dtoh(&counts, &mut host).unwrap();
-        assert!(host.iter().all(|&c| c == 1), "each element visited exactly once");
+        assert!(
+            host.iter().all(|&c| c == 1),
+            "each element visited exactly once"
+        );
     }
 
     #[test]
@@ -655,6 +801,117 @@ mod tests {
         d.launch_on(s, "dependent", LaunchConfig::linear(8, 8), |_| {})
             .unwrap();
         assert!(d.elapsed_s() >= copy_done);
+    }
+
+    #[test]
+    fn injected_alloc_fault_reads_as_oom_with_real_stats() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).fail_nth_alloc(2));
+        let _a = d.alloc::<f64>(16).unwrap();
+        match d.alloc::<f64>(16) {
+            Err(SimError::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            }) => {
+                assert_eq!(requested, 256, "aligned request size");
+                assert_eq!(capacity, 1 << 16, "real capacity reported");
+            }
+            other => panic!("expected injected OOM, got {other:?}"),
+        }
+        assert!(d.alloc::<f64>(16).is_ok(), "fault is one-shot");
+        assert_eq!(d.fault_stats().unwrap().allocs_failed, 1);
+    }
+
+    #[test]
+    fn transient_h2d_fault_poisons_then_retry_succeeds() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).fail_nth_h2d(1));
+        let buf = d.alloc::<f64>(4).unwrap();
+        let data = [1.0f64, 2.0, 3.0, 4.0];
+        let before = d.meters().comm_time_s;
+        match d.memcpy_htod(&buf, &data) {
+            Err(SimError::TransferFault {
+                dir: TransferDir::HostToDevice,
+                index: 1,
+            }) => {}
+            other => panic!("expected h2d fault, got {other:?}"),
+        }
+        assert!(
+            d.meters().comm_time_s > before,
+            "failed copy still burnt bus time"
+        );
+        assert_eq!(
+            d.meters().h2d_bytes,
+            0,
+            "no payload counted for the failure"
+        );
+        assert!(d.ops().iter().any(|o| o.kind == "fault"));
+        // Device memory is garbage now; the retry rewrites it fully.
+        d.memcpy_htod(&buf, &data).unwrap();
+        let mut back = [0.0f64; 4];
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn transient_d2h_fault_scribbles_host_destination() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).fail_nth_d2h(1));
+        let buf = d.alloc_from_slice(&[7.0f64, 8.0]).unwrap();
+        let mut out = [0.0f64; 2];
+        assert!(d.memcpy_dtoh(&buf, &mut out).is_err());
+        assert!(out.iter().all(|v| v.to_bits() == 0xDEAD_BEEF_DEAD_BEEF));
+        d.memcpy_dtoh(&buf, &mut out).unwrap();
+        assert_eq!(out, [7.0, 8.0]);
+    }
+
+    #[test]
+    fn lost_device_refuses_everything() {
+        let d = tiny_device();
+        let buf = d.alloc_from_slice(&[0.0f64; 4]).unwrap();
+        // alloc + h2d above consumed 2 ops; allow one more, then lose it.
+        d.set_fault_plan(FaultPlan::new(0).fail_after(1));
+        d.launch("ok", LaunchConfig::linear(4, 4), |_| {}).unwrap();
+        assert!(matches!(
+            d.launch("dead", LaunchConfig::linear(4, 4), |_| {}),
+            Err(SimError::DeviceLost)
+        ));
+        assert!(matches!(d.alloc::<f64>(1), Err(SimError::DeviceLost)));
+        let mut out = [0.0f64; 4];
+        assert!(matches!(
+            d.memcpy_dtoh(&buf, &mut out),
+            Err(SimError::DeviceLost)
+        ));
+        assert_eq!(d.fault_stats().unwrap().refused_after_loss, 3);
+    }
+
+    #[test]
+    fn report_mem_caps_device_capacity() {
+        let d = tiny_device();
+        assert_eq!(d.mem_capacity(), 1 << 16);
+        d.set_fault_plan(FaultPlan::new(0).report_mem_bytes(1 << 12));
+        assert_eq!(
+            d.mem_capacity(),
+            1 << 12,
+            "capacity lie visible to planners"
+        );
+        assert!(d.alloc::<f64>(1024).is_err(), "8 KiB over a 4 KiB cap");
+        assert!(d.alloc::<f64>(256).is_ok());
+        d.clear_fault_plan();
+        assert_eq!(d.mem_capacity(), 1 << 16);
+        assert!(d.alloc::<f64>(1024).is_ok());
+    }
+
+    #[test]
+    fn delay_advances_stream_clock_without_metering() {
+        let d = tiny_device();
+        let before = d.meters();
+        let span = d.delay(StreamId::DEFAULT, 0.25);
+        assert_eq!((span.start_s, span.end_s), (0.0, 0.25));
+        assert_eq!(d.elapsed_s(), 0.25);
+        assert_eq!(d.meters(), before, "idle time charges no meter");
+        assert!(d.ops().iter().any(|o| o.kind == "idle"));
     }
 
     #[test]

@@ -2,6 +2,24 @@
 
 use std::fmt;
 
+/// Direction of a host↔device copy, used to label transfer faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host memory → device memory (`memcpy_htod`).
+    HostToDevice,
+    /// Device memory → host memory (`memcpy_dtoh`).
+    DeviceToHost,
+}
+
+impl fmt::Display for TransferDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferDir::HostToDevice => write!(f, "h2d"),
+            TransferDir::DeviceToHost => write!(f, "d2h"),
+        }
+    }
+}
+
 /// Everything that can go wrong talking to the simulated device.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -20,6 +38,22 @@ pub enum SimError {
     ForeignBuffer,
     /// Zero-sized allocation or other invalid request.
     InvalidRequest(String),
+    /// A host↔device copy failed transiently (injected fault); the copy may
+    /// be retried and the `index`th transfer in that direction is the one
+    /// that failed.
+    TransferFault { dir: TransferDir, index: u64 },
+    /// The device stopped responding (injected hard failure); every further
+    /// operation on it fails with this error.
+    DeviceLost,
+}
+
+impl SimError {
+    /// Is this error worth retrying on the same device? Only transient
+    /// transfer faults qualify — out-of-memory wants a smaller plan, and a
+    /// lost device wants a different device (or the CPU).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::TransferFault { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +71,10 @@ impl fmt::Display for SimError {
             ),
             SimError::ForeignBuffer => write!(f, "buffer belongs to a different device"),
             SimError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+            SimError::TransferFault { dir, index } => {
+                write!(f, "transient transfer fault on {dir} copy #{index}")
+            }
+            SimError::DeviceLost => write!(f, "device lost: it no longer responds"),
         }
     }
 }
@@ -57,6 +95,32 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("100") && s.contains("640"));
-        assert!(SimError::ForeignBuffer.to_string().contains("different device"));
+        assert!(SimError::ForeignBuffer
+            .to_string()
+            .contains("different device"));
+        let t = SimError::TransferFault {
+            dir: TransferDir::HostToDevice,
+            index: 3,
+        };
+        assert!(t.to_string().contains("h2d") && t.to_string().contains("#3"));
+        assert!(SimError::DeviceLost.to_string().contains("lost"));
+    }
+
+    #[test]
+    fn only_transfer_faults_are_transient() {
+        assert!(SimError::TransferFault {
+            dir: TransferDir::DeviceToHost,
+            index: 1
+        }
+        .is_transient());
+        assert!(!SimError::DeviceLost.is_transient());
+        assert!(!SimError::OutOfMemory {
+            requested: 1,
+            largest_free: 0,
+            free_total: 0,
+            capacity: 0
+        }
+        .is_transient());
+        assert!(!SimError::ForeignBuffer.is_transient());
     }
 }

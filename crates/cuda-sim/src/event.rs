@@ -23,7 +23,7 @@ impl Event {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{Device, DeviceProps, LaunchConfig};
 
     #[test]
@@ -55,6 +55,9 @@ mod tests {
         let rec = d
             .launch_on(s, "consumer", LaunchConfig::linear(8, 8), |_| {})
             .unwrap();
-        assert!(rec.start_s >= done.time_s(), "consumer starts after the event");
+        assert!(
+            rec.start_s >= done.time_s(),
+            "consumer starts after the event"
+        );
     }
 }

@@ -1,0 +1,341 @@
+//! Deterministic, seed-driven fault injection for the simulated device.
+//!
+//! Real GPU deployments fail in mundane ways: `cudaMalloc` returns
+//! out-of-memory because another process grabbed the card, a DMA transfer
+//! times out transiently, or the device falls off the bus entirely. The
+//! reconstruction pipeline has to survive all three — re-plan with smaller
+//! slabs, retry the copy, or degrade to the CPU engine. A [`FaultPlan`]
+//! scripts those failures reproducibly so the recovery paths are testable:
+//!
+//! * **counted faults** — "fail the Nth device allocation / H2D / D2H"
+//!   (1-based, injected exactly once);
+//! * **probabilistic faults** — each transfer fails with probability `p`,
+//!   drawn from a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//!   stream keyed by [`FaultPlan::seed`], so a given seed always produces
+//!   the same fault sequence;
+//! * **capacity lies** — the device reports only `report_mem` bytes of
+//!   memory (the "another tenant on the card" scenario), which both the
+//!   slab planner and the allocator observe;
+//! * **hard failure** — after `fail_after_ops` successful operations the
+//!   device is lost; every subsequent allocation, copy or launch returns
+//!   [`SimError::DeviceLost`].
+//!
+//! Injected transfer faults are *transient*: the same copy retried
+//! succeeds (unless the dice say otherwise again). Injected allocation
+//! faults surface as ordinary [`SimError::OutOfMemory`] with the real
+//! allocator statistics, so callers handle scripted and genuine OOM through
+//! one code path.
+
+use crate::error::{SimError, TransferDir};
+
+/// A scripted fault schedule. All knobs default to "never fail".
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic fault dice (probabilistic knobs only).
+    pub seed: u64,
+    /// Fail the Nth allocation (1-based) with an out-of-memory error.
+    pub fail_alloc_nth: Option<u64>,
+    /// Fail the Nth host→device copy (1-based) with a transient fault.
+    pub fail_h2d_nth: Option<u64>,
+    /// Fail the Nth device→host copy (1-based) with a transient fault.
+    pub fail_d2h_nth: Option<u64>,
+    /// Each H2D copy fails with this probability (transient).
+    pub h2d_fail_prob: f64,
+    /// Each D2H copy fails with this probability (transient).
+    pub d2h_fail_prob: f64,
+    /// Report (and enforce) only this much device memory.
+    pub report_mem: Option<u64>,
+    /// After this many successful device operations the device is lost.
+    pub fail_after_ops: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            fail_alloc_nth: None,
+            fail_h2d_nth: None,
+            fail_d2h_nth: None,
+            h2d_fail_prob: 0.0,
+            d2h_fail_prob: 0.0,
+            report_mem: None,
+            fail_after_ops: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder seed).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Fail the `n`th device allocation (1-based), once.
+    pub fn fail_nth_alloc(mut self, n: u64) -> FaultPlan {
+        self.fail_alloc_nth = Some(n);
+        self
+    }
+
+    /// Fail the `n`th host→device copy (1-based), once.
+    pub fn fail_nth_h2d(mut self, n: u64) -> FaultPlan {
+        self.fail_h2d_nth = Some(n);
+        self
+    }
+
+    /// Fail the `n`th device→host copy (1-based), once.
+    pub fn fail_nth_d2h(mut self, n: u64) -> FaultPlan {
+        self.fail_d2h_nth = Some(n);
+        self
+    }
+
+    /// Fail each H2D copy with probability `p` (transient).
+    pub fn h2d_fault_rate(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.h2d_fail_prob = p;
+        self
+    }
+
+    /// Fail each D2H copy with probability `p` (transient).
+    pub fn d2h_fault_rate(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.d2h_fail_prob = p;
+        self
+    }
+
+    /// Report (and enforce) only `bytes` of device memory.
+    pub fn report_mem_bytes(mut self, bytes: u64) -> FaultPlan {
+        self.report_mem = Some(bytes);
+        self
+    }
+
+    /// Lose the device after `n` successful operations.
+    pub fn fail_after(mut self, n: u64) -> FaultPlan {
+        self.fail_after_ops = Some(n);
+        self
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self != &FaultPlan {
+            seed: self.seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// Counters of what a [`FaultPlan`] actually injected on one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Allocation failures injected.
+    pub allocs_failed: u64,
+    /// H2D copy faults injected.
+    pub h2d_failed: u64,
+    /// D2H copy faults injected.
+    pub d2h_failed: u64,
+    /// Operations refused because the device was lost.
+    pub refused_after_loss: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected (excluding post-loss refusals).
+    pub fn total_injected(&self) -> u64 {
+        self.allocs_failed + self.h2d_failed + self.d2h_failed
+    }
+}
+
+/// Live fault state: the plan plus deterministic counters and dice.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+    allocs: u64,
+    h2d: u64,
+    d2h: u64,
+    ops_completed: u64,
+    lost: bool,
+    pub(crate) stats: FaultStats,
+}
+
+/// One SplitMix64 step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            rng: plan.seed ^ 0xA076_1D64_78BD_642F,
+            plan,
+            allocs: 0,
+            h2d: 0,
+            d2h: 0,
+            ops_completed: 0,
+            lost: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn dice(&mut self) -> f64 {
+        (splitmix64(&mut self.rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Gate shared by every device operation: fails permanently once the
+    /// scripted op budget is exhausted.
+    fn check_alive(&mut self) -> Result<(), SimError> {
+        if self.lost {
+            self.stats.refused_after_loss += 1;
+            return Err(SimError::DeviceLost);
+        }
+        if let Some(limit) = self.plan.fail_after_ops {
+            if self.ops_completed >= limit {
+                self.lost = true;
+                self.stats.refused_after_loss += 1;
+                return Err(SimError::DeviceLost);
+            }
+        }
+        Ok(())
+    }
+
+    /// Called by [`crate::Device`] before each allocation. `Ok(())` means
+    /// proceed with the real allocator.
+    pub(crate) fn on_alloc(&mut self) -> Result<(), SimError> {
+        self.check_alive()?;
+        self.allocs += 1;
+        if self.plan.fail_alloc_nth == Some(self.allocs) {
+            self.stats.allocs_failed += 1;
+            // Reported as plain OOM by the caller (which has the allocator
+            // statistics at hand); signal with a marker error here.
+            return Err(SimError::InvalidRequest("injected alloc fault".into()));
+        }
+        self.ops_completed += 1;
+        Ok(())
+    }
+
+    /// Called before each copy; `dir` picks the counter and dice.
+    pub(crate) fn on_transfer(&mut self, dir: TransferDir) -> Result<(), SimError> {
+        self.check_alive()?;
+        let (count, nth, prob) = match dir {
+            TransferDir::HostToDevice => {
+                self.h2d += 1;
+                (self.h2d, self.plan.fail_h2d_nth, self.plan.h2d_fail_prob)
+            }
+            TransferDir::DeviceToHost => {
+                self.d2h += 1;
+                (self.d2h, self.plan.fail_d2h_nth, self.plan.d2h_fail_prob)
+            }
+        };
+        let scripted = nth == Some(count);
+        let rolled = prob > 0.0 && self.dice() < prob;
+        if scripted || rolled {
+            match dir {
+                TransferDir::HostToDevice => self.stats.h2d_failed += 1,
+                TransferDir::DeviceToHost => self.stats.d2h_failed += 1,
+            }
+            return Err(SimError::TransferFault { dir, index: count });
+        }
+        self.ops_completed += 1;
+        Ok(())
+    }
+
+    /// Called before each kernel launch.
+    pub(crate) fn on_launch(&mut self) -> Result<(), SimError> {
+        self.check_alive()?;
+        self.ops_completed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut st = FaultState::new(plan);
+        for _ in 0..100 {
+            st.on_alloc().unwrap();
+            st.on_transfer(TransferDir::HostToDevice).unwrap();
+            st.on_transfer(TransferDir::DeviceToHost).unwrap();
+            st.on_launch().unwrap();
+        }
+        assert_eq!(st.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn nth_alloc_fails_exactly_once() {
+        let mut st = FaultState::new(FaultPlan::new(1).fail_nth_alloc(3));
+        assert!(st.on_alloc().is_ok());
+        assert!(st.on_alloc().is_ok());
+        assert!(st.on_alloc().is_err(), "third allocation must fail");
+        assert!(st.on_alloc().is_ok(), "fault is one-shot");
+        assert_eq!(st.stats.allocs_failed, 1);
+    }
+
+    #[test]
+    fn transfer_faults_are_deterministic_per_seed() {
+        let sequence = |seed: u64| -> Vec<bool> {
+            let mut st = FaultState::new(FaultPlan::new(seed).h2d_fault_rate(0.5));
+            (0..64)
+                .map(|_| st.on_transfer(TransferDir::HostToDevice).is_err())
+                .collect()
+        };
+        assert_eq!(sequence(7), sequence(7), "same seed, same faults");
+        assert_ne!(sequence(7), sequence(8), "different seed, different faults");
+        assert!(
+            sequence(7).iter().any(|&f| f),
+            "p = 0.5 must fire sometimes"
+        );
+        assert!(sequence(7).iter().any(|&f| !f), "and pass sometimes");
+    }
+
+    #[test]
+    fn hard_failure_is_permanent() {
+        let mut st = FaultState::new(FaultPlan::new(0).fail_after(2));
+        assert!(st.on_alloc().is_ok());
+        assert!(st.on_launch().is_ok());
+        assert!(matches!(st.on_alloc(), Err(SimError::DeviceLost)));
+        assert!(matches!(
+            st.on_transfer(TransferDir::DeviceToHost),
+            Err(SimError::DeviceLost)
+        ));
+        assert!(matches!(st.on_launch(), Err(SimError::DeviceLost)));
+        assert_eq!(st.stats.refused_after_loss, 3);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::new(42)
+            .fail_nth_alloc(1)
+            .fail_nth_h2d(2)
+            .fail_nth_d2h(3)
+            .h2d_fault_rate(0.1)
+            .d2h_fault_rate(0.2)
+            .report_mem_bytes(1 << 20)
+            .fail_after(99);
+        assert!(plan.is_active());
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.report_mem, Some(1 << 20));
+        assert_eq!(plan.fail_alloc_nth, Some(1));
+        let mut st = FaultState::new(plan);
+        assert!(st.on_alloc().is_err());
+        assert!(st.on_transfer(TransferDir::HostToDevice).is_ok());
+        match st.on_transfer(TransferDir::HostToDevice) {
+            Err(SimError::TransferFault {
+                dir: TransferDir::HostToDevice,
+                index: 2,
+            }) => {}
+            other => panic!("expected scripted h2d fault, got {other:?}"),
+        }
+        assert!(st.stats.total_injected() >= 2);
+    }
+}

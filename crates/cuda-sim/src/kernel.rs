@@ -48,7 +48,10 @@ impl LaunchConfig {
     /// 1-D helper: enough `block_size`-wide blocks to cover `n` threads.
     pub const fn linear(n: u64, block_size: u64) -> LaunchConfig {
         let blocks = n.div_ceil(block_size);
-        LaunchConfig { grid: Dim3::linear(blocks), block: Dim3::linear(block_size) }
+        LaunchConfig {
+            grid: Dim3::linear(blocks),
+            block: Dim3::linear(block_size),
+        }
     }
 
     /// Cover a 3-D domain `(x, y, z)` with blocks of shape `block`, exactly

@@ -60,6 +60,7 @@ pub mod alloc;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod meter;
@@ -68,14 +69,15 @@ pub mod stream;
 pub mod trace;
 
 pub use device::{Device, TimeSpan};
-pub use error::SimError;
+pub use error::{SimError, TransferDir};
 pub use event::Event;
-pub use trace::OpRecord;
+pub use fault::{FaultPlan, FaultStats};
 pub use kernel::{Dim3, LaunchConfig, ThreadCtx};
 pub use memory::{DeviceBuffer, DeviceScalar};
 pub use meter::{Cost, LaunchRecord, Meters, TRACE_SLOTS};
 pub use props::{DeviceProps, ExecMode, HostProps};
 pub use stream::StreamId;
+pub use trace::OpRecord;
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -44,11 +44,20 @@ macro_rules! impl_scalar {
     };
 }
 
-impl_scalar!(f64, 8, "f64", |v: f64| v.to_bits(), |w: u64| f64::from_bits(w));
-impl_scalar!(f32, 4, "f32", |v: f32| v.to_bits() as u64, |w: u64| f32::from_bits(w as u32));
+impl_scalar!(
+    f64,
+    8,
+    "f64",
+    |v: f64| v.to_bits(),
+    |w: u64| f64::from_bits(w)
+);
+impl_scalar!(f32, 4, "f32", |v: f32| v.to_bits() as u64, |w: u64| {
+    f32::from_bits(w as u32)
+});
 impl_scalar!(u64, 8, "u64", |v: u64| v, |w: u64| w);
 impl_scalar!(u32, 4, "u32", |v: u32| v as u64, |w: u64| w as u32);
-impl_scalar!(i32, 4, "i32", |v: i32| v as u32 as u64, |w: u64| w as u32 as i32);
+impl_scalar!(i32, 4, "i32", |v: i32| v as u32 as u64, |w: u64| w as u32
+    as i32);
 impl_scalar!(u16, 2, "u16", |v: u16| v as u64, |w: u64| w as u16);
 impl_scalar!(u8, 1, "u8", |v: u8| v as u64, |w: u64| w as u8);
 
@@ -81,11 +90,7 @@ pub struct DeviceBuffer<T: DeviceScalar> {
 }
 
 impl<T: DeviceScalar> DeviceBuffer<T> {
-    pub(crate) fn new(
-        len: usize,
-        allocation: Allocation,
-        device_id: u64,
-    ) -> DeviceBuffer<T> {
+    pub(crate) fn new(len: usize, allocation: Allocation, device_id: u64) -> DeviceBuffer<T> {
         let words: Arc<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(0)).collect();
         DeviceBuffer {
             words,
@@ -141,6 +146,16 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
     pub(crate) fn word(&self, i: usize) -> &AtomicU64 {
         &self.words[i]
     }
+
+    /// Scribble a recognisable garbage pattern over every element: a failed
+    /// DMA may have written any prefix, so fault injection poisons the whole
+    /// buffer to guarantee a retry that "worked" only because the data
+    /// survived from a partial copy cannot pass silently.
+    pub(crate) fn poison(&self) {
+        for w in self.words.iter() {
+            w.store(0xDEAD_BEEF_DEAD_BEEF, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +165,11 @@ mod tests {
     fn test_allocation(bytes: u64) -> Allocation {
         let alloc = Arc::new(Mutex::new(Allocator::new(1 << 20)));
         let addr = alloc.lock().alloc(bytes).unwrap();
-        Allocation { addr, bytes, allocator: alloc }
+        Allocation {
+            addr,
+            bytes,
+            allocator: alloc,
+        }
     }
 
     #[test]
@@ -186,6 +205,18 @@ mod tests {
     }
 
     #[test]
+    fn poison_overwrites_every_element() {
+        let buf: DeviceBuffer<f64> = DeviceBuffer::new(4, test_allocation(32), 1);
+        buf.store(0, 1.0);
+        buf.store(3, 4.0);
+        buf.poison();
+        let garbage = f64::from_bits(0xDEAD_BEEF_DEAD_BEEF);
+        for i in 0..4 {
+            assert_eq!(buf.load(i).to_bits(), garbage.to_bits());
+        }
+    }
+
+    #[test]
     fn clone_aliases_same_memory() {
         let buf: DeviceBuffer<u32> = DeviceBuffer::new(4, test_allocation(16), 1);
         let alias = buf.clone();
@@ -197,7 +228,11 @@ mod tests {
     fn drop_releases_allocation() {
         let alloc = Arc::new(Mutex::new(Allocator::new(1 << 20)));
         let addr = alloc.lock().alloc(64).unwrap();
-        let allocation = Allocation { addr, bytes: 64, allocator: Arc::clone(&alloc) };
+        let allocation = Allocation {
+            addr,
+            bytes: 64,
+            allocator: Arc::clone(&alloc),
+        };
         let buf: DeviceBuffer<u8> = DeviceBuffer::new(64, allocation, 1);
         assert!(alloc.lock().used() > 0);
         let alias = buf.clone();

@@ -102,7 +102,9 @@ impl ChainEstimator {
 
     /// Fresh estimator (one per executor worker, merged afterwards).
     pub fn new() -> ChainEstimator {
-        ChainEstimator { buckets: vec![0; Self::BUCKETS] }
+        ChainEstimator {
+            buckets: vec![0; Self::BUCKETS],
+        }
     }
 
     /// Record one atomic touching `address_index`.
@@ -137,8 +139,20 @@ mod tests {
 
     #[test]
     fn cost_merge_sums_and_maxes() {
-        let mut a = Cost { flops: 10, mem_bytes: 100, atomic_ops: 2, atomic_retries: 1, atomic_max_chain: 5 };
-        let b = Cost { flops: 3, mem_bytes: 7, atomic_ops: 4, atomic_retries: 0, atomic_max_chain: 2 };
+        let mut a = Cost {
+            flops: 10,
+            mem_bytes: 100,
+            atomic_ops: 2,
+            atomic_retries: 1,
+            atomic_max_chain: 5,
+        };
+        let b = Cost {
+            flops: 3,
+            mem_bytes: 7,
+            atomic_ops: 4,
+            atomic_retries: 0,
+            atomic_max_chain: 2,
+        };
         a.merge(&b);
         assert_eq!(a.flops, 13);
         assert_eq!(a.mem_bytes, 107);
@@ -169,7 +183,11 @@ mod tests {
 
     #[test]
     fn serial_total_is_sum() {
-        let m = Meters { comm_time_s: 1.5, compute_time_s: 2.5, ..Meters::default() };
+        let m = Meters {
+            comm_time_s: 1.5,
+            compute_time_s: 2.5,
+            ..Meters::default()
+        };
         assert_eq!(m.serial_total_s(), 4.0);
     }
 }

@@ -19,7 +19,7 @@ pub enum ExecMode {
     /// Run every simulated thread on the calling thread, in a fixed order.
     /// Fully deterministic, including floating-point accumulation order.
     Sequential,
-    /// Run blocks across `n` host worker threads (crossbeam scoped).
+    /// Run blocks across `n` host worker threads (std scoped threads).
     /// Functionally equivalent; atomic accumulation order may differ.
     Threaded(usize),
 }
@@ -159,7 +159,9 @@ impl DeviceProps {
 
     /// Peak double-precision throughput, FLOP/s.
     pub fn peak_dp_flops(&self) -> f64 {
-        self.sm_count as f64 * self.lanes_per_sm as f64 * self.clock_hz
+        self.sm_count as f64
+            * self.lanes_per_sm as f64
+            * self.clock_hz
             * self.dp_flops_per_lane_cycle
     }
 
@@ -179,7 +181,11 @@ impl DeviceProps {
         let atomic_throughput =
             cost.atomic_ops as f64 * self.atomic_op_time / (self.sm_count as f64);
         let atomic_serial = cost.atomic_max_chain as f64 * self.atomic_op_time;
-        self.launch_overhead + compute.max(memory).max(atomic_throughput).max(atomic_serial)
+        self.launch_overhead
+            + compute
+                .max(memory)
+                .max(atomic_throughput)
+                .max(atomic_serial)
     }
 }
 
@@ -274,11 +280,17 @@ mod tests {
     fn kernel_time_is_roofline() {
         let d = DeviceProps::tesla_m2070();
         // Pure compute: 515 GFLOP should take ~1 s.
-        let c = Cost { flops: 515_200_000_000, ..Cost::default() };
+        let c = Cost {
+            flops: 515_200_000_000,
+            ..Cost::default()
+        };
         let t = d.kernel_time(&c);
         assert!((t - 1.0).abs() < 0.01, "{t}");
         // Memory-bound kernel: 150 GB at 150 GB/s ≈ 1 s.
-        let c = Cost { mem_bytes: 150_000_000_000, ..Cost::default() };
+        let c = Cost {
+            mem_bytes: 150_000_000_000,
+            ..Cost::default()
+        };
         assert!((d.kernel_time(&c) - 1.0).abs() < 0.01);
         // Max, not sum.
         let c = Cost {
@@ -292,15 +304,26 @@ mod tests {
     #[test]
     fn atomic_serialization_dominates_hot_addresses() {
         let d = DeviceProps::tesla_m2070();
-        let spread = Cost { atomic_ops: 10_000, atomic_max_chain: 10, ..Cost::default() };
-        let hot = Cost { atomic_ops: 10_000, atomic_max_chain: 10_000, ..Cost::default() };
+        let spread = Cost {
+            atomic_ops: 10_000,
+            atomic_max_chain: 10,
+            ..Cost::default()
+        };
+        let hot = Cost {
+            atomic_ops: 10_000,
+            atomic_max_chain: 10_000,
+            ..Cost::default()
+        };
         assert!(d.kernel_time(&hot) > 5.0 * d.kernel_time(&spread));
     }
 
     #[test]
     fn host_model_speedup_with_cores() {
         let h = HostProps::xeon_e5630();
-        let c = Cost { flops: 10_000_000_000, ..Cost::default() };
+        let c = Cost {
+            flops: 10_000_000_000,
+            ..Cost::default()
+        };
         let t1 = h.kernel_time(&c, 1);
         let t4 = h.kernel_time(&c, 4);
         assert!((t1 / t4 - 4.0).abs() < 0.01);
@@ -314,7 +337,10 @@ mod tests {
         // modeled M2070 is much faster than one Xeon core.
         let d = DeviceProps::tesla_m2070();
         let h = HostProps::xeon_e5630();
-        let c = Cost { flops: 1_000_000_000_000, ..Cost::default() };
+        let c = Cost {
+            flops: 1_000_000_000_000,
+            ..Cost::default()
+        };
         let ratio = h.kernel_time(&c, 1) / d.kernel_time(&c);
         assert!(ratio > 50.0, "modeled GPU/CPU ratio {ratio}");
     }

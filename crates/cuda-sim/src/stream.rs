@@ -66,6 +66,12 @@ impl Timelines {
         }
     }
 
+    /// Current clock of one stream: when its last enqueued operation ends.
+    /// Used by retry backoff to reason about idle time it injects.
+    pub fn cursor(&self, stream: StreamId) -> f64 {
+        self.cursors[stream.0]
+    }
+
     /// Overlapped makespan: when the last stream goes idle.
     pub fn elapsed(&self) -> f64 {
         self.cursors.iter().copied().fold(0.0, f64::max)
@@ -136,6 +142,15 @@ mod tests {
         t.wait_until(s, 0.5);
         let (start2, _) = t.schedule(s, 1.0);
         assert_eq!(start2, 3.0);
+    }
+
+    #[test]
+    fn cursor_tracks_per_stream_clock() {
+        let mut t = Timelines::new();
+        let s = t.create_stream();
+        t.schedule(StreamId::DEFAULT, 2.0);
+        assert_eq!(t.cursor(StreamId::DEFAULT), 2.0);
+        assert_eq!(t.cursor(s), 0.0, "other stream untouched");
     }
 
     #[test]

@@ -73,8 +73,20 @@ mod tests {
     #[test]
     fn trace_document_shape() {
         let ops = vec![
-            OpRecord { kind: "h2d", name: "1024 B".into(), stream: 0, start_s: 0.0, end_s: 1e-5 },
-            OpRecord { kind: "kernel", name: "set_two".into(), stream: 1, start_s: 1e-5, end_s: 3e-5 },
+            OpRecord {
+                kind: "h2d",
+                name: "1024 B".into(),
+                stream: 0,
+                start_s: 0.0,
+                end_s: 1e-5,
+            },
+            OpRecord {
+                kind: "kernel",
+                name: "set_two".into(),
+                stream: 1,
+                start_s: 1e-5,
+                end_s: 3e-5,
+            },
         ];
         let json = chrome_trace("Tesla M2070 (simulated)", &ops);
         assert!(json.starts_with("{\"traceEvents\":["));

@@ -190,3 +190,29 @@ proptest! {
         prop_assert!(host.iter().all(|&c| c == 1));
     }
 }
+
+/// Deterministic pin of the committed `cover_reaches_every_point`
+/// regression (see `proptests.proptest-regressions`): a z-only domain of
+/// `(1, 1, 3)` covered by `1×1×1` blocks once exposed a launch-geometry bug
+/// where the z extent was folded away and points were visited twice. Kept
+/// as a plain test so the exact geometry runs on every `cargo test`,
+/// independent of the proptest shim's sampling.
+#[test]
+fn cover_regression_z_only_domain_unit_blocks() {
+    let (dx, dy, dz) = (1u64, 1u64, 3u64);
+    let d = Device::new(DeviceProps::tiny(1 << 16));
+    let n = (dx * dy * dz) as usize;
+    let seen = d.alloc_zeroed::<u64>(n).unwrap();
+    let cfg = LaunchConfig::cover(Dim3::new(dx, dy, dz), Dim3::new(1, 1, 1));
+    d.launch("cover", cfg, |ctx| {
+        let g = ctx.global_id();
+        if g.x < dx && g.y < dy && g.z < dz {
+            let lin = ((g.z * dy + g.y) * dx + g.x) as usize;
+            ctx.atomic_add_u64(&seen, lin, 1);
+        }
+    })
+    .unwrap();
+    let mut host = vec![0u64; n];
+    d.memcpy_dtoh(&seen, &mut host).unwrap();
+    assert_eq!(host, vec![1, 1, 1], "every z point visited exactly once");
+}

@@ -66,7 +66,13 @@ fn bench_mh5(c: &mut Criterion) {
     {
         let mut w = FileWriter::create(&path).unwrap();
         let ds = w
-            .create_dataset(FileWriter::ROOT, "images", Dtype::U16, &[p, m, n], &[1, 8, n])
+            .create_dataset(
+                FileWriter::ROOT,
+                "images",
+                Dtype::U16,
+                &[p, m, n],
+                &[1, 8, n],
+            )
             .unwrap();
         let data: Vec<u16> = (0..p * m * n).map(|i| (i % 60000) as u16).collect();
         w.write_all(ds, &data).unwrap();

@@ -17,14 +17,16 @@ fn bench_layouts(c: &mut Criterion) {
     let cfg = standard_config();
     let mut group = c.benchmark_group("fig4_layout");
     group.sample_size(10);
-    for (name, layout) in [("flat_1d", Layout::Flat1d), ("pointer_3d", Layout::Pointer3d)] {
+    for (name, layout) in [
+        ("flat_1d", Layout::Flat1d),
+        ("pointer_3d", Layout::Pointer3d),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let device = Device::new(DeviceProps::tesla_m2070());
                 let mut source = w.source();
                 let out =
-                    gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, layout)
-                        .unwrap();
+                    gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, layout).unwrap();
                 black_box(out.image.data.len())
             })
         });

@@ -23,7 +23,11 @@ fn bench_pixel_percentage(c: &mut Criterion) {
     group.sample_size(10);
     for (label, frac) in [("100pct", 0.0f64), ("50pct", 0.5), ("25pct", 0.75)] {
         let mut cfg = standard_config();
-        cfg.intensity_cutoff = if frac == 0.0 { 0.0 } else { delta_percentile(&w, frac) };
+        cfg.intensity_cutoff = if frac == 0.0 {
+            0.0
+        } else {
+            delta_percentile(&w, frac)
+        };
         group.bench_with_input(BenchmarkId::new("cpu_seq", label), &cfg, |b, cfg| {
             b.iter(|| black_box(cpu::reconstruct_seq(&view, &g, cfg).unwrap().stats))
         });

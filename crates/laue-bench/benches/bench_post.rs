@@ -22,7 +22,9 @@ fn bench_post(c: &mut Criterion) {
     )
     .unwrap();
     let out = cpu::reconstruct_seq(&view, &g, &cfg).unwrap();
-    let profile = out.image.depth_profile(g.detector.n_rows / 2, g.detector.n_cols / 2);
+    let profile = out
+        .image
+        .depth_profile(g.detector.n_rows / 2, g.detector.n_cols / 2);
 
     c.bench_function("smooth_profile_200bins", |b| {
         b.iter(|| black_box(smooth_profile(&profile, 1.5)))

@@ -25,7 +25,12 @@ fn main() {
     let out = gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
         .expect("run");
     let cost = out.meters.kernel_cost;
-    let no_atomics = Cost { atomic_ops: 0, atomic_retries: 0, atomic_max_chain: 0, ..cost };
+    let no_atomics = Cost {
+        atomic_ops: 0,
+        atomic_retries: 0,
+        atomic_max_chain: 0,
+        ..cost
+    };
     let t_with = props.kernel_time(&cost);
     let t_without = props.kernel_time(&no_atomics);
     print_table(
@@ -69,10 +74,16 @@ fn main() {
             workers.to_string(),
             c.atomic_ops.to_string(),
             c.atomic_retries.to_string(),
-            format!("{:.4} %", 100.0 * c.atomic_retries as f64 / c.atomic_ops.max(1) as f64),
+            format!(
+                "{:.4} %",
+                100.0 * c.atomic_retries as f64 / c.atomic_ops.max(1) as f64
+            ),
         ]);
     }
-    print_table(&["host workers", "atomic ops", "CAS retries", "retry rate"], &rows);
+    print_table(
+        &["host workers", "atomic ops", "CAS retries", "retry rate"],
+        &rows,
+    );
     println!(
         "\nthe CAS loop is functionally real: retries appear whenever two host\n\
          workers interleave between the load and the compare-exchange. On a\n\

@@ -34,7 +34,11 @@ fn main() {
                 &mut source,
                 &w.scan.geometry,
                 &cfg,
-                GpuOptions { layout: Layout::Flat1d, triangulation: tri, ..GpuOptions::default() },
+                GpuOptions {
+                    layout: Layout::Flat1d,
+                    triangulation: tri,
+                    ..GpuOptions::default()
+                },
             )
             .expect("run");
             match &reference {
@@ -43,7 +47,10 @@ fn main() {
             }
             // Host-side table building runs on one E5630 core.
             let host_s = host.kernel_time(
-                &Cost { flops: out.host_table_flops, ..Cost::default() },
+                &Cost {
+                    flops: out.host_table_flops,
+                    ..Cost::default()
+                },
                 1,
             );
             rows.push(vec![
@@ -57,7 +64,14 @@ fn main() {
         }
     }
     print_table(
-        &["dataset", "triangulation", "total (ms)", "kernel (ms)", "transfer (ms)", "host prep (ms)"],
+        &[
+            "dataset",
+            "triangulation",
+            "total (ms)",
+            "kernel (ms)",
+            "transfer (ms)",
+            "host prep (ms)",
+        ],
         &rows,
     );
     println!(

@@ -28,15 +28,13 @@ fn main() {
 
         let device = Device::new(props.clone());
         let mut source = w.source();
-        let serial =
-            gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
-                .expect("serial");
+        let serial = gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
+            .expect("serial");
 
         let device = Device::new(props.clone());
         let mut source = w.source();
-        let overlapped =
-            gpu::reconstruct_overlapped(&device, &mut source, &w.scan.geometry, &cfg)
-                .expect("overlapped");
+        let overlapped = gpu::reconstruct_overlapped(&device, &mut source, &w.scan.geometry, &cfg)
+            .expect("overlapped");
         assert_eq!(serial.image.data, overlapped.image.data);
 
         rows.push(vec![
@@ -51,7 +49,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["rows/slab", "slabs", "serial (ms)", "overlapped (ms)", "saved"],
+        &[
+            "rows/slab",
+            "slabs",
+            "serial (ms)",
+            "overlapped (ms)",
+            "saved",
+        ],
         &rows,
     );
     println!(

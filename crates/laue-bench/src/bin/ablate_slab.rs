@@ -28,30 +28,38 @@ fn main() {
     let mut reference: Option<Vec<f64>> = None;
     for slab_rows in [1usize, 2, 4, 8, 16, 32, 0] {
         let mut cfg = base_cfg.clone();
-        cfg.rows_per_slab = if slab_rows == 0 { None } else { Some(slab_rows) };
+        cfg.rows_per_slab = if slab_rows == 0 {
+            None
+        } else {
+            Some(slab_rows)
+        };
         let device = Device::new(device_props.clone());
         let mut source = w.source();
-        let out = match gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d)
-        {
-            Ok(out) => out,
-            Err(e) => {
-                rows.push(vec![
-                    slab_rows.to_string(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    format!("error: {e}"),
-                ]);
-                continue;
-            }
-        };
+        let out =
+            match gpu::reconstruct(&device, &mut source, &w.scan.geometry, &cfg, Layout::Flat1d) {
+                Ok(out) => out,
+                Err(e) => {
+                    rows.push(vec![
+                        slab_rows.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("error: {e}"),
+                    ]);
+                    continue;
+                }
+            };
         match &reference {
             None => reference = Some(out.image.data.clone()),
             Some(r) => assert_eq!(r, &out.image.data, "slab size changed the answer"),
         }
         rows.push(vec![
-            if slab_rows == 0 { format!("auto({})", out.rows_per_slab) } else { slab_rows.to_string() },
+            if slab_rows == 0 {
+                format!("auto({})", out.rows_per_slab)
+            } else {
+                slab_rows.to_string()
+            },
             out.n_slabs.to_string(),
             ms(out.elapsed_s),
             ms(out.meters.comm_time_s),
@@ -60,7 +68,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["rows/slab", "slabs", "total (ms)", "transfer (ms)", "transfers", "peak dev mem"],
+        &[
+            "rows/slab",
+            "slabs",
+            "total (ms)",
+            "transfer (ms)",
+            "transfers",
+            "peak dev mem",
+        ],
         &rows,
     );
     println!(

@@ -41,8 +41,7 @@ fn main() {
     let gpu_atomics_pp = k.atomic_ops as f64 / pairs_scaled;
     // PCIe bytes per *pixel* (input image + pixel table + output bins).
     let pixels_scaled = (rows * cols) as f64;
-    let pcie_pp =
-        (gpu_out.meters.h2d_bytes + gpu_out.meters.d2h_bytes) as f64 / pixels_scaled;
+    let pcie_pp = (gpu_out.meters.h2d_bytes + gpu_out.meters.d2h_bytes) as f64 / pixels_scaled;
 
     println!(
         "measured per pair: CPU {cpu_flops_pp:.0} flops / {cpu_bytes_pp:.0} B; \
@@ -88,7 +87,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["dataset", "detector", "CPU (s)", "GPU (s)", "GPU xfer (s)", "GPU/CPU"],
+        &[
+            "dataset",
+            "detector",
+            "CPU (s)",
+            "GPU (s)",
+            "GPU xfer (s)",
+            "GPU/CPU",
+        ],
         &table,
     );
     println!(

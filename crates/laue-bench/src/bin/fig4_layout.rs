@@ -24,12 +24,29 @@ fn main() {
         w.side()
     );
 
-    let flat = w.run(&cfg, Engine::Gpu { layout: Layout::Flat1d });
-    let ptr = w.run(&cfg, Engine::Gpu { layout: Layout::Pointer3d });
+    let flat = w.run(
+        &cfg,
+        Engine::Gpu {
+            layout: Layout::Flat1d,
+        },
+    );
+    let ptr = w.run(
+        &cfg,
+        Engine::Gpu {
+            layout: Layout::Pointer3d,
+        },
+    );
     assert_same_image(&flat, &ptr);
 
     print_table(
-        &["layout", "total (ms)", "compute (ms)", "transfer (ms)", "transfers", "slabs"],
+        &[
+            "layout",
+            "total (ms)",
+            "compute (ms)",
+            "transfer (ms)",
+            "transfers",
+            "slabs",
+        ],
         &[&flat, &ptr]
             .iter()
             .map(|r| {

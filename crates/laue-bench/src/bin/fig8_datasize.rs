@@ -20,7 +20,12 @@ fn main() {
     let mut last_pair = (0.0f64, 0.0f64);
     for w in Workload::fig8_set() {
         let cpu = w.run(&cfg, Engine::CpuSeq);
-        let gpu = w.run(&cfg, Engine::Gpu { layout: Layout::Flat1d });
+        let gpu = w.run(
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        );
         assert_same_image(&cpu, &gpu);
         let ratio = gpu.total_time_s / cpu.total_time_s;
         rows.push(vec![
@@ -38,7 +43,15 @@ fn main() {
         last_pair = (cpu.total_time_s, gpu.total_time_s);
     }
     print_table(
-        &["dataset", "detector", "CPU (ms)", "GPU (ms)", "GPU xfer (ms)", "GPU kern (ms)", "GPU/CPU"],
+        &[
+            "dataset",
+            "detector",
+            "CPU (ms)",
+            "GPU (ms)",
+            "GPU xfer (ms)",
+            "GPU kern (ms)",
+            "GPU/CPU",
+        ],
         &rows,
     );
     let (cpu0, gpu0) = first_pair.unwrap();

@@ -28,7 +28,12 @@ fn main() {
         let mut cfg = standard_config();
         cfg.intensity_cutoff = cutoff;
         let cpu = w.run(&cfg, Engine::CpuSeq);
-        let gpu = w.run(&cfg, Engine::Gpu { layout: Layout::Flat1d });
+        let gpu = w.run(
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        );
         assert_same_image(&cpu, &gpu);
         rows.push(vec![
             label.to_string(),
@@ -40,7 +45,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["target", "active pairs", "cutoff", "CPU (ms)", "GPU (ms)", "GPU/CPU"],
+        &[
+            "target",
+            "active pairs",
+            "cutoff",
+            "CPU (ms)",
+            "GPU (ms)",
+            "GPU/CPU",
+        ],
         &rows,
     );
     println!(

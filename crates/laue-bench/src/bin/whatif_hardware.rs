@@ -41,7 +41,11 @@ fn main() {
         "100.0 %".into(),
     ]];
     let mut reference: Option<Vec<f64>> = None;
-    for props in [DeviceProps::tesla_m2070(), DeviceProps::gtx_580(), DeviceProps::tesla_k40()] {
+    for props in [
+        DeviceProps::tesla_m2070(),
+        DeviceProps::gtx_580(),
+        DeviceProps::tesla_k40(),
+    ] {
         let name = props.name.clone();
         let device = Device::new(props);
         let mut source = w.source();
@@ -60,12 +64,19 @@ fn main() {
             format!("{:.1} %", 100.0 * out.elapsed_s / cpu_s),
         ]);
     }
-    assert!((reference.unwrap().iter().sum::<f64>()
-        - cpu.image.data.iter().sum::<f64>())
-    .abs()
-        < 1e-6 * cpu.image.data.iter().sum::<f64>().abs().max(1.0));
+    assert!(
+        (reference.unwrap().iter().sum::<f64>() - cpu.image.data.iter().sum::<f64>()).abs()
+            < 1e-6 * cpu.image.data.iter().sum::<f64>().abs().max(1.0)
+    );
     print_table(
-        &["machine", "total (ms)", "transfer (ms)", "kernel (ms)", "slabs×rows", "vs CPU"],
+        &[
+            "machine",
+            "total (ms)",
+            "transfer (ms)",
+            "kernel (ms)",
+            "slabs×rows",
+            "vs CPU",
+        ],
         &rows,
     );
     println!(

@@ -17,7 +17,10 @@ use laue_core::ScanView;
 fn main() {
     let w = Workload::of_megabytes(5.2, 808);
     let cfg = standard_config();
-    println!("multi-GPU scaling study — {} stack, N × Tesla M2070\n", w.label);
+    println!(
+        "multi-GPU scaling study — {} stack, N × Tesla M2070\n",
+        w.label
+    );
 
     let g = w.scan.geometry.clone();
     let view = ScanView::new(
@@ -34,12 +37,19 @@ fn main() {
     let mut t1 = 0.0f64;
     let mut reference: Option<Vec<f64>> = None;
     for n_dev in [1usize, 2, 4, 8] {
-        let devices: Vec<Device> =
-            (0..n_dev).map(|_| Device::new(DeviceProps::tesla_m2070())).collect();
+        let devices: Vec<Device> = (0..n_dev)
+            .map(|_| Device::new(DeviceProps::tesla_m2070()))
+            .collect();
         let refs: Vec<&Device> = devices.iter().collect();
         let mut source = w.source();
-        let out = reconstruct_multi(&refs, &mut source, &w.scan.geometry, &cfg, GpuOptions::default())
-            .expect("run");
+        let out = reconstruct_multi(
+            &refs,
+            &mut source,
+            &w.scan.geometry,
+            &cfg,
+            GpuOptions::default(),
+        )
+        .expect("run");
         match &reference {
             None => reference = Some(out.image.data.clone()),
             Some(r) => assert_eq!(r, &out.image.data, "device count changed the answer"),
@@ -56,7 +66,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["devices", "makespan (ms)", "speedup", "efficiency", "vs 1-core CPU"],
+        &[
+            "devices",
+            "makespan (ms)",
+            "speedup",
+            "efficiency",
+            "vs 1-core CPU",
+        ],
         &rows,
     );
     println!(

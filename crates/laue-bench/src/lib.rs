@@ -107,7 +107,8 @@ pub fn delta_percentile(w: &Workload, fraction: f64) -> f64 {
     let mut deltas: Vec<f64> = Vec::with_capacity((p - 1) * m * n);
     for z in 0..p - 1 {
         for px in 0..m * n {
-            deltas.push((w.scan.images[z * m * n + px] - w.scan.images[(z + 1) * m * n + px]).abs());
+            deltas
+                .push((w.scan.images[z * m * n + px] - w.scan.images[(z + 1) * m * n + px]).abs());
         }
     }
     deltas.sort_by(f64::total_cmp);
@@ -131,7 +132,14 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

@@ -91,10 +91,7 @@ fn predicted_step(
     Ok(Some(0.5 * (lo + hi)))
 }
 
-fn rms_residual(
-    geom: &ScanGeometry,
-    observations: &[Transition],
-) -> Result<f64> {
+fn rms_residual(geom: &ScanGeometry, observations: &[Transition]) -> Result<f64> {
     let mapper = geom.mapper()?;
     let mut sum = 0.0;
     let mut used = 0usize;
@@ -115,7 +112,9 @@ fn rms_residual(
         }
     }
     if used == 0 {
-        return Err(CoreError::InvalidConfig("no usable calibration observations".into()));
+        return Err(CoreError::InvalidConfig(
+            "no usable calibration observations".into(),
+        ));
     }
     Ok((sum / used as f64).sqrt())
 }
@@ -128,7 +127,11 @@ fn with_offset(geom: &ScanGeometry, offset: Vec3) -> Result<ScanGeometry> {
         geom.wire.step,
         geom.wire.n_steps,
     )?;
-    Ok(ScanGeometry { beam: geom.beam, wire, detector: geom.detector.clone() })
+    Ok(ScanGeometry {
+        beam: geom.beam,
+        wire,
+        detector: geom.detector.clone(),
+    })
 }
 
 /// Fit a wire-origin correction from observed occlusion transitions.
@@ -147,7 +150,7 @@ pub fn calibrate_wire_origin(
             "calibration needs at least two transitions".into(),
         ));
     }
-    if !(search_um > 0.0) || levels == 0 {
+    if search_um.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || levels == 0 {
         return Err(CoreError::InvalidConfig("bad search parameters".into()));
     }
     geom.mapper()?; // validates the base geometry
@@ -217,13 +220,13 @@ mod tests {
 
     /// Render a calibration stack with sources of known depth using a
     /// *shifted* wire, then check the fit recovers the shift.
-    fn render_with_shift(
-        true_geom: &ScanGeometry,
-        pixels: &[(usize, usize, f64)],
-    ) -> Vec<f64> {
+    fn render_with_shift(true_geom: &ScanGeometry, pixels: &[(usize, usize, f64)]) -> Vec<f64> {
         let mapper = true_geom.mapper().unwrap();
-        let (p, m, n) =
-            (true_geom.wire.n_steps, true_geom.detector.n_rows, true_geom.detector.n_cols);
+        let (p, m, n) = (
+            true_geom.wire.n_steps,
+            true_geom.detector.n_rows,
+            true_geom.detector.n_cols,
+        );
         let mut stack = vec![5.0; p * m * n];
         for &(r, c, depth) in pixels {
             let pixel = true_geom.detector.pixel_to_xyz(r, c).unwrap();
@@ -245,8 +248,7 @@ mod tests {
         let mapper = geom.mapper().unwrap();
         let mut out = Vec::new();
         for &(r, c) in &[(1usize, 1usize), (1, 6), (4, 4), (6, 2), (6, 6), (3, 5)] {
-            let (lo, hi) =
-                crate::planning::sweep_window(geom, &mapper, r, c).unwrap();
+            let (lo, hi) = crate::planning::sweep_window(geom, &mapper, r, c).unwrap();
             out.push((r, c, lo + (hi - lo) * 0.5));
         }
         out
@@ -264,7 +266,11 @@ mod tests {
         let stack = render_with_shift(&true_geom, &pixels);
         let view = ScanView::new(&stack, 48, 8, 8).unwrap();
         let obs = transitions_from_stack(&view, &pixels);
-        assert_eq!(obs.len(), pixels.len(), "every source must produce a transition");
+        assert_eq!(
+            obs.len(),
+            pixels.len(),
+            "every source must produce a transition"
+        );
 
         let cal = calibrate_wire_origin(&nominal_geom, &obs, 50.0, 6).unwrap();
         assert!(
@@ -273,7 +279,11 @@ mod tests {
             cal.offset_along_scan,
             cal.rms_steps
         );
-        assert!(cal.rms_steps < 1.0, "fit must land within a step: {}", cal.rms_steps);
+        assert!(
+            cal.rms_steps < 1.0,
+            "fit must land within a step: {}",
+            cal.rms_steps
+        );
         // The corrected geometry predicts the observations better than the
         // nominal one.
         let before = rms_residual(&nominal_geom, &obs).unwrap();
@@ -299,14 +309,38 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let geom = nominal();
-        let obs = vec![Transition { row: 0, col: 0, source_depth: 0.0, observed_step: 3.5 }];
-        assert!(calibrate_wire_origin(&geom, &obs, 50.0, 4).is_err(), "one obs");
+        let obs = vec![Transition {
+            row: 0,
+            col: 0,
+            source_depth: 0.0,
+            observed_step: 3.5,
+        }];
+        assert!(
+            calibrate_wire_origin(&geom, &obs, 50.0, 4).is_err(),
+            "one obs"
+        );
         let obs2 = vec![
-            Transition { row: 0, col: 0, source_depth: 0.0, observed_step: 3.5 },
-            Transition { row: 1, col: 1, source_depth: 0.0, observed_step: 4.5 },
+            Transition {
+                row: 0,
+                col: 0,
+                source_depth: 0.0,
+                observed_step: 3.5,
+            },
+            Transition {
+                row: 1,
+                col: 1,
+                source_depth: 0.0,
+                observed_step: 4.5,
+            },
         ];
-        assert!(calibrate_wire_origin(&geom, &obs2, 0.0, 4).is_err(), "zero span");
-        assert!(calibrate_wire_origin(&geom, &obs2, 50.0, 0).is_err(), "zero levels");
+        assert!(
+            calibrate_wire_origin(&geom, &obs2, 0.0, 4).is_err(),
+            "zero span"
+        );
+        assert!(
+            calibrate_wire_origin(&geom, &obs2, 50.0, 0).is_err(),
+            "zero levels"
+        );
     }
 
     #[test]
@@ -327,7 +361,9 @@ mod tests {
         let stack = render_with_shift(&geom, &pixels);
         let (m, n) = (8, 8);
         for &(r, c, depth) in &pixels {
-            let pred = predicted_step(&geom, &mapper, r, c, depth).unwrap().unwrap();
+            let pred = predicted_step(&geom, &mapper, r, c, depth)
+                .unwrap()
+                .unwrap();
             let first_dark = (0..48)
                 .find(|&z| stack[(z * m + r) * n + c] < 100.0)
                 .expect("source must go dark");

@@ -51,7 +51,9 @@ impl ReconstructionConfig {
     /// Validate parameter consistency.
     pub fn validate(&self) -> Result<()> {
         if !self.depth_start.is_finite() || !self.depth_end.is_finite() {
-            return Err(CoreError::InvalidConfig("depth range must be finite".into()));
+            return Err(CoreError::InvalidConfig(
+                "depth range must be finite".into(),
+            ));
         }
         if self.depth_end <= self.depth_start {
             return Err(CoreError::InvalidConfig(format!(
@@ -60,7 +62,9 @@ impl ReconstructionConfig {
             )));
         }
         if self.n_depth_bins == 0 {
-            return Err(CoreError::InvalidConfig("need at least one depth bin".into()));
+            return Err(CoreError::InvalidConfig(
+                "need at least one depth bin".into(),
+            ));
         }
         if self.intensity_cutoff < 0.0 || !self.intensity_cutoff.is_finite() {
             return Err(CoreError::InvalidConfig(format!(

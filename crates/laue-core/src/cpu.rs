@@ -128,7 +128,9 @@ pub fn reconstruct_streaming(
 ) -> Result<CpuReconstruction> {
     cfg.validate()?;
     if rows_per_chunk == 0 {
-        return Err(CoreError::InvalidConfig("rows_per_chunk must be ≥ 1".into()));
+        return Err(CoreError::InvalidConfig(
+            "rows_per_chunk must be ≥ 1".into(),
+        ));
     }
     let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
     if n_images != geom.wire.n_steps
@@ -200,13 +202,15 @@ pub fn reconstruct_threaded(
                 let mapper = &mapper;
                 scope.spawn(move || {
                     let row0 = range.start;
-                    let (img, stats, cost) =
-                        reconstruct_rows(view, geom, mapper, cfg, range, 0);
+                    let (img, stats, cost) = reconstruct_rows(view, geom, mapper, cfg, range, 0);
                     (img, stats, cost, row0)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut image = DepthImage::zeroed(cfg.n_depth_bins, view.n_rows, view.n_cols);
     let mut stats = ReconStats::default();
@@ -233,7 +237,11 @@ mod tests {
     /// A stack where image z+1 loses a constant amount at one pixel —
     /// everything else is static, so exactly one pair deposits.
     fn single_drop_stack(geom: &ScanGeometry, r: usize, c: usize, at_step: usize) -> Vec<f64> {
-        let (p, m, n) = (geom.wire.n_steps, geom.detector.n_rows, geom.detector.n_cols);
+        let (p, m, n) = (
+            geom.wire.n_steps,
+            geom.detector.n_rows,
+            geom.detector.n_cols,
+        );
         let mut data = vec![100.0; p * m * n];
         for z in at_step + 1..p {
             data[(z * m + r) * n + c] = 40.0;
@@ -359,7 +367,10 @@ mod tests {
         let out = reconstruct_seq(&view, &geom, &cfg).unwrap();
         // Every pair drops 13 units; all 9×36 pairs deposit.
         let expected = 13.0 * 9.0 * 36.0;
-        assert_eq!(out.stats.pairs_deposited + out.stats.pairs_out_of_range, 9 * 36);
+        assert_eq!(
+            out.stats.pairs_deposited + out.stats.pairs_out_of_range,
+            9 * 36
+        );
         let captured = out.image.total_intensity();
         assert!(
             (captured - expected).abs() / expected < 1e-6,

@@ -13,8 +13,26 @@ pub enum CoreError {
     Geometry(laue_geometry::GeometryError),
     /// The simulated device failed (OOM, bad launch, …).
     Device(cuda_sim::SimError),
+    /// The device cannot hold even the smallest possible slab: `needed`
+    /// bytes for one detector row against a `budget`-byte working budget.
+    /// Unlike a transient [`CoreError::Device`] OOM this is not recoverable
+    /// by re-planning — the problem simply does not fit.
+    DeviceCapacity { needed: u64, budget: u64 },
     /// A streaming slab source failed to produce data.
     Source(String),
+}
+
+impl CoreError {
+    /// Did the GPU path fail in a way the caller could sidestep by using a
+    /// different executor (CPU fallback, another device)? Capacity and
+    /// device errors qualify; configuration and shape errors would fail
+    /// identically everywhere.
+    pub fn is_gpu_failure(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Device(_) | CoreError::DeviceCapacity { .. }
+        )
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +42,11 @@ impl fmt::Display for CoreError {
             CoreError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
             CoreError::Geometry(e) => write!(f, "geometry error: {e}"),
             CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::DeviceCapacity { needed, budget } => write!(
+                f,
+                "device too small: one detector row needs {needed} B on-device \
+                 but only {budget} B fit"
+            ),
             CoreError::Source(what) => write!(f, "slab source error: {what}"),
         }
     }
@@ -62,6 +85,26 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: CoreError = cuda_sim::SimError::ForeignBuffer.into();
         assert!(e.to_string().contains("device"));
-        assert!(CoreError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        let e = CoreError::DeviceCapacity {
+            needed: 100,
+            budget: 50,
+        };
+        assert!(e.to_string().contains("detector row"));
+        assert!(e.to_string().contains("100") && e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn gpu_failures_are_classified() {
+        assert!(CoreError::Device(cuda_sim::SimError::DeviceLost).is_gpu_failure());
+        assert!(CoreError::DeviceCapacity {
+            needed: 1,
+            budget: 0
+        }
+        .is_gpu_failure());
+        assert!(!CoreError::InvalidConfig("x".into()).is_gpu_failure());
+        assert!(!CoreError::ShapeMismatch("x".into()).is_gpu_failure());
     }
 }

@@ -29,13 +29,7 @@ impl ScanGeometry {
 
     /// The same scan restricted to a detector region of interest; pair with
     /// [`crate::input::RoiSlabSource`].
-    pub fn crop(
-        &self,
-        r0: usize,
-        c0: usize,
-        n_rows: usize,
-        n_cols: usize,
-    ) -> Result<ScanGeometry> {
+    pub fn crop(&self, r0: usize, c0: usize, n_rows: usize, n_cols: usize) -> Result<ScanGeometry> {
         Ok(ScanGeometry {
             beam: self.beam,
             wire: self.wire.clone(),
@@ -70,7 +64,11 @@ impl ScanGeometry {
             Vec3::new(0.0, 0.0, step_um),
             n_steps,
         )?;
-        Ok(ScanGeometry { beam: Beam::along_z(), wire, detector })
+        Ok(ScanGeometry {
+            beam: Beam::along_z(),
+            wire,
+            detector,
+        })
     }
 }
 

@@ -108,6 +108,47 @@ const TRACE_DEPOSITS: usize = 4;
 /// 1024; 256 keeps plenty of blocks in flight).
 const BLOCK_SIZE: u64 = 256;
 
+/// How many times a transient transfer fault is retried before giving up.
+const MAX_TRANSFER_RETRIES: u32 = 3;
+
+/// First retry backoff (virtual seconds); doubles on every further attempt
+/// of the same copy, so the worst case per copy is `base · (2^retries − 1)`.
+const BACKOFF_BASE_S: f64 = 50e-6;
+
+/// What the engine did to survive device trouble during one reconstruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryLog {
+    /// Times the slab plan was halved and the slab re-run after device OOM.
+    pub replans: u32,
+    /// Transient transfer faults absorbed by retrying the copy.
+    pub transfer_retries: u32,
+}
+
+/// Run a host↔device copy, absorbing transient faults with bounded,
+/// exponentially growing backoff (idle time on `stream` in virtual time).
+/// Non-transient errors — OOM, lost device — propagate immediately.
+fn retry_transfer<T>(
+    device: &Device,
+    stream: StreamId,
+    recovery: &mut RecoveryLog,
+    mut copy: impl FnMut() -> cuda_sim::Result<T>,
+) -> Result<T> {
+    let mut backoff = BACKOFF_BASE_S;
+    let mut attempts = 0u32;
+    loop {
+        match copy() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempts < MAX_TRANSFER_RETRIES => {
+                attempts += 1;
+                recovery.transfer_retries += 1;
+                device.delay(stream, backoff);
+                backoff *= 2.0;
+            }
+            Err(e) => return Err(CoreError::Device(e)),
+        }
+    }
+}
+
 /// Result of a GPU reconstruction.
 #[derive(Debug, Clone)]
 pub struct GpuReconstruction {
@@ -129,6 +170,8 @@ pub struct GpuReconstruction {
     /// Host-side triangulation FLOPs spent building depth tables
     /// ([`Triangulation::HostTables`] only; model with `HostProps`).
     pub host_table_flops: u64,
+    /// What the engine did to survive device trouble (re-plans, retries).
+    pub recovery: RecoveryLog,
 }
 
 /// Modeled device bytes needed for a slab of `rows` detector rows.
@@ -195,10 +238,10 @@ pub fn fit_rows_per_slab(
         }
     }
     if best == 0 {
-        return Err(CoreError::InvalidConfig(format!(
-            "one detector row needs {} B on-device but only {budget} B fit",
-            slab_bytes(1, n_images, n_cols, n_bins, opts, double_buffered)
-        )));
+        return Err(CoreError::DeviceCapacity {
+            needed: slab_bytes(1, n_images, n_cols, n_bins, opts, double_buffered),
+            budget,
+        });
     }
     Ok(best)
 }
@@ -247,6 +290,7 @@ pub(crate) fn upload_slab(
     opts: GpuOptions,
     row0: usize,
     rows: usize,
+    recovery: &mut RecoveryLog,
 ) -> Result<SlabUpload> {
     let layout = opts.layout;
     let n_images = source.n_images();
@@ -263,7 +307,10 @@ pub(crate) fn upload_slab(
         }
     }
     let pixels = device.alloc::<f64>(pix.len())?;
-    let mut ready_at = device.memcpy_htod_on(stream, &pixels, &pix)?.end_s;
+    let mut ready_at = retry_transfer(device, stream, recovery, || {
+        device.memcpy_htod_on(stream, &pixels, &pix)
+    })?
+    .end_s;
 
     // Precomputed depth tables (the paper's `edge`/`gpuPointArray` design):
     // depths[(z · rows + r) · cols + c], NaN where no tangent exists.
@@ -281,7 +328,10 @@ pub(crate) fn upload_slab(
             }
         }
         let buf = device.alloc::<f64>(table.len())?;
-        ready_at = ready_at.max(device.memcpy_htod_on(stream, &buf, &table)?.end_s);
+        let span = retry_transfer(device, stream, recovery, || {
+            device.memcpy_htod_on(stream, &buf, &table)
+        })?;
+        ready_at = ready_at.max(span.end_s);
         Some(buf)
     } else {
         None
@@ -290,7 +340,10 @@ pub(crate) fn upload_slab(
     let buffers = match layout {
         Layout::Flat1d => {
             let intensity = device.alloc::<f64>(slab.len())?;
-            ready_at = ready_at.max(device.memcpy_htod_on(stream, &intensity, &slab)?.end_s);
+            let span = retry_transfer(device, stream, recovery, || {
+                device.memcpy_htod_on(stream, &intensity, &slab)
+            })?;
+            ready_at = ready_at.max(span.end_s);
             let output = device.alloc_zeroed::<f64>(cfg.n_depth_bins * rows * n_cols)?;
             SlabBuffers::Flat { intensity, output }
         }
@@ -300,11 +353,9 @@ pub(crate) fn upload_slab(
             let mut images = Vec::with_capacity(n_images);
             for z in 0..n_images {
                 let buf = device.alloc::<f64>(per_image)?;
-                let span = device.memcpy_htod_on(
-                    stream,
-                    &buf,
-                    &slab[z * per_image..(z + 1) * per_image],
-                )?;
+                let span = retry_transfer(device, stream, recovery, || {
+                    device.memcpy_htod_on(stream, &buf, &slab[z * per_image..(z + 1) * per_image])
+                })?;
                 ready_at = ready_at.max(span.end_s);
                 images.push(buf);
             }
@@ -316,9 +367,15 @@ pub(crate) fn upload_slab(
             let image_ptrs: Vec<u64> = images.iter().map(|b| b.device_addr()).collect();
             let bin_ptrs: Vec<u64> = bins.iter().map(|b| b.device_addr()).collect();
             let image_table = device.alloc::<u64>(image_ptrs.len())?;
-            ready_at = ready_at.max(device.memcpy_htod_on(stream, &image_table, &image_ptrs)?.end_s);
+            let span = retry_transfer(device, stream, recovery, || {
+                device.memcpy_htod_on(stream, &image_table, &image_ptrs)
+            })?;
+            ready_at = ready_at.max(span.end_s);
             let bin_table = device.alloc::<u64>(bin_ptrs.len())?;
-            ready_at = ready_at.max(device.memcpy_htod_on(stream, &bin_table, &bin_ptrs)?.end_s);
+            let span = retry_transfer(device, stream, recovery, || {
+                device.memcpy_htod_on(stream, &bin_table, &bin_ptrs)
+            })?;
+            ready_at = ready_at.max(span.end_s);
             SlabBuffers::Pointer {
                 images,
                 bins,
@@ -467,11 +524,7 @@ pub(crate) fn launch_set_two(
                     if amount != 0.0 {
                         match &upload.buffers {
                             SlabBuffers::Flat { output, .. } => {
-                                ctx.atomic_add_f64(
-                                    output,
-                                    (bin * rows + r) * n_cols + c,
-                                    amount,
-                                );
+                                ctx.atomic_add_f64(output, (bin * rows + r) * n_cols + c, amount);
                             }
                             SlabBuffers::Pointer { bins, .. } => {
                                 ctx.charge_mem_bytes(8); // bin-pointer fetch
@@ -498,12 +551,15 @@ pub(crate) fn download_slab(
     image: &mut DepthImage,
     cfg: &ReconstructionConfig,
     n_cols: usize,
+    recovery: &mut RecoveryLog,
 ) -> Result<()> {
     let rows = upload.rows;
     match &upload.buffers {
         SlabBuffers::Flat { output, .. } => {
             let mut host = vec![0.0f64; cfg.n_depth_bins * rows * n_cols];
-            device.memcpy_dtoh_on(stream, output, &mut host)?;
+            retry_transfer(device, stream, recovery, || {
+                device.memcpy_dtoh_on(stream, output, &mut host)
+            })?;
             for bin in 0..cfg.n_depth_bins {
                 for r in 0..rows {
                     for c in 0..n_cols {
@@ -517,7 +573,9 @@ pub(crate) fn download_slab(
             // One D2H per bin: the 3D layout pays latency both ways.
             let mut host = vec![0.0f64; rows * n_cols];
             for (bin, buf) in bins.iter().enumerate() {
-                device.memcpy_dtoh_on(stream, buf, &mut host)?;
+                retry_transfer(device, stream, recovery, || {
+                    device.memcpy_dtoh_on(stream, buf, &mut host)
+                })?;
                 for r in 0..rows {
                     for c in 0..n_cols {
                         *image.at_mut(bin, upload.row0 + r, c) = host[r * n_cols + c];
@@ -587,7 +645,11 @@ pub fn reconstruct(
         source,
         geom,
         cfg,
-        GpuOptions { layout, triangulation: Triangulation::InKernel, ..GpuOptions::default() },
+        GpuOptions {
+            layout,
+            triangulation: Triangulation::InKernel,
+            ..GpuOptions::default()
+        },
     )
 }
 
@@ -604,17 +666,29 @@ pub fn reconstruct_with_options(
     let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
 
     device.reset_meters();
+    let mut recovery = RecoveryLog::default();
     // Wire centres, shipped once (interleaved x, y, z).
     let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
     for w in geom.wire.centers() {
         wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
     }
-    let wires = device.alloc_from_slice(&wire_flat)?;
+    let wires = device.alloc::<f64>(wire_flat.len())?;
+    retry_transfer(device, StreamId::DEFAULT, &mut recovery, || {
+        device.memcpy_htod(&wires, &wire_flat)
+    })?;
 
     let budget = device.mem_capacity() - device.mem_used();
-    let rows_per_slab = match cfg.rows_per_slab {
+    let mut rows_per_slab = match cfg.rows_per_slab {
         Some(r) => r.min(n_rows),
-        None => fit_rows_per_slab(budget, n_rows, n_images, n_cols, cfg.n_depth_bins, opts, false)?,
+        None => fit_rows_per_slab(
+            budget,
+            n_rows,
+            n_images,
+            n_cols,
+            cfg.n_depth_bins,
+            opts,
+            false,
+        )?,
     };
 
     let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
@@ -623,32 +697,57 @@ pub fn reconstruct_with_options(
     let mut row0 = 0usize;
     while row0 < n_rows {
         let rows = rows_per_slab.min(n_rows - row0);
-        let upload = upload_slab(
-            device,
-            StreamId::DEFAULT,
-            source,
-            geom,
-            &mapper,
-            cfg,
-            opts,
-            row0,
-            rows,
-        )?;
-        host_table_flops += upload.host_flops;
-        launch_set_two(
-            device,
-            StreamId::DEFAULT,
-            &upload,
-            &wires,
-            &mapper,
-            cfg,
-            n_images,
-            n_cols,
-        )?;
-        download_slab(device, StreamId::DEFAULT, &upload, &mut image, cfg, n_cols)?;
-        n_slabs += 1;
-        row0 += rows;
-        // Buffers drop here, freeing device memory for the next slab.
+        // Run one slab end to end; on device OOM halve the plan and re-run
+        // the same rows (correctness is chunking-invariant: the download is
+        // an assignment over exactly the slab's rows, so a re-run at a
+        // smaller size overwrites cleanly and nothing double-counts).
+        let attempt = (|| -> Result<u64> {
+            let upload = upload_slab(
+                device,
+                StreamId::DEFAULT,
+                source,
+                geom,
+                &mapper,
+                cfg,
+                opts,
+                row0,
+                rows,
+                &mut recovery,
+            )?;
+            launch_set_two(
+                device,
+                StreamId::DEFAULT,
+                &upload,
+                &wires,
+                &mapper,
+                cfg,
+                n_images,
+                n_cols,
+            )?;
+            download_slab(
+                device,
+                StreamId::DEFAULT,
+                &upload,
+                &mut image,
+                cfg,
+                n_cols,
+                &mut recovery,
+            )?;
+            Ok(upload.host_flops)
+            // Buffers drop here, freeing device memory for the next slab.
+        })();
+        match attempt {
+            Ok(flops) => {
+                host_table_flops += flops;
+                n_slabs += 1;
+                row0 += rows;
+            }
+            Err(CoreError::Device(cuda_sim::SimError::OutOfMemory { .. })) if rows_per_slab > 1 => {
+                rows_per_slab /= 2;
+                recovery.replans += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 
     let elapsed_s = device.synchronize();
@@ -662,6 +761,7 @@ pub fn reconstruct_with_options(
         elapsed_s,
         peak_device_mem: device.mem_peak(),
         host_table_flops,
+        recovery,
     })
 }
 
@@ -669,6 +769,12 @@ pub fn reconstruct_with_options(
 /// `i` computes — the overlap optimisation the paper leaves as future work.
 /// Only the [`Layout::Flat1d`] layout is supported (the pointer layout's
 /// transfer storm makes overlap moot).
+///
+/// Transient transfer faults are retried like the serial pipeline's, but a
+/// device OOM propagates instead of triggering a re-plan: with two slabs in
+/// flight the failed allocation belongs to a pipeline stage whose partner
+/// is still executing, so the caller should fall back to
+/// [`reconstruct_with_options`] (which re-plans) or to the CPU engine.
 pub fn reconstruct_overlapped(
     device: &Device,
     source: &mut dyn SlabSource,
@@ -680,6 +786,7 @@ pub fn reconstruct_overlapped(
     let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
 
     device.reset_meters();
+    let mut recovery = RecoveryLog::default();
     let copy_stream = device.create_stream();
     let compute_stream = device.create_stream();
 
@@ -687,7 +794,10 @@ pub fn reconstruct_overlapped(
     for w in geom.wire.centers() {
         wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
     }
-    let wires = device.alloc_from_slice(&wire_flat)?;
+    let wires = device.alloc::<f64>(wire_flat.len())?;
+    retry_transfer(device, copy_stream, &mut recovery, || {
+        device.memcpy_htod_on(copy_stream, &wires, &wire_flat)
+    })?;
 
     let budget = device.mem_capacity() - device.mem_used();
     let rows_per_slab = match cfg.rows_per_slab {
@@ -730,11 +840,20 @@ pub fn reconstruct_overlapped(
             GpuOptions::default(),
             row0,
             rows,
+            &mut recovery,
         )?;
         if let Some((prev, prev_end)) = in_flight.take() {
             // Drain the previous slab: download after its kernel.
             device.wait_until(copy_stream, prev_end);
-            download_slab(device, compute_stream, &prev, &mut image, cfg, n_cols)?;
+            download_slab(
+                device,
+                compute_stream,
+                &prev,
+                &mut image,
+                cfg,
+                n_cols,
+                &mut recovery,
+            )?;
         }
         // The kernel must wait for this slab's copies.
         device.wait_until(compute_stream, upload.ready_at);
@@ -752,7 +871,15 @@ pub fn reconstruct_overlapped(
         n_slabs += 1;
     }
     if let Some((prev, _)) = in_flight.take() {
-        download_slab(device, compute_stream, &prev, &mut image, cfg, n_cols)?;
+        download_slab(
+            device,
+            compute_stream,
+            &prev,
+            &mut image,
+            cfg,
+            n_cols,
+            &mut recovery,
+        )?;
     }
 
     let elapsed_s = device.synchronize();
@@ -766,6 +893,7 @@ pub fn reconstruct_overlapped(
         elapsed_s,
         peak_device_mem: device.mem_peak(),
         host_table_flops: 0,
+        recovery,
     })
 }
 
@@ -801,8 +929,7 @@ mod tests {
         let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
         let device = big_device();
         let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
-        let gpu_out =
-            reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let gpu_out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
         assert_eq!(
             cpu_out.image.data, gpu_out.image.data,
             "sequential executor must reproduce the CPU bit-for-bit"
@@ -818,7 +945,10 @@ mod tests {
         let flat = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         let ptr = reconstruct(&device, &mut source, &geom, &cfg, Layout::Pointer3d).unwrap();
-        assert_eq!(flat.image.data, ptr.image.data, "layouts agree functionally");
+        assert_eq!(
+            flat.image.data, ptr.image.data,
+            "layouts agree functionally"
+        );
         assert!(
             ptr.meters.transfers > flat.meters.transfers,
             "pointer layout must pay more transfers: {} vs {}",
@@ -829,7 +959,10 @@ mod tests {
             ptr.meters.comm_time_s > flat.meters.comm_time_s,
             "and more communication time"
         );
-        assert!(ptr.elapsed_s > flat.elapsed_s, "Fig 4: 1D beats 3D end to end");
+        assert!(
+            ptr.elapsed_s > flat.elapsed_s,
+            "Fig 4: 1D beats 3D end to end"
+        );
     }
 
     #[test]
@@ -874,9 +1007,169 @@ mod tests {
         let device = Device::new(DeviceProps::tiny(2048));
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         match reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d) {
-            Err(CoreError::InvalidConfig(msg)) => assert!(msg.contains("detector row")),
+            Err(e @ CoreError::DeviceCapacity { needed, budget }) => {
+                assert!(needed > budget, "{needed} must exceed {budget}");
+                assert!(e.to_string().contains("detector row"));
+            }
             other => panic!("expected clean OOM-at-fit error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_oom_replans_to_identical_output() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(
+            clean.recovery,
+            RecoveryLog::default(),
+            "no faults, no recovery"
+        );
+        assert_eq!(clean.n_slabs, 1, "everything fits in one slab");
+
+        // Fail an allocation mid-run: the engine halves the slab plan and
+        // re-runs the same rows, converging to the identical image.
+        let device = big_device();
+        device.set_fault_plan(cuda_sim::FaultPlan::new(1).fail_nth_alloc(3));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(out.recovery.replans >= 1, "OOM must trigger a re-plan");
+        assert!(out.rows_per_slab < clean.rows_per_slab);
+        assert!(out.n_slabs > clean.n_slabs);
+        assert_eq!(
+            out.image.data, clean.image.data,
+            "re-planned run is bitwise identical"
+        );
+        assert_eq!(out.stats, clean.stats);
+    }
+
+    #[test]
+    fn transient_transfer_faults_are_retried_to_identical_output() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let device = big_device();
+        device.set_fault_plan(
+            cuda_sim::FaultPlan::new(99)
+                .fail_nth_h2d(2)
+                .fail_nth_d2h(1)
+                .h2d_fault_rate(0.3)
+                .d2h_fault_rate(0.3),
+        );
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(
+            out.recovery.transfer_retries > 0,
+            "p = 0.3 over many copies must fire"
+        );
+        assert_eq!(out.recovery.replans, 0);
+        assert_eq!(
+            out.image.data, clean.image.data,
+            "retries leave the data intact"
+        );
+        assert_eq!(out.stats, clean.stats);
+        assert!(
+            out.elapsed_s > clean.elapsed_s,
+            "failed copies and backoff cost virtual time"
+        );
+    }
+
+    #[test]
+    fn first_allocation_failure_replans_and_completes() {
+        // The acceptance scenario: "fail the first device allocation" must
+        // still complete via re-planning when more than one row is planned.
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let device = big_device();
+        // Allocation #1 is the wire table — before any slab exists; that
+        // failure is not recoverable by slab re-planning, so script #2 (the
+        // first slab allocation) as "the first allocation" of slab data.
+        device.set_fault_plan(cuda_sim::FaultPlan::new(0).fail_nth_alloc(2));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(out.recovery.replans >= 1);
+        assert_eq!(out.image.data, clean.image.data);
+    }
+
+    #[test]
+    fn unrecoverable_oom_still_errors_at_one_row() {
+        // When the plan is already a single row, a persistent OOM cannot be
+        // re-planned away and must surface.
+        let (geom, mut cfg, data) = demo();
+        cfg.rows_per_slab = Some(1);
+        let device = big_device();
+        device.set_fault_plan(
+            cuda_sim::FaultPlan::new(0).report_mem_bytes(2048), // nothing fits
+        );
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        match reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d) {
+            Err(CoreError::Device(cuda_sim::SimError::OutOfMemory { .. })) => {}
+            other => panic!("expected OOM passthrough, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_device_error_propagates() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        device.set_fault_plan(cuda_sim::FaultPlan::new(0).fail_after(4));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        match reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d) {
+            Err(e @ CoreError::Device(cuda_sim::SimError::DeviceLost)) => {
+                assert!(e.is_gpu_failure());
+            }
+            other => panic!("expected DeviceLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_lie_shrinks_the_plan_but_not_the_answer() {
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let device = big_device();
+        let need_2 = slab_bytes(2, 10, 6, 40, GpuOptions::default(), false);
+        device.set_fault_plan(cuda_sim::FaultPlan::new(0).report_mem_bytes(2 * need_2));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(
+            out.rows_per_slab < clean.rows_per_slab,
+            "planner saw the smaller card"
+        );
+        assert!(out.n_slabs > clean.n_slabs);
+        assert_eq!(out.image.data, clean.image.data);
+        assert_eq!(
+            out.recovery.replans, 0,
+            "planned small up front, no retrofit needed"
+        );
+    }
+
+    #[test]
+    fn overlapped_pipeline_retries_transfers() {
+        let (geom, mut cfg, data) = demo();
+        cfg.rows_per_slab = Some(2);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let clean = reconstruct_overlapped(&device, &mut source, &geom, &cfg).unwrap();
+
+        let device = big_device();
+        device.set_fault_plan(
+            cuda_sim::FaultPlan::new(7)
+                .fail_nth_h2d(3)
+                .h2d_fault_rate(0.25),
+        );
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct_overlapped(&device, &mut source, &geom, &cfg).unwrap();
+        assert!(out.recovery.transfer_retries > 0);
+        assert_eq!(out.image.data, clean.image.data);
     }
 
     #[test]
@@ -889,7 +1182,11 @@ mod tests {
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         let gpu_out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
         let diff = cpu_out.image.max_abs_diff(&gpu_out.image);
-        let scale = cpu_out.image.data.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let scale = cpu_out
+            .image
+            .data
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(diff <= 1e-9 * (1.0 + scale), "diff {diff} vs scale {scale}");
         assert_eq!(cpu_out.stats, gpu_out.stats);
     }
@@ -928,10 +1225,17 @@ mod tests {
             &mut source,
             &geom,
             &cfg,
-            GpuOptions { mapping: ThreadMapping::Grid3d, ..GpuOptions::default() },
+            GpuOptions {
+                mapping: ThreadMapping::Grid3d,
+                ..GpuOptions::default()
+            },
         )
         .unwrap();
-        let scale = linear.image.data.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+        let scale = linear
+            .image
+            .data
+            .iter()
+            .fold(1.0f64, |a, &b| a.max(b.abs()));
         assert!(
             linear.image.max_abs_diff(&grid.image) <= 1e-9 * scale,
             "diff {}",
@@ -941,7 +1245,11 @@ mod tests {
         // The folded launch is legal on the real M2070 limits (grid.z = 1).
         let records = device.records();
         let rec = records.iter().rev().find(|r| r.name == "set_two").unwrap();
-        assert!(rec.threads >= 6 * 6 * 9, "covers the domain: {}", rec.threads);
+        assert!(
+            rec.threads >= 6 * 6 * 9,
+            "covers the domain: {}",
+            rec.threads
+        );
     }
 
     #[test]
@@ -960,12 +1268,19 @@ mod tests {
             &mut source,
             &geom,
             &cfg,
-            GpuOptions { mapping: ThreadMapping::Grid3d, ..GpuOptions::default() },
+            GpuOptions {
+                mapping: ThreadMapping::Grid3d,
+                ..GpuOptions::default()
+            },
         )
         .unwrap();
         let view = crate::ScanView::new(&data, p, m, n).unwrap();
         let cpu_out = crate::cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
-        let scale = cpu_out.image.data.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+        let scale = cpu_out
+            .image
+            .data
+            .iter()
+            .fold(1.0f64, |a, &b| a.max(b.abs()));
         assert!(cpu_out.image.max_abs_diff(&grid.image) <= 1e-9 * scale);
         assert_eq!(cpu_out.stats, grid.stats);
     }
@@ -982,7 +1297,11 @@ mod tests {
             &mut source,
             &geom,
             &cfg,
-            GpuOptions { layout: Layout::Flat1d, triangulation: Triangulation::HostTables, ..GpuOptions::default() },
+            GpuOptions {
+                layout: Layout::Flat1d,
+                triangulation: Triangulation::HostTables,
+                ..GpuOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(in_kernel.image.data, tables.image.data);
@@ -1011,7 +1330,11 @@ mod tests {
                 &mut source,
                 &geom,
                 &cfg,
-                GpuOptions { layout: Layout::Flat1d, triangulation: Triangulation::HostTables, ..GpuOptions::default() },
+                GpuOptions {
+                    layout: Layout::Flat1d,
+                    triangulation: Triangulation::HostTables,
+                    ..GpuOptions::default()
+                },
             )
             .unwrap();
             match &reference {
@@ -1043,7 +1366,10 @@ mod tests {
         let used = slab_bytes(rows, 32, 128, 64, GpuOptions::default(), false);
         let next = slab_bytes(rows + 1, 32, 128, 64, GpuOptions::default(), false);
         let headroom = budget - budget / 10;
-        assert!(used <= headroom && next > headroom, "{used} {next} {headroom}");
+        assert!(
+            used <= headroom && next > headroom,
+            "{used} {next} {headroom}"
+        );
         // Double buffering halves the slab.
         let rows_db =
             fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), true).unwrap();
@@ -1054,8 +1380,7 @@ mod tests {
             triangulation: Triangulation::HostTables,
             ..GpuOptions::default()
         };
-        let rows_tbl =
-            fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, false).unwrap();
+        let rows_tbl = fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, false).unwrap();
         assert!(rows_tbl <= rows);
     }
 }

@@ -45,7 +45,12 @@ impl<'a> ScanView<'a> {
         if n_rows == 0 || n_cols == 0 {
             return Err(CoreError::ShapeMismatch("empty detector".into()));
         }
-        Ok(ScanView { images, n_images, n_rows, n_cols })
+        Ok(ScanView {
+            images,
+            n_images,
+            n_rows,
+            n_cols,
+        })
     }
 
     /// Intensity at `(image, row, col)`.
@@ -109,7 +114,12 @@ impl InMemorySlabSource {
         n_cols: usize,
     ) -> Result<InMemorySlabSource> {
         ScanView::new(&images, n_images, n_rows, n_cols)?;
-        Ok(InMemorySlabSource { images, n_images, n_rows, n_cols })
+        Ok(InMemorySlabSource {
+            images,
+            n_images,
+            n_rows,
+            n_cols,
+        })
     }
 
     /// View of the full stack.
@@ -188,7 +198,13 @@ impl<S: SlabSource> RoiSlabSource<S> {
                 inner.n_cols()
             )));
         }
-        Ok(RoiSlabSource { inner, r0, c0, n_rows, n_cols })
+        Ok(RoiSlabSource {
+            inner,
+            r0,
+            c0,
+            n_rows,
+            n_cols,
+        })
     }
 
     /// The wrapped source.
@@ -247,7 +263,10 @@ mod tests {
         let (data, p, m, n) = stack();
         assert!(ScanView::new(&data, p, m, n).is_ok());
         assert!(ScanView::new(&data[..10], p, m, n).is_err());
-        assert!(ScanView::new(&data[..m * n], 1, m, n).is_err(), "one image is not a scan");
+        assert!(
+            ScanView::new(&data[..m * n], 1, m, n).is_err(),
+            "one image is not a scan"
+        );
         assert!(ScanView::new(&[], 2, 0, 5).is_err());
     }
 
@@ -309,7 +328,10 @@ mod tests {
     fn roi_bounds_validated() {
         let (data, p, m, n) = stack();
         let mk = || InMemorySlabSource::new(data.clone(), p, m, n).unwrap();
-        assert!(RoiSlabSource::new(mk(), 0, 0, m, n).is_ok(), "full-frame ROI");
+        assert!(
+            RoiSlabSource::new(mk(), 0, 0, m, n).is_ok(),
+            "full-frame ROI"
+        );
         assert!(RoiSlabSource::new(mk(), 3, 0, 2, n).is_err());
         assert!(RoiSlabSource::new(mk(), 0, 4, 1, 2).is_err());
         assert!(RoiSlabSource::new(mk(), 0, 0, 0, 1).is_err());

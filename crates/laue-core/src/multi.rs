@@ -15,7 +15,7 @@ use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::gpu::{
     download_slab, fit_rows_per_slab, launch_set_two, stats_from_records, upload_slab,
-    validate_inputs, GpuOptions,
+    validate_inputs, GpuOptions, RecoveryLog,
 };
 use crate::input::SlabSource;
 use crate::output::DepthImage;
@@ -35,6 +35,9 @@ pub struct MultiGpuReconstruction {
     pub rows_per_device: Vec<usize>,
     /// Virtual makespan: the slowest device's elapsed time.
     pub elapsed_s: f64,
+    /// Aggregate recovery actions (re-plans, transfer retries) over all
+    /// devices.
+    pub recovery: RecoveryLog,
 }
 
 /// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
@@ -79,11 +82,12 @@ pub fn reconstruct_multi(
     let mut elapsed_s: f64 = 0.0;
     let mut rows_per_device = Vec::with_capacity(bands.len());
 
+    let mut recovery = RecoveryLog::default();
     for (device, band) in devices.iter().zip(&bands) {
         device.reset_meters();
         let wires = device.alloc_from_slice(&wire_flat)?;
         let budget = device.mem_capacity() - device.mem_used();
-        let rows_per_slab = match cfg.rows_per_slab {
+        let mut rows_per_slab = match cfg.rows_per_slab {
             Some(r) => r.min(band.len()),
             None => fit_rows_per_slab(
                 budget,
@@ -99,21 +103,55 @@ pub fn reconstruct_multi(
         let mut band_pairs = 0u64;
         while row0 < band.end {
             let rows = rows_per_slab.min(band.end - row0);
-            let upload =
-                upload_slab(device, StreamId::DEFAULT, source, geom, &mapper, cfg, opts, row0, rows)?;
-            launch_set_two(
-                device,
-                StreamId::DEFAULT,
-                &upload,
-                &wires,
-                &mapper,
-                cfg,
-                n_images,
-                n_cols,
-            )?;
-            download_slab(device, StreamId::DEFAULT, &upload, &mut image, cfg, n_cols)?;
-            band_pairs += (rows * n_cols * (n_images - 1)) as u64;
-            row0 += rows;
+            // Same recovery contract as the single-device pipeline: on
+            // device OOM, halve this device's slab plan and re-run the same
+            // rows (the download is an assignment, so nothing double-counts).
+            let attempt = (|| -> Result<()> {
+                let upload = upload_slab(
+                    device,
+                    StreamId::DEFAULT,
+                    source,
+                    geom,
+                    &mapper,
+                    cfg,
+                    opts,
+                    row0,
+                    rows,
+                    &mut recovery,
+                )?;
+                launch_set_two(
+                    device,
+                    StreamId::DEFAULT,
+                    &upload,
+                    &wires,
+                    &mapper,
+                    cfg,
+                    n_images,
+                    n_cols,
+                )?;
+                download_slab(
+                    device,
+                    StreamId::DEFAULT,
+                    &upload,
+                    &mut image,
+                    cfg,
+                    n_cols,
+                    &mut recovery,
+                )
+            })();
+            match attempt {
+                Ok(()) => {
+                    band_pairs += (rows * n_cols * (n_images - 1)) as u64;
+                    row0 += rows;
+                }
+                Err(CoreError::Device(cuda_sim::SimError::OutOfMemory { .. }))
+                    if rows_per_slab > 1 =>
+                {
+                    rows_per_slab /= 2;
+                    recovery.replans += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
         elapsed_s = elapsed_s.max(device.synchronize());
         stats.merge(&stats_from_records(device, band_pairs));
@@ -127,6 +165,7 @@ pub fn reconstruct_multi(
         per_device,
         rows_per_device,
         elapsed_s,
+        recovery,
     })
 }
 
@@ -172,8 +211,7 @@ mod tests {
         let (geom, cfg, data) = demo();
         let single = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
         let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
-        let ref_out =
-            gpu::reconstruct(&single, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let ref_out = gpu::reconstruct(&single, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
 
         for n_dev in [1usize, 2, 3, 4] {
             let devices: Vec<Device> = (0..n_dev)
@@ -182,8 +220,7 @@ mod tests {
             let refs: Vec<&Device> = devices.iter().collect();
             let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
             let out =
-                reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default())
-                    .unwrap();
+                reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
             assert_eq!(out.image.data, ref_out.image.data, "{n_dev} devices");
             assert_eq!(out.stats, ref_out.stats);
             assert_eq!(out.per_device.len(), n_dev);
@@ -210,6 +247,40 @@ mod tests {
             four < one,
             "4 devices must beat 1 in virtual time: {four} vs {one}"
         );
+    }
+
+    #[test]
+    fn faulty_device_in_the_fleet_recovers_bitwise() {
+        let (geom, cfg, data) = demo();
+        let clean: Vec<Device> = (0..2)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        let refs: Vec<&Device> = clean.iter().collect();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let ref_out =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+        assert_eq!(ref_out.recovery, RecoveryLog::default());
+
+        // Second device drops an allocation and flakes one transfer.
+        let faulty: Vec<Device> = (0..2)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        faulty[1].set_fault_plan(
+            cuda_sim::FaultPlan::new(5)
+                .fail_nth_alloc(3)
+                .fail_nth_h2d(4),
+        );
+        let refs: Vec<&Device> = faulty.iter().collect();
+        let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
+        let out =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+        assert!(out.recovery.replans >= 1);
+        assert!(out.recovery.transfer_retries >= 1);
+        assert_eq!(
+            out.image.data, ref_out.image.data,
+            "recovery is invisible in the output"
+        );
+        assert_eq!(out.stats, ref_out.stats);
     }
 
     #[test]

@@ -21,7 +21,12 @@ pub struct DepthImage {
 impl DepthImage {
     /// Zero-filled output for a run.
     pub fn zeroed(n_bins: usize, n_rows: usize, n_cols: usize) -> DepthImage {
-        DepthImage { n_bins, n_rows, n_cols, data: vec![0.0; n_bins * n_rows * n_cols] }
+        DepthImage {
+            n_bins,
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_bins * n_rows * n_cols],
+        }
     }
 
     /// Linear index of `(bin, row, col)`.
@@ -51,7 +56,9 @@ impl DepthImage {
     /// Summed intensity of one depth bin's image.
     pub fn bin_total(&self, bin: usize) -> f64 {
         let start = bin * self.n_rows * self.n_cols;
-        self.data[start..start + self.n_rows * self.n_cols].iter().sum()
+        self.data[start..start + self.n_rows * self.n_cols]
+            .iter()
+            .sum()
     }
 
     /// Total deposited intensity.
@@ -85,15 +92,17 @@ impl DepthImage {
 
     /// Accumulate another image (same shape) into this one — used to merge
     /// per-slab partial outputs.
-    pub fn accumulate(&mut self, other: &DepthImage) {
-        assert_eq!(
-            (self.n_bins, self.n_rows, self.n_cols),
-            (other.n_bins, other.n_rows, other.n_cols),
-            "shape mismatch in DepthImage::accumulate"
-        );
+    pub fn accumulate(&mut self, other: &DepthImage) -> crate::Result<()> {
+        if (self.n_bins, self.n_rows, self.n_cols) != (other.n_bins, other.n_rows, other.n_cols) {
+            return Err(crate::CoreError::ShapeMismatch(format!(
+                "cannot accumulate a {}×{}×{} image into a {}×{}×{} one",
+                other.n_bins, other.n_rows, other.n_cols, self.n_bins, self.n_rows, self.n_cols
+            )));
+        }
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += *b;
         }
+        Ok(())
     }
 
     /// Largest absolute difference to another image (for equivalence tests).
@@ -132,7 +141,11 @@ mod tests {
         assert_eq!(img.total_intensity(), 9.0);
         assert_eq!(img.peak_depth(&cfg), Some(15.0));
         assert_eq!(img.pixel_peak_depth(0, 1, &cfg), Some(25.0));
-        assert_eq!(img.pixel_peak_depth(1, 0, &cfg), None, "empty profile has no peak");
+        assert_eq!(
+            img.pixel_peak_depth(1, 0, &cfg),
+            None,
+            "empty profile has no peak"
+        );
     }
 
     #[test]
@@ -142,7 +155,7 @@ mod tests {
         *a.at_mut(0, 0, 0) = 1.0;
         *b.at_mut(0, 0, 0) = 2.0;
         *b.at_mut(1, 1, 1) = 4.0;
-        a.accumulate(&b);
+        a.accumulate(&b).unwrap();
         assert_eq!(a.at(0, 0, 0), 3.0);
         assert_eq!(a.at(1, 1, 1), 4.0);
     }
@@ -157,10 +170,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
     fn accumulate_rejects_shape_mismatch() {
         let mut a = DepthImage::zeroed(1, 2, 2);
         let b = DepthImage::zeroed(2, 2, 2);
-        a.accumulate(&b);
+        match a.accumulate(&b) {
+            Err(crate::CoreError::ShapeMismatch(msg)) => {
+                assert!(msg.contains("2×2×2") && msg.contains("1×2×2"));
+            }
+            other => panic!("expected a typed shape error, got {other:?}"),
+        }
     }
 }

@@ -139,6 +139,7 @@ pub fn plan_from_band(
 /// `flops` (cut-off pairs charge almost nothing — this is what makes the
 /// paper's pixel-percentage sweep change the runtime).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub fn plan_pair(
     mapper: &DepthMapper,
     cfg: &ReconstructionConfig,
@@ -261,7 +262,10 @@ mod tests {
             &mut flops,
         );
         assert!(matches!(outcome, PairOutcome::Deposited { bins } if bins >= 1));
-        assert!((total - 40.0).abs() < 1e-9, "ΔI = 40 fully deposited, got {total}");
+        assert!(
+            (total - 40.0).abs() < 1e-9,
+            "ΔI = 40 fully deposited, got {total}"
+        );
         assert!(flops > 2 * FLOPS_PER_DEPTH);
     }
 
@@ -324,7 +328,17 @@ mod tests {
         cfg.n_depth_bins = 64;
         let mut total = 0.0;
         let mut flops = 0;
-        process_pair(&m, &cfg, pixel, w0, w1, 100.0, 0.0, |_, v| total += v, &mut flops);
+        process_pair(
+            &m,
+            &cfg,
+            pixel,
+            w0,
+            w1,
+            100.0,
+            0.0,
+            |_, v| total += v,
+            &mut flops,
+        );
         assert!(
             (total - 50.0).abs() < 1.0,
             "half the band in range → half of ΔI = 100 deposited, got {total}"
@@ -395,7 +409,9 @@ mod tests {
         let PairPlan::Deposit(plan) = plan else {
             panic!("expected a deposit, got {plan:?}")
         };
-        let sum: f64 = (plan.first_bin..plan.last_bin).map(|b| plan.amount(b, &cfg)).sum();
+        let sum: f64 = (plan.first_bin..plan.last_bin)
+            .map(|b| plan.amount(b, &cfg))
+            .sum();
         let expected = plan.delta * (plan.hi - plan.lo) / plan.band_len;
         assert!((sum - expected).abs() < 1e-9);
         assert!(plan.n_bins() >= 1);

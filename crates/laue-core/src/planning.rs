@@ -93,13 +93,15 @@ pub fn plan_scan(
     depth_hi: f64,
     max_resolution: f64,
 ) -> Result<ScanPlan> {
-    if !(depth_hi > depth_lo) {
+    if depth_hi.partial_cmp(&depth_lo) != Some(std::cmp::Ordering::Greater) {
         return Err(CoreError::InvalidConfig(format!(
             "empty depth range [{depth_lo}, {depth_hi}]"
         )));
     }
-    if !(max_resolution > 0.0) {
-        return Err(CoreError::InvalidConfig("resolution must be positive".into()));
+    if max_resolution.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(CoreError::InvalidConfig(
+            "resolution must be positive".into(),
+        ));
     }
     let mapper = geom.mapper()?;
     let (rc, cc) = (geom.detector.n_rows / 2, geom.detector.n_cols / 2);
@@ -117,7 +119,7 @@ pub fn plan_scan(
     // travel ≈ resolution / |step|.
     let step_len = geom.wire.step.norm();
     let gain = info.resolution / step_len; // µm depth per µm travel
-    if !(gain > 0.0) || !gain.is_finite() {
+    if gain <= 0.0 || !gain.is_finite() {
         return Err(CoreError::InvalidConfig("degenerate scan geometry".into()));
     }
     let step_dir = geom.wire.step / step_len;
@@ -141,7 +143,11 @@ pub fn plan_scan(
         step_dir * new_step_len,
         n_steps.max(2),
     )?;
-    let planned = ScanGeometry { beam: geom.beam, wire: wire.clone(), detector: geom.detector.clone() };
+    let planned = ScanGeometry {
+        beam: geom.beam,
+        wire: wire.clone(),
+        detector: geom.detector.clone(),
+    };
     let planned_mapper = planned.mapper()?;
     let info = pixel_scan_info(&planned, &planned_mapper, rc, cc)?;
     Ok(ScanPlan {
@@ -184,7 +190,11 @@ mod tests {
     fn planned_scan_covers_the_requested_range() {
         let g = demo();
         let plan = plan_scan(&g, -20.0, 40.0, 4.0).unwrap();
-        assert!(plan.resolution <= 4.0 + 1e-6, "resolution {}", plan.resolution);
+        assert!(
+            plan.resolution <= 4.0 + 1e-6,
+            "resolution {}",
+            plan.resolution
+        );
         assert!(
             plan.sweep.0 <= -20.0 && plan.sweep.1 >= 40.0,
             "sweep {:?} must cover [-20, 40]",
@@ -193,7 +203,11 @@ mod tests {
         // The plan should not be wasteful: sweep at most ~3× the request.
         assert!(plan.sweep.1 - plan.sweep.0 < 3.0 * 60.0 * 1.2);
         // And it is runnable: the geometry validates end to end.
-        let planned = ScanGeometry { beam: g.beam, wire: plan.wire.clone(), detector: g.detector.clone() };
+        let planned = ScanGeometry {
+            beam: g.beam,
+            wire: plan.wire.clone(),
+            detector: g.detector.clone(),
+        };
         planned.mapper().unwrap();
         assert_eq!(plan_start_position(&plan), plan.wire.origin);
     }
@@ -229,8 +243,11 @@ mod tests {
         // recover it — the full instrument loop.
         let g = demo();
         let plan = plan_scan(&g, 0.0, 60.0, 4.0).unwrap();
-        let planned =
-            ScanGeometry { beam: g.beam, wire: plan.wire.clone(), detector: g.detector.clone() };
+        let planned = ScanGeometry {
+            beam: g.beam,
+            wire: plan.wire.clone(),
+            detector: g.detector.clone(),
+        };
         let mapper = planned.mapper().unwrap();
         // Choose a depth the central pixel actually sweeps.
         let info = pixel_scan_info(&planned, &mapper, 4, 4).unwrap();
@@ -241,8 +258,7 @@ mod tests {
             planned.wire.center(0).unwrap(),
         );
         assert!(!occ0, "scatterer must start visible");
-        let mut images =
-            vec![0.0; planned.wire.n_steps * 9 * 9];
+        let mut images = vec![0.0; planned.wire.n_steps * 9 * 9];
         let pixel = planned.detector.pixel_to_xyz(4, 4).unwrap();
         for z in 0..planned.wire.n_steps {
             if !mapper.occludes(depth, pixel, planned.wire.center(z).unwrap()) {

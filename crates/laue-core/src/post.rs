@@ -79,11 +79,7 @@ pub fn subtract_median_background(profile: &mut [f64]) -> f64 {
 /// assert_eq!(peaks.len(), 2);
 /// assert_eq!(peaks[0].depth, 15.0); // bin 1 centre, tallest first
 /// ```
-pub fn find_peaks(
-    profile: &[f64],
-    cfg: &ReconstructionConfig,
-    threshold: f64,
-) -> Vec<DepthPeak> {
+pub fn find_peaks(profile: &[f64], cfg: &ReconstructionConfig, threshold: f64) -> Vec<DepthPeak> {
     let n = profile.len();
     let mut peaks = Vec::new();
     for i in 0..n {
@@ -106,7 +102,12 @@ pub fn find_peaks(
             hi += 1;
         }
         let area: f64 = profile[lo..=hi].iter().sum();
-        peaks.push(DepthPeak { bin: i, depth: cfg.bin_center(i), height: v, area });
+        peaks.push(DepthPeak {
+            bin: i,
+            depth: cfg.bin_center(i),
+            height: v,
+            area,
+        });
     }
     peaks.sort_by(|a, b| b.height.total_cmp(&a.height));
     peaks
@@ -123,7 +124,10 @@ pub struct DepthMapOptions {
 
 impl Default for DepthMapOptions {
     fn default() -> Self {
-        DepthMapOptions { smoothing_sigma: 1.0, min_height: 0.0 }
+        DepthMapOptions {
+            smoothing_sigma: 1.0,
+            min_height: 0.0,
+        }
     }
 }
 
@@ -288,7 +292,14 @@ mod tests {
         *img.at_mut(7, 0, 1) = 30.0;
         // pixel (1, 0) stays empty; pixel (1, 1) below min_height.
         *img.at_mut(5, 1, 1) = 0.5;
-        let map = depth_map(&img, &c, &DepthMapOptions { smoothing_sigma: 0.0, min_height: 1.0 });
+        let map = depth_map(
+            &img,
+            &c,
+            &DepthMapOptions {
+                smoothing_sigma: 0.0,
+                min_height: 1.0,
+            },
+        );
         assert_eq!(map[0], Some(35.0));
         assert_eq!(map[1], Some(75.0));
         assert_eq!(map[2], None);

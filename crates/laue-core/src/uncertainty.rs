@@ -103,15 +103,11 @@ pub fn reconstruct_with_variance(
                     &mut flops,
                 );
                 match plan {
-                    PairPlan::BelowCutoff => {
-                        stats.record(crate::stats::PairOutcome::BelowCutoff)
-                    }
+                    PairPlan::BelowCutoff => stats.record(crate::stats::PairOutcome::BelowCutoff),
                     PairPlan::InvalidGeometry => {
                         stats.record(crate::stats::PairOutcome::InvalidGeometry)
                     }
-                    PairPlan::OutOfRange => {
-                        stats.record(crate::stats::PairOutcome::OutOfRange)
-                    }
+                    PairPlan::OutOfRange => stats.record(crate::stats::PairOutcome::OutOfRange),
                     PairPlan::Deposit(p) => {
                         let mut bins = 0usize;
                         for bin in p.first_bin..p.last_bin {
@@ -145,7 +141,11 @@ pub fn reconstruct_with_variance(
             }
         }
     }
-    Ok(VarianceReconstruction { image, variance, stats })
+    Ok(VarianceReconstruction {
+        image,
+        variance,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +160,11 @@ mod tests {
     }
 
     fn ramp_stack(geom: &ScanGeometry, scale: f64) -> Vec<f64> {
-        let (p, m, n) = (geom.wire.n_steps, geom.detector.n_rows, geom.detector.n_cols);
+        let (p, m, n) = (
+            geom.wire.n_steps,
+            geom.detector.n_rows,
+            geom.detector.n_cols,
+        );
         (0..p * m * n)
             .map(|i| {
                 let z = i / (m * n);
@@ -176,7 +180,10 @@ mod tests {
         let view = ScanView::new(&data, 12, 6, 6).unwrap();
         let plain = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
         let with_var = reconstruct_with_variance(&view, &geom, &cfg).unwrap();
-        assert_eq!(plain.image.data, with_var.image.data, "intensity path identical");
+        assert_eq!(
+            plain.image.data, with_var.image.data,
+            "intensity path identical"
+        );
         assert_eq!(plain.stats, with_var.stats);
     }
 

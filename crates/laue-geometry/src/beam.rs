@@ -26,7 +26,10 @@ impl Beam {
 
     /// The conventional 34-ID-style beam: along `+z` through the origin.
     pub fn along_z() -> Beam {
-        Beam { origin: Vec3::ZERO, direction: Vec3::Z }
+        Beam {
+            origin: Vec3::ZERO,
+            direction: Vec3::Z,
+        }
     }
 
     /// Point at a given depth along the beam.

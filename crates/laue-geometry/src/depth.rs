@@ -71,19 +71,31 @@ impl P2 {
     }
     #[inline]
     fn perp(self) -> P2 {
-        P2 { u: -self.v, v: self.u }
+        P2 {
+            u: -self.v,
+            v: self.u,
+        }
     }
     #[inline]
     fn sub(self, o: P2) -> P2 {
-        P2 { u: self.u - o.u, v: self.v - o.v }
+        P2 {
+            u: self.u - o.u,
+            v: self.v - o.v,
+        }
     }
     #[inline]
     fn add(self, o: P2) -> P2 {
-        P2 { u: self.u + o.u, v: self.v + o.v }
+        P2 {
+            u: self.u + o.u,
+            v: self.v + o.v,
+        }
     }
     #[inline]
     fn scale(self, s: f64) -> P2 {
-        P2 { u: self.u * s, v: self.v * s }
+        P2 {
+            u: self.u * s,
+            v: self.v * s,
+        }
     }
 }
 
@@ -122,7 +134,7 @@ impl DepthMapper {
         let wire_axis = wire_axis
             .normalized()
             .ok_or(GeometryError::ZeroVector("wire axis"))?;
-        if !(radius > 0.0) || !radius.is_finite() {
+        if radius <= 0.0 || !radius.is_finite() {
             return Err(GeometryError::InvalidParameter {
                 name: "radius",
                 value: radius,
@@ -136,7 +148,10 @@ impl DepthMapper {
         let v = wire_axis.cross(u);
         let e = beam.direction.dot(u);
         let step_perp = wire_step.reject_from_unit(wire_axis);
-        let sp = P2 { u: step_perp.dot(u), v: step_perp.dot(v) };
+        let sp = P2 {
+            u: step_perp.dot(u),
+            v: step_perp.dot(v),
+        };
         let n = sp.norm_sq().sqrt();
         if n <= 1e-300 {
             return Err(GeometryError::StepParallelToWireAxis);
@@ -156,7 +171,10 @@ impl DepthMapper {
     #[inline]
     fn project(&self, p: Vec3) -> P2 {
         let d = p - self.beam.origin;
-        P2 { u: d.dot(self.u), v: d.dot(self.v) }
+        P2 {
+            u: d.dot(self.u),
+            v: d.dot(self.v),
+        }
     }
 
     /// Wire radius used by this mapper, µm.
@@ -241,11 +259,7 @@ impl DepthMapper {
     }
 
     /// Depths for both edges: `(trailing, leading)`.
-    pub fn depth_pair(
-        &self,
-        pixel: Vec3,
-        wire_center: Vec3,
-    ) -> Result<(f64, f64), GeometryError> {
+    pub fn depth_pair(&self, pixel: Vec3, wire_center: Vec3) -> Result<(f64, f64), GeometryError> {
         Ok((
             self.depth(pixel, wire_center, WireEdge::Trailing)?,
             self.depth(pixel, wire_center, WireEdge::Leading)?,
@@ -270,7 +284,10 @@ impl DepthMapper {
     /// segment from the beam point at `depth` to `pixel` pass through the
     /// wire positioned at `wire_center`?
     pub fn occludes(&self, depth: f64, pixel: Vec3, wire_center: Vec3) -> bool {
-        let s = P2 { u: depth * self.e, v: 0.0 };
+        let s = P2 {
+            u: depth * self.e,
+            v: 0.0,
+        };
         let p = self.project(pixel);
         let c = self.project(wire_center);
         // Distance from c to segment s→p.
@@ -301,13 +318,8 @@ mod tests {
     /// Conventional frame: beam +z through origin, wire along x at height h,
     /// stepping downstream (+z), pixel overhead at height big-H.
     fn mapper(radius: f64) -> DepthMapper {
-        DepthMapper::from_parts(
-            Beam::along_z(),
-            Vec3::X,
-            radius,
-            Vec3::new(0.0, 0.0, 10.0),
-        )
-        .unwrap()
+        DepthMapper::from_parts(Beam::along_z(), Vec3::X, radius, Vec3::new(0.0, 0.0, 10.0))
+            .unwrap()
     }
 
     #[test]
@@ -341,7 +353,11 @@ mod tests {
         for zc in [-30.0, 0.0, 12.5, 100.0] {
             let wire = Vec3::new(0.0, h, zc);
             let (lo, hi) = m.depth_pair(pixel, wire).unwrap();
-            assert!((lo - 2.0 * zc).abs() < 1e-3, "trailing {lo} vs {}", 2.0 * zc);
+            assert!(
+                (lo - 2.0 * zc).abs() < 1e-3,
+                "trailing {lo} vs {}",
+                2.0 * zc
+            );
             assert!((hi - 2.0 * zc).abs() < 1e-3, "leading {hi} vs {}", 2.0 * zc);
         }
     }
@@ -370,7 +386,10 @@ mod tests {
             m0.depth(pixel, wire, WireEdge::Leading).unwrap()
         };
         let (lo, hi) = m.occluded_interval(pixel, wire).unwrap();
-        assert!(lo < center_depth && center_depth < hi, "{lo} < {center_depth} < {hi}");
+        assert!(
+            lo < center_depth && center_depth < hi,
+            "{lo} < {center_depth} < {hi}"
+        );
     }
 
     #[test]
@@ -381,7 +400,10 @@ mod tests {
         for i in 0..20 {
             let wire = Vec3::new(0.0, 5_000.0, -100.0 + 10.0 * i as f64);
             let d = m.depth(pixel, wire, WireEdge::Leading).unwrap();
-            assert!(d > last, "leading-edge depth must increase with wire travel");
+            assert!(
+                d > last,
+                "leading-edge depth must increase with wire travel"
+            );
             last = d;
         }
     }

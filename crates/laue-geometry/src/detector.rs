@@ -50,14 +50,14 @@ impl DetectorGeometry {
                 reason: "detector must have at least one column",
             });
         }
-        if !(pixel_pitch_row > 0.0) || !pixel_pitch_row.is_finite() {
+        if pixel_pitch_row <= 0.0 || !pixel_pitch_row.is_finite() {
             return Err(GeometryError::InvalidParameter {
                 name: "pixel_pitch_row",
                 value: pixel_pitch_row,
                 reason: "pixel pitch must be positive and finite",
             });
         }
-        if !(pixel_pitch_col > 0.0) || !pixel_pitch_col.is_finite() {
+        if pixel_pitch_col <= 0.0 || !pixel_pitch_col.is_finite() {
             return Err(GeometryError::InvalidParameter {
                 name: "pixel_pitch_col",
                 value: pixel_pitch_col,
@@ -79,7 +79,12 @@ impl DetectorGeometry {
     /// height `height` µm above the sample (beam along `+z`, detector normal
     /// `-y`, i.e. looking down at the sample). Rows advance along `+z`
     /// (downstream), columns along `+x` (the wire axis).
-    pub fn overhead(n_rows: usize, n_cols: usize, pitch: f64, height: f64) -> Result<Self, GeometryError> {
+    pub fn overhead(
+        n_rows: usize,
+        n_cols: usize,
+        pitch: f64,
+        height: f64,
+    ) -> Result<Self, GeometryError> {
         // Detector frame: row axis = +z, col axis = +x. Build the rotation
         // taking detector axes (u=cols→x̂_det, v=rows→ŷ_det) into lab (x, z).
         // Using explicit rows: lab = R * det where det basis (e_col, e_row, n).
@@ -283,15 +288,9 @@ mod tests {
     #[test]
     fn crop_of_rotated_detector_still_matches() {
         let rot = Rotation::from_axis_angle(Vec3::new(0.3, 0.5, 0.8).normalized().unwrap(), 0.4);
-        let det = DetectorGeometry::new(
-            8,
-            8,
-            100.0,
-            120.0,
-            rot,
-            Vec3::new(500.0, 30_000.0, -200.0),
-        )
-        .unwrap();
+        let det =
+            DetectorGeometry::new(8, 8, 100.0, 120.0, rot, Vec3::new(500.0, 30_000.0, -200.0))
+                .unwrap();
         let crop = det.crop(1, 2, 4, 3).unwrap();
         for r in 0..4 {
             for c in 0..3 {
@@ -316,7 +315,12 @@ mod tests {
             base.translation,
         )
         .unwrap();
-        let ys: Vec<f64> = (0..4).map(|r| tilted.pixel_to_xyz(r, 0).unwrap().y).collect();
-        assert!((ys[0] - ys[3]).abs() > 1.0, "tilt should spread pixel heights: {ys:?}");
+        let ys: Vec<f64> = (0..4)
+            .map(|r| tilted.pixel_to_xyz(r, 0).unwrap().y)
+            .collect();
+        assert!(
+            (ys[0] - ys[3]).abs() > 1.0,
+            "tilt should spread pixel heights: {ys:?}"
+        );
     }
 }

@@ -9,9 +9,18 @@ pub enum GeometryError {
     /// A vector that must be non-zero (axis, beam direction, …) was zero.
     ZeroVector(&'static str),
     /// A scalar parameter was out of its valid domain.
-    InvalidParameter { name: &'static str, value: f64, reason: &'static str },
+    InvalidParameter {
+        name: &'static str,
+        value: f64,
+        reason: &'static str,
+    },
     /// A pixel index was outside the detector.
-    PixelOutOfRange { row: usize, col: usize, n_rows: usize, n_cols: usize },
+    PixelOutOfRange {
+        row: usize,
+        col: usize,
+        n_rows: usize,
+        n_cols: usize,
+    },
     /// A wire scan index was outside the scan.
     StepOutOfRange { step: usize, n_steps: usize },
     /// The pixel projects inside the wire cross-section; no tangent exists.
@@ -30,10 +39,19 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::ZeroVector(what) => write!(f, "{what} must be non-zero"),
-            GeometryError::InvalidParameter { name, value, reason } => {
+            GeometryError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
                 write!(f, "invalid parameter {name} = {value}: {reason}")
             }
-            GeometryError::PixelOutOfRange { row, col, n_rows, n_cols } => {
+            GeometryError::PixelOutOfRange {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => {
                 write!(f, "pixel ({row}, {col}) outside {n_rows}×{n_cols} detector")
             }
             GeometryError::StepOutOfRange { step, n_steps } => {
@@ -64,12 +82,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GeometryError::PixelInsideWire { distance: 10.0, radius: 26.0 };
+        let e = GeometryError::PixelInsideWire {
+            distance: 10.0,
+            radius: 26.0,
+        };
         let s = e.to_string();
         assert!(s.contains("10"));
         assert!(s.contains("26"));
 
-        let e = GeometryError::PixelOutOfRange { row: 9, col: 4, n_rows: 8, n_cols: 8 };
+        let e = GeometryError::PixelOutOfRange {
+            row: 9,
+            col: 4,
+            n_rows: 8,
+            n_cols: 8,
+        };
         assert!(e.to_string().contains("(9, 4)"));
 
         let e = GeometryError::InvalidParameter {

@@ -80,7 +80,11 @@ impl Rotation {
     /// Rotate a vector.
     #[inline]
     pub fn apply(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// The inverse rotation (matrix transpose).
@@ -229,7 +233,10 @@ mod tests {
         }
         // Degenerate cases.
         assert!(Rotation::between(Vec3::ZERO, Vec3::X).is_none());
-        assert!(Rotation::between(Vec3::X, -Vec3::X).is_none(), "antiparallel ambiguous");
+        assert!(
+            Rotation::between(Vec3::X, -Vec3::X).is_none(),
+            "antiparallel ambiguous"
+        );
     }
 
     #[test]

@@ -34,8 +34,10 @@ impl WireGeometry {
         step: Vec3,
         n_steps: usize,
     ) -> Result<Self, GeometryError> {
-        let axis = axis.normalized().ok_or(GeometryError::ZeroVector("wire axis"))?;
-        if !(radius > 0.0) || !radius.is_finite() {
+        let axis = axis
+            .normalized()
+            .ok_or(GeometryError::ZeroVector("wire axis"))?;
+        if radius <= 0.0 || !radius.is_finite() {
             return Err(GeometryError::InvalidParameter {
                 name: "radius",
                 value: radius,
@@ -55,7 +57,13 @@ impl WireGeometry {
                 reason: "a wire scan needs at least two steps to form one differential",
             });
         }
-        Ok(WireGeometry { axis, radius, origin, step, n_steps })
+        Ok(WireGeometry {
+            axis,
+            radius,
+            origin,
+            step,
+            n_steps,
+        })
     }
 
     /// Conventional scan for the overhead-detector frame: wire along `x̂`,
@@ -72,7 +80,10 @@ impl WireGeometry {
     /// Wire-axis point at scan step `i` (bounds-checked).
     pub fn center(&self, step: usize) -> Result<Vec3, GeometryError> {
         if step >= self.n_steps {
-            return Err(GeometryError::StepOutOfRange { step, n_steps: self.n_steps });
+            return Err(GeometryError::StepOutOfRange {
+                step,
+                n_steps: self.n_steps,
+            });
         }
         Ok(self.center_unchecked(step as f64))
     }
@@ -85,7 +96,9 @@ impl WireGeometry {
 
     /// All wire centres for the scan, in step order.
     pub fn centers(&self) -> Vec<Vec3> {
-        (0..self.n_steps).map(|i| self.center_unchecked(i as f64)).collect()
+        (0..self.n_steps)
+            .map(|i| self.center_unchecked(i as f64))
+            .collect()
     }
 
     /// Total travel of the wire over the scan, µm.
@@ -135,7 +148,10 @@ mod tests {
         );
         assert!(matches!(
             WireGeometry::along_x(25.0, o, s, 1).unwrap_err(),
-            GeometryError::InvalidParameter { name: "n_steps", .. }
+            GeometryError::InvalidParameter {
+                name: "n_steps",
+                ..
+            }
         ));
     }
 
@@ -161,7 +177,10 @@ mod tests {
         for i in 1..centers.len() {
             assert!((centers[i] - centers[i - 1]).approx_eq(w.step, 1e-12));
         }
-        assert!(matches!(w.center(11), Err(GeometryError::StepOutOfRange { .. })));
+        assert!(matches!(
+            w.center(11),
+            Err(GeometryError::StepOutOfRange { .. })
+        ));
         assert_eq!(w.center(10).unwrap(), centers[10]);
     }
 

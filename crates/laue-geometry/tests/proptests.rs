@@ -61,26 +61,33 @@ struct Scene {
 
 fn arb_scene() -> impl Strategy<Value = Scene> {
     (
-        5.0..60.0f64,            // radius
-        2_000.0..8_000.0f64,     // wire height
-        -300.0..300.0f64,        // wire z
-        12_000.0..30_000.0f64,   // pixel height (well above wire)
-        -2_000.0..2_000.0f64,    // pixel z
-        -500.0..500.0f64,        // pixel x (along wire axis)
+        5.0..60.0f64,          // radius
+        2_000.0..8_000.0f64,   // wire height
+        -300.0..300.0f64,      // wire z
+        12_000.0..30_000.0f64, // pixel height (well above wire)
+        -2_000.0..2_000.0f64,  // pixel z
+        -500.0..500.0f64,      // pixel x (along wire axis)
     )
-        .prop_map(|(radius, wire_height, wire_z, pixel_height, pixel_z, pixel_x)| Scene {
-            radius,
-            wire_height,
-            wire_z,
-            pixel_height,
-            pixel_z,
-            pixel_x,
-        })
+        .prop_map(
+            |(radius, wire_height, wire_z, pixel_height, pixel_z, pixel_x)| Scene {
+                radius,
+                wire_height,
+                wire_z,
+                pixel_height,
+                pixel_z,
+                pixel_x,
+            },
+        )
 }
 
 fn scene_mapper(s: &Scene) -> DepthMapper {
-    DepthMapper::from_parts(Beam::along_z(), Vec3::X, s.radius, Vec3::new(0.0, 0.0, 10.0))
-        .unwrap()
+    DepthMapper::from_parts(
+        Beam::along_z(),
+        Vec3::X,
+        s.radius,
+        Vec3::new(0.0, 0.0, 10.0),
+    )
+    .unwrap()
 }
 
 proptest! {

@@ -10,11 +10,12 @@
 
 use std::collections::BTreeMap;
 
+use cuda_sim::FaultPlan;
 use laue_core::gpu::Layout;
 use laue_core::ReconstructionConfig;
 
 use crate::engine::Engine;
-use crate::{Pipeline, PipelineError, Result};
+use crate::{GpuFailurePolicy, Pipeline, PipelineError, Result};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +25,14 @@ pub enum Command {
     Validate(ReconstructArgs),
     /// Reconstruct every `.mh5` scan in a directory, printing one summary
     /// row per file.
-    Batch { dir: String, engine: Engine, args: ReconstructArgs },
-    Inspect { path: String },
+    Batch {
+        dir: String,
+        engine: Engine,
+        args: ReconstructArgs,
+    },
+    Inspect {
+        path: String,
+    },
     Help,
 }
 
@@ -58,6 +65,10 @@ pub struct ReconstructArgs {
     pub rows_per_slab: Option<usize>,
     /// Detector region of interest: `(r0, c0, rows, cols)`.
     pub roi: Option<(usize, usize, usize, usize)>,
+    /// What to do when a GPU engine fails unrecoverably.
+    pub on_gpu_failure: GpuFailurePolicy,
+    /// Scripted device-fault schedule (`--inject-gpu-fault`, testing only).
+    pub inject_fault: Option<FaultPlan>,
 }
 
 /// Parse an engine name.
@@ -80,8 +91,70 @@ pub fn parse_engine(s: &str) -> std::result::Result<Engine, String> {
     }
 }
 
+/// Parse an `--on-gpu-failure` policy name.
+pub fn parse_gpu_failure_policy(s: &str) -> std::result::Result<GpuFailurePolicy, String> {
+    match s {
+        "abort" => Ok(GpuFailurePolicy::Abort),
+        "fallback-cpu" => Ok(GpuFailurePolicy::FallbackCpu),
+        other => Err(format!(
+            "unknown GPU failure policy {other:?} (try abort, fallback-cpu)"
+        )),
+    }
+}
+
+/// Parse an `--inject-gpu-fault` schedule: comma-separated `key=value`
+/// items, e.g. `seed=7,alloc-nth=1,h2d-prob=0.1,free-mem=1048576`.
+pub fn parse_fault_plan(spec: &str) -> std::result::Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new(0);
+    for item in spec.split(',') {
+        let Some((key, value)) = item.split_once('=') else {
+            return Err(format!(
+                "--inject-gpu-fault wants comma-separated key=value items, got {item:?}"
+            ));
+        };
+        let num = || -> std::result::Result<u64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("bad --inject-gpu-fault {key}: {value:?}"))
+        };
+        let prob = || -> std::result::Result<f64, String> {
+            let p: f64 = value
+                .parse()
+                .map_err(|_| format!("bad --inject-gpu-fault {key}: {value:?}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "--inject-gpu-fault {key} wants a probability in [0, 1], got {value}"
+                ));
+            }
+            Ok(p)
+        };
+        plan = match key {
+            "seed" => FaultPlan {
+                seed: num()?,
+                ..plan
+            },
+            "alloc-nth" => plan.fail_nth_alloc(num()?),
+            "h2d-nth" => plan.fail_nth_h2d(num()?),
+            "d2h-nth" => plan.fail_nth_d2h(num()?),
+            "h2d-prob" => plan.h2d_fault_rate(prob()?),
+            "d2h-prob" => plan.d2h_fault_rate(prob()?),
+            "free-mem" => plan.report_mem_bytes(num()?),
+            "dead-after" => plan.fail_after(num()?),
+            other => {
+                return Err(format!(
+                    "unknown --inject-gpu-fault key {other:?} (try seed, alloc-nth, \
+                     h2d-nth, d2h-nth, h2d-prob, d2h-prob, free-mem, dead-after)"
+                ))
+            }
+        };
+    }
+    Ok(plan)
+}
+
 /// Split `--key value` pairs; positional arguments keep their order.
-fn split_flags(args: &[String]) -> std::result::Result<(BTreeMap<String, String>, Vec<String>), String> {
+fn split_flags(
+    args: &[String],
+) -> std::result::Result<(BTreeMap<String, String>, Vec<String>), String> {
     let mut flags = BTreeMap::new();
     let mut positional = Vec::new();
     let mut i = 0;
@@ -109,7 +182,9 @@ fn get_parse<T: std::str::FromStr>(
 ) -> std::result::Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: {v:?}")),
     }
 }
 
@@ -140,9 +215,21 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             }
             reject_unknown(
                 &flags,
-                &["out", "rows", "cols", "steps", "scatterers", "background", "noise", "seed"],
+                &[
+                    "out",
+                    "rows",
+                    "cols",
+                    "steps",
+                    "scatterers",
+                    "background",
+                    "noise",
+                    "seed",
+                ],
             )?;
-            let out = flags.get("out").ok_or("generate needs --out <file>")?.clone();
+            let out = flags
+                .get("out")
+                .ok_or("generate needs --out <file>")?
+                .clone();
             Ok(Command::Generate(GenerateArgs {
                 out,
                 rows: get_parse(&flags, "rows", 32)?,
@@ -161,11 +248,23 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             }
             reject_unknown(
                 &flags,
-                &["dir", "engine", "depth-start", "depth-end", "bins", "cutoff"],
+                &[
+                    "dir",
+                    "engine",
+                    "depth-start",
+                    "depth-end",
+                    "bins",
+                    "cutoff",
+                ],
             )?;
-            let dir = flags.get("dir").ok_or("batch needs --dir <directory>")?.clone();
+            let dir = flags
+                .get("dir")
+                .ok_or("batch needs --dir <directory>")?
+                .clone();
             let engine = match flags.get("engine") {
-                None => Engine::Gpu { layout: Layout::Flat1d },
+                None => Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
                 Some(e) => parse_engine(e)?,
             };
             let args = ReconstructArgs {
@@ -181,6 +280,8 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 cutoff: get_parse(&flags, "cutoff", 0.0)?,
                 rows_per_slab: None,
                 roi: None,
+                on_gpu_failure: GpuFailurePolicy::default(),
+                inject_fault: None,
             };
             Ok(Command::Batch { dir, engine, args })
         }
@@ -192,8 +293,20 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             reject_unknown(
                 &flags,
                 &[
-                    "input", "out", "histogram", "trace", "variance", "engine", "depth-start",
-                    "depth-end", "bins", "cutoff", "rows-per-slab", "roi",
+                    "input",
+                    "out",
+                    "histogram",
+                    "trace",
+                    "variance",
+                    "engine",
+                    "depth-start",
+                    "depth-end",
+                    "bins",
+                    "cutoff",
+                    "rows-per-slab",
+                    "roi",
+                    "on-gpu-failure",
+                    "inject-gpu-fault",
                 ],
             )?;
             let input = flags
@@ -201,7 +314,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 .ok_or(format!("{cmd} needs --input <file>"))?
                 .clone();
             let engine = match flags.get("engine") {
-                None => Engine::Gpu { layout: Layout::Flat1d },
+                None => Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
                 Some(e) => parse_engine(e)?,
             };
             let roi = match flags.get("roi") {
@@ -233,6 +348,14 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     .map(|v| v.parse().map_err(|_| format!("bad --rows-per-slab: {v:?}")))
                     .transpose()?,
                 roi,
+                on_gpu_failure: match flags.get("on-gpu-failure") {
+                    None => GpuFailurePolicy::default(),
+                    Some(s) => parse_gpu_failure_policy(s)?,
+                },
+                inject_fault: flags
+                    .get("inject-gpu-fault")
+                    .map(|s| parse_fault_plan(s))
+                    .transpose()?,
             };
             if cmd == "reconstruct" {
                 Ok(Command::Reconstruct(args))
@@ -264,6 +387,8 @@ USAGE:
                    [--variance <sigma.mh5>] [--roi r0:c0:rows:cols]
                    [--depth-start UM] [--depth-end UM] [--bins N]
                    [--cutoff C] [--rows-per-slab R]
+                   [--on-gpu-failure abort|fallback-cpu]
+                   [--inject-gpu-fault k=v,…]
   laue validate    --input <scan.mh5> [same options as reconstruct]
   laue batch       --dir <directory> [--engine E] [--depth-start/-end UM]
                    [--bins N] [--cutoff C]
@@ -271,6 +396,15 @@ USAGE:
 
 ENGINES:
   cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-overlap
+
+GPU FAULT HANDLING:
+  --on-gpu-failure abort         surface GPU errors (default)
+  --on-gpu-failure fallback-cpu  re-run on the CPU engine and mark the
+                                 run report DEGRADED
+  --inject-gpu-fault             scripted fault schedule for testing:
+                                 comma-separated key=value with keys
+                                 seed, alloc-nth, h2d-nth, d2h-nth,
+                                 h2d-prob, d2h-prob, free-mem, dead-after
 ";
 
 fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
@@ -310,15 +444,18 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
         }
         Command::Reconstruct(a) => {
             let cfg = recon_config(a);
-            let pipeline = Pipeline::default();
+            let pipeline = Pipeline {
+                on_gpu_failure: a.on_gpu_failure,
+                fault_plan: a.inject_fault.clone(),
+                ..Pipeline::default()
+            };
             let mut scan = laue_wire::ScanFile::open(&a.input)?;
             let geometry = scan.geometry().clone();
             let report = match a.roi {
                 None => pipeline.run_source(&mut scan, &geometry, &cfg, a.engine)?,
                 Some((r0, c0, rows, cols)) => {
                     let roi_geom = geometry.crop(r0, c0, rows, cols)?;
-                    let mut roi =
-                        laue_core::input::RoiSlabSource::new(scan, r0, c0, rows, cols)?;
+                    let mut roi = laue_core::input::RoiSlabSource::new(scan, r0, c0, rows, cols)?;
                     pipeline.run_source(&mut roi, &roi_geom, &cfg, a.engine)?
                 }
             };
@@ -339,7 +476,10 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                 let (geom_v, stack) = match a.roi {
                     None => {
                         let rows = geometry.detector.n_rows;
-                        (geometry.clone(), laue_core::SlabSource::read_slab(&mut scan, 0, rows)?)
+                        (
+                            geometry.clone(),
+                            laue_core::SlabSource::read_slab(&mut scan, 0, rows)?,
+                        )
                     }
                     Some((r0, c0, rows, cols)) => {
                         let g = geometry.crop(r0, c0, rows, cols)?;
@@ -368,6 +508,9 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     rows_per_slab: 0,
                     n_slabs: 0,
                     transfers: 0,
+                    gpu_replans: 0,
+                    gpu_transfer_retries: 0,
+                    fallback: None,
                 };
                 crate::export::write_mh5(path, &var_report, &cfg)?;
                 writeln!(out, "wrote {path} (per-bin variance; σ = sqrt)")?;
@@ -395,7 +538,11 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
         }
         Command::Validate(a) => {
             let cfg = recon_config(a);
-            let pipeline = Pipeline::default();
+            let pipeline = Pipeline {
+                on_gpu_failure: a.on_gpu_failure,
+                fault_plan: a.inject_fault.clone(),
+                ..Pipeline::default()
+            };
             let scan = laue_wire::ScanFile::open(&a.input)?;
             let Some(truth) = scan.truth().cloned() else {
                 return Err(PipelineError::Wire(laue_wire::WireError::MissingField(
@@ -492,8 +639,18 @@ mod tests {
             parse_engine("cpu-threaded:4").unwrap(),
             Engine::CpuThreaded { threads: 4 }
         );
-        assert_eq!(parse_engine("gpu").unwrap(), Engine::Gpu { layout: Layout::Flat1d });
-        assert_eq!(parse_engine("gpu-3d").unwrap(), Engine::Gpu { layout: Layout::Pointer3d });
+        assert_eq!(
+            parse_engine("gpu").unwrap(),
+            Engine::Gpu {
+                layout: Layout::Flat1d
+            }
+        );
+        assert_eq!(
+            parse_engine("gpu-3d").unwrap(),
+            Engine::Gpu {
+                layout: Layout::Pointer3d
+            }
+        );
         assert_eq!(parse_engine("gpu-tables").unwrap(), Engine::GpuTables);
         assert_eq!(parse_engine("gpu-overlap").unwrap(), Engine::GpuOverlapped);
         assert!(parse_engine("tpu").is_err());
@@ -502,9 +659,13 @@ mod tests {
 
     #[test]
     fn generate_parses_with_defaults() {
-        let cmd = parse(&sv(&["generate", "--out", "x.mh5", "--rows", "8", "--seed", "9"]))
-            .unwrap();
-        let Command::Generate(a) = cmd else { panic!("wrong command") };
+        let cmd = parse(&sv(&[
+            "generate", "--out", "x.mh5", "--rows", "8", "--seed", "9",
+        ]))
+        .unwrap();
+        let Command::Generate(a) = cmd else {
+            panic!("wrong command")
+        };
         assert_eq!(a.out, "x.mh5");
         assert_eq!(a.rows, 8);
         assert_eq!(a.cols, 32, "default");
@@ -525,20 +686,83 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        let Command::Reconstruct(a) = cmd else { panic!("wrong command") };
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
         assert_eq!(a.input, "scan.mh5");
-        assert_eq!(a.engine, Engine::Gpu { layout: Layout::Pointer3d });
+        assert_eq!(
+            a.engine,
+            Engine::Gpu {
+                layout: Layout::Pointer3d
+            }
+        );
         assert_eq!(a.bins, 128);
         assert_eq!(a.rows_per_slab, Some(2));
         assert_eq!(a.cutoff, 0.0);
     }
 
     #[test]
+    fn gpu_failure_flags_parse() {
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "scan.mh5",
+            "--on-gpu-failure",
+            "fallback-cpu",
+            "--inject-gpu-fault",
+            "seed=7,alloc-nth=1,h2d-prob=0.25,free-mem=1048576,dead-after=40",
+        ]))
+        .unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.on_gpu_failure, GpuFailurePolicy::FallbackCpu);
+        let plan = a.inject_fault.unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.fail_alloc_nth, Some(1));
+        assert_eq!(plan.h2d_fail_prob, 0.25);
+        assert_eq!(plan.report_mem, Some(1 << 20));
+        assert_eq!(plan.fail_after_ops, Some(40));
+        assert!(plan.is_active());
+
+        // Defaults: abort, no injection.
+        let cmd = parse(&sv(&["reconstruct", "--input", "scan.mh5"])).unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.on_gpu_failure, GpuFailurePolicy::Abort);
+        assert_eq!(a.inject_fault, None);
+
+        // Bad values are parse errors, not panics.
+        assert!(parse_gpu_failure_policy("explode")
+            .unwrap_err()
+            .contains("abort"));
+        assert!(parse_fault_plan("alloc-nth")
+            .unwrap_err()
+            .contains("key=value"));
+        assert!(parse_fault_plan("h2d-prob=1.5")
+            .unwrap_err()
+            .contains("[0, 1]"));
+        assert!(parse_fault_plan("alloc-nth=x")
+            .unwrap_err()
+            .contains("alloc-nth"));
+        assert!(parse_fault_plan("warp-core=1")
+            .unwrap_err()
+            .contains("warp-core"));
+    }
+
+    #[test]
     fn errors_are_helpful() {
         assert!(parse(&sv(&["generate"])).unwrap_err().contains("--out"));
-        assert!(parse(&sv(&["reconstruct"])).unwrap_err().contains("--input"));
-        assert!(parse(&sv(&["reconstruct", "--input"])).unwrap_err().contains("needs a value"));
-        assert!(parse(&sv(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(parse(&sv(&["reconstruct"]))
+            .unwrap_err()
+            .contains("--input"));
+        assert!(parse(&sv(&["reconstruct", "--input"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&sv(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(parse(&sv(&["generate", "--out", "x", "--bogus", "1"]))
             .unwrap_err()
             .contains("--bogus"));
@@ -569,8 +793,19 @@ mod tests {
 
         let mut buf = Vec::new();
         let cmd = parse(&sv(&[
-            "generate", "--out", &scan_s, "--rows", "8", "--cols", "8", "--steps", "12",
-            "--scatterers", "4", "--seed", "5",
+            "generate",
+            "--out",
+            &scan_s,
+            "--rows",
+            "8",
+            "--cols",
+            "8",
+            "--steps",
+            "12",
+            "--scatterers",
+            "4",
+            "--seed",
+            "5",
         ]))
         .unwrap();
         run(&cmd, &mut buf).unwrap();
@@ -600,17 +835,33 @@ mod tests {
 
         let mut buf = Vec::new();
         let cmd = parse(&sv(&[
-            "validate", "--input", &scan_s, "--depth-start", "-1500", "--depth-end", "1500",
-            "--bins", "300",
+            "validate",
+            "--input",
+            &scan_s,
+            "--depth-start",
+            "-1500",
+            "--depth-end",
+            "1500",
+            "--bins",
+            "300",
         ]))
         .unwrap();
         run(&cmd, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("validation:"), "{text}");
-        assert!(text.contains("4 scatterers") || text.contains("/4"), "{text}");
+        assert!(
+            text.contains("4 scatterers") || text.contains("/4"),
+            "{text}"
+        );
 
         let mut buf = Vec::new();
-        run(&Command::Inspect { path: scan_s.clone() }, &mut buf).unwrap();
+        run(
+            &Command::Inspect {
+                path: scan_s.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("/entry/images"), "{text}");
 
@@ -649,8 +900,17 @@ mod tests {
 
         let mut buf = Vec::new();
         let cmd = parse(&sv(&[
-            "batch", "--dir", &dir_s, "--engine", "cpu", "--depth-start", "-1500",
-            "--depth-end", "1500", "--bins", "100",
+            "batch",
+            "--dir",
+            &dir_s,
+            "--engine",
+            "cpu",
+            "--depth-start",
+            "-1500",
+            "--depth-end",
+            "1500",
+            "--bins",
+            "100",
         ]))
         .unwrap();
         run(&cmd, &mut buf).unwrap();
@@ -674,8 +934,19 @@ mod tests {
 
         let mut buf = Vec::new();
         let cmd = parse(&sv(&[
-            "generate", "--out", &scan_s, "--rows", "10", "--cols", "10", "--steps", "12",
-            "--scatterers", "5", "--seed", "8",
+            "generate",
+            "--out",
+            &scan_s,
+            "--rows",
+            "10",
+            "--cols",
+            "10",
+            "--steps",
+            "12",
+            "--scatterers",
+            "5",
+            "--seed",
+            "8",
         ]))
         .unwrap();
         run(&cmd, &mut buf).unwrap();
@@ -707,12 +978,16 @@ mod tests {
         assert_eq!(f.dataset_info(ds).unwrap().shape, vec![150, 4, 5]);
 
         // Bad ROI specs are parse errors.
-        assert!(parse(&sv(&["reconstruct", "--input", "x", "--roi", "1:2:3"]))
-            .unwrap_err()
-            .contains("r0:c0:rows:cols"));
-        assert!(parse(&sv(&["reconstruct", "--input", "x", "--roi", "a:2:3:4"]))
-            .unwrap_err()
-            .contains("bad --roi"));
+        assert!(
+            parse(&sv(&["reconstruct", "--input", "x", "--roi", "1:2:3"]))
+                .unwrap_err()
+                .contains("r0:c0:rows:cols")
+        );
+        assert!(
+            parse(&sv(&["reconstruct", "--input", "x", "--roi", "a:2:3:4"]))
+                .unwrap_err()
+                .contains("bad --roi")
+        );
 
         std::fs::remove_file(&scan).ok();
         std::fs::remove_file(&var).ok();
@@ -720,7 +995,9 @@ mod tests {
 
     #[test]
     fn run_surfaces_io_errors() {
-        let cmd = Command::Inspect { path: "/nonexistent/nope.mh5".into() };
+        let cmd = Command::Inspect {
+            path: "/nonexistent/nope.mh5".into(),
+        };
         let mut buf = Vec::new();
         assert!(run(&cmd, &mut buf).is_err());
     }

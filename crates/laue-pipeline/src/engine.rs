@@ -24,8 +24,12 @@ impl Engine {
         match self {
             Engine::CpuSeq => "cpu-seq".to_string(),
             Engine::CpuThreaded { threads } => format!("cpu-threaded({threads})"),
-            Engine::Gpu { layout: Layout::Flat1d } => "gpu-1d".to_string(),
-            Engine::Gpu { layout: Layout::Pointer3d } => "gpu-3d".to_string(),
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            } => "gpu-1d".to_string(),
+            Engine::Gpu {
+                layout: Layout::Pointer3d,
+            } => "gpu-3d".to_string(),
             Engine::GpuTables => "gpu-tables".to_string(),
             Engine::GpuOverlapped => "gpu-overlap".to_string(),
         }
@@ -33,7 +37,10 @@ impl Engine {
 
     /// Does this engine run on the simulated device?
     pub fn is_gpu(&self) -> bool {
-        matches!(self, Engine::Gpu { .. } | Engine::GpuTables | Engine::GpuOverlapped)
+        matches!(
+            self,
+            Engine::Gpu { .. } | Engine::GpuTables | Engine::GpuOverlapped
+        )
     }
 }
 
@@ -46,8 +53,12 @@ mod tests {
         let engines = [
             Engine::CpuSeq,
             Engine::CpuThreaded { threads: 4 },
-            Engine::Gpu { layout: Layout::Flat1d },
-            Engine::Gpu { layout: Layout::Pointer3d },
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+            Engine::Gpu {
+                layout: Layout::Pointer3d,
+            },
             Engine::GpuTables,
             Engine::GpuOverlapped,
         ];

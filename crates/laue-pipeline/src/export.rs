@@ -28,9 +28,17 @@ pub fn write_mh5<P: AsRef<Path>>(
     w.set_attr(g, "depth_start_um", AttrValue::Float(cfg.depth_start))?;
     w.set_attr(g, "depth_end_um", AttrValue::Float(cfg.depth_end))?;
     w.set_attr(g, "n_depth_bins", AttrValue::Int(cfg.n_depth_bins as i64))?;
-    w.set_attr(g, "intensity_cutoff", AttrValue::Float(cfg.intensity_cutoff))?;
+    w.set_attr(
+        g,
+        "intensity_cutoff",
+        AttrValue::Float(cfg.intensity_cutoff),
+    )?;
     w.set_attr(g, "total_time_s", AttrValue::Float(report.total_time_s))?;
-    w.set_attr(g, "pairs_deposited", AttrValue::Int(report.stats.pairs_deposited as i64))?;
+    w.set_attr(
+        g,
+        "pairs_deposited",
+        AttrValue::Int(report.stats.pairs_deposited as i64),
+    )?;
     let ds = w.create_dataset(
         g,
         "depth_image",
@@ -69,7 +77,12 @@ pub fn write_histogram_text<W: Write>(
     writeln!(out, "# integrated depth histogram")?;
     writeln!(out, "# depth_um  total_intensity")?;
     for bin in 0..image.n_bins {
-        writeln!(out, "{:12.4}  {:14.6}", cfg.bin_center(bin), image.bin_total(bin))?;
+        writeln!(
+            out,
+            "{:12.4}  {:14.6}",
+            cfg.bin_center(bin),
+            image.bin_total(bin)
+        )?;
     }
     Ok(())
 }
@@ -98,6 +111,9 @@ mod tests {
                 rows_per_slab: 0,
                 n_slabs: 0,
                 transfers: 0,
+                gpu_replans: 0,
+                gpu_transfer_retries: 0,
+                fallback: None,
             },
             cfg,
         )
@@ -110,8 +126,14 @@ mod tests {
         write_mh5(&path, &r, &cfg).unwrap();
         let f = FileReader::open(&path).unwrap();
         let g = f.resolve_path("/reconstruction").unwrap();
-        assert_eq!(f.attr(g, "engine").unwrap().unwrap().as_str(), Some("cpu-seq"));
-        assert_eq!(f.attr(g, "n_depth_bins").unwrap().unwrap().as_int(), Some(4));
+        assert_eq!(
+            f.attr(g, "engine").unwrap().unwrap().as_str(),
+            Some("cpu-seq")
+        );
+        assert_eq!(
+            f.attr(g, "n_depth_bins").unwrap().unwrap().as_int(),
+            Some(4)
+        );
         let ds = f.resolve_path("/reconstruction/depth_image").unwrap();
         let data: Vec<f64> = f.read_all(ds).unwrap();
         assert_eq!(data, r.image.data);
@@ -124,8 +146,7 @@ mod tests {
         let mut buf = Vec::new();
         write_profile_text(&mut buf, &r.image, &cfg, 0, 0).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let data_lines: Vec<&str> =
-            text.lines().filter(|l| !l.starts_with('#')).collect();
+        let data_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(data_lines.len(), 4);
         // Bin 1 (centre 37.5) carries 7.0.
         let fields: Vec<f64> = data_lines[1]

@@ -26,7 +26,7 @@ pub mod run;
 
 pub use engine::Engine;
 pub use report::RunReport;
-pub use run::Pipeline;
+pub use run::{GpuFailurePolicy, Pipeline};
 
 /// Errors from the pipeline.
 #[derive(Debug)]

@@ -27,6 +27,13 @@ pub struct RunReport {
     pub n_slabs: usize,
     /// Host↔device transfers performed (GPU engines; 0 for CPU).
     pub transfers: u64,
+    /// Times the GPU engine re-planned with smaller slabs after device OOM.
+    pub gpu_replans: u32,
+    /// Transient transfer faults the GPU engine absorbed by retrying.
+    pub gpu_transfer_retries: u32,
+    /// Set when the run degraded to another engine after a GPU failure;
+    /// records what failed and where execution landed.
+    pub fallback: Option<String>,
 }
 
 impl RunReport {
@@ -54,6 +61,15 @@ impl RunReport {
                 "; {} slab(s) of {} row(s)",
                 self.n_slabs, self.rows_per_slab
             ));
+        }
+        if self.gpu_replans > 0 || self.gpu_transfer_retries > 0 {
+            s.push_str(&format!(
+                "; recovered from device faults ({} re-plan(s), {} transfer retry(ies))",
+                self.gpu_replans, self.gpu_transfer_retries
+            ));
+        }
+        if let Some(fallback) = &self.fallback {
+            s.push_str(&format!("; DEGRADED: {fallback}"));
         }
         s
     }
@@ -87,6 +103,9 @@ mod tests {
             rows_per_slab: 16,
             n_slabs: 4,
             transfers: 12,
+            gpu_replans: 0,
+            gpu_transfer_retries: 0,
+            fallback: None,
         }
     }
 
@@ -98,6 +117,19 @@ mod tests {
         assert!(s.contains("4.0 MiB"));
         assert!(s.contains("slab"));
         assert!(s.contains("50.0 % active"));
+        assert!(!s.contains("recovered"), "clean run mentions no recovery");
+        assert!(!s.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn summary_reports_recovery_and_degradation() {
+        let mut r = report();
+        r.gpu_replans = 2;
+        r.gpu_transfer_retries = 5;
+        let s = r.summary();
+        assert!(s.contains("2 re-plan(s)") && s.contains("5 transfer retry(ies)"));
+        r.fallback = Some("gpu-1d failed: device lost; completed on cpu-seq".into());
+        assert!(r.summary().contains("DEGRADED: gpu-1d failed"));
     }
 
     #[test]

@@ -11,6 +11,24 @@ use crate::engine::Engine;
 use crate::report::RunReport;
 use crate::Result;
 
+/// What to do when a GPU engine fails in a way another executor could
+/// sidestep (device lost, memory exhausted beyond re-planning).
+///
+/// Transient transfer faults and recoverable OOM never reach this policy —
+/// the GPU engine absorbs them itself (bounded retries, slab re-planning)
+/// and reports them via [`RunReport::gpu_transfer_retries`] /
+/// [`RunReport::gpu_replans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GpuFailurePolicy {
+    /// Surface the GPU error to the caller (default).
+    #[default]
+    Abort,
+    /// Re-run the reconstruction on the CPU engine matching the pipeline's
+    /// executor (threaded when [`Pipeline::exec_mode`] is threaded, serial
+    /// otherwise) and record the degradation in the run report.
+    FallbackCpu,
+}
+
 /// A configured pipeline: the machines to model and how to execute
 /// simulated kernels.
 #[derive(Debug, Clone)]
@@ -21,6 +39,11 @@ pub struct Pipeline {
     pub device: DeviceProps,
     /// How simulated kernel threads execute on this machine.
     pub exec_mode: ExecMode,
+    /// What to do when a GPU engine fails unrecoverably.
+    pub on_gpu_failure: GpuFailurePolicy,
+    /// Scripted fault schedule installed on every device this pipeline
+    /// creates (fault-injection testing; `None` in production).
+    pub fault_plan: Option<cuda_sim::FaultPlan>,
 }
 
 impl Default for Pipeline {
@@ -30,6 +53,8 @@ impl Default for Pipeline {
             host: HostProps::xeon_e5630(),
             device: DeviceProps::tesla_m2070(),
             exec_mode: ExecMode::Sequential,
+            on_gpu_failure: GpuFailurePolicy::default(),
+            fault_plan: None,
         }
     }
 }
@@ -84,55 +109,108 @@ impl Pipeline {
                     rows_per_slab: 0,
                     n_slabs: 0,
                     transfers: 0,
+                    gpu_replans: 0,
+                    gpu_transfer_retries: 0,
+                    fallback: None,
                 })
             }
             Engine::Gpu { .. } | Engine::GpuTables => {
                 let opts = match engine {
-                    Engine::Gpu { layout } => {
-                        GpuOptions { layout, triangulation: Triangulation::InKernel, ..GpuOptions::default() }
-                    }
+                    Engine::Gpu { layout } => GpuOptions {
+                        layout,
+                        triangulation: Triangulation::InKernel,
+                        ..GpuOptions::default()
+                    },
                     _ => GpuOptions {
                         layout: Layout::Flat1d,
                         triangulation: Triangulation::HostTables,
                         ..GpuOptions::default()
                     },
                 };
-                let device = Device::new(self.device.clone());
-                device.set_exec_mode(self.exec_mode);
-                let out = gpu::reconstruct_with_options(&device, source, geom, cfg, opts)?;
-                Ok(RunReport {
-                    engine: engine.label(),
-                    image: out.image,
-                    stats: out.stats,
-                    total_time_s: out.elapsed_s,
-                    comm_time_s: out.meters.comm_time_s,
-                    compute_time_s: out.meters.compute_time_s,
-                    input_bytes,
-                    dims,
-                    rows_per_slab: out.rows_per_slab,
-                    n_slabs: out.n_slabs,
-                    transfers: out.meters.transfers,
-                })
+                let device = self.gpu_device();
+                match gpu::reconstruct_with_options(&device, source, geom, cfg, opts) {
+                    Ok(out) => Ok(RunReport {
+                        engine: engine.label(),
+                        image: out.image,
+                        stats: out.stats,
+                        total_time_s: out.elapsed_s,
+                        comm_time_s: out.meters.comm_time_s,
+                        compute_time_s: out.meters.compute_time_s,
+                        input_bytes,
+                        dims,
+                        rows_per_slab: out.rows_per_slab,
+                        n_slabs: out.n_slabs,
+                        transfers: out.meters.transfers,
+                        gpu_replans: out.recovery.replans,
+                        gpu_transfer_retries: out.recovery.transfer_retries,
+                        fallback: None,
+                    }),
+                    Err(e) => self.degrade(source, geom, cfg, engine, e),
+                }
             }
             Engine::GpuOverlapped => {
-                let device = Device::new(self.device.clone());
-                device.set_exec_mode(self.exec_mode);
-                let out = gpu::reconstruct_overlapped(&device, source, geom, cfg)?;
-                Ok(RunReport {
-                    engine: engine.label(),
-                    image: out.image,
-                    stats: out.stats,
-                    total_time_s: out.elapsed_s,
-                    comm_time_s: out.meters.comm_time_s,
-                    compute_time_s: out.meters.compute_time_s,
-                    input_bytes,
-                    dims,
-                    rows_per_slab: out.rows_per_slab,
-                    n_slabs: out.n_slabs,
-                    transfers: out.meters.transfers,
-                })
+                let device = self.gpu_device();
+                match gpu::reconstruct_overlapped(&device, source, geom, cfg) {
+                    Ok(out) => Ok(RunReport {
+                        engine: engine.label(),
+                        image: out.image,
+                        stats: out.stats,
+                        total_time_s: out.elapsed_s,
+                        comm_time_s: out.meters.comm_time_s,
+                        compute_time_s: out.meters.compute_time_s,
+                        input_bytes,
+                        dims,
+                        rows_per_slab: out.rows_per_slab,
+                        n_slabs: out.n_slabs,
+                        transfers: out.meters.transfers,
+                        gpu_replans: out.recovery.replans,
+                        gpu_transfer_retries: out.recovery.transfer_retries,
+                        fallback: None,
+                    }),
+                    Err(e) => self.degrade(source, geom, cfg, engine, e),
+                }
             }
         }
+    }
+
+    /// Build the device a GPU engine will run on, with the pipeline's fault
+    /// schedule (if any) installed.
+    fn gpu_device(&self) -> Device {
+        let device = Device::new(self.device.clone());
+        device.set_exec_mode(self.exec_mode);
+        if let Some(plan) = &self.fault_plan {
+            device.set_fault_plan(plan.clone());
+        }
+        device
+    }
+
+    /// Apply [`Pipeline::on_gpu_failure`] to a GPU engine error: either
+    /// surface it, or re-run on the matching CPU engine and record the
+    /// degradation in the report.
+    fn degrade(
+        &self,
+        source: &mut dyn SlabSource,
+        geom: &ScanGeometry,
+        cfg: &ReconstructionConfig,
+        failed: Engine,
+        err: laue_core::CoreError,
+    ) -> Result<RunReport> {
+        if self.on_gpu_failure != GpuFailurePolicy::FallbackCpu || !err.is_gpu_failure() {
+            return Err(err.into());
+        }
+        // Match the executor so a sequential pipeline degrades bit-for-bit
+        // (cpu-seq and the GPU engines share deposit order).
+        let cpu = match self.exec_mode {
+            ExecMode::Threaded(n) => Engine::CpuThreaded { threads: n },
+            _ => Engine::CpuSeq,
+        };
+        let mut report = self.run_source(source, geom, cfg, cpu)?;
+        report.fallback = Some(format!(
+            "{} failed ({err}); completed on {}",
+            failed.label(),
+            cpu.label()
+        ));
+        Ok(report)
     }
 }
 
@@ -149,8 +227,7 @@ mod tests {
             .seed(21)
             .build()
             .unwrap();
-        let path =
-            std::env::temp_dir().join(format!("pipeline_{}_{name}.mh5", std::process::id()));
+        let path = std::env::temp_dir().join(format!("pipeline_{}_{name}.mh5", std::process::id()));
         write_scan(&path, &scan.geometry, &scan.images, Some(&scan.truth), 2).unwrap();
         (path, scan)
     }
@@ -166,8 +243,12 @@ mod tests {
         let engines = [
             Engine::CpuSeq,
             Engine::CpuThreaded { threads: 3 },
-            Engine::Gpu { layout: Layout::Flat1d },
-            Engine::Gpu { layout: Layout::Pointer3d },
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+            Engine::Gpu {
+                layout: Layout::Pointer3d,
+            },
             Engine::GpuOverlapped,
         ];
         let reports: Vec<RunReport> = engines
@@ -190,7 +271,13 @@ mod tests {
         let (path, _) = scan_file("meters");
         let p = Pipeline::default();
         let r = p
-            .run_scan_file(&path, &cfg(), Engine::Gpu { layout: Layout::Flat1d })
+            .run_scan_file(
+                &path,
+                &cfg(),
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
             .unwrap();
         assert!(r.comm_time_s > 0.0);
         assert!(r.compute_time_s > 0.0);
@@ -214,13 +301,19 @@ mod tests {
             .seed(3)
             .build()
             .unwrap();
-        let path = std::env::temp_dir()
-            .join(format!("pipeline_{}_speedup.mh5", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("pipeline_{}_speedup.mh5", std::process::id()));
         write_scan(&path, &scan.geometry, &scan.images, None, 8).unwrap();
         let p = Pipeline::default();
         let cpu_r = p.run_scan_file(&path, &cfg(), Engine::CpuSeq).unwrap();
         let gpu_r = p
-            .run_scan_file(&path, &cfg(), Engine::Gpu { layout: Layout::Flat1d })
+            .run_scan_file(
+                &path,
+                &cfg(),
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
             .unwrap();
         let ratio = gpu_r.total_time_s / cpu_r.total_time_s;
         // This mid-size stack is still fairly transfer-heavy; the calibrated
@@ -235,7 +328,13 @@ mod tests {
         let (tiny_path, _) = scan_file("speedup_tiny");
         let cpu_t = p.run_scan_file(&tiny_path, &cfg(), Engine::CpuSeq).unwrap();
         let gpu_t = p
-            .run_scan_file(&tiny_path, &cfg(), Engine::Gpu { layout: Layout::Flat1d })
+            .run_scan_file(
+                &tiny_path,
+                &cfg(),
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
             .unwrap();
         assert!(
             gpu_t.total_time_s > cpu_t.total_time_s,
@@ -243,6 +342,65 @@ mod tests {
         );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&tiny_path).ok();
+    }
+
+    #[test]
+    fn fallback_policy_degrades_to_cpu_on_dead_device() {
+        let (path, _) = scan_file("fallback");
+        let cpu = Pipeline::default()
+            .run_scan_file(&path, &cfg(), Engine::CpuSeq)
+            .unwrap();
+
+        // A device that dies almost immediately: abort surfaces the error…
+        let dead_plan = cuda_sim::FaultPlan::new(1).fail_after(2);
+        let abort = Pipeline {
+            fault_plan: Some(dead_plan.clone()),
+            ..Pipeline::default()
+        };
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        assert!(abort.run_scan_file(&path, &cfg(), gpu).is_err());
+
+        // …and fallback-cpu completes on the CPU engine with the degradation
+        // recorded. Sequential executor → bitwise equal to cpu-seq.
+        let degrade = Pipeline {
+            fault_plan: Some(dead_plan),
+            on_gpu_failure: GpuFailurePolicy::FallbackCpu,
+            ..Pipeline::default()
+        };
+        let r = degrade.run_scan_file(&path, &cfg(), gpu).unwrap();
+        let note = r.fallback.as_deref().expect("degradation recorded");
+        assert!(
+            note.contains("gpu-1d") && note.contains("cpu-seq"),
+            "{note}"
+        );
+        assert_eq!(r.image.data, cpu.image.data);
+        assert_eq!(r.stats, cpu.stats);
+        assert!(r.summary().contains("DEGRADED"), "{}", r.summary());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_oom_replans_without_fallback() {
+        let (path, _) = scan_file("replan");
+        let clean = Pipeline::default();
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let baseline = clean.run_scan_file(&path, &cfg(), gpu).unwrap();
+        assert_eq!(baseline.gpu_replans, 0);
+
+        let p = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(3).fail_nth_alloc(3)),
+            ..Pipeline::default()
+        };
+        let r = p.run_scan_file(&path, &cfg(), gpu).unwrap();
+        assert!(r.gpu_replans >= 1, "the engine must have re-planned");
+        assert!(r.fallback.is_none(), "recovered without degrading");
+        assert_eq!(r.image.data, baseline.image.data);
+        assert_eq!(r.stats, baseline.stats);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -101,7 +101,9 @@ impl SyntheticScanBuilder {
     /// Generate the scan.
     pub fn build(&self) -> Result<SyntheticScan> {
         if self.n_scatterers == 0 {
-            return Err(WireError::InvalidParameter("need at least one scatterer".into()));
+            return Err(WireError::InvalidParameter(
+                "need at least one scatterer".into(),
+            ));
         }
         if self.intensity_range.0 <= 0.0 || self.intensity_range.1 < self.intensity_range.0 {
             return Err(WireError::InvalidParameter(format!(
@@ -132,14 +134,17 @@ impl SyntheticScanBuilder {
             let col = rng.gen_range(0..self.n_cols);
             let pixel = geometry.detector.pixel_to_xyz(row, col)?;
             // This pixel's leading-edge sweep window.
-            let d_first =
-                mapper.depth(pixel, geometry.wire.center(0)?, WireEdge::Leading)?;
+            let d_first = mapper.depth(pixel, geometry.wire.center(0)?, WireEdge::Leading)?;
             let d_last = mapper.depth(
                 pixel,
                 geometry.wire.center(self.n_steps - 1)?,
                 WireEdge::Leading,
             )?;
-            let (lo, hi) = if d_first < d_last { (d_first, d_last) } else { (d_last, d_first) };
+            let (lo, hi) = if d_first < d_last {
+                (d_first, d_last)
+            } else {
+                (d_last, d_first)
+            };
             let m = (hi - lo) * self.margin;
             let depth = rng.gen_range(lo + m..hi - m);
             let intensity = rng.gen_range(self.intensity_range.0..=self.intensity_range.1);
@@ -155,7 +160,11 @@ impl SyntheticScanBuilder {
                 ..Default::default()
             },
         )?;
-        Ok(SyntheticScan { geometry, images, truth })
+        Ok(SyntheticScan {
+            geometry,
+            images,
+            truth,
+        })
     }
 }
 
@@ -194,13 +203,25 @@ mod tests {
         for s in &scan.truth.scatterers {
             let pixel = scan.geometry.detector.pixel_to_xyz(s.row, s.col).unwrap();
             let d0 = mapper
-                .depth(pixel, scan.geometry.wire.center(0).unwrap(), WireEdge::Leading)
+                .depth(
+                    pixel,
+                    scan.geometry.wire.center(0).unwrap(),
+                    WireEdge::Leading,
+                )
                 .unwrap();
             let d1 = mapper
-                .depth(pixel, scan.geometry.wire.center(15).unwrap(), WireEdge::Leading)
+                .depth(
+                    pixel,
+                    scan.geometry.wire.center(15).unwrap(),
+                    WireEdge::Leading,
+                )
                 .unwrap();
             let (lo, hi) = if d0 < d1 { (d0, d1) } else { (d1, d0) };
-            assert!(s.depth > lo && s.depth < hi, "depth {} outside [{lo}, {hi}]", s.depth);
+            assert!(
+                s.depth > lo && s.depth < hi,
+                "depth {} outside [{lo}, {hi}]",
+                s.depth
+            );
         }
     }
 
@@ -216,8 +237,9 @@ mod tests {
         // Because depths sit inside the sweep window, each scatterer's pixel
         // must lose intensity at some step.
         for s in &scan.truth.scatterers {
-            let series: Vec<f64> =
-                (0..12).map(|z| scan.images[(z * m + s.row) * n + s.col]).collect();
+            let series: Vec<f64> = (0..12)
+                .map(|z| scan.images[(z * m + s.row) * n + s.col])
+                .collect();
             let max = series.iter().cloned().fold(f64::MIN, f64::max);
             let min = series.iter().cloned().fold(f64::MAX, f64::min);
             assert!(
@@ -231,7 +253,10 @@ mod tests {
 
     #[test]
     fn invalid_parameters_rejected() {
-        assert!(SyntheticScanBuilder::new(4, 4, 8).scatterers(0).build().is_err());
+        assert!(SyntheticScanBuilder::new(4, 4, 8)
+            .scatterers(0)
+            .build()
+            .is_err());
         assert!(SyntheticScanBuilder::new(4, 4, 8)
             .intensity_range(10.0, 5.0)
             .build()

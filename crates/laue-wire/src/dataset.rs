@@ -46,7 +46,11 @@ pub fn write_scan<P: AsRef<Path>>(
     truth: Option<&SamplePlan>,
     chunk_rows: usize,
 ) -> Result<()> {
-    let (p, m, n) = (geom.wire.n_steps, geom.detector.n_rows, geom.detector.n_cols);
+    let (p, m, n) = (
+        geom.wire.n_steps,
+        geom.detector.n_rows,
+        geom.detector.n_cols,
+    );
     if images.len() != p * m * n {
         return Err(WireError::InvalidParameter(format!(
             "stack of {} values does not match {p}×{m}×{n}",
@@ -56,7 +60,11 @@ pub fn write_scan<P: AsRef<Path>>(
     let chunk_rows = chunk_rows.clamp(1, m);
     let mut w = FileWriter::create(path)?;
     let entry = w.create_group(FileWriter::ROOT, "entry")?;
-    w.set_attr(entry, "creator", AttrValue::Str("laue-wire synthetic scan".into()))?;
+    w.set_attr(
+        entry,
+        "creator",
+        AttrValue::Str("laue-wire synthetic scan".into()),
+    )?;
     let g = w.create_group(entry, "geometry")?;
     geom_io::write_geometry(&mut w, g, geom)?;
 
@@ -131,7 +139,15 @@ impl ScanFile {
             )));
         }
         let truth = Self::read_truth(&reader)?;
-        Ok(ScanFile { reader, images, geometry, truth, n_images: p, n_rows: m, n_cols: n })
+        Ok(ScanFile {
+            reader,
+            images,
+            geometry,
+            truth,
+            n_images: p,
+            n_rows: m,
+            n_cols: n,
+        })
     }
 
     fn read_truth(reader: &FileReader) -> Result<Option<SamplePlan>> {
@@ -308,7 +324,10 @@ mod tests {
         let images = crate::forward::render_stack(
             &geom,
             &plan,
-            &crate::forward::RenderOptions { background: 5.0, ..Default::default() },
+            &crate::forward::RenderOptions {
+                background: 5.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         (geom, images, plan)
@@ -389,13 +408,15 @@ mod tests {
         let whole = crate::forward::render_stack(
             &whole_geom,
             &plan,
-            &crate::forward::RenderOptions { background: 5.0, ..Default::default() },
+            &crate::forward::RenderOptions {
+                background: 5.0,
+                ..Default::default()
+            },
         )
         .unwrap();
 
         let part = |first_step: usize, n: usize| -> ScanGeometry {
-            let origin =
-                whole_geom.wire.origin + whole_geom.wire.step * first_step as f64;
+            let origin = whole_geom.wire.origin + whole_geom.wire.step * first_step as f64;
             ScanGeometry {
                 beam: whole_geom.beam,
                 wire: laue_geometry::WireGeometry::new(
@@ -474,7 +495,10 @@ mod tests {
         let mut w = FileWriter::create(&path).unwrap();
         w.create_group(FileWriter::ROOT, "whatever").unwrap();
         w.finish().unwrap();
-        assert!(matches!(ScanFile::open(&path), Err(WireError::MissingField(_))));
+        assert!(matches!(
+            ScanFile::open(&path),
+            Err(WireError::MissingField(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

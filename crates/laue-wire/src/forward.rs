@@ -63,7 +63,11 @@ pub fn render_stack(
         laue_core::CoreError::Geometry(g) => crate::WireError::Geometry(g),
         other => crate::WireError::InvalidParameter(other.to_string()),
     })?;
-    let (p, m, n) = (geom.wire.n_steps, geom.detector.n_rows, geom.detector.n_cols);
+    let (p, m, n) = (
+        geom.wire.n_steps,
+        geom.detector.n_rows,
+        geom.detector.n_cols,
+    );
     let mut stack = vec![opts.background; p * m * n];
 
     // Precompute each scatterer's pixel position and source point once.
@@ -157,7 +161,10 @@ mod tests {
         let stack = render_stack(
             &geom,
             &SamplePlan::new(),
-            &RenderOptions { background: 3.5, ..Default::default() },
+            &RenderOptions {
+                background: 3.5,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(stack.len(), 12 * 36);
@@ -174,12 +181,17 @@ mod tests {
         let stack = render_stack(&geom, &plan, &RenderOptions::default()).unwrap();
         let series: Vec<f64> = (0..12).map(|z| stack[(z * 6 + r) * 6 + c]).collect();
         // Visible at the start of the scan, occluded mid-scan.
-        assert_eq!(series[0], 100.0, "unoccluded before the wire arrives: {series:?}");
-        assert!(series.contains(&0.0), "the wire must cross the ray: {series:?}");
+        assert_eq!(
+            series[0], 100.0,
+            "unoccluded before the wire arrives: {series:?}"
+        );
+        assert!(
+            series.contains(&0.0),
+            "the wire must cross the ray: {series:?}"
+        );
         // Monotone step down then (possibly) back up — i.e. the occluded
         // steps form one contiguous run.
-        let occluded: Vec<usize> =
-            (0..12).filter(|&z| series[z] == 0.0).collect();
+        let occluded: Vec<usize> = (0..12).filter(|&z| series[z] == 0.0).collect();
         for w in occluded.windows(2) {
             assert_eq!(w[1], w[0] + 1, "occlusion must be contiguous: {series:?}");
         }
@@ -203,7 +215,12 @@ mod tests {
         let mut plan = SamplePlan::new();
         let depth = sweep_midpoint(&geom, 2, 2);
         plan.add_point(2, 2, depth, 500.0).unwrap();
-        let opts = RenderOptions { background: 10.0, noise: 2.0, seed: 42, ..Default::default() };
+        let opts = RenderOptions {
+            background: 10.0,
+            noise: 2.0,
+            seed: 42,
+            ..Default::default()
+        };
         let a = render_stack(&geom, &plan, &opts).unwrap();
         let b = render_stack(&geom, &plan, &opts).unwrap();
         assert_eq!(a, b, "same seed, same stack");
@@ -234,7 +251,10 @@ mod tests {
         }
         // Out-of-range defects rejected.
         let bad = RenderOptions {
-            defects: DetectorDefects { dead: vec![(9, 0)], hot: vec![] },
+            defects: DetectorDefects {
+                dead: vec![(9, 0)],
+                hot: vec![],
+            },
             ..Default::default()
         };
         assert!(render_stack(&geom, &plan, &bad).is_err());

@@ -30,11 +30,31 @@ pub fn write_geometry(w: &mut FileWriter, group: ObjectId, geom: &ScanGeometry) 
     w.set_attr(group, "wire_radius_um", AttrValue::Float(geom.wire.radius))?;
     w.set_attr(group, "wire_origin", vec3_attr(geom.wire.origin))?;
     w.set_attr(group, "wire_step", vec3_attr(geom.wire.step))?;
-    w.set_attr(group, "wire_n_steps", AttrValue::Int(geom.wire.n_steps as i64))?;
-    w.set_attr(group, "det_rows", AttrValue::Int(geom.detector.n_rows as i64))?;
-    w.set_attr(group, "det_cols", AttrValue::Int(geom.detector.n_cols as i64))?;
-    w.set_attr(group, "det_pitch_row_um", AttrValue::Float(geom.detector.pixel_pitch_row))?;
-    w.set_attr(group, "det_pitch_col_um", AttrValue::Float(geom.detector.pixel_pitch_col))?;
+    w.set_attr(
+        group,
+        "wire_n_steps",
+        AttrValue::Int(geom.wire.n_steps as i64),
+    )?;
+    w.set_attr(
+        group,
+        "det_rows",
+        AttrValue::Int(geom.detector.n_rows as i64),
+    )?;
+    w.set_attr(
+        group,
+        "det_cols",
+        AttrValue::Int(geom.detector.n_cols as i64),
+    )?;
+    w.set_attr(
+        group,
+        "det_pitch_row_um",
+        AttrValue::Float(geom.detector.pixel_pitch_row),
+    )?;
+    w.set_attr(
+        group,
+        "det_pitch_col_um",
+        AttrValue::Float(geom.detector.pixel_pitch_col),
+    )?;
     let r = &geom.detector.rotation.rows;
     w.set_attr(
         group,
@@ -43,7 +63,11 @@ pub fn write_geometry(w: &mut FileWriter, group: ObjectId, geom: &ScanGeometry) 
             r[0].x, r[0].y, r[0].z, r[1].x, r[1].y, r[1].z, r[2].x, r[2].y, r[2].z,
         ]),
     )?;
-    w.set_attr(group, "det_translation", vec3_attr(geom.detector.translation))?;
+    w.set_attr(
+        group,
+        "det_translation",
+        vec3_attr(geom.detector.translation),
+    )?;
     Ok(())
 }
 
@@ -62,7 +86,9 @@ pub fn read_geometry(r: &FileReader, group: ObjectId) -> Result<ScanGeometry> {
         .as_int()
         .ok_or_else(|| WireError::MissingField("wire_n_steps (int)".into()))?;
     if n_steps < 2 {
-        return Err(WireError::InvalidParameter(format!("wire_n_steps {n_steps} < 2")));
+        return Err(WireError::InvalidParameter(format!(
+            "wire_n_steps {n_steps} < 2"
+        )));
     }
     let wire = WireGeometry::new(
         attr_vec3(require(r, group, "wire_axis")?, "wire_axis")?,
@@ -102,7 +128,11 @@ pub fn read_geometry(r: &FileReader, group: ObjectId) -> Result<ScanGeometry> {
         rotation,
         attr_vec3(require(r, group, "det_translation")?, "det_translation")?,
     )?;
-    Ok(ScanGeometry { beam, wire, detector })
+    Ok(ScanGeometry {
+        beam,
+        wire,
+        detector,
+    })
 }
 
 #[cfg(test)]
@@ -136,12 +166,16 @@ mod tests {
         let g = w.create_group(FileWriter::ROOT, "geometry").unwrap();
         write_geometry(&mut w, g, &geom).unwrap();
         // Clobber one attribute with the wrong type.
-        w.set_attr(g, "wire_radius_um", AttrValue::Str("oops".into())).unwrap();
+        w.set_attr(g, "wire_radius_um", AttrValue::Str("oops".into()))
+            .unwrap();
         w.finish().unwrap();
 
         let r = FileReader::open(&path).unwrap();
         let g = r.resolve_path("/geometry").unwrap();
-        assert!(matches!(read_geometry(&r, g), Err(WireError::MissingField(_))));
+        assert!(matches!(
+            read_geometry(&r, g),
+            Err(WireError::MissingField(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

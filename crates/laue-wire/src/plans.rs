@@ -37,11 +37,7 @@ fn check_fraction(name: &'static str, f: f64) -> Result<()> {
 /// A buried layer: every pixel scatters from one depth at fractional sweep
 /// position `depth_frac` (0 = shallow end, 1 = deep end), with uniform
 /// `intensity`. Models a thin film or marker layer.
-pub fn layered_sample(
-    geom: &ScanGeometry,
-    depth_frac: f64,
-    intensity: f64,
-) -> Result<SamplePlan> {
+pub fn layered_sample(geom: &ScanGeometry, depth_frac: f64, intensity: f64) -> Result<SamplePlan> {
     check_fraction("depth_frac", depth_frac)?;
     let mapper = geom.mapper().map_err(|e| match e {
         laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
@@ -105,11 +101,15 @@ pub fn indent_damage(
     layers: usize,
 ) -> Result<SamplePlan> {
     check_fraction("surface_frac", surface_frac)?;
-    if !(decay_frac > 0.0) || !decay_frac.is_finite() {
-        return Err(WireError::InvalidParameter("decay_frac must be positive".into()));
+    if decay_frac <= 0.0 || !decay_frac.is_finite() {
+        return Err(WireError::InvalidParameter(
+            "decay_frac must be positive".into(),
+        ));
     }
     if layers == 0 {
-        return Err(WireError::InvalidParameter("need at least one layer".into()));
+        return Err(WireError::InvalidParameter(
+            "need at least one layer".into(),
+        ));
     }
     let mapper = geom.mapper().map_err(|e| match e {
         laue_core::CoreError::Geometry(g) => WireError::Geometry(g),
@@ -135,8 +135,7 @@ pub fn indent_damage(
             }
             for k in 0..layers {
                 let below = usable * k as f64 / layers as f64;
-                let intensity =
-                    peak_intensity * lateral * (-below / (decay_frac * window)).exp();
+                let intensity = peak_intensity * lateral * (-below / (decay_frac * window)).exp();
                 if intensity < peak_intensity * 0.01 {
                     break;
                 }
@@ -185,7 +184,11 @@ mod tests {
                 }
             }
         }
-        assert!(hits * 10 >= plan.len() * 9, "only {hits}/{} layered pixels", plan.len());
+        assert!(
+            hits * 10 >= plan.len() * 9,
+            "only {hits}/{} layered pixels",
+            plan.len()
+        );
         let _ = mapper;
     }
 
@@ -195,8 +198,16 @@ mod tests {
         let plan = grain_boundary(&g, 4, 0.2, 0.8, 150.0).unwrap();
         assert_eq!(plan.len(), 64);
         // Left and right scatterers at one row have clearly different depths.
-        let left = plan.scatterers.iter().find(|s| s.row == 3 && s.col == 0).unwrap();
-        let right = plan.scatterers.iter().find(|s| s.row == 3 && s.col == 7).unwrap();
+        let left = plan
+            .scatterers
+            .iter()
+            .find(|s| s.row == 3 && s.col == 0)
+            .unwrap();
+        let right = plan
+            .scatterers
+            .iter()
+            .find(|s| s.row == 3 && s.col == 7)
+            .unwrap();
         assert!((right.depth - left.depth).abs() > 20.0);
         assert!(grain_boundary(&g, 0, 0.2, 0.8, 1.0).is_err());
         assert!(grain_boundary(&g, 8, 0.2, 0.8, 1.0).is_err());
@@ -224,7 +235,11 @@ mod tests {
                 }
             }
         }
-        assert!(ok * 10 >= plan.len() * 9, "depth map recovered {ok}/{}", plan.len());
+        assert!(
+            ok * 10 >= plan.len() * 9,
+            "depth map recovered {ok}/{}",
+            plan.len()
+        );
     }
 
     #[test]

@@ -34,15 +34,22 @@ impl SamplePlan {
 
     /// Add one point scatterer.
     pub fn add_point(&mut self, row: usize, col: usize, depth: f64, intensity: f64) -> Result<()> {
-        if !(intensity > 0.0) || !intensity.is_finite() {
+        if intensity <= 0.0 || !intensity.is_finite() {
             return Err(WireError::InvalidParameter(format!(
                 "scatterer intensity {intensity} must be positive and finite"
             )));
         }
         if !depth.is_finite() {
-            return Err(WireError::InvalidParameter("scatterer depth must be finite".into()));
+            return Err(WireError::InvalidParameter(
+                "scatterer depth must be finite".into(),
+            ));
         }
-        self.scatterers.push(Scatterer { row, col, depth, intensity });
+        self.scatterers.push(Scatterer {
+            row,
+            col,
+            depth,
+            intensity,
+        });
         Ok(())
     }
 
@@ -60,8 +67,10 @@ impl SamplePlan {
         n_rows: usize,
         n_cols: usize,
     ) -> Result<usize> {
-        if !(sigma > 0.0) || !sigma.is_finite() {
-            return Err(WireError::InvalidParameter(format!("sigma {sigma} must be positive")));
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(WireError::InvalidParameter(format!(
+                "sigma {sigma} must be positive"
+            )));
         }
         let reach = (3.0 * sigma).ceil() as isize;
         let mut added = 0;

@@ -11,7 +11,10 @@ fn wide_config(bins: usize) -> ReconstructionConfig {
 }
 
 /// Reconstruct a scan with the sequential CPU engine.
-fn reconstruct(scan: &laue_wire::SyntheticScan, cfg: &ReconstructionConfig) -> laue_core::cpu::CpuReconstruction {
+fn reconstruct(
+    scan: &laue_wire::SyntheticScan,
+    cfg: &ReconstructionConfig,
+) -> laue_core::cpu::CpuReconstruction {
     let view = ScanView::new(
         &scan.images,
         scan.geometry.wire.n_steps,
@@ -143,8 +146,12 @@ fn defective_pixels_do_not_pollute_the_reconstruction() {
     let mut plan = SamplePlan::new();
     let mapper = geom.mapper().unwrap();
     let pixel = geom.detector.pixel_to_xyz(2, 2).unwrap();
-    let d0 = mapper.depth(pixel, geom.wire.center(0).unwrap(), Edge::Leading).unwrap();
-    let d15 = mapper.depth(pixel, geom.wire.center(15).unwrap(), Edge::Leading).unwrap();
+    let d0 = mapper
+        .depth(pixel, geom.wire.center(0).unwrap(), Edge::Leading)
+        .unwrap();
+    let d15 = mapper
+        .depth(pixel, geom.wire.center(15).unwrap(), Edge::Leading)
+        .unwrap();
     plan.add_point(2, 2, (d0 + d15) / 2.0, 200.0).unwrap();
     let opts = RenderOptions {
         background: 10.0,
@@ -175,8 +182,12 @@ fn two_depths_in_one_pixel_resolved() {
     let mapper = geom.mapper().unwrap();
     let (r, c) = (3, 3);
     let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
-    let d0 = mapper.depth(pixel, geom.wire.center(0).unwrap(), Edge::Leading).unwrap();
-    let d39 = mapper.depth(pixel, geom.wire.center(39).unwrap(), Edge::Leading).unwrap();
+    let d0 = mapper
+        .depth(pixel, geom.wire.center(0).unwrap(), Edge::Leading)
+        .unwrap();
+    let d39 = mapper
+        .depth(pixel, geom.wire.center(39).unwrap(), Edge::Leading)
+        .unwrap();
     let (lo, hi) = (d0.min(d39), d0.max(d39));
     let da = lo + (hi - lo) * 0.3;
     let db = lo + (hi - lo) * 0.3 + 60.0;
@@ -193,10 +204,7 @@ fn two_depths_in_one_pixel_resolved() {
     let max = profile.iter().cloned().fold(0.0f64, f64::max);
     let mut peaks = Vec::new();
     for i in 1..profile.len() - 1 {
-        if profile[i] > profile[i - 1]
-            && profile[i] >= profile[i + 1]
-            && profile[i] > max * 0.25
-        {
+        if profile[i] > profile[i - 1] && profile[i] >= profile[i + 1] && profile[i] > max * 0.25 {
             peaks.push(cfg.bin_center(i));
         }
     }
@@ -205,5 +213,8 @@ fn two_depths_in_one_pixel_resolved() {
         "expected two depth peaks near {da:.1} and {db:.1}, found {peaks:?}"
     );
     let near = |target: f64| peaks.iter().any(|p| (p - target).abs() < 20.0);
-    assert!(near(da) && near(db), "peaks {peaks:?} vs truths {da:.1}, {db:.1}");
+    assert!(
+        near(da) && near(db),
+        "peaks {peaks:?} vs truths {da:.1}, {db:.1}"
+    );
 }

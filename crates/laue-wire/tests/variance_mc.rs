@@ -14,10 +14,18 @@ fn predicted_sigma_matches_empirical_scatter() {
     let (r, c) = (3, 3);
     let pixel = geom.detector.pixel_to_xyz(r, c).unwrap();
     let d0 = mapper
-        .depth(pixel, geom.wire.center(0).unwrap(), laue_core::WireEdge::Leading)
+        .depth(
+            pixel,
+            geom.wire.center(0).unwrap(),
+            laue_core::WireEdge::Leading,
+        )
         .unwrap();
     let d15 = mapper
-        .depth(pixel, geom.wire.center(15).unwrap(), laue_core::WireEdge::Leading)
+        .depth(
+            pixel,
+            geom.wire.center(15).unwrap(),
+            laue_core::WireEdge::Leading,
+        )
         .unwrap();
     let mut plan = SamplePlan::new();
     plan.add_point(r, c, (d0 + d15) / 2.0, 900.0).unwrap();
@@ -33,7 +41,12 @@ fn predicted_sigma_matches_empirical_scatter() {
         let images = render_stack(
             &geom,
             &plan,
-            &RenderOptions { background: 200.0, noise: 1.0, seed: 1000 + seed, ..Default::default() },
+            &RenderOptions {
+                background: 200.0,
+                noise: 1.0,
+                seed: 1000 + seed,
+                ..Default::default()
+            },
         )
         .unwrap();
         let view = ScanView::new(&images, 16, 6, 6).unwrap();
@@ -68,5 +81,8 @@ fn predicted_sigma_matches_empirical_scatter() {
         );
         checked += 1;
     }
-    assert!(checked >= 3, "need several bins with real uncertainty, got {checked}");
+    assert!(
+        checked >= 3,
+        "need several bins with real uncertainty, got {checked}"
+    );
 }

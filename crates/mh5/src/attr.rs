@@ -158,7 +158,10 @@ mod tests {
         v.encode(&mut buf);
         let mut cur = Cursor::new(&buf);
         let back = AttrValue::decode(&mut cur).unwrap();
-        assert!(cur.is_empty(), "decoder must consume exactly what encode produced");
+        assert!(
+            cur.is_empty(),
+            "decoder must consume exactly what encode produced"
+        );
         back
     }
 
@@ -182,7 +185,10 @@ mod tests {
         assert_eq!(AttrValue::Float(2.5).as_float(), Some(2.5));
         assert_eq!(AttrValue::Float(2.5).as_int(), None);
         assert_eq!(AttrValue::Str("x".into()).as_str(), Some("x"));
-        assert_eq!(AttrValue::from(vec![1.0]).as_float_array(), Some(&[1.0][..]));
+        assert_eq!(
+            AttrValue::from(vec![1.0]).as_float_array(),
+            Some(&[1.0][..])
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ mod tests {
     fn rle_compresses_constant_data() {
         let data = vec![7u8; 10_000];
         let enc = rle_encode(&data);
-        assert!(enc.len() < 100, "constant data should compress well: {}", enc.len());
+        assert!(
+            enc.len() < 100,
+            "constant data should compress well: {}",
+            enc.len()
+        );
     }
 
     #[test]
@@ -160,6 +164,9 @@ mod tests {
         assert!(rle_decode(&[0, 5], 0).is_err(), "zero run");
         assert!(rle_decode(&[200, 1], 10).is_err(), "expands too far");
         assert!(rle_decode(&[5, 1], 10).is_err(), "expands too little");
-        assert!(decode_chunk(&[1, 2, 3], Codec::Raw, 4).is_err(), "raw length mismatch");
+        assert!(
+            decode_chunk(&[1, 2, 3], Codec::Raw, 4).is_err(),
+            "raw length mismatch"
+        );
     }
 }

@@ -134,7 +134,14 @@ mod tests {
 
     #[test]
     fn sizes_and_codes_round_trip() {
-        for d in [Dtype::U8, Dtype::U16, Dtype::U32, Dtype::I32, Dtype::F32, Dtype::F64] {
+        for d in [
+            Dtype::U8,
+            Dtype::U16,
+            Dtype::U32,
+            Dtype::I32,
+            Dtype::F32,
+            Dtype::F64,
+        ] {
             assert_eq!(Dtype::from_code(d.code()).unwrap(), d);
             assert!(d.size() >= 1 && d.size() <= 8);
         }

@@ -25,13 +25,24 @@ pub enum Mh5Error {
     /// Object names must be non-empty and must not contain `/` or NUL.
     InvalidName(String),
     /// The object exists but has the wrong kind (group vs dataset).
-    WrongKind { path: String, expected: &'static str },
+    WrongKind {
+        path: String,
+        expected: &'static str,
+    },
     /// Element type requested does not match the dataset dtype.
-    TypeMismatch { expected: &'static str, actual: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        actual: &'static str,
+    },
     /// Shape/chunk-shape validation failure.
     BadShape(String),
     /// A hyperslab selection leaves the dataset bounds.
-    SelectionOutOfBounds { axis: usize, offset: usize, count: usize, extent: usize },
+    SelectionOutOfBounds {
+        axis: usize,
+        offset: usize,
+        count: usize,
+        extent: usize,
+    },
     /// Data length handed to a write does not match the selection.
     LengthMismatch { expected: usize, actual: usize },
     /// Writer misuse: operating on a finished writer, double-writing a
@@ -98,9 +109,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(Mh5Error::BadMagic(*b"NOTMH5!!").to_string().contains("not an mh5 file"));
-        assert!(Mh5Error::Truncated { expected: 100, actual: 7 }.to_string().contains("100"));
-        let e = Mh5Error::SelectionOutOfBounds { axis: 2, offset: 5, count: 9, extent: 10 };
+        assert!(Mh5Error::BadMagic(*b"NOTMH5!!")
+            .to_string()
+            .contains("not an mh5 file"));
+        assert!(Mh5Error::Truncated {
+            expected: 100,
+            actual: 7
+        }
+        .to_string()
+        .contains("100"));
+        let e = Mh5Error::SelectionOutOfBounds {
+            axis: 2,
+            offset: 5,
+            count: 9,
+            extent: 10,
+        };
         assert!(e.to_string().contains("axis 2"));
     }
 

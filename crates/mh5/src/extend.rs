@@ -55,8 +55,7 @@ impl FileWriter {
                 slice_shape.len()
             )));
         }
-        let slice_chunking =
-            Chunking::new(Shape::new(slice_shape)?, Shape::new(slice_chunk)?)?;
+        let slice_chunking = Chunking::new(Shape::new(slice_shape)?, Shape::new(slice_chunk)?)?;
         // Create as a 1-slice dataset; the real shape is patched at finish.
         let mut shape = Vec::with_capacity(slice_shape.len() + 1);
         shape.push(1usize);
@@ -88,7 +87,10 @@ impl FileWriter {
         }
         let per_slice = state.elements_per_slice();
         if data.len() != per_slice {
-            return Err(Mh5Error::LengthMismatch { expected: per_slice, actual: data.len() });
+            return Err(Mh5Error::LengthMismatch {
+                expected: per_slice,
+                actual: data.len(),
+            });
         }
         let slice_idx = state.n_slices;
         state.n_slices += 1;
@@ -175,7 +177,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             w.append_slice(ds, &[1.0f64, 2.0]),
-            Err(Mh5Error::LengthMismatch { expected: 4, actual: 2 })
+            Err(Mh5Error::LengthMismatch {
+                expected: 4,
+                actual: 2
+            })
         ));
         assert!(matches!(
             w.append_slice(ds, &[1u16, 2, 3, 4]),
@@ -214,7 +219,13 @@ mod tests {
         let path = tmp("rank");
         let mut w = FileWriter::create(&path).unwrap();
         assert!(w
-            .create_extendable_dataset(FileWriter::ROOT, "d", Dtype::U8, &[2, 2, 2, 2], &[1, 1, 1, 1])
+            .create_extendable_dataset(
+                FileWriter::ROOT,
+                "d",
+                Dtype::U8,
+                &[2, 2, 2, 2],
+                &[1, 1, 1, 1]
+            )
             .is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -110,7 +110,9 @@ impl ObjectTable {
             objects: vec![Object {
                 name: String::new(),
                 attrs: Vec::new(),
-                payload: Payload::Group { children: Vec::new() },
+                payload: Payload::Group {
+                    children: Vec::new(),
+                },
             }],
         }
     }
@@ -215,7 +217,9 @@ impl ObjectTable {
             return Err(Mh5Error::Corrupt("object table is empty (no root)".into()));
         }
         if count > 1 << 24 {
-            return Err(Mh5Error::Corrupt(format!("implausible object count {count}")));
+            return Err(Mh5Error::Corrupt(format!(
+                "implausible object count {count}"
+            )));
         }
         let mut objects = Vec::with_capacity(count);
         for _ in 0..count {
@@ -266,13 +270,27 @@ impl ObjectTable {
                         let raw_len = cur.u64()?;
                         let codec = Codec::from_code(cur.u8()?)?;
                         let checksum = cur.u32()?;
-                        chunks.push(ChunkEntry { offset, stored_len, raw_len, codec, checksum });
+                        chunks.push(ChunkEntry {
+                            offset,
+                            stored_len,
+                            raw_len,
+                            codec,
+                            checksum,
+                        });
                     }
-                    Payload::Dataset(DatasetMeta { dtype, chunking, chunks })
+                    Payload::Dataset(DatasetMeta {
+                        dtype,
+                        chunking,
+                        chunks,
+                    })
                 }
                 other => return Err(Mh5Error::Corrupt(format!("unknown object kind {other}"))),
             };
-            objects.push(Object { name, attrs, payload });
+            objects.push(Object {
+                name,
+                attrs,
+                payload,
+            });
         }
         if !cur.is_empty() {
             return Err(Mh5Error::Corrupt(format!(
@@ -351,8 +369,7 @@ impl<'a> Cursor<'a> {
     pub fn string(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         let raw = self.bytes(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| Mh5Error::Corrupt("name is not UTF-8".into()))
+        String::from_utf8(raw.to_vec()).map_err(|_| Mh5Error::Corrupt("name is not UTF-8".into()))
     }
 }
 
@@ -387,7 +404,11 @@ mod tests {
         t.objects.push(Object {
             name: "images".into(),
             attrs: vec![("units".into(), AttrValue::Str("counts".into()))],
-            payload: Payload::Dataset(DatasetMeta { dtype: Dtype::U16, chunking, chunks }),
+            payload: Payload::Dataset(DatasetMeta {
+                dtype: Dtype::U16,
+                chunking,
+                chunks,
+            }),
         });
         if let Payload::Group { children } = &mut t.objects[0].payload {
             children.push(1);
@@ -420,7 +441,10 @@ mod tests {
         assert_eq!(t.resolve_path("/entry").unwrap(), ObjectId(1));
         assert_eq!(t.resolve_path("/entry/images").unwrap(), ObjectId(2));
         assert_eq!(t.resolve_path("entry/images").unwrap(), ObjectId(2));
-        assert!(matches!(t.resolve_path("/entry/nope"), Err(Mh5Error::NotFound(_))));
+        assert!(matches!(
+            t.resolve_path("/entry/nope"),
+            Err(Mh5Error::NotFound(_))
+        ));
         // Descending through a dataset is a kind error.
         assert!(matches!(
             t.resolve_path("/entry/images/deeper"),

@@ -34,7 +34,10 @@ impl FileReader {
         let mut file = File::open(path)?;
         let actual_len = file.metadata()?.len();
         if actual_len < HEADER_LEN {
-            return Err(Mh5Error::Truncated { expected: HEADER_LEN, actual: actual_len });
+            return Err(Mh5Error::Truncated {
+                expected: HEADER_LEN,
+                actual: actual_len,
+            });
         }
         let mut header = [0u8; HEADER_LEN as usize];
         file.read_exact(&mut header)?;
@@ -55,7 +58,10 @@ impl FileReader {
             ));
         }
         if actual_len < file_len {
-            return Err(Mh5Error::Truncated { expected: file_len, actual: actual_len });
+            return Err(Mh5Error::Truncated {
+                expected: file_len,
+                actual: actual_len,
+            });
         }
         if meta_offset.checked_add(meta_len) != Some(file_len) {
             return Err(Mh5Error::Corrupt(format!(
@@ -63,7 +69,9 @@ impl FileReader {
             )));
         }
         if meta_len < 4 {
-            return Err(Mh5Error::Corrupt("metadata block too small for its CRC".into()));
+            return Err(Mh5Error::Corrupt(
+                "metadata block too small for its CRC".into(),
+            ));
         }
         let mut block = vec![0u8; meta_len as usize];
         file.seek(SeekFrom::Start(meta_offset))?;
@@ -88,7 +96,11 @@ impl FileReader {
                 }
             }
         }
-        Ok(FileReader { file: RefCell::new(file), table, file_len })
+        Ok(FileReader {
+            file: RefCell::new(file),
+            table,
+            file_len,
+        })
     }
 
     /// The root group.
@@ -198,7 +210,10 @@ impl FileReader {
         }
         let computed = crc32(&payload);
         if computed != entry.checksum {
-            return Err(Mh5Error::ChecksumMismatch { stored: entry.checksum, computed });
+            return Err(Mh5Error::ChecksumMismatch {
+                stored: entry.checksum,
+                computed,
+            });
         }
         decode_chunk(&payload, entry.codec, entry.raw_len as usize)
     }
@@ -229,8 +244,10 @@ impl FileReader {
         let elem = meta.dtype.size();
         let n_out: usize = count.iter().product();
         let mut out_bytes = vec![0u8; n_out * elem];
-        meta.chunking
-            .for_each_intersecting_chunk(offset, count, |ci, in_chunk, in_slab, ext| {
+        meta.chunking.for_each_intersecting_chunk(
+            offset,
+            count,
+            |ci, in_chunk, in_slab, ext| {
                 let chunk_bytes = self.read_chunk_bytes(meta, ci)?;
                 let coords = meta.chunking.chunk_coords(ci);
                 let chunk_ext = meta.chunking.chunk_extent(&coords[..rank]);
@@ -245,7 +262,8 @@ impl FileReader {
                     elem,
                 );
                 Ok(())
-            })?;
+            },
+        )?;
         decode_slice(&out_bytes)
     }
 }
@@ -266,8 +284,10 @@ mod tests {
     fn write_sample(p: &PathBuf) -> Vec<u16> {
         let mut w = FileWriter::create(p).unwrap();
         let entry = w.create_group(FileWriter::ROOT, "entry").unwrap();
-        w.set_attr(entry, "beamline", AttrValue::Str("34-ID-E".into())).unwrap();
-        w.set_attr(entry, "wire_radius_um", AttrValue::Float(25.0)).unwrap();
+        w.set_attr(entry, "beamline", AttrValue::Str("34-ID-E".into()))
+            .unwrap();
+        w.set_attr(entry, "wire_radius_um", AttrValue::Float(25.0))
+            .unwrap();
         let ds = w
             .create_dataset(entry, "images", Dtype::U16, &[4, 6, 9], &[1, 2, 9])
             .unwrap();
@@ -329,7 +349,10 @@ mod tests {
             r.read_hyperslab::<u16>(ds, &[0, 5, 0], &[1, 2, 9]),
             Err(Mh5Error::SelectionOutOfBounds { axis: 1, .. })
         ));
-        assert!(r.read_hyperslab::<u16>(ds, &[0, 0], &[1, 1]).is_err(), "rank mismatch");
+        assert!(
+            r.read_hyperslab::<u16>(ds, &[0, 0], &[1, 1]).is_err(),
+            "rank mismatch"
+        );
         std::fs::remove_file(&p).ok();
     }
 
@@ -352,7 +375,10 @@ mod tests {
         write_sample(&p);
         let full = std::fs::read(&p).unwrap();
         std::fs::write(&p, &full[..full.len() - 10]).unwrap();
-        assert!(matches!(FileReader::open(&p), Err(Mh5Error::Truncated { .. })));
+        assert!(matches!(
+            FileReader::open(&p),
+            Err(Mh5Error::Truncated { .. })
+        ));
         std::fs::remove_file(&p).ok();
     }
 

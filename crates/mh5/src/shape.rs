@@ -36,7 +36,10 @@ impl Shape {
         }
         let mut a = [1usize; MAX_RANK];
         a[..dims.len()].copy_from_slice(dims);
-        Ok(Shape { dims: a, rank: dims.len() })
+        Ok(Shape {
+            dims: a,
+            rank: dims.len(),
+        })
     }
 
     /// Number of axes.
@@ -107,8 +110,8 @@ impl Chunking {
     /// Chunks per axis.
     pub fn grid_dims(&self) -> [usize; MAX_RANK] {
         let mut g = [1usize; MAX_RANK];
-        for i in 0..self.shape.rank() {
-            g[i] = self.shape.dims()[i].div_ceil(self.chunk.dims()[i]);
+        for (i, slot) in g.iter_mut().enumerate().take(self.shape.rank()) {
+            *slot = self.shape.dims()[i].div_ceil(self.chunk.dims()[i]);
         }
         g
     }
@@ -166,7 +169,9 @@ impl Chunking {
     /// Number of elements in a (clipped) chunk.
     pub fn chunk_elements(&self, index: usize) -> usize {
         let coords = self.chunk_coords(index);
-        self.chunk_extent(&coords)[..self.shape.rank()].iter().product()
+        self.chunk_extent(&coords)[..self.shape.rank()]
+            .iter()
+            .product()
     }
 
     /// Validate a hyperslab selection against the dataset bounds.
@@ -254,9 +259,7 @@ impl Chunking {
                 axis -= 1;
                 if cur[axis] < last[axis] {
                     cur[axis] += 1;
-                    for a in axis + 1..rank {
-                        cur[a] = first[a];
-                    }
+                    cur[(axis + 1)..rank].copy_from_slice(&first[(axis + 1)..rank]);
                     break;
                 }
             }
@@ -350,8 +353,11 @@ mod tests {
     #[test]
     fn chunk_grid_arithmetic() {
         // 4 images × 6 rows × 9 cols, chunked (1, 2, 9): Fig 2 of the paper.
-        let ck = Chunking::new(Shape::new(&[4, 6, 9]).unwrap(), Shape::new(&[1, 2, 9]).unwrap())
-            .unwrap();
+        let ck = Chunking::new(
+            Shape::new(&[4, 6, 9]).unwrap(),
+            Shape::new(&[1, 2, 9]).unwrap(),
+        )
+        .unwrap();
         assert_eq!(&ck.grid_dims()[..3], &[4, 3, 1]);
         assert_eq!(ck.n_chunks(), 12);
         for i in 0..12 {
@@ -397,8 +403,11 @@ mod tests {
 
     #[test]
     fn intersection_visitor_covers_selection_exactly() {
-        let ck = Chunking::new(Shape::new(&[4, 6, 9]).unwrap(), Shape::new(&[1, 2, 4]).unwrap())
-            .unwrap();
+        let ck = Chunking::new(
+            Shape::new(&[4, 6, 9]).unwrap(),
+            Shape::new(&[1, 2, 4]).unwrap(),
+        )
+        .unwrap();
         let offset = [1usize, 1, 2];
         let count = [2usize, 4, 6];
         let mut covered = vec![false; count.iter().product()];
@@ -416,7 +425,10 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert!(covered.iter().all(|&c| c), "every selected element visited exactly once");
+        assert!(
+            covered.iter().all(|&c| c),
+            "every selected element visited exactly once"
+        );
     }
 
     #[test]
@@ -424,7 +436,16 @@ mod tests {
         // 4×5 source, copy middle 2×3 box into a 3×3 dest at (1,0).
         let src: Vec<u8> = (0..20).collect();
         let mut dst = vec![0u8; 9];
-        copy_box(&src, &[4, 5], &[1, 1], &mut dst, &[3, 3], &[1, 0], &[2, 3], 1);
+        copy_box(
+            &src,
+            &[4, 5],
+            &[1, 1],
+            &mut dst,
+            &[3, 3],
+            &[1, 0],
+            &[2, 3],
+            1,
+        );
         assert_eq!(dst, vec![0, 0, 0, 6, 7, 8, 11, 12, 13]);
     }
 
@@ -432,7 +453,16 @@ mod tests {
     fn copy_box_respects_element_size() {
         let src: Vec<u8> = (0..32).collect(); // 4×2 of u32
         let mut dst = vec![0u8; 16]; // 2×2 of u32
-        copy_box(&src, &[4, 2], &[2, 0], &mut dst, &[2, 2], &[0, 0], &[2, 2], 4);
+        copy_box(
+            &src,
+            &[4, 2],
+            &[2, 0],
+            &mut dst,
+            &[2, 2],
+            &[0, 0],
+            &[2, 2],
+            4,
+        );
         assert_eq!(&dst[..], &src[16..32]);
     }
 
@@ -445,7 +475,16 @@ mod tests {
 
         // 2×3×4 source → extract the (z=1) 1×2×2 corner box.
         let mut dst = vec![0u8; 4];
-        copy_box(&src, &[2, 3, 4], &[1, 1, 2], &mut dst, &[1, 2, 2], &[0, 0, 0], &[1, 2, 2], 1);
+        copy_box(
+            &src,
+            &[2, 3, 4],
+            &[1, 1, 2],
+            &mut dst,
+            &[1, 2, 2],
+            &[0, 0, 0],
+            &[1, 2, 2],
+            1,
+        );
         assert_eq!(dst, vec![18, 19, 22, 23]);
     }
 }

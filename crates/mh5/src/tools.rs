@@ -74,12 +74,14 @@ mod tests {
         let path = std::env::temp_dir().join(format!("mh5_tools_{}.mh5", std::process::id()));
         let mut w = FileWriter::create(&path).unwrap();
         let g = w.create_group(FileWriter::ROOT, "entry").unwrap();
-        w.set_attr(g, "beamline", AttrValue::Str("34-ID-E".into())).unwrap();
+        w.set_attr(g, "beamline", AttrValue::Str("34-ID-E".into()))
+            .unwrap();
         w.set_attr(g, "run", AttrValue::Int(12)).unwrap();
         let ds = w
             .create_dataset(g, "images", Dtype::U16, &[2, 3, 4], &[1, 3, 4])
             .unwrap();
-        w.set_attr(ds, "units", AttrValue::Str("counts".into())).unwrap();
+        w.set_attr(ds, "units", AttrValue::Str("counts".into()))
+            .unwrap();
         w.write_all(ds, &[7u16; 24]).unwrap();
         w.finish().unwrap();
 
@@ -96,6 +98,9 @@ mod tests {
     #[test]
     fn long_float_arrays_abbreviated() {
         assert_eq!(fmt_attr(&AttrValue::FloatArray(vec![0.0; 9])), "[9 floats]");
-        assert_eq!(fmt_attr(&AttrValue::FloatArray(vec![1.0, 2.0])), "[1.0, 2.0]");
+        assert_eq!(
+            fmt_attr(&AttrValue::FloatArray(vec![1.0, 2.0])),
+            "[1.0, 2.0]"
+        );
     }
 }

@@ -16,10 +16,8 @@ use crate::codec::{encode_chunk, Codec};
 use crate::crc::crc32;
 use crate::dtype::{encode_slice, Dtype, Element};
 use crate::error::Mh5Error;
-use crate::meta::{
-    validate_name, ChunkEntry, DatasetMeta, Object, ObjectId, ObjectTable, Payload,
-};
 use crate::extend::ExtendableState;
+use crate::meta::{validate_name, ChunkEntry, DatasetMeta, Object, ObjectId, ObjectTable, Payload};
 use crate::shape::{copy_box, Chunking, Shape};
 use crate::{Result, FORMAT_VERSION, HEADER_LEN, MAGIC};
 
@@ -101,7 +99,13 @@ impl FileWriter {
     /// Create a group under `parent`.
     pub fn create_group(&mut self, parent: ObjectId, name: &str) -> Result<ObjectId> {
         self.check_open()?;
-        let id = self.add_child(parent, name, Payload::Group { children: Vec::new() })?;
+        let id = self.add_child(
+            parent,
+            name,
+            Payload::Group {
+                children: Vec::new(),
+            },
+        )?;
         self.pending.push(None);
         self.codecs.push(Codec::Raw);
         Ok(id)
@@ -137,7 +141,11 @@ impl FileWriter {
         let id = self.add_child(
             parent,
             name,
-            Payload::Dataset(DatasetMeta { dtype, chunking, chunks: Vec::new() }),
+            Payload::Dataset(DatasetMeta {
+                dtype,
+                chunking,
+                chunks: Vec::new(),
+            }),
         )?;
         self.pending.push(Some(vec![None; n_chunks]));
         self.codecs.push(codec);
@@ -224,7 +232,10 @@ impl FileWriter {
         }
         let expected = meta.chunking.chunk_elements(chunk_index);
         if data.len() != expected {
-            return Err(Mh5Error::LengthMismatch { expected, actual: data.len() });
+            return Err(Mh5Error::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
         let raw = encode_slice(data);
         let prefer = self.codecs[ds.index()];
@@ -257,7 +268,10 @@ impl FileWriter {
         let chunking = meta.chunking;
         let n_elements = chunking.shape.n_elements();
         if data.len() != n_elements {
-            return Err(Mh5Error::LengthMismatch { expected: n_elements, actual: data.len() });
+            return Err(Mh5Error::LengthMismatch {
+                expected: n_elements,
+                actual: data.len(),
+            });
         }
         let rank = chunking.shape.rank();
         let elem = T::DTYPE.size();
@@ -409,7 +423,10 @@ mod tests {
         assert!(w.write_chunk(ds, 0, &[1u16, 2]).is_ok());
         assert!(matches!(
             w.write_chunk(ds, 2, &[1u16, 2]),
-            Err(Mh5Error::LengthMismatch { expected: 1, actual: 2 })
+            Err(Mh5Error::LengthMismatch {
+                expected: 1,
+                actual: 2
+            })
         ));
         assert!(w.write_chunk(ds, 3, &[1u16]).is_err(), "index out of range");
         std::fs::remove_file(&p).ok();
@@ -446,8 +463,10 @@ mod tests {
     fn attrs_replace_in_place() {
         let p = tmp("attrs");
         let mut w = FileWriter::create(&p).unwrap();
-        w.set_attr(FileWriter::ROOT, "x", AttrValue::Int(1)).unwrap();
-        w.set_attr(FileWriter::ROOT, "x", AttrValue::Int(2)).unwrap();
+        w.set_attr(FileWriter::ROOT, "x", AttrValue::Int(1))
+            .unwrap();
+        w.set_attr(FileWriter::ROOT, "x", AttrValue::Int(2))
+            .unwrap();
         assert_eq!(w.table.objects[0].attrs.len(), 1);
         assert_eq!(w.table.objects[0].attrs[0].1, AttrValue::Int(2));
         std::fs::remove_file(&p).ok();

@@ -37,7 +37,12 @@ fn arb_case() -> impl Strategy<Value = Case> {
                 )
             })
         })
-        .prop_map(|(shape, chunk, data, codec)| Case { shape, chunk, data, codec })
+        .prop_map(|(shape, chunk, data, codec)| Case {
+            shape,
+            chunk,
+            data,
+            codec,
+        })
 }
 
 /// Naive reference hyperslab extraction.

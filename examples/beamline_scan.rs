@@ -24,8 +24,14 @@ fn main() {
         .seed(7)
         .build()
         .expect("scan");
-    write_scan(&scan_path, &scan.geometry, &scan.images, Some(&scan.truth), 4)
-        .expect("write scan file");
+    write_scan(
+        &scan_path,
+        &scan.geometry,
+        &scan.images,
+        Some(&scan.truth),
+        4,
+    )
+    .expect("write scan file");
     println!(
         "wrote {} ({} bytes)",
         scan_path.display(),
@@ -43,14 +49,18 @@ fn main() {
         ..Pipeline::default()
     };
     let report = pipeline
-        .run_scan_file(&scan_path, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .run_scan_file(
+            &scan_path,
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .expect("reconstruction");
     println!("{}", report.summary());
     println!(
         "device slabbing: {} slabs of {} rows (device holds {} KiB)",
-        report.n_slabs,
-        report.rows_per_slab,
-        256
+        report.n_slabs, report.rows_per_slab, 256
     );
 
     // ------------------------------------------------------------------

@@ -20,8 +20,18 @@ fn main() {
     println!("layout     total(ms)   compute(ms)   transfer(ms)   transfers");
     let mut rows = Vec::new();
     for (name, engine) in [
-        ("1D flat", Engine::Gpu { layout: Layout::Flat1d }),
-        ("3D ptrs", Engine::Gpu { layout: Layout::Pointer3d }),
+        (
+            "1D flat",
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        ),
+        (
+            "3D ptrs",
+            Engine::Gpu {
+                layout: Layout::Pointer3d,
+            },
+        ),
     ] {
         let mut source = InMemorySlabSource::new(
             scan.images.clone(),

@@ -25,7 +25,11 @@ fn main() {
         64,
     )
     .expect("wire");
-    let geom = ScanGeometry { beam: Beam::along_z(), wire, detector };
+    let geom = ScanGeometry {
+        beam: Beam::along_z(),
+        wire,
+        detector,
+    };
     let mapper = geom.mapper().expect("mapper");
 
     // ------------------------------------------------------------------
@@ -63,12 +67,21 @@ fn main() {
             }
         }
     }
-    println!("indent model: {} scatterers, {:.0} total counts", plan.len(), plan.total_intensity());
+    println!(
+        "indent model: {} scatterers, {:.0} total counts",
+        plan.len(),
+        plan.total_intensity()
+    );
 
     let images = render_stack(
         &geom,
         &plan,
-        &RenderOptions { background: 8.0, noise: 0.5, seed: 1, ..Default::default() },
+        &RenderOptions {
+            background: 8.0,
+            noise: 0.5,
+            seed: 1,
+            ..Default::default()
+        },
     )
     .expect("forward model");
 
@@ -80,7 +93,14 @@ fn main() {
     let pipeline = Pipeline::default();
     let mut source = InMemorySlabSource::new(images, 64, 12, 12).expect("source");
     let report = pipeline
-        .run_source(&mut source, &geom, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .run_source(
+            &mut source,
+            &geom,
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .expect("reconstruction");
     println!("{}\n", report.summary());
 

@@ -26,7 +26,9 @@ fn main() {
 
     for engine in [
         Engine::CpuSeq,
-        Engine::Gpu { layout: Layout::Flat1d },
+        Engine::Gpu {
+            layout: Layout::Flat1d,
+        },
     ] {
         let mut source = InMemorySlabSource::new(
             scan.images.clone(),

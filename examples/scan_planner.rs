@@ -13,7 +13,10 @@ fn main() {
     let mapper = base.mapper().expect("mapper");
     let info = pixel_scan_info(&base, &mapper, 4, 4).expect("info");
     println!("standing scan at the central pixel:");
-    println!("  sweep        : [{:.1}, {:.1}] µm", info.sweep.0, info.sweep.1);
+    println!(
+        "  sweep        : [{:.1}, {:.1}] µm",
+        info.sweep.0, info.sweep.1
+    );
     println!("  resolution   : {:.2} µm/step", info.resolution);
     println!("  valid window : {:.1} µm\n", info.valid_window);
 
@@ -24,7 +27,10 @@ fn main() {
     println!("  step size    : {:.2} µm", plan.wire.step.norm());
     println!("  start at     : {:?}", plan.wire.origin);
     println!("  resolution   : {:.2} µm/step", plan.resolution);
-    println!("  sweep        : [{:.1}, {:.1}] µm\n", plan.sweep.0, plan.sweep.1);
+    println!(
+        "  sweep        : [{:.1}, {:.1}] µm\n",
+        plan.sweep.0, plan.sweep.1
+    );
 
     // "Run" the planned scan against a buried layer and reconstruct.
     let planned = ScanGeometry {
@@ -36,7 +42,12 @@ fn main() {
     let images = render_stack(
         &planned,
         &sample,
-        &RenderOptions { background: 12.0, noise: 0.5, seed: 4, ..Default::default() },
+        &RenderOptions {
+            background: 12.0,
+            noise: 0.5,
+            seed: 4,
+            ..Default::default()
+        },
     )
     .expect("render");
     // The depth window must cover every pixel's sweep, not just the central
@@ -54,7 +65,14 @@ fn main() {
     let cfg = ReconstructionConfig::new(lo - 50.0, hi + 50.0, 800);
     let mut source = InMemorySlabSource::new(images, planned.wire.n_steps, 9, 9).expect("source");
     let report = Pipeline::default()
-        .run_source(&mut source, &planned, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .run_source(
+            &mut source,
+            &planned,
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .expect("reconstruct");
     println!("{}\n", report.summary());
 

@@ -50,7 +50,10 @@ fn main() {
     }
     let view = ScanView::new(&stack, p, m, n).expect("view");
     let observations = transitions_from_stack(&view, &pixels);
-    println!("extracted {} occlusion transitions from the calibration scan", observations.len());
+    println!(
+        "extracted {} occlusion transitions from the calibration scan",
+        observations.len()
+    );
 
     // Fit.
     let cal = calibrate_wire_origin(&nominal, &observations, 50.0, 6).expect("fit");

@@ -1,0 +1,211 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal API-compatible stand-ins. This shim runs each
+//! benchmark closure for a fixed number of timed iterations and prints a
+//! mean wall-clock duration — no statistics, plots, or baselines. It keeps
+//! the bench harness compiling and producing usable numbers, nothing more.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Bencher {
+        Bencher { iters, last: None }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup round, then the timed loop.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last = Some(start.elapsed());
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last = Some(total);
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Option<Duration>) {
+    match elapsed {
+        Some(e) if iters > 0 => {
+            let per = e.as_secs_f64() / iters as f64;
+            println!("bench {name:<40} {per:>12.3e} s/iter ({iters} iters)");
+        }
+        _ => println!("bench {name:<40} (no timing recorded)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark (criterion's sample count
+    /// is repurposed as the iteration count in this shim).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size as u64);
+        f(&mut b);
+        report(name, b.iters, b.last);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size as u64);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.iters, b.last);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size as u64);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.iters, b.last);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4, "1 warmup + 3 timed");
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,216 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the heavier reconstruction
+        // properties fast while still exercising a broad input band.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed — the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` filtered this input — try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator state (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Execute `config.cases` successful runs of `test` over `strategy`.
+///
+/// Rejected cases (via `prop_assume!`) are retried with fresh inputs, up to
+/// a global cap. On failure the generated input is printed verbatim (this
+/// shim does not shrink) and the test panics.
+pub fn run<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: S,
+    test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    // PROPTEST_CASES matches upstream's env override.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases)
+        .max(1);
+    let mut rng = TestRng::new(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    let mut case_index = 0u64;
+    while passed < cases {
+        case_index += 1;
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected inputs \
+                         ({rejected} rejects for {passed}/{cases} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case #{case_index}: {msg}\n\
+                     input: {repr}\n\
+                     (deterministic shim: re-running reproduces this case)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            &ProptestConfig::with_cases(10),
+            "runs_requested_cases",
+            0usize..5,
+            |v| {
+                assert!(v < 5);
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let collect = |name: &str| {
+            let out = std::cell::RefCell::new(Vec::new());
+            run(&ProptestConfig::with_cases(8), name, 0u64..1000, |v| {
+                out.borrow_mut().push(v);
+                Ok(())
+            });
+            out.into_inner()
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_input() {
+        run(
+            &ProptestConfig::with_cases(8),
+            "failures_panic",
+            10usize..20,
+            |v| Err(TestCaseError::fail(format!("boom on {v}"))),
+        );
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            &ProptestConfig::with_cases(5),
+            "rejects_are_retried",
+            0u64..10,
+            |v| {
+                if v % 2 == 0 {
+                    return Err(TestCaseError::reject("even"));
+                }
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 5);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (0usize..4).prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n..=n));
+        run(
+            &ProptestConfig::with_cases(16),
+            "combinators_compose",
+            strat,
+            |v| {
+                assert!(v.len() < 4);
+                assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+                Ok(())
+            },
+        );
+    }
+}

@@ -53,7 +53,7 @@ pub use cuda_sim as sim;
 
 /// The types most programs need.
 pub mod prelude {
-    pub use cuda_sim::{Device, DeviceProps, ExecMode, HostProps};
+    pub use cuda_sim::{Device, DeviceProps, ExecMode, FaultPlan, FaultStats, HostProps};
     pub use laue_core::gpu::{GpuOptions, Layout, Triangulation};
     pub use laue_core::multi::reconstruct_multi;
     pub use laue_core::planning::{pixel_scan_info, plan_scan, PixelScanInfo, ScanPlan};
@@ -63,7 +63,7 @@ pub mod prelude {
         SlabSource, WireEdge,
     };
     pub use laue_geometry::{Beam, DepthMapper, DetectorGeometry, Vec3, WireGeometry};
-    pub use laue_pipeline::{Engine, Pipeline, RunReport};
+    pub use laue_pipeline::{Engine, GpuFailurePolicy, Pipeline, RunReport};
     pub use laue_wire::{
         read_scan, write_scan, SamplePlan, Scatterer, SyntheticScan, SyntheticScanBuilder,
     };

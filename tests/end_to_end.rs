@@ -33,8 +33,12 @@ fn file_based_engines_all_agree_and_recover_truth() {
     let engines = [
         Engine::CpuSeq,
         Engine::CpuThreaded { threads: 2 },
-        Engine::Gpu { layout: Layout::Flat1d },
-        Engine::Gpu { layout: Layout::Pointer3d },
+        Engine::Gpu {
+            layout: Layout::Flat1d,
+        },
+        Engine::Gpu {
+            layout: Layout::Pointer3d,
+        },
         Engine::GpuOverlapped,
     ];
     let cfg = cfg();
@@ -75,7 +79,13 @@ fn memory_capped_device_streams_and_matches_unconstrained() {
 
     let roomy = Pipeline::default();
     let r_roomy = roomy
-        .run_scan_file(&path, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .run_scan_file(
+            &path,
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .unwrap();
 
     let capped = Pipeline {
@@ -83,11 +93,23 @@ fn memory_capped_device_streams_and_matches_unconstrained() {
         ..Pipeline::default()
     };
     let r_capped = capped
-        .run_scan_file(&path, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .run_scan_file(
+            &path,
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .unwrap();
 
-    assert!(r_capped.n_slabs > r_roomy.n_slabs, "cap must force more slabs");
-    assert_eq!(r_capped.image.data, r_roomy.image.data, "chunking must not change results");
+    assert!(
+        r_capped.n_slabs > r_roomy.n_slabs,
+        "cap must force more slabs"
+    );
+    assert_eq!(
+        r_capped.image.data, r_roomy.image.data,
+        "chunking must not change results"
+    );
     assert!(
         r_capped.comm_time_s > r_roomy.comm_time_s,
         "more slabs, more per-transfer latency"
@@ -103,7 +125,9 @@ fn full_export_chain_round_trips() {
     write_scan(&in_path, &scan.geometry, &scan.images, None, 4).unwrap();
     let cfg = cfg();
     let pipeline = Pipeline::default();
-    let report = pipeline.run_scan_file(&in_path, &cfg, Engine::CpuSeq).unwrap();
+    let report = pipeline
+        .run_scan_file(&in_path, &cfg, Engine::CpuSeq)
+        .unwrap();
     export::write_mh5(&out_path, &report, &cfg).unwrap();
 
     // The exported container is a valid mh5 file with the right data.
@@ -142,7 +166,9 @@ fn corrupt_scan_file_fails_cleanly_through_the_pipeline() {
     bytes[n - 20] ^= 0xFF; // metadata corruption → CRC mismatch
     std::fs::write(&path, &bytes).unwrap();
     let pipeline = Pipeline::default();
-    let err = pipeline.run_scan_file(&path, &cfg(), Engine::CpuSeq).unwrap_err();
+    let err = pipeline
+        .run_scan_file(&path, &cfg(), Engine::CpuSeq)
+        .unwrap_err();
     let msg = err.to_string();
     assert!(
         msg.contains("checksum") || msg.contains("corrupt") || msg.contains("mh5"),
@@ -159,7 +185,9 @@ fn truncated_scan_file_fails_cleanly() {
     let bytes = std::fs::read(&path).unwrap();
     std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
     let pipeline = Pipeline::default();
-    assert!(pipeline.run_scan_file(&path, &cfg(), Engine::CpuSeq).is_err());
+    assert!(pipeline
+        .run_scan_file(&path, &cfg(), Engine::CpuSeq)
+        .is_err());
     std::fs::remove_file(&path).ok();
 }
 
@@ -177,12 +205,23 @@ fn geometry_mismatch_detected_at_run_time() {
 #[test]
 fn prelude_quickstart_flow_works() {
     // The exact flow from the crate-level docs.
-    let scan = SyntheticScanBuilder::new(8, 8, 16).scatterers(3).seed(1).build().unwrap();
+    let scan = SyntheticScanBuilder::new(8, 8, 16)
+        .scatterers(3)
+        .seed(1)
+        .build()
+        .unwrap();
     let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 300);
     let pipeline = Pipeline::default();
     let mut source = InMemorySlabSource::new(scan.images.clone(), 16, 8, 8).unwrap();
     let report = pipeline
-        .run_source(&mut source, &scan.geometry, &cfg, Engine::Gpu { layout: Layout::Flat1d })
+        .run_source(
+            &mut source,
+            &scan.geometry,
+            &cfg,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .unwrap();
     let s = &scan.truth.scatterers[0];
     let peak = report.image.pixel_peak_depth(s.row, s.col, &cfg).unwrap();

@@ -102,7 +102,13 @@ struct Scenario {
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (3usize..=6, 3usize..=6, 4usize..=8, any::<u64>(), 1usize..=4).prop_map(
-        |(rows, cols, steps, seed, n_dev)| Scenario { rows, cols, steps, seed, n_dev },
+        |(rows, cols, steps, seed, n_dev)| Scenario {
+            rows,
+            cols,
+            steps,
+            seed,
+            n_dev,
+        },
     )
 }
 

@@ -36,8 +36,20 @@ fn cfg() -> ReconstructionConfig {
 #[test]
 fn fig4_flat_layout_beats_pointer_layout() {
     let s = scan(32, 32, 24, 11);
-    let flat = run(&s, &cfg(), Engine::Gpu { layout: Layout::Flat1d });
-    let ptr = run(&s, &cfg(), Engine::Gpu { layout: Layout::Pointer3d });
+    let flat = run(
+        &s,
+        &cfg(),
+        Engine::Gpu {
+            layout: Layout::Flat1d,
+        },
+    );
+    let ptr = run(
+        &s,
+        &cfg(),
+        Engine::Gpu {
+            layout: Layout::Pointer3d,
+        },
+    );
     assert_eq!(flat.image.data, ptr.image.data);
     assert!(ptr.transfers > flat.transfers);
     assert!(
@@ -62,7 +74,13 @@ fn fig8_speedup_and_scalability_shape() {
     for (i, &(r, c)) in sizes.iter().enumerate() {
         let s = scan(r, c, 24, 20 + i as u64);
         let cpu = run(&s, &cfg(), Engine::CpuSeq);
-        let gpu = run(&s, &cfg(), Engine::Gpu { layout: Layout::Flat1d });
+        let gpu = run(
+            &s,
+            &cfg(),
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        );
         assert_eq!(cpu.image.data, gpu.image.data);
         cpu_times.push(cpu.total_time_s);
         gpu_times.push(gpu.total_time_s);
@@ -108,7 +126,13 @@ fn fig9_pixel_percentage_shape() {
         let mut c = cfg();
         c.intensity_cutoff = cut;
         let cpu = run(&s, &c, Engine::CpuSeq);
-        let gpu = run(&s, &c, Engine::Gpu { layout: Layout::Flat1d });
+        let gpu = run(
+            &s,
+            &c,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        );
         fractions.push(gpu.stats.active_fraction());
         ratios.push(gpu.total_time_s / cpu.total_time_s);
     }
@@ -116,9 +140,17 @@ fn fig9_pixel_percentage_shape() {
     // scale-dependent: this integration-test stack is small and
     // transfer-heavy; the paper-scale sweep where the GPU wins at every
     // percentage is reproduced by `laue-bench --bin fig9_pixel_percentage`.)
-    assert!(ratios[0] < 1.0, "GPU must win at 100 % active: ratio {}", ratios[0]);
+    assert!(
+        ratios[0] < 1.0,
+        "GPU must win at 100 % active: ratio {}",
+        ratios[0]
+    );
     // The active fractions really do sweep downward.
-    assert!(fractions[0] > 0.95, "no cutoff → ~100 % active, got {}", fractions[0]);
+    assert!(
+        fractions[0] > 0.95,
+        "no cutoff → ~100 % active, got {}",
+        fractions[0]
+    );
     assert!(fractions[1] < 0.6 && fractions[1] > 0.3);
     assert!(fractions[2] < 0.35);
     // The paper: "the more pixels we handle, the better performance we can
@@ -136,7 +168,13 @@ fn overlap_ablation_shortens_makespan() {
     let s = scan(32, 32, 16, 41);
     let mut c = cfg();
     c.rows_per_slab = Some(4); // 8 slabs
-    let serial = run(&s, &c, Engine::Gpu { layout: Layout::Flat1d });
+    let serial = run(
+        &s,
+        &c,
+        Engine::Gpu {
+            layout: Layout::Flat1d,
+        },
+    );
     let overlapped = run(&s, &c, Engine::GpuOverlapped);
     assert_eq!(serial.image.data, overlapped.image.data);
     assert!(
@@ -164,7 +202,14 @@ fn atomic_accumulation_is_exact_under_threading() {
         ..Pipeline::default()
     };
     let gpu = pipeline
-        .run_source(&mut source, &s.geometry, &c, Engine::Gpu { layout: Layout::Flat1d })
+        .run_source(
+            &mut source,
+            &s.geometry,
+            &c,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        )
         .unwrap();
     let scale = cpu.image.data.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
     assert!(cpu.image.max_abs_diff(&gpu.image) <= 1e-9 * scale);

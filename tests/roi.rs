@@ -52,9 +52,11 @@ fn roi_reconstruction_is_a_subblock_of_the_full_one() {
     let inner = InMemorySlabSource::new(s.images.clone(), 14, 10, 12).unwrap();
     let mut roi_src = laue::core::input::RoiSlabSource::new(inner, r0, c0, nr, nc).unwrap();
     let device = Device::new(DeviceProps::tiny(8 * 1024 * 1024));
-    let roi_gpu =
-        gpu::reconstruct(&device, &mut roi_src, &roi_geom, &cfg, Layout::Flat1d).unwrap();
-    assert_eq!(roi_gpu.image.data, roi_cpu.image.data, "GPU ROI matches CPU ROI");
+    let roi_gpu = gpu::reconstruct(&device, &mut roi_src, &roi_geom, &cfg, Layout::Flat1d).unwrap();
+    assert_eq!(
+        roi_gpu.image.data, roi_cpu.image.data,
+        "GPU ROI matches CPU ROI"
+    );
 }
 
 #[test]
