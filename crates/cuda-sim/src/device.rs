@@ -78,6 +78,13 @@ impl Device {
         &self.props
     }
 
+    /// Process-unique device identifier. Buffers remember the id of the
+    /// device that allocated them; callers keying per-device state (e.g.
+    /// device-resident caches) should use this rather than pointer identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Choose how simulated threads run on the host.
     pub fn set_exec_mode(&self, mode: ExecMode) {
         if let ExecMode::Threaded(n) = mode {
@@ -284,6 +291,70 @@ impl Device {
         Ok(TimeSpan { start_s, end_s })
     }
 
+    /// Stage several host → device copies into **one** coalesced bus
+    /// transaction on `stream` (the pinned-staging / `cudaMemcpy2D`
+    /// analogue). The transaction pays the PCIe latency once and the
+    /// bandwidth term on the summed payload:
+    /// `max(latency) + Σ bytes / bw` — see
+    /// [`DeviceProps::transfer_time_batched`].
+    ///
+    /// Fault semantics match the single-copy path, applied to the
+    /// transaction as a whole: a transient fault burns the full bus time,
+    /// poisons **every** destination buffer (a partial DMA may have touched
+    /// any of them), and counts as one failed H2D; the caller retries the
+    /// whole batch. Validation (foreign buffers, length mismatches) happens
+    /// before any data moves.
+    pub fn memcpy_htod_batched<T: DeviceScalar>(
+        &self,
+        stream: StreamId,
+        copies: &[(&DeviceBuffer<T>, &[T])],
+    ) -> Result<TimeSpan> {
+        if copies.is_empty() {
+            return Err(SimError::InvalidRequest("empty batched copy".into()));
+        }
+        let mut bytes = 0u64;
+        for (buf, src) in copies {
+            self.check_buffer(buf)?;
+            if src.len() != buf.len() {
+                return Err(SimError::CopyLengthMismatch {
+                    device_len: buf.len(),
+                    host_len: src.len(),
+                });
+            }
+            bytes += buf.modeled_bytes();
+        }
+        if let Err(e) = self.fault_check_transfer(TransferDir::HostToDevice, stream, bytes) {
+            if e.is_transient() {
+                for (buf, _) in copies {
+                    buf.poison();
+                }
+            }
+            return Err(e);
+        }
+        for (buf, src) in copies {
+            for (i, &v) in src.iter().enumerate() {
+                buf.store(i, v);
+            }
+        }
+        let dur = self.props.transfer_time_batched(bytes);
+        let n = copies.len() as u64;
+        let mut st = self.state.lock();
+        let (start_s, end_s) = st.timelines.schedule(stream, dur);
+        st.meters.comm_time_s += dur;
+        st.meters.h2d_bytes += bytes;
+        st.meters.transfers += 1;
+        st.meters.coalesced_transactions += 1;
+        st.meters.coalesced_copies += n;
+        st.ops.push(OpRecord {
+            kind: "h2d",
+            name: format!("H2D coalesced {n}×, {bytes} B"),
+            stream: stream.index(),
+            start_s,
+            end_s,
+        });
+        Ok(TimeSpan { start_s, end_s })
+    }
+
     /// Copy device → host on the default stream.
     pub fn memcpy_dtoh<T: DeviceScalar>(
         &self,
@@ -371,18 +442,21 @@ impl Device {
             ExecMode::Threaded(workers) => {
                 let next = AtomicU64::new(0);
                 let total = cfg.grid.count();
+                // Adaptive claim grain: ~8 claims per worker amortizes the
+                // counter on huge grids without serializing small ones on a
+                // single worker (a fixed batch of 8 did exactly that).
+                let grain = (total / (workers as u64 * 8)).max(1);
                 let states = Mutex::new(Vec::new());
                 std::thread::scope(|scope| {
                     for _ in 0..workers.min(total as usize).max(1) {
                         scope.spawn(|| {
                             let mut state = WorkerState::new();
                             loop {
-                                // Grab a batch of blocks to amortize the counter.
-                                let start = next.fetch_add(8, Ordering::Relaxed);
+                                let start = next.fetch_add(grain, Ordering::Relaxed);
                                 if start >= total {
                                     break;
                                 }
-                                let end = (start + 8).min(total);
+                                let end = (start + grain).min(total);
                                 run_block_range(cfg, start..end, &kernel, &mut state);
                             }
                             states.lock().push(state);
@@ -641,6 +715,94 @@ mod tests {
         ));
         let mut small = [0u32; 3];
         assert!(d.memcpy_dtoh(&buf, &mut small).is_err());
+    }
+
+    #[test]
+    fn batched_copy_coalesces_latency() {
+        let d = tiny_device();
+        let a = d.alloc::<f64>(8).unwrap();
+        let b = d.alloc::<f64>(4).unwrap();
+        let ha: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let hb: Vec<f64> = (0..4).map(|i| 100.0 + i as f64).collect();
+        let span = d
+            .memcpy_htod_batched(StreamId::DEFAULT, &[(&a, &ha), (&b, &hb)])
+            .unwrap();
+        let m = d.meters();
+        assert_eq!(m.transfers, 1, "one bus transaction");
+        assert_eq!(m.coalesced_transactions, 1);
+        assert_eq!(m.coalesced_copies, 2);
+        assert_eq!(m.h2d_bytes, 96);
+        // One latency + summed bandwidth term, strictly cheaper than two
+        // separate copies.
+        let serial = d.props().transfer_time(64) + d.props().transfer_time(32);
+        let expect = d.props().transfer_time_batched(96);
+        assert!((span.end_s - span.start_s - expect).abs() < 1e-15);
+        assert!(m.comm_time_s < serial);
+        // The payloads really arrived.
+        let mut back = vec![0.0f64; 8];
+        d.memcpy_dtoh(&a, &mut back).unwrap();
+        assert_eq!(back, ha);
+        let mut back = vec![0.0f64; 4];
+        d.memcpy_dtoh(&b, &mut back).unwrap();
+        assert_eq!(back, hb);
+    }
+
+    #[test]
+    fn batched_copy_validates_before_moving_data() {
+        let d = tiny_device();
+        let a = d.alloc_from_slice(&[5.0f64, 6.0]).unwrap();
+        let b = d.alloc::<f64>(4).unwrap();
+        assert!(d
+            .memcpy_htod_batched(StreamId::DEFAULT, &[(&a, &[1.0, 2.0]), (&b, &[0.0; 3])])
+            .is_err());
+        // The length mismatch on `b` must have left `a` untouched.
+        let mut back = [0.0f64; 2];
+        d.memcpy_dtoh(&a, &mut back).unwrap();
+        assert_eq!(back, [5.0, 6.0]);
+        assert!(d
+            .memcpy_htod_batched::<f64>(StreamId::DEFAULT, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn batched_copy_transient_fault_poisons_all_destinations() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).fail_nth_h2d(1));
+        let a = d.alloc::<f64>(2).unwrap();
+        let b = d.alloc::<f64>(2).unwrap();
+        let host = [1.0f64, 2.0];
+        assert!(d
+            .memcpy_htod_batched(StreamId::DEFAULT, &[(&a, &host), (&b, &host)])
+            .is_err());
+        assert!(
+            d.meters().comm_time_s > 0.0,
+            "failed transaction still burnt bus time"
+        );
+        // Retry rewrites everything.
+        d.memcpy_htod_batched(StreamId::DEFAULT, &[(&a, &host), (&b, &host)])
+            .unwrap();
+        let mut back = [0.0f64; 2];
+        d.memcpy_dtoh(&a, &mut back).unwrap();
+        assert_eq!(back, host);
+        d.memcpy_dtoh(&b, &mut back).unwrap();
+        assert_eq!(back, host);
+    }
+
+    #[test]
+    fn threaded_grain_adapts_to_small_grids() {
+        // A grid smaller than the old fixed batch of 8 must still spread
+        // over workers and, above all, visit every block exactly once.
+        let d = tiny_device();
+        d.set_exec_mode(ExecMode::Threaded(4));
+        let counts = d.alloc_zeroed::<u64>(6).unwrap();
+        let cfg = LaunchConfig::new(Dim3::new(6, 1, 1), Dim3::new(1, 1, 1));
+        d.launch("tiny", cfg, |ctx| {
+            ctx.atomic_add_u64(&counts, ctx.block_idx.x as usize, 1);
+        })
+        .unwrap();
+        let mut host = vec![0u64; 6];
+        d.memcpy_dtoh(&counts, &mut host).unwrap();
+        assert!(host.iter().all(|&c| c == 1), "{host:?}");
     }
 
     #[test]

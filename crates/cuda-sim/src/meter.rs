@@ -75,6 +75,11 @@ pub struct Meters {
     pub d2h_bytes: u64,
     /// Number of host↔device transfers.
     pub transfers: u64,
+    /// Coalesced bus transactions among `transfers` (each stages several
+    /// logical copies but pays the PCIe latency once).
+    pub coalesced_transactions: u64,
+    /// Logical copies folded into those coalesced transactions.
+    pub coalesced_copies: u64,
     /// Number of kernel launches.
     pub launches: u64,
     /// Total metered kernel work.

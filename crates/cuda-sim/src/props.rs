@@ -170,6 +170,14 @@ impl DeviceProps {
         self.pcie_latency + bytes as f64 / self.pcie_bw
     }
 
+    /// Modeled duration of a coalesced transaction staging several copies:
+    /// `max(latency over the copies) + Σ bytes / bw`. The link latency is
+    /// uniform per device, so the max term collapses to `pcie_latency` —
+    /// the batch pays it once instead of once per copy.
+    pub fn transfer_time_batched(&self, total_bytes: u64) -> f64 {
+        self.pcie_latency + total_bytes as f64 / self.pcie_bw
+    }
+
     /// Roofline kernel time for metered work.
     ///
     /// `flops / peak` and `mem_bytes / bandwidth` bound throughput; atomics

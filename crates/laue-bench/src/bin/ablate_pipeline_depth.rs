@@ -1,0 +1,90 @@
+//! **Extension ablation (related work, §II)**: ring depth of the
+//! copy/compute pipeline.
+//!
+//! The paper's related-work section surveys systems that overlap PCIe
+//! transfers with kernels but its own pipeline is strictly serial (copy →
+//! kernel → copy). This ablation sweeps the ring depth k of the three-stream
+//! slab pipeline — k = 1 is the paper's serial schedule, k = 2 classic
+//! double buffering, deeper rings keep more slabs in flight — and measures
+//! how much of the transfer time each depth hides.
+//!
+//! Run: `cargo run --release -p laue-bench --bin ablate_pipeline_depth`
+
+use cuda_sim::{Device, DeviceProps};
+use laue_bench::{ms, print_table, standard_config, Workload};
+use laue_core::gpu::{self, GpuOptions, PipelineDepth};
+
+fn main() {
+    let w = Workload::of_megabytes(5.2, 321);
+    println!("pipeline ring-depth ablation — {} stack\n", w.label);
+    // Cap the device so the stack streams in several slabs.
+    let props = DeviceProps {
+        total_mem: 32 * 1024 * 1024,
+        ..DeviceProps::tesla_m2070()
+    };
+    let mut cfg = standard_config();
+    cfg.rows_per_slab = Some(8);
+
+    let mut serial_elapsed = 0.0;
+    let mut serial_image = Vec::new();
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 3, 4] {
+        let device = Device::new(props.clone());
+        let mut source = w.source();
+        let out = gpu::reconstruct_pipelined(
+            &device,
+            &mut source,
+            &w.scan.geometry,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth(k),
+            None,
+        )
+        .expect("reconstruction");
+        if k == 1 {
+            serial_elapsed = out.elapsed_s;
+            serial_image = out.image.data.clone();
+        } else {
+            assert_eq!(
+                serial_image, out.image.data,
+                "ring depth {k} diverges from serial — ablation invalid"
+            );
+            assert!(
+                out.elapsed_s < serial_elapsed,
+                "ring depth {k} must beat the serial pipeline \
+                 ({} vs {} s)",
+                out.elapsed_s,
+                serial_elapsed
+            );
+        }
+        rows.push(vec![
+            k.to_string(),
+            out.pipeline_depth.to_string(),
+            out.n_slabs.to_string(),
+            ms(out.meters.comm_time_s),
+            ms(out.meters.compute_time_s),
+            ms(out.elapsed_s),
+            format!(
+                "{:.1} %",
+                100.0 * (serial_elapsed - out.elapsed_s) / serial_elapsed
+            ),
+        ]);
+    }
+    print_table(
+        &[
+            "ring k",
+            "used",
+            "slabs",
+            "xfer (ms)",
+            "kernel (ms)",
+            "elapsed (ms)",
+            "saved",
+        ],
+        &rows,
+    );
+    println!(
+        "\nthe ring hides transfer time behind kernels; k = 2 captures most \
+         of the win and deeper rings add a little more until the longer \
+         stream saturates — the optimisation the paper leaves on the table."
+    );
+}

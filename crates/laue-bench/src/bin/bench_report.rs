@@ -1,0 +1,156 @@
+//! Machine-readable pipeline benchmark: one JSON report covering the
+//! CPU/GPU ladder, the ring-depth ablation, and the depth-table cache.
+//!
+//! Times are **virtual seconds** from the calibrated M2070/E5630 models
+//! (deterministic, machine-independent); `wall_clock_s` is the real time
+//! the harness itself took, for CI trend-watching only.
+//!
+//! Run: `cargo run --release -p laue-bench --bin bench_report -- \
+//!       [--quick] [--out BENCH_pipeline.json]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cuda_sim::{Device, DeviceProps};
+use laue_bench::{standard_config, Workload};
+use laue_core::cache::TableCacheStats;
+use laue_core::gpu::{self, GpuOptions, PipelineDepth};
+use laue_pipeline::{Engine, Pipeline};
+
+fn json_stats(s: &TableCacheStats) -> String {
+    format!(
+        "{{\"host_hits\": {}, \"host_misses\": {}, \"device_hits\": {}, \
+         \"device_misses\": {}, \"evictions\": {}, \"resident_bytes\": {}}}",
+        s.host_hits, s.host_misses, s.device_hits, s.device_misses, s.evictions, s.resident_bytes
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let started = Instant::now();
+
+    // 1. The CPU/GPU ladder over the Fig 8 sizes (one size in quick mode).
+    let workloads: Vec<Workload> = if quick {
+        vec![Workload::of_megabytes(0.5, 100)]
+    } else {
+        Workload::fig8_set()
+    };
+    let cfg = standard_config();
+    let pipeline = Pipeline::default();
+    let mut ladder = Vec::new();
+    for w in &workloads {
+        let mut row = format!("    {{\"label\": \"{}\", \"bytes\": {}", w.label, w.bytes);
+        for (key, engine) in [
+            ("cpu_seq", Engine::CpuSeq),
+            (
+                "gpu_serial",
+                Engine::Gpu {
+                    layout: laue_core::gpu::Layout::Flat1d,
+                },
+            ),
+            ("gpu_pipe", Engine::GpuPipelined),
+        ] {
+            let mut source = w.source();
+            let r = pipeline
+                .run_source(&mut source, &w.scan.geometry, &cfg, engine)
+                .expect("pipeline run");
+            write!(
+                row,
+                ", \"{key}\": {{\"total_s\": {:.9}, \"comm_s\": {:.9}, \
+                 \"compute_s\": {:.9}, \"pipeline_depth\": {}}}",
+                r.total_time_s, r.comm_time_s, r.compute_time_s, r.pipeline_depth
+            )
+            .unwrap();
+        }
+        row.push('}');
+        ladder.push(row);
+    }
+
+    // 2. Ring-depth ablation on the largest stack, memory-capped so it
+    // streams in many slabs.
+    let w = workloads.last().unwrap();
+    let props = DeviceProps {
+        total_mem: 32 * 1024 * 1024,
+        ..DeviceProps::tesla_m2070()
+    };
+    let mut slab_cfg = standard_config();
+    slab_cfg.rows_per_slab = Some(if quick { 4 } else { 8 });
+    let mut ablation = Vec::new();
+    for k in [1usize, 2, 3, 4] {
+        let device = Device::new(props.clone());
+        let mut source = w.source();
+        let out = gpu::reconstruct_pipelined(
+            &device,
+            &mut source,
+            &w.scan.geometry,
+            &slab_cfg,
+            GpuOptions::default(),
+            PipelineDepth(k),
+            None,
+        )
+        .expect("reconstruction");
+        ablation.push(format!(
+            "    {{\"ring_depth\": {}, \"n_slabs\": {}, \"total_s\": {:.9}, \
+             \"comm_s\": {:.9}, \"compute_s\": {:.9}}}",
+            out.pipeline_depth,
+            out.n_slabs,
+            out.elapsed_s,
+            out.meters.comm_time_s,
+            out.meters.compute_time_s
+        ));
+    }
+
+    // 3. Depth-table cache: a cold run computes and uploads the tables, a
+    // warm run on the same pipeline reuses the resident copy.
+    let cache_pipeline = Pipeline::default();
+    let run_tables = || {
+        let mut source = w.source();
+        cache_pipeline
+            .run_source(&mut source, &w.scan.geometry, &cfg, Engine::GpuTables)
+            .expect("gpu-tables run")
+    };
+    let cold = run_tables();
+    let warm = run_tables();
+    assert_eq!(
+        cold.image.data, warm.image.data,
+        "warm run must be bit-identical"
+    );
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"generated_by\": \"bench_report\",").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    writeln!(json, "  \"datasize\": [").unwrap();
+    writeln!(json, "{}", ladder.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"depth_ablation\": [").unwrap();
+    writeln!(json, "{}", ablation.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"table_cache\": {{").unwrap();
+    writeln!(json, "    \"cold_total_s\": {:.9},", cold.total_time_s).unwrap();
+    writeln!(json, "    \"warm_total_s\": {:.9},", warm.total_time_s).unwrap();
+    writeln!(json, "    \"cold\": {},", json_stats(&cold.table_cache)).unwrap();
+    writeln!(json, "    \"warm\": {}", json_stats(&warm.table_cache)).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(
+        json,
+        "  \"wall_clock_s\": {:.3}",
+        started.elapsed().as_secs_f64()
+    )
+    .unwrap();
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path} ({} bytes)", json.len());
+    println!(
+        "cache: cold {:.4} s → warm {:.4} s ({} hit(s) warm)",
+        cold.total_time_s,
+        warm.total_time_s,
+        warm.table_cache.hits()
+    );
+}

@@ -10,7 +10,8 @@
 //! | `fig9_pixel_percentage` | Fig 9 | pixel percentage (intensity cutoff) |
 //! | `ablate_slab` | design (Fig 2) | rows per device slab |
 //! | `ablate_atomics` | design (§III-C) | atomic-add cost share |
-//! | `ablate_overlap` | related work | copy/compute overlap |
+//! | `ablate_pipeline_depth` | related work | ring depth of the copy/compute pipeline |
+//! | `bench_report` | — | machine-readable pipeline benchmark (`BENCH_pipeline.json`) |
 //!
 //! The paper's datasets are 2.1–5.2 **GB** beamline scans; this harness
 //! generates geometrically similar synthetic scans at 1/1000 scale

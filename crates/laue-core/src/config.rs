@@ -33,6 +33,10 @@ pub struct ReconstructionConfig {
     /// passes 2 of 6 rows at a time). `None` lets the GPU engine pick the
     /// largest slab that fits device memory.
     pub rows_per_slab: Option<usize>,
+    /// Ring depth of the GPU transfer/compute pipeline: how many slab slots
+    /// may be in flight at once (1 = the paper's serial pipeline, 2 =
+    /// double buffering). `None` lets the engine choose per its defaults.
+    pub pipeline_depth: Option<usize>,
 }
 
 impl ReconstructionConfig {
@@ -45,6 +49,7 @@ impl ReconstructionConfig {
             intensity_cutoff: 0.0,
             wire_edge: WireEdge::Leading,
             rows_per_slab: None,
+            pipeline_depth: None,
         }
     }
 
@@ -74,6 +79,11 @@ impl ReconstructionConfig {
         }
         if self.rows_per_slab == Some(0) {
             return Err(CoreError::InvalidConfig("rows_per_slab must be ≥ 1".into()));
+        }
+        if self.pipeline_depth == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "pipeline_depth must be ≥ 1".into(),
+            ));
         }
         Ok(())
     }
@@ -128,6 +138,11 @@ mod tests {
         let mut c = base.clone();
         c.rows_per_slab = Some(0);
         assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.pipeline_depth = Some(0);
+        assert!(c.validate().is_err());
+        c.pipeline_depth = Some(3);
+        assert!(c.validate().is_ok());
         assert!(base.validate().is_ok());
     }
 

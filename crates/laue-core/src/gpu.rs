@@ -23,13 +23,28 @@
 //!   allocation per image (and per output bin) plus device pointer tables —
 //!   paying per-transfer latency, pointer shipping, and an extra pointer
 //!   dereference per access.
-//! * **Copy/compute overlap** ([`reconstruct_overlapped`]): the
-//!   double-buffered two-stream pipeline the paper's related work discusses
-//!   but its implementation does not do; kept as an ablation.
+//! * **Copy/compute overlap** ([`reconstruct_pipelined`]): a k-deep ring of
+//!   slab slots on three streams (upload / compute / download), the
+//!   generalisation of the double-buffered two-stream pipeline the paper's
+//!   related work discusses but its implementation does not do. `k = 1`
+//!   degenerates to the paper's serial copy-in → kernel → copy-out loop and
+//!   is what [`reconstruct_with_options`] runs.
+//! * **Depth-table caching** ([`crate::cache`]): in
+//!   [`Triangulation::HostTables`] mode the per-(step, pixel) tables are
+//!   pure functions of the geometry; a [`DepthTableCache`] keeps them on
+//!   the host across runs and, budget permitting, resident on the device,
+//!   so warm runs skip both the triangulation FLOPs and the table upload.
+//! * **Coalesced slab uploads**: each slab's host→device pieces (pixel
+//!   table, depth table, intensities) ship as one batched bus transaction
+//!   (`memcpy_htod_batched`), paying the PCIe latency once per slab.
+
+use std::collections::VecDeque;
+use std::ops::Range;
 
 use cuda_sim::{Device, DeviceBuffer, LaunchConfig, Meters, StreamId};
 use laue_geometry::{DepthMapper, Vec3};
 
+use crate::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
 use crate::config::ReconstructionConfig;
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
@@ -94,6 +109,33 @@ impl Default for GpuOptions {
             triangulation: Triangulation::InKernel,
             mapping: ThreadMapping::Linear,
         }
+    }
+}
+
+/// Ring depth `k` of the transfer/compute pipeline: how many slab slots may
+/// be in flight at once across the upload / compute / download streams.
+///
+/// `k = 1` is the paper's serial pipeline (each slab fully drains before
+/// the next uploads); `k = 2` is classic double buffering; deeper rings
+/// keep the upload stream busy across longer download tails. Device memory
+/// must hold `k` slabs, so the slab planner divides the budget by `k` —
+/// past the point where the bus is saturated, deeper rings only shrink
+/// slabs and add latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineDepth(pub usize);
+
+impl PipelineDepth {
+    /// Serial pipeline (no overlap).
+    pub const SERIAL: PipelineDepth = PipelineDepth(1);
+
+    /// Default overlap depth: upload, compute, and download each own a
+    /// slot, matching the three streams.
+    pub const DEFAULT: PipelineDepth = PipelineDepth(3);
+}
+
+impl Default for PipelineDepth {
+    fn default() -> Self {
+        PipelineDepth::DEFAULT
     }
 }
 
@@ -172,16 +214,23 @@ pub struct GpuReconstruction {
     pub host_table_flops: u64,
     /// What the engine did to survive device trouble (re-plans, retries).
     pub recovery: RecoveryLog,
+    /// Ring depth the run finished with (memory pressure may have shrunk
+    /// it below the requested depth).
+    pub pipeline_depth: usize,
+    /// Depth-table cache accounting for this run (all zeros when no cache
+    /// was attached).
+    pub table_cache: TableCacheStats,
 }
 
-/// Modeled device bytes needed for a slab of `rows` detector rows.
+/// Modeled device bytes needed for `slots` concurrently resident slabs of
+/// `rows` detector rows each (`slots` = ring depth).
 fn slab_bytes(
     rows: usize,
     n_images: usize,
     n_cols: usize,
     n_bins: usize,
     opts: GpuOptions,
-    double_buffered: bool,
+    slots: usize,
 ) -> u64 {
     let layout = opts.layout;
     let row = (n_cols * 8) as u64;
@@ -203,14 +252,11 @@ fn slab_bytes(
         Layout::Pointer3d => (n_images + n_bins) as u64 + 4,
     };
     let base = intensity + pixels + output + tables + allocs * 256;
-    if double_buffered {
-        2 * base
-    } else {
-        base
-    }
+    slots as u64 * base
 }
 
-/// Largest `rows_per_slab` whose working set fits in `budget` bytes.
+/// Largest `rows_per_slab` such that `slots` slabs fit in `budget` bytes
+/// together (the ring keeps `slots` slabs resident at once).
 pub fn fit_rows_per_slab(
     budget: u64,
     n_rows: usize,
@@ -218,7 +264,7 @@ pub fn fit_rows_per_slab(
     n_cols: usize,
     n_bins: usize,
     opts: GpuOptions,
-    double_buffered: bool,
+    slots: usize,
 ) -> Result<usize> {
     // Leave headroom for the wire-centre table and fragmentation.
     let budget = budget - budget / 10;
@@ -227,7 +273,7 @@ pub fn fit_rows_per_slab(
     let mut hi = n_rows;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        if slab_bytes(mid, n_images, n_cols, n_bins, opts, double_buffered) <= budget {
+        if slab_bytes(mid, n_images, n_cols, n_bins, opts, slots) <= budget {
             best = mid;
             lo = mid + 1;
         } else {
@@ -239,11 +285,30 @@ pub fn fit_rows_per_slab(
     }
     if best == 0 {
         return Err(CoreError::DeviceCapacity {
-            needed: slab_bytes(1, n_images, n_cols, n_bins, opts, double_buffered),
+            needed: slab_bytes(1, n_images, n_cols, n_bins, opts, slots),
             budget,
         });
     }
     Ok(best)
+}
+
+/// Where the kernel's depth table comes from, resolved once per run.
+pub(crate) enum TableSource {
+    /// In-kernel triangulation — no table at all.
+    None,
+    /// Host computes each slab's table slice and ships it with the slab
+    /// (the uncached [`Triangulation::HostTables`] path).
+    PerSlab,
+    /// Full-detector host table from the cache; each slab ships its row
+    /// slice (sliced, not recomputed — no triangulation FLOPs).
+    HostSlice(std::sync::Arc<DepthTables>),
+    /// Full-detector table already resident on the device; slabs upload
+    /// nothing and the kernel indexes by absolute detector row.
+    Resident {
+        buf: DeviceBuffer<f64>,
+        /// Detector rows the resident table covers (its row stride).
+        n_rows: usize,
+    },
 }
 
 /// Per-slab device-resident data, under either layout.
@@ -264,12 +329,26 @@ pub(crate) enum SlabBuffers {
     },
 }
 
+/// The kernel's view of the depth table for one uploaded slab.
+pub(crate) enum DepthTableRef {
+    /// In-kernel triangulation.
+    None,
+    /// Slab-local table, indexed `(z · rows + r) · n_cols + c`.
+    Slab(DeviceBuffer<f64>),
+    /// Full-detector resident table (aliases the cache's allocation),
+    /// indexed by absolute row: `(z · n_rows + row0 + r) · n_cols + c`.
+    Resident {
+        buf: DeviceBuffer<f64>,
+        n_rows: usize,
+    },
+}
+
 pub(crate) struct SlabUpload {
     buffers: SlabBuffers,
     pub(crate) mapping: ThreadMapping,
     pixels: DeviceBuffer<f64>,
     /// Precomputed per-(step, pixel) edge depths (HostTables mode).
-    depth_table: Option<DeviceBuffer<f64>>,
+    depth_table: DepthTableRef,
     /// Host FLOPs spent building the depth table.
     host_flops: u64,
     rows: usize,
@@ -279,6 +358,10 @@ pub(crate) struct SlabUpload {
 }
 
 /// Upload one slab's data under the chosen layout.
+///
+/// All f64 pieces of the slab (pixel table, depth-table slice, intensity)
+/// ship as one coalesced bus transaction; the pointer layout needs a second
+/// transaction for its u64 pointer tables.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn upload_slab(
     device: &Device,
@@ -288,6 +371,7 @@ pub(crate) fn upload_slab(
     mapper: &DepthMapper,
     cfg: &ReconstructionConfig,
     opts: GpuOptions,
+    table_source: &TableSource,
     row0: usize,
     rows: usize,
     recovery: &mut RecoveryLog,
@@ -307,81 +391,103 @@ pub(crate) fn upload_slab(
         }
     }
     let pixels = device.alloc::<f64>(pix.len())?;
-    let mut ready_at = retry_transfer(device, stream, recovery, || {
-        device.memcpy_htod_on(stream, &pixels, &pix)
-    })?
-    .end_s;
 
     // Precomputed depth tables (the paper's `edge`/`gpuPointArray` design):
-    // depths[(z · rows + r) · cols + c], NaN where no tangent exists.
+    // depths[(z · rows + r) · cols + c], NaN where no tangent exists. The
+    // per-slab allocation happens only when the table is not resident.
     let mut host_flops = 0u64;
-    let depth_table = if opts.triangulation == Triangulation::HostTables {
-        let mut table = Vec::with_capacity(n_images * rows * n_cols);
-        for z in 0..n_images {
-            let wire = geom.wire.center_unchecked(z as f64);
-            for r in row0..row0 + rows {
-                for c in 0..n_cols {
-                    let p = geom.detector.pixel_to_xyz_unchecked(r as f64, c as f64);
-                    host_flops += crate::pair::FLOPS_PER_DEPTH;
-                    table.push(mapper.depth(p, wire, cfg.wire_edge).unwrap_or(f64::NAN));
+    let table_data: Option<Vec<f64>> = match table_source {
+        TableSource::None | TableSource::Resident { .. } => None,
+        TableSource::PerSlab => {
+            let mut table = Vec::with_capacity(n_images * rows * n_cols);
+            for z in 0..n_images {
+                let wire = geom.wire.center_unchecked(z as f64);
+                for r in row0..row0 + rows {
+                    for c in 0..n_cols {
+                        let p = geom.detector.pixel_to_xyz_unchecked(r as f64, c as f64);
+                        host_flops += crate::pair::FLOPS_PER_DEPTH;
+                        table.push(mapper.depth(p, wire, cfg.wire_edge).unwrap_or(f64::NAN));
+                    }
                 }
             }
+            Some(table)
         }
-        let buf = device.alloc::<f64>(table.len())?;
-        let span = retry_transfer(device, stream, recovery, || {
-            device.memcpy_htod_on(stream, &buf, &table)
-        })?;
-        ready_at = ready_at.max(span.end_s);
-        Some(buf)
-    } else {
-        None
+        TableSource::HostSlice(tables) => Some(tables.slice_rows(row0, rows)),
+    };
+    let table_buf = match &table_data {
+        Some(t) => Some(device.alloc::<f64>(t.len())?),
+        None => None,
     };
 
-    let buffers = match layout {
+    let (buffers, ready_at) = match layout {
         Layout::Flat1d => {
             let intensity = device.alloc::<f64>(slab.len())?;
-            let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_htod_on(stream, &intensity, &slab)
-            })?;
-            ready_at = ready_at.max(span.end_s);
             let output = device.alloc_zeroed::<f64>(cfg.n_depth_bins * rows * n_cols)?;
-            SlabBuffers::Flat { intensity, output }
+            // One coalesced transaction for the whole slab.
+            let mut batch: Vec<(&DeviceBuffer<f64>, &[f64])> = vec![(&pixels, &pix)];
+            if let (Some(buf), Some(data)) = (&table_buf, &table_data) {
+                batch.push((buf, data));
+            }
+            batch.push((&intensity, &slab));
+            let span = retry_transfer(device, stream, recovery, || {
+                device.memcpy_htod_batched(stream, &batch)
+            })?;
+            (SlabBuffers::Flat { intensity, output }, span.end_s)
         }
         Layout::Pointer3d => {
-            // One allocation + one memcpy per image: the "3D array" design.
+            // One allocation per image: the "3D array" design. The copies
+            // still coalesce into one f64 transaction, but the layout pays
+            // a second (u64) transaction for its pointer tables.
             let per_image = rows * n_cols;
             let mut images = Vec::with_capacity(n_images);
-            for z in 0..n_images {
-                let buf = device.alloc::<f64>(per_image)?;
-                let span = retry_transfer(device, stream, recovery, || {
-                    device.memcpy_htod_on(stream, &buf, &slab[z * per_image..(z + 1) * per_image])
-                })?;
-                ready_at = ready_at.max(span.end_s);
-                images.push(buf);
+            for _ in 0..n_images {
+                images.push(device.alloc::<f64>(per_image)?);
             }
             let mut bins = Vec::with_capacity(cfg.n_depth_bins);
             for _ in 0..cfg.n_depth_bins {
                 bins.push(device.alloc_zeroed::<f64>(per_image)?);
             }
+            let mut batch: Vec<(&DeviceBuffer<f64>, &[f64])> = vec![(&pixels, &pix)];
+            if let (Some(buf), Some(data)) = (&table_buf, &table_data) {
+                batch.push((buf, data));
+            }
+            for (z, buf) in images.iter().enumerate() {
+                batch.push((buf, &slab[z * per_image..(z + 1) * per_image]));
+            }
+            let span = retry_transfer(device, stream, recovery, || {
+                device.memcpy_htod_batched(stream, &batch)
+            })?;
+            let mut ready_at = span.end_s;
             // The pointer tables themselves must also be shipped.
             let image_ptrs: Vec<u64> = images.iter().map(|b| b.device_addr()).collect();
             let bin_ptrs: Vec<u64> = bins.iter().map(|b| b.device_addr()).collect();
             let image_table = device.alloc::<u64>(image_ptrs.len())?;
-            let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_htod_on(stream, &image_table, &image_ptrs)
-            })?;
-            ready_at = ready_at.max(span.end_s);
             let bin_table = device.alloc::<u64>(bin_ptrs.len())?;
+            let ptr_batch: Vec<(&DeviceBuffer<u64>, &[u64])> =
+                vec![(&image_table, &image_ptrs), (&bin_table, &bin_ptrs)];
             let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_htod_on(stream, &bin_table, &bin_ptrs)
+                device.memcpy_htod_batched(stream, &ptr_batch)
             })?;
             ready_at = ready_at.max(span.end_s);
-            SlabBuffers::Pointer {
-                images,
-                bins,
-                _image_table: image_table,
-                _bin_table: bin_table,
-            }
+            (
+                SlabBuffers::Pointer {
+                    images,
+                    bins,
+                    _image_table: image_table,
+                    _bin_table: bin_table,
+                },
+                ready_at,
+            )
+        }
+    };
+    let depth_table = match table_source {
+        TableSource::None => DepthTableRef::None,
+        TableSource::Resident { buf, n_rows } => DepthTableRef::Resident {
+            buf: buf.clone(),
+            n_rows: *n_rows,
+        },
+        TableSource::PerSlab | TableSource::HostSlice(_) => {
+            DepthTableRef::Slab(table_buf.expect("table data implies a buffer"))
         }
     };
     Ok(SlabUpload {
@@ -456,7 +562,7 @@ pub(crate) fn launch_set_two(
         // shipping (§III-B).
         ctx.charge_flops(6);
 
-        let in_kernel = upload.depth_table.is_none();
+        let in_kernel = matches!(upload.depth_table, DepthTableRef::None);
         // In table mode the kernel never touches the pixel/wire arrays.
         let (pixel, w0, w1) = if in_kernel {
             let pi = (r * n_cols + c) * 3;
@@ -498,8 +604,8 @@ pub(crate) fn launch_set_two(
 
         let mut flops = 0u64;
         let plan = match &upload.depth_table {
-            None => plan_pair(mapper, cfg, pixel, w0, w1, i0, i1, &mut flops),
-            Some(table) => {
+            DepthTableRef::None => plan_pair(mapper, cfg, pixel, w0, w1, i0, i1, &mut flops),
+            table_ref => {
                 // Table mode: the differential/cutoff logic is identical,
                 // but the depths come from the precomputed array.
                 let delta = crate::pair::differential(cfg, i0, i1);
@@ -507,8 +613,22 @@ pub(crate) fn launch_set_two(
                 if delta.abs() <= cfg.intensity_cutoff {
                     PairPlan::BelowCutoff
                 } else {
-                    let d0 = ctx.read(table, (z * rows + r) * n_cols + c);
-                    let d1 = ctx.read(table, ((z + 1) * rows + r) * n_cols + c);
+                    let (d0, d1) = match table_ref {
+                        DepthTableRef::Slab(table) => (
+                            ctx.read(table, (z * rows + r) * n_cols + c),
+                            ctx.read(table, ((z + 1) * rows + r) * n_cols + c),
+                        ),
+                        DepthTableRef::Resident { buf, n_rows } => {
+                            // Resident tables cover the full detector;
+                            // index by absolute row.
+                            let abs_r = upload.row0 + r;
+                            (
+                                ctx.read(buf, (z * n_rows + abs_r) * n_cols + c),
+                                ctx.read(buf, ((z + 1) * n_rows + abs_r) * n_cols + c),
+                            )
+                        }
+                        DepthTableRef::None => unreachable!(),
+                    };
                     crate::pair::plan_from_band(cfg, delta, d0, d1, &mut flops)
                 }
             }
@@ -543,7 +663,9 @@ pub(crate) fn launch_set_two(
         .map_err(CoreError::from)
 }
 
-/// Download one slab's output and merge it into the full image.
+/// Download one slab's output and merge it into the full image. Returns
+/// the virtual time when the last D2H copy completes (the ring uses it as
+/// the slot-free edge for the next upload).
 pub(crate) fn download_slab(
     device: &Device,
     stream: StreamId,
@@ -552,14 +674,16 @@ pub(crate) fn download_slab(
     cfg: &ReconstructionConfig,
     n_cols: usize,
     recovery: &mut RecoveryLog,
-) -> Result<()> {
+) -> Result<f64> {
     let rows = upload.rows;
+    let mut done_at = 0.0f64;
     match &upload.buffers {
         SlabBuffers::Flat { output, .. } => {
             let mut host = vec![0.0f64; cfg.n_depth_bins * rows * n_cols];
-            retry_transfer(device, stream, recovery, || {
+            let span = retry_transfer(device, stream, recovery, || {
                 device.memcpy_dtoh_on(stream, output, &mut host)
             })?;
+            done_at = span.end_s;
             for bin in 0..cfg.n_depth_bins {
                 for r in 0..rows {
                     for c in 0..n_cols {
@@ -573,9 +697,10 @@ pub(crate) fn download_slab(
             // One D2H per bin: the 3D layout pays latency both ways.
             let mut host = vec![0.0f64; rows * n_cols];
             for (bin, buf) in bins.iter().enumerate() {
-                retry_transfer(device, stream, recovery, || {
+                let span = retry_transfer(device, stream, recovery, || {
                     device.memcpy_dtoh_on(stream, buf, &mut host)
                 })?;
+                done_at = done_at.max(span.end_s);
                 for r in 0..rows {
                     for c in 0..n_cols {
                         *image.at_mut(bin, upload.row0 + r, c) = host[r * n_cols + c];
@@ -584,7 +709,7 @@ pub(crate) fn download_slab(
             }
         }
     }
-    Ok(())
+    Ok(done_at)
 }
 
 pub(crate) fn stats_from_records(device: &Device, pairs_total: u64) -> ReconStats {
@@ -654,6 +779,9 @@ pub fn reconstruct(
 }
 
 /// As [`reconstruct`], with the full option set (layout × triangulation).
+/// Runs the ring at `k = 1` (serial pipeline) unless
+/// [`ReconstructionConfig::pipeline_depth`] says otherwise, with no
+/// depth-table cache attached.
 pub fn reconstruct_with_options(
     device: &Device,
     source: &mut dyn SlabSource,
@@ -661,80 +789,229 @@ pub fn reconstruct_with_options(
     cfg: &ReconstructionConfig,
     opts: GpuOptions,
 ) -> Result<GpuReconstruction> {
-    validate_inputs(source, geom, cfg)?;
-    let mapper = geom.mapper()?;
-    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+    reconstruct_pipelined(device, source, geom, cfg, opts, PipelineDepth::SERIAL, None)
+}
 
-    device.reset_meters();
-    let mut recovery = RecoveryLog::default();
+/// Everything the ring learned while processing one row band.
+pub(crate) struct RingOutcome {
+    pub(crate) rows_per_slab: usize,
+    pub(crate) n_slabs: usize,
+    pub(crate) host_table_flops: u64,
+    /// Ring depth actually used (memory pressure may shrink it).
+    pub(crate) depth_used: usize,
+    pub(crate) cache_stats: TableCacheStats,
+}
+
+/// Resolve where the kernel's depth tables come from. With a cache
+/// attached in [`Triangulation::HostTables`] mode this is where warm runs
+/// win: the host table is fetched (or computed once) from the cache, and —
+/// budget permitting — installed as (or found already) device-resident.
+/// Returns the source plus the host FLOPs actually spent this run.
+#[allow(clippy::too_many_arguments)]
+fn resolve_table_source(
+    device: &Device,
+    upload_stream: StreamId,
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    cache: Option<&DepthTableCache>,
+    recovery: &mut RecoveryLog,
+    run: &mut TableCacheStats,
+) -> Result<(TableSource, u64)> {
+    if opts.triangulation != Triangulation::HostTables {
+        return Ok((TableSource::None, 0));
+    }
+    let Some(cache) = cache else {
+        return Ok((TableSource::PerSlab, 0));
+    };
+    let key = TableKey::new(geom, cfg);
+    let misses_before = run.host_misses;
+    let tables = cache.host_tables(&key, run, || DepthTables::compute(geom, mapper, cfg));
+    let host_flops = if run.host_misses > misses_before {
+        tables.host_flops
+    } else {
+        0
+    };
+    let n_rows = tables.n_rows;
+    if let Some(buf) = cache.lookup_device(device.id(), &key, run) {
+        // Warm path: the table survived from an earlier run (device memory
+        // persists across `reset_meters`), ready at virtual time 0.
+        return Ok((TableSource::Resident { buf, n_rows }, host_flops));
+    }
+    if cache.evict_to_fit(device.id(), tables.bytes(), run) {
+        let alloc = match device.alloc::<f64>(tables.depths.len()) {
+            Ok(buf) => Some(buf),
+            Err(cuda_sim::SimError::OutOfMemory { .. }) => {
+                // The card is fuller than the cache budget assumed; drop
+                // everything we hold there and retry once.
+                cache.evict_device(device.id(), run);
+                device.alloc::<f64>(tables.depths.len()).ok()
+            }
+            Err(e) => return Err(CoreError::Device(e)),
+        };
+        if let Some(buf) = alloc {
+            retry_transfer(device, upload_stream, recovery, || {
+                device.memcpy_htod_batched(upload_stream, &[(&buf, &tables.depths[..])])
+            })?;
+            cache.insert_device(device.id(), key, buf.clone(), run);
+            return Ok((TableSource::Resident { buf, n_rows }, host_flops));
+        }
+    }
+    // No residency (budget 0, table bigger than the budget, or the device
+    // is simply full): host cache still saves the triangulation FLOPs.
+    Ok((TableSource::HostSlice(tables), host_flops))
+}
+
+/// The k-deep ring: process the detector rows `band` on `device`, merging
+/// results into `image`.
+///
+/// Three streams — upload, compute, download — carry up to `depth.0` slab
+/// slots in flight. Each slab is chained by `wait_until` edges:
+/// kernel-after-upload, download-after-kernel, and (once the ring is full)
+/// next-upload-after-oldest-download, which is the slot-reuse edge that
+/// bounds device memory at `depth.0` slabs. `k = 1` degenerates to the
+/// serial copy-in → kernel → copy-out pipeline, bit-identically.
+///
+/// Recovery keeps PR 1's contract: transient transfer faults retry with
+/// exponential backoff inside [`retry_transfer`]; a device OOM drains every
+/// in-flight slot, then halves `rows_per_slab` (dropping the ring depth to
+/// 1 when slabs are already single-row) and re-runs the same rows. The
+/// error surfaces only at one row × depth 1.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_ring(
+    device: &Device,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
+    band: Range<usize>,
+    image: &mut DepthImage,
+    recovery: &mut RecoveryLog,
+) -> Result<RingOutcome> {
+    if depth.0 == 0 {
+        return Err(CoreError::InvalidConfig(
+            "pipeline depth must be at least 1".into(),
+        ));
+    }
+    let (n_images, n_cols) = (source.n_images(), source.n_cols());
+    let upload_stream = device.create_stream();
+    let compute_stream = device.create_stream();
+    let download_stream = device.create_stream();
+
     // Wire centres, shipped once (interleaved x, y, z).
     let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
     for w in geom.wire.centers() {
         wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
     }
     let wires = device.alloc::<f64>(wire_flat.len())?;
-    retry_transfer(device, StreamId::DEFAULT, &mut recovery, || {
-        device.memcpy_htod(&wires, &wire_flat)
+    retry_transfer(device, upload_stream, recovery, || {
+        device.memcpy_htod_on(upload_stream, &wires, &wire_flat)
     })?;
 
-    let budget = device.mem_capacity() - device.mem_used();
-    let mut rows_per_slab = match cfg.rows_per_slab {
-        Some(r) => r.min(n_rows),
-        None => fit_rows_per_slab(
-            budget,
-            n_rows,
-            n_images,
-            n_cols,
-            cfg.n_depth_bins,
-            opts,
-            false,
-        )?,
+    let mut cache_stats = TableCacheStats::default();
+    let (table_source, mut host_table_flops) = resolve_table_source(
+        device,
+        upload_stream,
+        geom,
+        mapper,
+        cfg,
+        opts,
+        cache,
+        recovery,
+        &mut cache_stats,
+    )?;
+    // A resident table is not part of the per-slab working set: size slabs
+    // as if triangulating in kernel (the budget below already excludes the
+    // resident bytes via `mem_used`).
+    let sizing_opts = match &table_source {
+        TableSource::Resident { .. } => GpuOptions {
+            triangulation: Triangulation::InKernel,
+            ..opts
+        },
+        _ => opts,
     };
 
-    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
+    let band_rows = band.end - band.start;
+    let budget = device.mem_capacity() - device.mem_used();
+    let mut slots = depth.0;
+    let mut rows_per_slab = match cfg.rows_per_slab {
+        Some(r) => r.min(band_rows),
+        None => loop {
+            // Plan-time fit: k slabs must be resident together. When even
+            // one row per slab does not fit at this depth, shallow the ring
+            // before giving up — overlap is an optimisation, capacity is
+            // not.
+            match fit_rows_per_slab(
+                budget,
+                band_rows,
+                n_images,
+                n_cols,
+                cfg.n_depth_bins,
+                sizing_opts,
+                slots,
+            ) {
+                Ok(r) => break r,
+                Err(CoreError::DeviceCapacity { .. }) if slots > 1 => slots = (slots / 2).max(1),
+                Err(e) => return Err(e),
+            }
+        },
+    };
+
+    // The ring proper: (upload, kernel-end time) pairs, oldest first.
+    let mut ring: VecDeque<(SlabUpload, f64)> = VecDeque::with_capacity(slots);
     let mut n_slabs = 0usize;
-    let mut host_table_flops = 0u64;
-    let mut row0 = 0usize;
-    while row0 < n_rows {
-        let rows = rows_per_slab.min(n_rows - row0);
-        // Run one slab end to end; on device OOM halve the plan and re-run
-        // the same rows (correctness is chunking-invariant: the download is
-        // an assignment over exactly the slab's rows, so a re-run at a
-        // smaller size overwrites cleanly and nothing double-counts).
+    let mut row0 = band.start;
+    while row0 < band.end {
+        let rows = rows_per_slab.min(band.end - row0);
         let attempt = (|| -> Result<u64> {
+            if ring.len() == slots {
+                // Free the oldest slot: download after its kernel, and gate
+                // the upcoming upload on the download so the reused memory
+                // is modeled as available only once the slot drains.
+                let (oldest, kernel_end) = ring.pop_front().expect("ring is full");
+                device.wait_until(download_stream, kernel_end);
+                let freed_at = download_slab(
+                    device,
+                    download_stream,
+                    &oldest,
+                    image,
+                    cfg,
+                    n_cols,
+                    recovery,
+                )?;
+                device.wait_until(upload_stream, freed_at);
+            }
             let upload = upload_slab(
                 device,
-                StreamId::DEFAULT,
+                upload_stream,
                 source,
                 geom,
-                &mapper,
+                mapper,
                 cfg,
                 opts,
+                &table_source,
                 row0,
                 rows,
-                &mut recovery,
+                recovery,
             )?;
-            launch_set_two(
+            device.wait_until(compute_stream, upload.ready_at);
+            let rec = launch_set_two(
                 device,
-                StreamId::DEFAULT,
+                compute_stream,
                 &upload,
                 &wires,
-                &mapper,
+                mapper,
                 cfg,
                 n_images,
                 n_cols,
             )?;
-            download_slab(
-                device,
-                StreamId::DEFAULT,
-                &upload,
-                &mut image,
-                cfg,
-                n_cols,
-                &mut recovery,
-            )?;
-            Ok(upload.host_flops)
-            // Buffers drop here, freeing device memory for the next slab.
+            let flops = upload.host_flops;
+            ring.push_back((upload, rec.end_s));
+            Ok(flops)
         })();
         match attempt {
             Ok(flops) => {
@@ -742,145 +1019,98 @@ pub fn reconstruct_with_options(
                 n_slabs += 1;
                 row0 += rows;
             }
-            Err(CoreError::Device(cuda_sim::SimError::OutOfMemory { .. })) if rows_per_slab > 1 => {
-                rows_per_slab /= 2;
+            Err(e @ CoreError::Device(cuda_sim::SimError::OutOfMemory { .. })) => {
+                // Drain every in-flight slot (their kernels already ran and
+                // their rows precede `row0`), freeing their memory, then
+                // shrink the plan and re-run the same rows. Correctness is
+                // chunking-invariant: downloads assign exactly their slab's
+                // rows, so a smaller re-run overwrites cleanly.
+                while let Some((oldest, kernel_end)) = ring.pop_front() {
+                    device.wait_until(download_stream, kernel_end);
+                    download_slab(
+                        device,
+                        download_stream,
+                        &oldest,
+                        image,
+                        cfg,
+                        n_cols,
+                        recovery,
+                    )?;
+                }
+                if rows_per_slab > 1 {
+                    rows_per_slab /= 2;
+                } else if slots > 1 {
+                    slots = 1;
+                } else {
+                    return Err(e);
+                }
                 recovery.replans += 1;
             }
             Err(e) => return Err(e),
         }
     }
+    // Drain the tail of the ring.
+    while let Some((oldest, kernel_end)) = ring.pop_front() {
+        device.wait_until(download_stream, kernel_end);
+        download_slab(
+            device,
+            download_stream,
+            &oldest,
+            image,
+            cfg,
+            n_cols,
+            recovery,
+        )?;
+    }
 
-    let elapsed_s = device.synchronize();
-    let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
-    Ok(GpuReconstruction {
-        image,
-        stats: stats_from_records(device, pairs_total),
-        meters: device.meters(),
+    if let Some(cache) = cache {
+        cache_stats.resident_bytes = cache.resident_bytes(device.id());
+    }
+    Ok(RingOutcome {
         rows_per_slab,
         n_slabs,
-        elapsed_s,
-        peak_device_mem: device.mem_peak(),
         host_table_flops,
-        recovery,
+        depth_used: slots,
+        cache_stats,
     })
 }
 
-/// Double-buffered variant: slab `i+1` uploads on a copy stream while slab
-/// `i` computes — the overlap optimisation the paper leaves as future work.
-/// Only the [`Layout::Flat1d`] layout is supported (the pointer layout's
-/// transfer storm makes overlap moot).
+/// Reconstruct with the k-deep transfer/compute ring and, optionally, a
+/// persistent depth-table cache.
 ///
-/// Transient transfer faults are retried like the serial pipeline's, but a
-/// device OOM propagates instead of triggering a re-plan: with two slabs in
-/// flight the failed allocation belongs to a pipeline stage whose partner
-/// is still executing, so the caller should fall back to
-/// [`reconstruct_with_options`] (which re-plans) or to the CPU engine.
-pub fn reconstruct_overlapped(
+/// `depth` is the default ring depth; [`ReconstructionConfig::pipeline_depth`]
+/// overrides it when set. The cache only participates in
+/// [`Triangulation::HostTables`] mode.
+pub fn reconstruct_pipelined(
     device: &Device,
     source: &mut dyn SlabSource,
     geom: &ScanGeometry,
     cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
 ) -> Result<GpuReconstruction> {
     validate_inputs(source, geom, cfg)?;
     let mapper = geom.mapper()?;
     let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+    let depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
 
     device.reset_meters();
     let mut recovery = RecoveryLog::default();
-    let copy_stream = device.create_stream();
-    let compute_stream = device.create_stream();
-
-    let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
-    for w in geom.wire.centers() {
-        wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
-    }
-    let wires = device.alloc::<f64>(wire_flat.len())?;
-    retry_transfer(device, copy_stream, &mut recovery, || {
-        device.memcpy_htod_on(copy_stream, &wires, &wire_flat)
-    })?;
-
-    let budget = device.mem_capacity() - device.mem_used();
-    let rows_per_slab = match cfg.rows_per_slab {
-        Some(r) => r.min(n_rows),
-        None => fit_rows_per_slab(
-            budget,
-            n_rows,
-            n_images,
-            n_cols,
-            cfg.n_depth_bins,
-            GpuOptions::default(),
-            true,
-        )?,
-    };
-
     let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
-    let mut slab_starts = Vec::new();
-    let mut row0 = 0usize;
-    while row0 < n_rows {
-        let rows = rows_per_slab.min(n_rows - row0);
-        slab_starts.push((row0, rows));
-        row0 += rows;
-    }
-
-    // Pipeline: in-flight holds the previous slab until its kernel is done.
-    let mut in_flight: Option<(SlabUpload, f64)> = None; // (upload, kernel end)
-    let mut n_slabs = 0usize;
-    for &(row0, rows) in &slab_starts {
-        // Upload slab on the copy stream. Reusing freed memory is safe in
-        // virtual time because the previous slab's buffers are only dropped
-        // after its kernel's end time has been sequenced before this
-        // upload's start via the wait below.
-        let upload = upload_slab(
-            device,
-            copy_stream,
-            source,
-            geom,
-            &mapper,
-            cfg,
-            GpuOptions::default(),
-            row0,
-            rows,
-            &mut recovery,
-        )?;
-        if let Some((prev, prev_end)) = in_flight.take() {
-            // Drain the previous slab: download after its kernel.
-            device.wait_until(copy_stream, prev_end);
-            download_slab(
-                device,
-                compute_stream,
-                &prev,
-                &mut image,
-                cfg,
-                n_cols,
-                &mut recovery,
-            )?;
-        }
-        // The kernel must wait for this slab's copies.
-        device.wait_until(compute_stream, upload.ready_at);
-        let rec = launch_set_two(
-            device,
-            compute_stream,
-            &upload,
-            &wires,
-            &mapper,
-            cfg,
-            n_images,
-            n_cols,
-        )?;
-        in_flight = Some((upload, rec.end_s));
-        n_slabs += 1;
-    }
-    if let Some((prev, _)) = in_flight.take() {
-        download_slab(
-            device,
-            compute_stream,
-            &prev,
-            &mut image,
-            cfg,
-            n_cols,
-            &mut recovery,
-        )?;
-    }
+    let outcome = run_ring(
+        device,
+        source,
+        geom,
+        &mapper,
+        cfg,
+        opts,
+        depth,
+        cache,
+        0..n_rows,
+        &mut image,
+        &mut recovery,
+    )?;
 
     let elapsed_s = device.synchronize();
     let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
@@ -888,12 +1118,14 @@ pub fn reconstruct_overlapped(
         image,
         stats: stats_from_records(device, pairs_total),
         meters: device.meters(),
-        rows_per_slab,
-        n_slabs,
+        rows_per_slab: outcome.rows_per_slab,
+        n_slabs: outcome.n_slabs,
         elapsed_s,
         peak_device_mem: device.mem_peak(),
-        host_table_flops: 0,
+        host_table_flops: outcome.host_table_flops,
         recovery,
+        pipeline_depth: outcome.depth_used,
+        table_cache: outcome.cache_stats,
     })
 }
 
@@ -988,7 +1220,7 @@ mod tests {
         let (geom, cfg, data) = demo();
         // Budget only fits ~2 rows: intensity 10 img × 6 cols × 8 B = 480 B
         // per row, output 40 bins × 48 B per row...
-        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), false);
+        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), 1);
         let device = Device::new(DeviceProps::tiny(3 * need_1));
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
@@ -1136,7 +1368,7 @@ mod tests {
         let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
 
         let device = big_device();
-        let need_2 = slab_bytes(2, 10, 6, 40, GpuOptions::default(), false);
+        let need_2 = slab_bytes(2, 10, 6, 40, GpuOptions::default(), 1);
         device.set_fault_plan(cuda_sim::FaultPlan::new(0).report_mem_bytes(2 * need_2));
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
@@ -1153,12 +1385,14 @@ mod tests {
     }
 
     #[test]
-    fn overlapped_pipeline_retries_transfers() {
+    fn ring_pipeline_retries_transfers() {
         let (geom, mut cfg, data) = demo();
         cfg.rows_per_slab = Some(2);
+        cfg.pipeline_depth = Some(3);
         let device = big_device();
         let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
-        let clean = reconstruct_overlapped(&device, &mut source, &geom, &cfg).unwrap();
+        let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(clean.pipeline_depth, 3);
 
         let device = big_device();
         device.set_fault_plan(
@@ -1167,7 +1401,7 @@ mod tests {
                 .h2d_fault_rate(0.25),
         );
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
-        let out = reconstruct_overlapped(&device, &mut source, &geom, &cfg).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
         assert!(out.recovery.transfer_retries > 0);
         assert_eq!(out.image.data, clean.image.data);
     }
@@ -1192,20 +1426,171 @@ mod tests {
     }
 
     #[test]
-    fn overlap_beats_serial_pipeline() {
+    fn deeper_rings_shorten_the_makespan() {
         let (geom, mut cfg, data) = demo();
         cfg.rows_per_slab = Some(1); // many slabs → pipelining matters
         let device = big_device();
-        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
-        let serial = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
-        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
-        let overlapped = reconstruct_overlapped(&device, &mut source, &geom, &cfg).unwrap();
-        assert_eq!(serial.image.data, overlapped.image.data);
+        let run_depth = |k: usize| {
+            let mut cfg = cfg.clone();
+            cfg.pipeline_depth = Some(k);
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap()
+        };
+        let serial = run_depth(1);
+        let double = run_depth(2);
+        let triple = run_depth(3);
+        assert_eq!(serial.image.data, double.image.data);
+        assert_eq!(serial.image.data, triple.image.data);
+        assert_eq!(serial.stats, double.stats);
         assert!(
-            overlapped.elapsed_s < serial.elapsed_s,
+            double.elapsed_s < serial.elapsed_s,
             "double buffering must shorten the makespan: {} vs {}",
-            overlapped.elapsed_s,
+            double.elapsed_s,
             serial.elapsed_s
+        );
+        assert!(
+            triple.elapsed_s <= double.elapsed_s + 1e-12,
+            "k = 3 must not be slower than k = 2: {} vs {}",
+            triple.elapsed_s,
+            double.elapsed_s
+        );
+        // The serial ring is exactly the unoverlapped pipeline.
+        assert!(
+            (serial.elapsed_s - serial.meters.serial_total_s()).abs() < 1e-12,
+            "k = 1 has no overlap"
+        );
+    }
+
+    #[test]
+    fn ring_survives_injected_oom_mid_flight() {
+        // OOM while slots are in flight: the ring must drain, halve the
+        // plan, and still converge bit-identically.
+        let (geom, mut cfg, data) = demo();
+        cfg.pipeline_depth = Some(3);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let device = big_device();
+        device.set_fault_plan(cuda_sim::FaultPlan::new(1).fail_nth_alloc(3));
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(out.recovery.replans >= 1, "OOM must trigger a re-plan");
+        assert_eq!(out.image.data, clean.image.data);
+        assert_eq!(out.stats, clean.stats);
+    }
+
+    #[test]
+    fn ring_depth_degrades_to_serial_when_memory_is_tight() {
+        // A card that fits exactly one single-slot slab: requesting k = 4
+        // must degrade the ring rather than error.
+        let (geom, cfg, data) = demo();
+        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), 1);
+        // Headroom: the planner reserves 10 % + the wire table.
+        let device = Device::new(DeviceProps::tiny(2 * need_1));
+        let mut cfg = cfg.clone();
+        cfg.pipeline_depth = Some(4);
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert!(
+            out.pipeline_depth < 4,
+            "requested depth cannot fit: {}",
+            out.pipeline_depth
+        );
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert_eq!(out.image.data, cpu_out.image.data);
+    }
+
+    #[test]
+    fn cached_tables_are_bit_identical_and_save_work() {
+        let (geom, cfg, data) = demo();
+        let opts = GpuOptions {
+            layout: Layout::Flat1d,
+            triangulation: Triangulation::HostTables,
+            ..GpuOptions::default()
+        };
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let fresh = reconstruct_with_options(&device, &mut source, &geom, &cfg, opts).unwrap();
+
+        let cache = crate::cache::DepthTableCache::new(16 * 1024 * 1024);
+        let device = big_device();
+        let run = |device: &Device| {
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            reconstruct_pipelined(
+                device,
+                &mut source,
+                &geom,
+                &cfg,
+                opts,
+                PipelineDepth::SERIAL,
+                Some(&cache),
+            )
+            .unwrap()
+        };
+        let cold = run(&device);
+        assert_eq!(cold.image.data, fresh.image.data, "cache changes nothing");
+        assert_eq!(cold.stats, fresh.stats);
+        assert_eq!(cold.table_cache.host_misses, 1);
+        assert_eq!(cold.table_cache.device_misses, 1);
+        assert!(cold.host_table_flops > 0, "cold run pays the triangulation");
+
+        let warm = run(&device);
+        assert_eq!(warm.image.data, fresh.image.data, "warm run bit-identical");
+        assert_eq!(warm.stats, fresh.stats);
+        assert_eq!(warm.table_cache.host_hits, 1);
+        assert_eq!(warm.table_cache.device_hits, 1);
+        assert_eq!(warm.host_table_flops, 0, "warm run skips the host FLOPs");
+        assert!(
+            warm.meters.h2d_bytes < cold.meters.h2d_bytes,
+            "resident table is not re-uploaded: {} vs {}",
+            warm.meters.h2d_bytes,
+            cold.meters.h2d_bytes
+        );
+        assert!(
+            warm.elapsed_s < cold.elapsed_s,
+            "warm run is faster in virtual time: {} vs {}",
+            warm.elapsed_s,
+            cold.elapsed_s
+        );
+    }
+
+    #[test]
+    fn cache_without_residency_budget_still_saves_host_flops() {
+        let (geom, cfg, data) = demo();
+        let opts = GpuOptions {
+            layout: Layout::Flat1d,
+            triangulation: Triangulation::HostTables,
+            ..GpuOptions::default()
+        };
+        let cache = crate::cache::DepthTableCache::new(0); // no residency
+        let device = big_device();
+        let run = || {
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            reconstruct_pipelined(
+                &device,
+                &mut source,
+                &geom,
+                &cfg,
+                opts,
+                PipelineDepth::SERIAL,
+                Some(&cache),
+            )
+            .unwrap()
+        };
+        let cold = run();
+        let warm = run();
+        assert_eq!(cold.image.data, warm.image.data);
+        assert_eq!(
+            warm.table_cache.device_hits, 0,
+            "budget 0 disables residency"
+        );
+        assert_eq!(warm.table_cache.host_hits, 1);
+        assert_eq!(warm.host_table_flops, 0);
+        assert_eq!(
+            warm.meters.h2d_bytes, cold.meters.h2d_bytes,
+            "tables still ship per slab"
         );
     }
 
@@ -1360,27 +1745,27 @@ mod tests {
     #[test]
     fn fit_rows_per_slab_is_maximal() {
         let budget = 10 * 1024 * 1024;
-        let rows =
-            fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), false).unwrap();
+        let rows = fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), 1).unwrap();
         assert!(rows >= 1);
-        let used = slab_bytes(rows, 32, 128, 64, GpuOptions::default(), false);
-        let next = slab_bytes(rows + 1, 32, 128, 64, GpuOptions::default(), false);
+        let used = slab_bytes(rows, 32, 128, 64, GpuOptions::default(), 1);
+        let next = slab_bytes(rows + 1, 32, 128, 64, GpuOptions::default(), 1);
         let headroom = budget - budget / 10;
         assert!(
             used <= headroom && next > headroom,
             "{used} {next} {headroom}"
         );
-        // Double buffering halves the slab.
-        let rows_db =
-            fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), true).unwrap();
-        assert!(rows_db <= rows / 2 + 1);
+        // Each additional ring slot shrinks the slab further.
+        let rows_2 = fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), 2).unwrap();
+        assert!(rows_2 <= rows / 2 + 1);
+        let rows_4 = fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), 4).unwrap();
+        assert!(rows_4 <= rows_2);
         // The depth table enlarges the working set, shrinking the slab.
         let opts_tables = GpuOptions {
             layout: Layout::Flat1d,
             triangulation: Triangulation::HostTables,
             ..GpuOptions::default()
         };
-        let rows_tbl = fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, false).unwrap();
+        let rows_tbl = fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, 1).unwrap();
         assert!(rows_tbl <= rows);
     }
 }

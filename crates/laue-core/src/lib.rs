@@ -38,6 +38,7 @@
 //! they agree bit-for-bit when the simulated device executes sequentially,
 //! and within floating-point reassociation tolerance when threaded.
 
+pub mod cache;
 pub mod calibrate;
 pub mod config;
 pub mod cpu;

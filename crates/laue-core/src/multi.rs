@@ -2,20 +2,24 @@
 //! opens (Schaa & Kaeli, §II) but its implementation never explores.
 //!
 //! The detector is split into contiguous row bands, one per device; each
-//! device runs the paper's single-stream slab pipeline over its band.
-//! Bands are disjoint, so no cross-device synchronisation is needed and the
-//! result is bit-identical to the single-GPU run. In virtual time the
-//! devices work concurrently: the makespan is the slowest device's
-//! timeline (each device owns its PCIe link, as in a multi-socket node).
+//! device runs the k-deep ring pipeline over its band. Bands are disjoint,
+//! so no cross-device synchronisation is needed and the result is
+//! bit-identical to the single-GPU run. In virtual time the devices work
+//! concurrently: the makespan is the slowest device's timeline (each
+//! device owns its PCIe link, as in a multi-socket node).
+//!
+//! A shared [`DepthTableCache`] pays the host-side triangulation once for
+//! the whole fleet (devices after the first hit the host cache) and keeps
+//! per-device resident tables for warm re-runs.
 
-use cuda_sim::{Device, Meters, StreamId};
+use cuda_sim::{Device, Meters};
 
+use crate::cache::{DepthTableCache, TableCacheStats};
 use crate::config::ReconstructionConfig;
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::gpu::{
-    download_slab, fit_rows_per_slab, launch_set_two, stats_from_records, upload_slab,
-    validate_inputs, GpuOptions, RecoveryLog,
+    run_ring, stats_from_records, validate_inputs, GpuOptions, PipelineDepth, RecoveryLog,
 };
 use crate::input::SlabSource;
 use crate::output::DepthImage;
@@ -38,6 +42,9 @@ pub struct MultiGpuReconstruction {
     /// Aggregate recovery actions (re-plans, transfer retries) over all
     /// devices.
     pub recovery: RecoveryLog,
+    /// Depth-table cache accounting, merged over all devices (all zeros
+    /// when no cache was attached).
+    pub table_cache: TableCacheStats,
 }
 
 /// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
@@ -55,7 +62,8 @@ pub(crate) fn row_bands(n_rows: usize, n: usize) -> Vec<std::ops::Range<usize>> 
     bands
 }
 
-/// Reconstruct across several devices, one row band per device.
+/// Reconstruct across several devices, one row band per device, with the
+/// serial (`k = 1`) pipeline and no table cache.
 pub fn reconstruct_multi(
     devices: &[&Device],
     source: &mut dyn SlabSource,
@@ -63,100 +71,67 @@ pub fn reconstruct_multi(
     cfg: &ReconstructionConfig,
     opts: GpuOptions,
 ) -> Result<MultiGpuReconstruction> {
+    reconstruct_multi_pipelined(
+        devices,
+        source,
+        geom,
+        cfg,
+        opts,
+        PipelineDepth::SERIAL,
+        None,
+    )
+}
+
+/// As [`reconstruct_multi`], with a configurable ring depth per device and
+/// an optional shared depth-table cache.
+/// [`ReconstructionConfig::pipeline_depth`] overrides `depth` when set.
+pub fn reconstruct_multi_pipelined(
+    devices: &[&Device],
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
+) -> Result<MultiGpuReconstruction> {
     if devices.is_empty() {
         return Err(CoreError::InvalidConfig("need at least one device".into()));
     }
     validate_inputs(source, geom, cfg)?;
     let mapper = geom.mapper()?;
     let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+    let depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
     let bands = row_bands(n_rows, devices.len());
-
-    let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
-    for w in geom.wire.centers() {
-        wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
-    }
 
     let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
     let mut per_device = Vec::with_capacity(bands.len());
     let mut stats = ReconStats::default();
     let mut elapsed_s: f64 = 0.0;
     let mut rows_per_device = Vec::with_capacity(bands.len());
+    let mut table_cache = TableCacheStats::default();
 
     let mut recovery = RecoveryLog::default();
     for (device, band) in devices.iter().zip(&bands) {
         device.reset_meters();
-        let wires = device.alloc_from_slice(&wire_flat)?;
-        let budget = device.mem_capacity() - device.mem_used();
-        let mut rows_per_slab = match cfg.rows_per_slab {
-            Some(r) => r.min(band.len()),
-            None => fit_rows_per_slab(
-                budget,
-                band.len().max(1),
-                n_images,
-                n_cols,
-                cfg.n_depth_bins,
-                opts,
-                false,
-            )?,
-        };
-        let mut row0 = band.start;
-        let mut band_pairs = 0u64;
-        while row0 < band.end {
-            let rows = rows_per_slab.min(band.end - row0);
-            // Same recovery contract as the single-device pipeline: on
-            // device OOM, halve this device's slab plan and re-run the same
-            // rows (the download is an assignment, so nothing double-counts).
-            let attempt = (|| -> Result<()> {
-                let upload = upload_slab(
-                    device,
-                    StreamId::DEFAULT,
-                    source,
-                    geom,
-                    &mapper,
-                    cfg,
-                    opts,
-                    row0,
-                    rows,
-                    &mut recovery,
-                )?;
-                launch_set_two(
-                    device,
-                    StreamId::DEFAULT,
-                    &upload,
-                    &wires,
-                    &mapper,
-                    cfg,
-                    n_images,
-                    n_cols,
-                )?;
-                download_slab(
-                    device,
-                    StreamId::DEFAULT,
-                    &upload,
-                    &mut image,
-                    cfg,
-                    n_cols,
-                    &mut recovery,
-                )
-            })();
-            match attempt {
-                Ok(()) => {
-                    band_pairs += (rows * n_cols * (n_images - 1)) as u64;
-                    row0 += rows;
-                }
-                Err(CoreError::Device(cuda_sim::SimError::OutOfMemory { .. }))
-                    if rows_per_slab > 1 =>
-                {
-                    rows_per_slab /= 2;
-                    recovery.replans += 1;
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        let outcome = run_ring(
+            device,
+            source,
+            geom,
+            &mapper,
+            cfg,
+            opts,
+            depth,
+            cache,
+            band.clone(),
+            &mut image,
+            &mut recovery,
+        )?;
+        let band_pairs = (band.len() * n_cols * (n_images - 1)) as u64;
         elapsed_s = elapsed_s.max(device.synchronize());
         stats.merge(&stats_from_records(device, band_pairs));
         per_device.push(device.meters());
         rows_per_device.push(band.len());
+        table_cache.merge(&outcome.cache_stats);
     }
 
     Ok(MultiGpuReconstruction {
@@ -166,6 +141,7 @@ pub fn reconstruct_multi(
         rows_per_device,
         elapsed_s,
         recovery,
+        table_cache,
     })
 }
 
@@ -268,7 +244,7 @@ mod tests {
         faulty[1].set_fault_plan(
             cuda_sim::FaultPlan::new(5)
                 .fail_nth_alloc(3)
-                .fail_nth_h2d(4),
+                .fail_nth_h2d(2),
         );
         let refs: Vec<&Device> = faulty.iter().collect();
         let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
@@ -281,6 +257,51 @@ mod tests {
             "recovery is invisible in the output"
         );
         assert_eq!(out.stats, ref_out.stats);
+    }
+
+    #[test]
+    fn pipelined_fleet_with_shared_cache_matches_bitwise() {
+        let (geom, cfg, data) = demo();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let single = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let opts = GpuOptions {
+            triangulation: crate::gpu::Triangulation::HostTables,
+            ..GpuOptions::default()
+        };
+        let ref_out =
+            gpu::reconstruct_with_options(&single, &mut source, &geom, &cfg, opts).unwrap();
+
+        let devices: Vec<Device> = (0..3)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        let refs: Vec<&Device> = devices.iter().collect();
+        let cache = DepthTableCache::new(8 * 1024 * 1024);
+        let run = |source: &mut dyn crate::input::SlabSource| {
+            reconstruct_multi_pipelined(
+                &refs,
+                source,
+                &geom,
+                &cfg,
+                opts,
+                PipelineDepth(2),
+                Some(&cache),
+            )
+            .unwrap()
+        };
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let cold = run(&mut source);
+        assert_eq!(cold.image.data, ref_out.image.data);
+        assert_eq!(cold.stats, ref_out.stats);
+        // One host miss for the fleet; the other devices hit the host cache.
+        assert_eq!(cold.table_cache.host_misses, 1);
+        assert_eq!(cold.table_cache.host_hits, 2);
+        assert_eq!(cold.table_cache.device_misses, 3, "one upload per device");
+
+        let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
+        let warm = run(&mut source);
+        assert_eq!(warm.image.data, ref_out.image.data);
+        assert_eq!(warm.table_cache.device_hits, 3, "all tables resident");
+        assert!(warm.elapsed_s < cold.elapsed_s);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! CPU ≡ GPU, chunking invariance, intensity conservation, cutoff monotonicity.
 
 use cuda_sim::{Device, DeviceProps, ExecMode};
-use laue_core::gpu::Layout;
+use laue_core::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
+use laue_core::gpu::{GpuOptions, Layout, PipelineDepth, Triangulation};
 use laue_core::{cpu, gpu, InMemorySlabSource, ReconstructionConfig, ScanGeometry, ScanView};
 use proptest::prelude::*;
 
@@ -171,5 +172,56 @@ proptest! {
             (got - expected).abs() <= 1e-6 * (1.0 + expected.abs()),
             "conservation: got {}, expected {}", got, expected
         );
+    }
+
+    /// Cached depth tables are bit-identical to freshly computed ones for
+    /// any geometry, and a cache hit never recomputes.
+    #[test]
+    fn cached_tables_bit_identical_to_fresh(s in arb_scenario()) {
+        let geom = geometry(&s);
+        let cfg = config(&s);
+        let mapper = geom.mapper().unwrap();
+        let fresh = DepthTables::compute(&geom, &mapper, &cfg);
+        let key = TableKey::new(&geom, &cfg);
+        let cache = DepthTableCache::new(16 * 1024 * 1024);
+        let mut run = TableCacheStats::default();
+        let cached = cache.host_tables(&key, &mut run, || DepthTables::compute(&geom, &mapper, &cfg));
+        let hit = cache.host_tables(&key, &mut run, || panic!("a hit must not recompute"));
+        prop_assert_eq!(run.host_misses, 1);
+        prop_assert_eq!(run.host_hits, 1);
+        // Compare bit patterns: missed pixels are NaN, which `==` rejects.
+        let bits = |t: &DepthTables| t.depths.iter().map(|d| d.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(bits(&fresh), bits(&cached));
+        prop_assert_eq!(bits(&cached), bits(&hit));
+    }
+
+    /// A warm-cache reconstruction (host tables found, device-resident
+    /// buffer reused) is bit-identical to the cold run for any geometry.
+    #[test]
+    fn warm_cache_reconstruction_matches_cold(s in arb_scenario()) {
+        let geom = geometry(&s);
+        let cfg = config(&s);
+        let device = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let cache = DepthTableCache::new(8 * 1024 * 1024);
+        let opts = GpuOptions {
+            triangulation: Triangulation::HostTables,
+            ..GpuOptions::default()
+        };
+        let run = || {
+            let mut src =
+                InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+            gpu::reconstruct_pipelined(
+                &device, &mut src, &geom, &cfg, opts, PipelineDepth(2), Some(&cache),
+            )
+            .unwrap()
+        };
+        let cold = run();
+        let warm = run();
+        prop_assert_eq!(cold.table_cache.host_misses, 1);
+        prop_assert_eq!(warm.table_cache.host_hits, 1);
+        prop_assert_eq!(warm.table_cache.device_hits, 1);
+        prop_assert_eq!(warm.host_table_flops, 0);
+        prop_assert_eq!(&cold.image.data, &warm.image.data);
+        prop_assert_eq!(cold.stats, warm.stats);
     }
 }

@@ -63,6 +63,15 @@ pub struct ReconstructArgs {
     pub bins: usize,
     pub cutoff: f64,
     pub rows_per_slab: Option<usize>,
+    /// Ring depth of the GPU transfer/compute pipeline (`--pipeline-depth`).
+    pub pipeline_depth: Option<usize>,
+    /// Device-resident depth-table cache budget, MiB (`--table-cache-mb`;
+    /// 0 disables residency).
+    pub table_cache_mb: Option<u64>,
+    /// Simulated-kernel worker threads (`--sim-workers`, resolved at parse
+    /// time: `0`/`auto` → the host's available parallelism). `None` keeps
+    /// the deterministic sequential executor.
+    pub sim_workers: Option<usize>,
     /// Detector region of interest: `(r0, c0, rows, cols)`.
     pub roi: Option<(usize, usize, usize, usize)>,
     /// What to do when a GPU engine fails unrecoverably.
@@ -84,11 +93,29 @@ pub fn parse_engine(s: &str) -> std::result::Result<Engine, String> {
         "gpu" | "gpu-1d" => Ok(Engine::Gpu { layout: Layout::Flat1d }),
         "gpu-3d" => Ok(Engine::Gpu { layout: Layout::Pointer3d }),
         "gpu-tables" => Ok(Engine::GpuTables),
-        "gpu-overlap" => Ok(Engine::GpuOverlapped),
+        "gpu-pipe" => Ok(Engine::GpuPipelined),
         other => Err(format!(
-            "unknown engine {other:?} (try cpu, cpu-threaded:N, gpu-1d, gpu-3d, gpu-tables, gpu-overlap)"
+            "unknown engine {other:?} (try cpu, cpu-threaded:N, gpu-1d, gpu-3d, gpu-tables, gpu-pipe)"
         )),
     }
+}
+
+/// Parse a `--sim-workers` value: a thread count, or `0`/`auto` for the
+/// host's available parallelism.
+pub fn parse_sim_workers(s: &str) -> std::result::Result<usize, String> {
+    let n: usize = if s == "auto" {
+        0
+    } else {
+        s.parse()
+            .map_err(|_| format!("bad --sim-workers {s:?} (want a count, 0, or auto)"))?
+    };
+    Ok(if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    })
 }
 
 /// Parse an `--on-gpu-failure` policy name.
@@ -279,6 +306,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 bins: get_parse(&flags, "bins", 400)?,
                 cutoff: get_parse(&flags, "cutoff", 0.0)?,
                 rows_per_slab: None,
+                pipeline_depth: None,
+                table_cache_mb: None,
+                sim_workers: None,
                 roi: None,
                 on_gpu_failure: GpuFailurePolicy::default(),
                 inject_fault: None,
@@ -304,6 +334,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "bins",
                     "cutoff",
                     "rows-per-slab",
+                    "pipeline-depth",
+                    "table-cache-mb",
+                    "sim-workers",
                     "roi",
                     "on-gpu-failure",
                     "inject-gpu-fault",
@@ -347,6 +380,24 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     .get("rows-per-slab")
                     .map(|v| v.parse().map_err(|_| format!("bad --rows-per-slab: {v:?}")))
                     .transpose()?,
+                pipeline_depth: flags
+                    .get("pipeline-depth")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("bad --pipeline-depth: {v:?}"))
+                    })
+                    .transpose()?,
+                table_cache_mb: flags
+                    .get("table-cache-mb")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("bad --table-cache-mb: {v:?}"))
+                    })
+                    .transpose()?,
+                sim_workers: flags
+                    .get("sim-workers")
+                    .map(|v| parse_sim_workers(v))
+                    .transpose()?,
                 roi,
                 on_gpu_failure: match flags.get("on-gpu-failure") {
                     None => GpuFailurePolicy::default(),
@@ -386,7 +437,8 @@ USAGE:
                    [--histogram <file.txt>] [--trace <trace.json>]
                    [--variance <sigma.mh5>] [--roi r0:c0:rows:cols]
                    [--depth-start UM] [--depth-end UM] [--bins N]
-                   [--cutoff C] [--rows-per-slab R]
+                   [--cutoff C] [--rows-per-slab R] [--pipeline-depth K]
+                   [--table-cache-mb M] [--sim-workers N|0|auto]
                    [--on-gpu-failure abort|fallback-cpu]
                    [--inject-gpu-fault k=v,…]
   laue validate    --input <scan.mh5> [same options as reconstruct]
@@ -395,7 +447,15 @@ USAGE:
   laue inspect     <file.mh5>
 
 ENGINES:
-  cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-overlap
+  cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-pipe
+
+GPU PIPELINE:
+  --pipeline-depth K   ring depth: slab slots in flight (1 = serial;
+                       gpu-pipe defaults to 3, other GPU engines to 1)
+  --table-cache-mb M   device-resident depth-table budget in MiB
+                       (default: a quarter of device memory; 0 disables)
+  --sim-workers N      simulated-kernel worker threads (0 or auto = all
+                       host cores; default: deterministic sequential)
 
 GPU FAULT HANDLING:
   --on-gpu-failure abort         surface GPU errors (default)
@@ -411,7 +471,21 @@ fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
     let mut cfg = ReconstructionConfig::new(args.depth_start, args.depth_end, args.bins);
     cfg.intensity_cutoff = args.cutoff;
     cfg.rows_per_slab = args.rows_per_slab;
+    cfg.pipeline_depth = args.pipeline_depth;
     cfg
+}
+
+fn recon_pipeline(args: &ReconstructArgs) -> Pipeline {
+    Pipeline {
+        on_gpu_failure: args.on_gpu_failure,
+        fault_plan: args.inject_fault.clone(),
+        exec_mode: match args.sim_workers {
+            Some(n) => cuda_sim::ExecMode::Threaded(n),
+            None => cuda_sim::ExecMode::Sequential,
+        },
+        table_cache_mb: args.table_cache_mb,
+        ..Pipeline::default()
+    }
 }
 
 /// Execute a parsed command, writing human output to `out`.
@@ -444,11 +518,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
         }
         Command::Reconstruct(a) => {
             let cfg = recon_config(a);
-            let pipeline = Pipeline {
-                on_gpu_failure: a.on_gpu_failure,
-                fault_plan: a.inject_fault.clone(),
-                ..Pipeline::default()
-            };
+            let pipeline = recon_pipeline(a);
             let mut scan = laue_wire::ScanFile::open(&a.input)?;
             let geometry = scan.geometry().clone();
             let report = match a.roi {
@@ -510,23 +580,22 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     transfers: 0,
                     gpu_replans: 0,
                     gpu_transfer_retries: 0,
+                    pipeline_depth: 0,
+                    table_cache: laue_core::cache::TableCacheStats::default(),
                     fallback: None,
                 };
                 crate::export::write_mh5(path, &var_report, &cfg)?;
                 writeln!(out, "wrote {path} (per-bin variance; σ = sqrt)")?;
             }
             if let Some(path) = &a.trace {
-                // Re-run on a dedicated device to capture the op timeline.
-                let device = cuda_sim::Device::new(pipeline.device.clone());
-                let mut scan = laue_wire::ScanFile::open(&a.input)?;
-                let geometry = scan.geometry().clone();
-                if a.engine.is_gpu() {
-                    laue_core::gpu::reconstruct(
-                        &device,
-                        &mut scan,
-                        &geometry,
-                        &cfg,
-                        laue_core::gpu::Layout::Flat1d,
+                // Re-run the engine's own schedule (layout, ring depth) on a
+                // dedicated device to capture the op timeline.
+                if let Some((opts, depth)) = a.engine.gpu_plan() {
+                    let device = cuda_sim::Device::new(pipeline.device.clone());
+                    let mut scan = laue_wire::ScanFile::open(&a.input)?;
+                    let geometry = scan.geometry().clone();
+                    laue_core::gpu::reconstruct_pipelined(
+                        &device, &mut scan, &geometry, &cfg, opts, depth, None,
                     )?;
                     std::fs::write(path, device.export_chrome_trace())?;
                     writeln!(out, "wrote {path} (open in chrome://tracing)")?;
@@ -538,11 +607,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
         }
         Command::Validate(a) => {
             let cfg = recon_config(a);
-            let pipeline = Pipeline {
-                on_gpu_failure: a.on_gpu_failure,
-                fault_plan: a.inject_fault.clone(),
-                ..Pipeline::default()
-            };
+            let pipeline = recon_pipeline(a);
             let scan = laue_wire::ScanFile::open(&a.input)?;
             let Some(truth) = scan.truth().cloned() else {
                 return Err(PipelineError::Wire(laue_wire::WireError::MissingField(
@@ -652,9 +717,64 @@ mod tests {
             }
         );
         assert_eq!(parse_engine("gpu-tables").unwrap(), Engine::GpuTables);
-        assert_eq!(parse_engine("gpu-overlap").unwrap(), Engine::GpuOverlapped);
+        assert_eq!(parse_engine("gpu-pipe").unwrap(), Engine::GpuPipelined);
         assert!(parse_engine("tpu").is_err());
+        assert!(
+            parse_engine("gpu-overlap").is_err(),
+            "superseded by gpu-pipe"
+        );
         assert!(parse_engine("cpu-threaded:x").is_err());
+    }
+
+    #[test]
+    fn pipeline_and_worker_flags_parse() {
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "scan.mh5",
+            "--engine",
+            "gpu-pipe",
+            "--pipeline-depth",
+            "4",
+            "--table-cache-mb",
+            "64",
+            "--sim-workers",
+            "3",
+        ]))
+        .unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.engine, Engine::GpuPipelined);
+        assert_eq!(a.pipeline_depth, Some(4));
+        assert_eq!(a.table_cache_mb, Some(64));
+        assert_eq!(a.sim_workers, Some(3));
+
+        // 0 and auto resolve to the host's parallelism, at least one thread.
+        assert!(parse_sim_workers("auto").unwrap() >= 1);
+        assert_eq!(
+            parse_sim_workers("auto").unwrap(),
+            parse_sim_workers("0").unwrap()
+        );
+        assert!(parse_sim_workers("four").is_err());
+
+        // Absent flags keep the deterministic defaults.
+        let cmd = parse(&sv(&["reconstruct", "--input", "scan.mh5"])).unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.pipeline_depth, None);
+        assert_eq!(a.table_cache_mb, None);
+        assert_eq!(a.sim_workers, None);
+        assert!(parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "x",
+            "--pipeline-depth",
+            "deep"
+        ]))
+        .unwrap_err()
+        .contains("pipeline-depth"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Engine selection.
 
-use laue_core::gpu::Layout;
+use laue_core::gpu::{GpuOptions, Layout, PipelineDepth, Triangulation};
 
 /// Which implementation reconstructs the scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,8 +14,10 @@ pub enum Engine {
     /// GPU with host-precomputed depth tables (the paper's
     /// `edge`/`gpuPointArray` design point).
     GpuTables,
-    /// Double-buffered two-stream GPU pipeline (the overlap ablation).
-    GpuOverlapped,
+    /// k-deep ring-buffered three-stream GPU pipeline (the transfer/compute
+    /// overlap ablation; ring depth defaults to 3 and is overridden by
+    /// `ReconstructionConfig::pipeline_depth`).
+    GpuPipelined,
 }
 
 impl Engine {
@@ -31,16 +33,49 @@ impl Engine {
                 layout: Layout::Pointer3d,
             } => "gpu-3d".to_string(),
             Engine::GpuTables => "gpu-tables".to_string(),
-            Engine::GpuOverlapped => "gpu-overlap".to_string(),
+            Engine::GpuPipelined => "gpu-pipe".to_string(),
         }
     }
 
     /// Does this engine run on the simulated device?
     pub fn is_gpu(&self) -> bool {
-        matches!(
-            self,
-            Engine::Gpu { .. } | Engine::GpuTables | Engine::GpuOverlapped
-        )
+        self.gpu_plan().is_some()
+    }
+
+    /// The device schedule this engine stands for: kernel options plus ring
+    /// depth. `None` for the CPU engines. The serial engines keep the
+    /// paper's one-slot pipeline (so `elapsed == comm + compute` holds
+    /// exactly); `gpu-pipe` rings [`PipelineDepth::DEFAULT`] slots deep.
+    /// `ReconstructionConfig::pipeline_depth` overrides the depth either way.
+    pub fn gpu_plan(&self) -> Option<(GpuOptions, PipelineDepth)> {
+        let (opts, depth) = match self {
+            Engine::CpuSeq | Engine::CpuThreaded { .. } => return None,
+            Engine::Gpu { layout } => (
+                GpuOptions {
+                    layout: *layout,
+                    triangulation: Triangulation::InKernel,
+                    ..GpuOptions::default()
+                },
+                PipelineDepth::SERIAL,
+            ),
+            Engine::GpuTables => (
+                GpuOptions {
+                    layout: Layout::Flat1d,
+                    triangulation: Triangulation::HostTables,
+                    ..GpuOptions::default()
+                },
+                PipelineDepth::SERIAL,
+            ),
+            Engine::GpuPipelined => (
+                GpuOptions {
+                    layout: Layout::Flat1d,
+                    triangulation: Triangulation::InKernel,
+                    ..GpuOptions::default()
+                },
+                PipelineDepth::DEFAULT,
+            ),
+        };
+        Some((opts, depth))
     }
 }
 
@@ -60,7 +95,7 @@ mod tests {
                 layout: Layout::Pointer3d,
             },
             Engine::GpuTables,
-            Engine::GpuOverlapped,
+            Engine::GpuPipelined,
         ];
         let labels: Vec<String> = engines.iter().map(|e| e.label()).collect();
         for i in 0..labels.len() {
@@ -69,6 +104,6 @@ mod tests {
             }
         }
         assert!(!Engine::CpuSeq.is_gpu());
-        assert!(Engine::GpuOverlapped.is_gpu());
+        assert!(Engine::GpuPipelined.is_gpu());
     }
 }

@@ -113,6 +113,8 @@ mod tests {
                 transfers: 0,
                 gpu_replans: 0,
                 gpu_transfer_retries: 0,
+                pipeline_depth: 0,
+                table_cache: laue_core::cache::TableCacheStats::default(),
                 fallback: None,
             },
             cfg,

@@ -26,7 +26,7 @@ pub mod run;
 
 pub use engine::Engine;
 pub use report::RunReport;
-pub use run::{GpuFailurePolicy, Pipeline};
+pub use run::{GpuFailurePolicy, Pipeline, PipelineShared};
 
 /// Errors from the pipeline.
 #[derive(Debug)]

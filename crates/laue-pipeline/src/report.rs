@@ -1,5 +1,6 @@
 //! Run reports: what happened and where the virtual time went.
 
+use laue_core::cache::TableCacheStats;
 use laue_core::{DepthImage, ReconStats};
 
 /// Everything a reconstruction run produced.
@@ -31,6 +32,12 @@ pub struct RunReport {
     pub gpu_replans: u32,
     /// Transient transfer faults the GPU engine absorbed by retrying.
     pub gpu_transfer_retries: u32,
+    /// Ring depth the GPU pipeline actually ran at (1 = serial; 0 for CPU
+    /// engines). May be lower than requested if device memory was tight.
+    pub pipeline_depth: usize,
+    /// Depth-table cache counters for this run (all zero for CPU engines
+    /// and for GPU engines that triangulate in-kernel).
+    pub table_cache: TableCacheStats,
     /// Set when the run degraded to another engine after a GPU failure;
     /// records what failed and where execution landed.
     pub fallback: Option<String>,
@@ -60,6 +67,17 @@ impl RunReport {
             s.push_str(&format!(
                 "; {} slab(s) of {} row(s)",
                 self.n_slabs, self.rows_per_slab
+            ));
+            if self.pipeline_depth > 1 {
+                s.push_str(&format!(", ring depth {}", self.pipeline_depth));
+            }
+        }
+        if self.table_cache.hits() + self.table_cache.misses() > 0 {
+            s.push_str(&format!(
+                "; table cache: {} hit(s), {} miss(es), {} eviction(s)",
+                self.table_cache.hits(),
+                self.table_cache.misses(),
+                self.table_cache.evictions,
             ));
         }
         if self.gpu_replans > 0 || self.gpu_transfer_retries > 0 {
@@ -105,6 +123,8 @@ mod tests {
             transfers: 12,
             gpu_replans: 0,
             gpu_transfer_retries: 0,
+            pipeline_depth: 1,
+            table_cache: TableCacheStats::default(),
             fallback: None,
         }
     }
@@ -119,6 +139,19 @@ mod tests {
         assert!(s.contains("50.0 % active"));
         assert!(!s.contains("recovered"), "clean run mentions no recovery");
         assert!(!s.contains("DEGRADED"));
+        assert!(!s.contains("ring depth"), "serial run mentions no ring");
+        assert!(!s.contains("table cache"), "untouched cache stays silent");
+    }
+
+    #[test]
+    fn summary_reports_ring_depth_and_cache_traffic() {
+        let mut r = report();
+        r.pipeline_depth = 3;
+        r.table_cache.host_hits = 1;
+        r.table_cache.device_hits = 1;
+        let s = r.summary();
+        assert!(s.contains("ring depth 3"), "{s}");
+        assert!(s.contains("table cache: 2 hit(s), 0 miss(es)"), "{s}");
     }
 
     #[test]

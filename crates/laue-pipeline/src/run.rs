@@ -1,9 +1,11 @@
 //! The pipeline driver.
 
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use cuda_sim::{Device, DeviceProps, ExecMode, HostProps};
-use laue_core::gpu::{self, GpuOptions, Layout, Triangulation};
+use laue_core::cache::{DepthTableCache, TableCacheStats};
+use laue_core::gpu;
 use laue_core::{cpu, ReconstructionConfig, ScanGeometry, ScanView, SlabSource};
 use laue_wire::ScanFile;
 
@@ -29,6 +31,16 @@ pub enum GpuFailurePolicy {
     FallbackCpu,
 }
 
+/// State a pipeline keeps alive *between* runs: the simulated device (so
+/// device-resident depth tables survive from one run to the next) and the
+/// host-side depth-table cache. Shared by `Arc` — cloning a [`Pipeline`]
+/// shares its warm caches.
+#[derive(Debug, Default)]
+pub struct PipelineShared {
+    device: Mutex<Option<Arc<Device>>>,
+    cache: DepthTableCache,
+}
+
 /// A configured pipeline: the machines to model and how to execute
 /// simulated kernels.
 #[derive(Debug, Clone)]
@@ -44,6 +56,11 @@ pub struct Pipeline {
     /// Scripted fault schedule installed on every device this pipeline
     /// creates (fault-injection testing; `None` in production).
     pub fault_plan: Option<cuda_sim::FaultPlan>,
+    /// Device-resident depth-table cache budget, MiB. `None` → a quarter of
+    /// device memory; `Some(0)` disables residency (host caching stays on).
+    pub table_cache_mb: Option<u64>,
+    /// Cross-run persistent state (device + depth-table cache).
+    pub shared: Arc<PipelineShared>,
 }
 
 impl Default for Pipeline {
@@ -55,6 +72,8 @@ impl Default for Pipeline {
             exec_mode: ExecMode::Sequential,
             on_gpu_failure: GpuFailurePolicy::default(),
             fault_plan: None,
+            table_cache_mb: None,
+            shared: Arc::new(PipelineShared::default()),
         }
     }
 }
@@ -111,24 +130,24 @@ impl Pipeline {
                     transfers: 0,
                     gpu_replans: 0,
                     gpu_transfer_retries: 0,
+                    pipeline_depth: 0,
+                    table_cache: TableCacheStats::default(),
                     fallback: None,
                 })
             }
-            Engine::Gpu { .. } | Engine::GpuTables => {
-                let opts = match engine {
-                    Engine::Gpu { layout } => GpuOptions {
-                        layout,
-                        triangulation: Triangulation::InKernel,
-                        ..GpuOptions::default()
-                    },
-                    _ => GpuOptions {
-                        layout: Layout::Flat1d,
-                        triangulation: Triangulation::HostTables,
-                        ..GpuOptions::default()
-                    },
-                };
+            Engine::Gpu { .. } | Engine::GpuTables | Engine::GpuPipelined => {
+                let (opts, depth) = engine.gpu_plan().expect("GPU engine");
                 let device = self.gpu_device();
-                match gpu::reconstruct_with_options(&device, source, geom, cfg, opts) {
+                self.shared.cache.set_budget(self.table_cache_budget());
+                match gpu::reconstruct_pipelined(
+                    &device,
+                    source,
+                    geom,
+                    cfg,
+                    opts,
+                    depth,
+                    Some(&self.shared.cache),
+                ) {
                     Ok(out) => Ok(RunReport {
                         engine: engine.label(),
                         image: out.image,
@@ -143,28 +162,8 @@ impl Pipeline {
                         transfers: out.meters.transfers,
                         gpu_replans: out.recovery.replans,
                         gpu_transfer_retries: out.recovery.transfer_retries,
-                        fallback: None,
-                    }),
-                    Err(e) => self.degrade(source, geom, cfg, engine, e),
-                }
-            }
-            Engine::GpuOverlapped => {
-                let device = self.gpu_device();
-                match gpu::reconstruct_overlapped(&device, source, geom, cfg) {
-                    Ok(out) => Ok(RunReport {
-                        engine: engine.label(),
-                        image: out.image,
-                        stats: out.stats,
-                        total_time_s: out.elapsed_s,
-                        comm_time_s: out.meters.comm_time_s,
-                        compute_time_s: out.meters.compute_time_s,
-                        input_bytes,
-                        dims,
-                        rows_per_slab: out.rows_per_slab,
-                        n_slabs: out.n_slabs,
-                        transfers: out.meters.transfers,
-                        gpu_replans: out.recovery.replans,
-                        gpu_transfer_retries: out.recovery.transfer_retries,
+                        pipeline_depth: out.pipeline_depth,
+                        table_cache: out.table_cache,
                         fallback: None,
                     }),
                     Err(e) => self.degrade(source, geom, cfg, engine, e),
@@ -173,15 +172,37 @@ impl Pipeline {
         }
     }
 
-    /// Build the device a GPU engine will run on, with the pipeline's fault
-    /// schedule (if any) installed.
-    fn gpu_device(&self) -> Device {
-        let device = Device::new(self.device.clone());
+    /// The device a GPU engine will run on. The device persists across runs
+    /// (so resident depth tables stay warm) and is rebuilt only when
+    /// [`Pipeline::device`] changes; the fault schedule is (re)installed
+    /// fresh on every run.
+    fn gpu_device(&self) -> Arc<Device> {
+        let mut slot = self.shared.device.lock().unwrap();
+        let device = match slot.take() {
+            Some(d) if *d.props() == self.device => d,
+            stale => {
+                if let Some(old) = stale {
+                    // Resident tables on the discarded device are useless.
+                    let mut run = TableCacheStats::default();
+                    self.shared.cache.evict_device(old.id(), &mut run);
+                }
+                Arc::new(Device::new(self.device.clone()))
+            }
+        };
         device.set_exec_mode(self.exec_mode);
-        if let Some(plan) = &self.fault_plan {
-            device.set_fault_plan(plan.clone());
+        match &self.fault_plan {
+            Some(plan) => device.set_fault_plan(plan.clone()),
+            None => device.clear_fault_plan(),
         }
+        *slot = Some(Arc::clone(&device));
         device
+    }
+
+    /// Device-resident depth-table budget in bytes.
+    fn table_cache_budget(&self) -> u64 {
+        self.table_cache_mb
+            .map(|mb| mb * 1024 * 1024)
+            .unwrap_or(self.device.total_mem / 4)
     }
 
     /// Apply [`Pipeline::on_gpu_failure`] to a GPU engine error: either
@@ -195,6 +216,12 @@ impl Pipeline {
         failed: Engine,
         err: laue_core::CoreError,
     ) -> Result<RunReport> {
+        // Whatever happens next, don't hand the failed device to a later
+        // run: drop it (and any depth tables resident on it).
+        if let Some(dead) = self.shared.device.lock().unwrap().take() {
+            let mut run = TableCacheStats::default();
+            self.shared.cache.evict_device(dead.id(), &mut run);
+        }
         if self.on_gpu_failure != GpuFailurePolicy::FallbackCpu || !err.is_gpu_failure() {
             return Err(err.into());
         }
@@ -249,7 +276,8 @@ mod tests {
             Engine::Gpu {
                 layout: Layout::Pointer3d,
             },
-            Engine::GpuOverlapped,
+            Engine::GpuTables,
+            Engine::GpuPipelined,
         ];
         let reports: Vec<RunReport> = engines
             .iter()
@@ -400,6 +428,80 @@ mod tests {
         assert!(r.fallback.is_none(), "recovered without degrading");
         assert_eq!(r.image.data, baseline.image.data);
         assert_eq!(r.stats, baseline.stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_engine_overlaps_and_matches_serial() {
+        let (path, _) = scan_file("pipe");
+        let p = Pipeline::default();
+        let mut c = cfg();
+        c.rows_per_slab = Some(2); // several slabs so the ring can overlap
+        let serial = p
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
+            .unwrap();
+        let piped = p.run_scan_file(&path, &c, Engine::GpuPipelined).unwrap();
+        assert_eq!(
+            piped.pipeline_depth, 3,
+            "gpu-pipe defaults to a 3-slot ring"
+        );
+        assert_eq!(serial.pipeline_depth, 1);
+        assert_eq!(piped.image.data, serial.image.data);
+        assert!(
+            piped.total_time_s < serial.total_time_s,
+            "the ring must hide transfer time ({} vs {})",
+            piped.total_time_s,
+            serial.total_time_s
+        );
+        // cfg.pipeline_depth overrides the engine default.
+        c.pipeline_depth = Some(2);
+        let two = p.run_scan_file(&path, &c, Engine::GpuPipelined).unwrap();
+        assert_eq!(two.pipeline_depth, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warm_table_cache_speeds_up_the_second_run() {
+        let (path, _) = scan_file("warm");
+        let p = Pipeline::default();
+        let cold = p.run_scan_file(&path, &cfg(), Engine::GpuTables).unwrap();
+        assert_eq!(cold.table_cache.host_misses, 1);
+        assert_eq!(cold.table_cache.device_misses, 1);
+        // Same pipeline, same scan: tables are found host-side and already
+        // resident on the persistent device.
+        let warm = p.run_scan_file(&path, &cfg(), Engine::GpuTables).unwrap();
+        assert_eq!(warm.table_cache.host_hits, 1);
+        assert_eq!(warm.table_cache.device_hits, 1);
+        assert_eq!(warm.image.data, cold.image.data);
+        assert!(
+            warm.total_time_s < cold.total_time_s,
+            "skipping the table upload must shorten the run ({} vs {})",
+            warm.total_time_s,
+            cold.total_time_s
+        );
+        assert!(warm.summary().contains("cache"), "{}", warm.summary());
+
+        // A pipeline with residency disabled still caches host-side.
+        let no_res = Pipeline {
+            table_cache_mb: Some(0),
+            ..Pipeline::default()
+        };
+        let r1 = no_res
+            .run_scan_file(&path, &cfg(), Engine::GpuTables)
+            .unwrap();
+        let r2 = no_res
+            .run_scan_file(&path, &cfg(), Engine::GpuTables)
+            .unwrap();
+        assert_eq!(r1.table_cache.device_hits, 0);
+        assert_eq!(r2.table_cache.device_hits, 0);
+        assert_eq!(r2.table_cache.host_hits, 1);
+        assert_eq!(r2.image.data, cold.image.data);
         std::fs::remove_file(&path).ok();
     }
 

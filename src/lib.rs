@@ -54,8 +54,9 @@ pub use cuda_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use cuda_sim::{Device, DeviceProps, ExecMode, FaultPlan, FaultStats, HostProps};
-    pub use laue_core::gpu::{GpuOptions, Layout, Triangulation};
-    pub use laue_core::multi::reconstruct_multi;
+    pub use laue_core::cache::{DepthTableCache, TableCacheStats};
+    pub use laue_core::gpu::{GpuOptions, Layout, PipelineDepth, Triangulation};
+    pub use laue_core::multi::{reconstruct_multi, reconstruct_multi_pipelined};
     pub use laue_core::planning::{pixel_scan_info, plan_scan, PixelScanInfo, ScanPlan};
     pub use laue_core::post::{depth_map, find_peaks, DepthMapOptions, DepthPeak};
     pub use laue_core::{

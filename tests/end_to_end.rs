@@ -39,7 +39,8 @@ fn file_based_engines_all_agree_and_recover_truth() {
         Engine::Gpu {
             layout: Layout::Pointer3d,
         },
-        Engine::GpuOverlapped,
+        Engine::GpuTables,
+        Engine::GpuPipelined,
     ];
     let cfg = cfg();
     let reports: Vec<RunReport> = engines

@@ -161,8 +161,8 @@ fn fig9_pixel_percentage_shape() {
     );
 }
 
-/// The overlap ablation: double buffering shortens the makespan whenever
-/// there are several slabs in flight.
+/// The overlap ablation: a deeper pipeline ring shortens the makespan
+/// whenever there are several slabs in flight.
 #[test]
 fn overlap_ablation_shortens_makespan() {
     let s = scan(32, 32, 16, 41);
@@ -175,7 +175,8 @@ fn overlap_ablation_shortens_makespan() {
             layout: Layout::Flat1d,
         },
     );
-    let overlapped = run(&s, &c, Engine::GpuOverlapped);
+    let overlapped = run(&s, &c, Engine::GpuPipelined);
+    assert_eq!(overlapped.pipeline_depth, 3);
     assert_eq!(serial.image.data, overlapped.image.data);
     assert!(
         overlapped.total_time_s < serial.total_time_s,
