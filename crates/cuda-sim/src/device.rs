@@ -116,6 +116,14 @@ impl Device {
         self.fault.lock().as_ref().map(|f| f.stats)
     }
 
+    /// Has a fault plan permanently lost this device? A lost device refuses
+    /// every operation with [`SimError::DeviceLost`] until the plan is
+    /// cleared; fleet schedulers use this to skip dead devices without
+    /// paying for another refused operation.
+    pub fn is_lost(&self) -> bool {
+        self.fault.lock().as_ref().is_some_and(|f| f.is_lost())
+    }
+
     /// Consult the fault plan before an allocation of `bytes` (pre-align).
     /// An injected allocation fault is surfaced as an ordinary
     /// [`SimError::OutOfMemory`] carrying the real allocator statistics, so

@@ -16,8 +16,10 @@
 //! * **capacity lies** — the device reports only `report_mem` bytes of
 //!   memory (the "another tenant on the card" scenario), which both the
 //!   slab planner and the allocator observe;
-//! * **hard failure** — after `fail_after_ops` successful operations the
-//!   device is lost; every subsequent allocation, copy or launch returns
+//! * **hard failure** — after `fail_after_ops` successful operations (or
+//!   `fail_after_launches` successful kernel launches, which in the
+//!   reconstruction pipeline means "after slab N") the device is lost;
+//!   every subsequent allocation, copy or launch returns
 //!   [`SimError::DeviceLost`].
 //!
 //! Injected transfer faults are *transient*: the same copy retried
@@ -47,6 +49,12 @@ pub struct FaultPlan {
     pub report_mem: Option<u64>,
     /// After this many successful device operations the device is lost.
     pub fail_after_ops: Option<u64>,
+    /// The device is lost at the kernel launch *after* this many successful
+    /// ones (launches map 1:1 to row slabs in the reconstruction pipeline).
+    /// Unlike `fail_after_ops`, transfers that drain already-launched slabs
+    /// still complete, so the loss lands exactly at a slab boundary; once
+    /// tripped, every operation refuses.
+    pub fail_after_launches: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -60,6 +68,7 @@ impl Default for FaultPlan {
             d2h_fail_prob: 0.0,
             report_mem: None,
             fail_after_ops: None,
+            fail_after_launches: None,
         }
     }
 }
@@ -117,6 +126,13 @@ impl FaultPlan {
         self
     }
 
+    /// Lose the device after `n` successful kernel launches (i.e. right at
+    /// the boundary of the `n`th row slab).
+    pub fn fail_after_launches(mut self, n: u64) -> FaultPlan {
+        self.fail_after_launches = Some(n);
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_active(&self) -> bool {
         self != &FaultPlan {
@@ -155,6 +171,7 @@ pub(crate) struct FaultState {
     h2d: u64,
     d2h: u64,
     ops_completed: u64,
+    launches: u64,
     lost: bool,
     pub(crate) stats: FaultStats,
 }
@@ -177,6 +194,7 @@ impl FaultState {
             h2d: 0,
             d2h: 0,
             ops_completed: 0,
+            launches: 0,
             lost: false,
             stats: FaultStats::default(),
         }
@@ -202,6 +220,11 @@ impl FaultState {
             }
         }
         Ok(())
+    }
+
+    /// Has the device been lost (permanently) by this plan?
+    pub(crate) fn is_lost(&self) -> bool {
+        self.lost
     }
 
     /// Called by [`crate::Device`] before each allocation. `Ok(())` means
@@ -245,10 +268,21 @@ impl FaultState {
         Ok(())
     }
 
-    /// Called before each kernel launch.
+    /// Called before each kernel launch. The `fail_after_launches` limit
+    /// trips here (and only here): transfers draining already-launched
+    /// slabs still complete, so the loss lands exactly at a slab boundary.
+    /// Once tripped, the loss is permanent for every operation.
     pub(crate) fn on_launch(&mut self) -> Result<(), SimError> {
         self.check_alive()?;
+        if let Some(limit) = self.plan.fail_after_launches {
+            if self.launches >= limit {
+                self.lost = true;
+                self.stats.refused_after_loss += 1;
+                return Err(SimError::DeviceLost);
+            }
+        }
         self.ops_completed += 1;
+        self.launches += 1;
         Ok(())
     }
 }
@@ -310,6 +344,28 @@ mod tests {
         ));
         assert!(matches!(st.on_launch(), Err(SimError::DeviceLost)));
         assert_eq!(st.stats.refused_after_loss, 3);
+    }
+
+    #[test]
+    fn loss_after_n_launches_trips_at_the_next_launch_only() {
+        let mut st = FaultState::new(FaultPlan::new(0).fail_after_launches(2));
+        for _ in 0..10 {
+            st.on_alloc().unwrap();
+            st.on_transfer(TransferDir::HostToDevice).unwrap();
+        }
+        assert!(st.on_launch().is_ok());
+        assert!(st.on_launch().is_ok());
+        assert!(!st.is_lost());
+        // Transfers between the last good launch and the fatal one still
+        // pass — that is what pins the loss to a slab boundary.
+        assert!(st.on_transfer(TransferDir::DeviceToHost).is_ok());
+        assert!(matches!(st.on_launch(), Err(SimError::DeviceLost)));
+        assert!(st.is_lost(), "loss is permanent");
+        assert!(matches!(st.on_alloc(), Err(SimError::DeviceLost)));
+        assert!(matches!(
+            st.on_transfer(TransferDir::DeviceToHost),
+            Err(SimError::DeviceLost)
+        ));
     }
 
     #[test]

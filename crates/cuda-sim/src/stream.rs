@@ -35,10 +35,13 @@ impl Timelines {
     }
 
     /// Add a stream, starting "now" (at the current makespan, as if created
-    /// after the preceding work was enqueued).
+    /// after the preceding work was enqueued). A stream created mid-run
+    /// cannot retroactively run work before the frontier — this is what
+    /// makes sequential engine invocations on one device (multi-GPU
+    /// failover rounds) accumulate makespan instead of overlapping at t=0.
     pub fn create_stream(&mut self) -> StreamId {
         let id = StreamId(self.cursors.len());
-        self.cursors.push(0.0);
+        self.cursors.push(self.elapsed());
         id
     }
 
@@ -151,6 +154,17 @@ mod tests {
         t.schedule(StreamId::DEFAULT, 2.0);
         assert_eq!(t.cursor(StreamId::DEFAULT), 2.0);
         assert_eq!(t.cursor(s), 0.0, "other stream untouched");
+    }
+
+    #[test]
+    fn late_stream_joins_at_the_frontier() {
+        let mut t = Timelines::new();
+        t.schedule(StreamId::DEFAULT, 4.0);
+        let s = t.create_stream();
+        assert_eq!(t.cursor(s), 4.0, "no retroactive work before now");
+        let (start, end) = t.schedule(s, 1.0);
+        assert_eq!((start, end), (4.0, 5.0));
+        assert_eq!(t.elapsed(), 5.0);
     }
 
     #[test]

@@ -122,6 +122,32 @@ fn main() {
         "warm run must be bit-identical"
     );
 
+    // 4. Multi-GPU failover: a 4-device fleet, clean vs. losing one device
+    // at its first slab boundary — survivors absorb the rows, same bits.
+    // Small slabs so even the quick workload gives every device several
+    // launches (the scripted death needs a second one to trip at).
+    let fleet = Engine::GpuMulti { devices: 4 };
+    let mut fleet_cfg = standard_config();
+    fleet_cfg.rows_per_slab = Some(if quick { 4 } else { 8 });
+    let mut source = w.source();
+    let clean_fleet = Pipeline::default()
+        .run_source(&mut source, &w.scan.geometry, &fleet_cfg, fleet)
+        .expect("gpu-multi run");
+    let faulty = Pipeline {
+        fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(1)),
+        fault_device: Some(1),
+        ..Pipeline::default()
+    };
+    let mut source = w.source();
+    let degraded_fleet = faulty
+        .run_source(&mut source, &w.scan.geometry, &fleet_cfg, fleet)
+        .expect("gpu-multi failover run");
+    assert_eq!(
+        clean_fleet.image.data, degraded_fleet.image.data,
+        "failover must be bit-identical"
+    );
+    assert_eq!(degraded_fleet.recovery.devices_lost, 1);
+
     let mut json = String::from("{\n");
     writeln!(json, "  \"generated_by\": \"bench_report\",").unwrap();
     writeln!(json, "  \"quick\": {quick},").unwrap();
@@ -136,6 +162,38 @@ fn main() {
     writeln!(json, "    \"warm_total_s\": {:.9},", warm.total_time_s).unwrap();
     writeln!(json, "    \"cold\": {},", json_stats(&cold.table_cache)).unwrap();
     writeln!(json, "    \"warm\": {}", json_stats(&warm.table_cache)).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"failover\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"clean_total_s\": {:.9},",
+        clean_fleet.total_time_s
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"degraded_total_s\": {:.9},",
+        degraded_fleet.total_time_s
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"devices_lost\": {},",
+        degraded_fleet.recovery.devices_lost
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"salvaged_slabs\": {},",
+        degraded_fleet.recovery.salvaged_slabs
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"recomputed_slabs\": {}",
+        degraded_fleet.recovery.recomputed_slabs
+    )
+    .unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(
         json,

@@ -20,6 +20,8 @@ pub enum CoreError {
     DeviceCapacity { needed: u64, budget: u64 },
     /// A streaming slab source failed to produce data.
     Source(String),
+    /// The run journal could not be read or written (checkpoint/resume).
+    Journal(String),
 }
 
 impl CoreError {
@@ -48,6 +50,7 @@ impl fmt::Display for CoreError {
                  but only {budget} B fit"
             ),
             CoreError::Source(what) => write!(f, "slab source error: {what}"),
+            CoreError::Journal(what) => write!(f, "journal error: {what}"),
         }
     }
 }

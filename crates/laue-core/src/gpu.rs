@@ -49,6 +49,7 @@ use crate::config::ReconstructionConfig;
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::SlabSource;
+use crate::journal::{RunJournal, SlabProgress};
 use crate::output::DepthImage;
 use crate::pair::{plan_pair, PairPlan};
 use crate::stats::ReconStats;
@@ -684,14 +685,9 @@ pub(crate) fn download_slab(
                 device.memcpy_dtoh_on(stream, output, &mut host)
             })?;
             done_at = span.end_s;
-            for bin in 0..cfg.n_depth_bins {
-                for r in 0..rows {
-                    for c in 0..n_cols {
-                        *image.at_mut(bin, upload.row0 + r, c) =
-                            host[(bin * rows + r) * n_cols + c];
-                    }
-                }
-            }
+            // The host buffer is already in slab layout; assign (don't
+            // accumulate) this slab's rows.
+            image.assign_rows(upload.row0, rows, &host)?;
         }
         SlabBuffers::Pointer { bins, .. } => {
             // One D2H per bin: the 3D layout pays latency both ways.
@@ -710,6 +706,49 @@ pub(crate) fn download_slab(
         }
     }
     Ok(done_at)
+}
+
+/// A slab-commit observer: called once per slab, immediately after its D2H
+/// download lands, with `(row0, rows, per-slab stats, slab rows of the
+/// image)`. This is the checkpoint layer's hook into the ring — the journal
+/// appends the record before the ring moves on, so a slab is either fully
+/// durable or not committed at all.
+pub(crate) type SlabSink<'a> =
+    Option<&'a mut dyn FnMut(usize, usize, &ReconStats, &[f64]) -> Result<()>>;
+
+/// The one launch's share of the pair counters (launches map 1:1 to slabs).
+fn slab_stats(rec: &cuda_sim::LaunchRecord, pairs_total: u64) -> ReconStats {
+    ReconStats {
+        pairs_total,
+        pairs_below_cutoff: rec.traces[TRACE_BELOW_CUTOFF],
+        pairs_invalid_geometry: rec.traces[TRACE_INVALID],
+        pairs_out_of_range: rec.traces[TRACE_OUT_OF_RANGE],
+        pairs_deposited: rec.traces[TRACE_DEPOSITED],
+        deposits: rec.traces[TRACE_DEPOSITS],
+    }
+}
+
+/// Drain one ring slot: download the slab, then — with a sink attached —
+/// commit it (journal append + progress bookkeeping). Returns the
+/// slot-free edge from [`download_slab`].
+#[allow(clippy::too_many_arguments)]
+fn commit_slab(
+    device: &Device,
+    stream: StreamId,
+    upload: &SlabUpload,
+    stats: &ReconStats,
+    image: &mut DepthImage,
+    cfg: &ReconstructionConfig,
+    n_cols: usize,
+    recovery: &mut RecoveryLog,
+    sink: &mut SlabSink<'_>,
+) -> Result<f64> {
+    let freed_at = download_slab(device, stream, upload, image, cfg, n_cols, recovery)?;
+    if let Some(sink) = sink.as_mut() {
+        let data = image.extract_rows(upload.row0, upload.rows);
+        sink(upload.row0, upload.rows, stats, &data)?;
+    }
+    Ok(freed_at)
 }
 
 pub(crate) fn stats_from_records(device: &Device, pairs_total: u64) -> ReconStats {
@@ -891,6 +930,7 @@ pub(crate) fn run_ring(
     band: Range<usize>,
     image: &mut DepthImage,
     recovery: &mut RecoveryLog,
+    mut sink: SlabSink<'_>,
 ) -> Result<RingOutcome> {
     if depth.0 == 0 {
         return Err(CoreError::InvalidConfig(
@@ -961,8 +1001,9 @@ pub(crate) fn run_ring(
         },
     };
 
-    // The ring proper: (upload, kernel-end time) pairs, oldest first.
-    let mut ring: VecDeque<(SlabUpload, f64)> = VecDeque::with_capacity(slots);
+    // The ring proper: (upload, kernel-end time, per-slab stats) triples,
+    // oldest first.
+    let mut ring: VecDeque<(SlabUpload, f64, ReconStats)> = VecDeque::with_capacity(slots);
     let mut n_slabs = 0usize;
     let mut row0 = band.start;
     while row0 < band.end {
@@ -972,16 +1013,18 @@ pub(crate) fn run_ring(
                 // Free the oldest slot: download after its kernel, and gate
                 // the upcoming upload on the download so the reused memory
                 // is modeled as available only once the slot drains.
-                let (oldest, kernel_end) = ring.pop_front().expect("ring is full");
+                let (oldest, kernel_end, stats) = ring.pop_front().expect("ring is full");
                 device.wait_until(download_stream, kernel_end);
-                let freed_at = download_slab(
+                let freed_at = commit_slab(
                     device,
                     download_stream,
                     &oldest,
+                    &stats,
                     image,
                     cfg,
                     n_cols,
                     recovery,
+                    &mut sink,
                 )?;
                 device.wait_until(upload_stream, freed_at);
             }
@@ -1010,7 +1053,9 @@ pub(crate) fn run_ring(
                 n_cols,
             )?;
             let flops = upload.host_flops;
-            ring.push_back((upload, rec.end_s));
+            let pairs = (rows * n_cols * (n_images - 1)) as u64;
+            let stats = slab_stats(&rec, pairs);
+            ring.push_back((upload, rec.end_s, stats));
             Ok(flops)
         })();
         match attempt {
@@ -1025,16 +1070,18 @@ pub(crate) fn run_ring(
                 // shrink the plan and re-run the same rows. Correctness is
                 // chunking-invariant: downloads assign exactly their slab's
                 // rows, so a smaller re-run overwrites cleanly.
-                while let Some((oldest, kernel_end)) = ring.pop_front() {
+                while let Some((oldest, kernel_end, stats)) = ring.pop_front() {
                     device.wait_until(download_stream, kernel_end);
-                    download_slab(
+                    commit_slab(
                         device,
                         download_stream,
                         &oldest,
+                        &stats,
                         image,
                         cfg,
                         n_cols,
                         recovery,
+                        &mut sink,
                     )?;
                 }
                 if rows_per_slab > 1 {
@@ -1050,16 +1097,18 @@ pub(crate) fn run_ring(
         }
     }
     // Drain the tail of the ring.
-    while let Some((oldest, kernel_end)) = ring.pop_front() {
+    while let Some((oldest, kernel_end, stats)) = ring.pop_front() {
         device.wait_until(download_stream, kernel_end);
-        download_slab(
+        commit_slab(
             device,
             download_stream,
             &oldest,
+            &stats,
             image,
             cfg,
             n_cols,
             recovery,
+            &mut sink,
         )?;
     }
 
@@ -1110,6 +1159,7 @@ pub fn reconstruct_pipelined(
         0..n_rows,
         &mut image,
         &mut recovery,
+        None,
     )?;
 
     let elapsed_s = device.synchronize();
@@ -1126,6 +1176,88 @@ pub fn reconstruct_pipelined(
         recovery,
         pipeline_depth: outcome.depth_used,
         table_cache: outcome.cache_stats,
+    })
+}
+
+/// As [`reconstruct_pipelined`], but checkpoint-aware: the run starts from
+/// `progress` (fresh, or replayed from a [`RunJournal`]) and processes only
+/// the rows not yet committed. Each slab commit is appended to `journal`
+/// (when given) *before* the ring moves on, so after any interruption —
+/// process kill, injected [`cuda_sim::SimError::DeviceLost`] — the journal
+/// plus `progress` hold every completed slab and the caller can resume or
+/// salvage. On error, `progress` retains all committed state.
+///
+/// Because slab downloads assign rows exclusively and the engines are
+/// chunking-invariant, a resumed run is bit-identical to an uninterrupted
+/// one regardless of where the cut fell or what slab plan the resume uses.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_checkpointed(
+    device: &Device,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
+    progress: &mut SlabProgress,
+    mut journal: Option<&mut RunJournal>,
+) -> Result<GpuReconstruction> {
+    validate_inputs(source, geom, cfg)?;
+    let mapper = geom.mapper()?;
+    let n_rows = source.n_rows();
+    let depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
+
+    device.reset_meters();
+    let mut recovery = RecoveryLog::default();
+    let mut rows_per_slab = 0usize;
+    let mut host_table_flops = 0u64;
+    let mut depth_used = depth.0;
+    let mut cache_stats = TableCacheStats::default();
+    for band in progress.uncovered(0..n_rows) {
+        let (image, mut tracker) = progress.split_mut();
+        let mut journal = journal.as_deref_mut();
+        let mut sink = |row0: usize, rows: usize, stats: &ReconStats, data: &[f64]| {
+            if let Some(j) = journal.as_mut() {
+                j.append(row0, rows, stats, data)?;
+            }
+            tracker.record(row0, rows, stats);
+            Ok(())
+        };
+        let outcome = run_ring(
+            device,
+            source,
+            geom,
+            &mapper,
+            cfg,
+            opts,
+            depth,
+            cache,
+            band,
+            image,
+            &mut recovery,
+            Some(&mut sink),
+        )?;
+        rows_per_slab = outcome.rows_per_slab;
+        host_table_flops += outcome.host_table_flops;
+        depth_used = outcome.depth_used;
+        cache_stats.merge(&outcome.cache_stats);
+    }
+    // Counts every committed slab, replayed and fresh alike.
+    let n_slabs = progress.committed_slabs();
+
+    let elapsed_s = device.synchronize();
+    Ok(GpuReconstruction {
+        image: progress.image.clone(),
+        stats: progress.stats,
+        meters: device.meters(),
+        rows_per_slab,
+        n_slabs,
+        elapsed_s,
+        peak_device_mem: device.mem_peak(),
+        host_table_flops,
+        recovery,
+        pipeline_depth: depth_used,
+        table_cache: cache_stats,
     })
 }
 
@@ -1767,5 +1899,116 @@ mod tests {
         };
         let rows_tbl = fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, 1).unwrap();
         assert!(rows_tbl <= rows);
+    }
+
+    #[test]
+    fn checkpointed_fresh_run_matches_pipelined_bitwise() {
+        let (geom, mut cfg, data) = demo();
+        cfg.rows_per_slab = Some(2);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let baseline = reconstruct_pipelined(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::SERIAL,
+            None,
+        )
+        .unwrap();
+
+        let mut progress = SlabProgress::new(cfg.n_depth_bins, 6, 6);
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct_checkpointed(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::SERIAL,
+            None,
+            &mut progress,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.image.data, baseline.image.data);
+        assert_eq!(out.stats, baseline.stats);
+        assert_eq!(out.n_slabs, baseline.n_slabs);
+        assert_eq!(out.rows_per_slab, baseline.rows_per_slab);
+    }
+
+    #[test]
+    fn device_loss_at_every_slab_boundary_resumes_bit_identically() {
+        use crate::journal::{JournalKey, RunJournal};
+
+        let (geom, mut cfg, data) = demo();
+        cfg.rows_per_slab = Some(2); // 6 rows → 3 slabs
+        let dims = (cfg.n_depth_bins, 6usize, 6usize);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let baseline = reconstruct_pipelined(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::SERIAL,
+            None,
+        )
+        .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("laue-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for lost_after in 0..3u64 {
+            let key = JournalKey::new(format!("boundary-test-{lost_after}"));
+            let dying = big_device();
+            dying.set_fault_plan(cuda_sim::FaultPlan::new(0).fail_after_launches(lost_after));
+            let (mut journal, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+            assert!(replayed.is_empty());
+            let mut progress = SlabProgress::new(dims.0, dims.1, dims.2);
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let err = reconstruct_checkpointed(
+                &dying,
+                &mut source,
+                &geom,
+                &cfg,
+                GpuOptions::default(),
+                PipelineDepth::SERIAL,
+                None,
+                &mut progress,
+                Some(&mut journal),
+            )
+            .unwrap_err();
+            assert!(err.is_gpu_failure(), "{err}");
+            assert_eq!(progress.committed_slabs(), lost_after as usize);
+            drop(journal);
+
+            // Restart from the journal on a healthy device.
+            let clean = big_device();
+            let (mut journal, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+            assert_eq!(replayed.len(), lost_after as usize, "replay commits");
+            let mut progress = SlabProgress::replay(dims.0, dims.1, dims.2, &replayed).unwrap();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let out = reconstruct_checkpointed(
+                &clean,
+                &mut source,
+                &geom,
+                &cfg,
+                GpuOptions::default(),
+                PipelineDepth::SERIAL,
+                None,
+                &mut progress,
+                Some(&mut journal),
+            )
+            .unwrap();
+            assert_eq!(
+                out.image.data, baseline.image.data,
+                "kill after slab {lost_after}: resume must be bit-identical"
+            );
+            assert_eq!(out.stats, baseline.stats);
+            journal.remove().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

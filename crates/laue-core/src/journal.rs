@@ -1,0 +1,614 @@
+//! Append-only, CRC-framed run journal: slab-granular checkpoint/resume.
+//!
+//! The paper's row-slab chunking (Fig 2) makes the slab the natural unit of
+//! recovery: each slab's depth-band partial sums are complete the moment its
+//! D2H download lands, and no later slab ever touches those rows again. The
+//! journal exploits that by recording every committed slab — row range,
+//! per-slab [`ReconStats`], and the slab's rows of the output image — in an
+//! append-only file framed with [`mh5::crc`] CRC-32 checksums:
+//!
+//! ```text
+//! header:  magic "LAUEJRN1" | version u32 | key hash u64 |
+//!          n_bins u64 | n_rows u64 | n_cols u64 |
+//!          desc_len u32 | description bytes | crc32 of all of the above
+//! record:  payload_len u32 | crc32(payload) |
+//!          payload = row0 u64 | rows u64 | 6 × ReconStats u64 |
+//!                    rows·n_bins·n_cols × f64 (slab rows, bin-major)
+//! ```
+//!
+//! Every field is little-endian. The file is keyed by a content hash of
+//! (scan fingerprint, dimensions, configuration, engine, slab plan): a
+//! journal only resumes the *exact* run that wrote it — any drift in inputs
+//! or plan silently starts fresh instead of merging incompatible partial
+//! sums. A torn tail (the process died mid-append) is detected by the
+//! record CRC or a short read, truncated away, and replay continues from
+//! the last intact record. Because slab downloads *assign* their rows
+//! rather than accumulate, replaying records in append order reproduces the
+//! committed prefix of the image bit-for-bit, and chunking invariance (the
+//! engines produce identical images for any `rows_per_slab`) lets the
+//! resumed run cover the remaining rows with whatever slab plan it likes.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use mh5::crc::{crc32, Crc32};
+
+use crate::output::DepthImage;
+use crate::stats::ReconStats;
+use crate::{CoreError, Result};
+
+const MAGIC: [u8; 8] = *b"LAUEJRN1";
+const VERSION: u32 = 1;
+
+fn io_err(what: &str, e: std::io::Error) -> CoreError {
+    CoreError::Journal(format!("{what}: {e}"))
+}
+
+/// Identity of one reconstruction run for journal-keying purposes.
+///
+/// The `description` spells out every input that must match for a resume to
+/// be sound (scan fingerprint, dimensions, config, engine, slab plan); the
+/// `hash` is a 64-bit digest of it used in the journal filename and header.
+/// On open both are compared — a hash collision cannot cross-wire runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalKey {
+    /// 64-bit digest of `description`.
+    pub hash: u64,
+    /// Human-readable run identity the hash summarises.
+    pub description: String,
+}
+
+impl JournalKey {
+    /// Key a run by its full identity string.
+    pub fn new(description: String) -> JournalKey {
+        let lo = crc32(description.as_bytes()) as u64;
+        let mut salted = Crc32::new();
+        salted.update(b"laue-journal-salt");
+        salted.update(description.as_bytes());
+        let hi = salted.finish() as u64;
+        JournalKey {
+            hash: (hi << 32) | lo,
+            description,
+        }
+    }
+}
+
+/// One slab's worth of committed output, as read back from a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedSlab {
+    /// First detector row of the slab.
+    pub row0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// The slab's share of the pair counters.
+    pub stats: ReconStats,
+    /// `rows · n_bins · n_cols` intensities, laid out
+    /// `[(bin * rows + r) * n_cols + c]` (see [`DepthImage::assign_rows`]).
+    pub data: Vec<f64>,
+}
+
+/// An open run journal positioned for appends.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: File,
+    path: PathBuf,
+    dims: (usize, usize, usize),
+}
+
+impl RunJournal {
+    /// Open (or create) the journal for `key` under `dir` and return it
+    /// together with the slabs already committed by a previous run.
+    ///
+    /// `dims` is `(n_bins, n_rows, n_cols)` of the output image. With
+    /// `resume == false`, or when the existing file's key/dimensions do not
+    /// match, the journal starts fresh (the stale file is truncated). A
+    /// torn trailing record is silently dropped.
+    pub fn open(
+        dir: &Path,
+        key: &JournalKey,
+        dims: (usize, usize, usize),
+        resume: bool,
+    ) -> Result<(RunJournal, Vec<CommittedSlab>)> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create journal dir", e))?;
+        let path = dir.join(format!("{:016x}.journal", key.hash));
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open journal", e))?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err("read journal", e))?;
+
+        let (slabs, valid_len) = if resume {
+            parse(&bytes, key, dims)
+        } else {
+            (Vec::new(), 0)
+        };
+
+        if valid_len == 0 {
+            // Fresh start: rewrite the header from scratch.
+            file.set_len(0).map_err(|e| io_err("truncate journal", e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io_err("seek journal", e))?;
+            let header = encode_header(key, dims);
+            file.write_all(&header)
+                .map_err(|e| io_err("write journal header", e))?;
+            file.sync_data().map_err(|e| io_err("sync journal", e))?;
+        } else {
+            // Drop any torn tail, keep the intact prefix.
+            file.set_len(valid_len as u64)
+                .map_err(|e| io_err("truncate journal", e))?;
+            file.seek(SeekFrom::End(0))
+                .map_err(|e| io_err("seek journal", e))?;
+        }
+
+        Ok((RunJournal { file, path, dims }, slabs))
+    }
+
+    /// Where this journal lives on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one committed slab. The record is written with a single
+    /// `write_all` and flushed with `sync_data`, so after this returns the
+    /// slab survives a process kill; a kill *during* the write leaves a
+    /// torn tail the next open truncates away.
+    pub fn append(
+        &mut self,
+        row0: usize,
+        rows: usize,
+        stats: &ReconStats,
+        data: &[f64],
+    ) -> Result<()> {
+        let (n_bins, _, n_cols) = self.dims;
+        debug_assert_eq!(data.len(), n_bins * rows * n_cols);
+        let mut payload = Vec::with_capacity(8 * (2 + 6) + 8 * data.len());
+        payload.extend_from_slice(&(row0 as u64).to_le_bytes());
+        payload.extend_from_slice(&(rows as u64).to_le_bytes());
+        for v in stats_words(stats) {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in data {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file
+            .write_all(&record)
+            .map_err(|e| io_err("append journal record", e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync journal", e))?;
+        Ok(())
+    }
+
+    /// Delete the journal — called once the run completed and its output is
+    /// safely on disk, so a later `--resume` does not replay a finished run.
+    pub fn remove(self) -> Result<()> {
+        let path = self.path.clone();
+        drop(self.file);
+        fs::remove_file(&path).map_err(|e| io_err("remove journal", e))
+    }
+}
+
+fn stats_words(s: &ReconStats) -> [u64; 6] {
+    [
+        s.pairs_total,
+        s.pairs_below_cutoff,
+        s.pairs_invalid_geometry,
+        s.pairs_out_of_range,
+        s.pairs_deposited,
+        s.deposits,
+    ]
+}
+
+fn encode_header(key: &JournalKey, dims: (usize, usize, usize)) -> Vec<u8> {
+    let desc = key.description.as_bytes();
+    let mut h = Vec::with_capacity(8 + 4 + 8 * 4 + 4 + desc.len() + 4);
+    h.extend_from_slice(&MAGIC);
+    h.extend_from_slice(&VERSION.to_le_bytes());
+    h.extend_from_slice(&key.hash.to_le_bytes());
+    h.extend_from_slice(&(dims.0 as u64).to_le_bytes());
+    h.extend_from_slice(&(dims.1 as u64).to_le_bytes());
+    h.extend_from_slice(&(dims.2 as u64).to_le_bytes());
+    h.extend_from_slice(&(desc.len() as u32).to_le_bytes());
+    h.extend_from_slice(desc);
+    let crc = crc32(&h);
+    h.extend_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Byte-slice cursor used by the replay parser.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+/// Parse a journal byte image against the expected key and dimensions.
+/// Returns the intact committed slabs and the byte length of the valid
+/// prefix (`0` means "unusable — start fresh").
+fn parse(
+    bytes: &[u8],
+    key: &JournalKey,
+    dims: (usize, usize, usize),
+) -> (Vec<CommittedSlab>, usize) {
+    let mut c = Cursor { bytes, pos: 0 };
+    let fresh = (Vec::new(), 0);
+
+    // Header.
+    let Some(magic) = c.take(8) else { return fresh };
+    if magic != MAGIC {
+        return fresh;
+    }
+    let Some(version) = c.u32() else { return fresh };
+    if version != VERSION {
+        return fresh;
+    }
+    let Some(hash) = c.u64() else { return fresh };
+    let (Some(b), Some(r), Some(cols)) = (c.u64(), c.u64(), c.u64()) else {
+        return fresh;
+    };
+    let Some(desc_len) = c.u32() else {
+        return fresh;
+    };
+    let Some(desc) = c.take(desc_len as usize) else {
+        return fresh;
+    };
+    let header_crc = crc32(&bytes[..c.pos]);
+    let Some(stored_crc) = c.u32() else {
+        return fresh;
+    };
+    if stored_crc != header_crc
+        || hash != key.hash
+        || desc != key.description.as_bytes()
+        || (b as usize, r as usize, cols as usize) != dims
+    {
+        return fresh;
+    }
+
+    // Records, until EOF or a torn/corrupt tail.
+    let (n_bins, n_rows, n_cols) = dims;
+    let mut slabs = Vec::new();
+    let mut valid = c.pos;
+    while let Some(len) = c.u32() {
+        let Some(stored) = c.u32() else { break };
+        let Some(payload) = c.take(len as usize) else {
+            break;
+        };
+        if crc32(payload) != stored {
+            break;
+        }
+        let mut p = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let (Some(row0), Some(rows)) = (p.u64(), p.u64()) else {
+            break;
+        };
+        let (row0, rows) = (row0 as usize, rows as usize);
+        let mut words = [0u64; 6];
+        let mut ok = true;
+        for w in &mut words {
+            match p.u64() {
+                Some(v) => *w = v,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let n_values = n_bins * rows * n_cols;
+        if !ok || rows == 0 || row0 + rows > n_rows || payload.len() != 8 * (2 + 6) + 8 * n_values {
+            break;
+        }
+        let data: Vec<f64> = payload[8 * (2 + 6)..]
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        slabs.push(CommittedSlab {
+            row0,
+            rows,
+            stats: ReconStats {
+                pairs_total: words[0],
+                pairs_below_cutoff: words[1],
+                pairs_invalid_geometry: words[2],
+                pairs_out_of_range: words[3],
+                pairs_deposited: words[4],
+                deposits: words[5],
+            },
+            data,
+        });
+        valid = c.pos;
+    }
+    (slabs, valid)
+}
+
+// ---------------------------------------------------------------------------
+// Slab progress
+// ---------------------------------------------------------------------------
+
+/// In-memory view of a partially reconstructed image: the merged output so
+/// far, the merged stats, and which rows are already committed. Built fresh
+/// for a new run or by [`SlabProgress::replay`] from journal records; the
+/// engines then fill in only the [`SlabProgress::uncovered`] row ranges.
+#[derive(Debug)]
+pub struct SlabProgress {
+    /// The merged output image (committed rows populated, rest zero).
+    pub image: DepthImage,
+    /// Pair counters merged over all committed slabs.
+    pub stats: ReconStats,
+    committed: Vec<(usize, usize)>,
+    covered: Vec<bool>,
+}
+
+impl SlabProgress {
+    /// Progress for a brand-new run: nothing committed.
+    pub fn new(n_bins: usize, n_rows: usize, n_cols: usize) -> SlabProgress {
+        SlabProgress {
+            image: DepthImage::zeroed(n_bins, n_rows, n_cols),
+            stats: ReconStats::default(),
+            committed: Vec::new(),
+            covered: vec![false; n_rows],
+        }
+    }
+
+    /// Rebuild progress from journal records, applying them in append
+    /// order (later records overwrite earlier rows, matching the download
+    /// assignment semantics).
+    pub fn replay(
+        n_bins: usize,
+        n_rows: usize,
+        n_cols: usize,
+        slabs: &[CommittedSlab],
+    ) -> Result<SlabProgress> {
+        let mut p = SlabProgress::new(n_bins, n_rows, n_cols);
+        for s in slabs {
+            p.image.assign_rows(s.row0, s.rows, &s.data)?;
+            p.stats.merge(&s.stats);
+            p.committed.push((s.row0, s.rows));
+            for r in s.row0..s.row0 + s.rows {
+                p.covered[r] = true;
+            }
+        }
+        Ok(p)
+    }
+
+    /// How many slabs have been committed (including replayed ones).
+    pub fn committed_slabs(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// How many detector rows are committed.
+    pub fn committed_rows(&self) -> usize {
+        self.covered.iter().filter(|&&c| c).count()
+    }
+
+    /// Is every row of `band` committed?
+    pub fn is_complete(&self, band: Range<usize>) -> bool {
+        self.covered[band].iter().all(|&c| c)
+    }
+
+    /// Maximal runs of uncommitted rows within `band`, in row order —
+    /// exactly the work a resumed or failed-over run still owes.
+    pub fn uncovered(&self, band: Range<usize>) -> Vec<Range<usize>> {
+        let mut runs = Vec::new();
+        let mut start: Option<usize> = None;
+        for r in band.clone() {
+            match (self.covered[r], start) {
+                (false, None) => start = Some(r),
+                (true, Some(s)) => {
+                    runs.push(s..r);
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push(s..band.end);
+        }
+        runs
+    }
+
+    /// Split into the output image and a tracker over the bookkeeping, so a
+    /// slab sink can record commits while the engine holds `&mut` to the
+    /// image it is downloading into.
+    pub fn split_mut(&mut self) -> (&mut DepthImage, ProgressTracker<'_>) {
+        (
+            &mut self.image,
+            ProgressTracker {
+                stats: &mut self.stats,
+                committed: &mut self.committed,
+                covered: &mut self.covered,
+            },
+        )
+    }
+}
+
+/// Mutable handle over [`SlabProgress`] bookkeeping (everything but the
+/// image); see [`SlabProgress::split_mut`].
+#[derive(Debug)]
+pub struct ProgressTracker<'a> {
+    stats: &'a mut ReconStats,
+    committed: &'a mut Vec<(usize, usize)>,
+    covered: &'a mut Vec<bool>,
+}
+
+impl ProgressTracker<'_> {
+    /// Record one committed slab.
+    pub fn record(&mut self, row0: usize, rows: usize, stats: &ReconStats) {
+        self.stats.merge(stats);
+        self.committed.push((row0, rows));
+        for r in row0..row0 + rows {
+            self.covered[r] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("laue-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn slab(row0: usize, rows: usize, n_bins: usize, n_cols: usize, fill: f64) -> CommittedSlab {
+        CommittedSlab {
+            row0,
+            rows,
+            stats: ReconStats {
+                pairs_total: 10,
+                pairs_deposited: 4,
+                deposits: 8,
+                ..ReconStats::default()
+            },
+            data: vec![fill; n_bins * rows * n_cols],
+        }
+    }
+
+    #[test]
+    fn append_then_resume_replays_bitwise() {
+        let dir = tmp_dir("roundtrip");
+        let key = JournalKey::new("scan=1 cfg=x engine=gpu".into());
+        let dims = (2, 6, 3);
+        let (mut j, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        assert!(replayed.is_empty());
+        let s0 = slab(0, 2, 2, 3, 1.5);
+        let s1 = slab(2, 3, 2, 3, -0.25);
+        j.append(s0.row0, s0.rows, &s0.stats, &s0.data).unwrap();
+        j.append(s1.row0, s1.rows, &s1.stats, &s1.data).unwrap();
+        drop(j);
+
+        let (j2, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        assert_eq!(replayed, vec![s0.clone(), s1.clone()]);
+        let p = SlabProgress::replay(2, 6, 3, &replayed).unwrap();
+        assert_eq!(p.committed_slabs(), 2);
+        assert_eq!(p.committed_rows(), 5);
+        assert_eq!(p.uncovered(0..6), vec![5..6]);
+        assert!(!p.is_complete(0..6));
+        assert!(p.is_complete(0..5));
+        assert_eq!(p.image.at(0, 0, 0), 1.5);
+        assert_eq!(p.image.at(1, 4, 2), -0.25);
+        assert_eq!(p.image.at(0, 5, 0), 0.0);
+        assert_eq!(p.stats.pairs_total, 20);
+        j2.remove().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp_dir("torn");
+        let key = JournalKey::new("torn".into());
+        let dims = (1, 4, 2);
+        let (mut j, _) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        let s0 = slab(0, 2, 1, 2, 3.0);
+        j.append(s0.row0, s0.rows, &s0.stats, &s0.data).unwrap();
+        let path = j.path().to_path_buf();
+        drop(j);
+
+        // Simulate a kill mid-append: half a record of garbage at the tail.
+        let mut bytes = fs::read(&path).unwrap();
+        let intact = bytes.len();
+        bytes.extend_from_slice(&[0x77; 13]);
+        fs::write(&path, &bytes).unwrap();
+
+        let (j2, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        assert_eq!(replayed, vec![s0], "intact prefix survives");
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            intact as u64,
+            "torn tail truncated"
+        );
+        drop(j2);
+
+        // A corrupt record body (bad CRC) also stops replay at the tear.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let (_j3, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        assert!(replayed.is_empty(), "corrupt record dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_or_dims_mismatch_starts_fresh() {
+        let dir = tmp_dir("key");
+        let key = JournalKey::new("run-a".into());
+        let dims = (1, 4, 2);
+        let (mut j, _) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        let s0 = slab(0, 4, 1, 2, 1.0);
+        j.append(s0.row0, s0.rows, &s0.stats, &s0.data).unwrap();
+        drop(j);
+
+        // Same key, resume disabled → fresh.
+        let (_, replayed) = RunJournal::open(&dir, &key, dims, false).unwrap();
+        assert!(replayed.is_empty());
+
+        // Different description hashes to a different file entirely.
+        let other = JournalKey::new("run-b".into());
+        assert_ne!(other.hash, key.hash);
+        let (_, replayed) = RunJournal::open(&dir, &other, dims, true).unwrap();
+        assert!(replayed.is_empty());
+
+        // Same key, different dimensions → fresh (stale file truncated).
+        let (mut j, _) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        j.append(0, 4, &ReconStats::default(), &[0.0; 8]).unwrap();
+        drop(j);
+        let (_, replayed) = RunJournal::open(&dir, &key, (1, 5, 2), true).unwrap();
+        assert!(replayed.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracker_records_through_split() {
+        let mut p = SlabProgress::new(1, 4, 2);
+        {
+            let (image, mut tracker) = p.split_mut();
+            image.assign_rows(0, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            tracker.record(
+                0,
+                2,
+                &ReconStats {
+                    pairs_total: 7,
+                    ..ReconStats::default()
+                },
+            );
+        }
+        assert_eq!(p.committed_rows(), 2);
+        assert_eq!(p.stats.pairs_total, 7);
+        assert_eq!(p.uncovered(0..4), vec![2..4]);
+        assert_eq!(p.uncovered(1..3), vec![2..3]);
+        assert_eq!(p.image.at(0, 0, 1), 2.0);
+    }
+}

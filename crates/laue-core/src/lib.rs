@@ -46,6 +46,7 @@ pub mod error;
 pub mod geometry;
 pub mod gpu;
 pub mod input;
+pub mod journal;
 pub mod multi;
 pub mod output;
 pub mod pair;

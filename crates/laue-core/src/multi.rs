@@ -18,10 +18,9 @@ use crate::cache::{DepthTableCache, TableCacheStats};
 use crate::config::ReconstructionConfig;
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
-use crate::gpu::{
-    run_ring, stats_from_records, validate_inputs, GpuOptions, PipelineDepth, RecoveryLog,
-};
+use crate::gpu::{run_ring, validate_inputs, GpuOptions, PipelineDepth, RecoveryLog};
 use crate::input::SlabSource;
+use crate::journal::{RunJournal, SlabProgress};
 use crate::output::DepthImage;
 use crate::stats::ReconStats;
 use crate::Result;
@@ -33,9 +32,9 @@ pub struct MultiGpuReconstruction {
     pub image: DepthImage,
     /// Outcome counters over all devices.
     pub stats: ReconStats,
-    /// Per-device meters, in device order.
+    /// Per-device meters, in device order (participating devices only).
     pub per_device: Vec<Meters>,
-    /// Rows assigned to each device.
+    /// Rows committed by each participating device.
     pub rows_per_device: Vec<usize>,
     /// Virtual makespan: the slowest device's elapsed time.
     pub elapsed_s: f64,
@@ -45,6 +44,11 @@ pub struct MultiGpuReconstruction {
     /// Depth-table cache accounting, merged over all devices (all zeros
     /// when no cache was attached).
     pub table_cache: TableCacheStats,
+    /// Devices that died mid-run and had their unfinished rows requeued
+    /// onto the survivors.
+    pub devices_lost: u32,
+    /// Total committed slabs (replayed + fresh, over all devices).
+    pub n_slabs: usize,
 }
 
 /// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
@@ -98,50 +102,179 @@ pub fn reconstruct_multi_pipelined(
         return Err(CoreError::InvalidConfig("need at least one device".into()));
     }
     validate_inputs(source, geom, cfg)?;
-    let mapper = geom.mapper()?;
-    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
-    let depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
-    let bands = row_bands(n_rows, devices.len());
+    let mut progress = SlabProgress::new(cfg.n_depth_bins, source.n_rows(), source.n_cols());
+    reconstruct_multi_checkpointed(
+        devices,
+        source,
+        geom,
+        cfg,
+        opts,
+        depth,
+        cache,
+        &mut progress,
+        None,
+    )
+}
 
-    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
-    let mut per_device = Vec::with_capacity(bands.len());
-    let mut stats = ReconStats::default();
-    let mut elapsed_s: f64 = 0.0;
-    let mut rows_per_device = Vec::with_capacity(bands.len());
-    let mut table_cache = TableCacheStats::default();
+/// Split a set of disjoint, row-ordered uncovered ranges over `n` workers.
+/// Quotas come from [`row_bands`] over the total pending row count; the
+/// ranges are then walked in row order, slicing at quota boundaries. For a
+/// single full-detector range this reproduces `row_bands` exactly, so a
+/// fresh failure-free fleet run is scheduled identically to the original
+/// static banding.
+pub(crate) fn partition_ranges(
+    ranges: &[std::ops::Range<usize>],
+    n: usize,
+) -> Vec<Vec<std::ops::Range<usize>>> {
+    let total: usize = ranges.iter().map(|r| r.len()).sum();
+    let quotas: Vec<usize> = row_bands(total, n).into_iter().map(|b| b.len()).collect();
+    let mut out: Vec<Vec<std::ops::Range<usize>>> = vec![Vec::new(); quotas.len()];
+    let mut rest = ranges.iter().cloned();
+    let mut cur = rest.next();
+    for (k, quota) in quotas.into_iter().enumerate() {
+        let mut quota = quota;
+        while quota > 0 {
+            let Some(r) = cur.take() else { break };
+            let take = quota.min(r.len());
+            out[k].push(r.start..r.start + take);
+            if take < r.len() {
+                cur = Some(r.start + take..r.end);
+            } else {
+                cur = rest.next();
+            }
+            quota -= take;
+        }
+    }
+    out
+}
+
+/// The failover-aware fleet scheduler behind every multi-GPU entry point.
+///
+/// Work proceeds in rounds: the rows still uncovered by `progress` are
+/// re-banded over the devices currently alive ([`partition_ranges`], which
+/// degenerates to the classic static banding on a fresh run), and each
+/// device runs the k-deep ring over its share, committing slab-by-slab
+/// into `progress` (and `journal`, when given). A device that fails with a
+/// GPU-class error ([`CoreError::is_gpu_failure`]) is marked dead and the
+/// round continues; its unfinished rows are simply still uncovered next
+/// round and flow to the survivors. Only when *zero* devices remain does
+/// the last device error surface — that is the caller's cue for CPU
+/// fallback, with everything the fleet did commit salvageable from
+/// `progress`.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_multi_checkpointed(
+    devices: &[&Device],
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
+    progress: &mut SlabProgress,
+    mut journal: Option<&mut RunJournal>,
+) -> Result<MultiGpuReconstruction> {
+    if devices.is_empty() {
+        return Err(CoreError::InvalidConfig("need at least one device".into()));
+    }
+    validate_inputs(source, geom, cfg)?;
+    let mapper = geom.mapper()?;
+    let n_rows = source.n_rows();
+    let depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
 
     let mut recovery = RecoveryLog::default();
-    for (device, band) in devices.iter().zip(&bands) {
-        device.reset_meters();
-        let outcome = run_ring(
-            device,
-            source,
-            geom,
-            &mapper,
-            cfg,
-            opts,
-            depth,
-            cache,
-            band.clone(),
-            &mut image,
-            &mut recovery,
-        )?;
-        let band_pairs = (band.len() * n_cols * (n_images - 1)) as u64;
-        elapsed_s = elapsed_s.max(device.synchronize());
-        stats.merge(&stats_from_records(device, band_pairs));
-        per_device.push(device.meters());
-        rows_per_device.push(band.len());
-        table_cache.merge(&outcome.cache_stats);
+    let mut table_cache = TableCacheStats::default();
+    let mut devices_lost = 0u32;
+    let mut alive: Vec<bool> = devices.iter().map(|d| !d.is_lost()).collect();
+    let mut participated: Vec<bool> = vec![false; devices.len()];
+    let mut rows_done: Vec<usize> = vec![0; devices.len()];
+    let mut last_gpu_err: Option<CoreError> = None;
+
+    loop {
+        let pending = progress.uncovered(0..n_rows);
+        if pending.is_empty() {
+            break;
+        }
+        let alive_idx: Vec<usize> = (0..devices.len()).filter(|&i| alive[i]).collect();
+        if alive_idx.is_empty() {
+            return Err(last_gpu_err.unwrap_or(CoreError::Device(cuda_sim::SimError::DeviceLost)));
+        }
+        let assignments = partition_ranges(&pending, alive_idx.len());
+        for (k, ranges) in assignments.iter().enumerate() {
+            if ranges.is_empty() {
+                continue;
+            }
+            let di = alive_idx[k];
+            let device = devices[di];
+            if !participated[di] {
+                device.reset_meters();
+                participated[di] = true;
+            }
+            for band in ranges {
+                let before = progress.committed_rows();
+                let (image, mut tracker) = progress.split_mut();
+                let mut journal = journal.as_deref_mut();
+                let mut sink = |row0: usize, rows: usize, stats: &ReconStats, data: &[f64]| {
+                    if let Some(j) = journal.as_mut() {
+                        j.append(row0, rows, stats, data)?;
+                    }
+                    tracker.record(row0, rows, stats);
+                    Ok(())
+                };
+                let attempt = run_ring(
+                    device,
+                    source,
+                    geom,
+                    &mapper,
+                    cfg,
+                    opts,
+                    depth,
+                    cache,
+                    band.clone(),
+                    image,
+                    &mut recovery,
+                    Some(&mut sink),
+                );
+                rows_done[di] += progress.committed_rows() - before;
+                match attempt {
+                    Ok(outcome) => table_cache.merge(&outcome.cache_stats),
+                    Err(e) if e.is_gpu_failure() => {
+                        // The device is gone (or hopeless): drain it from
+                        // the fleet. Whatever it committed before dying is
+                        // already in `progress`; the rest of its rows stay
+                        // uncovered and re-band onto the survivors next
+                        // round.
+                        alive[di] = false;
+                        devices_lost += 1;
+                        last_gpu_err = Some(e);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    let mut per_device = Vec::new();
+    let mut rows_per_device = Vec::new();
+    let mut elapsed_s: f64 = 0.0;
+    for (i, device) in devices.iter().enumerate() {
+        if participated[i] {
+            elapsed_s = elapsed_s.max(device.synchronize());
+            per_device.push(device.meters());
+            rows_per_device.push(rows_done[i]);
+        }
     }
 
     Ok(MultiGpuReconstruction {
-        image,
-        stats,
+        image: progress.image.clone(),
+        stats: progress.stats,
         per_device,
         rows_per_device,
         elapsed_s,
         recovery,
         table_cache,
+        devices_lost,
+        n_slabs: progress.committed_slabs(),
     })
 }
 
@@ -302,6 +435,75 @@ mod tests {
         assert_eq!(warm.image.data, ref_out.image.data);
         assert_eq!(warm.table_cache.device_hits, 3, "all tables resident");
         assert!(warm.elapsed_s < cold.elapsed_s);
+    }
+
+    #[test]
+    fn partition_ranges_reproduces_static_banding_on_fresh_runs() {
+        for (rows, n) in [(8usize, 2usize), (7, 3), (5, 8), (10, 4)] {
+            let full = 0..rows;
+            let from_full = partition_ranges(std::slice::from_ref(&full), n);
+            let bands = row_bands(rows, n);
+            assert_eq!(from_full.len(), bands.len());
+            for (group, band) in from_full.iter().zip(&bands) {
+                assert_eq!(group.as_slice(), std::slice::from_ref(band));
+            }
+        }
+        // Holes are walked in row order and sliced at quota boundaries.
+        let groups = partition_ranges(&[1..3, 5..9], 2);
+        assert_eq!(groups, vec![vec![1..3, 5..6], vec![6..9]]);
+        let one = 0..1;
+        let groups = partition_ranges(std::slice::from_ref(&one), 4);
+        assert_eq!(groups, vec![vec![0..1]], "fewer rows than workers");
+    }
+
+    #[test]
+    fn fleet_survives_losing_each_device_in_turn() {
+        let (geom, mut cfg, data) = demo();
+        cfg.rows_per_slab = Some(1); // every band is several slabs
+        let clean: Vec<Device> = (0..4)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        let refs: Vec<&Device> = clean.iter().collect();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let ref_out =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+        assert_eq!(ref_out.devices_lost, 0);
+
+        for victim in 0..4usize {
+            let fleet: Vec<Device> = (0..4)
+                .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+                .collect();
+            // Die after the first committed slab of the victim's band.
+            fleet[victim].set_fault_plan(cuda_sim::FaultPlan::new(0).fail_after_launches(1));
+            let refs: Vec<&Device> = fleet.iter().collect();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+            let out =
+                reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+            assert_eq!(out.devices_lost, 1, "victim {victim}");
+            assert_eq!(
+                out.image.data, ref_out.image.data,
+                "survivors finish victim {victim}'s rows bit-identically"
+            );
+            assert_eq!(out.stats, ref_out.stats);
+            assert_eq!(out.rows_per_device.iter().sum::<usize>(), 8);
+        }
+    }
+
+    #[test]
+    fn zero_surviving_devices_surfaces_the_loss() {
+        let (geom, cfg, data) = demo();
+        let fleet: Vec<Device> = (0..2)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        for d in &fleet {
+            d.set_fault_plan(cuda_sim::FaultPlan::new(0).fail_after_launches(0));
+        }
+        let refs: Vec<&Device> = fleet.iter().collect();
+        let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
+        let err =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap_err();
+        assert!(err.is_gpu_failure());
+        assert!(err.to_string().contains("device lost"), "{err}");
     }
 
     #[test]

@@ -78,6 +78,14 @@ pub struct ReconstructArgs {
     pub on_gpu_failure: GpuFailurePolicy,
     /// Scripted device-fault schedule (`--inject-gpu-fault`, testing only).
     pub inject_fault: Option<FaultPlan>,
+    /// Journal directory for checkpointed GPU runs (`--journal-dir`).
+    pub journal_dir: Option<String>,
+    /// Replay an interrupted run's journal instead of starting fresh
+    /// (`--resume`; needs `--journal-dir`).
+    pub resume: bool,
+    /// Install the fault schedule on this fleet device only
+    /// (`--fault-device`, testing only).
+    pub fault_device: Option<usize>,
 }
 
 /// Parse an engine name.
@@ -88,14 +96,28 @@ pub fn parse_engine(s: &str) -> std::result::Result<Engine, String> {
             .map_err(|_| format!("bad thread count in engine {s:?}"))?;
         return Ok(Engine::CpuThreaded { threads });
     }
+    if let Some(t) = s.strip_prefix("gpu-multi:") {
+        let devices: usize = t
+            .parse()
+            .map_err(|_| format!("bad device count in engine {s:?}"))?;
+        if devices == 0 {
+            return Err(format!("engine {s:?} needs at least one device"));
+        }
+        return Ok(Engine::GpuMulti { devices });
+    }
     match s {
         "cpu" | "cpu-seq" => Ok(Engine::CpuSeq),
-        "gpu" | "gpu-1d" => Ok(Engine::Gpu { layout: Layout::Flat1d }),
-        "gpu-3d" => Ok(Engine::Gpu { layout: Layout::Pointer3d }),
+        "gpu" | "gpu-1d" => Ok(Engine::Gpu {
+            layout: Layout::Flat1d,
+        }),
+        "gpu-3d" => Ok(Engine::Gpu {
+            layout: Layout::Pointer3d,
+        }),
         "gpu-tables" => Ok(Engine::GpuTables),
         "gpu-pipe" => Ok(Engine::GpuPipelined),
         other => Err(format!(
-            "unknown engine {other:?} (try cpu, cpu-threaded:N, gpu-1d, gpu-3d, gpu-tables, gpu-pipe)"
+            "unknown engine {other:?} (try cpu, cpu-threaded:N, gpu-1d, gpu-3d, gpu-tables, \
+             gpu-pipe, gpu-multi:N)"
         )),
     }
 }
@@ -167,10 +189,12 @@ pub fn parse_fault_plan(spec: &str) -> std::result::Result<FaultPlan, String> {
             "d2h-prob" => plan.d2h_fault_rate(prob()?),
             "free-mem" => plan.report_mem_bytes(num()?),
             "dead-after" => plan.fail_after(num()?),
+            "dead-after-launches" => plan.fail_after_launches(num()?),
             other => {
                 return Err(format!(
                     "unknown --inject-gpu-fault key {other:?} (try seed, alloc-nth, \
-                     h2d-nth, d2h-nth, h2d-prob, d2h-prob, free-mem, dead-after)"
+                     h2d-nth, d2h-nth, h2d-prob, d2h-prob, free-mem, dead-after, \
+                     dead-after-launches)"
                 ))
             }
         };
@@ -178,7 +202,11 @@ pub fn parse_fault_plan(spec: &str) -> std::result::Result<FaultPlan, String> {
     Ok(plan)
 }
 
-/// Split `--key value` pairs; positional arguments keep their order.
+/// Flags that take no value; they parse to `"true"`.
+const VALUELESS_FLAGS: &[&str] = &["resume"];
+
+/// Split `--key value` pairs (and bare boolean flags, see
+/// [`VALUELESS_FLAGS`]); positional arguments keep their order.
 fn split_flags(
     args: &[String],
 ) -> std::result::Result<(BTreeMap<String, String>, Vec<String>), String> {
@@ -187,13 +215,19 @@ fn split_flags(
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
-            if flags.insert(key.to_string(), value.clone()).is_some() {
+            let value = if VALUELESS_FLAGS.contains(&key) {
+                i += 1;
+                "true".to_string()
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                i += 2;
+                value.clone()
+            };
+            if flags.insert(key.to_string(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
-            i += 2;
         } else {
             positional.push(args[i].clone());
             i += 1;
@@ -312,6 +346,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 roi: None,
                 on_gpu_failure: GpuFailurePolicy::default(),
                 inject_fault: None,
+                journal_dir: None,
+                resume: false,
+                fault_device: None,
             };
             Ok(Command::Batch { dir, engine, args })
         }
@@ -340,6 +377,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "roi",
                     "on-gpu-failure",
                     "inject-gpu-fault",
+                    "journal-dir",
+                    "resume",
+                    "fault-device",
                 ],
             )?;
             let input = flags
@@ -407,7 +447,16 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     .get("inject-gpu-fault")
                     .map(|s| parse_fault_plan(s))
                     .transpose()?,
+                journal_dir: flags.get("journal-dir").cloned(),
+                resume: flags.contains_key("resume"),
+                fault_device: flags
+                    .get("fault-device")
+                    .map(|v| v.parse().map_err(|_| format!("bad --fault-device: {v:?}")))
+                    .transpose()?,
             };
+            if args.resume && args.journal_dir.is_none() {
+                return Err("--resume needs --journal-dir".into());
+            }
             if cmd == "reconstruct" {
                 Ok(Command::Reconstruct(args))
             } else {
@@ -440,14 +489,23 @@ USAGE:
                    [--cutoff C] [--rows-per-slab R] [--pipeline-depth K]
                    [--table-cache-mb M] [--sim-workers N|0|auto]
                    [--on-gpu-failure abort|fallback-cpu]
-                   [--inject-gpu-fault k=v,…]
+                   [--inject-gpu-fault k=v,…] [--fault-device I]
+                   [--journal-dir <dir>] [--resume]
   laue validate    --input <scan.mh5> [same options as reconstruct]
   laue batch       --dir <directory> [--engine E] [--depth-start/-end UM]
                    [--bins N] [--cutoff C]
   laue inspect     <file.mh5>
 
 ENGINES:
-  cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-pipe
+  cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-pipe | gpu-multi:N
+
+CHECKPOINT / RESUME:
+  --journal-dir <dir>  journal every committed GPU slab under <dir>; an
+                       interrupted run leaves the journal behind
+  --resume             replay the journal of an interrupted run with the
+                       same scan/config/engine and recompute only the
+                       remaining slabs (bit-identical to an uninterrupted
+                       run; needs --journal-dir)
 
 GPU PIPELINE:
   --pipeline-depth K   ring depth: slab slots in flight (1 = serial;
@@ -464,7 +522,10 @@ GPU FAULT HANDLING:
   --inject-gpu-fault             scripted fault schedule for testing:
                                  comma-separated key=value with keys
                                  seed, alloc-nth, h2d-nth, d2h-nth,
-                                 h2d-prob, d2h-prob, free-mem, dead-after
+                                 h2d-prob, d2h-prob, free-mem, dead-after,
+                                 dead-after-launches
+  --fault-device I               install the schedule on fleet device I
+                                 only (gpu-multi failover testing)
 ";
 
 fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
@@ -484,6 +545,9 @@ fn recon_pipeline(args: &ReconstructArgs) -> Pipeline {
             None => cuda_sim::ExecMode::Sequential,
         },
         table_cache_mb: args.table_cache_mb,
+        journal_dir: args.journal_dir.clone().map(std::path::PathBuf::from),
+        resume: args.resume,
+        fault_device: args.fault_device,
         ..Pipeline::default()
     }
 }
@@ -519,14 +583,27 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
         Command::Reconstruct(a) => {
             let cfg = recon_config(a);
             let pipeline = recon_pipeline(a);
+            let fingerprint = crate::run::file_fingerprint(&a.input)?;
             let mut scan = laue_wire::ScanFile::open(&a.input)?;
             let geometry = scan.geometry().clone();
             let report = match a.roi {
-                None => pipeline.run_source(&mut scan, &geometry, &cfg, a.engine)?,
+                None => pipeline.run_source_keyed(
+                    &mut scan,
+                    &geometry,
+                    &cfg,
+                    a.engine,
+                    Some(fingerprint),
+                )?,
                 Some((r0, c0, rows, cols)) => {
                     let roi_geom = geometry.crop(r0, c0, rows, cols)?;
                     let mut roi = laue_core::input::RoiSlabSource::new(scan, r0, c0, rows, cols)?;
-                    pipeline.run_source(&mut roi, &roi_geom, &cfg, a.engine)?
+                    pipeline.run_source_keyed(
+                        &mut roi,
+                        &roi_geom,
+                        &cfg,
+                        a.engine,
+                        Some(fingerprint),
+                    )?
                 }
             };
             writeln!(out, "{}", report.summary())?;
@@ -583,6 +660,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     pipeline_depth: 0,
                     table_cache: laue_core::cache::TableCacheStats::default(),
                     fallback: None,
+                    recovery: crate::report::RecoveryAccounting::default(),
                 };
                 crate::export::write_mh5(path, &var_report, &cfg)?;
                 writeln!(out, "wrote {path} (per-bin variance; σ = sqrt)")?;

@@ -18,6 +18,10 @@ pub enum Engine {
     /// overlap ablation; ring depth defaults to 3 and is overridden by
     /// `ReconstructionConfig::pipeline_depth`).
     GpuPipelined,
+    /// A fleet of `devices` simulated GPUs, one row band each, every device
+    /// running the k-deep ring pipeline. A device that dies mid-run has its
+    /// unfinished rows requeued onto the survivors.
+    GpuMulti { devices: usize },
 }
 
 impl Engine {
@@ -34,6 +38,7 @@ impl Engine {
             } => "gpu-3d".to_string(),
             Engine::GpuTables => "gpu-tables".to_string(),
             Engine::GpuPipelined => "gpu-pipe".to_string(),
+            Engine::GpuMulti { devices } => format!("gpu-multi({devices})"),
         }
     }
 
@@ -66,7 +71,7 @@ impl Engine {
                 },
                 PipelineDepth::SERIAL,
             ),
-            Engine::GpuPipelined => (
+            Engine::GpuPipelined | Engine::GpuMulti { .. } => (
                 GpuOptions {
                     layout: Layout::Flat1d,
                     triangulation: Triangulation::InKernel,
@@ -96,6 +101,7 @@ mod tests {
             },
             Engine::GpuTables,
             Engine::GpuPipelined,
+            Engine::GpuMulti { devices: 4 },
         ];
         let labels: Vec<String> = engines.iter().map(|e| e.label()).collect();
         for i in 0..labels.len() {
@@ -105,5 +111,6 @@ mod tests {
         }
         assert!(!Engine::CpuSeq.is_gpu());
         assert!(Engine::GpuPipelined.is_gpu());
+        assert!(Engine::GpuMulti { devices: 2 }.is_gpu());
     }
 }

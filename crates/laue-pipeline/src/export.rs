@@ -116,6 +116,7 @@ mod tests {
                 pipeline_depth: 0,
                 table_cache: laue_core::cache::TableCacheStats::default(),
                 fallback: None,
+                recovery: crate::report::RecoveryAccounting::default(),
             },
             cfg,
         )

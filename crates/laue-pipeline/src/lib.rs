@@ -25,8 +25,8 @@ pub mod report;
 pub mod run;
 
 pub use engine::Engine;
-pub use report::RunReport;
-pub use run::{GpuFailurePolicy, Pipeline, PipelineShared};
+pub use report::{RecoveryAccounting, ResumeInfo, RunReport};
+pub use run::{file_fingerprint, GpuFailurePolicy, Pipeline, PipelineShared};
 
 /// Errors from the pipeline.
 #[derive(Debug)]

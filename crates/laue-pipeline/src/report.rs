@@ -3,6 +3,38 @@
 use laue_core::cache::TableCacheStats;
 use laue_core::{DepthImage, ReconStats};
 
+/// How a run came back from interruption or device loss: slabs replayed
+/// from a journal, slabs salvaged from a dead GPU run, rows recomputed on
+/// the CPU, devices lost mid-run. All zero / `None` for a clean run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryAccounting {
+    /// GPU-committed slabs kept when the run degraded to the CPU (the CPU
+    /// recomputed only the remainder).
+    pub salvaged_slabs: usize,
+    /// Row bands the CPU recomputed after a GPU failure.
+    pub recomputed_slabs: usize,
+    /// Devices that died mid-run (multi-GPU failover).
+    pub devices_lost: u32,
+    /// Set when the run resumed from a journal instead of starting fresh.
+    pub resume: Option<ResumeInfo>,
+}
+
+impl RecoveryAccounting {
+    /// Did anything out of the ordinary happen?
+    pub fn is_noteworthy(&self) -> bool {
+        *self != RecoveryAccounting::default()
+    }
+}
+
+/// Provenance of a resumed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Journal key hash (hex) the resume matched on.
+    pub journal_key: String,
+    /// Committed slabs replayed from the journal instead of recomputed.
+    pub slabs_replayed: usize,
+}
+
 /// Everything a reconstruction run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -41,6 +73,9 @@ pub struct RunReport {
     /// Set when the run degraded to another engine after a GPU failure;
     /// records what failed and where execution landed.
     pub fallback: Option<String>,
+    /// Checkpoint/resume and failover accounting (all zero when the run
+    /// neither resumed, salvaged, nor lost a device).
+    pub recovery: RecoveryAccounting,
 }
 
 impl RunReport {
@@ -64,10 +99,14 @@ impl RunReport {
             self.stats.pairs_below_cutoff,
         ));
         if self.n_slabs > 0 {
-            s.push_str(&format!(
-                "; {} slab(s) of {} row(s)",
-                self.n_slabs, self.rows_per_slab
-            ));
+            if self.rows_per_slab > 0 {
+                s.push_str(&format!(
+                    "; {} slab(s) of {} row(s)",
+                    self.n_slabs, self.rows_per_slab
+                ));
+            } else {
+                s.push_str(&format!("; {} slab(s)", self.n_slabs));
+            }
             if self.pipeline_depth > 1 {
                 s.push_str(&format!(", ring depth {}", self.pipeline_depth));
             }
@@ -84,6 +123,24 @@ impl RunReport {
             s.push_str(&format!(
                 "; recovered from device faults ({} re-plan(s), {} transfer retry(ies))",
                 self.gpu_replans, self.gpu_transfer_retries
+            ));
+        }
+        if let Some(resume) = &self.recovery.resume {
+            s.push_str(&format!(
+                "; resumed from journal {}: {} slab(s) replayed",
+                resume.journal_key, resume.slabs_replayed
+            ));
+        }
+        if self.recovery.devices_lost > 0 {
+            s.push_str(&format!(
+                "; {} device(s) lost mid-run, rows requeued onto survivors",
+                self.recovery.devices_lost
+            ));
+        }
+        if self.recovery.salvaged_slabs > 0 || self.recovery.recomputed_slabs > 0 {
+            s.push_str(&format!(
+                "; salvage: {} GPU slab(s) kept, {} band(s) recomputed on the CPU",
+                self.recovery.salvaged_slabs, self.recovery.recomputed_slabs
             ));
         }
         if let Some(fallback) = &self.fallback {
@@ -126,6 +183,7 @@ mod tests {
             pipeline_depth: 1,
             table_cache: TableCacheStats::default(),
             fallback: None,
+            recovery: RecoveryAccounting::default(),
         }
     }
 
@@ -163,6 +221,37 @@ mod tests {
         assert!(s.contains("2 re-plan(s)") && s.contains("5 transfer retry(ies)"));
         r.fallback = Some("gpu-1d failed: device lost; completed on cpu-seq".into());
         assert!(r.summary().contains("DEGRADED: gpu-1d failed"));
+    }
+
+    #[test]
+    fn summary_reports_resume_failover_and_salvage() {
+        let mut r = report();
+        r.recovery.resume = Some(ResumeInfo {
+            journal_key: "00deadbeef00cafe".into(),
+            slabs_replayed: 3,
+        });
+        r.recovery.devices_lost = 1;
+        r.recovery.salvaged_slabs = 5;
+        r.recovery.recomputed_slabs = 2;
+        let s = r.summary();
+        assert!(
+            s.contains("resumed from journal 00deadbeef00cafe: 3 slab(s) replayed"),
+            "{s}"
+        );
+        assert!(s.contains("1 device(s) lost"), "{s}");
+        assert!(
+            s.contains("salvage: 5 GPU slab(s) kept, 2 band(s) recomputed"),
+            "{s}"
+        );
+        assert!(r.recovery.is_noteworthy());
+        assert!(!report().recovery.is_noteworthy());
+
+        // A multi-GPU run reports slabs without a fixed per-slab row count.
+        let mut r = report();
+        r.rows_per_slab = 0;
+        let s = r.summary();
+        assert!(s.contains("; 4 slab(s)"), "{s}");
+        assert!(!s.contains("0 row(s)"), "{s}");
     }
 
     #[test]

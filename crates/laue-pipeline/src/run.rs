@@ -1,17 +1,28 @@
 //! The pipeline driver.
 
-use std::path::Path;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use cuda_sim::{Device, DeviceProps, ExecMode, HostProps};
 use laue_core::cache::{DepthTableCache, TableCacheStats};
-use laue_core::gpu;
+use laue_core::gpu::{self, GpuReconstruction, PipelineDepth};
+use laue_core::journal::{JournalKey, RunJournal, SlabProgress};
+use laue_core::multi::{reconstruct_multi_checkpointed, MultiGpuReconstruction};
 use laue_core::{cpu, ReconstructionConfig, ScanGeometry, ScanView, SlabSource};
 use laue_wire::ScanFile;
 
 use crate::engine::Engine;
-use crate::report::RunReport;
+use crate::report::{RecoveryAccounting, ResumeInfo, RunReport};
 use crate::Result;
+
+/// A cheap content fingerprint of a scan file (CRC-32 of the bytes, plus
+/// the length in the high word), used to key the run journal so `--resume`
+/// never replays slabs recorded for a different scan.
+pub fn file_fingerprint<P: AsRef<Path>>(path: P) -> Result<u64> {
+    let bytes = std::fs::read(path)?;
+    Ok(((bytes.len() as u64) << 32) | mh5::crc::crc32(&bytes) as u64)
+}
 
 /// What to do when a GPU engine fails in a way another executor could
 /// sidestep (device lost, memory exhausted beyond re-planning).
@@ -38,6 +49,7 @@ pub enum GpuFailurePolicy {
 #[derive(Debug, Default)]
 pub struct PipelineShared {
     device: Mutex<Option<Arc<Device>>>,
+    fleet: Mutex<Vec<Arc<Device>>>,
     cache: DepthTableCache,
 }
 
@@ -59,7 +71,19 @@ pub struct Pipeline {
     /// Device-resident depth-table cache budget, MiB. `None` → a quarter of
     /// device memory; `Some(0)` disables residency (host caching stays on).
     pub table_cache_mb: Option<u64>,
-    /// Cross-run persistent state (device + depth-table cache).
+    /// When set, GPU runs journal every committed slab under this
+    /// directory, making them resumable ([`Pipeline::resume`]) and
+    /// salvageable (CPU fallback recomputes only uncommitted rows).
+    pub journal_dir: Option<PathBuf>,
+    /// Replay slabs committed by a previous interrupted run with the same
+    /// journal key instead of starting fresh. No effect without
+    /// [`Pipeline::journal_dir`].
+    pub resume: bool,
+    /// Restrict [`Pipeline::fault_plan`] to one fleet device index
+    /// (multi-GPU failover testing). `None` installs the plan on every
+    /// device this pipeline creates.
+    pub fault_device: Option<usize>,
+    /// Cross-run persistent state (devices + depth-table cache).
     pub shared: Arc<PipelineShared>,
 }
 
@@ -73,32 +97,53 @@ impl Default for Pipeline {
             on_gpu_failure: GpuFailurePolicy::default(),
             fault_plan: None,
             table_cache_mb: None,
+            journal_dir: None,
+            resume: false,
+            fault_device: None,
             shared: Arc::new(PipelineShared::default()),
         }
     }
 }
 
 impl Pipeline {
-    /// Reconstruct a scan file on the chosen engine.
+    /// Reconstruct a scan file on the chosen engine. The file's content
+    /// fingerprint keys the run journal (when [`Pipeline::journal_dir`] is
+    /// set), so interrupted runs of the same scan resume safely.
     pub fn run_scan_file<P: AsRef<Path>>(
         &self,
         path: P,
         cfg: &ReconstructionConfig,
         engine: Engine,
     ) -> Result<RunReport> {
+        let fingerprint = file_fingerprint(&path)?;
         let mut scan = ScanFile::open(path)?;
         let geometry = scan.geometry().clone();
-        self.run_source(&mut scan, &geometry, cfg, engine)
+        self.run_source_keyed(&mut scan, &geometry, cfg, engine, Some(fingerprint))
     }
 
     /// Reconstruct from any slab source (streaming for GPU engines; CPU
-    /// engines materialise the stack once).
+    /// engines materialise the stack once). Journal runs are keyed without
+    /// a scan fingerprint — prefer [`Pipeline::run_source_keyed`] when one
+    /// is available.
     pub fn run_source(
         &self,
         source: &mut dyn SlabSource,
         geom: &ScanGeometry,
         cfg: &ReconstructionConfig,
         engine: Engine,
+    ) -> Result<RunReport> {
+        self.run_source_keyed(source, geom, cfg, engine, None)
+    }
+
+    /// As [`Pipeline::run_source`], with an explicit scan content
+    /// fingerprint folded into the journal key.
+    pub fn run_source_keyed(
+        &self,
+        source: &mut dyn SlabSource,
+        geom: &ScanGeometry,
+        cfg: &ReconstructionConfig,
+        engine: Engine,
+        fingerprint: Option<u64>,
     ) -> Result<RunReport> {
         let dims = (source.n_images(), source.n_rows(), source.n_cols());
         let input_bytes = (dims.0 * dims.1 * dims.2 * 2) as u64; // u16 counts
@@ -133,13 +178,73 @@ impl Pipeline {
                     pipeline_depth: 0,
                     table_cache: TableCacheStats::default(),
                     fallback: None,
+                    recovery: RecoveryAccounting::default(),
                 })
             }
-            Engine::Gpu { .. } | Engine::GpuTables | Engine::GpuPipelined => {
-                let (opts, depth) = engine.gpu_plan().expect("GPU engine");
+            Engine::Gpu { .. }
+            | Engine::GpuTables
+            | Engine::GpuPipelined
+            | Engine::GpuMulti { .. } => self.run_gpu(source, geom, cfg, engine, fingerprint),
+        }
+    }
+
+    /// The unified GPU path: open/replay the journal (when configured),
+    /// run the checkpoint-aware engine — single device or failover fleet —
+    /// and on unrecoverable failure salvage the committed slabs, handing
+    /// only the remainder to the CPU.
+    fn run_gpu(
+        &self,
+        source: &mut dyn SlabSource,
+        geom: &ScanGeometry,
+        cfg: &ReconstructionConfig,
+        engine: Engine,
+        fingerprint: Option<u64>,
+    ) -> Result<RunReport> {
+        let (opts, depth) = engine.gpu_plan().expect("GPU engine");
+        let dims = (source.n_images(), source.n_rows(), source.n_cols());
+        let input_bytes = (dims.0 * dims.1 * dims.2 * 2) as u64;
+        self.shared.cache.set_budget(self.table_cache_budget());
+
+        // Open (or replay) the run journal.
+        let mut journal = None;
+        let mut resume_info = None;
+        let mut progress = match &self.journal_dir {
+            Some(dir) => {
+                let key = journal_key(engine, cfg, dims, fingerprint);
+                let jdims = (cfg.n_depth_bins, dims.1, dims.2);
+                let (j, slabs) = RunJournal::open(dir, &key, jdims, self.resume)?;
+                if !slabs.is_empty() {
+                    resume_info = Some(ResumeInfo {
+                        journal_key: format!("{:016x}", key.hash),
+                        slabs_replayed: slabs.len(),
+                    });
+                }
+                journal = Some(j);
+                SlabProgress::replay(cfg.n_depth_bins, dims.1, dims.2, &slabs)?
+            }
+            None => SlabProgress::new(cfg.n_depth_bins, dims.1, dims.2),
+        };
+
+        let outcome = match engine {
+            Engine::GpuMulti { devices } => {
+                let fleet = self.gpu_fleet(devices);
+                let refs: Vec<&Device> = fleet.iter().map(|d| d.as_ref()).collect();
+                reconstruct_multi_checkpointed(
+                    &refs,
+                    source,
+                    geom,
+                    cfg,
+                    opts,
+                    depth,
+                    Some(&self.shared.cache),
+                    &mut progress,
+                    journal.as_mut(),
+                )
+                .map(GpuOutcome::Multi)
+            }
+            _ => {
                 let device = self.gpu_device();
-                self.shared.cache.set_budget(self.table_cache_budget());
-                match gpu::reconstruct_pipelined(
+                gpu::reconstruct_checkpointed(
                     &device,
                     source,
                     geom,
@@ -147,28 +252,39 @@ impl Pipeline {
                     opts,
                     depth,
                     Some(&self.shared.cache),
-                ) {
-                    Ok(out) => Ok(RunReport {
-                        engine: engine.label(),
-                        image: out.image,
-                        stats: out.stats,
-                        total_time_s: out.elapsed_s,
-                        comm_time_s: out.meters.comm_time_s,
-                        compute_time_s: out.meters.compute_time_s,
-                        input_bytes,
-                        dims,
-                        rows_per_slab: out.rows_per_slab,
-                        n_slabs: out.n_slabs,
-                        transfers: out.meters.transfers,
-                        gpu_replans: out.recovery.replans,
-                        gpu_transfer_retries: out.recovery.transfer_retries,
-                        pipeline_depth: out.pipeline_depth,
-                        table_cache: out.table_cache,
-                        fallback: None,
-                    }),
-                    Err(e) => self.degrade(source, geom, cfg, engine, e),
-                }
+                    &mut progress,
+                    journal.as_mut(),
+                )
+                .map(GpuOutcome::Single)
             }
+        };
+
+        match outcome {
+            Ok(out) => {
+                // The run is complete; a later --resume must not replay it.
+                if let Some(j) = journal.take() {
+                    j.remove()?;
+                }
+                let resolved_depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
+                Ok(gpu_report(
+                    engine,
+                    out,
+                    dims,
+                    input_bytes,
+                    resolved_depth,
+                    resume_info,
+                ))
+            }
+            Err(e) => self.degrade_salvage(
+                source,
+                geom,
+                cfg,
+                engine,
+                e,
+                &mut progress,
+                journal,
+                resume_info,
+            ),
         }
     }
 
@@ -190,12 +306,54 @@ impl Pipeline {
             }
         };
         device.set_exec_mode(self.exec_mode);
-        match &self.fault_plan {
-            Some(plan) => device.set_fault_plan(plan.clone()),
-            None => device.clear_fault_plan(),
+        let install = self.fault_device.is_none_or(|f| f == 0);
+        match (&self.fault_plan, install) {
+            (Some(plan), true) => device.set_fault_plan(plan.clone()),
+            _ => device.clear_fault_plan(),
         }
         *slot = Some(Arc::clone(&device));
         device
+    }
+
+    /// The fleet a `gpu-multi` engine runs on. Devices persist across runs
+    /// like the single device does; the fleet is rebuilt when its size or
+    /// the device model changes. The fault schedule is (re)installed fresh
+    /// on every run — on every device, or on [`Pipeline::fault_device`]
+    /// only when that is set.
+    fn gpu_fleet(&self, n: usize) -> Vec<Arc<Device>> {
+        let mut slot = self.shared.fleet.lock().unwrap();
+        let reusable = slot.len() == n && slot.iter().all(|d| *d.props() == self.device);
+        if !reusable {
+            let mut run = TableCacheStats::default();
+            for old in slot.drain(..) {
+                self.shared.cache.evict_device(old.id(), &mut run);
+            }
+            *slot = (0..n)
+                .map(|_| Arc::new(Device::new(self.device.clone())))
+                .collect();
+        }
+        for (i, d) in slot.iter().enumerate() {
+            d.set_exec_mode(self.exec_mode);
+            let install = self.fault_device.is_none_or(|f| f == i);
+            match (&self.fault_plan, install) {
+                (Some(plan), true) => d.set_fault_plan(plan.clone()),
+                _ => d.clear_fault_plan(),
+            }
+        }
+        slot.clone()
+    }
+
+    /// Forget every persistent device (single slot and fleet), evicting
+    /// their resident depth tables — called when a GPU run failed so a
+    /// later run never inherits a dead device.
+    fn drop_devices(&self) {
+        let mut run = TableCacheStats::default();
+        if let Some(dead) = self.shared.device.lock().unwrap().take() {
+            self.shared.cache.evict_device(dead.id(), &mut run);
+        }
+        for dead in self.shared.fleet.lock().unwrap().drain(..) {
+            self.shared.cache.evict_device(dead.id(), &mut run);
+        }
     }
 
     /// Device-resident depth-table budget in bytes.
@@ -206,39 +364,207 @@ impl Pipeline {
     }
 
     /// Apply [`Pipeline::on_gpu_failure`] to a GPU engine error: either
-    /// surface it, or re-run on the matching CPU engine and record the
+    /// surface it, or salvage what the GPU committed and recompute only the
+    /// uncovered row bands on the matching CPU engine, recording the
     /// degradation in the report.
-    fn degrade(
+    #[allow(clippy::too_many_arguments)]
+    fn degrade_salvage(
         &self,
         source: &mut dyn SlabSource,
         geom: &ScanGeometry,
         cfg: &ReconstructionConfig,
         failed: Engine,
         err: laue_core::CoreError,
+        progress: &mut SlabProgress,
+        mut journal: Option<RunJournal>,
+        resume: Option<ResumeInfo>,
     ) -> Result<RunReport> {
-        // Whatever happens next, don't hand the failed device to a later
-        // run: drop it (and any depth tables resident on it).
-        if let Some(dead) = self.shared.device.lock().unwrap().take() {
-            let mut run = TableCacheStats::default();
-            self.shared.cache.evict_device(dead.id(), &mut run);
-        }
+        // Whatever happens next, don't hand the failed device(s) to a later
+        // run: drop them (and any depth tables resident on them). The
+        // journal stays on disk when we surface the error, so a later
+        // --resume picks up from the last committed slab.
+        self.drop_devices();
         if self.on_gpu_failure != GpuFailurePolicy::FallbackCpu || !err.is_gpu_failure() {
             return Err(err.into());
         }
         // Match the executor so a sequential pipeline degrades bit-for-bit
-        // (cpu-seq and the GPU engines share deposit order).
+        // (cpu-seq and the GPU engines share deposit order, and cropped-band
+        // reconstruction is bit-exact against the full frame).
         let cpu = match self.exec_mode {
             ExecMode::Threaded(n) => Engine::CpuThreaded { threads: n },
             _ => Engine::CpuSeq,
         };
-        let mut report = self.run_source(source, geom, cfg, cpu)?;
-        report.fallback = Some(format!(
-            "{} failed ({err}); completed on {}",
-            failed.label(),
-            cpu.label()
-        ));
-        Ok(report)
+        let cores = match cpu {
+            Engine::CpuThreaded { threads } => threads as u32,
+            _ => 1,
+        };
+        let dims = (source.n_images(), source.n_rows(), source.n_cols());
+        let salvaged = progress.committed_slabs();
+        let mut recomputed = 0usize;
+        let mut cpu_time = 0.0;
+        for band in progress.uncovered(0..dims.1) {
+            let rows = band.len();
+            let slab = source.read_slab(band.start, rows)?;
+            let view = ScanView::new(&slab, dims.0, rows, dims.2)?;
+            let band_geom = geom.crop(band.start, 0, rows, dims.2)?;
+            let out = match cpu {
+                Engine::CpuThreaded { threads } => {
+                    cpu::reconstruct_threaded(&view, &band_geom, cfg, threads)?
+                }
+                _ => cpu::reconstruct_seq(&view, &band_geom, cfg)?,
+            };
+            cpu_time += out.modeled_time_s(&self.host, cores);
+            let (image, mut tracker) = progress.split_mut();
+            image.assign_rows(band.start, rows, &out.image.data)?;
+            if let Some(j) = journal.as_mut() {
+                j.append(band.start, rows, &out.stats, &out.image.data)?;
+            }
+            tracker.record(band.start, rows, &out.stats);
+            recomputed += 1;
+        }
+        // Complete again — retire the journal with the run.
+        if let Some(j) = journal.take() {
+            j.remove()?;
+        }
+        // When a fleet errored, every participating device had died (a
+        // partial loss fails over internally and succeeds).
+        let devices_lost = match failed {
+            Engine::GpuMulti { devices } => devices as u32,
+            _ => 0,
+        };
+        Ok(RunReport {
+            engine: cpu.label(),
+            image: progress.image.clone(),
+            stats: progress.stats,
+            total_time_s: cpu_time,
+            comm_time_s: 0.0,
+            compute_time_s: cpu_time,
+            input_bytes: (dims.0 * dims.1 * dims.2 * 2) as u64,
+            dims,
+            rows_per_slab: 0,
+            n_slabs: 0,
+            transfers: 0,
+            gpu_replans: 0,
+            gpu_transfer_retries: 0,
+            pipeline_depth: 0,
+            table_cache: TableCacheStats::default(),
+            fallback: Some(format!(
+                "{} failed ({err}); completed on {}",
+                failed.label(),
+                cpu.label()
+            )),
+            recovery: RecoveryAccounting {
+                salvaged_slabs: salvaged,
+                recomputed_slabs: recomputed,
+                devices_lost,
+                resume,
+            },
+        })
     }
+}
+
+/// How one GPU run came back: a single device or a fleet.
+enum GpuOutcome {
+    Single(GpuReconstruction),
+    Multi(MultiGpuReconstruction),
+}
+
+/// Assemble the [`RunReport`] of a successful GPU run.
+fn gpu_report(
+    engine: Engine,
+    out: GpuOutcome,
+    dims: (usize, usize, usize),
+    input_bytes: u64,
+    depth: PipelineDepth,
+    resume: Option<ResumeInfo>,
+) -> RunReport {
+    let recovery = |devices_lost| RecoveryAccounting {
+        salvaged_slabs: 0,
+        recomputed_slabs: 0,
+        devices_lost,
+        resume: resume.clone(),
+    };
+    match out {
+        GpuOutcome::Single(out) => RunReport {
+            engine: engine.label(),
+            image: out.image,
+            stats: out.stats,
+            total_time_s: out.elapsed_s,
+            comm_time_s: out.meters.comm_time_s,
+            compute_time_s: out.meters.compute_time_s,
+            input_bytes,
+            dims,
+            rows_per_slab: out.rows_per_slab,
+            n_slabs: out.n_slabs,
+            transfers: out.meters.transfers,
+            gpu_replans: out.recovery.replans,
+            gpu_transfer_retries: out.recovery.transfer_retries,
+            pipeline_depth: out.pipeline_depth,
+            table_cache: out.table_cache,
+            fallback: None,
+            recovery: recovery(0),
+        },
+        GpuOutcome::Multi(out) => RunReport {
+            engine: engine.label(),
+            image: out.image,
+            stats: out.stats,
+            // The makespan is the slowest device; comm/compute/transfers
+            // aggregate over the fleet, so total ≤ comm + compute here.
+            total_time_s: out.elapsed_s,
+            comm_time_s: out.per_device.iter().map(|m| m.comm_time_s).sum(),
+            compute_time_s: out.per_device.iter().map(|m| m.compute_time_s).sum(),
+            input_bytes,
+            dims,
+            rows_per_slab: 0,
+            n_slabs: out.n_slabs,
+            transfers: out.per_device.iter().map(|m| m.transfers).sum(),
+            gpu_replans: out.recovery.replans,
+            gpu_transfer_retries: out.recovery.transfer_retries,
+            pipeline_depth: depth.0,
+            table_cache: out.table_cache,
+            fallback: None,
+            recovery: recovery(out.devices_lost),
+        },
+    }
+}
+
+/// The identity a journal is keyed on: everything that must match for a
+/// resume to be sound — scan fingerprint, dimensions, the full
+/// reconstruction configuration (floats by exact bit pattern), and the
+/// engine. The slab plan deliberately participates too, so changing it
+/// invalidates old journals even though replay would still be correct.
+fn journal_key(
+    engine: Engine,
+    cfg: &ReconstructionConfig,
+    dims: (usize, usize, usize),
+    fingerprint: Option<u64>,
+) -> JournalKey {
+    let mut d = String::new();
+    let _ = write!(
+        d,
+        "scan={:016x};dims={}x{}x{};",
+        fingerprint.unwrap_or(0),
+        dims.0,
+        dims.1,
+        dims.2
+    );
+    let _ = write!(
+        d,
+        "depth={:016x}..{:016x}/{};cutoff={:016x};edge={:?};",
+        cfg.depth_start.to_bits(),
+        cfg.depth_end.to_bits(),
+        cfg.n_depth_bins,
+        cfg.intensity_cutoff.to_bits(),
+        cfg.wire_edge,
+    );
+    let _ = write!(
+        d,
+        "slab={:?};ring={:?};engine={}",
+        cfg.rows_per_slab,
+        cfg.pipeline_depth,
+        engine.label()
+    );
+    JournalKey::new(d)
 }
 
 #[cfg(test)]
@@ -502,6 +828,134 @@ mod tests {
         assert_eq!(r2.table_cache.device_hits, 0);
         assert_eq!(r2.table_cache.host_hits, 1);
         assert_eq!(r2.image.data, cold.image.data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gpu_multi_engine_matches_single_gpu() {
+        let (path, _) = scan_file("multi");
+        let p = Pipeline::default();
+        let mut c = cfg();
+        c.rows_per_slab = Some(2);
+        let single = p.run_scan_file(&path, &c, Engine::GpuPipelined).unwrap();
+        let multi = p
+            .run_scan_file(&path, &c, Engine::GpuMulti { devices: 3 })
+            .unwrap();
+        assert_eq!(multi.engine, "gpu-multi(3)");
+        assert_eq!(multi.image.data, single.image.data);
+        assert_eq!(multi.stats, single.stats);
+        assert!(multi.n_slabs >= 3);
+        assert_eq!(multi.recovery.devices_lost, 0);
+        assert!(
+            multi.total_time_s < single.total_time_s,
+            "three devices must beat one ({} vs {})",
+            multi.total_time_s,
+            single.total_time_s
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_resume_completes_an_interrupted_run_bit_identically() {
+        let (path, _) = scan_file("resume");
+        let jdir = std::env::temp_dir().join(format!("pipeline_{}_resume_jrn", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        let mut c = cfg();
+        c.rows_per_slab = Some(2);
+        let baseline = Pipeline::default()
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
+            .unwrap();
+
+        // The device dies at its third slab launch; abort policy surfaces
+        // the loss but the journal keeps the two committed slabs.
+        let dying = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(2)),
+            journal_dir: Some(jdir.clone()),
+            ..Pipeline::default()
+        };
+        assert!(dying
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                }
+            )
+            .is_err());
+        assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 1);
+
+        // A fresh healthy pipeline with --resume replays them and computes
+        // only the remainder — bit-identical, provenance recorded.
+        let resumed_pipeline = Pipeline {
+            journal_dir: Some(jdir.clone()),
+            resume: true,
+            ..Pipeline::default()
+        };
+        let r = resumed_pipeline
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.image.data, baseline.image.data);
+        assert_eq!(r.stats, baseline.stats);
+        let resume = r.recovery.resume.as_ref().expect("resume provenance");
+        assert_eq!(resume.slabs_replayed, 2);
+        assert!(
+            r.summary().contains("resumed from journal"),
+            "{}",
+            r.summary()
+        );
+        // The finished run retires its journal.
+        assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 0);
+
+        std::fs::remove_dir_all(&jdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fallback_salvages_gpu_committed_slabs() {
+        let (path, _) = scan_file("salvage");
+        let mut c = cfg();
+        c.rows_per_slab = Some(2);
+        let cpu = Pipeline::default()
+            .run_scan_file(&path, &c, Engine::CpuSeq)
+            .unwrap();
+        let p = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(2)),
+            on_gpu_failure: GpuFailurePolicy::FallbackCpu,
+            ..Pipeline::default()
+        };
+        let r = p
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.image.data, cpu.image.data);
+        assert_eq!(r.stats, cpu.stats);
+        assert_eq!(
+            r.recovery.salvaged_slabs, 2,
+            "the two GPU-committed slabs are kept"
+        );
+        assert_eq!(
+            r.recovery.recomputed_slabs, 1,
+            "the CPU recomputes one remaining band"
+        );
+        assert!(r.fallback.is_some());
+        assert!(r.summary().contains("salvage:"), "{}", r.summary());
         std::fs::remove_file(&path).ok();
     }
 

@@ -6,10 +6,16 @@
 //! ([`write_all`](FileWriter::write_all)) or chunk by chunk
 //! ([`write_chunk`](FileWriter::write_chunk)) for generators that produce
 //! one image at a time.
+//!
+//! Writes are crash-safe: everything goes to `<path>.tmp`, and only
+//! [`FileWriter::finish`] — after a flush and fsync — atomically renames the
+//! temporary into place. An interrupted export therefore never leaves a
+//! truncated or headerless file at the destination; at worst a stale `.tmp`
+//! remains (and a writer dropped without finishing removes it).
 
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::attr::AttrValue;
 use crate::codec::{encode_chunk, Codec};
@@ -25,6 +31,10 @@ use crate::{Result, FORMAT_VERSION, HEADER_LEN, MAGIC};
 #[derive(Debug)]
 pub struct FileWriter {
     out: BufWriter<File>,
+    /// Where the bytes actually go until `finish` renames them into place.
+    tmp_path: PathBuf,
+    /// The destination the caller asked for.
+    final_path: PathBuf,
     table: ObjectTable,
     /// Per-dataset chunk directories being filled (`None` = not yet written).
     pending: Vec<Option<Vec<Option<ChunkEntry>>>>,
@@ -41,21 +51,33 @@ impl FileWriter {
     /// The root group of every file.
     pub const ROOT: ObjectId = ObjectId(0);
 
-    /// Create (truncate) `path` and write the provisional header.
+    /// Open a writer targeting `path`. Bytes stream into `<path>.tmp` —
+    /// the destination itself is untouched until [`FileWriter::finish`]
+    /// renames the completed file into place.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<FileWriter> {
+        let final_path = path.as_ref().to_path_buf();
+        let file_name = final_path
+            .file_name()
+            .ok_or_else(|| Mh5Error::WriterState("path has no file name".into()))?;
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp_path = final_path.with_file_name(tmp_name);
         let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(&tmp_path)?;
         let mut out = BufWriter::new(file);
         out.write_all(&MAGIC)?;
         out.write_all(&FORMAT_VERSION.to_le_bytes())?;
         out.write_all(&0u64.to_le_bytes())?; // metadata offset, patched later
         out.write_all(&0u64.to_le_bytes())?; // metadata length
         out.write_all(&0u64.to_le_bytes())?; // file length
+        out.flush()?;
         Ok(FileWriter {
             out,
+            tmp_path,
+            final_path,
             table: ObjectTable::with_root(),
             pending: vec![None],
             codecs: vec![Codec::Raw],
@@ -301,7 +323,10 @@ impl FileWriter {
     }
 
     /// Finish the file: verify every dataset is complete, append the
-    /// CRC-protected metadata block, and patch the header.
+    /// CRC-protected metadata block, patch the header, fsync, and
+    /// atomically rename the temporary into the destination. The
+    /// destination either keeps its old content or gains the complete new
+    /// file — never anything in between.
     pub fn finish(mut self) -> Result<()> {
         self.check_open()?;
         // Finalize extendable datasets: at least one slice, shape patched.
@@ -348,8 +373,29 @@ impl FileWriter {
         file.write_all(&meta_len.to_le_bytes())?;
         file.write_all(&file_len.to_le_bytes())?;
         file.flush()?;
+        // Durability before visibility: the temporary's bytes must be on
+        // disk before the rename makes them the destination.
+        file.sync_all()?;
+        fs::rename(&self.tmp_path, &self.final_path)?;
+        // Persist the rename itself (best effort — not all platforms allow
+        // opening a directory for sync).
+        if let Some(parent) = self.final_path.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
         self.finished = true;
         Ok(())
+    }
+}
+
+impl Drop for FileWriter {
+    fn drop(&mut self) {
+        // An unfinished writer (abandoned or errored) leaves the
+        // destination untouched; clean up its temporary.
+        if !self.finished {
+            let _ = fs::remove_file(&self.tmp_path);
+        }
     }
 }
 
@@ -367,11 +413,53 @@ mod tests {
     #[test]
     fn header_is_written_up_front() {
         let p = tmp("header");
+        let tmp_file =
+            p.with_file_name(format!("{}.tmp", p.file_name().unwrap().to_string_lossy()));
         let w = FileWriter::create(&p).unwrap();
-        drop(w);
-        let bytes = std::fs::read(&p).unwrap();
+        // The in-flight bytes live in the temporary, header first...
+        let bytes = std::fs::read(&tmp_file).unwrap();
         assert!(bytes.len() >= HEADER_LEN as usize);
         assert_eq!(&bytes[..8], &MAGIC);
+        // ...while the destination stays untouched until `finish`.
+        assert!(!p.exists(), "destination must not exist mid-write");
+        drop(w);
+        assert!(
+            !tmp_file.exists(),
+            "abandoned writer cleans up its temporary"
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn finish_renames_atomically_and_failed_finish_leaves_no_output() {
+        let p = tmp("atomic");
+        let tmp_file =
+            p.with_file_name(format!("{}.tmp", p.file_name().unwrap().to_string_lossy()));
+
+        // A complete write lands at the destination, temporary gone.
+        let mut w = FileWriter::create(&p).unwrap();
+        let ds = w
+            .create_dataset(FileWriter::ROOT, "d", Dtype::U8, &[2], &[2])
+            .unwrap();
+        w.write_chunk(ds, 0, &[7u8, 9]).unwrap();
+        w.finish().unwrap();
+        assert!(p.exists());
+        assert!(!tmp_file.exists());
+        let bytes = std::fs::read(&p).unwrap();
+        assert_eq!(&bytes[..8], &MAGIC, "finished file is a valid mh5");
+
+        // A failed finish (incomplete dataset) must not clobber the
+        // previously finished file, and must clean its temporary.
+        let mut w = FileWriter::create(&p).unwrap();
+        w.create_dataset(FileWriter::ROOT, "d", Dtype::U8, &[4], &[2])
+            .unwrap();
+        assert!(w.finish().is_err());
+        assert_eq!(
+            std::fs::read(&p).unwrap(),
+            bytes,
+            "old output survives an interrupted rewrite"
+        );
+        assert!(!tmp_file.exists());
         std::fs::remove_file(&p).ok();
     }
 

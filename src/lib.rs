@@ -56,7 +56,10 @@ pub mod prelude {
     pub use cuda_sim::{Device, DeviceProps, ExecMode, FaultPlan, FaultStats, HostProps};
     pub use laue_core::cache::{DepthTableCache, TableCacheStats};
     pub use laue_core::gpu::{GpuOptions, Layout, PipelineDepth, Triangulation};
-    pub use laue_core::multi::{reconstruct_multi, reconstruct_multi_pipelined};
+    pub use laue_core::journal::{CommittedSlab, JournalKey, RunJournal, SlabProgress};
+    pub use laue_core::multi::{
+        reconstruct_multi, reconstruct_multi_checkpointed, reconstruct_multi_pipelined,
+    };
     pub use laue_core::planning::{pixel_scan_info, plan_scan, PixelScanInfo, ScanPlan};
     pub use laue_core::post::{depth_map, find_peaks, DepthMapOptions, DepthPeak};
     pub use laue_core::{
@@ -64,7 +67,9 @@ pub mod prelude {
         SlabSource, WireEdge,
     };
     pub use laue_geometry::{Beam, DepthMapper, DetectorGeometry, Vec3, WireGeometry};
-    pub use laue_pipeline::{Engine, GpuFailurePolicy, Pipeline, RunReport};
+    pub use laue_pipeline::{
+        Engine, GpuFailurePolicy, Pipeline, RecoveryAccounting, ResumeInfo, RunReport,
+    };
     pub use laue_wire::{
         read_scan, write_scan, SamplePlan, Scatterer, SyntheticScan, SyntheticScanBuilder,
     };
