@@ -6,15 +6,21 @@
 //! the harness itself took, for CI trend-watching only.
 //!
 //! Run: `cargo run --release -p laue-bench --bin bench_report -- \
-//!       [--quick] [--out BENCH_pipeline.json]`
+//!       [--quick] [--out BENCH_pipeline.json] [--check ci/perf_smoke_baseline.txt]`
+//!
+//! `--check FILE` turns the report into a perf gate: FILE holds the maximum
+//! allowed compact/dense modeled-kernel-time ratio at the ~25 %-active
+//! operating point (one float, `#` comments allowed); the process exits
+//! non-zero if the measured ratio regresses past it.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use cuda_sim::{Device, DeviceProps};
-use laue_bench::{standard_config, Workload};
+use laue_bench::{delta_percentile, standard_config, Workload};
 use laue_core::cache::TableCacheStats;
 use laue_core::gpu::{self, GpuOptions, PipelineDepth};
+use laue_core::CompactionMode;
 use laue_pipeline::{Engine, Pipeline};
 
 fn json_stats(s: &TableCacheStats) -> String {
@@ -33,6 +39,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
     let started = Instant::now();
 
     // 1. The CPU/GPU ladder over the Fig 8 sizes (one size in quick mode).
@@ -148,6 +158,43 @@ fn main() {
     );
     assert_eq!(degraded_fleet.recovery.devices_lost, 1);
 
+    // 5. Sparsity compaction: dense vs compacted gpu-1d at the paper's
+    // ~25 %-active operating point (Fig 9's sparsest column). The compact
+    // run must stay bit-identical and — prescan cost included — cut the
+    // modeled kernel time; `--check` turns the ratio into a CI gate.
+    let sparse_cutoff = delta_percentile(w, 0.75);
+    let gpu1d = Engine::Gpu {
+        layout: laue_core::gpu::Layout::Flat1d,
+    };
+    let run_mode = |mode: CompactionMode| {
+        let mut c = standard_config();
+        c.intensity_cutoff = sparse_cutoff;
+        c.compaction = mode;
+        let mut source = w.source();
+        Pipeline::default()
+            .run_source(&mut source, &w.scan.geometry, &c, gpu1d)
+            .expect("compaction run")
+    };
+    let dense = run_mode(CompactionMode::Off);
+    let compact = run_mode(CompactionMode::On);
+    let auto = run_mode(CompactionMode::Auto);
+    assert_eq!(
+        dense.image.data, compact.image.data,
+        "compacted run must be bit-identical to dense"
+    );
+    assert_eq!(
+        dense.image.data, auto.image.data,
+        "auto run must be bit-identical to dense"
+    );
+    let mean_density = |r: &laue_pipeline::RunReport| {
+        if r.slab_densities.is_empty() {
+            0.0
+        } else {
+            r.slab_densities.iter().sum::<f64>() / r.slab_densities.len() as f64
+        }
+    };
+    let compact_ratio = compact.compute_time_s / dense.compute_time_s;
+
     let mut json = String::from("{\n");
     writeln!(json, "  \"generated_by\": \"bench_report\",").unwrap();
     writeln!(json, "  \"quick\": {quick},").unwrap();
@@ -195,6 +242,42 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"compaction\": {{").unwrap();
+    writeln!(json, "    \"cutoff\": {sparse_cutoff:.6},").unwrap();
+    writeln!(
+        json,
+        "    \"active_fraction\": {:.6},",
+        dense.stats.active_fraction()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"dense_compute_s\": {:.9},",
+        dense.compute_time_s
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"compact_compute_s\": {:.9},",
+        compact.compute_time_s
+    )
+    .unwrap();
+    writeln!(json, "    \"auto_compute_s\": {:.9},", auto.compute_time_s).unwrap();
+    writeln!(json, "    \"compact_over_dense\": {compact_ratio:.6},").unwrap();
+    writeln!(
+        json,
+        "    \"mean_slab_density\": {:.6},",
+        mean_density(&compact)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"compacted_pairs\": {},",
+        compact.stats.compacted_pairs
+    )
+    .unwrap();
+    writeln!(json, "    \"culled_rows\": {}", compact.stats.culled_rows).unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(
         json,
         "  \"wall_clock_s\": {:.3}",
@@ -211,4 +294,32 @@ fn main() {
         warm.total_time_s,
         warm.table_cache.hits()
     );
+    println!(
+        "compaction @ {:.1} % active: dense {:.4} s → compact {:.4} s kernel \
+         (ratio {:.3}, mean slab density {:.3})",
+        100.0 * dense.stats.active_fraction(),
+        dense.compute_time_s,
+        compact.compute_time_s,
+        compact_ratio,
+        mean_density(&compact),
+    );
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {path}: {e}"));
+        let budget: f64 = text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .and_then(|l| l.parse().ok())
+            .unwrap_or_else(|| panic!("--check: {path} holds no ratio"));
+        if compact_ratio > budget {
+            eprintln!(
+                "PERF REGRESSION: compact/dense kernel-time ratio {compact_ratio:.4} \
+                 exceeds the committed budget {budget:.4} ({path})"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate: ratio {compact_ratio:.4} within budget {budget:.4}");
+    }
 }

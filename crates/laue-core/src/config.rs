@@ -4,6 +4,61 @@ use crate::error::CoreError;
 use crate::Result;
 use laue_geometry::WireEdge;
 
+/// How the engines exploit differential-stack sparsity.
+///
+/// Every mode produces bit-identical images: the sparsity pass only removes
+/// work that provably deposits nothing (sub-cutoff differentials and pairs
+/// whose wire-shadow band misses the reconstruction window for an entire
+/// detector row). The modes differ only in whether the prescan/compaction
+/// cost is paid and when the compacted launch is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionMode {
+    /// Dense traversal of the full `(row, col, pair)` domain. No prescan,
+    /// no culling — the behaviour of every release before this knob.
+    #[default]
+    Off,
+    /// Always cull wire-shadowed rows and run the metered prescan, then
+    /// pick dense or compacted execution per slab from the measured active
+    /// density ([`AUTO_COMPACT_MAX_DENSITY`]).
+    Auto,
+    /// Always cull, prescan, and launch over the compacted work-list,
+    /// regardless of density.
+    On,
+}
+
+/// Above this measured active-pair density, [`CompactionMode::Auto`]
+/// falls back to the dense launch for the slab: the compacted list would
+/// cover nearly the whole domain, so the list traffic cannot pay for
+/// itself.
+pub const AUTO_COMPACT_MAX_DENSITY: f64 = 0.75;
+
+impl CompactionMode {
+    /// Stable lower-case label used by the CLI and the run journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompactionMode::Off => "off",
+            CompactionMode::Auto => "auto",
+            CompactionMode::On => "on",
+        }
+    }
+
+    /// Parse a CLI spelling (`off`, `auto`, `on`).
+    pub fn parse(s: &str) -> Option<CompactionMode> {
+        match s {
+            "off" => Some(CompactionMode::Off),
+            "auto" => Some(CompactionMode::Auto),
+            "on" => Some(CompactionMode::On),
+            _ => None,
+        }
+    }
+
+    /// Whether this mode runs the sparsity pass at all.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, CompactionMode::Off)
+    }
+}
+
 /// Parameters of a depth reconstruction run.
 ///
 /// ```
@@ -37,6 +92,9 @@ pub struct ReconstructionConfig {
     /// may be in flight at once (1 = the paper's serial pipeline, 2 =
     /// double buffering). `None` lets the engine choose per its defaults.
     pub pipeline_depth: Option<usize>,
+    /// Sparsity strategy: wire-shadow row culling plus active-pair
+    /// compaction. Defaults to [`CompactionMode::Off`] (dense traversal).
+    pub compaction: CompactionMode,
 }
 
 impl ReconstructionConfig {
@@ -50,6 +108,7 @@ impl ReconstructionConfig {
             wire_edge: WireEdge::Leading,
             rows_per_slab: None,
             pipeline_depth: None,
+            compaction: CompactionMode::default(),
         }
     }
 
@@ -144,6 +203,22 @@ mod tests {
         c.pipeline_depth = Some(3);
         assert!(c.validate().is_ok());
         assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn compaction_mode_round_trips_and_defaults_off() {
+        let c = ReconstructionConfig::new(-100.0, 100.0, 50);
+        assert_eq!(c.compaction, CompactionMode::Off);
+        assert!(!c.compaction.enabled());
+        for m in [
+            CompactionMode::Off,
+            CompactionMode::Auto,
+            CompactionMode::On,
+        ] {
+            assert_eq!(CompactionMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(CompactionMode::parse("dense"), None);
+        assert!(CompactionMode::Auto.enabled() && CompactionMode::On.enabled());
     }
 
     #[test]

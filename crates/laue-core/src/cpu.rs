@@ -11,12 +11,16 @@
 use cuda_sim::{Cost, HostProps};
 use laue_geometry::DepthMapper;
 
-use crate::config::ReconstructionConfig;
+use crate::config::{CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::ScanView;
 use crate::output::DepthImage;
-use crate::pair::{process_pair, MEM_BYTES_PER_DEPOSIT, MEM_BYTES_PER_PAIR};
+use crate::pair::{
+    differential, process_pair, COMPACT_ENTRY_BYTES, MEM_BYTES_PER_DEPOSIT, MEM_BYTES_PER_PAIR,
+    PRESCAN_BYTES_PER_READ, PRESCAN_FLOPS_PER_PAIR,
+};
+use crate::planning::ShadowCull;
 use crate::stats::ReconStats;
 use crate::Result;
 
@@ -29,6 +33,10 @@ pub struct CpuReconstruction {
     pub stats: ReconStats,
     /// Logical work performed, for the virtual-time model.
     pub cost: Cost,
+    /// Measured active-pair density per processed unit (whole view for the
+    /// in-memory engines, one entry per chunk when streaming). Empty when
+    /// compaction is off.
+    pub slab_densities: Vec<f64>,
 }
 
 impl CpuReconstruction {
@@ -103,6 +111,133 @@ fn reconstruct_rows(
     (image, stats, cost)
 }
 
+/// Sparsity-aware variant of [`reconstruct_rows`]: the host-side equivalent
+/// of the GPU prescan kernel. Pass 1 walks each pixel's step column once,
+/// testing every non-culled pair against the cutoff (charged at prescan
+/// rates); pass 2 then executes either the compacted work-list or — when
+/// [`CompactionMode::Auto`] measures a high density — the dense loop over
+/// the non-culled strips. Deposits happen per output cell in the same
+/// step-ascending order as the dense path, so the image is bit-identical.
+///
+/// Returns the measured active density (active / non-culled pairs) along
+/// with the usual triple. The cull's own build cost is *not* charged here —
+/// callers charge `cull.host_flops` exactly once per run.
+fn reconstruct_rows_sparse(
+    view: &ScanView<'_>,
+    geom: &ScanGeometry,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    rows: std::ops::Range<usize>,
+    detector_row_offset: usize,
+    cull: &ShadowCull,
+) -> (DepthImage, ReconStats, Cost, f64) {
+    let n_rows_out = rows.len();
+    let n_cols = view.n_cols;
+    let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows_out, n_cols);
+    let mut stats = ReconStats::default();
+    let mut cost = Cost::default();
+    let wire_centers = geom.wire.centers();
+    let n_pairs = view.n_images - 1;
+    let row0 = rows.start;
+
+    // Per row: the pairs that survive wire-shadow culling, plus how many
+    // distinct images a column scan over them touches (a run of k
+    // consecutive pairs shares loads and reads k + 1 images).
+    let live_per_row: Vec<Vec<usize>> = rows
+        .clone()
+        .map(|r| cull.live_pairs(detector_row_offset + r))
+        .collect();
+    for live in &live_per_row {
+        for z in 0..n_pairs {
+            if !live.contains(&z) {
+                stats.record_culled_row(n_cols as u64);
+            }
+        }
+    }
+
+    // Pass 1 — prescan: mark pairs with |ΔI| above the cutoff.
+    let mut active = vec![false; n_rows_out * n_cols * n_pairs];
+    let mut live_total = 0u64;
+    let mut active_total = 0u64;
+    for (i, live) in live_per_row.iter().enumerate() {
+        if live.is_empty() {
+            continue;
+        }
+        let mut touched = live.len() as u64 + 1;
+        for w in live.windows(2) {
+            if w[1] != w[0] + 1 {
+                touched += 1;
+            }
+        }
+        let r = row0 + i;
+        for c in 0..n_cols {
+            cost.mem_bytes += PRESCAN_BYTES_PER_READ * touched;
+            cost.flops += PRESCAN_FLOPS_PER_PAIR * live.len() as u64;
+            live_total += live.len() as u64;
+            for &z in live {
+                let delta = differential(cfg, view.at(z, r, c), view.at(z + 1, r, c));
+                if delta.abs() > cfg.intensity_cutoff {
+                    active[(i * n_cols + c) * n_pairs + z] = true;
+                    active_total += 1;
+                }
+            }
+        }
+    }
+    let density = if live_total == 0 {
+        0.0
+    } else {
+        active_total as f64 / live_total as f64
+    };
+    let compact = match cfg.compaction {
+        CompactionMode::On => true,
+        CompactionMode::Auto => density <= AUTO_COMPACT_MAX_DENSITY,
+        CompactionMode::Off => unreachable!("sparse path requires compaction"),
+    };
+
+    // Pass 2 — execute. Compact: only active pairs, each paying the
+    // work-list emit + read on top of the dense per-pair traffic;
+    // sub-cutoff pairs were already settled by the prescan. Dense
+    // fallback: every non-culled pair pays the full dense rate (the
+    // prescan was measurement overhead, charged above).
+    for (i, live) in live_per_row.iter().enumerate() {
+        if live.is_empty() {
+            continue;
+        }
+        let r = row0 + i;
+        for c in 0..n_cols {
+            let pixel = geom
+                .detector
+                .pixel_to_xyz_unchecked((detector_row_offset + r) as f64, c as f64);
+            for &z in live {
+                if compact && !active[(i * n_cols + c) * n_pairs + z] {
+                    stats.record_compacted();
+                    continue;
+                }
+                cost.mem_bytes += MEM_BYTES_PER_PAIR;
+                if compact {
+                    cost.mem_bytes += 2 * COMPACT_ENTRY_BYTES;
+                }
+                let outcome = process_pair(
+                    mapper,
+                    cfg,
+                    pixel,
+                    wire_centers[z],
+                    wire_centers[z + 1],
+                    view.at(z, r, c),
+                    view.at(z + 1, r, c),
+                    |bin, amount| {
+                        cost.mem_bytes += MEM_BYTES_PER_DEPOSIT;
+                        *image.at_mut(bin, i, c) += amount;
+                    },
+                    &mut cost.flops,
+                );
+                stats.record(outcome);
+            }
+        }
+    }
+    (image, stats, cost, density)
+}
+
 /// The paper's baseline: a single-threaded pass over the whole stack.
 pub fn reconstruct_seq(
     view: &ScanView<'_>,
@@ -112,8 +247,25 @@ pub fn reconstruct_seq(
     cfg.validate()?;
     check_shapes(view, geom)?;
     let mapper = geom.mapper()?;
+    if cfg.compaction.enabled() {
+        let cull = ShadowCull::compute(geom, &mapper, cfg, 0..view.n_rows);
+        let (image, stats, mut cost, density) =
+            reconstruct_rows_sparse(view, geom, &mapper, cfg, 0..view.n_rows, 0, &cull);
+        cost.flops += cull.host_flops;
+        return Ok(CpuReconstruction {
+            image,
+            stats,
+            cost,
+            slab_densities: vec![density],
+        });
+    }
     let (image, stats, cost) = reconstruct_rows(view, geom, &mapper, cfg, 0..view.n_rows, 0);
-    Ok(CpuReconstruction { image, stats, cost })
+    Ok(CpuReconstruction {
+        image,
+        stats,
+        cost,
+        slab_densities: Vec::new(),
+    })
 }
 
 /// Streaming variant of the sequential engine: pulls `rows_per_chunk`
@@ -143,16 +295,31 @@ pub fn reconstruct_streaming(
         )));
     }
     let mapper = geom.mapper()?;
+    let cull = cfg
+        .compaction
+        .enabled()
+        .then(|| ShadowCull::compute(geom, &mapper, cfg, 0..n_rows));
     let mut image = DepthImage::zeroed(cfg.n_depth_bins, n_rows, n_cols);
     let mut stats = ReconStats::default();
     let mut cost = Cost::default();
+    let mut slab_densities = Vec::new();
+    if let Some(cull) = &cull {
+        cost.flops += cull.host_flops;
+    }
     let mut row0 = 0usize;
     while row0 < n_rows {
         let rows = rows_per_chunk.min(n_rows - row0);
         let slab = source.read_slab(row0, rows)?;
         let view = ScanView::new(&slab, n_images, rows, n_cols)?;
-        let (part, part_stats, part_cost) =
-            reconstruct_rows(&view, geom, &mapper, cfg, 0..rows, row0);
+        let (part, part_stats, part_cost) = match &cull {
+            Some(cull) => {
+                let (part, s, c, density) =
+                    reconstruct_rows_sparse(&view, geom, &mapper, cfg, 0..rows, row0, cull);
+                slab_densities.push(density);
+                (part, s, c)
+            }
+            None => reconstruct_rows(&view, geom, &mapper, cfg, 0..rows, row0),
+        };
         stats.merge(&part_stats);
         cost.merge(&part_cost);
         for bin in 0..cfg.n_depth_bins {
@@ -164,7 +331,12 @@ pub fn reconstruct_streaming(
         }
         row0 += rows;
     }
-    Ok(CpuReconstruction { image, stats, cost })
+    Ok(CpuReconstruction {
+        image,
+        stats,
+        cost,
+        slab_densities,
+    })
 }
 
 /// Row-parallel reconstruction across `n_threads` OS threads.
@@ -195,29 +367,51 @@ pub fn reconstruct_threaded(
         ranges.push(start..start + len);
         start += len;
     }
-    let parts: Vec<(DepthImage, ReconStats, Cost, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                let mapper = &mapper;
-                scope.spawn(move || {
-                    let row0 = range.start;
-                    let (img, stats, cost) = reconstruct_rows(view, geom, mapper, cfg, range, 0);
-                    (img, stats, cost, row0)
+    let cull = cfg
+        .compaction
+        .enabled()
+        .then(|| ShadowCull::compute(geom, &mapper, cfg, 0..view.n_rows));
+    let parts: Vec<(DepthImage, ReconStats, Cost, usize, Option<f64>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    let mapper = &mapper;
+                    let cull = cull.as_ref();
+                    scope.spawn(move || {
+                        let row0 = range.start;
+                        match cull {
+                            Some(cull) => {
+                                let (img, stats, cost, density) = reconstruct_rows_sparse(
+                                    view, geom, mapper, cfg, range, 0, cull,
+                                );
+                                (img, stats, cost, row0, Some(density))
+                            }
+                            None => {
+                                let (img, stats, cost) =
+                                    reconstruct_rows(view, geom, mapper, cfg, range, 0);
+                                (img, stats, cost, row0, None)
+                            }
+                        }
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
     let mut image = DepthImage::zeroed(cfg.n_depth_bins, view.n_rows, view.n_cols);
     let mut stats = ReconStats::default();
     let mut cost = Cost::default();
-    for (part, part_stats, part_cost, row0) in parts {
+    let mut slab_densities = Vec::new();
+    if let Some(cull) = &cull {
+        cost.flops += cull.host_flops;
+    }
+    for (part, part_stats, part_cost, row0, density) in parts {
         stats.merge(&part_stats);
         cost.merge(&part_cost);
+        slab_densities.extend(density);
         for bin in 0..cfg.n_depth_bins {
             for r in 0..part.n_rows {
                 for c in 0..part.n_cols {
@@ -226,7 +420,12 @@ pub fn reconstruct_threaded(
             }
         }
     }
-    Ok(CpuReconstruction { image, stats, cost })
+    Ok(CpuReconstruction {
+        image,
+        stats,
+        cost,
+        slab_densities,
+    })
 }
 
 #[cfg(test)]
@@ -408,6 +607,149 @@ mod tests {
         }
         let mut src = InMemorySlabSource::new(data, p, m, n).unwrap();
         assert!(reconstruct_streaming(&mut src, &geom, &cfg, 0).is_err());
+    }
+
+    /// A stack with per-pixel ramps of varying size, so a mid percentile
+    /// cutoff leaves a genuinely mixed active/inactive population.
+    fn mixed_stack(p: usize, m: usize, n: usize) -> Vec<f64> {
+        (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                let px = i % (m * n);
+                900.0 - (px % 9) as f64 * 5.0 * z as f64 - (px % 3) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compaction_modes_match_dense_bitwise() {
+        let (geom, mut cfg) = demo();
+        let (p, m, n) = (10, 6, 6);
+        let data = mixed_stack(p, m, n);
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        // A cutoff that splits the pair population roughly in half.
+        cfg.intensity_cutoff = 18.0;
+        let dense = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert!(dense.slab_densities.is_empty());
+        for mode in [CompactionMode::Auto, CompactionMode::On] {
+            let mut cfg = cfg.clone();
+            cfg.compaction = mode;
+            let seq = reconstruct_seq(&view, &geom, &cfg).unwrap();
+            assert_eq!(dense.image.data, seq.image.data, "{mode:?} seq");
+            assert!(seq.stats.is_consistent());
+            assert_eq!(seq.slab_densities.len(), 1);
+            // The wide demo window culls nothing, so the classification is
+            // identical to dense — only the new counters move.
+            assert_eq!(seq.stats.culled_rows, 0);
+            assert_eq!(seq.stats.pairs_total, dense.stats.pairs_total);
+            assert_eq!(seq.stats.pairs_deposited, dense.stats.pairs_deposited);
+            assert_eq!(seq.stats.pairs_below_cutoff, dense.stats.pairs_below_cutoff);
+            for threads in [2, 5] {
+                let par = reconstruct_threaded(&view, &geom, &cfg, threads).unwrap();
+                assert_eq!(
+                    dense.image.data, par.image.data,
+                    "{mode:?} threads {threads}"
+                );
+            }
+            for chunk in [1usize, 4, 100] {
+                let mut src = InMemorySlabSource::new(data.clone(), p, m, n).unwrap();
+                let streamed = reconstruct_streaming(&mut src, &geom, &cfg, chunk).unwrap();
+                assert_eq!(
+                    dense.image.data, streamed.image.data,
+                    "{mode:?} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_on_is_deterministic_across_engines() {
+        let (geom, mut cfg) = demo();
+        let (p, m, n) = (10, 6, 6);
+        let data = mixed_stack(p, m, n);
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        cfg.intensity_cutoff = 18.0;
+        cfg.compaction = CompactionMode::On;
+        let seq = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert!(seq.stats.compacted_pairs > 0);
+        assert_eq!(seq.stats.compacted_pairs, seq.stats.pairs_below_cutoff);
+        for threads in [1, 3, 8] {
+            let par = reconstruct_threaded(&view, &geom, &cfg, threads).unwrap();
+            assert_eq!(seq.image.data, par.image.data);
+            assert_eq!(seq.stats, par.stats);
+            assert_eq!(seq.cost.flops, par.cost.flops);
+        }
+        let mut src = InMemorySlabSource::new(data, p, m, n).unwrap();
+        let streamed = reconstruct_streaming(&mut src, &geom, &cfg, 2).unwrap();
+        assert_eq!(seq.image.data, streamed.image.data);
+        assert_eq!(seq.stats, streamed.stats);
+        assert_eq!(seq.cost.flops, streamed.cost.flops);
+    }
+
+    #[test]
+    fn compaction_cuts_modeled_traffic_on_sparse_stacks() {
+        let (geom, mut cfg) = demo();
+        // Static except one drop: almost everything is below-cutoff.
+        let data = single_drop_stack(&geom, 2, 2, 4);
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        cfg.intensity_cutoff = 1.0;
+        let dense = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        cfg.compaction = CompactionMode::On;
+        let compact = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert_eq!(dense.image.data, compact.image.data);
+        assert!(
+            compact.cost.mem_bytes < dense.cost.mem_bytes / 2,
+            "compact {} vs dense {} bytes",
+            compact.cost.mem_bytes,
+            dense.cost.mem_bytes
+        );
+        assert!(compact.slab_densities[0] < 0.05);
+    }
+
+    #[test]
+    fn wire_shadow_culling_preserves_bits_on_narrow_windows() {
+        let geom = ScanGeometry::demo(6, 6, 10, -60.0, 6.0).unwrap();
+        // A window covering only part of the swept range, so whole
+        // (pair, row) strips drop out.
+        let mut cfg = ReconstructionConfig::new(-350.0, 150.0, 50);
+        let (p, m, n) = (10, 6, 6);
+        let data = mixed_stack(p, m, n);
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        let dense = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        for mode in [CompactionMode::Auto, CompactionMode::On] {
+            cfg.compaction = mode;
+            let culled = reconstruct_seq(&view, &geom, &cfg).unwrap();
+            assert_eq!(dense.image.data, culled.image.data, "{mode:?}");
+            assert!(culled.stats.is_consistent());
+            assert!(culled.stats.culled_rows > 0, "window should cull strips");
+            assert_eq!(culled.stats.pairs_total, dense.stats.pairs_total);
+            assert_eq!(culled.stats.pairs_deposited, dense.stats.pairs_deposited);
+            assert_eq!(culled.stats.deposits, dense.stats.deposits);
+        }
+    }
+
+    #[test]
+    fn auto_mode_falls_back_to_dense_at_high_density() {
+        let (geom, cfg) = demo();
+        let (p, m, n) = (10, 6, 6);
+        // Every pair well above the zero cutoff → density 1.0.
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| 500.0 - 13.0 * (i / (m * n)) as f64)
+            .collect();
+        let view = ScanView::new(&data, p, m, n).unwrap();
+        let dense = reconstruct_seq(&view, &geom, &cfg).unwrap();
+        let mut auto_cfg = cfg.clone();
+        auto_cfg.compaction = CompactionMode::Auto;
+        let auto = reconstruct_seq(&view, &geom, &auto_cfg).unwrap();
+        assert_eq!(dense.image.data, auto.image.data);
+        assert_eq!(auto.slab_densities, vec![1.0]);
+        // Dense fallback: nothing was compacted away.
+        assert_eq!(auto.stats.compacted_pairs, 0);
+        let mut on_cfg = cfg;
+        on_cfg.compaction = CompactionMode::On;
+        let on = reconstruct_seq(&view, &geom, &on_cfg).unwrap();
+        assert_eq!(dense.image.data, on.image.data);
+        assert_eq!(on.stats.compacted_pairs, 0); // nothing below cutoff
     }
 
     #[test]

@@ -45,13 +45,14 @@ use cuda_sim::{Device, DeviceBuffer, LaunchConfig, Meters, StreamId};
 use laue_geometry::{DepthMapper, Vec3};
 
 use crate::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
-use crate::config::ReconstructionConfig;
+use crate::config::{CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::SlabSource;
 use crate::journal::{RunJournal, SlabProgress};
 use crate::output::DepthImage;
-use crate::pair::{plan_pair, PairPlan};
+use crate::pair::{plan_pair, PairPlan, PRESCAN_BYTES_PER_READ, PRESCAN_FLOPS_PER_PAIR};
+use crate::planning::ShadowCull;
 use crate::stats::ReconStats;
 use crate::Result;
 
@@ -221,10 +222,15 @@ pub struct GpuReconstruction {
     /// Depth-table cache accounting for this run (all zeros when no cache
     /// was attached).
     pub table_cache: TableCacheStats,
+    /// Achieved active-pair density per slab, in slab order (empty when
+    /// compaction is off).
+    pub slab_densities: Vec<f64>,
 }
 
 /// Modeled device bytes needed for `slots` concurrently resident slabs of
-/// `rows` detector rows each (`slots` = ring depth).
+/// `rows` detector rows each (`slots` = ring depth). With compaction
+/// enabled each slab also reserves the worst-case work-list (one u64 per
+/// pair) plus the prescan's count cell.
 fn slab_bytes(
     rows: usize,
     n_images: usize,
@@ -232,6 +238,7 @@ fn slab_bytes(
     n_bins: usize,
     opts: GpuOptions,
     slots: usize,
+    compaction: CompactionMode,
 ) -> u64 {
     let layout = opts.layout;
     let row = (n_cols * 8) as u64;
@@ -246,18 +253,27 @@ fn slab_bytes(
         Layout::Flat1d => 0,
         Layout::Pointer3d => (n_images as u64 + n_bins as u64) * 8,
     };
+    let worklist = if compaction.enabled() {
+        (n_images as u64 - 1) * rows as u64 * row + 8
+    } else {
+        0
+    };
     // Alignment padding: every allocation rounds up to 256 bytes; the
     // pointer layout makes one allocation per image/bin.
-    let allocs: u64 = match layout {
+    let mut allocs: u64 = match layout {
         Layout::Flat1d => 4,
         Layout::Pointer3d => (n_images + n_bins) as u64 + 4,
     };
-    let base = intensity + pixels + output + tables + allocs * 256;
+    if compaction.enabled() {
+        allocs += 2; // work-list + prescan counter
+    }
+    let base = intensity + pixels + output + tables + worklist + allocs * 256;
     slots as u64 * base
 }
 
 /// Largest `rows_per_slab` such that `slots` slabs fit in `budget` bytes
 /// together (the ring keeps `slots` slabs resident at once).
+#[allow(clippy::too_many_arguments)]
 pub fn fit_rows_per_slab(
     budget: u64,
     n_rows: usize,
@@ -266,6 +282,7 @@ pub fn fit_rows_per_slab(
     n_bins: usize,
     opts: GpuOptions,
     slots: usize,
+    compaction: CompactionMode,
 ) -> Result<usize> {
     // Leave headroom for the wire-centre table and fragmentation.
     let budget = budget - budget / 10;
@@ -274,7 +291,7 @@ pub fn fit_rows_per_slab(
     let mut hi = n_rows;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        if slab_bytes(mid, n_images, n_cols, n_bins, opts, slots) <= budget {
+        if slab_bytes(mid, n_images, n_cols, n_bins, opts, slots, compaction) <= budget {
             best = mid;
             lo = mid + 1;
         } else {
@@ -286,7 +303,7 @@ pub fn fit_rows_per_slab(
     }
     if best == 0 {
         return Err(CoreError::DeviceCapacity {
-            needed: slab_bytes(1, n_images, n_cols, n_bins, opts, slots),
+            needed: slab_bytes(1, n_images, n_cols, n_bins, opts, slots, compaction),
             budget,
         });
     }
@@ -344,6 +361,127 @@ pub(crate) enum DepthTableRef {
     },
 }
 
+/// The two-level sparsity plan for one slab: which `(row, pair)` combos
+/// survive wire-shadow culling, and — from the prescan — which `(pixel,
+/// pair)` entries carry a differential above the cutoff.
+///
+/// Host-side this is the ground truth the metered `prescan` kernel writes
+/// into the device work-list; the main kernel then reads the list back
+/// through metered accesses, so the virtual-time model charges both sides
+/// of the compaction hand-off.
+pub(crate) struct SlabSparsity {
+    /// Slab-local rows with at least one live pair (prescan launch domain).
+    live_rows: Vec<u32>,
+    /// Per slab row: live pair indices, ascending (empty for culled rows).
+    live_pairs: Vec<Vec<u32>>,
+    /// Per slab row: distinct images one pixel's prescan column scan reads
+    /// (a run of `k` consecutive live pairs touches `k + 1` images).
+    touched: Vec<u32>,
+    /// Live `(slab_row, pair)` combos in `(r, z)` order — the banded launch
+    /// domain used when culling bites but compaction is off for this slab.
+    combos: Vec<(u32, u32)>,
+    /// CSR offsets over slab pixels (`r · n_cols + c`), length
+    /// `rows · n_cols + 1`, indexing into `entries`.
+    offsets: Vec<u32>,
+    /// Active entries packed `(r << 40) | (c << 20) | z`, `(r, c, z)` order
+    /// — the same per-output-cell deposit order as the dense launch.
+    entries: Vec<u64>,
+    /// Per slab pixel: live pairs whose differential fell below the cutoff
+    /// (traced by the prescan so the main kernel can skip them entirely).
+    below_per_pixel: Vec<u32>,
+    /// `(row, pair)` combos removed by wire-shadow culling.
+    culled_combos: u64,
+    /// Active fraction among live (un-culled) pairs; 0 when nothing is live.
+    density: f64,
+    /// Whether this slab launches over the compacted list.
+    compact: bool,
+}
+
+/// Build one slab's sparsity plan from its host-side intensities.
+fn plan_slab_sparsity(
+    slab: &[f64],
+    cull: &ShadowCull,
+    cfg: &ReconstructionConfig,
+    n_images: usize,
+    row0: usize,
+    rows: usize,
+    n_cols: usize,
+) -> SlabSparsity {
+    let n_pairs = n_images - 1;
+    let mut live_rows = Vec::new();
+    let mut live_pairs: Vec<Vec<u32>> = Vec::with_capacity(rows);
+    let mut touched = Vec::with_capacity(rows);
+    let mut combos = Vec::new();
+    let mut culled_combos = 0u64;
+    for r in 0..rows {
+        let live = cull.live_pairs(row0 + r);
+        culled_combos += (n_pairs - live.len()) as u64;
+        if !live.is_empty() {
+            live_rows.push(r as u32);
+            for &z in &live {
+                combos.push((r as u32, z as u32));
+            }
+        }
+        let mut t = 0u32;
+        let mut prev: Option<usize> = None;
+        for &z in &live {
+            t += if prev == Some(z.wrapping_sub(1)) {
+                1
+            } else {
+                2
+            };
+            prev = Some(z);
+        }
+        touched.push(t);
+        live_pairs.push(live.into_iter().map(|z| z as u32).collect());
+    }
+    let mut offsets = Vec::with_capacity(rows * n_cols + 1);
+    offsets.push(0u32);
+    let mut entries = Vec::new();
+    let mut below_per_pixel = vec![0u32; rows * n_cols];
+    let mut live_total = 0u64;
+    for r in 0..rows {
+        for c in 0..n_cols {
+            let pix = r * n_cols + c;
+            for &z in &live_pairs[r] {
+                let z = z as usize;
+                live_total += 1;
+                let i0 = slab[(z * rows + r) * n_cols + c];
+                let i1 = slab[((z + 1) * rows + r) * n_cols + c];
+                let delta = crate::pair::differential(cfg, i0, i1);
+                if delta.abs() > cfg.intensity_cutoff {
+                    entries.push(((r as u64) << 40) | ((c as u64) << 20) | z as u64);
+                } else {
+                    below_per_pixel[pix] += 1;
+                }
+            }
+            offsets.push(entries.len() as u32);
+        }
+    }
+    let density = if live_total == 0 {
+        0.0
+    } else {
+        entries.len() as f64 / live_total as f64
+    };
+    let compact = match cfg.compaction {
+        CompactionMode::Off => false,
+        CompactionMode::On => true,
+        CompactionMode::Auto => density <= AUTO_COMPACT_MAX_DENSITY,
+    };
+    SlabSparsity {
+        live_rows,
+        live_pairs,
+        touched,
+        combos,
+        offsets,
+        entries,
+        below_per_pixel,
+        culled_combos,
+        density,
+        compact,
+    }
+}
+
 pub(crate) struct SlabUpload {
     buffers: SlabBuffers,
     pub(crate) mapping: ThreadMapping,
@@ -356,6 +494,12 @@ pub(crate) struct SlabUpload {
     row0: usize,
     /// Virtual time when the last H2D copy of this slab completes.
     ready_at: f64,
+    /// Sparsity plan, present whenever compaction is enabled for the run.
+    sparsity: Option<SlabSparsity>,
+    /// Device work-list the prescan emits (compact slabs only).
+    list_buf: Option<DeviceBuffer<u64>>,
+    /// Prescan's count cell (one u64; the count phase is always paid).
+    counter_buf: Option<DeviceBuffer<u64>>,
 }
 
 /// Upload one slab's data under the chosen layout.
@@ -376,12 +520,28 @@ pub(crate) fn upload_slab(
     row0: usize,
     rows: usize,
     recovery: &mut RecoveryLog,
+    cull: Option<&ShadowCull>,
 ) -> Result<SlabUpload> {
     let layout = opts.layout;
     let n_images = source.n_images();
     let n_cols = source.n_cols();
     let slab = source.read_slab(row0, rows)?;
     debug_assert_eq!(slab.len(), n_images * rows * n_cols);
+
+    // Sparsity planning happens against the host copy of the slab; the
+    // device-side cost of the scan is charged by the prescan kernel.
+    let sparsity =
+        cull.map(|cull| plan_slab_sparsity(&slab, cull, cfg, n_images, row0, rows, n_cols));
+    let counter_buf = match &sparsity {
+        Some(_) => Some(device.alloc::<u64>(1)?),
+        None => None,
+    };
+    let list_buf = match &sparsity {
+        Some(sp) if sp.compact && !sp.entries.is_empty() => {
+            Some(device.alloc::<u64>(sp.entries.len())?)
+        }
+        _ => None,
+    };
 
     // Pixel positions for the slab (the `pixel_xyz` table).
     let mut pix = Vec::with_capacity(rows * n_cols * 3);
@@ -500,10 +660,87 @@ pub(crate) fn upload_slab(
         rows,
         row0,
         ready_at,
+        sparsity,
+        list_buf,
+        counter_buf,
     })
 }
 
-/// Launch the `set_two` kernel for one uploaded slab.
+/// Launch the metered `prescan` kernel for one uploaded slab: one thread
+/// per live pixel scans its live pairs' differentials, charging the column
+/// reads and compare FLOPs, and — when the slab compacts — emits the
+/// active-entry work-list and traces the below-cutoff pairs the main
+/// kernel will never see. Returns `None` when every row was culled.
+pub(crate) fn launch_prescan(
+    device: &Device,
+    stream: StreamId,
+    upload: &SlabUpload,
+    n_cols: usize,
+) -> Result<Option<cuda_sim::LaunchRecord>> {
+    let Some(sp) = &upload.sparsity else {
+        return Ok(None);
+    };
+    if sp.live_rows.is_empty() {
+        return Ok(None);
+    }
+    let total = (sp.live_rows.len() * n_cols) as u64;
+    let kernel = |ctx: &mut cuda_sim::ThreadCtx<'_>| {
+        let id = ctx.global_id().x as usize;
+        if id as u64 >= total {
+            return;
+        }
+        let r = sp.live_rows[id / n_cols] as usize;
+        let c = id % n_cols;
+        // The column scan reads each touched image once per pixel and does
+        // a subtract-and-compare per live pair.
+        ctx.charge_mem_bytes(PRESCAN_BYTES_PER_READ * sp.touched[r] as u64);
+        ctx.charge_flops(PRESCAN_FLOPS_PER_PAIR * sp.live_pairs[r].len() as u64);
+        if sp.compact {
+            let pix = r * n_cols + c;
+            for _ in 0..sp.below_per_pixel[pix] {
+                ctx.trace(TRACE_BELOW_CUTOFF);
+            }
+            if let Some(list) = &upload.list_buf {
+                for k in sp.offsets[pix] as usize..sp.offsets[pix + 1] as usize {
+                    ctx.write(list, k, sp.entries[k]);
+                }
+            }
+        }
+        // Block leaders aggregate the per-block counts (the count phase is
+        // paid whether or not the slab ends up compacting).
+        if ctx.thread_idx.x == 0 {
+            if let Some(counter) = &upload.counter_buf {
+                ctx.atomic_add_u64(counter, 0, 1);
+            }
+        }
+    };
+    device
+        .launch_on(
+            stream,
+            "prescan",
+            LaunchConfig::linear(total, BLOCK_SIZE),
+            kernel,
+        )
+        .map(Some)
+        .map_err(CoreError::from)
+}
+
+/// The `set_two` launch domain, picked per slab from its sparsity plan.
+enum LaunchShape<'a> {
+    /// Full dense `(row, col, pair)` grid (no sparsity, or nothing culled
+    /// and the density heuristic chose dense).
+    Dense,
+    /// Live `(row, pair)` combos × columns — culling bit but the slab is
+    /// too dense to compact.
+    Banded { combos: &'a [(u32, u32)] },
+    /// One thread per work-list entry, read back from the device list the
+    /// prescan emitted.
+    Compact { list: &'a DeviceBuffer<u64> },
+}
+
+/// Launch the `set_two` kernel for one uploaded slab. Returns `None` when
+/// the slab's launch domain is empty (every pair culled, or the compacted
+/// work-list has no entries).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn launch_set_two(
     device: &Device,
@@ -514,11 +751,35 @@ pub(crate) fn launch_set_two(
     cfg: &ReconstructionConfig,
     n_images: usize,
     n_cols: usize,
-) -> Result<cuda_sim::LaunchRecord> {
+) -> Result<Option<cuda_sim::LaunchRecord>> {
     let rows = upload.rows;
     let n_pairs = n_images - 1;
-    let total = (rows * n_cols * n_pairs) as u64;
     let mapping = upload.mapping;
+    let shape = match &upload.sparsity {
+        None => LaunchShape::Dense,
+        Some(sp) if sp.compact => {
+            if sp.entries.is_empty() {
+                return Ok(None);
+            }
+            LaunchShape::Compact {
+                list: upload.list_buf.as_ref().expect("compact slab has a list"),
+            }
+        }
+        Some(sp) if sp.culled_combos > 0 => {
+            if sp.combos.is_empty() {
+                return Ok(None);
+            }
+            LaunchShape::Banded { combos: &sp.combos }
+        }
+        Some(_) => LaunchShape::Dense,
+    };
+    let total = match &shape {
+        LaunchShape::Dense => (rows * n_cols * n_pairs) as u64,
+        LaunchShape::Banded { combos } => (combos.len() * n_cols) as u64,
+        LaunchShape::Compact { .. } => {
+            upload.sparsity.as_ref().map_or(0, |sp| sp.entries.len()) as u64
+        }
+    };
     // Fig 6 mapping: 3-D blocks over (rows, cols, pairs); pair-blocks past
     // block.z fold into grid.x to satisfy Fermi's grid.z = 1.
     let block = cuda_sim::Dim3::new(4, 8, (n_pairs as u64).clamp(1, 8));
@@ -529,34 +790,62 @@ pub(crate) fn launch_set_two(
         (n_cols as u64).div_ceil(block.y),
         1,
     );
-    let launch_cfg = match mapping {
-        ThreadMapping::Linear => LaunchConfig::linear(total, BLOCK_SIZE),
-        ThreadMapping::Grid3d => LaunchConfig::new(grid3d, block),
+    // Sparse shapes always launch 1-D: their domain is a list, not a grid.
+    let launch_cfg = match (&shape, mapping) {
+        (LaunchShape::Dense, ThreadMapping::Grid3d) => LaunchConfig::new(grid3d, block),
+        _ => LaunchConfig::linear(total, BLOCK_SIZE),
     };
     let kernel = |ctx: &mut cuda_sim::ThreadCtx<'_>| {
-        let (r, c, z) = match mapping {
-            ThreadMapping::Linear => {
+        let (r, c, z) = match &shape {
+            LaunchShape::Dense => match mapping {
+                ThreadMapping::Linear => {
+                    let id = ctx.global_id().x as usize;
+                    if id as u64 >= total {
+                        return;
+                    }
+                    // Pair index fastest: deposits into one pixel's bins
+                    // happen in step order, matching the CPU loop nest.
+                    let z = id % n_pairs;
+                    let pc = id / n_pairs;
+                    (pc / n_cols, pc % n_cols, z)
+                }
+                ThreadMapping::Grid3d => {
+                    // Unfold the pair-block component from grid.x.
+                    let bx = ctx.block_idx.x % rows_blocks;
+                    let pz = ctx.block_idx.x / rows_blocks;
+                    let r = (bx * ctx.block_dim.x + ctx.thread_idx.x) as usize;
+                    let c = ctx.global_id().y as usize;
+                    let z = (pz * ctx.block_dim.z + ctx.thread_idx.z) as usize;
+                    if r >= rows || c >= n_cols || z >= n_pairs {
+                        return;
+                    }
+                    (r, c, z)
+                }
+            },
+            LaunchShape::Banded { combos } => {
                 let id = ctx.global_id().x as usize;
                 if id as u64 >= total {
                     return;
                 }
-                // Pair index fastest: deposits into one pixel's bins happen
-                // in step order, matching the CPU loop nest.
-                let z = id % n_pairs;
-                let pc = id / n_pairs;
-                (pc / n_cols, pc % n_cols, z)
+                // Combos are (r, z)-sorted with columns innermost, so each
+                // output cell still sees its deposits in ascending z.
+                let (br, bz) = combos[id / n_cols];
+                ctx.charge_mem_bytes(8); // combo descriptor fetch
+                (br as usize, id % n_cols, bz as usize)
             }
-            ThreadMapping::Grid3d => {
-                // Unfold the pair-block component from grid.x.
-                let bx = ctx.block_idx.x % rows_blocks;
-                let pz = ctx.block_idx.x / rows_blocks;
-                let r = (bx * ctx.block_dim.x + ctx.thread_idx.x) as usize;
-                let c = ctx.global_id().y as usize;
-                let z = (pz * ctx.block_dim.z + ctx.thread_idx.z) as usize;
-                if r >= rows || c >= n_cols || z >= n_pairs {
+            LaunchShape::Compact { list } => {
+                let id = ctx.global_id().x as usize;
+                if id as u64 >= total {
                     return;
                 }
-                (r, c, z)
+                // Entries were emitted in (r, c, z) order, so per-cell
+                // deposit order matches the dense pair-fastest mapping.
+                let e = ctx.read(list, id);
+                (
+                    ((e >> 40) & 0xFFFFF) as usize,
+                    ((e >> 20) & 0xFFFFF) as usize,
+                    (e & 0xFFFFF) as usize,
+                )
             }
         };
         // The 1-D↔3-D index conversions the paper trades against pointer
@@ -661,6 +950,7 @@ pub(crate) fn launch_set_two(
     };
     device
         .launch_on(stream, "set_two", launch_cfg, kernel)
+        .map(Some)
         .map_err(CoreError::from)
 }
 
@@ -716,15 +1006,30 @@ pub(crate) fn download_slab(
 pub(crate) type SlabSink<'a> =
     Option<&'a mut dyn FnMut(usize, usize, &ReconStats, &[f64]) -> Result<()>>;
 
-/// The one launch's share of the pair counters (launches map 1:1 to slabs).
-fn slab_stats(rec: &cuda_sim::LaunchRecord, pairs_total: u64) -> ReconStats {
+/// One slab's share of the pair counters, combining its (optional) prescan
+/// and main launches. Culled combos never launch a thread: their pairs are
+/// provably out of the depth window, so they count as `pairs_out_of_range`
+/// and one `culled_rows` per combo. Below-cutoff pairs the prescan dropped
+/// before the main launch count as both `pairs_below_cutoff` and
+/// `compacted_pairs`.
+fn slab_stats(
+    prescan: Option<&cuda_sim::LaunchRecord>,
+    main: Option<&cuda_sim::LaunchRecord>,
+    pairs_total: u64,
+    culled_combos: u64,
+    n_cols: usize,
+) -> ReconStats {
+    let t = |rec: Option<&cuda_sim::LaunchRecord>, slot: usize| rec.map_or(0, |r| r.traces[slot]);
+    let compacted = t(prescan, TRACE_BELOW_CUTOFF);
     ReconStats {
         pairs_total,
-        pairs_below_cutoff: rec.traces[TRACE_BELOW_CUTOFF],
-        pairs_invalid_geometry: rec.traces[TRACE_INVALID],
-        pairs_out_of_range: rec.traces[TRACE_OUT_OF_RANGE],
-        pairs_deposited: rec.traces[TRACE_DEPOSITED],
-        deposits: rec.traces[TRACE_DEPOSITS],
+        pairs_below_cutoff: compacted + t(main, TRACE_BELOW_CUTOFF),
+        pairs_invalid_geometry: t(main, TRACE_INVALID),
+        pairs_out_of_range: t(main, TRACE_OUT_OF_RANGE) + culled_combos * n_cols as u64,
+        pairs_deposited: t(main, TRACE_DEPOSITED),
+        deposits: t(main, TRACE_DEPOSITS),
+        culled_rows: culled_combos,
+        compacted_pairs: compacted,
     }
 }
 
@@ -754,6 +1059,12 @@ fn commit_slab(
 pub(crate) fn stats_from_records(device: &Device, pairs_total: u64) -> ReconStats {
     let mut stats = ReconStats::default();
     for rec in device.records() {
+        if rec.name == "prescan" {
+            // Prescan traces only the below-cutoff pairs it dropped; the
+            // compacted/culled attribution comes from the ring outcome.
+            stats.pairs_below_cutoff += rec.traces[TRACE_BELOW_CUTOFF];
+            continue;
+        }
         if rec.name != "set_two" {
             continue;
         }
@@ -839,6 +1150,12 @@ pub(crate) struct RingOutcome {
     /// Ring depth actually used (memory pressure may shrink it).
     pub(crate) depth_used: usize,
     pub(crate) cache_stats: TableCacheStats,
+    /// `(row, pair)` combos removed by wire-shadow culling.
+    pub(crate) culled_rows: u64,
+    /// Pairs the prescan dropped before the main launch (compact slabs).
+    pub(crate) compacted_pairs: u64,
+    /// Achieved active-pair density per slab (empty when compaction off).
+    pub(crate) slab_densities: Vec<f64>,
 }
 
 /// Resolve where the kernel's depth tables come from. With a cache
@@ -975,6 +1292,17 @@ pub(crate) fn run_ring(
         _ => opts,
     };
 
+    // Level-1 sparsity: the wire-shadow cull table for this band, built
+    // once on the host (the triangulation FLOPs are charged like the
+    // host-table path's).
+    let cull = if cfg.compaction.enabled() {
+        let cull = ShadowCull::compute(geom, mapper, cfg, band.clone());
+        host_table_flops += cull.host_flops;
+        Some(cull)
+    } else {
+        None
+    };
+
     let band_rows = band.end - band.start;
     let budget = device.mem_capacity() - device.mem_used();
     let mut slots = depth.0;
@@ -993,6 +1321,7 @@ pub(crate) fn run_ring(
                 cfg.n_depth_bins,
                 sizing_opts,
                 slots,
+                cfg.compaction,
             ) {
                 Ok(r) => break r,
                 Err(CoreError::DeviceCapacity { .. }) if slots > 1 => slots = (slots / 2).max(1),
@@ -1005,10 +1334,13 @@ pub(crate) fn run_ring(
     // oldest first.
     let mut ring: VecDeque<(SlabUpload, f64, ReconStats)> = VecDeque::with_capacity(slots);
     let mut n_slabs = 0usize;
+    let mut culled_rows_total = 0u64;
+    let mut compacted_total = 0u64;
+    let mut slab_densities = Vec::new();
     let mut row0 = band.start;
     while row0 < band.end {
         let rows = rows_per_slab.min(band.end - row0);
-        let attempt = (|| -> Result<u64> {
+        let attempt = (|| -> Result<(u64, u64, u64, Option<f64>)> {
             if ring.len() == slots {
                 // Free the oldest slot: download after its kernel, and gate
                 // the upcoming upload on the download so the reused memory
@@ -1040,9 +1372,11 @@ pub(crate) fn run_ring(
                 row0,
                 rows,
                 recovery,
+                cull.as_ref(),
             )?;
             device.wait_until(compute_stream, upload.ready_at);
-            let rec = launch_set_two(
+            let prescan = launch_prescan(device, compute_stream, &upload, n_cols)?;
+            let main = launch_set_two(
                 device,
                 compute_stream,
                 &upload,
@@ -1054,13 +1388,28 @@ pub(crate) fn run_ring(
             )?;
             let flops = upload.host_flops;
             let pairs = (rows * n_cols * (n_images - 1)) as u64;
-            let stats = slab_stats(&rec, pairs);
-            ring.push_back((upload, rec.end_s, stats));
-            Ok(flops)
+            let culled = upload.sparsity.as_ref().map_or(0, |sp| sp.culled_combos);
+            let density = upload.sparsity.as_ref().map(|sp| sp.density);
+            let stats = slab_stats(prescan.as_ref(), main.as_ref(), pairs, culled, n_cols);
+            let compacted = stats.compacted_pairs;
+            // An all-culled or empty-list slab never launches: its output
+            // rows stay zero and the slot frees at upload time.
+            let kernel_end = main
+                .as_ref()
+                .map(|r| r.end_s)
+                .or_else(|| prescan.as_ref().map(|r| r.end_s))
+                .unwrap_or(upload.ready_at);
+            ring.push_back((upload, kernel_end, stats));
+            Ok((flops, culled, compacted, density))
         })();
         match attempt {
-            Ok(flops) => {
+            Ok((flops, culled, compacted, density)) => {
                 host_table_flops += flops;
+                culled_rows_total += culled;
+                compacted_total += compacted;
+                if let Some(d) = density {
+                    slab_densities.push(d);
+                }
                 n_slabs += 1;
                 row0 += rows;
             }
@@ -1121,6 +1470,9 @@ pub(crate) fn run_ring(
         host_table_flops,
         depth_used: slots,
         cache_stats,
+        culled_rows: culled_rows_total,
+        compacted_pairs: compacted_total,
+        slab_densities,
     })
 }
 
@@ -1164,9 +1516,14 @@ pub fn reconstruct_pipelined(
 
     let elapsed_s = device.synchronize();
     let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
+    // Culled combos never launched a thread; attribute their pairs here.
+    let mut stats = stats_from_records(device, pairs_total);
+    stats.pairs_out_of_range += outcome.culled_rows * n_cols as u64;
+    stats.culled_rows = outcome.culled_rows;
+    stats.compacted_pairs = outcome.compacted_pairs;
     Ok(GpuReconstruction {
         image,
-        stats: stats_from_records(device, pairs_total),
+        stats,
         meters: device.meters(),
         rows_per_slab: outcome.rows_per_slab,
         n_slabs: outcome.n_slabs,
@@ -1176,6 +1533,7 @@ pub fn reconstruct_pipelined(
         recovery,
         pipeline_depth: outcome.depth_used,
         table_cache: outcome.cache_stats,
+        slab_densities: outcome.slab_densities,
     })
 }
 
@@ -1213,6 +1571,7 @@ pub fn reconstruct_checkpointed(
     let mut host_table_flops = 0u64;
     let mut depth_used = depth.0;
     let mut cache_stats = TableCacheStats::default();
+    let mut slab_densities = Vec::new();
     for band in progress.uncovered(0..n_rows) {
         let (image, mut tracker) = progress.split_mut();
         let mut journal = journal.as_deref_mut();
@@ -1241,6 +1600,7 @@ pub fn reconstruct_checkpointed(
         host_table_flops += outcome.host_table_flops;
         depth_used = outcome.depth_used;
         cache_stats.merge(&outcome.cache_stats);
+        slab_densities.extend(outcome.slab_densities);
     }
     // Counts every committed slab, replayed and fresh alike.
     let n_slabs = progress.committed_slabs();
@@ -1258,6 +1618,7 @@ pub fn reconstruct_checkpointed(
         recovery,
         pipeline_depth: depth_used,
         table_cache: cache_stats,
+        slab_densities,
     })
 }
 
@@ -1352,7 +1713,7 @@ mod tests {
         let (geom, cfg, data) = demo();
         // Budget only fits ~2 rows: intensity 10 img × 6 cols × 8 B = 480 B
         // per row, output 40 bins × 48 B per row...
-        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), 1);
+        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), 1, CompactionMode::Off);
         let device = Device::new(DeviceProps::tiny(3 * need_1));
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
@@ -1500,7 +1861,7 @@ mod tests {
         let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
 
         let device = big_device();
-        let need_2 = slab_bytes(2, 10, 6, 40, GpuOptions::default(), 1);
+        let need_2 = slab_bytes(2, 10, 6, 40, GpuOptions::default(), 1, CompactionMode::Off);
         device.set_fault_plan(cuda_sim::FaultPlan::new(0).report_mem_bytes(2 * need_2));
         let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
         let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
@@ -1617,7 +1978,7 @@ mod tests {
         // A card that fits exactly one single-slot slab: requesting k = 4
         // must degrade the ring rather than error.
         let (geom, cfg, data) = demo();
-        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), 1);
+        let need_1 = slab_bytes(1, 10, 6, 40, GpuOptions::default(), 1, CompactionMode::Off);
         // Headroom: the planner reserves 10 % + the wire table.
         let device = Device::new(DeviceProps::tiny(2 * need_1));
         let mut cfg = cfg.clone();
@@ -1877,19 +2238,65 @@ mod tests {
     #[test]
     fn fit_rows_per_slab_is_maximal() {
         let budget = 10 * 1024 * 1024;
-        let rows = fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), 1).unwrap();
+        let rows = fit_rows_per_slab(
+            budget,
+            512,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            1,
+            CompactionMode::Off,
+        )
+        .unwrap();
         assert!(rows >= 1);
-        let used = slab_bytes(rows, 32, 128, 64, GpuOptions::default(), 1);
-        let next = slab_bytes(rows + 1, 32, 128, 64, GpuOptions::default(), 1);
+        let used = slab_bytes(
+            rows,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            1,
+            CompactionMode::Off,
+        );
+        let next = slab_bytes(
+            rows + 1,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            1,
+            CompactionMode::Off,
+        );
         let headroom = budget - budget / 10;
         assert!(
             used <= headroom && next > headroom,
             "{used} {next} {headroom}"
         );
         // Each additional ring slot shrinks the slab further.
-        let rows_2 = fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), 2).unwrap();
+        let rows_2 = fit_rows_per_slab(
+            budget,
+            512,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            2,
+            CompactionMode::Off,
+        )
+        .unwrap();
         assert!(rows_2 <= rows / 2 + 1);
-        let rows_4 = fit_rows_per_slab(budget, 512, 32, 128, 64, GpuOptions::default(), 4).unwrap();
+        let rows_4 = fit_rows_per_slab(
+            budget,
+            512,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            4,
+            CompactionMode::Off,
+        )
+        .unwrap();
         assert!(rows_4 <= rows_2);
         // The depth table enlarges the working set, shrinking the slab.
         let opts_tables = GpuOptions {
@@ -1897,7 +2304,17 @@ mod tests {
             triangulation: Triangulation::HostTables,
             ..GpuOptions::default()
         };
-        let rows_tbl = fit_rows_per_slab(budget, 512, 32, 128, 64, opts_tables, 1).unwrap();
+        let rows_tbl = fit_rows_per_slab(
+            budget,
+            512,
+            32,
+            128,
+            64,
+            opts_tables,
+            1,
+            CompactionMode::Off,
+        )
+        .unwrap();
         assert!(rows_tbl <= rows);
     }
 
@@ -2010,5 +2427,273 @@ mod tests {
             journal.remove().unwrap();
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn mixed_demo() -> (ScanGeometry, ReconstructionConfig, Vec<f64>) {
+        let geom = ScanGeometry::demo(6, 6, 10, -60.0, 6.0).unwrap();
+        // Wide enough that every depth band lies inside the window (no
+        // culling): the prescan's compaction is isolated from level 1.
+        let mut cfg = ReconstructionConfig::new(-1200.0, 1200.0, 120);
+        cfg.intensity_cutoff = 18.0;
+        let (p, m, n) = (10, 6, 6);
+        // Differential is (px % 9) * 5 per pair: a mix of below-cutoff and
+        // active pixels (density ~ 0.56 at cutoff 18).
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                let px = i % (m * n);
+                900.0 - (px % 9) as f64 * 5.0 * z as f64 - (px % 3) as f64
+            })
+            .collect();
+        (geom, cfg, data)
+    }
+
+    #[test]
+    fn compaction_matches_dense_bitwise_across_layouts() {
+        let (geom, cfg, data) = mixed_demo();
+        let opt_set = [
+            GpuOptions::default(),
+            GpuOptions {
+                layout: Layout::Pointer3d,
+                ..GpuOptions::default()
+            },
+            GpuOptions {
+                triangulation: Triangulation::HostTables,
+                ..GpuOptions::default()
+            },
+        ];
+        for opts in opt_set {
+            let device = big_device();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let dense = reconstruct_with_options(&device, &mut source, &geom, &cfg, opts).unwrap();
+            for mode in [CompactionMode::Auto, CompactionMode::On] {
+                let mut cfg = cfg.clone();
+                cfg.compaction = mode;
+                let device = big_device();
+                let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+                let sparse =
+                    reconstruct_with_options(&device, &mut source, &geom, &cfg, opts).unwrap();
+                assert_eq!(
+                    dense.image.data, sparse.image.data,
+                    "{opts:?} {mode:?} must be bit-identical to dense"
+                );
+                // The wide window culls nothing here, so every counter but
+                // the new attribution must match the dense run exactly.
+                assert_eq!(sparse.stats.culled_rows, 0);
+                assert!(sparse.stats.compacted_pairs > 0, "{mode:?} must compact");
+                assert_eq!(
+                    sparse.stats.compacted_pairs,
+                    sparse.stats.pairs_below_cutoff
+                );
+                let mut neutral = sparse.stats;
+                neutral.compacted_pairs = 0;
+                assert_eq!(neutral, dense.stats);
+                assert!(sparse.stats.is_consistent());
+                assert!(!sparse.slab_densities.is_empty());
+                for d in &sparse.slab_densities {
+                    assert!(*d > 0.4 && *d < 0.7, "density {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_with_culling_matches_cpu_bitwise() {
+        // Narrow depth window: wire-shadow culling removes whole (row, pair)
+        // combos, the prescan drops below-cutoff pairs, and the GPU engine
+        // must still agree with the CPU engine bit-for-bit, stats included.
+        let (geom, _, data) = mixed_demo();
+        let mut cfg = ReconstructionConfig::new(-350.0, 150.0, 25);
+        cfg.intensity_cutoff = 18.0;
+        cfg.compaction = CompactionMode::On;
+        let view = ScanView::new(&data, 10, 6, 6).unwrap();
+        let cpu_out = cpu::reconstruct_seq(&view, &geom, &cfg).unwrap();
+        assert!(cpu_out.stats.culled_rows > 0, "window must actually cull");
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let gpu_out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(cpu_out.image.data, gpu_out.image.data);
+        assert_eq!(cpu_out.stats, gpu_out.stats);
+
+        let mut dense_cfg = cfg.clone();
+        dense_cfg.compaction = CompactionMode::Off;
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let dense = reconstruct(&device, &mut source, &geom, &dense_cfg, Layout::Flat1d).unwrap();
+        assert_eq!(dense.image.data, gpu_out.image.data);
+    }
+
+    #[test]
+    fn compaction_is_chunking_invariant() {
+        let (geom, mut cfg, data) = mixed_demo();
+        cfg.compaction = CompactionMode::On;
+        let mut reference = None;
+        for rows in [1usize, 2, 3, 6] {
+            let mut cfg = cfg.clone();
+            cfg.rows_per_slab = Some(rows);
+            let device = big_device();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+            assert_eq!(out.slab_densities.len(), out.n_slabs);
+            match &reference {
+                None => reference = Some(out.image.data),
+                Some(r) => assert_eq!(r, &out.image.data, "rows_per_slab = {rows}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_cuts_modeled_kernel_time_on_sparse_stacks() {
+        // One pixel in 36 carries signal: the compacted launch touches a
+        // tiny fraction of the dense domain and the prescan's streaming
+        // column scan is far cheaper than the dense kernel's per-thread
+        // pixel/wire/intensity reads.
+        // Large enough that kernel work, not launch overhead, dominates
+        // the modeled time.
+        let geom = ScanGeometry::demo(24, 24, 16, -60.0, 6.0).unwrap();
+        let mut cfg = ReconstructionConfig::new(-1200.0, 1200.0, 120);
+        cfg.intensity_cutoff = 1.0;
+        let (p, m, n) = (16, 24, 24);
+        let data: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                let px = i % (m * n);
+                if px == 7 {
+                    900.0 - 40.0 * z as f64
+                } else {
+                    650.0
+                }
+            })
+            .collect();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), p, m, n).unwrap();
+        let dense = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        cfg.compaction = CompactionMode::Auto;
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data, p, m, n).unwrap();
+        let sparse = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(dense.image.data, sparse.image.data);
+        assert!(sparse.slab_densities.iter().all(|d| *d < 0.05));
+        assert!(
+            sparse.meters.compute_time_s < dense.meters.compute_time_s / 2.0,
+            "compact {} vs dense {}",
+            sparse.meters.compute_time_s,
+            dense.meters.compute_time_s
+        );
+    }
+
+    #[test]
+    fn auto_mode_launches_dense_at_full_density() {
+        // Every pair of the plain demo stack is active, so Auto must fall
+        // back to the dense launch: no compacted pairs, full-size set_two.
+        let (geom, _, data) = demo();
+        let mut cfg = ReconstructionConfig::new(-1200.0, 1200.0, 120);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let dense = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        cfg.compaction = CompactionMode::Auto;
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let auto = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(dense.image.data, auto.image.data);
+        assert_eq!(auto.stats.compacted_pairs, 0);
+        assert!(auto.slab_densities.iter().all(|d| *d == 1.0));
+        let records = device.records();
+        let main = records.iter().find(|r| r.name == "set_two").unwrap();
+        assert!(
+            main.threads >= 6 * 6 * 9,
+            "dense fallback launches the full grid: {}",
+            main.threads
+        );
+        assert!(
+            records.iter().any(|r| r.name == "prescan"),
+            "the density measurement itself must be paid for"
+        );
+    }
+
+    #[test]
+    fn fully_shadowed_window_skips_every_launch() {
+        // A depth window beyond every wire shadow: culling removes all
+        // combos, so nothing launches and the output is identically zero —
+        // exactly what the dense path produces the long way round.
+        let (geom, _, data) = demo();
+        let cfg = ReconstructionConfig::new(2500.0, 3500.0, 10);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let dense = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        let mut cfg = cfg.clone();
+        cfg.compaction = CompactionMode::Auto;
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let culled = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(dense.image.data, culled.image.data);
+        assert_eq!(culled.stats.pairs_total, dense.stats.pairs_total);
+        assert!(culled.stats.culled_rows > 0);
+        assert!(culled.stats.is_consistent());
+        if culled.stats.culled_rows == (6 * 9) as u64 {
+            // Everything culled: the device never saw a kernel.
+            assert!(device.records().is_empty(), "no launches at all");
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_the_slab_fit() {
+        let budget = 8 * 1024 * 1024u64;
+        let off = fit_rows_per_slab(
+            budget,
+            512,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            1,
+            CompactionMode::Off,
+        )
+        .unwrap();
+        let on = fit_rows_per_slab(
+            budget,
+            512,
+            32,
+            128,
+            64,
+            GpuOptions::default(),
+            1,
+            CompactionMode::On,
+        )
+        .unwrap();
+        assert!(
+            on < off,
+            "work-list reservation must shrink the fit: {on} vs {off}"
+        );
+    }
+
+    #[test]
+    fn checkpointed_compaction_matches_dense() {
+        let (geom, mut cfg, data) = mixed_demo();
+        cfg.rows_per_slab = Some(2);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let dense = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        cfg.compaction = CompactionMode::On;
+        let device = big_device();
+        let mut progress = SlabProgress::new(cfg.n_depth_bins, 6, 6);
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct_checkpointed(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::SERIAL,
+            None,
+            &mut progress,
+            None,
+        )
+        .unwrap();
+        assert_eq!(dense.image.data, out.image.data);
+        assert_eq!(out.slab_densities.len(), out.n_slabs);
+        let mut neutral = out.stats;
+        neutral.compacted_pairs = 0;
+        assert_eq!(neutral, dense.stats);
     }
 }

@@ -12,7 +12,7 @@
 //!          n_bins u64 | n_rows u64 | n_cols u64 |
 //!          desc_len u32 | description bytes | crc32 of all of the above
 //! record:  payload_len u32 | crc32(payload) |
-//!          payload = row0 u64 | rows u64 | 6 × ReconStats u64 |
+//!          payload = row0 u64 | rows u64 | 8 × ReconStats u64 |
 //!                    rows·n_bins·n_cols × f64 (slab rows, bin-major)
 //! ```
 //!
@@ -40,7 +40,10 @@ use crate::stats::ReconStats;
 use crate::{CoreError, Result};
 
 const MAGIC: [u8; 8] = *b"LAUEJRN1";
-const VERSION: u32 = 1;
+// v2 widened the per-slab stats block from 6 to 8 words (culled_rows,
+// compacted_pairs). A v1 journal fails the version check and the run starts
+// fresh — exactly the safe behaviour for a format change.
+const VERSION: u32 = 2;
 
 fn io_err(what: &str, e: std::io::Error) -> CoreError {
     CoreError::Journal(format!("{what}: {e}"))
@@ -169,7 +172,7 @@ impl RunJournal {
     ) -> Result<()> {
         let (n_bins, _, n_cols) = self.dims;
         debug_assert_eq!(data.len(), n_bins * rows * n_cols);
-        let mut payload = Vec::with_capacity(8 * (2 + 6) + 8 * data.len());
+        let mut payload = Vec::with_capacity(8 * (2 + STATS_WORDS) + 8 * data.len());
         payload.extend_from_slice(&(row0 as u64).to_le_bytes());
         payload.extend_from_slice(&(rows as u64).to_le_bytes());
         for v in stats_words(stats) {
@@ -200,7 +203,9 @@ impl RunJournal {
     }
 }
 
-fn stats_words(s: &ReconStats) -> [u64; 6] {
+const STATS_WORDS: usize = 8;
+
+fn stats_words(s: &ReconStats) -> [u64; STATS_WORDS] {
     [
         s.pairs_total,
         s.pairs_below_cutoff,
@@ -208,6 +213,8 @@ fn stats_words(s: &ReconStats) -> [u64; 6] {
         s.pairs_out_of_range,
         s.pairs_deposited,
         s.deposits,
+        s.culled_rows,
+        s.compacted_pairs,
     ]
 }
 
@@ -314,7 +321,7 @@ fn parse(
             break;
         };
         let (row0, rows) = (row0 as usize, rows as usize);
-        let mut words = [0u64; 6];
+        let mut words = [0u64; STATS_WORDS];
         let mut ok = true;
         for w in &mut words {
             match p.u64() {
@@ -326,10 +333,14 @@ fn parse(
             }
         }
         let n_values = n_bins * rows * n_cols;
-        if !ok || rows == 0 || row0 + rows > n_rows || payload.len() != 8 * (2 + 6) + 8 * n_values {
+        if !ok
+            || rows == 0
+            || row0 + rows > n_rows
+            || payload.len() != 8 * (2 + STATS_WORDS) + 8 * n_values
+        {
             break;
         }
-        let data: Vec<f64> = payload[8 * (2 + 6)..]
+        let data: Vec<f64> = payload[8 * (2 + STATS_WORDS)..]
             .chunks_exact(8)
             .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
             .collect();
@@ -343,6 +354,8 @@ fn parse(
                 pairs_out_of_range: words[3],
                 pairs_deposited: words[4],
                 deposits: words[5],
+                culled_rows: words[6],
+                compacted_pairs: words[7],
             },
             data,
         });

@@ -49,6 +49,9 @@ pub struct MultiGpuReconstruction {
     pub devices_lost: u32,
     /// Total committed slabs (replayed + fresh, over all devices).
     pub n_slabs: usize,
+    /// Achieved active-pair density per slab, in commit order across the
+    /// fleet (empty when compaction is off).
+    pub slab_densities: Vec<f64>,
 }
 
 /// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
@@ -183,6 +186,7 @@ pub fn reconstruct_multi_checkpointed(
 
     let mut recovery = RecoveryLog::default();
     let mut table_cache = TableCacheStats::default();
+    let mut slab_densities = Vec::new();
     let mut devices_lost = 0u32;
     let mut alive: Vec<bool> = devices.iter().map(|d| !d.is_lost()).collect();
     let mut participated: Vec<bool> = vec![false; devices.len()];
@@ -236,7 +240,10 @@ pub fn reconstruct_multi_checkpointed(
                 );
                 rows_done[di] += progress.committed_rows() - before;
                 match attempt {
-                    Ok(outcome) => table_cache.merge(&outcome.cache_stats),
+                    Ok(outcome) => {
+                        table_cache.merge(&outcome.cache_stats);
+                        slab_densities.extend(outcome.slab_densities);
+                    }
                     Err(e) if e.is_gpu_failure() => {
                         // The device is gone (or hopeless): drain it from
                         // the fleet. Whatever it committed before dying is
@@ -275,6 +282,7 @@ pub fn reconstruct_multi_checkpointed(
         table_cache,
         devices_lost,
         n_slabs: progress.committed_slabs(),
+        slab_densities,
     })
 }
 

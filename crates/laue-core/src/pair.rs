@@ -31,6 +31,20 @@ pub const MEM_BYTES_PER_PAIR: u64 = 2 * 8 + 3 * 8 + 6 * 8;
 /// Modeled memory traffic per deposit (read-modify-write of one bin).
 pub const MEM_BYTES_PER_DEPOSIT: u64 = 16;
 
+/// Bytes the compaction prescan reads per intensity element. The prescan
+/// walks each pixel's step column once, so consecutive pairs share loads —
+/// one f64 per touched image, not two per pair.
+pub const PRESCAN_BYTES_PER_READ: u64 = 8;
+
+/// FLOPs the prescan spends testing one pair against the cutoff
+/// (differential subtract + magnitude compare).
+pub const PRESCAN_FLOPS_PER_PAIR: u64 = 2;
+
+/// Bytes per compacted work-list entry: `(row, col, pair)` packed into one
+/// u64. Charged once when the prescan emits it and once when the main
+/// kernel reads it back.
+pub const COMPACT_ENTRY_BYTES: u64 = 8;
+
 /// What [`plan_pair`] decided for one `(pixel, step-pair)` element.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PairPlan {

@@ -8,9 +8,126 @@
 
 use laue_geometry::{DepthMapper, Vec3, WireEdge, WireGeometry};
 
+use crate::config::ReconstructionConfig;
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
+use crate::pair::FLOPS_PER_DEPTH;
 use crate::Result;
+
+/// Level-1 sparsity: per-(wire step, detector row) bounds on the edge
+/// depth, used to skip whole `(pair, row)` strips whose wire-shadow band
+/// provably misses the reconstruction window — before any intensity is
+/// read.
+///
+/// For each step `z` and detector row `r` the table holds the min/max edge
+/// depth over the row's columns (and an "unsafe" flag when any pixel's
+/// triangulation failed or returned a non-finite depth). A pair `(z, z+1)`
+/// on row `r` can only deposit inside `[min(lo_z, lo_z1), max(hi_z,
+/// hi_z1)]`; when that envelope misses `[depth_start, depth_end)` the whole
+/// strip is culled. The bound is conservative by construction — no
+/// monotonicity assumption about the depth map is needed — so culling never
+/// removes a pair the dense path would have deposited.
+#[derive(Debug, Clone)]
+pub struct ShadowCull {
+    row0: usize,
+    n_rows: usize,
+    n_steps: usize,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    unsafe_row: Vec<bool>,
+    depth_start: f64,
+    depth_end: f64,
+    /// Host FLOPs spent building the table (one triangulation per
+    /// (step, row, col)). Charged to whichever engine builds the cull.
+    pub host_flops: u64,
+}
+
+impl ShadowCull {
+    /// Build the cull table for detector rows `rows` of a scan.
+    pub fn compute(
+        geom: &ScanGeometry,
+        mapper: &DepthMapper,
+        cfg: &ReconstructionConfig,
+        rows: std::ops::Range<usize>,
+    ) -> ShadowCull {
+        let n_steps = geom.wire.n_steps;
+        let n_rows = rows.len();
+        let n_cols = geom.detector.n_cols;
+        let cells = n_steps * n_rows;
+        let mut lo = vec![f64::INFINITY; cells];
+        let mut hi = vec![f64::NEG_INFINITY; cells];
+        let mut unsafe_row = vec![false; cells];
+        for z in 0..n_steps {
+            let wire = geom.wire.center_unchecked(z as f64);
+            for (i, r) in rows.clone().enumerate() {
+                let cell = z * n_rows + i;
+                for c in 0..n_cols {
+                    let pixel = geom.detector.pixel_to_xyz_unchecked(r as f64, c as f64);
+                    match mapper.depth(pixel, wire, cfg.wire_edge) {
+                        Ok(d) if d.is_finite() => {
+                            if d < lo[cell] {
+                                lo[cell] = d;
+                            }
+                            if d > hi[cell] {
+                                hi[cell] = d;
+                            }
+                        }
+                        _ => unsafe_row[cell] = true,
+                    }
+                }
+            }
+        }
+        ShadowCull {
+            row0: rows.start,
+            n_rows,
+            n_steps,
+            lo,
+            hi,
+            unsafe_row,
+            depth_start: cfg.depth_start,
+            depth_end: cfg.depth_end,
+            host_flops: (n_steps * n_rows * n_cols) as u64 * FLOPS_PER_DEPTH,
+        }
+    }
+
+    #[inline]
+    fn cell(&self, z: usize, detector_row: usize) -> usize {
+        debug_assert!(detector_row >= self.row0 && detector_row < self.row0 + self.n_rows);
+        z * self.n_rows + (detector_row - self.row0)
+    }
+
+    /// Whether pair `(z, z+1)` on `detector_row` must be processed. `false`
+    /// means every pixel of the row is provably OutOfRange for this pair.
+    #[inline]
+    pub fn pair_row_live(&self, z: usize, detector_row: usize) -> bool {
+        debug_assert!(z + 1 < self.n_steps);
+        let a = self.cell(z, detector_row);
+        let b = self.cell(z + 1, detector_row);
+        if self.unsafe_row[a] || self.unsafe_row[b] {
+            // A failed triangulation means InvalidGeometry in the dense
+            // path, not OutOfRange — never cull it away.
+            return true;
+        }
+        let lo = self.lo[a].min(self.lo[b]);
+        let hi = self.hi[a].max(self.hi[b]);
+        // An empty row (no finite depth at all) keeps lo = +inf > hi:
+        // also invalid territory, keep it live.
+        if lo
+            .partial_cmp(&hi)
+            .is_none_or(|o| o == std::cmp::Ordering::Greater)
+        {
+            return true;
+        }
+        !(hi <= self.depth_start || lo >= self.depth_end)
+    }
+
+    /// The live (non-culled) pairs of one detector row, ascending.
+    pub fn live_pairs(&self, detector_row: usize) -> Vec<usize> {
+        (0..self.n_steps - 1)
+            .filter(|&z| self.pair_row_live(z, detector_row))
+            .collect()
+    }
+}
 
 /// Per-pixel scan characteristics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -235,6 +352,70 @@ mod tests {
         let fine = plan_scan(&g, 0.0, 50.0, 2.0).unwrap();
         assert!(fine.wire.n_steps > coarse.wire.n_steps);
         assert!(fine.resolution < coarse.resolution);
+    }
+
+    #[test]
+    fn shadow_cull_is_conservative_and_actually_culls() {
+        use crate::pair::{plan_from_band, PairPlan};
+        let g = demo();
+        let mapper = g.mapper().unwrap();
+        let (n_rows, n_cols, n_steps) = (g.detector.n_rows, g.detector.n_cols, g.wire.n_steps);
+        // A window that covers only part of the swept depth range, so some
+        // (pair, row) strips must fall entirely outside it.
+        let cfg = ReconstructionConfig::new(-60.0, 40.0, 25);
+        let cull = ShadowCull::compute(&g, &mapper, &cfg, 0..n_rows);
+        assert_eq!(
+            cull.host_flops,
+            (n_steps * n_rows * n_cols) as u64 * FLOPS_PER_DEPTH
+        );
+        let mut culled = 0usize;
+        let mut flops = 0u64;
+        for z in 0..n_steps - 1 {
+            let w0 = g.wire.center_unchecked(z as f64);
+            let w1 = g.wire.center_unchecked((z + 1) as f64);
+            for r in 0..n_rows {
+                if cull.pair_row_live(z, r) {
+                    continue;
+                }
+                culled += 1;
+                // Conservative: every pixel of a culled strip would have
+                // been rejected by the dense path without depositing.
+                for c in 0..n_cols {
+                    let p = g.detector.pixel_to_xyz_unchecked(r as f64, c as f64);
+                    let d0 = mapper.depth(p, w0, cfg.wire_edge).unwrap();
+                    let d1 = mapper.depth(p, w1, cfg.wire_edge).unwrap();
+                    let plan = plan_from_band(&cfg, 1.0, d0, d1, &mut flops);
+                    assert!(
+                        matches!(plan, PairPlan::OutOfRange | PairPlan::InvalidGeometry),
+                        "culled pair z={z} r={r} c={c} would deposit: {plan:?}"
+                    );
+                }
+            }
+        }
+        assert!(culled > 0, "narrow window should cull at least one strip");
+        // A window covering the whole sweep culls nothing.
+        let wide = ReconstructionConfig::new(-100_000.0, 100_000.0, 25);
+        let cull = ShadowCull::compute(&g, &mapper, &wide, 0..n_rows);
+        for z in 0..n_steps - 1 {
+            for r in 0..n_rows {
+                assert!(cull.pair_row_live(z, r));
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_cull_band_subset_matches_full_table() {
+        let g = demo();
+        let mapper = g.mapper().unwrap();
+        let cfg = ReconstructionConfig::new(-60.0, 40.0, 25);
+        let full = ShadowCull::compute(&g, &mapper, &cfg, 0..g.detector.n_rows);
+        let band = ShadowCull::compute(&g, &mapper, &cfg, 3..7);
+        for z in 0..g.wire.n_steps - 1 {
+            for r in 3..7 {
+                assert_eq!(band.pair_row_live(z, r), full.pair_row_live(z, r));
+            }
+            assert_eq!(band.live_pairs(4), full.live_pairs(4));
+        }
     }
 
     #[test]

@@ -28,6 +28,18 @@ pub struct ReconStats {
     pub pairs_deposited: u64,
     /// Total (bin, amount) deposits performed.
     pub deposits: u64,
+    /// `(pair, detector-row)` combinations skipped whole by wire-shadow
+    /// culling: the union of both steps' depth bands over the row missed
+    /// the reconstruction window. Their pairs are counted under
+    /// `pairs_out_of_range` (the geometric classification wins — a culled
+    /// pair is never examined against the cutoff).
+    pub culled_rows: u64,
+    /// Pairs the prescan dropped from the compacted work-list because
+    /// `|ΔI|` was at or below the cutoff. These are counted under
+    /// `pairs_below_cutoff` (the prescan applies the identical test); this
+    /// counter records how many never reached the main kernel. Zero on
+    /// dense launches, even when the prescan ran (`auto` fallback).
+    pub compacted_pairs: u64,
 }
 
 impl ReconStats {
@@ -46,6 +58,23 @@ impl ReconStats {
         }
     }
 
+    /// Record `pairs` elements skipped as one wire-shadow-culled
+    /// `(pair, row)` combination (`pairs` = columns in the row).
+    #[inline]
+    pub fn record_culled_row(&mut self, pairs: u64) {
+        self.pairs_total += pairs;
+        self.pairs_out_of_range += pairs;
+        self.culled_rows += 1;
+    }
+
+    /// Record one pair the prescan kept off the compacted work-list.
+    #[inline]
+    pub fn record_compacted(&mut self) {
+        self.pairs_total += 1;
+        self.pairs_below_cutoff += 1;
+        self.compacted_pairs += 1;
+    }
+
     /// Merge counters from another (partial) run.
     pub fn merge(&mut self, other: &ReconStats) {
         self.pairs_total += other.pairs_total;
@@ -54,6 +83,8 @@ impl ReconStats {
         self.pairs_out_of_range += other.pairs_out_of_range;
         self.pairs_deposited += other.pairs_deposited;
         self.deposits += other.deposits;
+        self.culled_rows += other.culled_rows;
+        self.compacted_pairs += other.compacted_pairs;
     }
 
     /// Fraction of pairs that passed the cutoff — the paper's
@@ -111,5 +142,27 @@ mod tests {
     #[test]
     fn empty_stats_fraction_is_zero() {
         assert_eq!(ReconStats::default().active_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sparsity_counters_keep_categories_consistent() {
+        let mut s = ReconStats::default();
+        s.record_culled_row(6); // one culled (pair, row), 6 columns
+        s.record_compacted();
+        s.record_compacted();
+        s.record(PairOutcome::Deposited { bins: 2 });
+        assert_eq!(s.pairs_total, 9);
+        assert_eq!(s.pairs_out_of_range, 6);
+        assert_eq!(s.pairs_below_cutoff, 2);
+        assert_eq!(s.culled_rows, 1);
+        assert_eq!(s.compacted_pairs, 2);
+        assert!(s.is_consistent());
+
+        let mut merged = ReconStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.culled_rows, 2);
+        assert_eq!(merged.compacted_pairs, 4);
+        assert!(merged.is_consistent());
     }
 }

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use cuda_sim::FaultPlan;
 use laue_core::gpu::Layout;
-use laue_core::ReconstructionConfig;
+use laue_core::{CompactionMode, ReconstructionConfig};
 
 use crate::engine::Engine;
 use crate::{GpuFailurePolicy, Pipeline, PipelineError, Result};
@@ -62,6 +62,9 @@ pub struct ReconstructArgs {
     pub depth_end: f64,
     pub bins: usize,
     pub cutoff: f64,
+    /// Sparsity pass: shadow culling + active-pair compaction
+    /// (`--compaction off|auto|on`; default `off` = dense traversal).
+    pub compaction: CompactionMode,
     pub rows_per_slab: Option<usize>,
     /// Ring depth of the GPU transfer/compute pipeline (`--pipeline-depth`).
     pub pipeline_depth: Option<usize>,
@@ -339,6 +342,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 depth_end: get_parse(&flags, "depth-end", 4000.0)?,
                 bins: get_parse(&flags, "bins", 400)?,
                 cutoff: get_parse(&flags, "cutoff", 0.0)?,
+                compaction: CompactionMode::default(),
                 rows_per_slab: None,
                 pipeline_depth: None,
                 table_cache_mb: None,
@@ -370,6 +374,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "depth-end",
                     "bins",
                     "cutoff",
+                    "compaction",
                     "rows-per-slab",
                     "pipeline-depth",
                     "table-cache-mb",
@@ -416,6 +421,11 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 depth_end: get_parse(&flags, "depth-end", 4000.0)?,
                 bins: get_parse(&flags, "bins", 400)?,
                 cutoff: get_parse(&flags, "cutoff", 0.0)?,
+                compaction: match flags.get("compaction") {
+                    None => CompactionMode::default(),
+                    Some(s) => CompactionMode::parse(s)
+                        .ok_or_else(|| format!("bad --compaction {s:?} (try off, auto, on)"))?,
+                },
                 rows_per_slab: flags
                     .get("rows-per-slab")
                     .map(|v| v.parse().map_err(|_| format!("bad --rows-per-slab: {v:?}")))
@@ -486,7 +496,8 @@ USAGE:
                    [--histogram <file.txt>] [--trace <trace.json>]
                    [--variance <sigma.mh5>] [--roi r0:c0:rows:cols]
                    [--depth-start UM] [--depth-end UM] [--bins N]
-                   [--cutoff C] [--rows-per-slab R] [--pipeline-depth K]
+                   [--cutoff C] [--compaction off|auto|on]
+                   [--rows-per-slab R] [--pipeline-depth K]
                    [--table-cache-mb M] [--sim-workers N|0|auto]
                    [--on-gpu-failure abort|fallback-cpu]
                    [--inject-gpu-fault k=v,…] [--fault-device I]
@@ -498,6 +509,15 @@ USAGE:
 
 ENGINES:
   cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-pipe | gpu-multi:N
+  (cpu-threaded:0 = one thread per available host core)
+
+SPARSITY:
+  --compaction off    dense traversal: every (pixel, pair) visited (default)
+  --compaction on     wire-shadow row culling plus a prescan that compacts
+                      the work-list to pairs with |ΔI| above the cutoff;
+                      output stays bit-identical to the dense path
+  --compaction auto   per-slab: prescan, then launch compact only when the
+                      measured active-pair density makes it cheaper
 
 CHECKPOINT / RESUME:
   --journal-dir <dir>  journal every committed GPU slab under <dir>; an
@@ -531,6 +551,7 @@ GPU FAULT HANDLING:
 fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
     let mut cfg = ReconstructionConfig::new(args.depth_start, args.depth_end, args.bins);
     cfg.intensity_cutoff = args.cutoff;
+    cfg.compaction = args.compaction;
     cfg.rows_per_slab = args.rows_per_slab;
     cfg.pipeline_depth = args.pipeline_depth;
     cfg
@@ -659,6 +680,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     gpu_transfer_retries: 0,
                     pipeline_depth: 0,
                     table_cache: laue_core::cache::TableCacheStats::default(),
+                    slab_densities: Vec::new(),
                     fallback: None,
                     recovery: crate::report::RecoveryAccounting::default(),
                 };
@@ -782,6 +804,12 @@ mod tests {
             parse_engine("cpu-threaded:4").unwrap(),
             Engine::CpuThreaded { threads: 4 }
         );
+        // 0 is "one thread per available core", resolved inside the
+        // pipeline so the report and journal see the real count.
+        assert_eq!(
+            parse_engine("cpu-threaded:0").unwrap(),
+            Engine::CpuThreaded { threads: 0 }
+        );
         assert_eq!(
             parse_engine("gpu").unwrap(),
             Engine::Gpu {
@@ -853,6 +881,45 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("pipeline-depth"));
+    }
+
+    #[test]
+    fn compaction_flag_parses() {
+        for (spec, mode) in [
+            ("off", CompactionMode::Off),
+            ("auto", CompactionMode::Auto),
+            ("on", CompactionMode::On),
+        ] {
+            let cmd = parse(&sv(&[
+                "reconstruct",
+                "--input",
+                "scan.mh5",
+                "--compaction",
+                spec,
+            ]))
+            .unwrap();
+            let Command::Reconstruct(a) = cmd else {
+                panic!("wrong command")
+            };
+            assert_eq!(a.compaction, mode);
+            assert_eq!(recon_config(&a).compaction, mode);
+        }
+
+        // Default stays dense; bad values are parse errors.
+        let cmd = parse(&sv(&["validate", "--input", "scan.mh5"])).unwrap();
+        let Command::Validate(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.compaction, CompactionMode::Off);
+        assert!(parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "x",
+            "--compaction",
+            "dense"
+        ]))
+        .unwrap_err()
+        .contains("--compaction"));
     }
 
     #[test]

@@ -115,6 +115,7 @@ mod tests {
                 gpu_transfer_retries: 0,
                 pipeline_depth: 0,
                 table_cache: laue_core::cache::TableCacheStats::default(),
+                slab_densities: Vec::new(),
                 fallback: None,
                 recovery: crate::report::RecoveryAccounting::default(),
             },

@@ -70,6 +70,10 @@ pub struct RunReport {
     /// Depth-table cache counters for this run (all zero for CPU engines
     /// and for GPU engines that triangulate in-kernel).
     pub table_cache: TableCacheStats,
+    /// Achieved active-pair density per processed slab (compaction runs
+    /// only; empty when `--compaction off` or for engines that saw no
+    /// slabs).
+    pub slab_densities: Vec<f64>,
     /// Set when the run degraded to another engine after a GPU failure;
     /// records what failed and where execution landed.
     pub fallback: Option<String>,
@@ -117,6 +121,17 @@ impl RunReport {
                 self.table_cache.hits(),
                 self.table_cache.misses(),
                 self.table_cache.evictions,
+            ));
+        }
+        if !self.slab_densities.is_empty() {
+            let mean = self.slab_densities.iter().sum::<f64>() / self.slab_densities.len() as f64;
+            s.push_str(&format!(
+                "; sparsity: {:.1} % mean active density over {} slab(s), \
+                 {} pair(s) compacted, {} row-combo(s) culled",
+                100.0 * mean,
+                self.slab_densities.len(),
+                self.stats.compacted_pairs,
+                self.stats.culled_rows,
             ));
         }
         if self.gpu_replans > 0 || self.gpu_transfer_retries > 0 {
@@ -182,6 +197,7 @@ mod tests {
             gpu_transfer_retries: 0,
             pipeline_depth: 1,
             table_cache: TableCacheStats::default(),
+            slab_densities: Vec::new(),
             fallback: None,
             recovery: RecoveryAccounting::default(),
         }
@@ -199,6 +215,22 @@ mod tests {
         assert!(!s.contains("DEGRADED"));
         assert!(!s.contains("ring depth"), "serial run mentions no ring");
         assert!(!s.contains("table cache"), "untouched cache stays silent");
+        assert!(!s.contains("sparsity"), "dense run mentions no sparsity");
+    }
+
+    #[test]
+    fn summary_reports_sparsity() {
+        let mut r = report();
+        r.slab_densities = vec![0.25, 0.35];
+        r.stats.culled_rows = 7;
+        r.stats.compacted_pairs = 41;
+        let s = r.summary();
+        assert!(
+            s.contains("sparsity: 30.0 % mean active density over 2 slab(s)"),
+            "{s}"
+        );
+        assert!(s.contains("41 pair(s) compacted"), "{s}");
+        assert!(s.contains("7 row-combo(s) culled"), "{s}");
     }
 
     #[test]

@@ -145,6 +145,15 @@ impl Pipeline {
         engine: Engine,
         fingerprint: Option<u64>,
     ) -> Result<RunReport> {
+        // `cpu-threaded:0` means "one thread per available core".
+        let engine = match engine {
+            Engine::CpuThreaded { threads: 0 } => Engine::CpuThreaded {
+                threads: std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1),
+            },
+            e => e,
+        };
         let dims = (source.n_images(), source.n_rows(), source.n_cols());
         let input_bytes = (dims.0 * dims.1 * dims.2 * 2) as u64; // u16 counts
         match engine {
@@ -177,6 +186,7 @@ impl Pipeline {
                     gpu_transfer_retries: 0,
                     pipeline_depth: 0,
                     table_cache: TableCacheStats::default(),
+                    slab_densities: out.slab_densities,
                     fallback: None,
                     recovery: RecoveryAccounting::default(),
                 })
@@ -402,6 +412,7 @@ impl Pipeline {
         let salvaged = progress.committed_slabs();
         let mut recomputed = 0usize;
         let mut cpu_time = 0.0;
+        let mut slab_densities = Vec::new();
         for band in progress.uncovered(0..dims.1) {
             let rows = band.len();
             let slab = source.read_slab(band.start, rows)?;
@@ -414,6 +425,7 @@ impl Pipeline {
                 _ => cpu::reconstruct_seq(&view, &band_geom, cfg)?,
             };
             cpu_time += out.modeled_time_s(&self.host, cores);
+            slab_densities.extend(out.slab_densities.iter().copied());
             let (image, mut tracker) = progress.split_mut();
             image.assign_rows(band.start, rows, &out.image.data)?;
             if let Some(j) = journal.as_mut() {
@@ -448,6 +460,7 @@ impl Pipeline {
             gpu_transfer_retries: 0,
             pipeline_depth: 0,
             table_cache: TableCacheStats::default(),
+            slab_densities,
             fallback: Some(format!(
                 "{} failed ({err}); completed on {}",
                 failed.label(),
@@ -501,6 +514,7 @@ fn gpu_report(
             gpu_transfer_retries: out.recovery.transfer_retries,
             pipeline_depth: out.pipeline_depth,
             table_cache: out.table_cache,
+            slab_densities: out.slab_densities,
             fallback: None,
             recovery: recovery(0),
         },
@@ -522,6 +536,7 @@ fn gpu_report(
             gpu_transfer_retries: out.recovery.transfer_retries,
             pipeline_depth: depth.0,
             table_cache: out.table_cache,
+            slab_densities: out.slab_densities,
             fallback: None,
             recovery: recovery(out.devices_lost),
         },
@@ -559,10 +574,11 @@ fn journal_key(
     );
     let _ = write!(
         d,
-        "slab={:?};ring={:?};engine={}",
+        "slab={:?};ring={:?};engine={};compaction={}",
         cfg.rows_per_slab,
         cfg.pipeline_depth,
-        engine.label()
+        engine.label(),
+        cfg.compaction.label()
     );
     JournalKey::new(d)
 }
@@ -919,6 +935,78 @@ mod tests {
         assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 0);
 
         std::fs::remove_dir_all(&jdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipping_compaction_mode_forces_a_clean_restart() {
+        use laue_core::CompactionMode;
+        let (path, _) = scan_file("modeflip");
+        let jdir =
+            std::env::temp_dir().join(format!("pipeline_{}_modeflip_jrn", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        let mut c = cfg();
+        c.rows_per_slab = Some(2);
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let baseline = Pipeline::default().run_scan_file(&path, &c, gpu).unwrap();
+
+        // Interrupt a dense run after two committed slabs.
+        let dying = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(2)),
+            journal_dir: Some(jdir.clone()),
+            ..Pipeline::default()
+        };
+        assert!(dying.run_scan_file(&path, &c, gpu).is_err());
+        assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 1);
+
+        // Resuming under a different sparsity mode must NOT replay those
+        // slabs: the compaction mode is part of the journal key, so the run
+        // restarts clean (and still matches the dense baseline bitwise).
+        let mut flipped = c.clone();
+        flipped.compaction = CompactionMode::On;
+        let resumed = Pipeline {
+            journal_dir: Some(jdir.clone()),
+            resume: true,
+            ..Pipeline::default()
+        };
+        let r = resumed.run_scan_file(&path, &flipped, gpu).unwrap();
+        assert!(
+            r.recovery.resume.is_none(),
+            "a journal from another sparsity mode must not be replayed"
+        );
+        assert_eq!(r.image.data, baseline.image.data);
+        assert!(
+            !r.slab_densities.is_empty(),
+            "compacted run reports density"
+        );
+        assert!(r.summary().contains("sparsity"), "{}", r.summary());
+
+        // Same mode, same key: the stale dense journal is still replayable.
+        let r = resumed.run_scan_file(&path, &c, gpu).unwrap();
+        let resume = r.recovery.resume.as_ref().expect("same-mode resume");
+        assert_eq!(resume.slabs_replayed, 2);
+        assert_eq!(r.image.data, baseline.image.data);
+
+        std::fs::remove_dir_all(&jdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cpu_threaded_zero_resolves_to_available_parallelism() {
+        let (path, _) = scan_file("autothreads");
+        let p = Pipeline::default();
+        let seq = p.run_scan_file(&path, &cfg(), Engine::CpuSeq).unwrap();
+        let auto = p
+            .run_scan_file(&path, &cfg(), Engine::CpuThreaded { threads: 0 })
+            .unwrap();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(auto.engine, format!("cpu-threaded({cores})"));
+        assert_eq!(auto.image.data, seq.image.data);
+        assert_eq!(auto.stats, seq.stats);
         std::fs::remove_file(&path).ok();
     }
 

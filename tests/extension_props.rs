@@ -156,6 +156,77 @@ proptest! {
         prop_assert_eq!(&tables.image.data, &cpu_out.image.data);
     }
 
+    /// The sparsity pass (shadow culling + active-pair compaction) is
+    /// bit-identical to the dense traversal on arbitrary scans, at every
+    /// realised density, for every engine.
+    #[test]
+    fn compaction_is_bitwise_across_engines_and_densities(
+        s in arb_scenario(),
+        cutoff_fraction in 0.0..0.95f64,
+    ) {
+        let scan = SyntheticScanBuilder::new(s.rows, s.cols, s.steps)
+            .scatterers(3)
+            .noise(0.5)
+            .seed(s.seed)
+            .build()
+            .unwrap();
+        // A cutoff at an arbitrary |ΔI| percentile sweeps the realised
+        // active density across the whole range.
+        let (p, m, n) = (s.steps, s.rows, s.cols);
+        let mut deltas: Vec<f64> = Vec::new();
+        for z in 0..p - 1 {
+            for px in 0..m * n {
+                deltas.push(
+                    (scan.images[z * m * n + px] - scan.images[(z + 1) * m * n + px]).abs(),
+                );
+            }
+        }
+        deltas.sort_by(f64::total_cmp);
+        let cutoff = deltas[(deltas.len() as f64 * cutoff_fraction) as usize];
+
+        let mut dense_cfg = ReconstructionConfig::new(-1500.0, 1500.0, 50);
+        dense_cfg.intensity_cutoff = cutoff;
+        let view = ScanView::new(&scan.images, p, m, n).unwrap();
+        let reference = cpu::reconstruct_seq(&view, &scan.geometry, &dense_cfg).unwrap();
+
+        for mode in [CompactionMode::Auto, CompactionMode::On] {
+            let mut cfg = dense_cfg.clone();
+            cfg.compaction = mode;
+
+            let seq = cpu::reconstruct_seq(&view, &scan.geometry, &cfg).unwrap();
+            prop_assert_eq!(&seq.image.data, &reference.image.data);
+
+            let thr = cpu::reconstruct_threaded(&view, &scan.geometry, &cfg, 2).unwrap();
+            prop_assert_eq!(&thr.image.data, &reference.image.data);
+
+            for triangulation in [Triangulation::InKernel, Triangulation::HostTables] {
+                let device = Device::new(DeviceProps::tiny(8 * 1024 * 1024));
+                let mut source =
+                    InMemorySlabSource::new(scan.images.clone(), p, m, n).unwrap();
+                let out = gpu::reconstruct_with_options(
+                    &device,
+                    &mut source,
+                    &scan.geometry,
+                    &cfg,
+                    GpuOptions { layout: Layout::Flat1d, triangulation, ..GpuOptions::default() },
+                )
+                .unwrap();
+                prop_assert_eq!(&out.image.data, &reference.image.data);
+            }
+
+            let devices: Vec<Device> = (0..s.n_dev)
+                .map(|_| Device::new(DeviceProps::tiny(8 * 1024 * 1024)))
+                .collect();
+            let refs: Vec<&Device> = devices.iter().collect();
+            let mut source =
+                InMemorySlabSource::new(scan.images.clone(), p, m, n).unwrap();
+            let multi =
+                reconstruct_multi(&refs, &mut source, &scan.geometry, &cfg, GpuOptions::default())
+                    .unwrap();
+            prop_assert_eq!(&multi.image.data, &reference.image.data);
+        }
+    }
+
     /// Rebinning conserves intensity for arbitrary images and bin counts.
     #[test]
     fn rebin_conserves_mass(

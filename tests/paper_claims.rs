@@ -161,6 +161,85 @@ fn fig9_pixel_percentage_shape() {
     );
 }
 
+/// Fig 9, compaction corollary: with the sparsity pass on, the modeled GPU
+/// kernel time is ≈ linear in the active-pixel fraction — the prescan is a
+/// constant density-independent term and the compacted main launch does
+/// work proportional to the surviving pairs. And at the paper's sparsest
+/// operating point (~25 % active) the compacted engine, prescan cost
+/// included, runs the kernels in at most half the dense time.
+#[test]
+fn fig9_compaction_scales_linearly_with_active_fraction() {
+    let s = scan(96, 96, 32, 61);
+    let mut deltas: Vec<f64> = Vec::new();
+    let (p, m, n) = (32, 96, 96);
+    for z in 0..p - 1 {
+        for px in 0..m * n {
+            deltas.push((s.images[z * m * n + px] - s.images[(z + 1) * m * n + px]).abs());
+        }
+    }
+    deltas.sort_by(f64::total_cmp);
+    let q = |f: f64| deltas[(deltas.len() as f64 * f) as usize];
+
+    // Sweep ~25 / 50 / 100 % active under both traversals.
+    let mut fractions = Vec::new();
+    let mut compact_times = Vec::new();
+    let mut dense_times = Vec::new();
+    for cut in [q(0.75), q(0.5), 0.0] {
+        let mut c = cfg();
+        c.intensity_cutoff = cut;
+        c.compaction = CompactionMode::On;
+        let compact = run(
+            &s,
+            &c,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        );
+        c.compaction = CompactionMode::Off;
+        let dense = run(
+            &s,
+            &c,
+            Engine::Gpu {
+                layout: Layout::Flat1d,
+            },
+        );
+        assert_eq!(
+            compact.image.data, dense.image.data,
+            "compaction must be bit-identical at every density"
+        );
+        fractions.push(dense.stats.active_fraction());
+        compact_times.push(compact.compute_time_s);
+        dense_times.push(dense.compute_time_s);
+    }
+
+    // Acceptance: at ~25 % active the compacted kernels (prescan included)
+    // take at most half the dense kernel time.
+    assert!(fractions[0] < 0.35, "sparsest point at {}", fractions[0]);
+    assert!(
+        compact_times[0] <= 0.5 * dense_times[0],
+        "compact {:.6}s must be ≤ half of dense {:.6}s at {:.0} % active",
+        compact_times[0],
+        dense_times[0],
+        100.0 * fractions[0]
+    );
+
+    // Linearity: the secant slopes of t(fraction) agree. A constant offset
+    // (prescan + launch overhead) plus a term ∝ active pairs is exactly
+    // what the compacted cost model promises.
+    let slope01 = (compact_times[1] - compact_times[0]) / (fractions[1] - fractions[0]);
+    let slope12 = (compact_times[2] - compact_times[1]) / (fractions[2] - fractions[1]);
+    assert!(
+        slope01 > 0.0 && slope12 > 0.0,
+        "compact time must grow with density: slopes {slope01:.3e}, {slope12:.3e}"
+    );
+    let skew = slope01 / slope12;
+    assert!(
+        (0.6..=1.4).contains(&skew),
+        "t(active fraction) must be ≈ linear: secant slopes {slope01:.3e} vs \
+         {slope12:.3e} (skew {skew:.2})"
+    );
+}
+
 /// The overlap ablation: a deeper pipeline ring shortens the makespan
 /// whenever there are several slabs in flight.
 #[test]
