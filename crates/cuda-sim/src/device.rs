@@ -442,11 +442,61 @@ impl Device {
     where
         F: Fn(&mut ThreadCtx<'_>) + Sync,
     {
+        self.launch_shared_on(stream, name, cfg, 0, |ctx, _| kernel(ctx), |_, _| {})
+    }
+
+    /// Launch a kernel that reserves `shared_f64` doubles of `__shared__`
+    /// memory per block.
+    ///
+    /// Every block gets its own zero-initialised tile; the kernel closure
+    /// runs once per thread with the block's tile, then `epilogue` runs
+    /// **once per block** (with a context at thread (0,0,0)) after all the
+    /// block's threads finish — the simulator's `__syncthreads()`-then-
+    /// reduce idiom. Blocks never share a tile, so the pattern is
+    /// deterministic even under [`ExecMode::Threaded`].
+    ///
+    /// The reservation is charged to the launch as occupancy pressure
+    /// ([`Cost::shared_request`]); a request exceeding the device's
+    /// `shared_mem_per_block` is an [`SimError::InvalidLaunch`], exactly
+    /// like an oversized block.
+    pub fn launch_shared_on<F, E>(
+        &self,
+        stream: StreamId,
+        name: &str,
+        cfg: LaunchConfig,
+        shared_f64: usize,
+        kernel: F,
+        epilogue: E,
+    ) -> Result<LaunchRecord>
+    where
+        F: Fn(&mut ThreadCtx<'_>, &mut [f64]) + Sync,
+        E: Fn(&mut ThreadCtx<'_>, &mut [f64]) + Sync,
+    {
         cfg.validate(&self.props)?;
+        let shared_bytes = shared_f64 as u64 * 8;
+        if shared_bytes > self.props.shared_mem_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "{shared_bytes} B of shared memory per block exceeds limit {}",
+                self.props.shared_mem_per_block
+            )));
+        }
         self.fault_check_launch()?;
         let exec_mode = self.state.lock().exec_mode;
-        let (cost, traces) = match exec_mode {
-            ExecMode::Sequential => run_blocks(cfg, 0..cfg.grid.count(), &kernel),
+        let (mut cost, traces) = match exec_mode {
+            ExecMode::Sequential => {
+                let mut state = WorkerState::new();
+                run_block_range(
+                    cfg,
+                    0..cfg.grid.count(),
+                    shared_f64,
+                    &kernel,
+                    &epilogue,
+                    &mut state,
+                );
+                let mut cost = state.cost;
+                cost.atomic_max_chain = state.chain.max_chain();
+                (cost, state.traces)
+            }
             ExecMode::Threaded(workers) => {
                 let next = AtomicU64::new(0);
                 let total = cfg.grid.count();
@@ -465,7 +515,14 @@ impl Device {
                                     break;
                                 }
                                 let end = (start + grain).min(total);
-                                run_block_range(cfg, start..end, &kernel, &mut state);
+                                run_block_range(
+                                    cfg,
+                                    start..end,
+                                    shared_f64,
+                                    &kernel,
+                                    &epilogue,
+                                    &mut state,
+                                );
                             }
                             states.lock().push(state);
                         });
@@ -474,6 +531,7 @@ impl Device {
                 merge_states(states.into_inner())
             }
         };
+        cost.shared_request = shared_bytes;
         let duration = self.props.kernel_time(&cost);
         let record = LaunchRecord {
             name: name.to_string(),
@@ -607,16 +665,23 @@ fn block_coords(grid: Dim3, linear: u64) -> Dim3 {
     Dim3 { x, y, z }
 }
 
-fn run_block_range<F>(
+fn run_block_range<F, E>(
     cfg: LaunchConfig,
     blocks: std::ops::Range<u64>,
+    shared_f64: usize,
     kernel: &F,
+    epilogue: &E,
     state: &mut WorkerState,
 ) where
-    F: Fn(&mut ThreadCtx<'_>) + Sync,
+    F: Fn(&mut ThreadCtx<'_>, &mut [f64]) + Sync,
+    E: Fn(&mut ThreadCtx<'_>, &mut [f64]) + Sync,
 {
+    // One tile per worker, re-zeroed per block (the hardware hands every
+    // block pristine shared memory only logically; reuse is free here).
+    let mut shared = vec![0.0f64; shared_f64];
     for b in blocks {
         let block_idx = block_coords(cfg.grid, b);
+        shared.fill(0.0);
         for tz in 0..cfg.block.z {
             for ty in 0..cfg.block.y {
                 for tx in 0..cfg.block.x {
@@ -631,26 +696,19 @@ fn run_block_range<F>(
                         block_dim: cfg.block,
                         state,
                     };
-                    kernel(&mut ctx);
+                    kernel(&mut ctx, &mut shared);
                 }
             }
         }
+        let mut ctx = ThreadCtx {
+            block_idx,
+            thread_idx: Dim3 { x: 0, y: 0, z: 0 },
+            grid_dim: cfg.grid,
+            block_dim: cfg.block,
+            state,
+        };
+        epilogue(&mut ctx, &mut shared);
     }
-}
-
-fn run_blocks<F>(
-    cfg: LaunchConfig,
-    blocks: std::ops::Range<u64>,
-    kernel: &F,
-) -> (Cost, [u64; crate::meter::TRACE_SLOTS])
-where
-    F: Fn(&mut ThreadCtx<'_>) + Sync,
-{
-    let mut state = WorkerState::new();
-    run_block_range(cfg, blocks, kernel, &mut state);
-    let mut cost = state.cost;
-    cost.atomic_max_chain = state.chain.max_chain();
-    (cost, state.traces)
 }
 
 fn merge_states(states: Vec<WorkerState>) -> (Cost, [u64; crate::meter::TRACE_SLOTS]) {
@@ -893,6 +951,122 @@ mod tests {
         let m = d.meters();
         assert_eq!(m.kernel_cost.atomic_ops, 1024);
         assert!(m.kernel_cost.atomic_max_chain >= 1024, "single hot address");
+    }
+
+    #[test]
+    fn shared_launch_gives_each_block_a_zeroed_tile() {
+        let d = tiny_device();
+        let out = d.alloc_zeroed::<f64>(4).unwrap();
+        let cfg = LaunchConfig::new(Dim3::new(4, 1, 1), Dim3::linear(8));
+        // Each thread privately accumulates into the block tile; the
+        // epilogue commits one global add per block. A stale (un-zeroed)
+        // tile would leak the previous block's sum into the next.
+        d.launch_shared_on(
+            StreamId::DEFAULT,
+            "private-sum",
+            cfg,
+            2,
+            |ctx, shared| {
+                ctx.charge_shared_bytes(16);
+                shared[0] += 1.0;
+            },
+            |ctx, shared| {
+                ctx.atomic_add_f64(&out, ctx.block_idx.x as usize, shared[0]);
+            },
+        )
+        .unwrap();
+        let mut host = [0.0f64; 4];
+        d.memcpy_dtoh(&out, &mut host).unwrap();
+        assert_eq!(host, [8.0; 4], "8 threads per block, once per block");
+        let m = d.meters();
+        assert_eq!(m.kernel_cost.shared_bytes, 4 * 8 * 16);
+        assert_eq!(m.kernel_cost.shared_request, 16);
+        assert_eq!(m.kernel_cost.atomic_ops, 4, "one commit per block");
+    }
+
+    #[test]
+    fn shared_launch_is_deterministic_under_threading() {
+        // The contract the privatized accumulator relies on: each block's
+        // threads see the block tile in a fixed (tz, ty, tx) order, and
+        // when every global cell receives at most one commit, the result
+        // is bitwise identical however blocks are spread over workers.
+        let run = |mode: ExecMode| -> Vec<f64> {
+            let d = tiny_device();
+            d.set_exec_mode(mode);
+            let xs: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
+            let input = d.alloc_from_slice(&xs).unwrap();
+            let out = d.alloc_zeroed::<f64>(8 * 8).unwrap();
+            let cfg = LaunchConfig::linear(256, 32);
+            d.launch_shared_on(
+                StreamId::DEFAULT,
+                "tile",
+                cfg,
+                8,
+                |ctx, shared| {
+                    let i = ctx.global_id().x as usize;
+                    let v = ctx.read(&input, i);
+                    ctx.charge_shared_bytes(16);
+                    shared[i % 8] += v;
+                },
+                |ctx, shared| {
+                    let row = ctx.block_idx.x as usize * 8;
+                    for (slot, &v) in shared.iter().enumerate() {
+                        ctx.atomic_add_f64(&out, row + slot, v);
+                    }
+                },
+            )
+            .unwrap();
+            let mut host = vec![0.0f64; 8 * 8];
+            d.memcpy_dtoh(&out, &mut host).unwrap();
+            host
+        };
+        let seq = run(ExecMode::Sequential);
+        let thr = run(ExecMode::Threaded(4));
+        assert_eq!(
+            seq.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            thr.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn oversized_shared_request_is_invalid_launch() {
+        let d = tiny_device(); // 8 KiB shared per block
+        let too_big = (d.props().shared_mem_per_block / 8 + 1) as usize;
+        assert!(matches!(
+            d.launch_shared_on(
+                StreamId::DEFAULT,
+                "hog",
+                LaunchConfig::linear(8, 8),
+                too_big,
+                |_, _| {},
+                |_, _| {},
+            ),
+            Err(SimError::InvalidLaunch(_))
+        ));
+        assert_eq!(d.meters().launches, 0);
+    }
+
+    #[test]
+    fn big_shared_tiles_slow_the_launch_via_occupancy() {
+        let time_with = |shared_f64: usize| -> f64 {
+            let d = tiny_device();
+            d.launch_shared_on(
+                StreamId::DEFAULT,
+                "flops",
+                LaunchConfig::linear(64, 8),
+                shared_f64,
+                |ctx, _| ctx.charge_flops(1_000_000),
+                |_, _| {},
+            )
+            .unwrap()
+            .duration_s
+        };
+        let small = time_with(16); // plenty of blocks resident
+        let huge = time_with(1024); // 8 KiB: one resident block
+        assert!(
+            huge > 2.0 * small,
+            "low occupancy must inflate the modeled time: {huge} vs {small}"
+        );
     }
 
     #[test]

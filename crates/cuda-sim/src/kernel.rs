@@ -168,6 +168,24 @@ impl ThreadCtx<'_> {
         self.state.cost.mem_bytes += n;
     }
 
+    /// Charge `n` bytes of on-chip shared-memory traffic (the per-block
+    /// tile handed out by [`crate::Device::launch_shared_on`]). An order of
+    /// magnitude cheaper than device memory in the timing model.
+    #[inline]
+    pub fn charge_shared_bytes(&mut self, n: u64) {
+        self.state.cost.shared_bytes += n;
+    }
+
+    /// Charge one shared-memory atomic RMW (8 bytes of shared traffic plus
+    /// the SM-local atomic cost). The simulator's shared tiles are mutated
+    /// directly by the kernel closure — this meters what that mutation
+    /// would cost as a `__shared__` atomic on hardware.
+    #[inline]
+    pub fn charge_shared_atomic(&mut self) {
+        self.state.cost.shared_atomic_ops += 1;
+        self.state.cost.shared_bytes += 8;
+    }
+
     /// Increment a free-form trace counter.
     ///
     /// Trace counters are **simulator instrumentation**, not device work:

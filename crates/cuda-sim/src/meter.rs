@@ -19,6 +19,13 @@ pub struct Cost {
     pub atomic_retries: u64,
     /// Estimated longest same-address atomic chain.
     pub atomic_max_chain: u64,
+    /// On-chip shared-memory bytes moved (reads + writes).
+    pub shared_bytes: u64,
+    /// Atomic RMWs resolved in shared memory.
+    pub shared_atomic_ops: u64,
+    /// Shared-memory bytes reserved per block at launch (occupancy
+    /// pressure); merged with `max` like the chain bound.
+    pub shared_request: u64,
 }
 
 impl Cost {
@@ -29,6 +36,9 @@ impl Cost {
         self.atomic_ops += other.atomic_ops;
         self.atomic_retries += other.atomic_retries;
         self.atomic_max_chain = self.atomic_max_chain.max(other.atomic_max_chain);
+        self.shared_bytes += other.shared_bytes;
+        self.shared_atomic_ops += other.shared_atomic_ops;
+        self.shared_request = self.shared_request.max(other.shared_request);
     }
 
     /// True when no work at all was recorded.
@@ -150,6 +160,9 @@ mod tests {
             atomic_ops: 2,
             atomic_retries: 1,
             atomic_max_chain: 5,
+            shared_bytes: 64,
+            shared_atomic_ops: 3,
+            shared_request: 1024,
         };
         let b = Cost {
             flops: 3,
@@ -157,6 +170,9 @@ mod tests {
             atomic_ops: 4,
             atomic_retries: 0,
             atomic_max_chain: 2,
+            shared_bytes: 16,
+            shared_atomic_ops: 1,
+            shared_request: 2048,
         };
         a.merge(&b);
         assert_eq!(a.flops, 13);
@@ -164,6 +180,9 @@ mod tests {
         assert_eq!(a.atomic_ops, 6);
         assert_eq!(a.atomic_retries, 1);
         assert_eq!(a.atomic_max_chain, 5);
+        assert_eq!(a.shared_bytes, 80);
+        assert_eq!(a.shared_atomic_ops, 4);
+        assert_eq!(a.shared_request, 2048, "request merges with max");
         assert!(!a.is_zero());
         assert!(Cost::default().is_zero());
     }

@@ -49,6 +49,14 @@ pub struct DeviceProps {
     pub launch_overhead: f64,
     /// Time for one serialized atomic RMW on device memory, seconds.
     pub atomic_op_time: f64,
+    /// On-chip shared memory available to one block, bytes.
+    pub shared_mem_per_block: u64,
+    /// Aggregate shared-memory bandwidth, bytes/s (all SMs; an order of
+    /// magnitude above device memory on every generation).
+    pub shared_bw: f64,
+    /// Time for one serialized shared-memory atomic RMW, seconds (shared
+    /// atomics resolve in the SM, far cheaper than global ones).
+    pub shared_atomic_op_time: f64,
     /// Hardware limit: threads per block.
     pub max_threads_per_block: u64,
     /// Hardware limit: block dimensions.
@@ -79,6 +87,12 @@ impl DeviceProps {
             // Fermi-era global-atomic throughput: ~0.5 G spread-address
             // RMWs/s device-wide → ~30 ns per op per SM with 14 SMs.
             atomic_op_time: 30.0e-9,
+            // Fermi: 48 KB shared + 16 KB L1 per SM (the 48/16 split).
+            shared_mem_per_block: 48 * 1024,
+            // 32 banks × 4 B per clock per SM ≈ 147 GB/s × 14 SMs ≈ 2 TB/s;
+            // conservative 1 TB/s leaves room for bank conflicts.
+            shared_bw: 1.0e12,
+            shared_atomic_op_time: 6.0e-9,
             max_threads_per_block: 1024,
             max_block_dim: [1024, 1024, 64],
             max_grid_dim: [65_535, 65_535, 1],
@@ -104,6 +118,11 @@ impl DeviceProps {
             pcie_latency: 10.0e-6,
             launch_overhead: 7.0e-6,
             atomic_op_time: 30.0e-9,
+            // Same GF100/GF110 SM shared memory as the M2070, slightly
+            // faster with the higher core clock.
+            shared_mem_per_block: 48 * 1024,
+            shared_bw: 1.2e12,
+            shared_atomic_op_time: 6.0e-9,
             max_threads_per_block: 1024,
             max_block_dim: [1024, 1024, 64],
             max_grid_dim: [65_535, 65_535, 1],
@@ -127,6 +146,13 @@ impl DeviceProps {
             pcie_latency: 8.0e-6,
             launch_overhead: 5.0e-6,
             atomic_op_time: 10.0e-9, // Kepler's much faster global atomics
+            // GK110B: 64 KB shared/L1 per SMX (48 KB usable per block on
+            // real silicon, but the 64 KB carveout is what the whatif
+            // scenario cares about), wider banks (8 B mode), on-chip
+            // shared atomics.
+            shared_mem_per_block: 64 * 1024,
+            shared_bw: 2.0e12,
+            shared_atomic_op_time: 2.0e-9,
             max_threads_per_block: 1024,
             max_block_dim: [1024, 1024, 64],
             max_grid_dim: [2_147_483_647, 65_535, 65_535],
@@ -148,6 +174,12 @@ impl DeviceProps {
             pcie_latency: 1.0e-6,
             launch_overhead: 1.0e-6,
             atomic_op_time: 100.0e-9,
+            // Small on purpose: 8 KiB forces the privatized-accumulation
+            // fallback paths at test scale just as 64 KiB of device memory
+            // forces chunking.
+            shared_mem_per_block: 8 * 1024,
+            shared_bw: 40.0e9,
+            shared_atomic_op_time: 20.0e-9,
             max_threads_per_block: 256,
             max_block_dim: [256, 256, 64],
             // Relaxed (Kepler-style) grid limits: the tiny device is a test
@@ -178,21 +210,47 @@ impl DeviceProps {
         self.pcie_latency + total_bytes as f64 / self.pcie_bw
     }
 
+    /// Occupancy factor for a kernel that reserves `shared_request` bytes
+    /// of shared memory per block: how much of the device's throughput the
+    /// launch can actually use, in (0, 1].
+    ///
+    /// With fewer concurrent blocks per SM there is less latency hiding;
+    /// the model takes 4 resident blocks per SM as enough to saturate and
+    /// scales down linearly below that. A kernel that requests no shared
+    /// memory is unconstrained (factor 1).
+    pub fn occupancy(&self, shared_request: u64) -> f64 {
+        if shared_request == 0 {
+            return 1.0;
+        }
+        let resident = (self.shared_mem_per_block / shared_request).max(1) as f64;
+        (resident / 4.0).min(1.0)
+    }
+
     /// Roofline kernel time for metered work.
     ///
     /// `flops / peak` and `mem_bytes / bandwidth` bound throughput; atomics
     /// add both a throughput term and a serialization term — the longest
     /// same-address chain (`max_bucket`) executes strictly one at a time.
+    /// Shared-memory traffic and shared atomics get their own (much
+    /// cheaper) throughput terms, and a large per-block shared-memory
+    /// request lowers occupancy, inflating every throughput term (but not
+    /// the serialization term, which is latency- not parallelism-bound).
     pub fn kernel_time(&self, cost: &Cost) -> f64 {
-        let compute = cost.flops as f64 / self.peak_dp_flops();
-        let memory = cost.mem_bytes as f64 / self.mem_bw;
+        let occupancy = self.occupancy(cost.shared_request);
+        let compute = cost.flops as f64 / (self.peak_dp_flops() * occupancy);
+        let memory = cost.mem_bytes as f64 / (self.mem_bw * occupancy);
+        let shared = cost.shared_bytes as f64 / (self.shared_bw * occupancy);
         let atomic_throughput =
             cost.atomic_ops as f64 * self.atomic_op_time / (self.sm_count as f64);
+        let shared_atomic_throughput =
+            cost.shared_atomic_ops as f64 * self.shared_atomic_op_time / (self.sm_count as f64);
         let atomic_serial = cost.atomic_max_chain as f64 * self.atomic_op_time;
         self.launch_overhead
             + compute
                 .max(memory)
+                .max(shared)
                 .max(atomic_throughput)
+                .max(shared_atomic_throughput)
                 .max(atomic_serial)
     }
 }
@@ -260,6 +318,10 @@ mod tests {
         assert_eq!(d.total_mem, 6 * 1024 * 1024 * 1024);
         assert_eq!(d.max_threads_per_block, 1024);
         assert_eq!(d.max_grid_dim, [65_535, 65_535, 1]);
+        // Fermi shared memory: 48 KB per block, far cheaper than global.
+        assert_eq!(d.shared_mem_per_block, 48 * 1024);
+        assert!(d.shared_bw > 5.0 * d.mem_bw);
+        assert!(d.shared_atomic_op_time < d.atomic_op_time / 2.0);
     }
 
     #[test]
@@ -272,6 +334,10 @@ mod tests {
         assert!((k40.peak_dp_flops() - 1.43e12).abs() / 1.43e12 < 0.02);
         assert!(k40.total_mem > DeviceProps::tesla_m2070().total_mem);
         assert!(gtx.total_mem < DeviceProps::tesla_m2070().total_mem);
+        // Kepler: larger shared memory, much faster shared atomics.
+        let m2070 = DeviceProps::tesla_m2070();
+        assert!(k40.shared_mem_per_block > m2070.shared_mem_per_block);
+        assert!(k40.shared_atomic_op_time < m2070.shared_atomic_op_time);
     }
 
     #[test]
@@ -323,6 +389,65 @@ mod tests {
             ..Cost::default()
         };
         assert!(d.kernel_time(&hot) > 5.0 * d.kernel_time(&spread));
+    }
+
+    #[test]
+    fn shared_memory_traffic_is_cheaper_than_global() {
+        let d = DeviceProps::tesla_m2070();
+        let global = Cost {
+            mem_bytes: 10_000_000_000,
+            ..Cost::default()
+        };
+        let shared = Cost {
+            shared_bytes: 10_000_000_000,
+            ..Cost::default()
+        };
+        assert!(d.kernel_time(&global) > 5.0 * d.kernel_time(&shared));
+        // Same for atomics: shared RMWs resolve in the SM.
+        let global = Cost {
+            atomic_ops: 10_000_000,
+            ..Cost::default()
+        };
+        let shared = Cost {
+            shared_atomic_ops: 10_000_000,
+            ..Cost::default()
+        };
+        assert!(d.kernel_time(&global) > 2.0 * d.kernel_time(&shared));
+    }
+
+    #[test]
+    fn big_shared_requests_cost_occupancy() {
+        let d = DeviceProps::tesla_m2070();
+        assert_eq!(d.occupancy(0), 1.0);
+        // 4+ resident blocks saturate.
+        assert_eq!(d.occupancy(d.shared_mem_per_block / 4), 1.0);
+        assert_eq!(d.occupancy(d.shared_mem_per_block / 8), 1.0);
+        // One resident block: quarter throughput.
+        assert!((d.occupancy(d.shared_mem_per_block) - 0.25).abs() < 1e-12);
+        // Occupancy inflates throughput-bound kernel time proportionally.
+        let light = Cost {
+            flops: 515_200_000_000,
+            shared_request: d.shared_mem_per_block / 4,
+            ..Cost::default()
+        };
+        let heavy = Cost {
+            shared_request: d.shared_mem_per_block,
+            ..light
+        };
+        let ratio = (d.kernel_time(&heavy) - d.launch_overhead)
+            / (d.kernel_time(&light) - d.launch_overhead);
+        assert!((ratio - 4.0).abs() < 0.01, "{ratio}");
+        // ...but not the latency-bound atomic serialization term.
+        let chain = Cost {
+            atomic_max_chain: 1_000_000,
+            shared_request: d.shared_mem_per_block,
+            ..Cost::default()
+        };
+        let free = Cost {
+            shared_request: 0,
+            ..chain
+        };
+        assert_eq!(d.kernel_time(&chain), d.kernel_time(&free));
     }
 
     #[test]

@@ -32,6 +32,59 @@ pub enum CompactionMode {
 /// itself.
 pub const AUTO_COMPACT_MAX_DENSITY: f64 = 0.75;
 
+/// How the GPU engines accumulate depth intensities into the output image.
+///
+/// Every strategy produces bit-identical images: per pixel the deposits
+/// land in the same ascending-depth order whether they go straight to
+/// device memory or stage through a per-block shared tile first. The
+/// strategies differ only in modeled cost — the privatized path replaces
+/// one global CAS atomic per deposit with cheap shared-memory updates plus
+/// a single global add per touched `(pixel, bin)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccumulationMode {
+    /// Per-deposit `atomicAdd(double)` CAS loop on device memory — the
+    /// paper's §III-C scheme and the behaviour of every release before
+    /// this knob.
+    #[default]
+    Atomic,
+    /// Per-block privatized depth-bin tiles in shared memory, committed by
+    /// one global add per touched `(pixel, bin)` cell. Slabs whose bin
+    /// tile exceeds the device's shared memory fall back to the atomic
+    /// path (recorded in the stats).
+    Privatized,
+    /// Pick per slab: privatize when the bin tile fits the device's shared
+    /// memory, atomic otherwise.
+    Auto,
+}
+
+impl AccumulationMode {
+    /// Stable lower-case label used by the CLI and the run journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccumulationMode::Atomic => "atomic",
+            AccumulationMode::Privatized => "privatized",
+            AccumulationMode::Auto => "auto",
+        }
+    }
+
+    /// Parse a CLI spelling (`atomic`, `privatized`, `auto`).
+    pub fn parse(s: &str) -> Option<AccumulationMode> {
+        match s {
+            "atomic" => Some(AccumulationMode::Atomic),
+            "privatized" => Some(AccumulationMode::Privatized),
+            "auto" => Some(AccumulationMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// Whether this mode ever privatizes (i.e. the engine should consider
+    /// the shared-memory tile at all).
+    #[inline]
+    pub fn wants_privatized(self) -> bool {
+        !matches!(self, AccumulationMode::Atomic)
+    }
+}
+
 impl CompactionMode {
     /// Stable lower-case label used by the CLI and the run journal.
     pub fn label(self) -> &'static str {
@@ -95,6 +148,10 @@ pub struct ReconstructionConfig {
     /// Sparsity strategy: wire-shadow row culling plus active-pair
     /// compaction. Defaults to [`CompactionMode::Off`] (dense traversal).
     pub compaction: CompactionMode,
+    /// Depth-intensity accumulation strategy on the GPU engines. Defaults
+    /// to [`AccumulationMode::Atomic`] (the paper-faithful CAS loop); CPU
+    /// engines ignore it.
+    pub accumulation: AccumulationMode,
 }
 
 impl ReconstructionConfig {
@@ -109,6 +166,7 @@ impl ReconstructionConfig {
             rows_per_slab: None,
             pipeline_depth: None,
             compaction: CompactionMode::default(),
+            accumulation: AccumulationMode::default(),
         }
     }
 
@@ -219,6 +277,23 @@ mod tests {
         }
         assert_eq!(CompactionMode::parse("dense"), None);
         assert!(CompactionMode::Auto.enabled() && CompactionMode::On.enabled());
+    }
+
+    #[test]
+    fn accumulation_mode_round_trips_and_defaults_atomic() {
+        let c = ReconstructionConfig::new(-100.0, 100.0, 50);
+        assert_eq!(c.accumulation, AccumulationMode::Atomic);
+        assert!(!c.accumulation.wants_privatized());
+        for m in [
+            AccumulationMode::Atomic,
+            AccumulationMode::Privatized,
+            AccumulationMode::Auto,
+        ] {
+            assert_eq!(AccumulationMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(AccumulationMode::parse("shared"), None);
+        assert!(AccumulationMode::Privatized.wants_privatized());
+        assert!(AccumulationMode::Auto.wants_privatized());
     }
 
     #[test]

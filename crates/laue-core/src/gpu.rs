@@ -45,7 +45,9 @@ use cuda_sim::{Device, DeviceBuffer, LaunchConfig, Meters, StreamId};
 use laue_geometry::{DepthMapper, Vec3};
 
 use crate::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
-use crate::config::{CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY};
+use crate::config::{
+    AccumulationMode, CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY,
+};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::SlabSource;
@@ -152,6 +154,53 @@ const TRACE_DEPOSITS: usize = 4;
 /// 1024; 256 keeps plenty of blocks in flight).
 const BLOCK_SIZE: u64 = 256;
 
+/// The accumulation strategy one slab's `set_two` launch actually runs,
+/// resolved from the device's shared-memory budget (see
+/// [`AccumulationMode`] and [`plan_accumulation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccumPlan {
+    /// Per-deposit global CAS atomics — the paper's §III-C scheme.
+    /// `fallback` marks a slab the run *asked* to privatize but whose bin
+    /// tile did not fit the device's shared memory.
+    Atomic { fallback: bool },
+    /// Shared-memory privatized tile: `pixels_per_block` bin rows of
+    /// `n_depth_bins` doubles each, committed once per touched cell.
+    Privatized { pixels_per_block: usize },
+}
+
+/// Pick the accumulation strategy for a slab: tile shape from
+/// `n_depth_bins × block pixels` against the device's shared memory.
+///
+/// The planner prefers full occupancy — as many pixel rows per block as
+/// keep ≥ 4 blocks resident per SM (the saturation point of
+/// [`cuda_sim::DeviceProps::occupancy`]) — and accepts the occupancy
+/// penalty only when a single bin row eats more than a quarter of shared
+/// memory. When even one row does not fit, both `auto` and forced
+/// privatization fall back to atomics, flagged so the stats can surface
+/// the decision.
+pub(crate) fn plan_accumulation(
+    props: &cuda_sim::DeviceProps,
+    n_bins: usize,
+    mode: AccumulationMode,
+) -> AccumPlan {
+    if !mode.wants_privatized() {
+        return AccumPlan::Atomic { fallback: false };
+    }
+    let row_bytes = n_bins as u64 * 8;
+    let shared = props.shared_mem_per_block;
+    if row_bytes > shared {
+        return AccumPlan::Atomic { fallback: true };
+    }
+    let occ_cap = (shared / 4) / row_bytes;
+    let fit = shared / row_bytes; // ≥ 1 — row_bytes ≤ shared above
+    let per_block = if occ_cap >= 1 { occ_cap } else { fit };
+    let pixels_per_block = per_block
+        .min(BLOCK_SIZE)
+        .min(props.max_threads_per_block)
+        .max(1) as usize;
+    AccumPlan::Privatized { pixels_per_block }
+}
+
 /// How many times a transient transfer fault is retried before giving up.
 const MAX_TRANSFER_RETRIES: u32 = 3;
 
@@ -225,6 +274,10 @@ pub struct GpuReconstruction {
     /// Achieved active-pair density per slab, in slab order (empty when
     /// compaction is off).
     pub slab_densities: Vec<f64>,
+    /// Per slab, whether its main launch ran the shared-memory privatized
+    /// accumulator (`false` = atomic fallback or an empty launch domain).
+    /// Empty under `--accumulation atomic`.
+    pub slab_privatized: Vec<bool>,
 }
 
 /// Modeled device bytes needed for `slots` concurrently resident slabs of
@@ -751,6 +804,7 @@ pub(crate) fn launch_set_two(
     cfg: &ReconstructionConfig,
     n_images: usize,
     n_cols: usize,
+    accum: AccumPlan,
 ) -> Result<Option<cuda_sim::LaunchRecord>> {
     let rows = upload.rows;
     let n_pairs = n_images - 1;
@@ -795,6 +849,25 @@ pub(crate) fn launch_set_two(
         (LaunchShape::Dense, ThreadMapping::Grid3d) => LaunchConfig::new(grid3d, block),
         _ => LaunchConfig::linear(total, BLOCK_SIZE),
     };
+    // Everything up to the deposit itself is shared by both accumulation
+    // strategies: charge the index arithmetic, fetch the inputs, and build
+    // the pair's deposit plan.
+    let eval_pair = |ctx: &mut cuda_sim::ThreadCtx<'_>, r: usize, c: usize, z: usize| -> PairPlan {
+        eval_pair_body(ctx, upload, wires, mapper, cfg, rows, n_cols, r, c, z)
+    };
+    if let AccumPlan::Privatized { pixels_per_block } = accum {
+        return launch_set_two_privatized(
+            device,
+            stream,
+            upload,
+            cfg,
+            n_cols,
+            n_pairs,
+            &shape,
+            pixels_per_block,
+            &eval_pair,
+        );
+    }
     let kernel = |ctx: &mut cuda_sim::ThreadCtx<'_>| {
         let (r, c, z) = match &shape {
             LaunchShape::Dense => match mapping {
@@ -848,87 +921,13 @@ pub(crate) fn launch_set_two(
                 )
             }
         };
-        // The 1-D↔3-D index conversions the paper trades against pointer
-        // shipping (§III-B).
-        ctx.charge_flops(6);
-
-        let in_kernel = matches!(upload.depth_table, DepthTableRef::None);
-        // In table mode the kernel never touches the pixel/wire arrays.
-        let (pixel, w0, w1) = if in_kernel {
-            let pi = (r * n_cols + c) * 3;
-            (
-                Vec3::new(
-                    ctx.read(&upload.pixels, pi),
-                    ctx.read(&upload.pixels, pi + 1),
-                    ctx.read(&upload.pixels, pi + 2),
-                ),
-                Vec3::new(
-                    ctx.read(wires, z * 3),
-                    ctx.read(wires, z * 3 + 1),
-                    ctx.read(wires, z * 3 + 2),
-                ),
-                Vec3::new(
-                    ctx.read(wires, (z + 1) * 3),
-                    ctx.read(wires, (z + 1) * 3 + 1),
-                    ctx.read(wires, (z + 1) * 3 + 2),
-                ),
-            )
-        } else {
-            (Vec3::ZERO, Vec3::ZERO, Vec3::ZERO)
-        };
-        let pixel_in_slab = r * n_cols + c;
-        let (i0, i1) = match &upload.buffers {
-            SlabBuffers::Flat { intensity, .. } => (
-                ctx.read(intensity, (z * rows + r) * n_cols + c),
-                ctx.read(intensity, ((z + 1) * rows + r) * n_cols + c),
-            ),
-            SlabBuffers::Pointer { images, .. } => {
-                // Pointer chase: fetch the row pointer, then the element.
-                ctx.charge_mem_bytes(16);
-                (
-                    ctx.read(&images[z], pixel_in_slab),
-                    ctx.read(&images[z + 1], pixel_in_slab),
-                )
-            }
-        };
-
-        let mut flops = 0u64;
-        let plan = match &upload.depth_table {
-            DepthTableRef::None => plan_pair(mapper, cfg, pixel, w0, w1, i0, i1, &mut flops),
-            table_ref => {
-                // Table mode: the differential/cutoff logic is identical,
-                // but the depths come from the precomputed array.
-                let delta = crate::pair::differential(cfg, i0, i1);
-                flops += crate::pair::FLOPS_PER_PAIR;
-                if delta.abs() <= cfg.intensity_cutoff {
-                    PairPlan::BelowCutoff
-                } else {
-                    let (d0, d1) = match table_ref {
-                        DepthTableRef::Slab(table) => (
-                            ctx.read(table, (z * rows + r) * n_cols + c),
-                            ctx.read(table, ((z + 1) * rows + r) * n_cols + c),
-                        ),
-                        DepthTableRef::Resident { buf, n_rows } => {
-                            // Resident tables cover the full detector;
-                            // index by absolute row.
-                            let abs_r = upload.row0 + r;
-                            (
-                                ctx.read(buf, (z * n_rows + abs_r) * n_cols + c),
-                                ctx.read(buf, ((z + 1) * n_rows + abs_r) * n_cols + c),
-                            )
-                        }
-                        DepthTableRef::None => unreachable!(),
-                    };
-                    crate::pair::plan_from_band(cfg, delta, d0, d1, &mut flops)
-                }
-            }
-        };
-        match plan {
+        match eval_pair(ctx, r, c, z) {
             PairPlan::BelowCutoff => ctx.trace(TRACE_BELOW_CUTOFF),
             PairPlan::InvalidGeometry => ctx.trace(TRACE_INVALID),
             PairPlan::OutOfRange => ctx.trace(TRACE_OUT_OF_RANGE),
             PairPlan::Deposit(plan) => {
                 ctx.trace(TRACE_DEPOSITED);
+                let pixel_in_slab = r * n_cols + c;
                 for bin in plan.first_bin..plan.last_bin {
                     let amount = plan.amount(bin, cfg);
                     if amount != 0.0 {
@@ -946,10 +945,246 @@ pub(crate) fn launch_set_two(
                 }
             }
         }
-        ctx.charge_flops(flops);
     };
     device
         .launch_on(stream, "set_two", launch_cfg, kernel)
+        .map(Some)
+        .map_err(CoreError::from)
+}
+
+/// Shared per-`(row, col, pair)` evaluation: charge the index arithmetic,
+/// fetch the pixel/wire/intensity (or depth-table) inputs, and build the
+/// pair's deposit plan. Both accumulation strategies run exactly this —
+/// they differ only in where the deposits land.
+#[allow(clippy::too_many_arguments)]
+fn eval_pair_body(
+    ctx: &mut cuda_sim::ThreadCtx<'_>,
+    upload: &SlabUpload,
+    wires: &DeviceBuffer<f64>,
+    mapper: &DepthMapper,
+    cfg: &ReconstructionConfig,
+    rows: usize,
+    n_cols: usize,
+    r: usize,
+    c: usize,
+    z: usize,
+) -> PairPlan {
+    // The 1-D↔3-D index conversions the paper trades against pointer
+    // shipping (§III-B).
+    ctx.charge_flops(6);
+
+    let in_kernel = matches!(upload.depth_table, DepthTableRef::None);
+    // In table mode the kernel never touches the pixel/wire arrays.
+    let (pixel, w0, w1) = if in_kernel {
+        let pi = (r * n_cols + c) * 3;
+        (
+            Vec3::new(
+                ctx.read(&upload.pixels, pi),
+                ctx.read(&upload.pixels, pi + 1),
+                ctx.read(&upload.pixels, pi + 2),
+            ),
+            Vec3::new(
+                ctx.read(wires, z * 3),
+                ctx.read(wires, z * 3 + 1),
+                ctx.read(wires, z * 3 + 2),
+            ),
+            Vec3::new(
+                ctx.read(wires, (z + 1) * 3),
+                ctx.read(wires, (z + 1) * 3 + 1),
+                ctx.read(wires, (z + 1) * 3 + 2),
+            ),
+        )
+    } else {
+        (Vec3::ZERO, Vec3::ZERO, Vec3::ZERO)
+    };
+    let pixel_in_slab = r * n_cols + c;
+    let (i0, i1) = match &upload.buffers {
+        SlabBuffers::Flat { intensity, .. } => (
+            ctx.read(intensity, (z * rows + r) * n_cols + c),
+            ctx.read(intensity, ((z + 1) * rows + r) * n_cols + c),
+        ),
+        SlabBuffers::Pointer { images, .. } => {
+            // Pointer chase: fetch the row pointer, then the element.
+            ctx.charge_mem_bytes(16);
+            (
+                ctx.read(&images[z], pixel_in_slab),
+                ctx.read(&images[z + 1], pixel_in_slab),
+            )
+        }
+    };
+
+    let mut flops = 0u64;
+    let plan = match &upload.depth_table {
+        DepthTableRef::None => plan_pair(mapper, cfg, pixel, w0, w1, i0, i1, &mut flops),
+        table_ref => {
+            // Table mode: the differential/cutoff logic is identical,
+            // but the depths come from the precomputed array.
+            let delta = crate::pair::differential(cfg, i0, i1);
+            flops += crate::pair::FLOPS_PER_PAIR;
+            if delta.abs() <= cfg.intensity_cutoff {
+                PairPlan::BelowCutoff
+            } else {
+                let (d0, d1) = match table_ref {
+                    DepthTableRef::Slab(table) => (
+                        ctx.read(table, (z * rows + r) * n_cols + c),
+                        ctx.read(table, ((z + 1) * rows + r) * n_cols + c),
+                    ),
+                    DepthTableRef::Resident { buf, n_rows } => {
+                        // Resident tables cover the full detector;
+                        // index by absolute row.
+                        let abs_r = upload.row0 + r;
+                        (
+                            ctx.read(buf, (z * n_rows + abs_r) * n_cols + c),
+                            ctx.read(buf, ((z + 1) * n_rows + abs_r) * n_cols + c),
+                        )
+                    }
+                    DepthTableRef::None => unreachable!(),
+                };
+                crate::pair::plan_from_band(cfg, delta, d0, d1, &mut flops)
+            }
+        }
+    };
+    ctx.charge_flops(flops);
+    plan
+}
+
+/// The privatized `set_two` launch: one thread per slab pixel walks that
+/// pixel's pairs in ascending `z` — the same per-cell deposit order as the
+/// atomic launch — into its own row of the block's shared depth-bin tile;
+/// once the block drains, the epilogue commits each nonzero cell with a
+/// single global add. Every output cell receives at most one commit into a
+/// zeroed buffer, so the image is bit-identical to the atomic path
+/// (`0.0 + x == x` bitwise; nonzero summands cannot round to `-0.0`) and
+/// deterministic even under the threaded executor (blocks commit to
+/// disjoint pixels).
+#[allow(clippy::too_many_arguments)]
+fn launch_set_two_privatized<F>(
+    device: &Device,
+    stream: StreamId,
+    upload: &SlabUpload,
+    cfg: &ReconstructionConfig,
+    n_cols: usize,
+    n_pairs: usize,
+    shape: &LaunchShape<'_>,
+    pixels_per_block: usize,
+    eval_pair: &F,
+) -> Result<Option<cuda_sim::LaunchRecord>>
+where
+    F: Fn(&mut cuda_sim::ThreadCtx<'_>, usize, usize, usize) -> PairPlan + Sync,
+{
+    let rows = upload.rows;
+    let n_bins = cfg.n_depth_bins;
+    let sp = upload.sparsity.as_ref();
+    // Pixel domain per shape: banded slabs only visit live rows; compact
+    // slabs visit every pixel but read only its CSR slice of the work-list.
+    let n_pixels = match shape {
+        LaunchShape::Banded { .. } => sp.map_or(0, |sp| sp.live_rows.len()) * n_cols,
+        _ => rows * n_cols,
+    } as u64;
+    let pixel_rc = |pix: usize| -> (usize, usize) {
+        match shape {
+            LaunchShape::Banded { .. } => (
+                sp.expect("banded shape has sparsity").live_rows[pix / n_cols] as usize,
+                pix % n_cols,
+            ),
+            _ => (pix / n_cols, pix % n_cols),
+        }
+    };
+    let deposit =
+        |ctx: &mut cuda_sim::ThreadCtx<'_>, tile_row: &mut [f64], r: usize, c: usize, z: usize| {
+            match eval_pair(ctx, r, c, z) {
+                PairPlan::BelowCutoff => ctx.trace(TRACE_BELOW_CUTOFF),
+                PairPlan::InvalidGeometry => ctx.trace(TRACE_INVALID),
+                PairPlan::OutOfRange => ctx.trace(TRACE_OUT_OF_RANGE),
+                PairPlan::Deposit(plan) => {
+                    ctx.trace(TRACE_DEPOSITED);
+                    let bins = plan.first_bin..plan.last_bin;
+                    for (cell, bin) in tile_row[bins.clone()].iter_mut().zip(bins.start..) {
+                        let amount = plan.amount(bin, cfg);
+                        if amount != 0.0 {
+                            // The thread owns its tile row, so this is a
+                            // plain shared read-modify-write — no atomic.
+                            ctx.charge_shared_bytes(16);
+                            *cell += amount;
+                            ctx.trace(TRACE_DEPOSITS);
+                        }
+                    }
+                }
+            }
+        };
+    let kernel = |ctx: &mut cuda_sim::ThreadCtx<'_>, shared: &mut [f64]| {
+        let pix = ctx.global_id().x as usize;
+        if pix as u64 >= n_pixels {
+            return;
+        }
+        let slot = ctx.thread_idx.x as usize;
+        let tile_row = &mut shared[slot * n_bins..(slot + 1) * n_bins];
+        let (r, c) = pixel_rc(pix);
+        match shape {
+            LaunchShape::Dense => {
+                for z in 0..n_pairs {
+                    deposit(ctx, tile_row, r, c, z);
+                }
+            }
+            LaunchShape::Banded { .. } => {
+                let sp = sp.expect("banded shape has sparsity");
+                for &z in &sp.live_pairs[r] {
+                    ctx.charge_mem_bytes(8); // live-pair descriptor fetch
+                    deposit(ctx, tile_row, r, c, z as usize);
+                }
+            }
+            LaunchShape::Compact { list } => {
+                let sp = sp.expect("compact shape has sparsity");
+                ctx.charge_mem_bytes(8); // CSR offset fetch
+                for k in sp.offsets[pix] as usize..sp.offsets[pix + 1] as usize {
+                    // Entries are (r, c, z)-ordered, so this pixel's slice
+                    // is already ascending in z.
+                    let e = ctx.read(list, k);
+                    deposit(ctx, tile_row, r, c, (e & 0xFFFFF) as usize);
+                }
+            }
+        }
+    };
+    let epilogue = |ctx: &mut cuda_sim::ThreadCtx<'_>, shared: &mut [f64]| {
+        let block0 = (ctx.block_idx.x * ctx.block_dim.x) as usize;
+        for slot in 0..pixels_per_block {
+            let pix = block0 + slot;
+            if pix as u64 >= n_pixels {
+                break;
+            }
+            let (r, c) = pixel_rc(pix);
+            let pixel_in_slab = r * n_cols + c;
+            for (bin, &v) in shared[slot * n_bins..(slot + 1) * n_bins]
+                .iter()
+                .enumerate()
+            {
+                // The reduction scans every tile cell once…
+                ctx.charge_shared_bytes(8);
+                ctx.charge_flops(1);
+                if v != 0.0 {
+                    // …and commits each touched (pixel, bin) exactly once.
+                    match &upload.buffers {
+                        SlabBuffers::Flat { output, .. } => {
+                            ctx.atomic_add_f64(output, (bin * rows + r) * n_cols + c, v);
+                        }
+                        SlabBuffers::Pointer { bins, .. } => {
+                            ctx.charge_mem_bytes(8); // bin-pointer fetch
+                            ctx.atomic_add_f64(&bins[bin], pixel_in_slab, v);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    device
+        .launch_shared_on(
+            stream,
+            "set_two",
+            LaunchConfig::linear(n_pixels, pixels_per_block as u64),
+            pixels_per_block * n_bins,
+            kernel,
+            epilogue,
+        )
         .map(Some)
         .map_err(CoreError::from)
 }
@@ -1030,6 +1265,10 @@ fn slab_stats(
         deposits: t(main, TRACE_DEPOSITS),
         culled_rows: culled_combos,
         compacted_pairs: compacted,
+        // Attribution to an accumulation strategy is a slab-level fact the
+        // ring fills in after it resolves the plan.
+        privatized_pairs: 0,
+        accum_fallback_pairs: 0,
     }
 }
 
@@ -1156,6 +1395,13 @@ pub(crate) struct RingOutcome {
     pub(crate) compacted_pairs: u64,
     /// Achieved active-pair density per slab (empty when compaction off).
     pub(crate) slab_densities: Vec<f64>,
+    /// Per slab, whether its main launch ran privatized (empty when the
+    /// run never asked for privatization).
+    pub(crate) slab_privatized: Vec<bool>,
+    /// Pairs attributed to slabs that ran the privatized accumulator.
+    pub(crate) privatized_pairs: u64,
+    /// Pairs that fell back to atomics although privatization was asked.
+    pub(crate) accum_fallback_pairs: u64,
 }
 
 /// Resolve where the kernel's depth tables come from. With a cache
@@ -1337,10 +1583,21 @@ pub(crate) fn run_ring(
     let mut culled_rows_total = 0u64;
     let mut compacted_total = 0u64;
     let mut slab_densities = Vec::new();
+    let mut slab_privatized = Vec::new();
+    let mut privatized_pairs_total = 0u64;
+    let mut fallback_pairs_total = 0u64;
+    // The accumulation plan depends only on the bin count and the device's
+    // shared memory, so it is uniform across this band's slabs — but it is
+    // recorded (and attributed) per slab, matching the checkpoint
+    // granularity.
+    let accum = plan_accumulation(device.props(), cfg.n_depth_bins, cfg.accumulation);
+    // What one slab attempt reports back: (host table FLOPs, culled combos,
+    // compacted pairs, realised density, privatized?).
+    type SlabAttempt = (u64, u64, u64, Option<f64>, Option<bool>);
     let mut row0 = band.start;
     while row0 < band.end {
         let rows = rows_per_slab.min(band.end - row0);
-        let attempt = (|| -> Result<(u64, u64, u64, Option<f64>)> {
+        let attempt = (|| -> Result<SlabAttempt> {
             if ring.len() == slots {
                 // Free the oldest slot: download after its kernel, and gate
                 // the upcoming upload on the download so the reused memory
@@ -1385,13 +1642,28 @@ pub(crate) fn run_ring(
                 cfg,
                 n_images,
                 n_cols,
+                accum,
             )?;
             let flops = upload.host_flops;
             let pairs = (rows * n_cols * (n_images - 1)) as u64;
             let culled = upload.sparsity.as_ref().map_or(0, |sp| sp.culled_combos);
             let density = upload.sparsity.as_ref().map(|sp| sp.density);
-            let stats = slab_stats(prescan.as_ref(), main.as_ref(), pairs, culled, n_cols);
+            let mut stats = slab_stats(prescan.as_ref(), main.as_ref(), pairs, culled, n_cols);
             let compacted = stats.compacted_pairs;
+            // Attribute the slab's pairs to the strategy its main launch
+            // actually ran (an empty launch domain ran neither).
+            let privatized = match (&main, accum) {
+                (Some(_), AccumPlan::Privatized { .. }) => {
+                    stats.privatized_pairs = stats.pairs_total;
+                    Some(true)
+                }
+                (Some(_), AccumPlan::Atomic { fallback: true }) => {
+                    stats.accum_fallback_pairs = stats.pairs_total;
+                    Some(false)
+                }
+                (Some(_), AccumPlan::Atomic { fallback: false }) => None,
+                (None, _) => cfg.accumulation.wants_privatized().then_some(false),
+            };
             // An all-culled or empty-list slab never launches: its output
             // rows stay zero and the slot frees at upload time.
             let kernel_end = main
@@ -1400,15 +1672,24 @@ pub(crate) fn run_ring(
                 .or_else(|| prescan.as_ref().map(|r| r.end_s))
                 .unwrap_or(upload.ready_at);
             ring.push_back((upload, kernel_end, stats));
-            Ok((flops, culled, compacted, density))
+            Ok((flops, culled, compacted, density, privatized))
         })();
         match attempt {
-            Ok((flops, culled, compacted, density)) => {
+            Ok((flops, culled, compacted, density, privatized)) => {
                 host_table_flops += flops;
                 culled_rows_total += culled;
                 compacted_total += compacted;
                 if let Some(d) = density {
                     slab_densities.push(d);
+                }
+                if let Some(p) = privatized {
+                    slab_privatized.push(p);
+                    let pairs = (rows * n_cols * (n_images - 1)) as u64;
+                    if p {
+                        privatized_pairs_total += pairs;
+                    } else if matches!(accum, AccumPlan::Atomic { fallback: true }) {
+                        fallback_pairs_total += pairs;
+                    }
                 }
                 n_slabs += 1;
                 row0 += rows;
@@ -1473,6 +1754,9 @@ pub(crate) fn run_ring(
         culled_rows: culled_rows_total,
         compacted_pairs: compacted_total,
         slab_densities,
+        slab_privatized,
+        privatized_pairs: privatized_pairs_total,
+        accum_fallback_pairs: fallback_pairs_total,
     })
 }
 
@@ -1521,6 +1805,8 @@ pub fn reconstruct_pipelined(
     stats.pairs_out_of_range += outcome.culled_rows * n_cols as u64;
     stats.culled_rows = outcome.culled_rows;
     stats.compacted_pairs = outcome.compacted_pairs;
+    stats.privatized_pairs = outcome.privatized_pairs;
+    stats.accum_fallback_pairs = outcome.accum_fallback_pairs;
     Ok(GpuReconstruction {
         image,
         stats,
@@ -1534,6 +1820,7 @@ pub fn reconstruct_pipelined(
         pipeline_depth: outcome.depth_used,
         table_cache: outcome.cache_stats,
         slab_densities: outcome.slab_densities,
+        slab_privatized: outcome.slab_privatized,
     })
 }
 
@@ -1572,6 +1859,7 @@ pub fn reconstruct_checkpointed(
     let mut depth_used = depth.0;
     let mut cache_stats = TableCacheStats::default();
     let mut slab_densities = Vec::new();
+    let mut slab_privatized = Vec::new();
     for band in progress.uncovered(0..n_rows) {
         let (image, mut tracker) = progress.split_mut();
         let mut journal = journal.as_deref_mut();
@@ -1601,6 +1889,7 @@ pub fn reconstruct_checkpointed(
         depth_used = outcome.depth_used;
         cache_stats.merge(&outcome.cache_stats);
         slab_densities.extend(outcome.slab_densities);
+        slab_privatized.extend(outcome.slab_privatized);
     }
     // Counts every committed slab, replayed and fresh alike.
     let n_slabs = progress.committed_slabs();
@@ -1619,6 +1908,7 @@ pub fn reconstruct_checkpointed(
         pipeline_depth: depth_used,
         table_cache: cache_stats,
         slab_densities,
+        slab_privatized,
     })
 }
 
@@ -2695,5 +2985,223 @@ mod tests {
         let mut neutral = out.stats;
         neutral.compacted_pairs = 0;
         assert_eq!(neutral, dense.stats);
+    }
+
+    #[test]
+    fn accumulation_planner_prefers_occupancy() {
+        let props = DeviceProps::tesla_m2070(); // 48 KiB shared
+        let atomic = plan_accumulation(&props, 200, AccumulationMode::Atomic);
+        assert_eq!(atomic, AccumPlan::Atomic { fallback: false });
+        // 200 bins = 1600 B per row: 7 rows keep 4 blocks resident.
+        match plan_accumulation(&props, 200, AccumulationMode::Auto) {
+            AccumPlan::Privatized { pixels_per_block } => {
+                assert_eq!(pixels_per_block, 7);
+                assert_eq!(props.occupancy(7 * 200 * 8), 1.0);
+            }
+            other => panic!("expected privatized, got {other:?}"),
+        }
+        // 2000 bins = 16 000 B per row: over a quarter of shared memory, so
+        // the planner accepts the occupancy hit and packs what fits.
+        match plan_accumulation(&props, 2000, AccumulationMode::Privatized) {
+            AccumPlan::Privatized { pixels_per_block } => {
+                assert_eq!(pixels_per_block, 3);
+                assert!(props.occupancy(3 * 2000 * 8) < 1.0);
+            }
+            other => panic!("expected privatized, got {other:?}"),
+        }
+        // 7000 bins = 56 000 B per row: one row alone does not fit — both
+        // `auto` and forced privatization fall back, flagged.
+        for mode in [AccumulationMode::Auto, AccumulationMode::Privatized] {
+            assert_eq!(
+                plan_accumulation(&props, 7000, mode),
+                AccumPlan::Atomic { fallback: true }
+            );
+        }
+    }
+
+    #[test]
+    fn privatized_matches_atomic_bitwise_across_modes() {
+        // The tentpole bit-identity contract: privatized accumulation must
+        // reproduce the atomic image bit-for-bit across layouts,
+        // triangulation, thread mapping, and every compaction shape
+        // (dense, banded, compact).
+        let (geom, wide_cfg, data) = mixed_demo();
+        let mut narrow_cfg = ReconstructionConfig::new(-350.0, 150.0, 25);
+        narrow_cfg.intensity_cutoff = 18.0;
+        let opt_set = [
+            GpuOptions::default(),
+            GpuOptions {
+                layout: Layout::Pointer3d,
+                ..GpuOptions::default()
+            },
+            GpuOptions {
+                triangulation: Triangulation::HostTables,
+                ..GpuOptions::default()
+            },
+            GpuOptions {
+                mapping: ThreadMapping::Grid3d,
+                ..GpuOptions::default()
+            },
+        ];
+        for opts in opt_set {
+            for base_cfg in [&wide_cfg, &narrow_cfg] {
+                for compaction in [
+                    CompactionMode::Off,
+                    CompactionMode::Auto,
+                    CompactionMode::On,
+                ] {
+                    let mut cfg = base_cfg.clone();
+                    cfg.compaction = compaction;
+                    let device = big_device();
+                    let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+                    let atomic =
+                        reconstruct_with_options(&device, &mut source, &geom, &cfg, opts).unwrap();
+                    assert!(atomic.slab_privatized.is_empty());
+                    for accum in [AccumulationMode::Privatized, AccumulationMode::Auto] {
+                        let mut cfg = cfg.clone();
+                        cfg.accumulation = accum;
+                        let device = big_device();
+                        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+                        let private =
+                            reconstruct_with_options(&device, &mut source, &geom, &cfg, opts)
+                                .unwrap();
+                        assert_eq!(
+                            atomic.image.data, private.image.data,
+                            "{opts:?} {compaction:?} {accum:?} must be bit-identical"
+                        );
+                        // 120 (or 25) bins fit tiny's 8 KiB shared memory, so
+                        // every launched slab privatizes.
+                        assert_eq!(private.slab_privatized.len(), private.n_slabs);
+                        assert!(private.slab_privatized.iter().all(|p| *p));
+                        assert_eq!(private.stats.privatized_pairs, private.stats.pairs_total);
+                        assert_eq!(private.stats.accum_fallback_pairs, 0);
+                        let mut neutral = private.stats;
+                        neutral.privatized_pairs = 0;
+                        assert_eq!(neutral, atomic.stats, "{opts:?} {compaction:?} {accum:?}");
+                        assert!(neutral.is_consistent());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn privatized_is_deterministic_under_threading() {
+        // Blocks commit to disjoint pixels, so the threaded executor must
+        // reproduce the sequential atomic image bit-for-bit — the property
+        // the CAS-loop atomic path cannot offer.
+        let (geom, mut cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let atomic_seq = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        cfg.accumulation = AccumulationMode::Privatized;
+        for workers in [2usize, 4, 8] {
+            let device = big_device();
+            device.set_exec_mode(ExecMode::Threaded(workers));
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let threaded = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+            assert_eq!(
+                atomic_seq.image.data, threaded.image.data,
+                "threaded privatized ({workers} workers) must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_accumulation_falls_back_when_bins_exceed_shared() {
+        // A device whose shared memory cannot hold even one 40-bin row:
+        // `auto` (and forced privatization) must run the atomic path,
+        // bit-identically, and record the fallback.
+        let (geom, cfg, data) = demo();
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let atomic = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let mut props = DeviceProps::tiny(64 * 1024 * 1024);
+        props.shared_mem_per_block = 64; // 8 doubles < 40 bins
+        for accum in [AccumulationMode::Auto, AccumulationMode::Privatized] {
+            let mut cfg = cfg.clone();
+            cfg.accumulation = accum;
+            let device = Device::new(props.clone());
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+            let out = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+            assert_eq!(atomic.image.data, out.image.data);
+            assert_eq!(out.slab_privatized.len(), out.n_slabs);
+            assert!(out.slab_privatized.iter().all(|p| !*p), "{accum:?}");
+            assert_eq!(out.stats.accum_fallback_pairs, out.stats.pairs_total);
+            assert_eq!(out.stats.privatized_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn privatized_cuts_modeled_kernel_time_when_deposits_pile_up() {
+        // Many wire steps over few bins: each output cell collects deposits
+        // from dozens of pairs, so the privatized path folds them in shared
+        // memory and pays one global atomic per cell instead of one per
+        // deposit.
+        let geom = ScanGeometry::demo(6, 6, 40, -80.0, 3.0).unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 10);
+        let (p, m, n) = (40, 6, 6);
+        let data: Vec<f64> = (0..p * m * n).map(|i| (i % 97) as f64).collect();
+        let device = Device::new(DeviceProps::tesla_m2070());
+        let mut source = InMemorySlabSource::new(data.clone(), p, m, n).unwrap();
+        let atomic = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let mut cfg = cfg.clone();
+        cfg.accumulation = AccumulationMode::Auto;
+        let device = Device::new(DeviceProps::tesla_m2070());
+        let mut source = InMemorySlabSource::new(data, p, m, n).unwrap();
+        let private = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+        assert_eq!(atomic.image.data, private.image.data);
+        // Atomic pays one global atomic per deposit; privatized pays one per
+        // touched cell — the wide bins collapse many deposits per cell.
+        assert!(
+            2 * private.meters.kernel_cost.atomic_ops <= atomic.meters.kernel_cost.atomic_ops,
+            "commits {} must be far fewer than deposits {}",
+            private.meters.kernel_cost.atomic_ops,
+            atomic.meters.kernel_cost.atomic_ops
+        );
+        assert!(
+            private.meters.compute_time_s < atomic.meters.compute_time_s,
+            "privatized {} vs atomic {}",
+            private.meters.compute_time_s,
+            atomic.meters.compute_time_s
+        );
+    }
+
+    #[test]
+    fn checkpointed_privatized_matches_and_records_slabs() {
+        let (geom, mut cfg, data) = mixed_demo();
+        cfg.rows_per_slab = Some(2);
+        let device = big_device();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 6, 6).unwrap();
+        let atomic = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        cfg.compaction = CompactionMode::On;
+        cfg.accumulation = AccumulationMode::Auto;
+        let device = big_device();
+        let mut progress = SlabProgress::new(cfg.n_depth_bins, 6, 6);
+        let mut source = InMemorySlabSource::new(data, 10, 6, 6).unwrap();
+        let out = reconstruct_checkpointed(
+            &device,
+            &mut source,
+            &geom,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::SERIAL,
+            None,
+            &mut progress,
+            None,
+        )
+        .unwrap();
+        assert_eq!(atomic.image.data, out.image.data);
+        assert_eq!(out.slab_privatized.len(), out.n_slabs);
+        assert!(out.slab_privatized.iter().all(|p| *p));
+        assert_eq!(out.stats.privatized_pairs, out.stats.pairs_total);
+        let mut neutral = out.stats;
+        neutral.compacted_pairs = 0;
+        neutral.privatized_pairs = 0;
+        assert_eq!(neutral, atomic.stats);
     }
 }

@@ -12,7 +12,7 @@
 //!          n_bins u64 | n_rows u64 | n_cols u64 |
 //!          desc_len u32 | description bytes | crc32 of all of the above
 //! record:  payload_len u32 | crc32(payload) |
-//!          payload = row0 u64 | rows u64 | 8 × ReconStats u64 |
+//!          payload = row0 u64 | rows u64 | 10 × ReconStats u64 |
 //!                    rows·n_bins·n_cols × f64 (slab rows, bin-major)
 //! ```
 //!
@@ -41,9 +41,10 @@ use crate::{CoreError, Result};
 
 const MAGIC: [u8; 8] = *b"LAUEJRN1";
 // v2 widened the per-slab stats block from 6 to 8 words (culled_rows,
-// compacted_pairs). A v1 journal fails the version check and the run starts
-// fresh — exactly the safe behaviour for a format change.
-const VERSION: u32 = 2;
+// compacted_pairs); v3 widened it to 10 (privatized_pairs,
+// accum_fallback_pairs). An older journal fails the version check and the
+// run starts fresh — exactly the safe behaviour for a format change.
+const VERSION: u32 = 3;
 
 fn io_err(what: &str, e: std::io::Error) -> CoreError {
     CoreError::Journal(format!("{what}: {e}"))
@@ -203,7 +204,7 @@ impl RunJournal {
     }
 }
 
-const STATS_WORDS: usize = 8;
+const STATS_WORDS: usize = 10;
 
 fn stats_words(s: &ReconStats) -> [u64; STATS_WORDS] {
     [
@@ -215,6 +216,8 @@ fn stats_words(s: &ReconStats) -> [u64; STATS_WORDS] {
         s.deposits,
         s.culled_rows,
         s.compacted_pairs,
+        s.privatized_pairs,
+        s.accum_fallback_pairs,
     ]
 }
 
@@ -356,6 +359,8 @@ fn parse(
                 deposits: words[5],
                 culled_rows: words[6],
                 compacted_pairs: words[7],
+                privatized_pairs: words[8],
+                accum_fallback_pairs: words[9],
             },
             data,
         });

@@ -55,7 +55,9 @@ pub mod post;
 pub mod stats;
 pub mod uncertainty;
 
-pub use config::{CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY};
+pub use config::{
+    AccumulationMode, CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY,
+};
 pub use error::CoreError;
 pub use geometry::ScanGeometry;
 pub use input::{InMemorySlabSource, RoiSlabSource, ScanView, SlabSource};

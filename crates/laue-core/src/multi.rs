@@ -52,6 +52,11 @@ pub struct MultiGpuReconstruction {
     /// Achieved active-pair density per slab, in commit order across the
     /// fleet (empty when compaction is off).
     pub slab_densities: Vec<f64>,
+    /// Per slab in commit order across the fleet, whether its main launch
+    /// ran the shared-memory privatized accumulator (devices may differ in
+    /// shared-memory budget, so a heterogeneous fleet can mix). Empty under
+    /// `--accumulation atomic`.
+    pub slab_privatized: Vec<bool>,
 }
 
 /// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
@@ -187,6 +192,7 @@ pub fn reconstruct_multi_checkpointed(
     let mut recovery = RecoveryLog::default();
     let mut table_cache = TableCacheStats::default();
     let mut slab_densities = Vec::new();
+    let mut slab_privatized = Vec::new();
     let mut devices_lost = 0u32;
     let mut alive: Vec<bool> = devices.iter().map(|d| !d.is_lost()).collect();
     let mut participated: Vec<bool> = vec![false; devices.len()];
@@ -243,6 +249,7 @@ pub fn reconstruct_multi_checkpointed(
                     Ok(outcome) => {
                         table_cache.merge(&outcome.cache_stats);
                         slab_densities.extend(outcome.slab_densities);
+                        slab_privatized.extend(outcome.slab_privatized);
                     }
                     Err(e) if e.is_gpu_failure() => {
                         // The device is gone (or hopeless): drain it from
@@ -283,6 +290,7 @@ pub fn reconstruct_multi_checkpointed(
         devices_lost,
         n_slabs: progress.committed_slabs(),
         slab_densities,
+        slab_privatized,
     })
 }
 
@@ -512,6 +520,53 @@ mod tests {
             reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap_err();
         assert!(err.is_gpu_failure());
         assert!(err.to_string().contains("device lost"), "{err}");
+    }
+
+    #[test]
+    fn privatized_fleet_matches_atomic_bitwise_even_heterogeneous() {
+        let (geom, cfg, data) = demo();
+        let single = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let ref_out = gpu::reconstruct(&single, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let mut cfg = cfg.clone();
+        cfg.accumulation = crate::config::AccumulationMode::Auto;
+        // Homogeneous fleet: every slab privatizes.
+        let devices: Vec<Device> = (0..3)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect();
+        let refs: Vec<&Device> = devices.iter().collect();
+        let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+        let out =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+        assert_eq!(out.image.data, ref_out.image.data);
+        assert_eq!(out.slab_privatized.len(), out.n_slabs);
+        assert!(out.slab_privatized.iter().all(|p| *p));
+        assert_eq!(out.stats.privatized_pairs, out.stats.pairs_total);
+
+        // Heterogeneous fleet: one device's shared memory cannot hold a
+        // 60-bin row, so its slabs fall back to atomics — the image must
+        // still be bit-identical and the mix visible per slab.
+        let mut cramped = DeviceProps::tiny(16 * 1024 * 1024);
+        cramped.shared_mem_per_block = 64;
+        let devices = [
+            Device::new(DeviceProps::tiny(16 * 1024 * 1024)),
+            Device::new(cramped),
+        ];
+        let refs: Vec<&Device> = devices.iter().collect();
+        let mut source = InMemorySlabSource::new(data, 10, 8, 6).unwrap();
+        let out =
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap();
+        assert_eq!(out.image.data, ref_out.image.data);
+        assert_eq!(out.slab_privatized.len(), out.n_slabs);
+        assert!(out.slab_privatized.iter().any(|p| *p));
+        assert!(out.slab_privatized.iter().any(|p| !*p));
+        assert!(out.stats.privatized_pairs > 0);
+        assert!(out.stats.accum_fallback_pairs > 0);
+        assert_eq!(
+            out.stats.privatized_pairs + out.stats.accum_fallback_pairs,
+            out.stats.pairs_total
+        );
     }
 
     #[test]

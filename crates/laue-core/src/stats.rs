@@ -40,6 +40,14 @@ pub struct ReconStats {
     /// counter records how many never reached the main kernel. Zero on
     /// dense launches, even when the prescan ran (`auto` fallback).
     pub compacted_pairs: u64,
+    /// Pairs processed by slabs that ran the shared-memory privatized
+    /// accumulator (attribution over `pairs_total`; zero under
+    /// `--accumulation atomic`).
+    pub privatized_pairs: u64,
+    /// Pairs that ran the atomic accumulator because the slab's depth-bin
+    /// tile did not fit the device's shared memory although the run asked
+    /// for privatization — the `auto`/forced fallback, made visible here.
+    pub accum_fallback_pairs: u64,
 }
 
 impl ReconStats {
@@ -85,6 +93,8 @@ impl ReconStats {
         self.deposits += other.deposits;
         self.culled_rows += other.culled_rows;
         self.compacted_pairs += other.compacted_pairs;
+        self.privatized_pairs += other.privatized_pairs;
+        self.accum_fallback_pairs += other.accum_fallback_pairs;
     }
 
     /// Fraction of pairs that passed the cutoff — the paper's
@@ -164,5 +174,22 @@ mod tests {
         assert_eq!(merged.culled_rows, 2);
         assert_eq!(merged.compacted_pairs, 4);
         assert!(merged.is_consistent());
+    }
+
+    #[test]
+    fn accumulation_attribution_rides_along_merge() {
+        // privatized/fallback pairs attribute existing totals; they are not
+        // a fifth outcome category, so consistency is untouched.
+        let mut a = ReconStats::default();
+        a.record(PairOutcome::Deposited { bins: 2 });
+        a.record(PairOutcome::BelowCutoff);
+        a.privatized_pairs = 2;
+        let mut b = ReconStats::default();
+        b.record(PairOutcome::Deposited { bins: 1 });
+        b.accum_fallback_pairs = 1;
+        a.merge(&b);
+        assert_eq!(a.privatized_pairs, 2);
+        assert_eq!(a.accum_fallback_pairs, 1);
+        assert!(a.is_consistent());
     }
 }

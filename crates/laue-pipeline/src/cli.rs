@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use cuda_sim::FaultPlan;
 use laue_core::gpu::Layout;
-use laue_core::{CompactionMode, ReconstructionConfig};
+use laue_core::{AccumulationMode, CompactionMode, ReconstructionConfig};
 
 use crate::engine::Engine;
 use crate::{GpuFailurePolicy, Pipeline, PipelineError, Result};
@@ -65,6 +65,10 @@ pub struct ReconstructArgs {
     /// Sparsity pass: shadow culling + active-pair compaction
     /// (`--compaction off|auto|on`; default `off` = dense traversal).
     pub compaction: CompactionMode,
+    /// GPU depth-intensity accumulation strategy
+    /// (`--accumulation atomic|privatized|auto`; default `atomic` = the
+    /// paper's CAS-loop `atomicAdd(double)`).
+    pub accumulation: AccumulationMode,
     pub rows_per_slab: Option<usize>,
     /// Ring depth of the GPU transfer/compute pipeline (`--pipeline-depth`).
     pub pipeline_depth: Option<usize>,
@@ -343,6 +347,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 bins: get_parse(&flags, "bins", 400)?,
                 cutoff: get_parse(&flags, "cutoff", 0.0)?,
                 compaction: CompactionMode::default(),
+                accumulation: AccumulationMode::default(),
                 rows_per_slab: None,
                 pipeline_depth: None,
                 table_cache_mb: None,
@@ -375,6 +380,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "bins",
                     "cutoff",
                     "compaction",
+                    "accumulation",
                     "rows-per-slab",
                     "pipeline-depth",
                     "table-cache-mb",
@@ -425,6 +431,12 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     None => CompactionMode::default(),
                     Some(s) => CompactionMode::parse(s)
                         .ok_or_else(|| format!("bad --compaction {s:?} (try off, auto, on)"))?,
+                },
+                accumulation: match flags.get("accumulation") {
+                    None => AccumulationMode::default(),
+                    Some(s) => AccumulationMode::parse(s).ok_or_else(|| {
+                        format!("bad --accumulation {s:?} (try atomic, privatized, auto)")
+                    })?,
                 },
                 rows_per_slab: flags
                     .get("rows-per-slab")
@@ -497,6 +509,7 @@ USAGE:
                    [--variance <sigma.mh5>] [--roi r0:c0:rows:cols]
                    [--depth-start UM] [--depth-end UM] [--bins N]
                    [--cutoff C] [--compaction off|auto|on]
+                   [--accumulation atomic|privatized|auto]
                    [--rows-per-slab R] [--pipeline-depth K]
                    [--table-cache-mb M] [--sim-workers N|0|auto]
                    [--on-gpu-failure abort|fallback-cpu]
@@ -518,6 +531,17 @@ SPARSITY:
                       output stays bit-identical to the dense path
   --compaction auto   per-slab: prescan, then launch compact only when the
                       measured active-pair density makes it cheaper
+
+ACCUMULATION:
+  --accumulation atomic      per-deposit CAS-loop atomicAdd(double) on device
+                             memory — the paper's scheme (default)
+  --accumulation privatized  per-block depth-bin tiles in shared memory,
+                             committed by one global add per touched
+                             (pixel, bin) cell; slabs whose tile exceeds the
+                             device's shared memory fall back to atomic;
+                             output stays bit-identical to the atomic path
+  --accumulation auto        privatize whenever the bin tile fits the
+                             device's shared memory
 
 CHECKPOINT / RESUME:
   --journal-dir <dir>  journal every committed GPU slab under <dir>; an
@@ -552,6 +576,7 @@ fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
     let mut cfg = ReconstructionConfig::new(args.depth_start, args.depth_end, args.bins);
     cfg.intensity_cutoff = args.cutoff;
     cfg.compaction = args.compaction;
+    cfg.accumulation = args.accumulation;
     cfg.rows_per_slab = args.rows_per_slab;
     cfg.pipeline_depth = args.pipeline_depth;
     cfg
@@ -681,6 +706,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     pipeline_depth: 0,
                     table_cache: laue_core::cache::TableCacheStats::default(),
                     slab_densities: Vec::new(),
+                    slab_privatized: Vec::new(),
                     fallback: None,
                     recovery: crate::report::RecoveryAccounting::default(),
                 };
@@ -920,6 +946,45 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--compaction"));
+    }
+
+    #[test]
+    fn accumulation_flag_parses() {
+        for (spec, mode) in [
+            ("atomic", AccumulationMode::Atomic),
+            ("privatized", AccumulationMode::Privatized),
+            ("auto", AccumulationMode::Auto),
+        ] {
+            let cmd = parse(&sv(&[
+                "reconstruct",
+                "--input",
+                "scan.mh5",
+                "--accumulation",
+                spec,
+            ]))
+            .unwrap();
+            let Command::Reconstruct(a) = cmd else {
+                panic!("wrong command")
+            };
+            assert_eq!(a.accumulation, mode);
+            assert_eq!(recon_config(&a).accumulation, mode);
+        }
+
+        // Default stays atomic; bad values are parse errors.
+        let cmd = parse(&sv(&["validate", "--input", "scan.mh5"])).unwrap();
+        let Command::Validate(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.accumulation, AccumulationMode::Atomic);
+        assert!(parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "x",
+            "--accumulation",
+            "shared"
+        ]))
+        .unwrap_err()
+        .contains("--accumulation"));
     }
 
     #[test]

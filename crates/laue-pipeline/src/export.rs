@@ -116,6 +116,7 @@ mod tests {
                 pipeline_depth: 0,
                 table_cache: laue_core::cache::TableCacheStats::default(),
                 slab_densities: Vec::new(),
+                slab_privatized: Vec::new(),
                 fallback: None,
                 recovery: crate::report::RecoveryAccounting::default(),
             },

@@ -74,6 +74,10 @@ pub struct RunReport {
     /// only; empty when `--compaction off` or for engines that saw no
     /// slabs).
     pub slab_densities: Vec<f64>,
+    /// Per processed slab, whether the shared-memory privatized accumulator
+    /// ran (`false` = the slab fell back to the atomic path). Empty under
+    /// `--accumulation atomic` and for CPU engines.
+    pub slab_privatized: Vec<bool>,
     /// Set when the run degraded to another engine after a GPU failure;
     /// records what failed and where execution landed.
     pub fallback: Option<String>,
@@ -133,6 +137,19 @@ impl RunReport {
                 self.stats.compacted_pairs,
                 self.stats.culled_rows,
             ));
+        }
+        if !self.slab_privatized.is_empty() {
+            let on = self.slab_privatized.iter().filter(|&&p| p).count();
+            s.push_str(&format!(
+                "; accumulation: privatized on {on} of {} slab(s)",
+                self.slab_privatized.len()
+            ));
+            if self.stats.accum_fallback_pairs > 0 {
+                s.push_str(&format!(
+                    " ({} pair(s) fell back to atomic)",
+                    self.stats.accum_fallback_pairs
+                ));
+            }
         }
         if self.gpu_replans > 0 || self.gpu_transfer_retries > 0 {
             s.push_str(&format!(
@@ -198,6 +215,7 @@ mod tests {
             pipeline_depth: 1,
             table_cache: TableCacheStats::default(),
             slab_densities: Vec::new(),
+            slab_privatized: Vec::new(),
             fallback: None,
             recovery: RecoveryAccounting::default(),
         }
@@ -216,6 +234,25 @@ mod tests {
         assert!(!s.contains("ring depth"), "serial run mentions no ring");
         assert!(!s.contains("table cache"), "untouched cache stays silent");
         assert!(!s.contains("sparsity"), "dense run mentions no sparsity");
+        assert!(
+            !s.contains("accumulation"),
+            "atomic run mentions no accumulation"
+        );
+    }
+
+    #[test]
+    fn summary_reports_accumulation() {
+        let mut r = report();
+        r.slab_privatized = vec![true, true, true, false];
+        let s = r.summary();
+        assert!(
+            s.contains("accumulation: privatized on 3 of 4 slab(s)"),
+            "{s}"
+        );
+        assert!(!s.contains("fell back"), "no fallback pairs recorded: {s}");
+        r.stats.accum_fallback_pairs = 9;
+        let s = r.summary();
+        assert!(s.contains("(9 pair(s) fell back to atomic)"), "{s}");
     }
 
     #[test]

@@ -187,6 +187,7 @@ impl Pipeline {
                     pipeline_depth: 0,
                     table_cache: TableCacheStats::default(),
                     slab_densities: out.slab_densities,
+                    slab_privatized: Vec::new(),
                     fallback: None,
                     recovery: RecoveryAccounting::default(),
                 })
@@ -461,6 +462,7 @@ impl Pipeline {
             pipeline_depth: 0,
             table_cache: TableCacheStats::default(),
             slab_densities,
+            slab_privatized: Vec::new(),
             fallback: Some(format!(
                 "{} failed ({err}); completed on {}",
                 failed.label(),
@@ -515,6 +517,7 @@ fn gpu_report(
             pipeline_depth: out.pipeline_depth,
             table_cache: out.table_cache,
             slab_densities: out.slab_densities,
+            slab_privatized: out.slab_privatized,
             fallback: None,
             recovery: recovery(0),
         },
@@ -537,6 +540,7 @@ fn gpu_report(
             pipeline_depth: depth.0,
             table_cache: out.table_cache,
             slab_densities: out.slab_densities,
+            slab_privatized: out.slab_privatized,
             fallback: None,
             recovery: recovery(out.devices_lost),
         },
@@ -574,11 +578,12 @@ fn journal_key(
     );
     let _ = write!(
         d,
-        "slab={:?};ring={:?};engine={};compaction={}",
+        "slab={:?};ring={:?};engine={};compaction={};accumulation={}",
         cfg.rows_per_slab,
         cfg.pipeline_depth,
         engine.label(),
-        cfg.compaction.label()
+        cfg.compaction.label(),
+        cfg.accumulation.label()
     );
     JournalKey::new(d)
 }
@@ -984,6 +989,70 @@ mod tests {
         assert!(r.summary().contains("sparsity"), "{}", r.summary());
 
         // Same mode, same key: the stale dense journal is still replayable.
+        let r = resumed.run_scan_file(&path, &c, gpu).unwrap();
+        let resume = r.recovery.resume.as_ref().expect("same-mode resume");
+        assert_eq!(resume.slabs_replayed, 2);
+        assert_eq!(r.image.data, baseline.image.data);
+
+        std::fs::remove_dir_all(&jdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipping_accumulation_mode_forces_a_clean_restart() {
+        use laue_core::AccumulationMode;
+        let (path, _) = scan_file("accumflip");
+        let jdir =
+            std::env::temp_dir().join(format!("pipeline_{}_accumflip_jrn", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        let mut c = cfg();
+        c.rows_per_slab = Some(2);
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let baseline = Pipeline::default().run_scan_file(&path, &c, gpu).unwrap();
+        assert!(
+            baseline.slab_privatized.is_empty(),
+            "atomic run records no accumulation attribution"
+        );
+
+        // Interrupt an atomic run after two committed slabs.
+        let dying = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(2)),
+            journal_dir: Some(jdir.clone()),
+            ..Pipeline::default()
+        };
+        assert!(dying.run_scan_file(&path, &c, gpu).is_err());
+        assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 1);
+
+        // Resuming under a different accumulation strategy must NOT replay
+        // those slabs: the strategy is part of the journal key, so the run
+        // restarts clean (and still matches the atomic baseline bitwise).
+        let mut flipped = c.clone();
+        flipped.accumulation = AccumulationMode::Privatized;
+        let resumed = Pipeline {
+            journal_dir: Some(jdir.clone()),
+            resume: true,
+            ..Pipeline::default()
+        };
+        let r = resumed.run_scan_file(&path, &flipped, gpu).unwrap();
+        assert!(
+            r.recovery.resume.is_none(),
+            "a journal from another accumulation strategy must not be replayed"
+        );
+        assert_eq!(r.image.data, baseline.image.data);
+        assert!(
+            !r.slab_privatized.is_empty() && r.slab_privatized.iter().all(|&p| p),
+            "100 bins fit the M2070 tile, so every slab privatizes"
+        );
+        assert_eq!(r.stats.privatized_pairs, r.stats.pairs_total);
+        assert!(
+            r.summary().contains("accumulation: privatized"),
+            "{}",
+            r.summary()
+        );
+
+        // Same mode, same key: the stale atomic journal is still replayable.
         let r = resumed.run_scan_file(&path, &c, gpu).unwrap();
         let resume = r.recovery.resume.as_ref().expect("same-mode resume");
         assert_eq!(resume.slabs_replayed, 2);

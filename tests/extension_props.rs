@@ -227,6 +227,105 @@ proptest! {
         }
     }
 
+    /// The shared-tile privatized accumulator (and the `auto` planner) are
+    /// bit-identical to the paper's CAS atomic path on every engine,
+    /// composed with compaction at arbitrary realised densities and with
+    /// both device layouts — and differ from the atomic run in nothing but
+    /// the accumulation attribution counters.
+    #[test]
+    fn accumulation_is_bitwise_across_engines_and_layouts(
+        s in arb_scenario(),
+        cutoff_fraction in 0.0..0.9f64,
+    ) {
+        let scan = SyntheticScanBuilder::new(s.rows, s.cols, s.steps)
+            .scatterers(3)
+            .noise(0.5)
+            .seed(s.seed)
+            .build()
+            .unwrap();
+        let (p, m, n) = (s.steps, s.rows, s.cols);
+        let mut deltas: Vec<f64> = Vec::new();
+        for z in 0..p - 1 {
+            for px in 0..m * n {
+                deltas.push(
+                    (scan.images[z * m * n + px] - scan.images[(z + 1) * m * n + px]).abs(),
+                );
+            }
+        }
+        deltas.sort_by(f64::total_cmp);
+
+        let mut base = ReconstructionConfig::new(-1500.0, 1500.0, 50);
+        base.intensity_cutoff = deltas[(deltas.len() as f64 * cutoff_fraction) as usize];
+        let view = ScanView::new(&scan.images, p, m, n).unwrap();
+        let reference = cpu::reconstruct_seq(&view, &scan.geometry, &base).unwrap();
+
+        for compaction in [CompactionMode::Off, CompactionMode::On] {
+            for (layout, triangulation) in [
+                (Layout::Flat1d, Triangulation::InKernel),
+                (Layout::Pointer3d, Triangulation::InKernel),
+                (Layout::Flat1d, Triangulation::HostTables),
+            ] {
+                let run = |accumulation| {
+                    let mut cfg = base.clone();
+                    cfg.compaction = compaction;
+                    cfg.accumulation = accumulation;
+                    let device = Device::new(DeviceProps::tiny(8 * 1024 * 1024));
+                    let mut source =
+                        InMemorySlabSource::new(scan.images.clone(), p, m, n).unwrap();
+                    gpu::reconstruct_with_options(
+                        &device,
+                        &mut source,
+                        &scan.geometry,
+                        &cfg,
+                        GpuOptions { layout, triangulation, ..GpuOptions::default() },
+                    )
+                    .unwrap()
+                };
+                let atomic = run(AccumulationMode::Atomic);
+                prop_assert_eq!(&atomic.image.data, &reference.image.data);
+                for accumulation in [AccumulationMode::Privatized, AccumulationMode::Auto] {
+                    let out = run(accumulation);
+                    prop_assert_eq!(
+                        &out.image.data,
+                        &reference.image.data,
+                        "{:?}/{:?}/{:?}/{:?}",
+                        accumulation,
+                        compaction,
+                        layout,
+                        triangulation
+                    );
+                    // A 50-bin tile row always fits tiny's 8 KiB of shared
+                    // memory, so both modes privatize every launched slab…
+                    prop_assert_eq!(out.stats.privatized_pairs, out.stats.pairs_total);
+                    prop_assert_eq!(out.stats.accum_fallback_pairs, 0);
+                    // …and apart from that attribution nothing moves.
+                    let mut neutral = out.stats;
+                    neutral.privatized_pairs = 0;
+                    prop_assert_eq!(neutral, atomic.stats);
+                    prop_assert!(out.stats.is_consistent());
+                }
+            }
+
+            // Multi-GPU banding: each band resolves its own plan; the
+            // merged attribution still covers every pair.
+            let mut cfg = base.clone();
+            cfg.compaction = compaction;
+            cfg.accumulation = AccumulationMode::Privatized;
+            let devices: Vec<Device> = (0..s.n_dev)
+                .map(|_| Device::new(DeviceProps::tiny(8 * 1024 * 1024)))
+                .collect();
+            let refs: Vec<&Device> = devices.iter().collect();
+            let mut source =
+                InMemorySlabSource::new(scan.images.clone(), p, m, n).unwrap();
+            let multi =
+                reconstruct_multi(&refs, &mut source, &scan.geometry, &cfg, GpuOptions::default())
+                    .unwrap();
+            prop_assert_eq!(&multi.image.data, &reference.image.data);
+            prop_assert_eq!(multi.stats.privatized_pairs, multi.stats.pairs_total);
+            prop_assert_eq!(multi.stats.accum_fallback_pairs, 0);
+        }
+    }
+
     /// Rebinning conserves intensity for arbitrary images and bin counts.
     #[test]
     fn rebin_conserves_mass(
