@@ -9,12 +9,13 @@ use crate::alloc::{Allocator, ALIGN};
 use crate::error::{SimError, TransferDir};
 use crate::event::Event;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
+use crate::host::Host;
 use crate::kernel::{Dim3, LaunchConfig, ThreadCtx, WorkerState};
 use crate::memory::{Allocation, DeviceBuffer, DeviceScalar};
 use crate::meter::{Cost, LaunchRecord, Meters};
 use crate::props::{DeviceProps, ExecMode};
 use crate::stream::{StreamId, Timelines};
-use crate::trace::OpRecord;
+use crate::trace::{OpRecord, TraceBuf, TraceMode};
 use crate::Result;
 
 static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
@@ -34,7 +35,7 @@ struct DeviceState {
     timelines: Timelines,
     meters: Meters,
     records: Vec<LaunchRecord>,
-    ops: Vec<OpRecord>,
+    trace: TraceBuf,
     exec_mode: ExecMode,
 }
 
@@ -51,24 +52,41 @@ pub struct Device {
     state: Mutex<DeviceState>,
     /// Scripted fault schedule, if any (see [`crate::fault`]).
     fault: Mutex<Option<FaultState>>,
+    /// The host machine this device is plugged into. Transfers contend for
+    /// its shared PCIe bus; host-side FLOPs charge its CPU resource.
+    host: Arc<Host>,
+    /// Engine-local actor tag on that host (dense attach order).
+    slot: u64,
 }
 
 impl Device {
-    /// Create a device with the given properties. Execution defaults to
-    /// [`ExecMode::Sequential`] (bit-deterministic); switch with
-    /// [`set_exec_mode`](Self::set_exec_mode).
+    /// Create a device with the given properties on a **private** host (it
+    /// alone owns the PCIe bus — single-device schedules are unchanged).
+    /// Execution defaults to [`ExecMode::Sequential`] (bit-deterministic);
+    /// switch with [`set_exec_mode`](Self::set_exec_mode).
     pub fn new(props: DeviceProps) -> Device {
+        Device::new_on_host(props, &Host::new_default())
+    }
+
+    /// Create a device attached to a shared [`Host`]: its transfers
+    /// contend for that host's PCIe bus with every other attached device.
+    /// This is how a multi-GPU node is modeled honestly — `N` devices on
+    /// one host do *not* get `N×` the host bandwidth.
+    pub fn new_on_host(props: DeviceProps, host: &Arc<Host>) -> Device {
+        let slot = host.attach();
         Device {
             id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
             allocator: Arc::new(Mutex::new(Allocator::new(props.total_mem))),
             state: Mutex::new(DeviceState {
-                timelines: Timelines::new(),
+                timelines: Timelines::new(Arc::clone(host.engine()), slot),
                 meters: Meters::default(),
                 records: Vec::new(),
-                ops: Vec::new(),
+                trace: TraceBuf::new(TraceMode::default()),
                 exec_mode: ExecMode::Sequential,
             }),
             fault: Mutex::new(None),
+            host: Arc::clone(host),
+            slot,
             props,
         }
     }
@@ -76,6 +94,11 @@ impl Device {
     /// The device's performance model.
     pub fn props(&self) -> &DeviceProps {
         &self.props
+    }
+
+    /// The host this device is attached to.
+    pub fn host(&self) -> &Arc<Host> {
+        &self.host
     }
 
     /// Process-unique device identifier. Buffers remember the id of the
@@ -159,19 +182,42 @@ impl Device {
             if e.is_transient() {
                 let dur = self.props.transfer_time(bytes);
                 let mut st = self.state.lock();
-                let (start_s, end_s) = st.timelines.schedule(stream, dur);
+                let (start_s, end_s) = self.bus_transfer(&mut st, stream, dir, "fault", dur);
                 st.meters.comm_time_s += dur;
-                st.ops.push(OpRecord {
-                    kind: "fault",
-                    name: format!("{} fault {bytes} B", dir.to_string().to_uppercase()),
-                    stream: stream.index(),
-                    start_s,
-                    end_s,
-                });
+                st.trace
+                    .push_with("fault", stream.index(), start_s, end_s, || {
+                        format!("{} fault {bytes} B", dir.to_string().to_uppercase())
+                    });
             }
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Put a transfer of modeled duration `dur` through the host's shared
+    /// PCIe bus. The stream is ready at its cursor; the bus grants time
+    /// from that instant onwards (exactly `[cursor, cursor + dur)` when
+    /// uncontended), and the stream then waits for the transfer's end.
+    /// Any extra time beyond `dur` is bus contention, metered as
+    /// `bus_wait_s`.
+    fn bus_transfer(
+        &self,
+        st: &mut DeviceState,
+        stream: StreamId,
+        dir: TransferDir,
+        label: &'static str,
+        dur: f64,
+    ) -> (f64, f64) {
+        let ready = st.timelines.cursor(stream);
+        let (start_s, end_s) = self.host.bus_acquire(dir, self.slot, label, ready, dur);
+        st.timelines.wait_until(stream, end_s);
+        // Extra stall beyond the uncontended duration. A contended grant may
+        // split across bus gaps (first burst on time, last byte late), so the
+        // stall is measured at the drain end, not the start. The uncontended
+        // fast path computes `end = ready + dur` with this same expression,
+        // making the subtraction bitwise zero there.
+        st.meters.bus_wait_s += (end_s - (ready + dur)).max(0.0);
+        (start_s, end_s)
     }
 
     /// Consult the fault plan before a kernel launch.
@@ -285,17 +331,15 @@ impl Device {
         let bytes = buf.modeled_bytes();
         let dur = self.props.transfer_time(bytes);
         let mut st = self.state.lock();
-        let (start_s, end_s) = st.timelines.schedule(stream, dur);
+        let (start_s, end_s) =
+            self.bus_transfer(&mut st, stream, TransferDir::HostToDevice, "h2d", dur);
         st.meters.comm_time_s += dur;
         st.meters.h2d_bytes += bytes;
         st.meters.transfers += 1;
-        st.ops.push(OpRecord {
-            kind: "h2d",
-            name: format!("H2D {bytes} B"),
-            stream: stream.index(),
-            start_s,
-            end_s,
-        });
+        st.trace
+            .push_with("h2d", stream.index(), start_s, end_s, || {
+                format!("H2D {bytes} B")
+            });
         Ok(TimeSpan { start_s, end_s })
     }
 
@@ -347,19 +391,17 @@ impl Device {
         let dur = self.props.transfer_time_batched(bytes);
         let n = copies.len() as u64;
         let mut st = self.state.lock();
-        let (start_s, end_s) = st.timelines.schedule(stream, dur);
+        let (start_s, end_s) =
+            self.bus_transfer(&mut st, stream, TransferDir::HostToDevice, "h2d", dur);
         st.meters.comm_time_s += dur;
         st.meters.h2d_bytes += bytes;
         st.meters.transfers += 1;
         st.meters.coalesced_transactions += 1;
         st.meters.coalesced_copies += n;
-        st.ops.push(OpRecord {
-            kind: "h2d",
-            name: format!("H2D coalesced {n}×, {bytes} B"),
-            stream: stream.index(),
-            start_s,
-            end_s,
-        });
+        st.trace
+            .push_with("h2d", stream.index(), start_s, end_s, || {
+                format!("H2D coalesced {n}×, {bytes} B")
+            });
         Ok(TimeSpan { start_s, end_s })
     }
 
@@ -404,17 +446,15 @@ impl Device {
         let bytes = buf.modeled_bytes();
         let dur = self.props.transfer_time(bytes);
         let mut st = self.state.lock();
-        let (start_s, end_s) = st.timelines.schedule(stream, dur);
+        let (start_s, end_s) =
+            self.bus_transfer(&mut st, stream, TransferDir::DeviceToHost, "d2h", dur);
         st.meters.comm_time_s += dur;
         st.meters.d2h_bytes += bytes;
         st.meters.transfers += 1;
-        st.ops.push(OpRecord {
-            kind: "d2h",
-            name: format!("D2H {bytes} B"),
-            stream: stream.index(),
-            start_s,
-            end_s,
-        });
+        st.trace
+            .push_with("d2h", stream.index(), start_s, end_s, || {
+                format!("D2H {bytes} B")
+            });
         Ok(TimeSpan { start_s, end_s })
     }
 
@@ -544,7 +584,7 @@ impl Device {
             traces,
         };
         let mut st = self.state.lock();
-        let (start_s, end_s) = st.timelines.schedule(stream, duration);
+        let (start_s, end_s) = st.timelines.schedule_labeled(stream, duration, "kernel");
         let record = LaunchRecord {
             start_s,
             end_s,
@@ -553,13 +593,10 @@ impl Device {
         st.meters.compute_time_s += duration;
         st.meters.launches += 1;
         st.meters.kernel_cost.merge(&cost);
-        st.ops.push(OpRecord {
-            kind: "kernel",
-            name: record.name.clone(),
-            stream: stream.index(),
-            start_s,
-            end_s,
-        });
+        st.trace
+            .push_with("kernel", stream.index(), start_s, end_s, || {
+                record.name.clone()
+            });
         st.records.push(record.clone());
         Ok(record)
     }
@@ -571,6 +608,14 @@ impl Device {
     /// Create an additional stream.
     pub fn create_stream(&self) -> StreamId {
         self.state.lock().timelines.create_stream()
+    }
+
+    /// Number of live streams (the default stream plus created ones).
+    /// [`reset_meters`](Self::reset_meters) destroys created streams, so a
+    /// device reused across runs stays at a constant count instead of
+    /// growing by the per-run stream set every invocation.
+    pub fn stream_count(&self) -> usize {
+        self.state.lock().timelines.count()
     }
 
     /// Make `stream` wait for all work currently enqueued on `other`.
@@ -592,14 +637,13 @@ impl Device {
     /// interval shows up in the trace but charges no meter.
     pub fn delay(&self, stream: StreamId, seconds: f64) -> TimeSpan {
         let mut st = self.state.lock();
-        let (start_s, end_s) = st.timelines.schedule(stream, seconds.max(0.0));
-        st.ops.push(OpRecord {
-            kind: "idle",
-            name: format!("backoff {seconds:.3e} s"),
-            stream: stream.index(),
-            start_s,
-            end_s,
-        });
+        let (start_s, end_s) = st
+            .timelines
+            .schedule_labeled(stream, seconds.max(0.0), "idle");
+        st.trace
+            .push_with("idle", stream.index(), start_s, end_s, || {
+                format!("backoff {seconds:.3e} s")
+            });
         TimeSpan { start_s, end_s }
     }
 
@@ -639,21 +683,60 @@ impl Device {
     /// `chrome://tracing` or Perfetto).
     pub fn export_chrome_trace(&self) -> String {
         let st = self.state.lock();
-        crate::trace::chrome_trace(&self.props.name, &st.ops)
+        crate::trace::chrome_trace(&self.props.name, &st.trace.ops())
     }
 
-    /// Copy of the raw operation log behind the trace export.
+    /// Copy of the raw operation log behind the trace export (bounded by
+    /// the current [`TraceMode`]).
     pub fn ops(&self) -> Vec<OpRecord> {
-        self.state.lock().ops.clone()
+        self.state.lock().trace.ops()
     }
 
-    /// Reset meters, records and stream clocks (memory stays allocated).
+    /// Choose how much of the op log to keep (default: a bounded ring,
+    /// see [`TraceMode`]). `TraceMode::Off` also skips name formatting.
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.state.lock().trace.set_mode(mode);
+    }
+
+    /// Op records not retained by the current trace mode.
+    pub fn trace_dropped(&self) -> u64 {
+        self.state.lock().trace.dropped()
+    }
+
+    /// Charge `flops` of host-side work (triangulation tables, shadow
+    /// culling) to the host's CPU resource. The work is accounted on the
+    /// host timeline — it packs the CPU from t = 0 and contends with every
+    /// device attached to the same host — but it does **not** stall the
+    /// device streams: stream virtual time is unchanged, preserving
+    /// bit-identical device schedules. Read it back via
+    /// [`host_flops_time_s`](Self::host_flops_time_s) or
+    /// [`Host::cpu_busy_s`].
+    pub fn charge_host_flops(&self, flops: u64) -> TimeSpan {
+        let (start_s, end_s) = self.host.cpu_charge(self.slot, flops);
+        TimeSpan { start_s, end_s }
+    }
+
+    /// Host-CPU busy seconds this device's host-side work occupies.
+    pub fn host_flops_time_s(&self) -> f64 {
+        self.host.cpu_busy_s_of(self.slot)
+    }
+
+    /// Bus-busy seconds this device committed on its host's PCIe bus.
+    pub fn bus_busy_s(&self) -> f64 {
+        self.host.bus_busy_s_of(self.slot)
+    }
+
+    /// Reset meters, records, the op trace and stream clocks, destroy
+    /// created streams, and release this device's commitments on the
+    /// host's shared resources (other devices on the host are untouched;
+    /// memory stays allocated).
     pub fn reset_meters(&self) {
         let mut st = self.state.lock();
         st.meters = Meters::default();
         st.records.clear();
-        st.ops.clear();
+        st.trace.clear();
         st.timelines.reset();
+        self.host.release(self.slot);
     }
 }
 
@@ -1105,7 +1188,6 @@ mod tests {
     #[test]
     fn streams_overlap_copies_and_kernels() {
         let d = tiny_device();
-        let copy_stream = d.create_stream();
         let big = d.alloc::<f64>(4096).unwrap();
         let host = vec![0.0f64; 4096];
         // Serial: copy then kernel on the same stream.
@@ -1118,8 +1200,10 @@ mod tests {
         let serial_meters = d.meters();
         assert!((serial_elapsed - serial_meters.serial_total_s()).abs() < 1e-12);
 
-        // Overlapped: same work split over two streams.
+        // Overlapped: same work split over two streams. The reset destroyed
+        // every non-default stream, so the copy stream is created afresh.
         d.reset_meters();
+        let copy_stream = d.create_stream();
         d.memcpy_htod_on(copy_stream, &big, &host).unwrap();
         d.launch("work", LaunchConfig::linear(256, 64), |ctx| {
             ctx.charge_flops(1_000_000);

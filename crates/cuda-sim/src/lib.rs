@@ -61,10 +61,12 @@ pub mod device;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod host;
 pub mod kernel;
 pub mod memory;
 pub mod meter;
 pub mod props;
+pub mod sim;
 pub mod stream;
 pub mod trace;
 
@@ -72,12 +74,14 @@ pub use device::{Device, TimeSpan};
 pub use error::{SimError, TransferDir};
 pub use event::Event;
 pub use fault::{FaultPlan, FaultStats};
+pub use host::{Duplex, Host, HostConfig};
 pub use kernel::{Dim3, LaunchConfig, ThreadCtx};
 pub use memory::{DeviceBuffer, DeviceScalar};
 pub use meter::{Cost, LaunchRecord, Meters, TRACE_SLOTS};
 pub use props::{DeviceProps, ExecMode, HostProps};
+pub use sim::{Clock, Engine, EventRecord, RealClock, ResourceId, VirtualClock};
 pub use stream::StreamId;
-pub use trace::OpRecord;
+pub use trace::{OpRecord, TraceMode, DEFAULT_TRACE_CAP};
 
 /// Result alias for simulator operations.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -77,6 +77,10 @@ pub struct LaunchRecord {
 pub struct Meters {
     /// Seconds spent in host↔device transfers.
     pub comm_time_s: f64,
+    /// Extra seconds transfers spent stalled on (or fragmented across)
+    /// the host's shared PCIe bus, beyond their uncontended duration.
+    /// Zero for strictly serial schedules; the honest price of overlap.
+    pub bus_wait_s: f64,
     /// Seconds spent in kernels.
     pub compute_time_s: f64,
     /// Bytes shipped host → device.

@@ -83,8 +83,11 @@ fn main() {
         &rows,
     );
     println!(
-        "\nthe ring hides transfer time behind kernels; k = 2 captures most \
-         of the win and deeper rings add a little more until the longer \
-         stream saturates — the optimisation the paper leaves on the table."
+        "\nthe ring hides kernel time behind transfers, but the shared \
+         half-duplex PCIe bus meters uploads and downloads against each \
+         other: k = 2 already drives the link to 100 % occupancy, so the \
+         elapsed floor is the total transfer time and deeper rings change \
+         nothing — the optimisation the paper leaves on the table is \
+         real but bus-bound, not free."
     );
 }

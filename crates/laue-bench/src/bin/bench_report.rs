@@ -10,9 +10,11 @@
 //!
 //! `--check FILE` turns the report into a perf gate: FILE holds the maximum
 //! allowed compact/dense modeled-kernel-time ratio at the ~25 %-active
-//! operating point, and optionally (second float) the maximum allowed
-//! privatized/atomic kernel-time ratio (`#` comments allowed); the process
-//! exits non-zero if a measured ratio regresses past its budget.
+//! operating point, optionally (second float) the maximum allowed
+//! privatized/atomic kernel-time ratio, and optionally (third float) the
+//! maximum allowed depth-3/serial ring elapsed ratio under the shared-bus
+//! model (`#` comments allowed); the process exits non-zero if a measured
+//! ratio regresses past its budget.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -74,8 +76,9 @@ fn main() {
             write!(
                 row,
                 ", \"{key}\": {{\"total_s\": {:.9}, \"comm_s\": {:.9}, \
-                 \"compute_s\": {:.9}, \"pipeline_depth\": {}}}",
-                r.total_time_s, r.comm_time_s, r.compute_time_s, r.pipeline_depth
+                 \"bus_wait_s\": {:.9}, \"compute_s\": {:.9}, \
+                 \"pipeline_depth\": {}}}",
+                r.total_time_s, r.comm_time_s, r.bus_wait_s, r.compute_time_s, r.pipeline_depth
             )
             .unwrap();
         }
@@ -93,6 +96,7 @@ fn main() {
     let mut slab_cfg = standard_config();
     slab_cfg.rows_per_slab = Some(if quick { 4 } else { 8 });
     let mut ablation = Vec::new();
+    let mut ring_elapsed = Vec::new();
     for k in [1usize, 2, 3, 4] {
         let device = Device::new(props.clone());
         let mut source = w.source();
@@ -106,16 +110,33 @@ fn main() {
             None,
         )
         .expect("reconstruction");
+        // No free bandwidth: one half-duplex link can never finish the
+        // schedule faster than the total transfer time it carries.
+        assert!(
+            out.elapsed_s + 1e-12 >= out.meters.comm_time_s,
+            "ring depth {k} finished below the bus floor ({} vs {} s)",
+            out.elapsed_s,
+            out.meters.comm_time_s
+        );
+        if k == 1 {
+            assert_eq!(
+                out.meters.bus_wait_s, 0.0,
+                "the serial schedule never contends with itself"
+            );
+        }
+        ring_elapsed.push(out.elapsed_s);
         ablation.push(format!(
             "    {{\"ring_depth\": {}, \"n_slabs\": {}, \"total_s\": {:.9}, \
-             \"comm_s\": {:.9}, \"compute_s\": {:.9}}}",
+             \"comm_s\": {:.9}, \"bus_wait_s\": {:.9}, \"compute_s\": {:.9}}}",
             out.pipeline_depth,
             out.n_slabs,
             out.elapsed_s,
             out.meters.comm_time_s,
+            out.meters.bus_wait_s,
             out.meters.compute_time_s
         ));
     }
+    let ring_ratio = ring_elapsed[2] / ring_elapsed[0];
 
     // 3. Depth-table cache: a cold run computes and uploads the tables, a
     // warm run on the same pipeline reuses the resident copy.
@@ -230,6 +251,7 @@ fn main() {
     writeln!(json, "  \"depth_ablation\": [").unwrap();
     writeln!(json, "{}", ablation.join(",\n")).unwrap();
     writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"ring_depth3_over_serial\": {ring_ratio:.6},").unwrap();
     writeln!(json, "  \"table_cache\": {{").unwrap();
     writeln!(json, "    \"cold_total_s\": {:.9},", cold.total_time_s).unwrap();
     writeln!(json, "    \"warm_total_s\": {:.9},", warm.total_time_s).unwrap();
@@ -396,6 +418,19 @@ fn main() {
             }
             println!(
                 "perf gate: privatized/atomic ratio {accum_ratio:.4} within budget {accum_budget:.4}"
+            );
+        }
+        if let Some(&ring_budget) = budgets.get(2) {
+            if ring_ratio > ring_budget {
+                eprintln!(
+                    "PERF REGRESSION: depth-3/serial ring elapsed ratio {ring_ratio:.4} \
+                     exceeds the committed budget {ring_budget:.4} ({path}) — \
+                     the ring stopped hiding kernel time behind the bus"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf gate: depth-3/serial ring ratio {ring_ratio:.4} within budget {ring_budget:.4}"
             );
         }
     }

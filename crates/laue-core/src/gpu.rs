@@ -263,6 +263,10 @@ pub struct GpuReconstruction {
     /// Host-side triangulation FLOPs spent building depth tables
     /// ([`Triangulation::HostTables`] only; model with `HostProps`).
     pub host_table_flops: u64,
+    /// Host-CPU busy seconds those FLOPs occupy on the device's host (the
+    /// engine's host-thread resource; accounted in parallel with device
+    /// time, never stalling a stream).
+    pub host_table_time_s: f64,
     /// What the engine did to survive device trouble (re-plans, retries).
     pub recovery: RecoveryLog,
     /// Ring depth the run finished with (memory pressure may have shrunk
@@ -1745,6 +1749,10 @@ pub(crate) fn run_ring(
     if let Some(cache) = cache {
         cache_stats.resident_bytes = cache.resident_bytes(device.id());
     }
+    // Charge the band's triangulation FLOPs to the host-CPU resource: the
+    // work becomes visible (and contended, when several devices share a
+    // host) on the host timeline without stalling any device stream.
+    device.charge_host_flops(host_table_flops);
     Ok(RingOutcome {
         rows_per_slab,
         n_slabs,
@@ -1816,6 +1824,7 @@ pub fn reconstruct_pipelined(
         elapsed_s,
         peak_device_mem: device.mem_peak(),
         host_table_flops: outcome.host_table_flops,
+        host_table_time_s: device.host_flops_time_s(),
         recovery,
         pipeline_depth: outcome.depth_used,
         table_cache: outcome.cache_stats,
@@ -1904,6 +1913,7 @@ pub fn reconstruct_checkpointed(
         elapsed_s,
         peak_device_mem: device.mem_peak(),
         host_table_flops,
+        host_table_time_s: device.host_flops_time_s(),
         recovery,
         pipeline_depth: depth_used,
         table_cache: cache_stats,

@@ -5,8 +5,13 @@
 //! device runs the k-deep ring pipeline over its band. Bands are disjoint,
 //! so no cross-device synchronisation is needed and the result is
 //! bit-identical to the single-GPU run. In virtual time the devices work
-//! concurrently: the makespan is the slowest device's timeline (each
-//! device owns its PCIe link, as in a multi-socket node).
+//! concurrently: the makespan is the slowest device's timeline. Whether
+//! the devices also contend for PCIe is the caller's choice — devices
+//! built with [`Device::new`] each own a private host (a link per device,
+//! as in a multi-socket node), while devices attached to one
+//! [`cuda_sim::Host`] via [`Device::new_on_host`] drain their transfers
+//! through that host's shared metered bus, which is what a single
+//! workstation chassis actually provides.
 //!
 //! A shared [`DepthTableCache`] pays the host-side triangulation once for
 //! the whole fleet (devices after the first hit the host cache) and keeps
@@ -38,6 +43,10 @@ pub struct MultiGpuReconstruction {
     pub rows_per_device: Vec<usize>,
     /// Virtual makespan: the slowest device's elapsed time.
     pub elapsed_s: f64,
+    /// Host-CPU seconds spent producing depth tables for the fleet,
+    /// summed over participating devices (accounted in parallel with
+    /// device time; zero for in-kernel triangulation).
+    pub host_table_time_s: f64,
     /// Aggregate recovery actions (re-plans, transfer retries) over all
     /// devices.
     pub recovery: RecoveryLog,
@@ -271,9 +280,11 @@ pub fn reconstruct_multi_checkpointed(
     let mut per_device = Vec::new();
     let mut rows_per_device = Vec::new();
     let mut elapsed_s: f64 = 0.0;
+    let mut host_table_time_s = 0.0;
     for (i, device) in devices.iter().enumerate() {
         if participated[i] {
             elapsed_s = elapsed_s.max(device.synchronize());
+            host_table_time_s += device.host_flops_time_s();
             per_device.push(device.meters());
             rows_per_device.push(rows_done[i]);
         }
@@ -285,6 +296,7 @@ pub fn reconstruct_multi_checkpointed(
         per_device,
         rows_per_device,
         elapsed_s,
+        host_table_time_s,
         recovery,
         table_cache,
         devices_lost,
@@ -371,6 +383,48 @@ mod tests {
         assert!(
             four < one,
             "4 devices must beat 1 in virtual time: {four} vs {one}"
+        );
+    }
+
+    #[test]
+    fn shared_host_fleet_contends_for_the_bus() {
+        let (geom, cfg, data) = demo();
+        let run = |devices: Vec<Device>| {
+            let refs: Vec<&Device> = devices.iter().collect();
+            let mut source = InMemorySlabSource::new(data.clone(), 10, 8, 6).unwrap();
+            reconstruct_multi(&refs, &mut source, &geom, &cfg, GpuOptions::default()).unwrap()
+        };
+        // A link per device: transfers never queue.
+        let private = run((0..4)
+            .map(|_| Device::new(DeviceProps::tiny(16 * 1024 * 1024)))
+            .collect());
+        assert!(private.per_device.iter().all(|m| m.bus_wait_s == 0.0));
+        // One chassis, one bus: the same transfers now share the link.
+        let host = cuda_sim::Host::new_default();
+        let shared = run((0..4)
+            .map(|_| Device::new_on_host(DeviceProps::tiny(16 * 1024 * 1024), &host))
+            .collect());
+        assert_eq!(
+            shared.image.data, private.image.data,
+            "contention moves time, never data"
+        );
+        assert_eq!(shared.stats, private.stats);
+        let stalled: f64 = shared.per_device.iter().map(|m| m.bus_wait_s).sum();
+        assert!(stalled > 0.0, "devices must queue on the shared bus");
+        assert!(
+            shared.elapsed_s > private.elapsed_s,
+            "the shared bus must stretch the makespan ({} vs {})",
+            shared.elapsed_s,
+            private.elapsed_s
+        );
+        // The bus never idles work away: the makespan still beats one
+        // device doing everything alone over the same link.
+        let solo = run(vec![Device::new(DeviceProps::tiny(16 * 1024 * 1024))]);
+        assert!(
+            shared.elapsed_s < solo.elapsed_s,
+            "compute still parallelizes ({} vs {})",
+            shared.elapsed_s,
+            solo.elapsed_s
         );
     }
 

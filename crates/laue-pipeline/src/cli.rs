@@ -695,6 +695,8 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     stats: var.stats,
                     total_time_s: 0.0,
                     comm_time_s: 0.0,
+                    bus_wait_s: 0.0,
+                    host_table_time_s: 0.0,
                     compute_time_s: 0.0,
                     input_bytes: report.input_bytes,
                     dims: report.dims,

@@ -105,6 +105,8 @@ mod tests {
                 stats: ReconStats::default(),
                 total_time_s: 1.0,
                 comm_time_s: 0.0,
+                bus_wait_s: 0.0,
+                host_table_time_s: 0.0,
                 compute_time_s: 1.0,
                 input_bytes: 1024,
                 dims: (4, 2, 3),

@@ -48,6 +48,15 @@ pub struct RunReport {
     pub total_time_s: f64,
     /// Time in host↔device transfers (zero for CPU engines).
     pub comm_time_s: f64,
+    /// Extra time transfers spent queued on (or fragmented across) the
+    /// host's shared PCIe bus beyond their uncontended duration. Zero for
+    /// strictly serial single-device schedules; nonzero whenever streams
+    /// or fleet devices contend for the link.
+    pub bus_wait_s: f64,
+    /// Host-CPU time spent producing depth tables (and culling masks) for
+    /// the device. Accounted in parallel with device time — included here
+    /// for visibility, not added to `total_time_s`.
+    pub host_table_time_s: f64,
     /// Time computing.
     pub compute_time_s: f64,
     /// Logical input size (detector counts), bytes.
@@ -99,6 +108,18 @@ impl RunReport {
             self.compute_time_s,
             self.comm_time_s,
         );
+        if self.bus_wait_s > 0.0 {
+            s.push_str(&format!(
+                "; bus contention added {:.4} s of transfer stall",
+                self.bus_wait_s
+            ));
+        }
+        if self.host_table_time_s > 0.0 {
+            s.push_str(&format!(
+                "; host tables took {:.4} s of CPU time (overlapped)",
+                self.host_table_time_s
+            ));
+        }
         s.push_str(&format!(
             "; {} of {} pairs deposited ({:.1} % active), {} skipped by cutoff",
             self.stats.pairs_deposited,
@@ -204,6 +225,8 @@ mod tests {
             stats,
             total_time_s: 2.0,
             comm_time_s: 0.5,
+            bus_wait_s: 0.0,
+            host_table_time_s: 0.0,
             compute_time_s: 1.5,
             input_bytes: 4 * 1024 * 1024,
             dims: (8, 64, 64),
@@ -237,6 +260,25 @@ mod tests {
         assert!(
             !s.contains("accumulation"),
             "atomic run mentions no accumulation"
+        );
+    }
+
+    #[test]
+    fn summary_reports_bus_contention_and_host_tables() {
+        let quiet = report().summary();
+        assert!(!quiet.contains("bus contention"), "{quiet}");
+        assert!(!quiet.contains("host tables"), "{quiet}");
+        let mut r = report();
+        r.bus_wait_s = 0.125;
+        r.host_table_time_s = 0.25;
+        let s = r.summary();
+        assert!(
+            s.contains("bus contention added 0.1250 s of transfer stall"),
+            "{s}"
+        );
+        assert!(
+            s.contains("host tables took 0.2500 s of CPU time (overlapped)"),
+            "{s}"
         );
     }
 

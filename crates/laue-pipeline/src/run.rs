@@ -176,6 +176,8 @@ impl Pipeline {
                     stats: out.stats,
                     total_time_s: t,
                     comm_time_s: 0.0,
+                    bus_wait_s: 0.0,
+                    host_table_time_s: 0.0,
                     compute_time_s: t,
                     input_bytes,
                     dims,
@@ -328,9 +330,11 @@ impl Pipeline {
 
     /// The fleet a `gpu-multi` engine runs on. Devices persist across runs
     /// like the single device does; the fleet is rebuilt when its size or
-    /// the device model changes. The fault schedule is (re)installed fresh
-    /// on every run — on every device, or on [`Pipeline::fault_device`]
-    /// only when that is set.
+    /// the device model changes. All fleet devices share one simulated
+    /// host, so their transfers contend for a single PCIe bus — the model
+    /// of a multi-GPU workstation, not of one machine per device. The
+    /// fault schedule is (re)installed fresh on every run — on every
+    /// device, or on [`Pipeline::fault_device`] only when that is set.
     fn gpu_fleet(&self, n: usize) -> Vec<Arc<Device>> {
         let mut slot = self.shared.fleet.lock().unwrap();
         let reusable = slot.len() == n && slot.iter().all(|d| *d.props() == self.device);
@@ -339,8 +343,9 @@ impl Pipeline {
             for old in slot.drain(..) {
                 self.shared.cache.evict_device(old.id(), &mut run);
             }
+            let host = cuda_sim::Host::new_default();
             *slot = (0..n)
-                .map(|_| Arc::new(Device::new(self.device.clone())))
+                .map(|_| Arc::new(Device::new_on_host(self.device.clone(), &host)))
                 .collect();
         }
         for (i, d) in slot.iter().enumerate() {
@@ -451,6 +456,8 @@ impl Pipeline {
             stats: progress.stats,
             total_time_s: cpu_time,
             comm_time_s: 0.0,
+            bus_wait_s: 0.0,
+            host_table_time_s: 0.0,
             compute_time_s: cpu_time,
             input_bytes: (dims.0 * dims.1 * dims.2 * 2) as u64,
             dims,
@@ -506,6 +513,8 @@ fn gpu_report(
             stats: out.stats,
             total_time_s: out.elapsed_s,
             comm_time_s: out.meters.comm_time_s,
+            bus_wait_s: out.meters.bus_wait_s,
+            host_table_time_s: out.host_table_time_s,
             compute_time_s: out.meters.compute_time_s,
             input_bytes,
             dims,
@@ -529,6 +538,8 @@ fn gpu_report(
             // aggregate over the fleet, so total ≤ comm + compute here.
             total_time_s: out.elapsed_s,
             comm_time_s: out.per_device.iter().map(|m| m.comm_time_s).sum(),
+            bus_wait_s: out.per_device.iter().map(|m| m.bus_wait_s).sum(),
+            host_table_time_s: out.host_table_time_s,
             compute_time_s: out.per_device.iter().map(|m| m.compute_time_s).sum(),
             input_bytes,
             dims,
@@ -867,9 +878,17 @@ mod tests {
         assert_eq!(multi.stats, single.stats);
         assert!(multi.n_slabs >= 3);
         assert_eq!(multi.recovery.devices_lost, 0);
+        // The fleet shares one half-duplex PCIe bus, and this tiny scan is
+        // transfer-bound: the extra devices mostly queue on the link, so
+        // — honestly — three devices do NOT beat one pipelined device
+        // here. The stall the fleet paid is on the meter.
         assert!(
-            multi.total_time_s < single.total_time_s,
-            "three devices must beat one ({} vs {})",
+            multi.bus_wait_s > 0.0,
+            "fleet devices must contend for the shared bus"
+        );
+        assert!(
+            multi.total_time_s >= single.total_time_s,
+            "a transfer-bound fleet cannot beat the shared bus ({} vs {})",
             multi.total_time_s,
             single.total_time_s
         );
