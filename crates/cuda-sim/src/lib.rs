@@ -77,7 +77,7 @@ pub use fault::{FaultPlan, FaultStats};
 pub use host::{Duplex, Host, HostConfig};
 pub use kernel::{Dim3, LaunchConfig, ThreadCtx};
 pub use memory::{DeviceBuffer, DeviceScalar};
-pub use meter::{Cost, LaunchRecord, Meters, TRACE_SLOTS};
+pub use meter::{ChainEstimator, Cost, LaunchRecord, Meters, TRACE_SLOTS};
 pub use props::{DeviceProps, ExecMode, HostProps};
 pub use sim::{Clock, Engine, EventRecord, RealClock, ResourceId, VirtualClock};
 pub use stream::StreamId;

@@ -11,10 +11,11 @@
 //! `--check FILE` turns the report into a perf gate: FILE holds the maximum
 //! allowed compact/dense modeled-kernel-time ratio at the ~25 %-active
 //! operating point, optionally (second float) the maximum allowed
-//! privatized/atomic kernel-time ratio, and optionally (third float) the
+//! privatized/atomic kernel-time ratio, optionally (third float) the
 //! maximum allowed depth-3/serial ring elapsed ratio under the shared-bus
-//! model (`#` comments allowed); the process exits non-zero if a measured
-//! ratio regresses past its budget.
+//! model, and optionally (fourth float) the maximum allowed
+//! plan-auto/best-fixed total-time ratio (`#` comments allowed); the
+//! process exits non-zero if a measured ratio regresses past its budget.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -23,7 +24,7 @@ use cuda_sim::{Device, DeviceProps};
 use laue_bench::{delta_percentile, standard_config, Workload};
 use laue_core::cache::TableCacheStats;
 use laue_core::gpu::{self, GpuOptions, PipelineDepth};
-use laue_core::{AccumulationMode, CompactionMode};
+use laue_core::{AccumulationMode, CompactionMode, PlanMode};
 use laue_pipeline::{Engine, Pipeline};
 
 fn json_stats(s: &TableCacheStats) -> String {
@@ -242,6 +243,56 @@ fn main() {
     );
     let accum_ratio = privatized.compute_time_s / atomic.compute_time_s;
 
+    // 7. Self-tuning planner: `--plan auto` vs the best fixed configuration
+    // on the same stack. The explain block's predicted virtual time must
+    // track the measured one, and auto must stay within a few percent of
+    // the best fixed contender; `--check` gates the ratio when the baseline
+    // file holds a fourth float.
+    let run_fixed = |engine: Engine, depth: Option<usize>| {
+        let mut c = standard_config();
+        c.compaction = CompactionMode::Auto;
+        c.accumulation = AccumulationMode::Auto;
+        c.pipeline_depth = depth;
+        let mut source = w.source();
+        Pipeline::default()
+            .run_source(&mut source, &w.scan.geometry, &c, engine)
+            .expect("fixed plan run")
+    };
+    let mut c = standard_config();
+    c.plan = PlanMode::Auto;
+    c.compaction = CompactionMode::Auto;
+    c.accumulation = AccumulationMode::Auto;
+    let mut source = w.source();
+    let auto_plan = Pipeline::default()
+        .run_source(&mut source, &w.scan.geometry, &c, Engine::GpuPipelined)
+        .expect("plan auto run");
+    let explain = auto_plan.plan.clone().expect("plan auto explain block");
+    let mut best_fixed: Option<(&str, f64)> = None;
+    for (label, engine, depth) in [
+        ("gpu-1d", gpu1d, None),
+        (
+            "gpu-3d",
+            Engine::Gpu {
+                layout: laue_core::gpu::Layout::Pointer3d,
+            },
+            None,
+        ),
+        ("gpu-tables", Engine::GpuTables, None),
+        ("gpu-pipe-k2", Engine::GpuPipelined, Some(2)),
+        ("gpu-pipe-k3", Engine::GpuPipelined, Some(3)),
+    ] {
+        let r = run_fixed(engine, depth);
+        assert_eq!(
+            auto_plan.image.data, r.image.data,
+            "plan auto diverges from {label}"
+        );
+        if best_fixed.is_none_or(|(_, t)| r.total_time_s < t) {
+            best_fixed = Some((label, r.total_time_s));
+        }
+    }
+    let (best_fixed_label, best_fixed_s) = best_fixed.expect("fixed field is non-empty");
+    let planner_ratio = auto_plan.total_time_s / best_fixed_s;
+
     let mut json = String::from("{\n");
     writeln!(json, "  \"generated_by\": \"bench_report\",").unwrap();
     writeln!(json, "  \"quick\": {quick},").unwrap();
@@ -353,6 +404,21 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"planner\": {{").unwrap();
+    writeln!(json, "    \"chosen\": \"{}\",", explain.chosen).unwrap();
+    writeln!(json, "    \"predicted_s\": {:.9},", explain.predicted_s).unwrap();
+    writeln!(json, "    \"measured_s\": {:.9},", explain.measured_s).unwrap();
+    writeln!(
+        json,
+        "    \"prediction_error\": {:.6},",
+        explain.prediction_error()
+    )
+    .unwrap();
+    writeln!(json, "    \"auto_total_s\": {:.9},", auto_plan.total_time_s).unwrap();
+    writeln!(json, "    \"best_fixed\": \"{best_fixed_label}\",").unwrap();
+    writeln!(json, "    \"best_fixed_total_s\": {best_fixed_s:.9},").unwrap();
+    writeln!(json, "    \"auto_over_best\": {planner_ratio:.6}").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(
         json,
         "  \"wall_clock_s\": {:.3}",
@@ -381,6 +447,15 @@ fn main() {
     println!(
         "accumulation: atomic {:.4} s → privatized {:.4} s kernel (ratio {:.3})",
         atomic.compute_time_s, privatized.compute_time_s, accum_ratio,
+    );
+    println!(
+        "planner: auto chose {} at {:.4} s ({:.1} % prediction error) vs best fixed {} at {:.4} s (ratio {:.3})",
+        explain.chosen,
+        auto_plan.total_time_s,
+        100.0 * explain.prediction_error(),
+        best_fixed_label,
+        best_fixed_s,
+        planner_ratio,
     );
 
     if let Some(path) = check_path {
@@ -431,6 +506,19 @@ fn main() {
             }
             println!(
                 "perf gate: depth-3/serial ring ratio {ring_ratio:.4} within budget {ring_budget:.4}"
+            );
+        }
+        if let Some(&planner_budget) = budgets.get(3) {
+            if planner_ratio > planner_budget {
+                eprintln!(
+                    "PERF REGRESSION: plan-auto/best-fixed total-time ratio {planner_ratio:.4} \
+                     exceeds the committed budget {planner_budget:.4} ({path}) — \
+                     the planner stopped picking competitive plans"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf gate: plan-auto/best-fixed ratio {planner_ratio:.4} within budget {planner_budget:.4}"
             );
         }
     }

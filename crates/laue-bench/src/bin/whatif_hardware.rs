@@ -10,7 +10,8 @@
 //!
 //! Run: `cargo run --release -p laue-bench --bin whatif_hardware`
 
-use cuda_sim::{Device, DeviceProps, HostProps};
+use cuda_sim::Device;
+use laue_bench::devices::{era_matrix, paper_host};
 use laue_bench::{ms, print_table, standard_config, Workload};
 use laue_core::gpu::{self, Layout};
 use laue_core::{AccumulationMode, ScanView};
@@ -32,7 +33,7 @@ fn main() {
     )
     .unwrap();
     let cpu = laue_core::cpu::reconstruct_seq(&view, &g, &cfg).unwrap();
-    let cpu_s = cpu.modeled_time_s(&HostProps::xeon_e5630(), 1);
+    let cpu_s = cpu.modeled_time_s(&paper_host(), 1);
 
     let mut rows = vec![vec![
         "Xeon E5630 (1 core)".to_string(),
@@ -44,11 +45,7 @@ fn main() {
         "100.0 %".into(),
     ]];
     let mut reference: Option<Vec<f64>> = None;
-    for props in [
-        DeviceProps::tesla_m2070(),
-        DeviceProps::gtx_580(),
-        DeviceProps::tesla_k40(),
-    ] {
+    for props in era_matrix() {
         let name = props.name.clone();
         let device = Device::new(props.clone());
         let mut source = w.source();
@@ -124,11 +121,7 @@ fn main() {
     // on each generation's f64 atomic cost.
     let w2 = Workload::of_megabytes(2.1, 555);
     let mut rows = Vec::new();
-    for props in [
-        DeviceProps::tesla_m2070(),
-        DeviceProps::gtx_580(),
-        DeviceProps::tesla_k40(),
-    ] {
+    for props in era_matrix() {
         let name = props.name.clone();
         let mut kernel = [0.0f64; 2];
         let mut image: Option<Vec<f64>> = None;

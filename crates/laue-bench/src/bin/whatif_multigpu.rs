@@ -12,7 +12,8 @@
 //!
 //! Run: `cargo run --release -p laue-bench --bin whatif_multigpu`
 
-use cuda_sim::{Device, DeviceProps, Host, HostProps};
+use cuda_sim::{Device, DeviceProps, Host};
+use laue_bench::devices::paper_host;
 use laue_bench::{ms, print_table, standard_config, Workload};
 use laue_core::gpu::GpuOptions;
 use laue_core::multi::reconstruct_multi;
@@ -35,7 +36,7 @@ fn main() {
     )
     .unwrap();
     let cpu = laue_core::cpu::reconstruct_seq(&view, &g, &cfg).unwrap();
-    let cpu_s = cpu.modeled_time_s(&HostProps::xeon_e5630(), 1);
+    let cpu_s = cpu.modeled_time_s(&paper_host(), 1);
 
     let mut rows = Vec::new();
     let mut t1 = 0.0f64;

@@ -1,0 +1,40 @@
+//! The shared hardware matrix for the what-if and validation studies.
+//!
+//! Every binary that sweeps "the era's hardware" draws from this one table
+//! so the studies stay comparable: the paper's Tesla M2070 (the calibrated
+//! baseline), a consumer Fermi with throttled double precision (GTX 580),
+//! and the next-generation Tesla K40 with native f64 atomics.
+
+use cuda_sim::{DeviceProps, HostProps};
+
+/// The hardware-era device matrix: M2070 (paper), GTX 580, K40.
+pub fn era_matrix() -> Vec<DeviceProps> {
+    vec![
+        DeviceProps::tesla_m2070(),
+        DeviceProps::gtx_580(),
+        DeviceProps::tesla_k40(),
+    ]
+}
+
+/// The paper's host machine (Xeon E5630).
+pub fn paper_host() -> HostProps {
+    HostProps::xeon_e5630()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_matrix_leads_with_the_paper_device() {
+        let m = era_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].name, DeviceProps::tesla_m2070().name);
+        // Distinct devices — a duplicate row would silently weaken the sweep.
+        for i in 0..m.len() {
+            for j in i + 1..m.len() {
+                assert_ne!(m[i].name, m[j].name);
+            }
+        }
+    }
+}

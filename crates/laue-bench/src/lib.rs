@@ -20,6 +20,8 @@
 //! M2070/E5630 models, so the figures are deterministic and
 //! machine-independent.
 
+pub mod devices;
+
 use laue_core::{ReconstructionConfig, SlabSource};
 use laue_pipeline::{Engine, Pipeline, RunReport};
 use laue_wire::{builder::dims_for_bytes, SyntheticScan, SyntheticScanBuilder};

@@ -299,6 +299,25 @@ impl DepthTableCache {
         Some(buf)
     }
 
+    /// Whether the host-side table for `key` is cached, without refreshing
+    /// its LRU position or counting a hit — the execution planner asks
+    /// this to predict table costs without perturbing the cache it is
+    /// predicting.
+    pub fn peek_host(&self, key: &TableKey) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.host.iter().any(|(k, _)| k == key)
+    }
+
+    /// Whether `(device_id, key)` is device-resident, without LRU refresh
+    /// or hit accounting (see [`DepthTableCache::peek_host`]).
+    pub fn peek_device(&self, device_id: u64, key: &TableKey) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .device
+            .iter()
+            .any(|e| e.device_id == device_id && e.key == *key)
+    }
+
     /// Bytes currently resident on `device_id`.
     pub fn resident_bytes(&self, device_id: u64) -> u64 {
         let inner = self.inner.lock().unwrap();

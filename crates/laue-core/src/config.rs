@@ -18,19 +18,14 @@ pub enum CompactionMode {
     #[default]
     Off,
     /// Always cull wire-shadowed rows and run the metered prescan, then
-    /// pick dense or compacted execution per slab from the measured active
-    /// density ([`AUTO_COMPACT_MAX_DENSITY`]).
+    /// pick dense or compacted execution per slab by comparing the modeled
+    /// cost of both launches on the target device (see
+    /// `laue_core::planner`).
     Auto,
     /// Always cull, prescan, and launch over the compacted work-list,
     /// regardless of density.
     On,
 }
-
-/// Above this measured active-pair density, [`CompactionMode::Auto`]
-/// falls back to the dense launch for the slab: the compacted list would
-/// cover nearly the whole domain, so the list traffic cannot pay for
-/// itself.
-pub const AUTO_COMPACT_MAX_DENSITY: f64 = 0.75;
 
 /// How the GPU engines accumulate depth intensities into the output image.
 ///
@@ -52,9 +47,49 @@ pub enum AccumulationMode {
     /// tile exceeds the device's shared memory fall back to the atomic
     /// path (recorded in the stats).
     Privatized,
-    /// Pick per slab: privatize when the bin tile fits the device's shared
-    /// memory, atomic otherwise.
+    /// Pick per slab by comparing the modeled kernel cost of both
+    /// strategies on the target device (see `laue_core::planner`); slabs
+    /// whose bin tile cannot fit shared memory always run atomic.
     Auto,
+}
+
+/// How the execution strategy for a run is chosen.
+///
+/// Every plan produces bit-identical images — layout, pipeline depth,
+/// compaction, and accumulation are all correctness-free choices — so the
+/// planner only moves modeled cost around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Honour the explicitly configured flags (`--engine`, `--compaction`,
+    /// `--accumulation`, `--pipeline-depth`, …) verbatim. Per-flag `auto`
+    /// modes still resolve per slab via the cost model.
+    #[default]
+    Fixed,
+    /// Enumerate candidate execution plans (layout × table placement ×
+    /// pipeline depth, with per-slab compaction/accumulation resolved by
+    /// the same cost model), predict each candidate's virtual cost with
+    /// the calibrated cuda-sim model, and run the argmin. The chosen plan
+    /// and its predicted cost are reported in the run's explain block.
+    Auto,
+}
+
+impl PlanMode {
+    /// Stable lower-case label used by the CLI and the run journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanMode::Fixed => "fixed",
+            PlanMode::Auto => "auto",
+        }
+    }
+
+    /// Parse a CLI spelling (`fixed`, `auto`).
+    pub fn parse(s: &str) -> Option<PlanMode> {
+        match s {
+            "fixed" => Some(PlanMode::Fixed),
+            "auto" => Some(PlanMode::Auto),
+            _ => None,
+        }
+    }
 }
 
 impl AccumulationMode {
@@ -152,6 +187,10 @@ pub struct ReconstructionConfig {
     /// to [`AccumulationMode::Atomic`] (the paper-faithful CAS loop); CPU
     /// engines ignore it.
     pub accumulation: AccumulationMode,
+    /// Whether the execution plan is taken from the flags verbatim
+    /// ([`PlanMode::Fixed`], the default) or chosen by the cost-model
+    /// planner ([`PlanMode::Auto`]).
+    pub plan: PlanMode,
 }
 
 impl ReconstructionConfig {
@@ -167,6 +206,7 @@ impl ReconstructionConfig {
             pipeline_depth: None,
             compaction: CompactionMode::default(),
             accumulation: AccumulationMode::default(),
+            plan: PlanMode::default(),
         }
     }
 
@@ -294,6 +334,16 @@ mod tests {
         assert_eq!(AccumulationMode::parse("shared"), None);
         assert!(AccumulationMode::Privatized.wants_privatized());
         assert!(AccumulationMode::Auto.wants_privatized());
+    }
+
+    #[test]
+    fn plan_mode_round_trips_and_defaults_fixed() {
+        let c = ReconstructionConfig::new(-100.0, 100.0, 50);
+        assert_eq!(c.plan, PlanMode::Fixed);
+        for m in [PlanMode::Fixed, PlanMode::Auto] {
+            assert_eq!(PlanMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(PlanMode::parse("best"), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use cuda_sim::{Cost, HostProps};
 use laue_geometry::DepthMapper;
 
-use crate::config::{CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY};
+use crate::config::{CompactionMode, ReconstructionConfig};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::ScanView;
@@ -190,7 +190,7 @@ fn reconstruct_rows_sparse(
     };
     let compact = match cfg.compaction {
         CompactionMode::On => true,
-        CompactionMode::Auto => density <= AUTO_COMPACT_MAX_DENSITY,
+        CompactionMode::Auto => crate::planner::host_compaction_wins(live_total, active_total),
         CompactionMode::Off => unreachable!("sparse path requires compaction"),
     };
 

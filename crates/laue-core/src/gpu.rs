@@ -45,9 +45,7 @@ use cuda_sim::{Device, DeviceBuffer, LaunchConfig, Meters, StreamId};
 use laue_geometry::{DepthMapper, Vec3};
 
 use crate::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
-use crate::config::{
-    AccumulationMode, CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY,
-};
+use crate::config::{AccumulationMode, CompactionMode, ReconstructionConfig};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::SlabSource;
@@ -152,7 +150,7 @@ const TRACE_DEPOSITS: usize = 4;
 
 /// Threads per block for the 1-D launches (the paper's hardware caps at
 /// 1024; 256 keeps plenty of blocks in flight).
-const BLOCK_SIZE: u64 = 256;
+pub(crate) const BLOCK_SIZE: u64 = 256;
 
 /// The accumulation strategy one slab's `set_two` launch actually runs,
 /// resolved from the device's shared-memory budget (see
@@ -523,7 +521,9 @@ fn plan_slab_sparsity(
     let compact = match cfg.compaction {
         CompactionMode::Off => false,
         CompactionMode::On => true,
-        CompactionMode::Auto => density <= AUTO_COMPACT_MAX_DENSITY,
+        // Placeholder: `upload_slab` overrides this with the planner's
+        // cost-model decision before any buffer is allocated.
+        CompactionMode::Auto => false,
     };
     SlabSparsity {
         live_rows,
@@ -557,6 +557,9 @@ pub(crate) struct SlabUpload {
     list_buf: Option<DeviceBuffer<u64>>,
     /// Prescan's count cell (one u64; the count phase is always paid).
     counter_buf: Option<DeviceBuffer<u64>>,
+    /// Accumulation strategy for this slab's main launch (per-slab under
+    /// the planner's auto mode, uniform otherwise).
+    pub(crate) accum: AccumPlan,
 }
 
 /// Upload one slab's data under the chosen layout.
@@ -587,8 +590,73 @@ pub(crate) fn upload_slab(
 
     // Sparsity planning happens against the host copy of the slab; the
     // device-side cost of the scan is charged by the prescan kernel.
-    let sparsity =
+    let mut sparsity =
         cull.map(|cull| plan_slab_sparsity(&slab, cull, cfg, n_images, row0, rows, n_cols));
+
+    // Per-slab planner decision: with either knob on Auto, the slab's
+    // measured sparsity counts plus a sampled intensity probe feed the
+    // device's cost model, which jointly picks the launch shape and the
+    // accumulation strategy for this slab's kernels.
+    let needs_planner = matches!(cfg.compaction, CompactionMode::Auto)
+        || matches!(cfg.accumulation, AccumulationMode::Auto);
+    let accum = if needs_planner {
+        let probe = crate::planner::SlabProbe::sample(
+            &slab,
+            geom,
+            mapper,
+            cfg,
+            n_images,
+            row0,
+            rows,
+            n_cols,
+            sparsity.as_ref().map(|sp| sp.live_pairs.as_slice()),
+        );
+        let rates = probe.rates();
+        let model = match &sparsity {
+            Some(sp) => crate::planner::SlabModel {
+                rows,
+                n_cols,
+                n_bins: cfg.n_depth_bins,
+                live_rows: sp.live_rows.len(),
+                live_pairs_sum: sp.combos.len() as u64,
+                live_evals: (sp.combos.len() * n_cols) as u64,
+                entries: sp.entries.len() as u64,
+                culled_combos: sp.culled_combos,
+                touched_sum: sp
+                    .live_rows
+                    .iter()
+                    .map(|&r| sp.touched[r as usize] as u64)
+                    .sum(),
+                rates,
+            },
+            None => crate::planner::SlabModel::dense(
+                rows,
+                n_cols,
+                cfg.n_depth_bins,
+                n_images - 1,
+                rates,
+            ),
+        };
+        let decision = crate::planner::plan_slab(
+            device.props(),
+            &model,
+            layout,
+            !matches!(table_source, TableSource::None),
+            cfg.compaction,
+            cfg.accumulation,
+        );
+        if matches!(cfg.compaction, CompactionMode::Auto) {
+            if let Some(sp) = &mut sparsity {
+                sp.compact = decision.compact;
+            }
+        }
+        match cfg.accumulation {
+            AccumulationMode::Auto => decision.accum,
+            mode => plan_accumulation(device.props(), cfg.n_depth_bins, mode),
+        }
+    } else {
+        plan_accumulation(device.props(), cfg.n_depth_bins, cfg.accumulation)
+    };
     let counter_buf = match &sparsity {
         Some(_) => Some(device.alloc::<u64>(1)?),
         None => None,
@@ -720,6 +788,7 @@ pub(crate) fn upload_slab(
         sparsity,
         list_buf,
         counter_buf,
+        accum,
     })
 }
 
@@ -1590,14 +1659,11 @@ pub(crate) fn run_ring(
     let mut slab_privatized = Vec::new();
     let mut privatized_pairs_total = 0u64;
     let mut fallback_pairs_total = 0u64;
-    // The accumulation plan depends only on the bin count and the device's
-    // shared memory, so it is uniform across this band's slabs — but it is
-    // recorded (and attributed) per slab, matching the checkpoint
-    // granularity.
-    let accum = plan_accumulation(device.props(), cfg.n_depth_bins, cfg.accumulation);
     // What one slab attempt reports back: (host table FLOPs, culled combos,
-    // compacted pairs, realised density, privatized?).
-    type SlabAttempt = (u64, u64, u64, Option<f64>, Option<bool>);
+    // compacted pairs, realised density, privatized?, atomic fallback?).
+    // The accumulation strategy itself is resolved per slab by
+    // `upload_slab` (cost-model-driven under auto, forced otherwise).
+    type SlabAttempt = (u64, u64, u64, Option<f64>, Option<bool>, bool);
     let mut row0 = band.start;
     while row0 < band.end {
         let rows = rows_per_slab.min(band.end - row0);
@@ -1646,7 +1712,7 @@ pub(crate) fn run_ring(
                 cfg,
                 n_images,
                 n_cols,
-                accum,
+                upload.accum,
             )?;
             let flops = upload.host_flops;
             let pairs = (rows * n_cols * (n_images - 1)) as u64;
@@ -1656,16 +1722,21 @@ pub(crate) fn run_ring(
             let compacted = stats.compacted_pairs;
             // Attribute the slab's pairs to the strategy its main launch
             // actually ran (an empty launch domain ran neither).
-            let privatized = match (&main, accum) {
+            let fallback = matches!(upload.accum, AccumPlan::Atomic { fallback: true });
+            let privatized = match (&main, upload.accum) {
                 (Some(_), AccumPlan::Privatized { .. }) => {
                     stats.privatized_pairs = stats.pairs_total;
                     Some(true)
                 }
-                (Some(_), AccumPlan::Atomic { fallback: true }) => {
-                    stats.accum_fallback_pairs = stats.pairs_total;
-                    Some(false)
+                (Some(_), AccumPlan::Atomic { fallback }) => {
+                    if fallback {
+                        stats.accum_fallback_pairs = stats.pairs_total;
+                    }
+                    // Under a privatized-leaning mode an atomic slab counts
+                    // against the privatized attribution; under forced
+                    // atomics there is nothing to attribute.
+                    cfg.accumulation.wants_privatized().then_some(false)
                 }
-                (Some(_), AccumPlan::Atomic { fallback: false }) => None,
                 (None, _) => cfg.accumulation.wants_privatized().then_some(false),
             };
             // An all-culled or empty-list slab never launches: its output
@@ -1676,10 +1747,10 @@ pub(crate) fn run_ring(
                 .or_else(|| prescan.as_ref().map(|r| r.end_s))
                 .unwrap_or(upload.ready_at);
             ring.push_back((upload, kernel_end, stats));
-            Ok((flops, culled, compacted, density, privatized))
+            Ok((flops, culled, compacted, density, privatized, fallback))
         })();
         match attempt {
-            Ok((flops, culled, compacted, density, privatized)) => {
+            Ok((flops, culled, compacted, density, privatized, fallback)) => {
                 host_table_flops += flops;
                 culled_rows_total += culled;
                 compacted_total += compacted;
@@ -1691,7 +1762,7 @@ pub(crate) fn run_ring(
                     let pairs = (rows * n_cols * (n_images - 1)) as u64;
                     if p {
                         privatized_pairs_total += pairs;
-                    } else if matches!(accum, AccumPlan::Atomic { fallback: true }) {
+                    } else if fallback {
                         fallback_pairs_total += pairs;
                     }
                 }
@@ -2780,11 +2851,16 @@ mod tests {
                 // The wide window culls nothing here, so every counter but
                 // the new attribution must match the dense run exactly.
                 assert_eq!(sparse.stats.culled_rows, 0);
-                assert!(sparse.stats.compacted_pairs > 0, "{mode:?} must compact");
-                assert_eq!(
-                    sparse.stats.compacted_pairs,
-                    sparse.stats.pairs_below_cutoff
-                );
+                if mode == CompactionMode::On {
+                    assert!(sparse.stats.compacted_pairs > 0, "{mode:?} must compact");
+                    assert_eq!(
+                        sparse.stats.compacted_pairs,
+                        sparse.stats.pairs_below_cutoff
+                    );
+                }
+                // Auto is a cost-model decision now: either launch shape is
+                // legal, but the counters must reconcile with dense either
+                // way (compaction only relabels below-cutoff pairs).
                 let mut neutral = sparse.stats;
                 neutral.compacted_pairs = 0;
                 assert_eq!(neutral, dense.stats);

@@ -42,9 +42,11 @@ use crate::{CoreError, Result};
 const MAGIC: [u8; 8] = *b"LAUEJRN1";
 // v2 widened the per-slab stats block from 6 to 8 words (culled_rows,
 // compacted_pairs); v3 widened it to 10 (privatized_pairs,
-// accum_fallback_pairs). An older journal fails the version check and the
-// run starts fresh — exactly the safe behaviour for a format change.
-const VERSION: u32 = 3;
+// accum_fallback_pairs); v4 folds the resolved execution plan into the
+// journal key, so a plan flip forces a clean restart. An older journal
+// fails the version check and the run starts fresh — exactly the safe
+// behaviour for a format change.
+const VERSION: u32 = 4;
 
 fn io_err(what: &str, e: std::io::Error) -> CoreError {
     CoreError::Journal(format!("{what}: {e}"))

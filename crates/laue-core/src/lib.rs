@@ -50,14 +50,13 @@ pub mod journal;
 pub mod multi;
 pub mod output;
 pub mod pair;
+pub mod planner;
 pub mod planning;
 pub mod post;
 pub mod stats;
 pub mod uncertainty;
 
-pub use config::{
-    AccumulationMode, CompactionMode, ReconstructionConfig, AUTO_COMPACT_MAX_DENSITY,
-};
+pub use config::{AccumulationMode, CompactionMode, PlanMode, ReconstructionConfig};
 pub use error::CoreError;
 pub use geometry::ScanGeometry;
 pub use input::{InMemorySlabSource, RoiSlabSource, ScanView, SlabSource};

@@ -1,0 +1,1109 @@
+//! Self-tuning execution planner: cost-model-driven plan selection.
+//!
+//! The paper tunes one kernel for one GPU by hand. This repo's config
+//! space — data layout × triangulation placement × ring depth × compaction
+//! × accumulation × slab rows — has no single winner: the best plan shifts
+//! with the device generation, the stack's sparsity, and the bin count.
+//! Rather than asking the operator to sweep flags, the planner *predicts*
+//! each candidate's virtual cost with the same calibrated roofline model
+//! the simulator charges ([`cuda_sim::DeviceProps::kernel_time`], the
+//! shared half-duplex PCIe bus, per-transfer latency) and picks the argmin.
+//!
+//! Two levels:
+//!
+//! * **Per slab** ([`plan_slab`]): given a slab's measured sparsity
+//!   structure and a sampled probe of its intensity statistics, choose
+//!   compacted vs dense execution and atomic vs privatized accumulation by
+//!   comparing the modeled kernel times of each combination. This subsumes
+//!   the former `AUTO_COMPACT_MAX_DENSITY` threshold (a density cutoff is
+//!   just a special case of a cost comparison with a fixed crossover) and
+//!   the accumulation auto mode.
+//! * **Per run** ([`plan_run`]): enumerate layout × triangulation ×
+//!   pipeline depth × slab rows, model every slab's upload, prescan,
+//!   kernel, and download under the chosen per-slab plans, compose them
+//!   into a predicted makespan (serial chain at ring depth 1; at depth ≥ 2
+//!   the elapsed time is the max of the bus-bound path and the compute
+//!   path, the shape PR 6's shared-bus model produces), and return the
+//!   cheapest feasible candidate plus the full scored candidate list for
+//!   the run report's explain block.
+//!
+//! The probe ([`SlabProbe`]) samples up to [`PROBE_MAX_PIXELS`] pixels of a
+//! slab host-side — evenly strided, so the result is deterministic and
+//! `--resume` re-derives the identical plan. Probe work is host planning
+//! time, not charged to the virtual clock, the same convention as the
+//! sparsity prescan planning and the shadow cull's host FLOPs.
+//!
+//! Host-CPU table time is modeled ([`RunPlan::host_s`]) but deliberately
+//! excluded from the predicted makespan: [`cuda_sim`] charges host FLOPs to
+//! a parallel host resource that never stalls a device stream, so measured
+//! virtual elapsed time excludes it too — predictions are compared against
+//! measurements like for like.
+
+use cuda_sim::{ChainEstimator, Cost, DeviceProps, HostProps};
+use laue_geometry::DepthMapper;
+
+use crate::config::{AccumulationMode, CompactionMode, ReconstructionConfig};
+use crate::error::CoreError;
+use crate::geometry::ScanGeometry;
+use crate::gpu::{
+    fit_rows_per_slab, plan_accumulation, AccumPlan, GpuOptions, Layout, PipelineDepth,
+    ThreadMapping, Triangulation, BLOCK_SIZE,
+};
+use crate::input::SlabSource;
+use crate::pair::{
+    differential, plan_from_band, plan_pair, PairPlan, COMPACT_ENTRY_BYTES, FLOPS_PER_DEPTH,
+    FLOPS_PER_PAIR, MEM_BYTES_PER_PAIR,
+};
+use crate::planning::ShadowCull;
+use crate::Result;
+
+/// Pixels one probe samples per slab. 64 pixels × all pairs is enough to
+/// estimate the per-active-pair deposit statistics within a few percent on
+/// the synthetic stacks while staying negligible next to the sparsity
+/// prescan planning the engine already does host-side.
+pub const PROBE_MAX_PIXELS: usize = 64;
+
+/// Device-memory allocation granularity mirrored from `cuda_sim::alloc`.
+const ALLOC_ALIGN: u64 = 256;
+
+/// Round a byte count up to the simulator's allocation granularity.
+fn round_alloc(bytes: u64) -> u64 {
+    bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN
+}
+
+/// Raw sampled sums from probing one slab's intensities: how the pairs
+/// above the cutoff behave — deposits per pair, distinct cells touched,
+/// worst per-cell multiplicity, and the exact FLOP counts of both
+/// triangulation placements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlabProbe {
+    /// Pixels sampled.
+    pub sampled_pixels: u64,
+    /// `(pixel, pair)` elements evaluated.
+    pub evals: u64,
+    /// Elements whose `|ΔI|` exceeded the cutoff.
+    pub active: u64,
+    /// Nonzero bin deposits across the sampled elements.
+    pub deposits: u64,
+    /// Distinct `(pixel, bin)` cells touched (one committed add each under
+    /// privatized accumulation).
+    pub commits: u64,
+    /// Max deposits landing in one `(pixel, bin)` cell — the same-address
+    /// atomic chain a single output cell serializes.
+    pub max_mult: u64,
+    /// FLOPs `plan_pair` charged (in-kernel triangulation mode).
+    pub flops_inkernel: u64,
+    /// FLOPs the table-mode kernel charges for the same elements
+    /// (`FLOPS_PER_PAIR` per eval plus `plan_from_band` above the cutoff).
+    pub flops_table: u64,
+}
+
+impl SlabProbe {
+    /// Sample up to [`PROBE_MAX_PIXELS`] evenly strided pixels of a host
+    /// slab, evaluating every (non-culled) pair of each exactly as the
+    /// kernel would. `live_pairs`, when present, is the per-slab-row live
+    /// list from the sparsity plan; `None` means every pair is live.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample(
+        slab: &[f64],
+        geom: &ScanGeometry,
+        mapper: &DepthMapper,
+        cfg: &ReconstructionConfig,
+        n_images: usize,
+        row0: usize,
+        rows: usize,
+        n_cols: usize,
+        live_pairs: Option<&[Vec<u32>]>,
+    ) -> SlabProbe {
+        let mut probe = SlabProbe::default();
+        let n_pairs = n_images - 1;
+        let total_pixels = rows * n_cols;
+        if total_pixels == 0 || n_pairs == 0 {
+            return probe;
+        }
+        let n_samples = total_pixels.min(PROBE_MAX_PIXELS);
+        let stride = total_pixels / n_samples;
+        let wire_centers = geom.wire.centers();
+        let all_pairs: Vec<u32> = (0..n_pairs as u32).collect();
+        // Per-pixel deposit multiplicity scratch, reset between pixels.
+        let mut cell_counts = vec![0u32; cfg.n_depth_bins];
+        let mut touched_bins = Vec::new();
+        for s in 0..n_samples {
+            let pix = s * stride;
+            let (r, c) = (pix / n_cols, pix % n_cols);
+            let live = match live_pairs {
+                Some(lp) => &lp[r],
+                None => &all_pairs,
+            };
+            if live.is_empty() {
+                probe.sampled_pixels += 1;
+                continue;
+            }
+            let pixel = geom
+                .detector
+                .pixel_to_xyz_unchecked((row0 + r) as f64, c as f64);
+            for &z in live {
+                let z = z as usize;
+                let i0 = slab[(z * rows + r) * n_cols + c];
+                let i1 = slab[((z + 1) * rows + r) * n_cols + c];
+                probe.evals += 1;
+                let plan = plan_pair(
+                    mapper,
+                    cfg,
+                    pixel,
+                    wire_centers[z],
+                    wire_centers[z + 1],
+                    i0,
+                    i1,
+                    &mut probe.flops_inkernel,
+                );
+                // Table-mode FLOPs for the identical element: the
+                // differential/cutoff logic repeats, the triangulation is a
+                // table read (charged as memory, not FLOPs).
+                probe.flops_table += FLOPS_PER_PAIR;
+                let delta = differential(cfg, i0, i1);
+                if delta.abs() > cfg.intensity_cutoff {
+                    probe.active += 1;
+                    let d0 = mapper
+                        .depth(pixel, wire_centers[z], cfg.wire_edge)
+                        .unwrap_or(f64::NAN);
+                    let d1 = mapper
+                        .depth(pixel, wire_centers[z + 1], cfg.wire_edge)
+                        .unwrap_or(f64::NAN);
+                    plan_from_band(cfg, delta, d0, d1, &mut probe.flops_table);
+                }
+                if let PairPlan::Deposit(dp) = plan {
+                    for (bin, count) in cell_counts
+                        .iter_mut()
+                        .enumerate()
+                        .take(dp.last_bin)
+                        .skip(dp.first_bin)
+                    {
+                        if dp.amount(bin, cfg) != 0.0 {
+                            probe.deposits += 1;
+                            if *count == 0 {
+                                touched_bins.push(bin);
+                            }
+                            *count += 1;
+                        }
+                    }
+                }
+            }
+            for &bin in &touched_bins {
+                probe.commits += 1;
+                probe.max_mult = probe.max_mult.max(cell_counts[bin] as u64);
+                cell_counts[bin] = 0;
+            }
+            touched_bins.clear();
+            probe.sampled_pixels += 1;
+        }
+        probe
+    }
+
+    /// Merge another probe's sums into this one (used when probing several
+    /// bands of a run).
+    pub fn merge(&mut self, other: &SlabProbe) {
+        self.sampled_pixels += other.sampled_pixels;
+        self.evals += other.evals;
+        self.active += other.active;
+        self.deposits += other.deposits;
+        self.commits += other.commits;
+        self.max_mult = self.max_mult.max(other.max_mult);
+        self.flops_inkernel += other.flops_inkernel;
+        self.flops_table += other.flops_table;
+    }
+
+    /// Per-element scaling rates derived from the sampled sums.
+    pub fn rates(&self) -> ProbeRates {
+        let active = self.active as f64;
+        let zero_active = self.active == 0;
+        ProbeRates {
+            frac_active: if self.evals == 0 {
+                0.0
+            } else {
+                active / self.evals as f64
+            },
+            deposits_per_active: if zero_active {
+                0.0
+            } else {
+                self.deposits as f64 / active
+            },
+            commits_per_active: if zero_active {
+                0.0
+            } else {
+                self.commits as f64 / active
+            },
+            max_mult: self.max_mult,
+            extra_flops_per_active_inkernel: if zero_active {
+                0.0
+            } else {
+                (self.flops_inkernel - FLOPS_PER_PAIR * self.evals) as f64 / active
+            },
+            extra_flops_per_active_table: if zero_active {
+                0.0
+            } else {
+                (self.flops_table - FLOPS_PER_PAIR * self.evals) as f64 / active
+            },
+        }
+    }
+}
+
+/// Probe-derived scaling rates: everything per evaluated element is exact
+/// (`FLOPS_PER_PAIR`, the input reads); everything beyond the cutoff test
+/// scales with the active count through these.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeRates {
+    /// Fraction of evaluated elements above the cutoff.
+    pub frac_active: f64,
+    /// Nonzero bin deposits per active element.
+    pub deposits_per_active: f64,
+    /// Committed `(pixel, bin)` cells per active element.
+    pub commits_per_active: f64,
+    /// Max deposits into one output cell (atomic chain floor).
+    pub max_mult: u64,
+    /// FLOPs beyond `FLOPS_PER_PAIR` per active element, in-kernel mode
+    /// (triangulation + bin spreading).
+    pub extra_flops_per_active_inkernel: f64,
+    /// Same for table mode (bin spreading only; depths come from reads).
+    pub extra_flops_per_active_table: f64,
+}
+
+/// One slab's workload summary: the exact sparsity counts (from the
+/// sparsity plan or the shadow cull) plus the probe rates that scale the
+/// above-cutoff tail.
+#[derive(Debug, Clone)]
+pub(crate) struct SlabModel {
+    pub(crate) rows: usize,
+    pub(crate) n_cols: usize,
+    pub(crate) n_bins: usize,
+    /// Rows with at least one live pair (prescan + banded launch domain).
+    pub(crate) live_rows: usize,
+    /// Σ per-row live pair count (the banded combo count).
+    pub(crate) live_pairs_sum: u64,
+    /// Live `(pixel, pair)` elements: `live_pairs_sum × n_cols`.
+    pub(crate) live_evals: u64,
+    /// Above-cutoff elements (exact when a sparsity plan measured them,
+    /// probe-scaled `frac_active × live_evals` otherwise).
+    pub(crate) entries: u64,
+    pub(crate) culled_combos: u64,
+    /// Σ per-row touched-image count (prescan read accounting).
+    pub(crate) touched_sum: u64,
+    pub(crate) rates: ProbeRates,
+}
+
+impl SlabModel {
+    /// A dense slab with no sparsity pass: every pair of every pixel is
+    /// evaluated, nothing is culled, no prescan runs.
+    pub(crate) fn dense(
+        rows: usize,
+        n_cols: usize,
+        n_bins: usize,
+        n_pairs: usize,
+        rates: ProbeRates,
+    ) -> SlabModel {
+        let live_pairs_sum = (rows * n_pairs) as u64;
+        let live_evals = live_pairs_sum * n_cols as u64;
+        SlabModel {
+            rows,
+            n_cols,
+            n_bins,
+            live_rows: rows,
+            live_pairs_sum,
+            live_evals,
+            entries: (rates.frac_active * live_evals as f64).round() as u64,
+            culled_combos: 0,
+            touched_sum: (rows * (n_pairs + 1)) as u64,
+            rates,
+        }
+    }
+}
+
+/// The `set_two` launch domain a candidate runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShapeKind {
+    Dense,
+    Banded,
+    Compact,
+}
+
+/// Same-address serialization estimate for `n` atomics spread over
+/// `domain` addresses: the worst single cell ([`ProbeRates::max_mult`],
+/// passed as `mult_floor`) or — when the domain aliases into fewer chain
+/// buckets than there are operations — the pigeonhole bound over the
+/// estimator's stripes, whichever is larger.
+fn chain_estimate(ops: u64, mult_floor: u64, domain: u64) -> u64 {
+    if ops == 0 {
+        return 0;
+    }
+    let buckets = domain.clamp(1, ChainEstimator::BUCKETS as u64);
+    mult_floor.max(ops.div_ceil(buckets))
+}
+
+/// Build the modeled [`Cost`] of one slab's main `set_two` launch, exactly
+/// mirroring what `gpu::launch_set_two` charges per element, per shape,
+/// and per accumulation strategy.
+fn main_kernel_cost(
+    m: &SlabModel,
+    shape: ShapeKind,
+    accum: AccumPlan,
+    layout: Layout,
+    table_mode: bool,
+) -> Cost {
+    let evals = match shape {
+        ShapeKind::Dense | ShapeKind::Banded => m.live_evals,
+        ShapeKind::Compact => m.entries,
+    };
+    let active = m.entries;
+    let mut cost = Cost::default();
+    // Index arithmetic + differential/cutoff logic, every element.
+    cost.flops += (6 + FLOPS_PER_PAIR) * evals;
+    // Intensity fetch: flat reads two f64; the pointer layout adds a 16 B
+    // pointer chase on top of the two element reads.
+    let intensity_bytes: u64 = match layout {
+        Layout::Flat1d => 16,
+        Layout::Pointer3d => 32,
+    };
+    if table_mode {
+        cost.mem_bytes += intensity_bytes * evals;
+        // Above the cutoff: two depth-table reads instead of triangulation.
+        cost.mem_bytes += 16 * active;
+        cost.flops += (m.rates.extra_flops_per_active_table * active as f64) as u64;
+    } else {
+        // In-kernel mode reads the pixel position (24 B) and both wire
+        // centres (48 B) for every element, then triangulates the active
+        // ones.
+        cost.mem_bytes += (MEM_BYTES_PER_PAIR - 16 + intensity_bytes) * evals;
+        cost.flops += (m.rates.extra_flops_per_active_inkernel * active as f64) as u64;
+    }
+    let privatized_pixels = match shape {
+        ShapeKind::Banded => m.live_rows * m.n_cols,
+        ShapeKind::Dense | ShapeKind::Compact => m.rows * m.n_cols,
+    } as u64;
+    // Shape-specific descriptor traffic.
+    match shape {
+        ShapeKind::Dense => {}
+        // Combo descriptor (atomic) or live-pair descriptor (privatized):
+        // one u64 fetch per element either way.
+        ShapeKind::Banded => cost.mem_bytes += COMPACT_ENTRY_BYTES * evals,
+        ShapeKind::Compact => {
+            // Work-list readback, one u64 per entry; the privatized kernel
+            // additionally fetches each pixel's CSR offset.
+            cost.mem_bytes += COMPACT_ENTRY_BYTES * evals;
+            if matches!(accum, AccumPlan::Privatized { .. }) {
+                cost.mem_bytes += 8 * privatized_pixels;
+            }
+        }
+    }
+    let deposits = (m.rates.deposits_per_active * active as f64).round() as u64;
+    let out_domain = match layout {
+        Layout::Flat1d => (m.n_bins * m.rows * m.n_cols) as u64,
+        // Per-bin buffers restart indexing at 0: bins alias buckets.
+        Layout::Pointer3d => (m.rows * m.n_cols) as u64,
+    };
+    let pointer_fetch = match layout {
+        Layout::Flat1d => 0,
+        Layout::Pointer3d => 8,
+    };
+    match accum {
+        AccumPlan::Atomic { .. } => {
+            cost.atomic_ops += deposits;
+            cost.mem_bytes += (8 + pointer_fetch) * deposits;
+            cost.atomic_max_chain = chain_estimate(deposits, m.rates.max_mult, out_domain);
+        }
+        AccumPlan::Privatized { pixels_per_block } => {
+            // Tile read-modify-writes, then the epilogue's full tile scan.
+            cost.shared_bytes += 16 * deposits;
+            cost.shared_bytes += 8 * privatized_pixels * m.n_bins as u64;
+            cost.flops += privatized_pixels * m.n_bins as u64;
+            let commits = (m.rates.commits_per_active * active as f64).round() as u64;
+            cost.atomic_ops += commits;
+            cost.mem_bytes += (8 + pointer_fetch) * commits;
+            // Each cell commits exactly once; only bucket aliasing chains.
+            cost.atomic_max_chain = chain_estimate(commits, 1, out_domain);
+            cost.shared_request = (pixels_per_block * m.n_bins * 8) as u64;
+        }
+    }
+    cost
+}
+
+/// Modeled [`Cost`] of the prescan launch (sparsity pass enabled and the
+/// slab has live rows), mirroring `gpu::launch_prescan`: per-pixel column
+/// reads + compare FLOPs, the work-list emit when the slab compacts, and
+/// one block-leader counter atomic per block — all hitting the same cell,
+/// so the chain equals the block count.
+fn prescan_cost(m: &SlabModel, emit_entries: bool) -> Option<Cost> {
+    if m.live_rows == 0 {
+        return None;
+    }
+    let threads = (m.live_rows * m.n_cols) as u64;
+    let blocks = threads.div_ceil(BLOCK_SIZE);
+    let mut cost = Cost {
+        flops: 2 * m.n_cols as u64 * m.live_pairs_sum,
+        mem_bytes: 8 * m.n_cols as u64 * m.touched_sum + 8 * blocks,
+        atomic_ops: blocks,
+        atomic_max_chain: blocks,
+        ..Cost::default()
+    };
+    if emit_entries {
+        cost.mem_bytes += COMPACT_ENTRY_BYTES * m.entries;
+    }
+    Some(cost)
+}
+
+/// What the planner decided for one slab.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlabDecision {
+    /// Launch over the compacted work-list instead of the dense/banded
+    /// domain.
+    pub(crate) compact: bool,
+    /// Accumulation strategy of the main launch.
+    pub(crate) accum: AccumPlan,
+    /// Predicted prescan + main kernel time, seconds.
+    pub(crate) kernel_s: f64,
+}
+
+/// Joint per-slab decision: enumerate the launch shapes the compaction
+/// mode allows × the accumulation strategies the accumulation mode allows,
+/// cost each combination with the device's roofline model, and pick the
+/// cheapest. Fixed modes degenerate to a single candidate, so the planner
+/// reproduces forced behaviour exactly.
+///
+/// Tie-breaks (relative 1e-9): the non-compacted shape wins — at full
+/// density compaction only adds work-list traffic — and privatized
+/// accumulation wins, since its measured edge on real contention exceeds
+/// what the model resolves at tie distance.
+pub(crate) fn plan_slab(
+    props: &DeviceProps,
+    m: &SlabModel,
+    layout: Layout,
+    table_mode: bool,
+    compaction: CompactionMode,
+    accumulation: AccumulationMode,
+) -> SlabDecision {
+    let accum_candidates: Vec<AccumPlan> = match accumulation {
+        AccumulationMode::Atomic => vec![AccumPlan::Atomic { fallback: false }],
+        AccumulationMode::Privatized => vec![plan_accumulation(props, m.n_bins, accumulation)],
+        AccumulationMode::Auto => match plan_accumulation(props, m.n_bins, accumulation) {
+            AccumPlan::Privatized { pixels_per_block } => vec![
+                AccumPlan::Privatized { pixels_per_block },
+                AccumPlan::Atomic { fallback: false },
+            ],
+            // One bin row exceeds shared memory: atomics are forced, and
+            // the fallback flag keeps the stats attribution honest.
+            fallback => vec![fallback],
+        },
+    };
+    if m.live_evals == 0 {
+        // Every pair culled: no launch at all; the flags only feed stats.
+        return SlabDecision {
+            compact: matches!(compaction, CompactionMode::On),
+            accum: accum_candidates[0],
+            kernel_s: 0.0,
+        };
+    }
+    let noncompact = if m.culled_combos > 0 {
+        ShapeKind::Banded
+    } else {
+        ShapeKind::Dense
+    };
+    let shape_candidates: Vec<(bool, ShapeKind)> = match compaction {
+        CompactionMode::Off => vec![(false, ShapeKind::Dense)],
+        CompactionMode::On => vec![(true, ShapeKind::Compact)],
+        CompactionMode::Auto => vec![(false, noncompact), (true, ShapeKind::Compact)],
+    };
+    let mut best: Option<SlabDecision> = None;
+    for &(compact, shape) in &shape_candidates {
+        // The prescan runs whenever the sparsity pass is enabled; only the
+        // work-list emit depends on the shape decision.
+        let prescan_s = if compaction.enabled() {
+            prescan_cost(m, compact).map_or(0.0, |c| props.kernel_time(&c))
+        } else {
+            0.0
+        };
+        for &accum in &accum_candidates {
+            let main_s = if shape == ShapeKind::Compact && m.entries == 0 {
+                0.0 // empty work-list: the main launch is skipped
+            } else {
+                props.kernel_time(&main_kernel_cost(m, shape, accum, layout, table_mode))
+            };
+            let total = prescan_s + main_s;
+            let better = match &best {
+                None => true,
+                Some(b) => total < b.kernel_s * (1.0 - 1e-9),
+            };
+            if better {
+                best = Some(SlabDecision {
+                    compact,
+                    accum,
+                    kernel_s: total,
+                });
+            }
+        }
+    }
+    best.expect("at least one shape × accumulation candidate")
+}
+
+/// Host-side analogue of the compaction cost comparison, replacing the
+/// former fixed density threshold. Compacted execution visits only the
+/// `active` pairs but pays the work-list emit + read
+/// (2 × [`COMPACT_ENTRY_BYTES`]) on top of each pair's dense traffic;
+/// dense execution visits every `live` pair at [`MEM_BYTES_PER_PAIR`].
+/// Compact FLOPs are a strict subset of dense FLOPs (the skipped pairs are
+/// all below the cutoff), so on the host roofline —
+/// `max(compute, memory)` — compacting wins exactly when its memory term
+/// does. The implied crossover density is 88 / 104 ≈ 0.85, now derived
+/// from the charge constants instead of hard-coded.
+pub fn host_compaction_wins(live_pairs: u64, active_pairs: u64) -> bool {
+    (MEM_BYTES_PER_PAIR + 2 * COMPACT_ENTRY_BYTES) * active_pairs <= MEM_BYTES_PER_PAIR * live_pairs
+}
+
+/// Depth-table cache warmth, fed into [`plan_run`] so predictions account
+/// for what a previous run already paid (the cache's peek methods answer
+/// these without perturbing LRU order or hit statistics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableWarmth {
+    /// The host-side table for this scan is cached: no triangulation FLOPs.
+    pub host_warm: bool,
+    /// The table is already device-resident: no upload either.
+    pub device_warm: bool,
+    /// Device-resident byte budget (0 disables residency).
+    pub resident_budget: u64,
+}
+
+/// One scored candidate from the run-level enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedCandidate {
+    /// Stable label, e.g. `flat1d/inkernel/k3/r128`.
+    pub label: String,
+    /// Predicted virtual makespan, seconds.
+    pub predicted_s: f64,
+    /// Modeled host-CPU table/cull seconds (parallel to the makespan).
+    pub host_s: f64,
+}
+
+/// The run-level plan [`plan_run`] selected.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// GPU options of the winning candidate (mapping is always
+    /// [`ThreadMapping::Linear`]; `Grid3d` has identical modeled cost).
+    pub options: GpuOptions,
+    /// Ring depth of the winning candidate.
+    pub depth: PipelineDepth,
+    /// Slab rows of the winning candidate (feasible by construction).
+    pub rows_per_slab: usize,
+    /// Predicted virtual makespan of the winner, seconds.
+    pub predicted_s: f64,
+    /// Modeled host-CPU seconds of the winner.
+    pub host_s: f64,
+    /// The winner's label (also folded into the journal key under
+    /// `--plan auto`, so a plan flip forces a clean restart).
+    pub label: String,
+    /// Every scored candidate, enumeration order.
+    pub candidates: Vec<PlannedCandidate>,
+}
+
+fn layout_label(layout: Layout) -> &'static str {
+    match layout {
+        Layout::Flat1d => "flat1d",
+        Layout::Pointer3d => "ptr3d",
+    }
+}
+
+fn triangulation_label(t: Triangulation) -> &'static str {
+    match t {
+        Triangulation::InKernel => "inkernel",
+        Triangulation::HostTables => "tables",
+    }
+}
+
+/// Enumerate and score run-level execution plans for `source` on the
+/// device described by `props`, returning the predicted-cheapest feasible
+/// one. Per-slab knobs (compaction, accumulation) are resolved inside each
+/// candidate via [`plan_slab`] under the modes in `cfg` — under
+/// `--plan auto` the pipeline forces both to `Auto` so the planner owns
+/// every knob.
+pub fn plan_run(
+    props: &DeviceProps,
+    host: &HostProps,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    warmth: TableWarmth,
+) -> Result<RunPlan> {
+    let mapper = geom.mapper()?;
+    let (n_images, n_rows, n_cols) = (source.n_images(), source.n_rows(), source.n_cols());
+    let n_pairs = n_images - 1;
+    let n_bins = cfg.n_depth_bins;
+    let n_steps = geom.wire.n_steps;
+
+    let cull = if cfg.compaction.enabled() {
+        Some(ShadowCull::compute(geom, &mapper, cfg, 0..n_rows))
+    } else {
+        None
+    };
+
+    // Probe a few single-row bands spread across the detector; merged sums
+    // stand in for the whole stack's intensity statistics.
+    let mut probe = SlabProbe::default();
+    let mut probe_rows: Vec<usize> = [0, n_rows / 4, n_rows / 2, (3 * n_rows) / 4]
+        .into_iter()
+        .map(|r| r.min(n_rows - 1))
+        .collect();
+    probe_rows.dedup();
+    for &r in &probe_rows {
+        let slab = source.read_slab(r, 1)?;
+        let live = cull
+            .as_ref()
+            .map(|cull| vec![cull.live_pairs(r).into_iter().map(|z| z as u32).collect()]);
+        probe.merge(&SlabProbe::sample(
+            &slab,
+            geom,
+            &mapper,
+            cfg,
+            n_images,
+            r,
+            1,
+            n_cols,
+            live.as_deref(),
+        ));
+    }
+    let rates = probe.rates();
+
+    let table_bytes = (n_images * n_rows * n_cols * 8) as u64;
+    let wire_bytes = (n_steps * 3 * 8) as u64;
+    let table_mode_host_flops = (n_images * n_rows * n_cols) as u64 * FLOPS_PER_DEPTH;
+    let cull_host_flops = cull.as_ref().map_or(0, |c| c.host_flops);
+
+    let mut candidates = Vec::new();
+    let mut best: Option<(GpuOptions, PipelineDepth, usize, f64, f64, String)> = None;
+    let mut last_fit_error = None;
+    for layout in [Layout::Flat1d, Layout::Pointer3d] {
+        for triangulation in [Triangulation::InKernel, Triangulation::HostTables] {
+            let table_mode = triangulation == Triangulation::HostTables;
+            let resident =
+                table_mode && (warmth.device_warm || warmth.resident_budget >= table_bytes);
+            let opts = GpuOptions {
+                layout,
+                triangulation,
+                mapping: ThreadMapping::Linear,
+            };
+            // Mirror `run_ring`: a resident table leaves the per-slab
+            // working set, and the budget excludes what is already
+            // allocated (wires, resident table).
+            let sizing_opts = if resident {
+                GpuOptions {
+                    triangulation: Triangulation::InKernel,
+                    ..opts
+                }
+            } else {
+                opts
+            };
+            let mut used = round_alloc(wire_bytes);
+            if resident {
+                used += round_alloc(table_bytes);
+            }
+            let budget = props.total_mem.saturating_sub(used);
+            for depth in [1usize, 2, 3] {
+                // Slots-halving fit loop, as the ring runs it.
+                let mut slots = depth;
+                let fit = match cfg.rows_per_slab {
+                    Some(r) => Some(r.min(n_rows)),
+                    None => loop {
+                        match fit_rows_per_slab(
+                            budget,
+                            n_rows,
+                            n_images,
+                            n_cols,
+                            n_bins,
+                            sizing_opts,
+                            slots,
+                            cfg.compaction,
+                        ) {
+                            Ok(r) => break Some(r),
+                            Err(e @ CoreError::DeviceCapacity { .. }) => {
+                                if slots > 1 {
+                                    slots = (slots / 2).max(1);
+                                } else {
+                                    last_fit_error = Some(e);
+                                    break None;
+                                }
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    },
+                };
+                let Some(fit_rows) = fit else { continue };
+                let mut row_variants = vec![fit_rows];
+                if cfg.rows_per_slab.is_none() && fit_rows > 1 {
+                    row_variants.push((fit_rows / 2).max(1));
+                }
+                row_variants.dedup();
+                for rows_per_slab in row_variants {
+                    // Fixed per-run prologue: the wire table ships once; a
+                    // cold resident table uploads as one batched
+                    // transaction.
+                    let mut pre = props.transfer_time(wire_bytes);
+                    if resident && !warmth.device_warm {
+                        pre += props.transfer_time_batched(table_bytes);
+                    }
+                    let (mut sum_up, mut sum_down, mut sum_kernel) = (0.0f64, 0.0f64, 0.0f64);
+                    let (mut first_up, mut last_down) = (0.0f64, 0.0f64);
+                    let mut serial = 0.0f64;
+                    let mut row0 = 0usize;
+                    let mut first = true;
+                    while row0 < n_rows {
+                        let rows = rows_per_slab.min(n_rows - row0);
+                        let model = match &cull {
+                            Some(cull) => {
+                                let bp = cull.band_profile(row0..row0 + rows);
+                                let live_evals = bp.live_combos * n_cols as u64;
+                                SlabModel {
+                                    rows,
+                                    n_cols,
+                                    n_bins,
+                                    live_rows: bp.live_rows,
+                                    live_pairs_sum: bp.live_combos,
+                                    live_evals,
+                                    entries: (rates.frac_active * live_evals as f64).round() as u64,
+                                    culled_combos: bp.culled_combos,
+                                    touched_sum: bp.touched_sum,
+                                    rates,
+                                }
+                            }
+                            None => SlabModel::dense(rows, n_cols, n_bins, n_pairs, rates),
+                        };
+                        let decision = plan_slab(
+                            props,
+                            &model,
+                            layout,
+                            table_mode,
+                            cfg.compaction,
+                            cfg.accumulation,
+                        );
+                        // Upload: all f64 pieces coalesce into one batched
+                        // transaction; the pointer layout pays a second
+                        // (u64) transaction for its pointer tables.
+                        let mut f64_bytes = (rows * n_cols * 3 * 8) as u64; // pixels
+                        if table_mode && !resident {
+                            f64_bytes += (n_images * rows * n_cols * 8) as u64;
+                        }
+                        f64_bytes += (n_images * rows * n_cols * 8) as u64; // intensity
+                        let mut t_up = props.transfer_time_batched(f64_bytes);
+                        if layout == Layout::Pointer3d {
+                            t_up += props.transfer_time_batched(((n_images + n_bins) * 8) as u64);
+                        }
+                        // Download: flat is one D2H; the pointer layout pays
+                        // the transfer latency once per output bin.
+                        let down_bytes = (n_bins * rows * n_cols * 8) as u64;
+                        let t_down = match layout {
+                            Layout::Flat1d => props.transfer_time(down_bytes),
+                            Layout::Pointer3d => {
+                                n_bins as f64 * props.pcie_latency
+                                    + down_bytes as f64 / props.pcie_bw
+                            }
+                        };
+                        sum_up += t_up;
+                        sum_down += t_down;
+                        sum_kernel += decision.kernel_s;
+                        serial += t_up + decision.kernel_s + t_down;
+                        if first {
+                            first_up = t_up;
+                            first = false;
+                        }
+                        last_down = t_down;
+                        row0 += rows;
+                    }
+                    // Makespan: depth 1 is a strict upload → kernel →
+                    // download chain. Deeper rings overlap, bounded below
+                    // by the shared half-duplex bus (every transfer
+                    // serializes) and by the compute path — PR 6's model
+                    // makes the max of the two a tight estimate.
+                    let predicted_s = if slots == 1 {
+                        pre + serial
+                    } else {
+                        let bus = sum_up + sum_down;
+                        let compute = first_up + sum_kernel + last_down;
+                        pre + bus.max(compute)
+                    };
+                    let mut host_flops = cull_host_flops;
+                    if table_mode && !warmth.host_warm {
+                        host_flops += table_mode_host_flops;
+                    }
+                    let host_s = host.kernel_time(
+                        &Cost {
+                            flops: host_flops,
+                            ..Cost::default()
+                        },
+                        1,
+                    );
+                    let label = format!(
+                        "{}/{}/k{}/r{}",
+                        layout_label(layout),
+                        triangulation_label(triangulation),
+                        depth,
+                        rows_per_slab
+                    );
+                    candidates.push(PlannedCandidate {
+                        label: label.clone(),
+                        predicted_s,
+                        host_s,
+                    });
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, _, b, _, _)) => predicted_s < *b,
+                    };
+                    if better {
+                        best = Some((
+                            opts,
+                            PipelineDepth(depth),
+                            rows_per_slab,
+                            predicted_s,
+                            host_s,
+                            label,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let Some((options, depth, rows_per_slab, predicted_s, host_s, label)) = best else {
+        return Err(last_fit_error
+            .unwrap_or_else(|| CoreError::InvalidConfig("no feasible execution plan".into())));
+    };
+    Ok(RunPlan {
+        options,
+        depth,
+        rows_per_slab,
+        predicted_s,
+        host_s,
+        label,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InMemorySlabSource;
+
+    /// Small demo geometry plus a stack with gradually decaying
+    /// intensities, so a healthy fraction of pairs clear the cutoff.
+    fn test_scene() -> (ScanGeometry, Vec<f64>) {
+        let geom = ScanGeometry::demo(6, 6, 10, -60.0, 6.0).unwrap();
+        let (p, m, n) = (
+            geom.wire.n_steps,
+            geom.detector.n_rows,
+            geom.detector.n_cols,
+        );
+        let stack: Vec<f64> = (0..p * m * n)
+            .map(|i| {
+                let z = i / (m * n);
+                100.0 - 7.0 * z as f64 + (i % 5) as f64
+            })
+            .collect();
+        (geom, stack)
+    }
+
+    /// Memory-bound rates: few deposits per active pair, so the element
+    /// traffic (not the atomic term) decides the shape comparison.
+    fn test_rates() -> ProbeRates {
+        ProbeRates {
+            frac_active: 0.25,
+            deposits_per_active: 0.5,
+            commits_per_active: 0.4,
+            max_mult: 3,
+            extra_flops_per_active_inkernel: 110.0,
+            extra_flops_per_active_table: 12.0,
+        }
+    }
+
+    fn model_with_density(density: f64) -> SlabModel {
+        let (rows, n_cols, n_pairs) = (32usize, 48usize, 15usize);
+        let live_pairs_sum = (rows * n_pairs) as u64;
+        let live_evals = live_pairs_sum * n_cols as u64;
+        SlabModel {
+            rows,
+            n_cols,
+            n_bins: 200,
+            live_rows: rows,
+            live_pairs_sum,
+            live_evals,
+            entries: (density * live_evals as f64).round() as u64,
+            culled_combos: 0,
+            touched_sum: (rows * (n_pairs + 1)) as u64,
+            rates: ProbeRates {
+                frac_active: density,
+                ..test_rates()
+            },
+        }
+    }
+
+    #[test]
+    fn host_compaction_crossover_matches_charge_constants() {
+        // wins at low density, loses at full density; crossover ≈ 0.846.
+        assert!(host_compaction_wins(1000, 250));
+        assert!(!host_compaction_wins(1000, 1000));
+        assert!(host_compaction_wins(1000, 846));
+        assert!(!host_compaction_wins(1000, 847));
+    }
+
+    #[test]
+    fn plan_slab_compacts_sparse_but_not_full_density() {
+        let props = DeviceProps::tesla_m2070();
+        let sparse = plan_slab(
+            &props,
+            &model_with_density(0.25),
+            Layout::Flat1d,
+            false,
+            CompactionMode::Auto,
+            AccumulationMode::Atomic,
+        );
+        assert!(sparse.compact, "25% density should compact");
+        let full = plan_slab(
+            &props,
+            &model_with_density(1.0),
+            Layout::Flat1d,
+            false,
+            CompactionMode::Auto,
+            AccumulationMode::Atomic,
+        );
+        assert!(!full.compact, "full density must stay dense");
+    }
+
+    #[test]
+    fn plan_slab_fixed_modes_are_honoured() {
+        let props = DeviceProps::tesla_m2070();
+        let m = model_with_density(0.25);
+        let on = plan_slab(
+            &props,
+            &m,
+            Layout::Flat1d,
+            false,
+            CompactionMode::On,
+            AccumulationMode::Atomic,
+        );
+        assert!(on.compact);
+        let off = plan_slab(
+            &props,
+            &m,
+            Layout::Flat1d,
+            false,
+            CompactionMode::Off,
+            AccumulationMode::Atomic,
+        );
+        assert!(!off.compact);
+        assert!(matches!(on.accum, AccumPlan::Atomic { fallback: false }));
+    }
+
+    #[test]
+    fn plan_slab_auto_accumulation_prefers_privatized_when_atomic_bound() {
+        // Dense, deposit-heavy slab on the M2070: the CAS-loop atomic term
+        // dominates the atomic candidate, so privatized must win — the
+        // regime PR 5 measured at ~0.37×.
+        let props = DeviceProps::tesla_m2070();
+        let m = model_with_density(1.0);
+        let d = plan_slab(
+            &props,
+            &m,
+            Layout::Flat1d,
+            false,
+            CompactionMode::Off,
+            AccumulationMode::Auto,
+        );
+        assert!(matches!(d.accum, AccumPlan::Privatized { .. }), "{d:?}");
+    }
+
+    #[test]
+    fn plan_slab_auto_accumulation_falls_back_when_tile_does_not_fit() {
+        let props = DeviceProps::tiny(64 * 1024);
+        // 8 KiB shared / 8 B per bin = 1024 bins max; 2000 cannot fit.
+        let mut m = model_with_density(0.5);
+        m.n_bins = 2000;
+        let d = plan_slab(
+            &props,
+            &m,
+            Layout::Flat1d,
+            false,
+            CompactionMode::Off,
+            AccumulationMode::Auto,
+        );
+        assert!(
+            matches!(d.accum, AccumPlan::Atomic { fallback: true }),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn probe_rates_are_sane_on_a_synthetic_stack() {
+        let (geom, slab) = test_scene();
+        let cfg = ReconstructionConfig::new(-1200.0, 1200.0, 120);
+        let mapper = geom.mapper().unwrap();
+        let n_images = geom.wire.n_steps;
+        let (rows, n_cols) = (geom.detector.n_rows, geom.detector.n_cols);
+        let probe = SlabProbe::sample(&slab, &geom, &mapper, &cfg, n_images, 0, rows, n_cols, None);
+        assert!(probe.sampled_pixels > 0);
+        assert_eq!(probe.evals, probe.sampled_pixels * (n_images as u64 - 1));
+        let r = probe.rates();
+        assert!((0.0..=1.0).contains(&r.frac_active));
+        assert!(r.deposits_per_active >= 0.0);
+        // In-kernel mode triangulates, table mode reads: the in-kernel
+        // FLOP tail must dominate whenever anything was active.
+        if probe.active > 0 {
+            assert!(r.extra_flops_per_active_inkernel > r.extra_flops_per_active_table);
+        }
+    }
+
+    #[test]
+    fn plan_run_returns_a_feasible_scored_plan() {
+        let (geom, images) = test_scene();
+        let cfg = ReconstructionConfig::new(-1200.0, 1200.0, 120);
+        let mut source = InMemorySlabSource::new(
+            images,
+            geom.wire.n_steps,
+            geom.detector.n_rows,
+            geom.detector.n_cols,
+        )
+        .unwrap();
+        let props = DeviceProps::tesla_m2070();
+        let host = HostProps::xeon_e5630();
+        let plan = plan_run(
+            &props,
+            &host,
+            &mut source,
+            &geom,
+            &cfg,
+            TableWarmth::default(),
+        )
+        .unwrap();
+        assert!(plan.predicted_s > 0.0);
+        // 2 layouts × 2 triangulations × 3 depths, ≥ 1 row variant each.
+        assert!(plan.candidates.len() >= 12, "{}", plan.candidates.len());
+        assert!(plan.rows_per_slab >= 1);
+        let min = plan
+            .candidates
+            .iter()
+            .map(|c| c.predicted_s)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(plan.predicted_s, min);
+        assert!(plan
+            .candidates
+            .iter()
+            .any(|c| c.label == plan.label && c.predicted_s == plan.predicted_s));
+        // Warm table cache can only help candidates, never hurt them.
+        let mut source2 = source.clone();
+        let warm = plan_run(
+            &props,
+            &host,
+            &mut source2,
+            &geom,
+            &cfg,
+            TableWarmth {
+                host_warm: true,
+                device_warm: true,
+                resident_budget: u64::MAX,
+            },
+        )
+        .unwrap();
+        assert!(warm.predicted_s <= plan.predicted_s + 1e-12);
+    }
+}

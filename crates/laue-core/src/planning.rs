@@ -127,6 +127,47 @@ impl ShadowCull {
             .filter(|&z| self.pair_row_live(z, detector_row))
             .collect()
     }
+
+    /// Aggregate sparsity structure of a band of detector rows — the counts
+    /// the execution planner needs to cost a slab without re-deriving the
+    /// per-row live lists itself. `touched_sum` uses the same
+    /// consecutive-run accounting as the prescan (a run of `k` consecutive
+    /// live pairs reads `k + 1` images per pixel).
+    pub fn band_profile(&self, band: std::ops::Range<usize>) -> BandProfile {
+        let n_pairs = self.n_steps - 1;
+        let mut profile = BandProfile::default();
+        for row in band {
+            let live = self.live_pairs(row);
+            profile.culled_combos += (n_pairs - live.len()) as u64;
+            if !live.is_empty() {
+                profile.live_rows += 1;
+            }
+            profile.live_combos += live.len() as u64;
+            let mut prev: Option<usize> = None;
+            for &z in &live {
+                profile.touched_sum += if prev == Some(z.wrapping_sub(1)) {
+                    1
+                } else {
+                    2
+                };
+                prev = Some(z);
+            }
+        }
+        profile
+    }
+}
+
+/// What [`ShadowCull::band_profile`] measured over a band of rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BandProfile {
+    /// Rows with at least one live pair.
+    pub live_rows: usize,
+    /// Live `(row, pair)` combos across the band.
+    pub live_combos: u64,
+    /// `(row, pair)` combos removed by wire-shadow culling.
+    pub culled_combos: u64,
+    /// Σ over rows of the per-pixel prescan's touched-image count.
+    pub touched_sum: u64,
 }
 
 /// Per-pixel scan characteristics.

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use cuda_sim::FaultPlan;
 use laue_core::gpu::Layout;
-use laue_core::{AccumulationMode, CompactionMode, ReconstructionConfig};
+use laue_core::{AccumulationMode, CompactionMode, PlanMode, ReconstructionConfig};
 
 use crate::engine::Engine;
 use crate::{GpuFailurePolicy, Pipeline, PipelineError, Result};
@@ -69,6 +69,10 @@ pub struct ReconstructArgs {
     /// (`--accumulation atomic|privatized|auto`; default `atomic` = the
     /// paper's CAS-loop `atomicAdd(double)`).
     pub accumulation: AccumulationMode,
+    /// Execution planning (`--plan fixed|auto`; default `fixed`). Under
+    /// `auto` the cost-model planner picks layout, table placement, ring
+    /// depth, and slab rows, and resolves compaction/accumulation per slab.
+    pub plan: PlanMode,
     pub rows_per_slab: Option<usize>,
     /// Ring depth of the GPU transfer/compute pipeline (`--pipeline-depth`).
     pub pipeline_depth: Option<usize>,
@@ -348,6 +352,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 cutoff: get_parse(&flags, "cutoff", 0.0)?,
                 compaction: CompactionMode::default(),
                 accumulation: AccumulationMode::default(),
+                plan: PlanMode::default(),
                 rows_per_slab: None,
                 pipeline_depth: None,
                 table_cache_mb: None,
@@ -381,6 +386,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "cutoff",
                     "compaction",
                     "accumulation",
+                    "plan",
                     "rows-per-slab",
                     "pipeline-depth",
                     "table-cache-mb",
@@ -437,6 +443,11 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     Some(s) => AccumulationMode::parse(s).ok_or_else(|| {
                         format!("bad --accumulation {s:?} (try atomic, privatized, auto)")
                     })?,
+                },
+                plan: match flags.get("plan") {
+                    None => PlanMode::default(),
+                    Some(s) => PlanMode::parse(s)
+                        .ok_or_else(|| format!("bad --plan {s:?} (try fixed, auto)"))?,
                 },
                 rows_per_slab: flags
                     .get("rows-per-slab")
@@ -510,6 +521,7 @@ USAGE:
                    [--depth-start UM] [--depth-end UM] [--bins N]
                    [--cutoff C] [--compaction off|auto|on]
                    [--accumulation atomic|privatized|auto]
+                   [--plan fixed|auto]
                    [--rows-per-slab R] [--pipeline-depth K]
                    [--table-cache-mb M] [--sim-workers N|0|auto]
                    [--on-gpu-failure abort|fallback-cpu]
@@ -530,7 +542,7 @@ SPARSITY:
                       the work-list to pairs with |ΔI| above the cutoff;
                       output stays bit-identical to the dense path
   --compaction auto   per-slab: prescan, then launch compact only when the
-                      measured active-pair density makes it cheaper
+                      cost model prices the compacted launch cheaper
 
 ACCUMULATION:
   --accumulation atomic      per-deposit CAS-loop atomicAdd(double) on device
@@ -540,8 +552,20 @@ ACCUMULATION:
                              (pixel, bin) cell; slabs whose tile exceeds the
                              device's shared memory fall back to atomic;
                              output stays bit-identical to the atomic path
-  --accumulation auto        privatize whenever the bin tile fits the
-                             device's shared memory
+  --accumulation auto        per-slab: privatize when the cost model prices
+                             the tiled kernel cheaper than the atomic one
+
+PLANNER:
+  --plan fixed  honour the configured engine/flags verbatim (default)
+  --plan auto   single-GPU engines: enumerate layout × table placement ×
+                ring depth × slab rows, predict each candidate's virtual
+                cost with the device's calibrated cost model, and run the
+                argmin; compaction and accumulation resolve per slab by the
+                same model. The chosen plan, its predicted cost, and the
+                prediction error land in the run report's plan block. The
+                resolved plan is part of the journal key: a flip forces a
+                clean restart. CPU and gpu-multi engines ignore --plan auto
+                (per-slab autos still apply on gpu-multi).
 
 CHECKPOINT / RESUME:
   --journal-dir <dir>  journal every committed GPU slab under <dir>; an
@@ -577,6 +601,7 @@ fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
     cfg.intensity_cutoff = args.cutoff;
     cfg.compaction = args.compaction;
     cfg.accumulation = args.accumulation;
+    cfg.plan = args.plan;
     cfg.rows_per_slab = args.rows_per_slab;
     cfg.pipeline_depth = args.pipeline_depth;
     cfg
@@ -709,6 +734,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     table_cache: laue_core::cache::TableCacheStats::default(),
                     slab_densities: Vec::new(),
                     slab_privatized: Vec::new(),
+                    plan: None,
                     fallback: None,
                     recovery: crate::report::RecoveryAccounting::default(),
                 };
@@ -987,6 +1013,30 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--accumulation"));
+    }
+
+    #[test]
+    fn plan_flag_parses() {
+        for (spec, mode) in [("fixed", PlanMode::Fixed), ("auto", PlanMode::Auto)] {
+            let cmd = parse(&sv(&["reconstruct", "--input", "scan.mh5", "--plan", spec])).unwrap();
+            let Command::Reconstruct(a) = cmd else {
+                panic!("wrong command")
+            };
+            assert_eq!(a.plan, mode);
+            assert_eq!(recon_config(&a).plan, mode);
+        }
+
+        // Default stays fixed; bad values are parse errors.
+        let cmd = parse(&sv(&["validate", "--input", "scan.mh5"])).unwrap();
+        let Command::Validate(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.plan, PlanMode::Fixed);
+        assert!(
+            parse(&sv(&["reconstruct", "--input", "x", "--plan", "best"]))
+                .unwrap_err()
+                .contains("--plan")
+        );
     }
 
     #[test]

@@ -119,6 +119,7 @@ mod tests {
                 table_cache: laue_core::cache::TableCacheStats::default(),
                 slab_densities: Vec::new(),
                 slab_privatized: Vec::new(),
+                plan: None,
                 fallback: None,
                 recovery: crate::report::RecoveryAccounting::default(),
             },

@@ -35,6 +35,35 @@ pub struct ResumeInfo {
     pub slabs_replayed: usize,
 }
 
+/// How the cost-model planner chose this run's execution plan, and how
+/// close its prediction came to the measured virtual time — the run's
+/// "explain" block under `--plan auto`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplain {
+    /// Label of the chosen plan (e.g. `flat1d/inkernel/k3/r128`).
+    pub chosen: String,
+    /// Predicted virtual makespan of the chosen plan, seconds.
+    pub predicted_s: f64,
+    /// Modeled host-CPU table/cull seconds (parallel; excluded from the
+    /// makespan prediction like the measured report excludes it).
+    pub host_s: f64,
+    /// Measured virtual makespan of the run that actually executed.
+    pub measured_s: f64,
+    /// Every candidate the planner scored: `(label, predicted seconds)`.
+    pub candidates: Vec<(String, f64)>,
+}
+
+impl PlanExplain {
+    /// Relative prediction error `|predicted − measured| / measured`
+    /// (0 when nothing was measured).
+    pub fn prediction_error(&self) -> f64 {
+        if self.measured_s <= 0.0 {
+            return 0.0;
+        }
+        (self.predicted_s - self.measured_s).abs() / self.measured_s
+    }
+}
+
 /// Everything a reconstruction run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -87,6 +116,9 @@ pub struct RunReport {
     /// ran (`false` = the slab fell back to the atomic path). Empty under
     /// `--accumulation atomic` and for CPU engines.
     pub slab_privatized: Vec<bool>,
+    /// Set when `--plan auto` chose this run's execution plan: what was
+    /// chosen, what it was predicted to cost, and the prediction error.
+    pub plan: Option<PlanExplain>,
     /// Set when the run degraded to another engine after a GPU failure;
     /// records what failed and where execution landed.
     pub fallback: Option<String>,
@@ -172,6 +204,16 @@ impl RunReport {
                 ));
             }
         }
+        if let Some(plan) = &self.plan {
+            s.push_str(&format!(
+                "; plan auto chose {} (predicted {:.4} s, {:.1} % off, \
+                 {} candidate(s) scored)",
+                plan.chosen,
+                plan.predicted_s,
+                100.0 * plan.prediction_error(),
+                plan.candidates.len(),
+            ));
+        }
         if self.gpu_replans > 0 || self.gpu_transfer_retries > 0 {
             s.push_str(&format!(
                 "; recovered from device faults ({} re-plan(s), {} transfer retry(ies))",
@@ -239,6 +281,7 @@ mod tests {
             table_cache: TableCacheStats::default(),
             slab_densities: Vec::new(),
             slab_privatized: Vec::new(),
+            plan: None,
             fallback: None,
             recovery: RecoveryAccounting::default(),
         }
@@ -363,6 +406,28 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("; 4 slab(s)"), "{s}");
         assert!(!s.contains("0 row(s)"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_plan_choice() {
+        let quiet = report().summary();
+        assert!(!quiet.contains("plan auto"), "{quiet}");
+        let mut r = report();
+        r.plan = Some(PlanExplain {
+            chosen: "flat1d/inkernel/k3/r16".into(),
+            predicted_s: 1.8,
+            host_s: 0.0,
+            measured_s: 2.0,
+            candidates: vec![
+                ("flat1d/inkernel/k3/r16".into(), 1.8),
+                ("ptr3d/tables/k1/r16".into(), 3.5),
+            ],
+        });
+        let s = r.summary();
+        assert!(s.contains("plan auto chose flat1d/inkernel/k3/r16"), "{s}");
+        assert!(s.contains("predicted 1.8000 s, 10.0 % off"), "{s}");
+        assert!(s.contains("2 candidate(s) scored"), "{s}");
+        assert!((r.plan.unwrap().prediction_error() - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -5,15 +5,19 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use cuda_sim::{Device, DeviceProps, ExecMode, HostProps};
-use laue_core::cache::{DepthTableCache, TableCacheStats};
+use laue_core::cache::{DepthTableCache, TableCacheStats, TableKey};
 use laue_core::gpu::{self, GpuReconstruction, PipelineDepth};
 use laue_core::journal::{JournalKey, RunJournal, SlabProgress};
 use laue_core::multi::{reconstruct_multi_checkpointed, MultiGpuReconstruction};
-use laue_core::{cpu, ReconstructionConfig, ScanGeometry, ScanView, SlabSource};
+use laue_core::planner::{plan_run, RunPlan, TableWarmth};
+use laue_core::{
+    cpu, AccumulationMode, CompactionMode, PlanMode, ReconstructionConfig, ScanGeometry, ScanView,
+    SlabSource,
+};
 use laue_wire::ScanFile;
 
 use crate::engine::Engine;
-use crate::report::{RecoveryAccounting, ResumeInfo, RunReport};
+use crate::report::{PlanExplain, RecoveryAccounting, ResumeInfo, RunReport};
 use crate::Result;
 
 /// A cheap content fingerprint of a scan file (CRC-32 of the bytes, plus
@@ -190,6 +194,7 @@ impl Pipeline {
                     table_cache: TableCacheStats::default(),
                     slab_densities: out.slab_densities,
                     slab_privatized: Vec::new(),
+                    plan: None,
                     fallback: None,
                     recovery: RecoveryAccounting::default(),
                 })
@@ -218,12 +223,58 @@ impl Pipeline {
         let input_bytes = (dims.0 * dims.1 * dims.2 * 2) as u64;
         self.shared.cache.set_budget(self.table_cache_budget());
 
+        // --plan auto on a single-GPU engine: resolve the run-level plan up
+        // front from the device's cost model. The planner owns every knob
+        // of the planned run, so the per-slab modes are forced to their
+        // auto (cost-driven) settings and the fixed-mode flags are honoured
+        // only under --plan fixed. The fleet engine splits bands
+        // dynamically and keeps only the per-slab autos; CPU engines have
+        // no plan space — neither gets a run-level plan.
+        let plan_auto = cfg.plan == PlanMode::Auto && !matches!(engine, Engine::GpuMulti { .. });
+        let mut cfg_local = cfg.clone();
+        let mut run_plan: Option<RunPlan> = None;
+        let (opts, depth) = if plan_auto {
+            let table_key = TableKey::new(geom, cfg);
+            // Peek (not lookup): warmth must not perturb the cache the
+            // prediction is about. Device warmth only counts on the device
+            // this run will actually reuse.
+            let device_warm = self
+                .shared
+                .device
+                .lock()
+                .unwrap()
+                .as_ref()
+                .is_some_and(|d| {
+                    *d.props() == self.device && self.shared.cache.peek_device(d.id(), &table_key)
+                });
+            let warmth = TableWarmth {
+                host_warm: self.shared.cache.peek_host(&table_key),
+                device_warm,
+                resident_budget: self.table_cache_budget(),
+            };
+            let plan = plan_run(&self.device, &self.host, source, geom, cfg, warmth)?;
+            cfg_local.rows_per_slab = Some(plan.rows_per_slab);
+            cfg_local.pipeline_depth = None;
+            cfg_local.compaction = CompactionMode::Auto;
+            cfg_local.accumulation = AccumulationMode::Auto;
+            let chosen = (plan.options, plan.depth);
+            run_plan = Some(plan);
+            chosen
+        } else {
+            (opts, depth)
+        };
+        let cfg = &cfg_local;
+        let plan_token = match &run_plan {
+            Some(p) => format!("auto:{}", p.label),
+            None => cfg.plan.label().to_string(),
+        };
+
         // Open (or replay) the run journal.
         let mut journal = None;
         let mut resume_info = None;
         let mut progress = match &self.journal_dir {
             Some(dir) => {
-                let key = journal_key(engine, cfg, dims, fingerprint);
+                let key = journal_key(engine, cfg, dims, fingerprint, &plan_token);
                 let jdims = (cfg.n_depth_bins, dims.1, dims.2);
                 let (j, slabs) = RunJournal::open(dir, &key, jdims, self.resume)?;
                 if !slabs.is_empty() {
@@ -279,14 +330,22 @@ impl Pipeline {
                     j.remove()?;
                 }
                 let resolved_depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
-                Ok(gpu_report(
-                    engine,
-                    out,
-                    dims,
-                    input_bytes,
-                    resolved_depth,
-                    resume_info,
-                ))
+                let mut report =
+                    gpu_report(engine, out, dims, input_bytes, resolved_depth, resume_info);
+                // The explain block compares the prediction against the
+                // measured virtual makespan of the very run it planned.
+                report.plan = run_plan.map(|p| PlanExplain {
+                    chosen: p.label,
+                    predicted_s: p.predicted_s,
+                    host_s: p.host_s,
+                    measured_s: report.total_time_s,
+                    candidates: p
+                        .candidates
+                        .into_iter()
+                        .map(|c| (c.label, c.predicted_s))
+                        .collect(),
+                });
+                Ok(report)
             }
             Err(e) => self.degrade_salvage(
                 source,
@@ -470,6 +529,7 @@ impl Pipeline {
             table_cache: TableCacheStats::default(),
             slab_densities,
             slab_privatized: Vec::new(),
+            plan: None,
             fallback: Some(format!(
                 "{} failed ({err}); completed on {}",
                 failed.label(),
@@ -527,6 +587,7 @@ fn gpu_report(
             table_cache: out.table_cache,
             slab_densities: out.slab_densities,
             slab_privatized: out.slab_privatized,
+            plan: None,
             fallback: None,
             recovery: recovery(0),
         },
@@ -552,6 +613,7 @@ fn gpu_report(
             table_cache: out.table_cache,
             slab_densities: out.slab_densities,
             slab_privatized: out.slab_privatized,
+            plan: None,
             fallback: None,
             recovery: recovery(out.devices_lost),
         },
@@ -563,11 +625,14 @@ fn gpu_report(
 /// reconstruction configuration (floats by exact bit pattern), and the
 /// engine. The slab plan deliberately participates too, so changing it
 /// invalidates old journals even though replay would still be correct.
+/// Under `--plan auto` the token carries the *resolved* plan label, so a
+/// plan flip (flag or outcome) forces a clean restart.
 fn journal_key(
     engine: Engine,
     cfg: &ReconstructionConfig,
     dims: (usize, usize, usize),
     fingerprint: Option<u64>,
+    plan_token: &str,
 ) -> JournalKey {
     let mut d = String::new();
     let _ = write!(
@@ -589,12 +654,13 @@ fn journal_key(
     );
     let _ = write!(
         d,
-        "slab={:?};ring={:?};engine={};compaction={};accumulation={}",
+        "slab={:?};ring={:?};engine={};compaction={};accumulation={};plan={}",
         cfg.rows_per_slab,
         cfg.pipeline_depth,
         engine.label(),
         cfg.compaction.label(),
-        cfg.accumulation.label()
+        cfg.accumulation.label(),
+        plan_token
     );
     JournalKey::new(d)
 }
@@ -1078,6 +1144,103 @@ mod tests {
         assert_eq!(r.image.data, baseline.image.data);
 
         std::fs::remove_dir_all(&jdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipping_plan_mode_forces_a_clean_restart() {
+        use laue_core::PlanMode;
+        let (path, _) = scan_file("planflip");
+        let jdir =
+            std::env::temp_dir().join(format!("pipeline_{}_planflip_jrn", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        let mut c = cfg();
+        c.rows_per_slab = Some(2);
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let baseline = Pipeline::default().run_scan_file(&path, &c, gpu).unwrap();
+
+        // Interrupt a fixed-plan run after two committed slabs.
+        let dying = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(2)),
+            journal_dir: Some(jdir.clone()),
+            ..Pipeline::default()
+        };
+        assert!(dying.run_scan_file(&path, &c, gpu).is_err());
+        assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 1);
+
+        // Resuming under --plan auto must NOT replay those slabs: the
+        // resolved plan is part of the journal key, so the run restarts
+        // clean (and still matches the fixed baseline bitwise — planner
+        // choices only relabel work, never change arithmetic).
+        let mut flipped = c.clone();
+        flipped.plan = PlanMode::Auto;
+        let resumed = Pipeline {
+            journal_dir: Some(jdir.clone()),
+            resume: true,
+            ..Pipeline::default()
+        };
+        let r = resumed.run_scan_file(&path, &flipped, gpu).unwrap();
+        assert!(
+            r.recovery.resume.is_none(),
+            "a journal from another execution plan must not be replayed"
+        );
+        assert_eq!(r.image.data, baseline.image.data);
+        let explain = r.plan.as_ref().expect("plan auto records an explain block");
+        assert!(!explain.candidates.is_empty());
+
+        // Same mode, same key: the stale fixed-plan journal is replayable.
+        let r = resumed.run_scan_file(&path, &c, gpu).unwrap();
+        let resume = r.recovery.resume.as_ref().expect("same-mode resume");
+        assert_eq!(resume.slabs_replayed, 2);
+        assert_eq!(r.image.data, baseline.image.data);
+
+        std::fs::remove_dir_all(&jdir).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plan_auto_matches_fixed_bitwise_and_explains_itself() {
+        use laue_core::PlanMode;
+        let (path, _) = scan_file("planauto");
+        let c = cfg();
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let fixed = Pipeline::default().run_scan_file(&path, &c, gpu).unwrap();
+        assert!(fixed.plan.is_none(), "fixed plan records no explain block");
+
+        let mut auto_cfg = c.clone();
+        auto_cfg.plan = PlanMode::Auto;
+        let auto = Pipeline::default()
+            .run_scan_file(&path, &auto_cfg, gpu)
+            .unwrap();
+        assert_eq!(auto.image.data, fixed.image.data);
+        let explain = auto.plan.as_ref().expect("plan auto explain block");
+        assert!(explain.predicted_s > 0.0);
+        assert!(explain.measured_s > 0.0);
+        assert!(
+            explain
+                .candidates
+                .iter()
+                .any(|(label, _)| *label == explain.chosen),
+            "chosen plan {} must appear among scored candidates",
+            explain.chosen
+        );
+        // The chosen plan is the argmin over the scored candidates.
+        let best = explain
+            .candidates
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(explain.predicted_s <= best + 1e-12);
+        assert!(
+            auto.summary().contains("plan auto chose"),
+            "{}",
+            auto.summary()
+        );
+
         std::fs::remove_file(&path).ok();
     }
 
