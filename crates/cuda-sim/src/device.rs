@@ -6,11 +6,12 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::alloc::{Allocator, ALIGN};
+use crate::checksum;
 use crate::error::{SimError, TransferDir};
 use crate::event::Event;
-use crate::fault::{FaultPlan, FaultState, FaultStats};
+use crate::fault::{FaultPlan, FaultState, FaultStats, LaunchEffects, TransferOutcome};
 use crate::host::Host;
-use crate::kernel::{Dim3, LaunchConfig, ThreadCtx, WorkerState};
+use crate::kernel::{Dim3, KernelCorrupt, LaunchConfig, ThreadCtx, WorkerState};
 use crate::memory::{Allocation, DeviceBuffer, DeviceScalar};
 use crate::meter::{Cost, LaunchRecord, Meters};
 use crate::props::{DeviceProps, ExecMode};
@@ -116,6 +117,14 @@ impl Device {
         self.state.lock().exec_mode = mode;
     }
 
+    /// How simulated threads currently run. Verification layers use this to
+    /// pick a comparison tolerance: sequential execution is bit-reproducible
+    /// against a host re-computation, threaded execution only agrees within
+    /// floating-point reassociation tolerance.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.state.lock().exec_mode
+    }
+
     // ------------------------------------------------------------------
     // Fault injection
     // ------------------------------------------------------------------
@@ -172,26 +181,36 @@ impl Device {
 
     /// Consult the fault plan before a transfer. A transient fault still
     /// charges the bus time (the wire was busy while the copy failed) and
-    /// leaves a `"fault"` op in the trace.
-    fn fault_check_transfer(&self, dir: TransferDir, stream: StreamId, bytes: u64) -> Result<()> {
+    /// leaves a `"fault"` op in the trace. A clean consult may still order
+    /// a **silent** payload corruption ([`TransferOutcome::Corrupt`]): the
+    /// copy paths apply it after the payload lands, leave a `"flip"` op in
+    /// the trace, and report success — exactly like real hardware.
+    fn fault_check_transfer(
+        &self,
+        dir: TransferDir,
+        stream: StreamId,
+        bytes: u64,
+    ) -> Result<TransferOutcome> {
         let outcome = match self.fault.lock().as_mut() {
             Some(f) => f.on_transfer(dir),
-            None => Ok(()),
+            None => Ok(TransferOutcome::Clean),
         };
-        if let Err(e) = outcome {
-            if e.is_transient() {
-                let dur = self.props.transfer_time(bytes);
-                let mut st = self.state.lock();
-                let (start_s, end_s) = self.bus_transfer(&mut st, stream, dir, "fault", dur);
-                st.meters.comm_time_s += dur;
-                st.trace
-                    .push_with("fault", stream.index(), start_s, end_s, || {
-                        format!("{} fault {bytes} B", dir.to_string().to_uppercase())
-                    });
+        match outcome {
+            Err(e) => {
+                if e.is_transient() {
+                    let dur = self.props.transfer_time(bytes);
+                    let mut st = self.state.lock();
+                    let (start_s, end_s) = self.bus_transfer(&mut st, stream, dir, "fault", dur);
+                    st.meters.comm_time_s += dur;
+                    st.trace
+                        .push_with("fault", stream.index(), start_s, end_s, || {
+                            format!("{} fault {bytes} B", dir.to_string().to_uppercase())
+                        });
+                }
+                Err(e)
             }
-            return Err(e);
+            Ok(o) => Ok(o),
         }
-        Ok(())
     }
 
     /// Put a transfer of modeled duration `dur` through the host's shared
@@ -220,11 +239,14 @@ impl Device {
         (start_s, end_s)
     }
 
-    /// Consult the fault plan before a kernel launch.
-    fn fault_check_launch(&self) -> Result<()> {
+    /// Consult the fault plan before a kernel launch. A permitted launch
+    /// may carry silent effects (an armed deposit flip, an injected stall)
+    /// that [`launch_shared_on`](Self::launch_shared_on) applies while
+    /// executing it.
+    fn fault_check_launch(&self) -> Result<LaunchEffects> {
         match self.fault.lock().as_mut() {
             Some(f) => f.on_launch(),
-            None => Ok(()),
+            None => Ok(LaunchEffects::CLEAN),
         }
     }
 
@@ -315,19 +337,23 @@ impl Device {
                 host_len: src.len(),
             });
         }
-        if let Err(e) =
-            self.fault_check_transfer(TransferDir::HostToDevice, stream, buf.modeled_bytes())
-        {
-            if e.is_transient() {
-                // A failed DMA may have written any prefix of the buffer;
-                // poison it all so a retry must fully rewrite the data.
-                buf.poison();
-            }
-            return Err(e);
-        }
+        let outcome =
+            match self.fault_check_transfer(TransferDir::HostToDevice, stream, buf.modeled_bytes())
+            {
+                Ok(o) => o,
+                Err(e) => {
+                    if e.is_transient() {
+                        // A failed DMA may have written any prefix of the buffer;
+                        // poison it all so a retry must fully rewrite the data.
+                        buf.poison();
+                    }
+                    return Err(e);
+                }
+            };
         for (i, &v) in src.iter().enumerate() {
             buf.store(i, v);
         }
+        let flipped = apply_flip_device(outcome, buf);
         let bytes = buf.modeled_bytes();
         let dur = self.props.transfer_time(bytes);
         let mut st = self.state.lock();
@@ -340,6 +366,12 @@ impl Device {
             .push_with("h2d", stream.index(), start_s, end_s, || {
                 format!("H2D {bytes} B")
             });
+        if let Some(elem) = flipped {
+            st.trace
+                .push_with("flip", stream.index(), end_s, end_s, || {
+                    format!("H2D silent flip @ element {elem}")
+                });
+        }
         Ok(TimeSpan { start_s, end_s })
     }
 
@@ -375,17 +407,33 @@ impl Device {
             }
             bytes += buf.modeled_bytes();
         }
-        if let Err(e) = self.fault_check_transfer(TransferDir::HostToDevice, stream, bytes) {
-            if e.is_transient() {
-                for (buf, _) in copies {
-                    buf.poison();
+        let outcome = match self.fault_check_transfer(TransferDir::HostToDevice, stream, bytes) {
+            Ok(o) => o,
+            Err(e) => {
+                if e.is_transient() {
+                    for (buf, _) in copies {
+                        buf.poison();
+                    }
                 }
+                return Err(e);
             }
-            return Err(e);
-        }
+        };
         for (buf, src) in copies {
             for (i, &v) in src.iter().enumerate() {
                 buf.store(i, v);
+            }
+        }
+        // A silent flip addresses the transaction's concatenated payload;
+        // walk the copies to find the owning buffer.
+        let mut flipped: Option<usize> = None;
+        if let TransferOutcome::Corrupt { byte } = outcome {
+            let mut off = byte % bytes;
+            for (buf, _) in copies {
+                if off < buf.modeled_bytes() {
+                    flipped = apply_flip_device(TransferOutcome::Corrupt { byte: off }, buf);
+                    break;
+                }
+                off -= buf.modeled_bytes();
             }
         }
         let dur = self.props.transfer_time_batched(bytes);
@@ -402,6 +450,12 @@ impl Device {
             .push_with("h2d", stream.index(), start_s, end_s, || {
                 format!("H2D coalesced {n}×, {bytes} B")
             });
+        if let Some(elem) = flipped {
+            st.trace
+                .push_with("flip", stream.index(), end_s, end_s, || {
+                    format!("H2D silent flip @ element {elem} (coalesced)")
+                });
+        }
         Ok(TimeSpan { start_s, end_s })
     }
 
@@ -428,22 +482,35 @@ impl Device {
                 host_len: dst.len(),
             });
         }
-        if let Err(e) =
-            self.fault_check_transfer(TransferDir::DeviceToHost, stream, buf.modeled_bytes())
-        {
-            if e.is_transient() {
-                // Partial-DMA analogue on the host side: scribble garbage
-                // into the destination so the caller cannot use it.
-                for v in dst.iter_mut() {
-                    *v = T::from_word(0xDEAD_BEEF_DEAD_BEEF);
+        let outcome =
+            match self.fault_check_transfer(TransferDir::DeviceToHost, stream, buf.modeled_bytes())
+            {
+                Ok(o) => o,
+                Err(e) => {
+                    if e.is_transient() {
+                        // Partial-DMA analogue on the host side: scribble garbage
+                        // into the destination so the caller cannot use it.
+                        for v in dst.iter_mut() {
+                            *v = T::from_word(0xDEAD_BEEF_DEAD_BEEF);
+                        }
+                    }
+                    return Err(e);
                 }
-            }
-            return Err(e);
-        }
+            };
         for (i, v) in dst.iter_mut().enumerate() {
             *v = buf.load(i);
         }
         let bytes = buf.modeled_bytes();
+        // A D2H flip lands in the received host copy; device memory keeps
+        // the true data (that asymmetry is what readback CRCs catch).
+        let mut flipped: Option<usize> = None;
+        if let TransferOutcome::Corrupt { byte } = outcome {
+            let off = byte % bytes;
+            let elem = (off / T::SIZE) as usize;
+            let mask = 0x80u64 << (8 * (off % T::SIZE));
+            dst[elem] = T::from_word(dst[elem].to_word() ^ mask);
+            flipped = Some(elem);
+        }
         let dur = self.props.transfer_time(bytes);
         let mut st = self.state.lock();
         let (start_s, end_s) =
@@ -455,7 +522,102 @@ impl Device {
             .push_with("d2h", stream.index(), start_s, end_s, || {
                 format!("D2H {bytes} B")
             });
+        if let Some(elem) = flipped {
+            st.trace
+                .push_with("flip", stream.index(), end_s, end_s, || {
+                    format!("D2H silent flip @ element {elem}")
+                });
+        }
         Ok(TimeSpan { start_s, end_s })
+    }
+
+    // ------------------------------------------------------------------
+    // Checksummed transfers (end-to-end integrity)
+    // ------------------------------------------------------------------
+
+    /// Host FLOPs one CRC64 pass charges per payload byte (a table-driven
+    /// software CRC: one XOR plus one table fold per byte, amortized).
+    pub const CRC64_FLOPS_PER_BYTE: u64 = 4;
+
+    /// [`memcpy_htod_on`](Self::memcpy_htod_on) with end-to-end payload
+    /// verification: a CRC64 is computed over the host staging buffer
+    /// before the copy and recomputed over the landed device words after
+    /// it (modeling a device-side checksum pass; its cost is charged as
+    /// host FLOPs on the overlapped host-CPU resource — no extra bus
+    /// traffic). A mismatch reports [`SimError::CorruptTransfer`], which is
+    /// retryable exactly like a transient transfer fault: a retry re-sends
+    /// the payload.
+    pub fn memcpy_htod_checked_on<T: DeviceScalar>(
+        &self,
+        stream: StreamId,
+        buf: &DeviceBuffer<T>,
+        src: &[T],
+    ) -> Result<TimeSpan> {
+        let expect = checksum::crc64(src.iter().map(|v| v.to_word()));
+        let span = self.memcpy_htod_on(stream, buf, src)?;
+        let landed = checksum::crc64((0..buf.len()).map(|i| buf.word(i).load(Ordering::Relaxed)));
+        self.charge_host_flops(2 * buf.modeled_bytes() * Self::CRC64_FLOPS_PER_BYTE);
+        if landed != expect {
+            return Err(SimError::CorruptTransfer {
+                dir: TransferDir::HostToDevice,
+                index: self.meters().transfers,
+            });
+        }
+        Ok(span)
+    }
+
+    /// [`memcpy_htod_batched`](Self::memcpy_htod_batched) with the same
+    /// end-to-end verification as
+    /// [`memcpy_htod_checked_on`](Self::memcpy_htod_checked_on), applied to
+    /// the transaction's concatenated payload.
+    pub fn memcpy_htod_batched_checked<T: DeviceScalar>(
+        &self,
+        stream: StreamId,
+        copies: &[(&DeviceBuffer<T>, &[T])],
+    ) -> Result<TimeSpan> {
+        let expect = checksum::crc64(
+            copies
+                .iter()
+                .flat_map(|(_, src)| src.iter().map(|v| v.to_word())),
+        );
+        let span = self.memcpy_htod_batched(stream, copies)?;
+        let landed =
+            checksum::crc64(copies.iter().flat_map(|(buf, _)| {
+                (0..buf.len()).map(move |i| buf.word(i).load(Ordering::Relaxed))
+            }));
+        let bytes: u64 = copies.iter().map(|(buf, _)| buf.modeled_bytes()).sum();
+        self.charge_host_flops(2 * bytes * Self::CRC64_FLOPS_PER_BYTE);
+        if landed != expect {
+            return Err(SimError::CorruptTransfer {
+                dir: TransferDir::HostToDevice,
+                index: self.meters().transfers,
+            });
+        }
+        Ok(span)
+    }
+
+    /// [`memcpy_dtoh_on`](Self::memcpy_dtoh_on) with end-to-end payload
+    /// verification: a CRC64 over the device words before the copy is
+    /// compared against a CRC64 over the received host data. A mismatch
+    /// reports [`SimError::CorruptTransfer`] (retryable); the destination
+    /// holds the corrupted payload in that case and must not be used.
+    pub fn memcpy_dtoh_checked_on<T: DeviceScalar>(
+        &self,
+        stream: StreamId,
+        buf: &DeviceBuffer<T>,
+        dst: &mut [T],
+    ) -> Result<TimeSpan> {
+        let expect = checksum::crc64((0..buf.len()).map(|i| buf.word(i).load(Ordering::Relaxed)));
+        let span = self.memcpy_dtoh_on(stream, buf, dst)?;
+        let landed = checksum::crc64(dst.iter().map(|v| v.to_word()));
+        self.charge_host_flops(2 * buf.modeled_bytes() * Self::CRC64_FLOPS_PER_BYTE);
+        if landed != expect {
+            return Err(SimError::CorruptTransfer {
+                dir: TransferDir::DeviceToHost,
+                index: self.meters().transfers,
+            });
+        }
+        Ok(span)
     }
 
     // ------------------------------------------------------------------
@@ -520,11 +682,13 @@ impl Device {
                 self.props.shared_mem_per_block
             )));
         }
-        self.fault_check_launch()?;
+        let effects = self.fault_check_launch()?;
+        let corrupt = effects.flip_op.map(KernelCorrupt::new);
         let exec_mode = self.state.lock().exec_mode;
         let (mut cost, traces) = match exec_mode {
             ExecMode::Sequential => {
                 let mut state = WorkerState::new();
+                state.corrupt = corrupt.clone();
                 run_block_range(
                     cfg,
                     0..cfg.grid.count(),
@@ -549,6 +713,7 @@ impl Device {
                     for _ in 0..workers.min(total as usize).max(1) {
                         scope.spawn(|| {
                             let mut state = WorkerState::new();
+                            state.corrupt = corrupt.clone();
                             loop {
                                 let start = next.fetch_add(grain, Ordering::Relaxed);
                                 if start >= total {
@@ -572,7 +737,20 @@ impl Device {
             }
         };
         cost.shared_request = shared_bytes;
-        let duration = self.props.kernel_time(&cost);
+        // Only flips that actually landed on a deposit count — an armed
+        // launch with fewer deposits than the target ordinal fires nothing.
+        let flip_landed = corrupt
+            .as_ref()
+            .is_some_and(|c| c.fired.load(Ordering::Relaxed));
+        if flip_landed {
+            if let Some(f) = self.fault.lock().as_mut() {
+                f.record_kernel_flip();
+            }
+        }
+        // A stuck kernel occupies the stream for the extra stall with no
+        // error; `cost` stays honest, so a watchdog can detect the hang by
+        // comparing `duration_s` against the cost model's prediction.
+        let duration = self.props.kernel_time(&cost) + effects.stall_s;
         let record = LaunchRecord {
             name: name.to_string(),
             threads: cfg.total_threads(),
@@ -597,6 +775,18 @@ impl Device {
             .push_with("kernel", stream.index(), start_s, end_s, || {
                 record.name.clone()
             });
+        if flip_landed {
+            st.trace
+                .push_with("flip", stream.index(), end_s, end_s, || {
+                    format!("kernel silent flip in {}", record.name)
+                });
+        }
+        if effects.stall_s > 0.0 {
+            st.trace
+                .push_with("stall", stream.index(), start_s, end_s, || {
+                    format!("kernel stall +{:.3e} s in {}", effects.stall_s, record.name)
+                });
+        }
         st.records.push(record.clone());
         Ok(record)
     }
@@ -738,6 +928,23 @@ impl Device {
         st.timelines.reset();
         self.host.release(self.slot);
     }
+}
+
+/// Apply an ordered silent payload flip to a landed device buffer: XOR the
+/// top bit of the addressed byte (wrapped to the payload length). Returns
+/// the flipped element's index so the caller can trace it.
+fn apply_flip_device<T: DeviceScalar>(
+    outcome: TransferOutcome,
+    buf: &DeviceBuffer<T>,
+) -> Option<usize> {
+    let TransferOutcome::Corrupt { byte } = outcome else {
+        return None;
+    };
+    let off = byte % buf.modeled_bytes();
+    let elem = (off / T::SIZE) as usize;
+    let mask = 0x80u64 << (8 * (off % T::SIZE));
+    buf.word(elem).fetch_xor(mask, Ordering::Relaxed);
+    Some(elem)
 }
 
 /// Decompose a linear block index into grid coordinates (x fastest).
@@ -1340,6 +1547,183 @@ mod tests {
         assert_eq!(d.elapsed_s(), 0.25);
         assert_eq!(d.meters(), before, "idle time charges no meter");
         assert!(d.ops().iter().any(|o| o.kind == "idle"));
+    }
+
+    #[test]
+    fn h2d_flip_lands_silently_and_is_traced() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).flip_nth_h2d(1).flip_byte_offset(17));
+        let data = [1.0f64, 2.0, 3.0, 4.0];
+        let buf = d.alloc::<f64>(4).unwrap();
+        d.memcpy_htod(&buf, &data).unwrap();
+        let mut back = [0.0f64; 4];
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        // Byte 17 → element 2, byte 1 → mask 0x8000.
+        let diffs: Vec<usize> = (0..4).filter(|&i| back[i] != data[i]).collect();
+        assert_eq!(diffs, vec![2], "exactly one element corrupted");
+        assert_eq!(back[2].to_bits(), data[2].to_bits() ^ 0x8000);
+        assert_eq!(d.fault_stats().unwrap().h2d_flipped, 1);
+        assert!(d.ops().iter().any(|o| o.kind == "flip"));
+        // One-shot: a fresh upload is clean again.
+        d.memcpy_htod(&buf, &data).unwrap();
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn d2h_flip_corrupts_host_copy_only() {
+        let d = tiny_device();
+        let data = [5.0f64, 6.0];
+        let buf = d.alloc_from_slice(&data).unwrap();
+        d.set_fault_plan(FaultPlan::new(0).flip_nth_d2h(1));
+        let mut back = [0.0f64; 2];
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        assert_eq!(back[0].to_bits(), data[0].to_bits() ^ 0x80);
+        assert_eq!(back[1], data[1]);
+        assert_eq!(d.fault_stats().unwrap().d2h_flipped, 1);
+        // Device memory kept the truth; the next read is clean.
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn batched_flip_addresses_concatenated_payload() {
+        let d = tiny_device();
+        // 8 f64 + 4 f64 = 96 B; byte 70 → second buffer, element 0 byte 6.
+        d.set_fault_plan(FaultPlan::new(0).flip_nth_h2d(1).flip_byte_offset(70));
+        let a = d.alloc::<f64>(8).unwrap();
+        let b = d.alloc::<f64>(4).unwrap();
+        let ha = [1.0f64; 8];
+        let hb = [2.0f64; 4];
+        d.memcpy_htod_batched(StreamId::DEFAULT, &[(&a, &ha), (&b, &hb)])
+            .unwrap();
+        let mut back_a = [0.0f64; 8];
+        let mut back_b = [0.0f64; 4];
+        d.memcpy_dtoh(&a, &mut back_a).unwrap();
+        d.memcpy_dtoh(&b, &mut back_b).unwrap();
+        assert_eq!(back_a, ha, "first buffer untouched");
+        assert_eq!(back_b[0].to_bits(), hb[0].to_bits() ^ (0x80u64 << 48));
+        assert_eq!(&back_b[1..], &hb[1..]);
+    }
+
+    #[test]
+    fn checked_h2d_detects_flip_and_retry_succeeds() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).flip_nth_h2d(1));
+        let data = [1.0f64, 2.0, 3.0];
+        let buf = d.alloc::<f64>(3).unwrap();
+        match d.memcpy_htod_checked_on(StreamId::DEFAULT, &buf, &data) {
+            Err(SimError::CorruptTransfer {
+                dir: TransferDir::HostToDevice,
+                ..
+            }) => {}
+            other => panic!("expected detected corruption, got {other:?}"),
+        }
+        assert!(
+            d.host_flops_time_s() > 0.0,
+            "CRC passes are charged as host FLOPs"
+        );
+        // The retry consumes a fresh ordinal, so the one-shot flip is gone.
+        d.memcpy_htod_checked_on(StreamId::DEFAULT, &buf, &data)
+            .unwrap();
+        let mut back = [0.0f64; 3];
+        d.memcpy_dtoh(&buf, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn checked_batched_h2d_detects_flip() {
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).flip_nth_h2d(1).flip_byte_offset(40));
+        let a = d.alloc::<f64>(4).unwrap();
+        let b = d.alloc::<f64>(2).unwrap();
+        let ha = [1.0f64; 4];
+        let hb = [2.0f64; 2];
+        assert!(matches!(
+            d.memcpy_htod_batched_checked(StreamId::DEFAULT, &[(&a, &ha), (&b, &hb)]),
+            Err(SimError::CorruptTransfer { .. })
+        ));
+        d.memcpy_htod_batched_checked(StreamId::DEFAULT, &[(&a, &ha), (&b, &hb)])
+            .unwrap();
+    }
+
+    #[test]
+    fn checked_d2h_detects_flip_and_passes_clean() {
+        let d = tiny_device();
+        let data = [7.0f64, 8.0, 9.0];
+        let buf = d.alloc_from_slice(&data).unwrap();
+        d.set_fault_plan(FaultPlan::new(0).flip_nth_d2h(1));
+        let mut back = [0.0f64; 3];
+        assert!(matches!(
+            d.memcpy_dtoh_checked_on(StreamId::DEFAULT, &buf, &mut back),
+            Err(SimError::CorruptTransfer {
+                dir: TransferDir::DeviceToHost,
+                ..
+            })
+        ));
+        d.memcpy_dtoh_checked_on(StreamId::DEFAULT, &buf, &mut back)
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn kernel_flip_perturbs_one_deposit_and_is_counted() {
+        let run = |plan: Option<FaultPlan>| -> (Vec<f64>, u64) {
+            let d = tiny_device();
+            if let Some(p) = plan {
+                d.set_fault_plan(p);
+            }
+            let out = d.alloc_zeroed::<f64>(4).unwrap();
+            d.launch("sum", LaunchConfig::linear(16, 4), |ctx| {
+                let i = ctx.global_id().x as usize;
+                ctx.atomic_add_f64(&out, i % 4, 1.5);
+            })
+            .unwrap();
+            let mut host = vec![0.0f64; 4];
+            d.memcpy_dtoh(&out, &mut host).unwrap();
+            let flips = d.fault_stats().map_or(0, |s| s.kernel_flipped);
+            (host, flips)
+        };
+        let (clean, _) = run(None);
+        let (bad, flips) = run(Some(FaultPlan::new(0).flip_nth_kernel(1).flip_op_index(5)));
+        assert_eq!(flips, 1, "the armed flip landed");
+        assert_ne!(
+            clean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            bad.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "a landed flip must change the output bits"
+        );
+        // An armed launch with fewer deposits than the target fires nothing.
+        let (untouched, flips) = run(Some(
+            FaultPlan::new(0).flip_nth_kernel(1).flip_op_index(999),
+        ));
+        assert_eq!(flips, 0);
+        assert_eq!(untouched, clean);
+    }
+
+    #[test]
+    fn stuck_kernel_stalls_stream_but_not_cost() {
+        let clean = {
+            let d = tiny_device();
+            d.launch("work", LaunchConfig::linear(64, 8), |ctx| {
+                ctx.charge_flops(1000);
+            })
+            .unwrap()
+        };
+        let d = tiny_device();
+        d.set_fault_plan(FaultPlan::new(0).stall_nth_kernel(1, 0.5));
+        let stalled = d
+            .launch("work", LaunchConfig::linear(64, 8), |ctx| {
+                ctx.charge_flops(1000);
+            })
+            .unwrap();
+        assert_eq!(stalled.cost, clean.cost, "cost stays honest");
+        assert!((stalled.duration_s - (clean.duration_s + 0.5)).abs() < 1e-12);
+        // The watchdog predicate: observed duration far exceeds what the
+        // cost model predicts for the recorded cost.
+        let predicted = d.props().kernel_time(&stalled.cost);
+        assert!(stalled.duration_s > 4.0 * predicted);
+        assert_eq!(d.fault_stats().unwrap().kernel_stalled, 1);
+        assert!(d.ops().iter().any(|o| o.kind == "stall"));
     }
 
     #[test]

@@ -42,17 +42,25 @@ pub enum SimError {
     /// be retried and the `index`th transfer in that direction is the one
     /// that failed.
     TransferFault { dir: TransferDir, index: u64 },
+    /// A checksummed copy landed with a payload that fails CRC verification
+    /// (silent corruption, *detected*). `index` is the device's transfer
+    /// count at detection. Retryable: a retry re-sends the payload.
+    CorruptTransfer { dir: TransferDir, index: u64 },
     /// The device stopped responding (injected hard failure); every further
     /// operation on it fails with this error.
     DeviceLost,
 }
 
 impl SimError {
-    /// Is this error worth retrying on the same device? Only transient
-    /// transfer faults qualify — out-of-memory wants a smaller plan, and a
-    /// lost device wants a different device (or the CPU).
+    /// Is this error worth retrying on the same device? Transient transfer
+    /// faults and detected-corrupt checksummed copies qualify —
+    /// out-of-memory wants a smaller plan, and a lost device wants a
+    /// different device (or the CPU).
     pub fn is_transient(&self) -> bool {
-        matches!(self, SimError::TransferFault { .. })
+        matches!(
+            self,
+            SimError::TransferFault { .. } | SimError::CorruptTransfer { .. }
+        )
     }
 }
 
@@ -73,6 +81,9 @@ impl fmt::Display for SimError {
             SimError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
             SimError::TransferFault { dir, index } => {
                 write!(f, "transient transfer fault on {dir} copy #{index}")
+            }
+            SimError::CorruptTransfer { dir, index } => {
+                write!(f, "corrupted payload detected on {dir} copy (transfer #{index})")
             }
             SimError::DeviceLost => write!(f, "device lost: it no longer responds"),
         }

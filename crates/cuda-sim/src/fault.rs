@@ -27,6 +27,27 @@
 //! faults surface as ordinary [`SimError::OutOfMemory`] with the real
 //! allocator statistics, so callers handle scripted and genuine OOM through
 //! one code path.
+//!
+//! Beyond fail-stop faults the plan also scripts **silent corruption** —
+//! the failure class no error code announces:
+//!
+//! * **transfer bit flips** — the Nth H2D/D2H copy's payload has one bit
+//!   flipped in flight (the copy *succeeds*; only checksums can tell);
+//! * **kernel bit flips** — during the Nth kernel launch one f64 deposit is
+//!   perturbed by a single bit (a flipped mantissa in device memory);
+//! * **stuck kernels** — the Nth launch takes `stall_s` extra virtual
+//!   seconds with no error, the "hung SM" a watchdog must convert into a
+//!   detected timeout.
+//!
+//! All silent faults are scripted by ordinal and leave a record in the
+//! device's op trace and [`FaultStats`], so chaos runs are replayable.
+//!
+//! Fault ordinals count in **submission order** per direction (H2D, D2H,
+//! launches), and the probabilistic dice are a pure hash of
+//! `(seed, kind, ordinal)` rather than a shared sequential stream — so a
+//! given spec fires at the same logical operation whatever stream
+//! interleaving the ring pipeline chooses (depth 1 and depth 3 see the
+//! same faults).
 
 use crate::error::{SimError, TransferDir};
 
@@ -55,6 +76,23 @@ pub struct FaultPlan {
     /// still complete, so the loss lands exactly at a slab boundary; once
     /// tripped, every operation refuses.
     pub fail_after_launches: Option<u64>,
+    /// Silently flip one bit in the payload of the Nth H2D copy (1-based).
+    /// The copy reports success.
+    pub flip_h2d_nth: Option<u64>,
+    /// Silently flip one bit in the payload of the Nth D2H copy (1-based).
+    pub flip_d2h_nth: Option<u64>,
+    /// Byte offset (into the payload, wrapped by its length) where transfer
+    /// flips land; the top bit of that byte is XOR-ed.
+    pub flip_byte: u64,
+    /// During the Nth kernel launch (1-based), flip one mantissa bit of the
+    /// `flip_op`th f64 deposit ([`crate::ThreadCtx::atomic_add_f64`]).
+    pub flip_kernel_nth: Option<u64>,
+    /// Which f64 deposit of the targeted launch is perturbed (0-based).
+    pub flip_op: u64,
+    /// The Nth kernel launch (1-based) stalls for `stall_s` extra seconds.
+    pub stuck_kernel_nth: Option<u64>,
+    /// Extra virtual seconds the stuck launch takes.
+    pub stall_s: f64,
 }
 
 impl Default for FaultPlan {
@@ -69,6 +107,13 @@ impl Default for FaultPlan {
             report_mem: None,
             fail_after_ops: None,
             fail_after_launches: None,
+            flip_h2d_nth: None,
+            flip_d2h_nth: None,
+            flip_byte: 0,
+            flip_kernel_nth: None,
+            flip_op: 0,
+            stuck_kernel_nth: None,
+            stall_s: 0.0,
         }
     }
 }
@@ -133,6 +178,44 @@ impl FaultPlan {
         self
     }
 
+    /// Silently flip one payload bit of the `n`th H2D copy (1-based).
+    pub fn flip_nth_h2d(mut self, n: u64) -> FaultPlan {
+        self.flip_h2d_nth = Some(n);
+        self
+    }
+
+    /// Silently flip one payload bit of the `n`th D2H copy (1-based).
+    pub fn flip_nth_d2h(mut self, n: u64) -> FaultPlan {
+        self.flip_d2h_nth = Some(n);
+        self
+    }
+
+    /// Payload byte offset transfer flips land on (wrapped by length).
+    pub fn flip_byte_offset(mut self, byte: u64) -> FaultPlan {
+        self.flip_byte = byte;
+        self
+    }
+
+    /// Flip one mantissa bit of a deposit during the `n`th launch (1-based).
+    pub fn flip_nth_kernel(mut self, n: u64) -> FaultPlan {
+        self.flip_kernel_nth = Some(n);
+        self
+    }
+
+    /// Which f64 deposit of the targeted launch is perturbed (0-based).
+    pub fn flip_op_index(mut self, k: u64) -> FaultPlan {
+        self.flip_op = k;
+        self
+    }
+
+    /// Stall the `n`th kernel launch (1-based) for `stall_s` extra seconds.
+    pub fn stall_nth_kernel(mut self, n: u64, stall_s: f64) -> FaultPlan {
+        assert!(stall_s >= 0.0, "stall must be non-negative");
+        self.stuck_kernel_nth = Some(n);
+        self.stall_s = stall_s;
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_active(&self) -> bool {
         self != &FaultPlan {
@@ -153,6 +236,15 @@ pub struct FaultStats {
     pub d2h_failed: u64,
     /// Operations refused because the device was lost.
     pub refused_after_loss: u64,
+    /// H2D payloads silently corrupted.
+    pub h2d_flipped: u64,
+    /// D2H payloads silently corrupted.
+    pub d2h_flipped: u64,
+    /// Kernel deposits silently corrupted (only flips that actually landed
+    /// — an armed launch with fewer deposits than `flip_op` fires nothing).
+    pub kernel_flipped: u64,
+    /// Kernel launches stalled by the stuck-kernel fault.
+    pub kernel_stalled: u64,
 }
 
 impl FaultStats {
@@ -160,13 +252,56 @@ impl FaultStats {
     pub fn total_injected(&self) -> u64 {
         self.allocs_failed + self.h2d_failed + self.d2h_failed
     }
+
+    /// Total *silent* corruptions injected (flips and stalls): faults that
+    /// returned no error and are only observable through integrity checks.
+    pub fn total_silent(&self) -> u64 {
+        self.h2d_flipped + self.d2h_flipped + self.kernel_flipped + self.kernel_stalled
+    }
+
+    /// Fold another device's counters into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.allocs_failed += other.allocs_failed;
+        self.h2d_failed += other.h2d_failed;
+        self.d2h_failed += other.d2h_failed;
+        self.refused_after_loss += other.refused_after_loss;
+        self.h2d_flipped += other.h2d_flipped;
+        self.d2h_flipped += other.d2h_flipped;
+        self.kernel_flipped += other.kernel_flipped;
+        self.kernel_stalled += other.kernel_stalled;
+    }
 }
 
-/// Live fault state: the plan plus deterministic counters and dice.
+/// What the plan wants done to the payload of one (successful) transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TransferOutcome {
+    /// Deliver the payload untouched.
+    Clean,
+    /// Deliver the payload with the top bit of `byte` (wrapped by the
+    /// payload length) flipped — and report success.
+    Corrupt { byte: u64 },
+}
+
+/// Silent effects the plan attaches to one (successful) kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LaunchEffects {
+    /// Flip one mantissa bit of the `flip_op`th f64 deposit.
+    pub(crate) flip_op: Option<u64>,
+    /// Extra virtual seconds the launch takes (stuck kernel).
+    pub(crate) stall_s: f64,
+}
+
+impl LaunchEffects {
+    pub(crate) const CLEAN: LaunchEffects = LaunchEffects {
+        flip_op: None,
+        stall_s: 0.0,
+    };
+}
+
+/// Live fault state: the plan plus deterministic submission-order counters.
 #[derive(Debug)]
 pub(crate) struct FaultState {
     plan: FaultPlan,
-    rng: u64,
     allocs: u64,
     h2d: u64,
     d2h: u64,
@@ -185,10 +320,24 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Uniform draw in `[0, 1)` keyed purely by `(seed, kind, ordinal)` — no
+/// shared mutable stream, so the draw for "the 7th H2D copy" is the same
+/// however allocs, launches and D2H copies interleave around it. This is
+/// what makes probabilistic fault specs stable across pipeline depths.
+fn keyed_dice(seed: u64, kind: u64, ordinal: u64) -> f64 {
+    let mut s = seed
+        ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ordinal.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Dice-stream tags (the `kind` key of [`keyed_dice`]).
+const DICE_H2D_FAIL: u64 = 1;
+const DICE_D2H_FAIL: u64 = 2;
+
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> FaultState {
         FaultState {
-            rng: plan.seed ^ 0xA076_1D64_78BD_642F,
             plan,
             allocs: 0,
             h2d: 0,
@@ -198,11 +347,6 @@ impl FaultState {
             lost: false,
             stats: FaultStats::default(),
         }
-    }
-
-    /// Uniform draw in `[0, 1)`.
-    fn dice(&mut self) -> f64 {
-        (splitmix64(&mut self.rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Gate shared by every device operation: fails permanently once the
@@ -242,21 +386,34 @@ impl FaultState {
         Ok(())
     }
 
-    /// Called before each copy; `dir` picks the counter and dice.
-    pub(crate) fn on_transfer(&mut self, dir: TransferDir) -> Result<(), SimError> {
+    /// Called before each copy; `dir` picks the counter and dice. A clean
+    /// outcome may still ask the caller to corrupt the payload silently.
+    pub(crate) fn on_transfer(&mut self, dir: TransferDir) -> Result<TransferOutcome, SimError> {
         self.check_alive()?;
-        let (count, nth, prob) = match dir {
+        let (count, nth, prob, flip_nth, dice_kind) = match dir {
             TransferDir::HostToDevice => {
                 self.h2d += 1;
-                (self.h2d, self.plan.fail_h2d_nth, self.plan.h2d_fail_prob)
+                (
+                    self.h2d,
+                    self.plan.fail_h2d_nth,
+                    self.plan.h2d_fail_prob,
+                    self.plan.flip_h2d_nth,
+                    DICE_H2D_FAIL,
+                )
             }
             TransferDir::DeviceToHost => {
                 self.d2h += 1;
-                (self.d2h, self.plan.fail_d2h_nth, self.plan.d2h_fail_prob)
+                (
+                    self.d2h,
+                    self.plan.fail_d2h_nth,
+                    self.plan.d2h_fail_prob,
+                    self.plan.flip_d2h_nth,
+                    DICE_D2H_FAIL,
+                )
             }
         };
         let scripted = nth == Some(count);
-        let rolled = prob > 0.0 && self.dice() < prob;
+        let rolled = prob > 0.0 && keyed_dice(self.plan.seed, dice_kind, count) < prob;
         if scripted || rolled {
             match dir {
                 TransferDir::HostToDevice => self.stats.h2d_failed += 1,
@@ -265,14 +422,25 @@ impl FaultState {
             return Err(SimError::TransferFault { dir, index: count });
         }
         self.ops_completed += 1;
-        Ok(())
+        if flip_nth == Some(count) {
+            match dir {
+                TransferDir::HostToDevice => self.stats.h2d_flipped += 1,
+                TransferDir::DeviceToHost => self.stats.d2h_flipped += 1,
+            }
+            return Ok(TransferOutcome::Corrupt {
+                byte: self.plan.flip_byte,
+            });
+        }
+        Ok(TransferOutcome::Clean)
     }
 
     /// Called before each kernel launch. The `fail_after_launches` limit
     /// trips here (and only here): transfers draining already-launched
     /// slabs still complete, so the loss lands exactly at a slab boundary.
-    /// Once tripped, the loss is permanent for every operation.
-    pub(crate) fn on_launch(&mut self) -> Result<(), SimError> {
+    /// Once tripped, the loss is permanent for every operation. A
+    /// successful launch may carry silent effects (a deposit flip or an
+    /// injected stall) the device applies while executing it.
+    pub(crate) fn on_launch(&mut self) -> Result<LaunchEffects, SimError> {
         self.check_alive()?;
         if let Some(limit) = self.plan.fail_after_launches {
             if self.launches >= limit {
@@ -283,7 +451,21 @@ impl FaultState {
         }
         self.ops_completed += 1;
         self.launches += 1;
-        Ok(())
+        let mut effects = LaunchEffects::CLEAN;
+        if self.plan.flip_kernel_nth == Some(self.launches) {
+            effects.flip_op = Some(self.plan.flip_op);
+        }
+        if self.plan.stuck_kernel_nth == Some(self.launches) {
+            effects.stall_s = self.plan.stall_s;
+            self.stats.kernel_stalled += 1;
+        }
+        Ok(effects)
+    }
+
+    /// The armed kernel flip actually landed on a deposit (reported back by
+    /// the executor — a launch with too few deposits fires nothing).
+    pub(crate) fn record_kernel_flip(&mut self) {
+        self.stats.kernel_flipped += 1;
     }
 }
 
@@ -366,6 +548,79 @@ mod tests {
             st.on_transfer(TransferDir::DeviceToHost),
             Err(SimError::DeviceLost)
         ));
+    }
+
+    #[test]
+    fn probabilistic_faults_ignore_interleaving() {
+        // The dice for "the Nth h2d copy" must not depend on how many
+        // allocs, launches or d2h copies happened in between — that is
+        // what keeps fault specs stable across ring pipeline depths.
+        let outcomes = |noise: bool| -> Vec<bool> {
+            let mut st = FaultState::new(FaultPlan::new(9).h2d_fault_rate(0.4));
+            (0..32)
+                .map(|i| {
+                    if noise {
+                        // Interleave unrelated operations.
+                        st.on_alloc().unwrap();
+                        let _ = st.on_transfer(TransferDir::DeviceToHost);
+                        if i % 3 == 0 {
+                            st.on_launch().unwrap();
+                        }
+                    }
+                    st.on_transfer(TransferDir::HostToDevice).is_err()
+                })
+                .collect()
+        };
+        assert_eq!(outcomes(false), outcomes(true));
+        assert!(outcomes(false).iter().any(|&f| f));
+        assert!(outcomes(false).iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn scripted_flip_fires_once_and_reports_success() {
+        let mut st = FaultState::new(FaultPlan::new(0).flip_nth_h2d(2).flip_byte_offset(13));
+        assert_eq!(
+            st.on_transfer(TransferDir::HostToDevice).unwrap(),
+            TransferOutcome::Clean
+        );
+        assert_eq!(
+            st.on_transfer(TransferDir::HostToDevice).unwrap(),
+            TransferOutcome::Corrupt { byte: 13 }
+        );
+        assert_eq!(
+            st.on_transfer(TransferDir::HostToDevice).unwrap(),
+            TransferOutcome::Clean,
+            "flip is one-shot"
+        );
+        assert_eq!(st.stats.h2d_flipped, 1);
+        assert_eq!(st.stats.total_silent(), 1);
+        assert_eq!(
+            st.stats.total_injected(),
+            0,
+            "silent faults are not failures"
+        );
+    }
+
+    #[test]
+    fn kernel_effects_script_by_launch_ordinal() {
+        let mut st = FaultState::new(
+            FaultPlan::new(0)
+                .flip_nth_kernel(2)
+                .flip_op_index(5)
+                .stall_nth_kernel(3, 0.75),
+        );
+        assert_eq!(st.on_launch().unwrap(), LaunchEffects::CLEAN);
+        let fx = st.on_launch().unwrap();
+        assert_eq!(fx.flip_op, Some(5));
+        assert_eq!(fx.stall_s, 0.0);
+        let fx = st.on_launch().unwrap();
+        assert_eq!(fx.flip_op, None);
+        assert_eq!(fx.stall_s, 0.75);
+        assert_eq!(st.on_launch().unwrap(), LaunchEffects::CLEAN);
+        assert_eq!(st.stats.kernel_stalled, 1);
+        assert_eq!(st.stats.kernel_flipped, 0, "flip counts only when it lands");
+        st.record_kernel_flip();
+        assert_eq!(st.stats.kernel_flipped, 1);
     }
 
     #[test]

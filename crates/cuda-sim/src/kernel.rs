@@ -1,6 +1,7 @@
 //! Kernel launch geometry and the per-thread execution context.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::SimError;
 use crate::memory::{DeviceBuffer, DeviceScalar};
@@ -104,12 +105,44 @@ impl LaunchConfig {
     }
 }
 
+/// XOR mask a kernel-flip fault applies to the targeted f64 deposit: the
+/// top exponent bit. For |v| < 2 the perturbed deposit becomes huge (or
+/// non-finite), for |v| ≥ 2 it collapses towards zero — either way the
+/// accumulated sum changes decisively, so a bitwise ABFT comparison always
+/// notices a landed flip.
+const KERNEL_FLIP_MASK: u64 = 1 << 62;
+
+/// Armed silent-corruption state for one launch (see [`crate::fault`]):
+/// flip the `target`-th f64 deposit, counted in execution order across all
+/// workers through the shared `counter`. Under the default sequential
+/// executor the ordinal is fully deterministic; under
+/// [`crate::ExecMode::Threaded`] which deposit it names depends on worker
+/// scheduling, but exactly one deposit is perturbed either way.
+#[derive(Debug, Clone)]
+pub(crate) struct KernelCorrupt {
+    pub(crate) target: u64,
+    pub(crate) counter: Arc<AtomicU64>,
+    pub(crate) fired: Arc<AtomicBool>,
+}
+
+impl KernelCorrupt {
+    pub(crate) fn new(target: u64) -> KernelCorrupt {
+        KernelCorrupt {
+            target,
+            counter: Arc::new(AtomicU64::new(0)),
+            fired: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
 /// Per-worker scratch shared by all threads that worker simulates.
 #[derive(Debug)]
 pub(crate) struct WorkerState {
     pub cost: Cost,
     pub chain: ChainEstimator,
     pub traces: [u64; crate::meter::TRACE_SLOTS],
+    /// Armed deposit flip for this launch (shared across workers), if any.
+    pub corrupt: Option<KernelCorrupt>,
 }
 
 impl WorkerState {
@@ -118,6 +151,7 @@ impl WorkerState {
             cost: Cost::default(),
             chain: ChainEstimator::new(),
             traces: [0; crate::meter::TRACE_SLOTS],
+            corrupt: None,
         }
     }
 }
@@ -221,6 +255,13 @@ impl ThreadCtx<'_> {
     /// native f64 atomicAdd). Returns the value before the addition.
     #[inline]
     pub fn atomic_add_f64(&mut self, buf: &DeviceBuffer<f64>, i: usize, v: f64) -> f64 {
+        let mut v = v;
+        if let Some(c) = &self.state.corrupt {
+            if c.counter.fetch_add(1, Ordering::Relaxed) == c.target {
+                v = f64::from_bits(v.to_bits() ^ KERNEL_FLIP_MASK);
+                c.fired.store(true, Ordering::Relaxed);
+            }
+        }
         self.state.cost.atomic_ops += 1;
         self.state.cost.mem_bytes += 8;
         self.state.chain.record(i);

@@ -57,6 +57,7 @@
 //! ```
 
 pub mod alloc;
+pub mod checksum;
 pub mod device;
 pub mod error;
 pub mod event;

@@ -13,9 +13,11 @@
 //! operating point, optionally (second float) the maximum allowed
 //! privatized/atomic kernel-time ratio, optionally (third float) the
 //! maximum allowed depth-3/serial ring elapsed ratio under the shared-bus
-//! model, and optionally (fourth float) the maximum allowed
-//! plan-auto/best-fixed total-time ratio (`#` comments allowed); the
-//! process exits non-zero if a measured ratio regresses past its budget.
+//! model, optionally (fourth float) the maximum allowed
+//! plan-auto/best-fixed total-time ratio, and optionally (fifth float) the
+//! maximum allowed `--integrity verify`/off total-time ratio (`#` comments
+//! allowed); the process exits non-zero if a measured ratio regresses past
+//! its budget.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,7 +26,7 @@ use cuda_sim::{Device, DeviceProps};
 use laue_bench::{delta_percentile, standard_config, Workload};
 use laue_core::cache::TableCacheStats;
 use laue_core::gpu::{self, GpuOptions, PipelineDepth};
-use laue_core::{AccumulationMode, CompactionMode, PlanMode};
+use laue_core::{AccumulationMode, CompactionMode, IntegrityMode, PlanMode};
 use laue_pipeline::{Engine, Pipeline};
 
 fn json_stats(s: &TableCacheStats) -> String {
@@ -78,8 +80,16 @@ fn main() {
                 row,
                 ", \"{key}\": {{\"total_s\": {:.9}, \"comm_s\": {:.9}, \
                  \"bus_wait_s\": {:.9}, \"compute_s\": {:.9}, \
-                 \"pipeline_depth\": {}}}",
-                r.total_time_s, r.comm_time_s, r.bus_wait_s, r.compute_time_s, r.pipeline_depth
+                 \"pipeline_depth\": {}, \"replans\": {}, \
+                 \"transfer_retries\": {}, \"trace_dropped\": {}}}",
+                r.total_time_s,
+                r.comm_time_s,
+                r.bus_wait_s,
+                r.compute_time_s,
+                r.pipeline_depth,
+                r.gpu_replans,
+                r.gpu_transfer_retries,
+                r.trace_dropped
             )
             .unwrap();
         }
@@ -293,6 +303,63 @@ fn main() {
     let (best_fixed_label, best_fixed_s) = best_fixed.expect("fixed field is non-empty");
     let planner_ratio = auto_plan.total_time_s / best_fixed_s;
 
+    // 8. End-to-end data integrity: the verification overhead of
+    // `--integrity verify` on the clean Fig 8 stack (`--check` gates the
+    // verify/off total-time ratio when the baseline holds a fifth float),
+    // and a scrub run under injected silent corruption that must come back
+    // bit-identical with every detection corrected.
+    let run_integrity = |mode: IntegrityMode, plan: Option<cuda_sim::FaultPlan>| {
+        let mut c = standard_config();
+        c.integrity = mode;
+        let p = Pipeline {
+            fault_plan: plan,
+            ..Pipeline::default()
+        };
+        let mut source = w.source();
+        p.run_source(&mut source, &w.scan.geometry, &c, Engine::GpuPipelined)
+            .expect("integrity run")
+    };
+    let integrity_off = run_integrity(IntegrityMode::Off, None);
+    let verify = run_integrity(IntegrityMode::Verify, None);
+    assert_eq!(
+        integrity_off.image.data, verify.image.data,
+        "verification must not change a clean run's bits"
+    );
+    assert!(verify.integrity.checks_run > 0, "verify ran no checks");
+    assert_eq!(
+        verify.integrity.corruptions_detected, 0,
+        "no false positives on a healthy device"
+    );
+    let integrity_ratio = verify.total_time_s / integrity_off.total_time_s;
+    let scrub = run_integrity(
+        IntegrityMode::Scrub,
+        Some(
+            cuda_sim::FaultPlan::new(5)
+                .flip_nth_h2d(2)
+                .flip_nth_kernel(1)
+                .flip_op_index(3),
+        ),
+    );
+    assert_eq!(
+        integrity_off.image.data, scrub.image.data,
+        "scrub must repair injected corruption bit-identically"
+    );
+    let scrub_injected = scrub.faults_injected.expect("fault plan installed");
+    assert!(
+        scrub_injected.total_silent() >= 1,
+        "the schedule injected nothing: {scrub_injected:?}"
+    );
+    assert!(
+        scrub.integrity.corruptions_detected >= 1,
+        "injected corruption went undetected: {:?}",
+        scrub.integrity
+    );
+    assert_eq!(
+        scrub.integrity.corruptions_corrected, scrub.integrity.corruptions_detected,
+        "scrub left a detection unrepaired: {:?}",
+        scrub.integrity
+    );
+
     let mut json = String::from("{\n");
     writeln!(json, "  \"generated_by\": \"bench_report\",").unwrap();
     writeln!(json, "  \"quick\": {quick},").unwrap();
@@ -419,6 +486,53 @@ fn main() {
     writeln!(json, "    \"best_fixed_total_s\": {best_fixed_s:.9},").unwrap();
     writeln!(json, "    \"auto_over_best\": {planner_ratio:.6}").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"integrity\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"off_total_s\": {:.9},",
+        integrity_off.total_time_s
+    )
+    .unwrap();
+    writeln!(json, "    \"verify_total_s\": {:.9},", verify.total_time_s).unwrap();
+    writeln!(json, "    \"verify_over_off\": {integrity_ratio:.6},").unwrap();
+    writeln!(
+        json,
+        "    \"verify_checks\": {},",
+        verify.integrity.checks_run
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"verify_overhead_s\": {:.9},",
+        verify.integrity.verify_overhead_s
+    )
+    .unwrap();
+    writeln!(json, "    \"scrub_total_s\": {:.9},", scrub.total_time_s).unwrap();
+    writeln!(
+        json,
+        "    \"scrub_silent_injected\": {},",
+        scrub_injected.total_silent()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"scrub_detected\": {},",
+        scrub.integrity.corruptions_detected
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"scrub_corrected\": {},",
+        scrub.integrity.corruptions_corrected
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"scrub_retries\": {}",
+        scrub.integrity.scrub_retries
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(
         json,
         "  \"wall_clock_s\": {:.3}",
@@ -456,6 +570,16 @@ fn main() {
         best_fixed_label,
         best_fixed_s,
         planner_ratio,
+    );
+    println!(
+        "integrity: off {:.4} s → verify {:.4} s (ratio {:.3}, {} check(s)); \
+         scrub corrected {}/{} injected silent fault(s)",
+        integrity_off.total_time_s,
+        verify.total_time_s,
+        integrity_ratio,
+        verify.integrity.checks_run,
+        scrub.integrity.corruptions_corrected,
+        scrub_injected.total_silent(),
     );
 
     if let Some(path) = check_path {
@@ -519,6 +643,19 @@ fn main() {
             }
             println!(
                 "perf gate: plan-auto/best-fixed ratio {planner_ratio:.4} within budget {planner_budget:.4}"
+            );
+        }
+        if let Some(&integrity_budget) = budgets.get(4) {
+            if integrity_ratio > integrity_budget {
+                eprintln!(
+                    "PERF REGRESSION: verify/off total-time ratio {integrity_ratio:.4} \
+                     exceeds the committed budget {integrity_budget:.4} ({path}) — \
+                     integrity verification stopped hiding behind the overlapped host CPU"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf gate: verify/off ratio {integrity_ratio:.4} within budget {integrity_budget:.4}"
             );
         }
     }

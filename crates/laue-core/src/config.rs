@@ -53,6 +53,67 @@ pub enum AccumulationMode {
     Auto,
 }
 
+/// End-to-end data-integrity policy for a run (see `laue_core::integrity`).
+///
+/// Silent corruption — a flipped bit in a DMA payload, a wrong sum from a
+/// "successful" kernel, a hung launch — carries no error code, so the only
+/// defence is redundant checking. The modes trade verification cost for
+/// coverage; every mode still produces bit-identical images on a healthy
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// No integrity checking (the behaviour of every release before this
+    /// knob). Silent corruption propagates to the output undetected.
+    #[default]
+    Off,
+    /// Detect: checksummed transfers (CRC64 before/after the wire),
+    /// ABFT-style per-slab depth-sum verification against a redundant host
+    /// computation, and a per-launch watchdog deadline. A detected
+    /// corruption aborts the run with a detected-corruption error rather
+    /// than exporting bad data.
+    Verify,
+    /// Detect and repair: everything `verify` does, plus quarantine of the
+    /// failed slab, bounded re-execution with exponential backoff, and a
+    /// host-side repair path if the device keeps corrupting. The run
+    /// completes bit-identical to a fault-free run, flagged
+    /// `INTEGRITY-DEGRADED` when anything had to be corrected.
+    Scrub,
+}
+
+impl IntegrityMode {
+    /// Stable lower-case label used by the CLI and the run journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntegrityMode::Off => "off",
+            IntegrityMode::Verify => "verify",
+            IntegrityMode::Scrub => "scrub",
+        }
+    }
+
+    /// Parse a CLI spelling (`off`, `verify`, `scrub`).
+    pub fn parse(s: &str) -> Option<IntegrityMode> {
+        match s {
+            "off" => Some(IntegrityMode::Off),
+            "verify" => Some(IntegrityMode::Verify),
+            "scrub" => Some(IntegrityMode::Scrub),
+            _ => None,
+        }
+    }
+
+    /// Whether any integrity checking runs at all.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, IntegrityMode::Off)
+    }
+
+    /// Whether a detected corruption is repaired in place (re-execute /
+    /// host fallback) instead of aborting the run.
+    #[inline]
+    pub fn repairs(self) -> bool {
+        matches!(self, IntegrityMode::Scrub)
+    }
+}
+
 /// How the execution strategy for a run is chosen.
 ///
 /// Every plan produces bit-identical images — layout, pipeline depth,
@@ -147,6 +208,11 @@ impl CompactionMode {
     }
 }
 
+/// Default watchdog deadline multiplier: generous enough that cost-model
+/// prediction error (< 15 % per the planner's validation sweep) never trips
+/// it, tight enough that an injected multi-× stall always does.
+pub const DEFAULT_WATCHDOG_MULTIPLIER: f64 = 4.0;
+
 /// Parameters of a depth reconstruction run.
 ///
 /// ```
@@ -191,6 +257,15 @@ pub struct ReconstructionConfig {
     /// ([`PlanMode::Fixed`], the default) or chosen by the cost-model
     /// planner ([`PlanMode::Auto`]).
     pub plan: PlanMode,
+    /// End-to-end data-integrity policy (checksummed transfers, ABFT
+    /// depth-sum verification, launch watchdog, scrub/re-execute).
+    /// Defaults to [`IntegrityMode::Off`].
+    pub integrity: IntegrityMode,
+    /// Watchdog deadline per kernel launch, as a multiple of the cost
+    /// model's predicted kernel time: a launch observed to take longer
+    /// than `watchdog_multiplier ×` the prediction is treated as hung
+    /// (only with [`IntegrityMode`] ≠ `Off`).
+    pub watchdog_multiplier: f64,
 }
 
 impl ReconstructionConfig {
@@ -207,6 +282,8 @@ impl ReconstructionConfig {
             compaction: CompactionMode::default(),
             accumulation: AccumulationMode::default(),
             plan: PlanMode::default(),
+            integrity: IntegrityMode::default(),
+            watchdog_multiplier: DEFAULT_WATCHDOG_MULTIPLIER,
         }
     }
 
@@ -241,6 +318,12 @@ impl ReconstructionConfig {
             return Err(CoreError::InvalidConfig(
                 "pipeline_depth must be ≥ 1".into(),
             ));
+        }
+        if !self.watchdog_multiplier.is_finite() || self.watchdog_multiplier <= 1.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "watchdog multiplier {} must be finite and > 1",
+                self.watchdog_multiplier
+            )));
         }
         Ok(())
     }
@@ -334,6 +417,35 @@ mod tests {
         assert_eq!(AccumulationMode::parse("shared"), None);
         assert!(AccumulationMode::Privatized.wants_privatized());
         assert!(AccumulationMode::Auto.wants_privatized());
+    }
+
+    #[test]
+    fn integrity_mode_round_trips_and_defaults_off() {
+        let c = ReconstructionConfig::new(-100.0, 100.0, 50);
+        assert_eq!(c.integrity, IntegrityMode::Off);
+        assert!(!c.integrity.enabled());
+        assert_eq!(c.watchdog_multiplier, DEFAULT_WATCHDOG_MULTIPLIER);
+        for m in [
+            IntegrityMode::Off,
+            IntegrityMode::Verify,
+            IntegrityMode::Scrub,
+        ] {
+            assert_eq!(IntegrityMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(IntegrityMode::parse("abft"), None);
+        assert!(IntegrityMode::Verify.enabled() && !IntegrityMode::Verify.repairs());
+        assert!(IntegrityMode::Scrub.enabled() && IntegrityMode::Scrub.repairs());
+    }
+
+    #[test]
+    fn watchdog_multiplier_is_validated() {
+        let mut c = ReconstructionConfig::new(-100.0, 100.0, 50);
+        c.watchdog_multiplier = 1.0;
+        assert!(c.validate().is_err());
+        c.watchdog_multiplier = f64::INFINITY;
+        assert!(c.validate().is_err());
+        c.watchdog_multiplier = 2.5;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -67,8 +67,10 @@ pub(crate) fn check_shapes(view: &ScanView<'_>, geom: &ScanGeometry) -> Result<(
 /// Reconstruct a row range into a slab-local image (rows are relative to
 /// `rows.start`). `detector_row_offset` maps the view's row indices onto
 /// detector rows (non-zero when `view` is a streamed slab). Shared by the
-/// sequential, threaded and streaming engines.
-fn reconstruct_rows(
+/// sequential, threaded and streaming engines, and by the integrity layer
+/// as the redundant host reference against which GPU slab output is
+/// checked (the dense order here matches the sequential device exactly).
+pub(crate) fn reconstruct_rows(
     view: &ScanView<'_>,
     geom: &ScanGeometry,
     mapper: &DepthMapper,

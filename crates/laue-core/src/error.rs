@@ -22,13 +22,20 @@ pub enum CoreError {
     Source(String),
     /// The run journal could not be read or written (checkpoint/resume).
     Journal(String),
+    /// An integrity check caught silent corruption that could not (or, in
+    /// `verify` mode, must not) be repaired. Deliberately **not** a GPU
+    /// failure: failing over to another executor would re-export data a
+    /// check already condemned, so the run aborts instead.
+    IntegrityViolation(String),
 }
 
 impl CoreError {
     /// Did the GPU path fail in a way the caller could sidestep by using a
     /// different executor (CPU fallback, another device)? Capacity and
     /// device errors qualify; configuration and shape errors would fail
-    /// identically everywhere.
+    /// identically everywhere, and a detected integrity violation must
+    /// abort — silently re-running corrupt work elsewhere defeats the
+    /// check.
     pub fn is_gpu_failure(&self) -> bool {
         matches!(
             self,
@@ -51,6 +58,12 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Source(what) => write!(f, "slab source error: {what}"),
             CoreError::Journal(what) => write!(f, "journal error: {what}"),
+            CoreError::IntegrityViolation(what) => {
+                write!(
+                    f,
+                    "integrity violation (silent corruption detected): {what}"
+                )
+            }
         }
     }
 }
@@ -109,5 +122,8 @@ mod tests {
         .is_gpu_failure());
         assert!(!CoreError::InvalidConfig("x".into()).is_gpu_failure());
         assert!(!CoreError::ShapeMismatch("x".into()).is_gpu_failure());
+        // A detected corruption must abort, never fail over: failover would
+        // re-export data a check already condemned.
+        assert!(!CoreError::IntegrityViolation("x".into()).is_gpu_failure());
     }
 }

@@ -41,7 +41,7 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 
-use cuda_sim::{Device, DeviceBuffer, LaunchConfig, Meters, StreamId};
+use cuda_sim::{Device, DeviceBuffer, ExecMode, LaunchConfig, Meters, StreamId};
 use laue_geometry::{DepthMapper, Vec3};
 
 use crate::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
@@ -49,6 +49,7 @@ use crate::config::{AccumulationMode, CompactionMode, ReconstructionConfig};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
 use crate::input::SlabSource;
+use crate::integrity::{self, IntegrityReport};
 use crate::journal::{RunJournal, SlabProgress};
 use crate::output::DepthImage;
 use crate::pair::{plan_pair, PairPlan, PRESCAN_BYTES_PER_READ, PRESCAN_FLOPS_PER_PAIR};
@@ -218,26 +219,53 @@ pub struct RecoveryLog {
 /// Run a host↔device copy, absorbing transient faults with bounded,
 /// exponentially growing backoff (idle time on `stream` in virtual time).
 /// Non-transient errors — OOM, lost device — propagate immediately.
+///
+/// With `integrity` attached the copy is a CRC-checked one: the CRC's host
+/// FLOPs (charged inside the checked variants) are billed to
+/// `verify_overhead_s`, and every [`cuda_sim::SimError::CorruptTransfer`]
+/// counts as a detected corruption — corrected when a retry eventually
+/// lands the payload cleanly.
 fn retry_transfer<T>(
     device: &Device,
     stream: StreamId,
     recovery: &mut RecoveryLog,
+    integrity: Option<&mut IntegrityReport>,
     mut copy: impl FnMut() -> cuda_sim::Result<T>,
 ) -> Result<T> {
     let mut backoff = BACKOFF_BASE_S;
     let mut attempts = 0u32;
-    loop {
+    let mut crc_hits = 0u64;
+    let host_t0 = device.host_flops_time_s();
+    let result = loop {
         match copy() {
-            Ok(v) => return Ok(v),
+            Ok(v) => break Ok(v),
             Err(e) if e.is_transient() && attempts < MAX_TRANSFER_RETRIES => {
+                if matches!(e, cuda_sim::SimError::CorruptTransfer { .. }) {
+                    crc_hits += 1;
+                }
                 attempts += 1;
                 recovery.transfer_retries += 1;
                 device.delay(stream, backoff);
                 backoff *= 2.0;
             }
-            Err(e) => return Err(CoreError::Device(e)),
+            Err(e) => {
+                if matches!(e, cuda_sim::SimError::CorruptTransfer { .. }) {
+                    crc_hits += 1;
+                }
+                break Err(CoreError::Device(e));
+            }
+        }
+    };
+    if let Some(report) = integrity {
+        report.checks_run += 1;
+        report.verify_overhead_s += device.host_flops_time_s() - host_t0;
+        report.transfer_crc_failures += crc_hits;
+        report.corruptions_detected += crc_hits;
+        if result.is_ok() {
+            report.corruptions_corrected += crc_hits;
         }
     }
+    result
 }
 
 /// Result of a GPU reconstruction.
@@ -280,6 +308,9 @@ pub struct GpuReconstruction {
     /// accumulator (`false` = atomic fallback or an empty launch domain).
     /// Empty under `--accumulation atomic`.
     pub slab_privatized: Vec<bool>,
+    /// What the integrity layer detected and repaired (all zeros under
+    /// [`crate::config::IntegrityMode::Off`]).
+    pub integrity: IntegrityReport,
 }
 
 /// Modeled device bytes needed for `slots` concurrently resident slabs of
@@ -581,8 +612,10 @@ pub(crate) fn upload_slab(
     rows: usize,
     recovery: &mut RecoveryLog,
     cull: Option<&ShadowCull>,
+    integrity: &mut IntegrityReport,
 ) -> Result<SlabUpload> {
     let layout = opts.layout;
+    let checked = cfg.integrity.enabled();
     let n_images = source.n_images();
     let n_cols = source.n_cols();
     let slab = source.read_slab(row0, rows)?;
@@ -715,8 +748,13 @@ pub(crate) fn upload_slab(
                 batch.push((buf, data));
             }
             batch.push((&intensity, &slab));
-            let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_htod_batched(stream, &batch)
+            let report = if checked { Some(&mut *integrity) } else { None };
+            let span = retry_transfer(device, stream, recovery, report, || {
+                if checked {
+                    device.memcpy_htod_batched_checked(stream, &batch)
+                } else {
+                    device.memcpy_htod_batched(stream, &batch)
+                }
             })?;
             (SlabBuffers::Flat { intensity, output }, span.end_s)
         }
@@ -740,8 +778,13 @@ pub(crate) fn upload_slab(
             for (z, buf) in images.iter().enumerate() {
                 batch.push((buf, &slab[z * per_image..(z + 1) * per_image]));
             }
-            let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_htod_batched(stream, &batch)
+            let report = if checked { Some(&mut *integrity) } else { None };
+            let span = retry_transfer(device, stream, recovery, report, || {
+                if checked {
+                    device.memcpy_htod_batched_checked(stream, &batch)
+                } else {
+                    device.memcpy_htod_batched(stream, &batch)
+                }
             })?;
             let mut ready_at = span.end_s;
             // The pointer tables themselves must also be shipped.
@@ -751,8 +794,13 @@ pub(crate) fn upload_slab(
             let bin_table = device.alloc::<u64>(bin_ptrs.len())?;
             let ptr_batch: Vec<(&DeviceBuffer<u64>, &[u64])> =
                 vec![(&image_table, &image_ptrs), (&bin_table, &bin_ptrs)];
-            let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_htod_batched(stream, &ptr_batch)
+            let report = if checked { Some(&mut *integrity) } else { None };
+            let span = retry_transfer(device, stream, recovery, report, || {
+                if checked {
+                    device.memcpy_htod_batched_checked(stream, &ptr_batch)
+                } else {
+                    device.memcpy_htod_batched(stream, &ptr_batch)
+                }
             })?;
             ready_at = ready_at.max(span.end_s);
             (
@@ -1265,6 +1313,7 @@ where
 /// Download one slab's output and merge it into the full image. Returns
 /// the virtual time when the last D2H copy completes (the ring uses it as
 /// the slot-free edge for the next upload).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn download_slab(
     device: &Device,
     stream: StreamId,
@@ -1273,14 +1322,21 @@ pub(crate) fn download_slab(
     cfg: &ReconstructionConfig,
     n_cols: usize,
     recovery: &mut RecoveryLog,
+    integrity: &mut IntegrityReport,
 ) -> Result<f64> {
     let rows = upload.rows;
+    let checked = cfg.integrity.enabled();
     let mut done_at = 0.0f64;
     match &upload.buffers {
         SlabBuffers::Flat { output, .. } => {
             let mut host = vec![0.0f64; cfg.n_depth_bins * rows * n_cols];
-            let span = retry_transfer(device, stream, recovery, || {
-                device.memcpy_dtoh_on(stream, output, &mut host)
+            let report = if checked { Some(&mut *integrity) } else { None };
+            let span = retry_transfer(device, stream, recovery, report, || {
+                if checked {
+                    device.memcpy_dtoh_checked_on(stream, output, &mut host)
+                } else {
+                    device.memcpy_dtoh_on(stream, output, &mut host)
+                }
             })?;
             done_at = span.end_s;
             // The host buffer is already in slab layout; assign (don't
@@ -1291,8 +1347,13 @@ pub(crate) fn download_slab(
             // One D2H per bin: the 3D layout pays latency both ways.
             let mut host = vec![0.0f64; rows * n_cols];
             for (bin, buf) in bins.iter().enumerate() {
-                let span = retry_transfer(device, stream, recovery, || {
-                    device.memcpy_dtoh_on(stream, buf, &mut host)
+                let report = if checked { Some(&mut *integrity) } else { None };
+                let span = retry_transfer(device, stream, recovery, report, || {
+                    if checked {
+                        device.memcpy_dtoh_checked_on(stream, buf, &mut host)
+                    } else {
+                        device.memcpy_dtoh_on(stream, buf, &mut host)
+                    }
                 })?;
                 done_at = done_at.max(span.end_s);
                 for r in 0..rows {
@@ -1306,13 +1367,28 @@ pub(crate) fn download_slab(
     Ok(done_at)
 }
 
-/// A slab-commit observer: called once per slab, immediately after its D2H
-/// download lands, with `(row0, rows, per-slab stats, slab rows of the
-/// image)`. This is the checkpoint layer's hook into the ring — the journal
-/// appends the record before the ring moves on, so a slab is either fully
-/// durable or not committed at all.
-pub(crate) type SlabSink<'a> =
-    Option<&'a mut dyn FnMut(usize, usize, &ReconStats, &[f64]) -> Result<()>>;
+/// What the ring reports to its slab observer.
+pub(crate) enum SlabEvent<'e> {
+    /// A slab passed its checks (or ran unchecked) and its rows are final:
+    /// `(row0, rows, per-slab stats, slab rows of the image)`.
+    Commit {
+        row0: usize,
+        rows: usize,
+        stats: &'e ReconStats,
+        data: &'e [f64],
+    },
+    /// An integrity check condemned the slab; scrub recovery is about to
+    /// re-execute it. The checkpoint layer journals a poison record so a
+    /// crash mid-scrub can never resurrect condemned data.
+    Poison { row0: usize, rows: usize },
+}
+
+/// A slab observer: called once per slab event, immediately after the
+/// slab's D2H download lands (commits) or its verification fails
+/// (poisons). This is the checkpoint layer's hook into the ring — the
+/// journal appends the record before the ring moves on, so a slab is
+/// either fully durable or not committed at all.
+pub(crate) type SlabSink<'a> = Option<&'a mut dyn FnMut(SlabEvent<'_>) -> Result<()>>;
 
 /// One slab's share of the pair counters, combining its (optional) prescan
 /// and main launches. Culled combos never launch a thread: their pairs are
@@ -1345,26 +1421,289 @@ fn slab_stats(
     }
 }
 
-/// Drain one ring slot: download the slab, then — with a sink attached —
-/// commit it (journal append + progress bookkeeping). Returns the
-/// slot-free edge from [`download_slab`].
+/// Everything about the ring's environment that slab commit/scrub needs
+/// but never mutates. Bundled so the recovery path can re-execute a slab
+/// without threading a dozen arguments through every call.
+pub(crate) struct RingCtx<'a> {
+    device: &'a Device,
+    upload_stream: StreamId,
+    compute_stream: StreamId,
+    download_stream: StreamId,
+    geom: &'a ScanGeometry,
+    mapper: &'a DepthMapper,
+    cfg: &'a ReconstructionConfig,
+    opts: GpuOptions,
+    n_images: usize,
+    n_cols: usize,
+    /// ABFT comparison tolerance: 0 (bit equality) under the sequential
+    /// executor, reassociation-scaled under a threaded one.
+    abft_tol: f64,
+}
+
+/// Check the launches of one slab against their watchdog deadline: a
+/// launch whose modeled duration exceeds `watchdog_multiplier ×` the cost
+/// model's prediction for its metered work is presumed hung (the injected
+/// stuck-kernel fault stretches the duration while the metered cost stays
+/// honest). Returns whether any launch tripped.
+fn watchdog_check(
+    ctx: &RingCtx<'_>,
+    integrity: &mut IntegrityReport,
+    launches: [Option<&cuda_sim::LaunchRecord>; 2],
+) -> bool {
+    if !ctx.cfg.integrity.enabled() {
+        return false;
+    }
+    let mut tripped = false;
+    for rec in launches.into_iter().flatten() {
+        integrity.checks_run += 1;
+        let predicted = ctx.device.props().kernel_time(&rec.cost);
+        if rec.duration_s > ctx.cfg.watchdog_multiplier * predicted {
+            integrity.watchdog_timeouts += 1;
+            tripped = true;
+        }
+    }
+    tripped
+}
+
+/// One executed slab: the unit of work scrub recovery re-executes.
+struct SlabExec {
+    /// The upload (holding the slab's device buffers).
+    upload: SlabUpload,
+    stats: ReconStats,
+    /// When the slab's last kernel retires (upload-ready time if no
+    /// kernel launched).
+    kernel_end: f64,
+    /// Did a launch blow its watchdog deadline?
+    suspect: bool,
+    /// Did the main kernel actually launch (non-empty domain)?
+    main_ran: bool,
+}
+
+/// Upload, launch, and stat one slab.
+#[allow(clippy::too_many_arguments)]
+fn execute_slab(
+    ctx: &RingCtx<'_>,
+    source: &mut dyn SlabSource,
+    table_source: &TableSource,
+    wires: &DeviceBuffer<f64>,
+    cull: Option<&ShadowCull>,
+    row0: usize,
+    rows: usize,
+    recovery: &mut RecoveryLog,
+    integrity: &mut IntegrityReport,
+) -> Result<SlabExec> {
+    let device = ctx.device;
+    let upload = upload_slab(
+        device,
+        ctx.upload_stream,
+        source,
+        ctx.geom,
+        ctx.mapper,
+        ctx.cfg,
+        ctx.opts,
+        table_source,
+        row0,
+        rows,
+        recovery,
+        cull,
+        integrity,
+    )?;
+    device.wait_until(ctx.compute_stream, upload.ready_at);
+    let prescan = launch_prescan(device, ctx.compute_stream, &upload, ctx.n_cols)?;
+    let main = launch_set_two(
+        device,
+        ctx.compute_stream,
+        &upload,
+        wires,
+        ctx.mapper,
+        ctx.cfg,
+        ctx.n_images,
+        ctx.n_cols,
+        upload.accum,
+    )?;
+    let pairs = (rows * ctx.n_cols * (ctx.n_images - 1)) as u64;
+    let culled = upload.sparsity.as_ref().map_or(0, |sp| sp.culled_combos);
+    let mut stats = slab_stats(prescan.as_ref(), main.as_ref(), pairs, culled, ctx.n_cols);
+    if main.is_some() {
+        match upload.accum {
+            AccumPlan::Privatized { .. } => stats.privatized_pairs = stats.pairs_total,
+            AccumPlan::Atomic { fallback: true } => stats.accum_fallback_pairs = stats.pairs_total,
+            AccumPlan::Atomic { fallback: false } => {}
+        }
+    }
+    let suspect = watchdog_check(ctx, integrity, [prescan.as_ref(), main.as_ref()]);
+    // An all-culled or empty-list slab never launches: its output rows
+    // stay zero and the slot frees at upload time.
+    let kernel_end = main
+        .as_ref()
+        .map(|r| r.end_s)
+        .or_else(|| prescan.as_ref().map(|r| r.end_s))
+        .unwrap_or(upload.ready_at);
+    Ok(SlabExec {
+        upload,
+        stats,
+        kernel_end,
+        suspect,
+        main_ran: main.is_some(),
+    })
+}
+
+/// Drain one ring slot: download the slab, verify it when integrity is
+/// on, recover per the integrity mode when verification fails, then —
+/// with a sink attached — commit it (journal append + progress
+/// bookkeeping). Returns the slot-free edge from [`download_slab`].
+///
+/// Verification is the ABFT check: the host redundantly recomputes the
+/// slab with the dense CPU engine (re-reading the intensities from the
+/// source — device-resident data is not trusted) and compares per-bin
+/// sums. A slab whose launch tripped the watchdog is condemned even if
+/// its sums match. In `verify` mode a condemned slab aborts the run; in
+/// `scrub` mode it is quarantined (poison record), re-executed with
+/// bounded exponential backoff — each retry re-rolls the fault dice, so
+/// one-shot corruption heals — and, when the device corrupts
+/// persistently, repaired from the host reference.
 #[allow(clippy::too_many_arguments)]
 fn commit_slab(
-    device: &Device,
-    stream: StreamId,
-    upload: &SlabUpload,
-    stats: &ReconStats,
+    ctx: &RingCtx<'_>,
+    upload: SlabUpload,
+    stats: ReconStats,
+    suspect: bool,
     image: &mut DepthImage,
-    cfg: &ReconstructionConfig,
-    n_cols: usize,
+    source: &mut dyn SlabSource,
+    table_source: &TableSource,
+    wires: &DeviceBuffer<f64>,
+    cull: Option<&ShadowCull>,
     recovery: &mut RecoveryLog,
+    integrity: &mut IntegrityReport,
+    band_stats: &mut ReconStats,
     sink: &mut SlabSink<'_>,
 ) -> Result<f64> {
-    let freed_at = download_slab(device, stream, upload, image, cfg, n_cols, recovery)?;
-    if let Some(sink) = sink.as_mut() {
-        let data = image.extract_rows(upload.row0, upload.rows);
-        sink(upload.row0, upload.rows, stats, &data)?;
+    let device = ctx.device;
+    let cfg = ctx.cfg;
+    let (row0, rows) = (upload.row0, upload.rows);
+    let mut freed_at = download_slab(
+        device,
+        ctx.download_stream,
+        &upload,
+        image,
+        cfg,
+        ctx.n_cols,
+        recovery,
+        integrity,
+    )?;
+    let commit = |image: &DepthImage, stats: &ReconStats, sink: &mut SlabSink<'_>| -> Result<()> {
+        if let Some(sink) = sink.as_mut() {
+            let data = image.extract_rows(row0, rows);
+            sink(SlabEvent::Commit {
+                row0,
+                rows,
+                stats,
+                data: &data,
+            })?;
+        }
+        Ok(())
+    };
+    if !cfg.integrity.enabled() {
+        band_stats.merge(&stats);
+        commit(image, &stats, sink)?;
+        return Ok(freed_at);
     }
+
+    // ABFT: redundant host recompute, charged to the overlapped host-CPU
+    // resource so the planner's virtual-time model prices it.
+    let reference = integrity::slab_reference(source, ctx.geom, ctx.mapper, cfg, row0, rows)?;
+    let host_t0 = device.host_flops_time_s();
+    device.charge_host_flops(reference.host_flops);
+    integrity.verify_overhead_s += device.host_flops_time_s() - host_t0;
+    integrity.checks_run += 1;
+
+    let observed = integrity::bin_sums(&image.extract_rows(row0, rows), cfg.n_depth_bins);
+    let sums_ok = integrity::sums_match(&observed, &reference.bin_sums, ctx.abft_tol);
+    if !sums_ok {
+        integrity.abft_mismatches += 1;
+    }
+    if sums_ok && !suspect {
+        band_stats.merge(&stats);
+        commit(image, &stats, sink)?;
+        return Ok(freed_at);
+    }
+
+    // The slab is condemned: one corruption event, however many retries
+    // the recovery below takes.
+    integrity.corruptions_detected += 1;
+    let what = if sums_ok {
+        format!(
+            "slab rows {row0}..{} blew its watchdog deadline (kernel presumed hung)",
+            row0 + rows
+        )
+    } else {
+        format!(
+            "slab rows {row0}..{} failed ABFT depth-sum verification",
+            row0 + rows
+        )
+    };
+    if !cfg.integrity.repairs() {
+        return Err(CoreError::IntegrityViolation(format!(
+            "{what}; rerun with --integrity scrub to repair"
+        )));
+    }
+
+    // Scrub: quarantine first (durable poison before any re-execution),
+    // then re-execute with bounded exponential backoff. Drop the condemned
+    // upload so its device buffers are free for the re-run.
+    if let Some(sink) = sink.as_mut() {
+        sink(SlabEvent::Poison { row0, rows })?;
+    }
+    drop(upload);
+    let mut committed_stats = stats;
+    let mut backoff = integrity::SCRUB_BACKOFF_BASE_S;
+    let mut repaired = false;
+    for _ in 0..integrity::MAX_SCRUB_RETRIES {
+        integrity.scrub_retries += 1;
+        device.delay(ctx.compute_stream, backoff);
+        backoff *= 2.0;
+        let retry = execute_slab(
+            ctx,
+            source,
+            table_source,
+            wires,
+            cull,
+            row0,
+            rows,
+            recovery,
+            integrity,
+        )?;
+        device.charge_host_flops(retry.upload.host_flops);
+        device.wait_until(ctx.download_stream, retry.kernel_end);
+        freed_at = download_slab(
+            device,
+            ctx.download_stream,
+            &retry.upload,
+            image,
+            cfg,
+            ctx.n_cols,
+            recovery,
+            integrity,
+        )?;
+        integrity.checks_run += 1;
+        let observed = integrity::bin_sums(&image.extract_rows(row0, rows), cfg.n_depth_bins);
+        if integrity::sums_match(&observed, &reference.bin_sums, ctx.abft_tol) && !retry.suspect {
+            committed_stats = retry.stats;
+            repaired = true;
+            break;
+        }
+    }
+    if !repaired {
+        // Persistently corrupting device: repair the slab from the host
+        // reference (the very data the check trusted) and carry on — the
+        // stats are trace-derived counts a deposit-value flip cannot
+        // touch, so the condemned launch's counters remain valid.
+        image.assign_rows(row0, rows, &reference.data)?;
+        integrity.cpu_fallback_slabs += 1;
+    }
+    integrity.corruptions_corrected += 1;
+    band_stats.merge(&committed_stats);
+    commit(image, &committed_stats, sink)?;
     Ok(freed_at)
 }
 
@@ -1475,6 +1814,12 @@ pub(crate) struct RingOutcome {
     pub(crate) privatized_pairs: u64,
     /// Pairs that fell back to atomics although privatization was asked.
     pub(crate) accum_fallback_pairs: u64,
+    /// Sum of the per-slab stats the ring actually committed. With
+    /// integrity on this is authoritative: condemned launches that scrub
+    /// re-executed appear in the device's launch records but not here.
+    pub(crate) stats: ReconStats,
+    /// What the integrity layer saw and did for this band.
+    pub(crate) integrity: IntegrityReport,
 }
 
 /// Resolve where the kernel's depth tables come from. With a cache
@@ -1492,6 +1837,7 @@ fn resolve_table_source(
     opts: GpuOptions,
     cache: Option<&DepthTableCache>,
     recovery: &mut RecoveryLog,
+    integrity: &mut IntegrityReport,
     run: &mut TableCacheStats,
 ) -> Result<(TableSource, u64)> {
     if opts.triangulation != Triangulation::HostTables {
@@ -1526,8 +1872,15 @@ fn resolve_table_source(
             Err(e) => return Err(CoreError::Device(e)),
         };
         if let Some(buf) = alloc {
-            retry_transfer(device, upload_stream, recovery, || {
-                device.memcpy_htod_batched(upload_stream, &[(&buf, &tables.depths[..])])
+            let checked = cfg.integrity.enabled();
+            let report = if checked { Some(&mut *integrity) } else { None };
+            retry_transfer(device, upload_stream, recovery, report, || {
+                let batch = [(&buf, &tables.depths[..])];
+                if checked {
+                    device.memcpy_htod_batched_checked(upload_stream, &batch)
+                } else {
+                    device.memcpy_htod_batched(upload_stream, &batch)
+                }
             })?;
             cache.insert_device(device.id(), key, buf.clone(), run);
             return Ok((TableSource::Resident { buf, n_rows }, host_flops));
@@ -1577,6 +1930,7 @@ pub(crate) fn run_ring(
     let upload_stream = device.create_stream();
     let compute_stream = device.create_stream();
     let download_stream = device.create_stream();
+    let mut integrity = IntegrityReport::default();
 
     // Wire centres, shipped once (interleaved x, y, z).
     let mut wire_flat = Vec::with_capacity(geom.wire.n_steps * 3);
@@ -1584,9 +1938,17 @@ pub(crate) fn run_ring(
         wire_flat.extend_from_slice(&[w.x, w.y, w.z]);
     }
     let wires = device.alloc::<f64>(wire_flat.len())?;
-    retry_transfer(device, upload_stream, recovery, || {
-        device.memcpy_htod_on(upload_stream, &wires, &wire_flat)
-    })?;
+    {
+        let checked = cfg.integrity.enabled();
+        let report = if checked { Some(&mut integrity) } else { None };
+        retry_transfer(device, upload_stream, recovery, report, || {
+            if checked {
+                device.memcpy_htod_checked_on(upload_stream, &wires, &wire_flat)
+            } else {
+                device.memcpy_htod_on(upload_stream, &wires, &wire_flat)
+            }
+        })?;
+    }
 
     let mut cache_stats = TableCacheStats::default();
     let (table_source, mut host_table_flops) = resolve_table_source(
@@ -1598,6 +1960,7 @@ pub(crate) fn run_ring(
         opts,
         cache,
         recovery,
+        &mut integrity,
         &mut cache_stats,
     )?;
     // A resident table is not part of the per-slab working set: size slabs
@@ -1649,9 +2012,29 @@ pub(crate) fn run_ring(
         },
     };
 
-    // The ring proper: (upload, kernel-end time, per-slab stats) triples,
-    // oldest first.
-    let mut ring: VecDeque<(SlabUpload, f64, ReconStats)> = VecDeque::with_capacity(slots);
+    // Shared environment for slab execution and commit/scrub recovery.
+    let abft_tol = match device.exec_mode() {
+        ExecMode::Sequential => 0.0,
+        ExecMode::Threaded(_) => integrity::THREADED_ABFT_REL_TOL,
+    };
+    let ctx = RingCtx {
+        device,
+        upload_stream,
+        compute_stream,
+        download_stream,
+        geom,
+        mapper,
+        cfg,
+        opts,
+        n_images,
+        n_cols,
+        abft_tol,
+    };
+    let mut band_stats = ReconStats::default();
+
+    // The ring proper: executed slabs (upload + kernel-end edge + stats +
+    // watchdog verdict), oldest first.
+    let mut ring: VecDeque<SlabExec> = VecDeque::with_capacity(slots);
     let mut n_slabs = 0usize;
     let mut culled_rows_total = 0u64;
     let mut compacted_total = 0u64;
@@ -1672,81 +2055,55 @@ pub(crate) fn run_ring(
                 // Free the oldest slot: download after its kernel, and gate
                 // the upcoming upload on the download so the reused memory
                 // is modeled as available only once the slot drains.
-                let (oldest, kernel_end, stats) = ring.pop_front().expect("ring is full");
-                device.wait_until(download_stream, kernel_end);
+                let oldest = ring.pop_front().expect("ring is full");
+                device.wait_until(download_stream, oldest.kernel_end);
                 let freed_at = commit_slab(
-                    device,
-                    download_stream,
-                    &oldest,
-                    &stats,
+                    &ctx,
+                    oldest.upload,
+                    oldest.stats,
+                    oldest.suspect,
                     image,
-                    cfg,
-                    n_cols,
+                    source,
+                    &table_source,
+                    &wires,
+                    cull.as_ref(),
                     recovery,
+                    &mut integrity,
+                    &mut band_stats,
                     &mut sink,
                 )?;
                 device.wait_until(upload_stream, freed_at);
             }
-            let upload = upload_slab(
-                device,
-                upload_stream,
+            let exec = execute_slab(
+                &ctx,
                 source,
-                geom,
-                mapper,
-                cfg,
-                opts,
                 &table_source,
+                &wires,
+                cull.as_ref(),
                 row0,
                 rows,
                 recovery,
-                cull.as_ref(),
+                &mut integrity,
             )?;
-            device.wait_until(compute_stream, upload.ready_at);
-            let prescan = launch_prescan(device, compute_stream, &upload, n_cols)?;
-            let main = launch_set_two(
-                device,
-                compute_stream,
-                &upload,
-                &wires,
-                mapper,
-                cfg,
-                n_images,
-                n_cols,
-                upload.accum,
-            )?;
-            let flops = upload.host_flops;
-            let pairs = (rows * n_cols * (n_images - 1)) as u64;
-            let culled = upload.sparsity.as_ref().map_or(0, |sp| sp.culled_combos);
-            let density = upload.sparsity.as_ref().map(|sp| sp.density);
-            let mut stats = slab_stats(prescan.as_ref(), main.as_ref(), pairs, culled, n_cols);
-            let compacted = stats.compacted_pairs;
-            // Attribute the slab's pairs to the strategy its main launch
-            // actually ran (an empty launch domain ran neither).
-            let fallback = matches!(upload.accum, AccumPlan::Atomic { fallback: true });
-            let privatized = match (&main, upload.accum) {
-                (Some(_), AccumPlan::Privatized { .. }) => {
-                    stats.privatized_pairs = stats.pairs_total;
-                    Some(true)
-                }
-                (Some(_), AccumPlan::Atomic { fallback }) => {
-                    if fallback {
-                        stats.accum_fallback_pairs = stats.pairs_total;
-                    }
-                    // Under a privatized-leaning mode an atomic slab counts
-                    // against the privatized attribution; under forced
-                    // atomics there is nothing to attribute.
-                    cfg.accumulation.wants_privatized().then_some(false)
-                }
-                (None, _) => cfg.accumulation.wants_privatized().then_some(false),
-            };
-            // An all-culled or empty-list slab never launches: its output
-            // rows stay zero and the slot frees at upload time.
-            let kernel_end = main
+            let flops = exec.upload.host_flops;
+            let culled = exec
+                .upload
+                .sparsity
                 .as_ref()
-                .map(|r| r.end_s)
-                .or_else(|| prescan.as_ref().map(|r| r.end_s))
-                .unwrap_or(upload.ready_at);
-            ring.push_back((upload, kernel_end, stats));
+                .map_or(0, |sp| sp.culled_combos);
+            let density = exec.upload.sparsity.as_ref().map(|sp| sp.density);
+            let compacted = exec.stats.compacted_pairs;
+            // Attribute the slab's pairs to the strategy its main launch
+            // actually ran (an empty launch domain ran neither); under a
+            // privatized-leaning mode an atomic slab counts against the
+            // privatized attribution, under forced atomics there is
+            // nothing to attribute.
+            let fallback = matches!(exec.upload.accum, AccumPlan::Atomic { fallback: true });
+            let privatized = match (exec.main_ran, exec.upload.accum) {
+                (true, AccumPlan::Privatized { .. }) => Some(true),
+                _ => cfg.accumulation.wants_privatized().then_some(false),
+            };
+            ring.push_back(exec);
             Ok((flops, culled, compacted, density, privatized, fallback))
         })();
         match attempt {
@@ -1775,17 +2132,21 @@ pub(crate) fn run_ring(
                 // shrink the plan and re-run the same rows. Correctness is
                 // chunking-invariant: downloads assign exactly their slab's
                 // rows, so a smaller re-run overwrites cleanly.
-                while let Some((oldest, kernel_end, stats)) = ring.pop_front() {
-                    device.wait_until(download_stream, kernel_end);
+                while let Some(oldest) = ring.pop_front() {
+                    device.wait_until(download_stream, oldest.kernel_end);
                     commit_slab(
-                        device,
-                        download_stream,
-                        &oldest,
-                        &stats,
+                        &ctx,
+                        oldest.upload,
+                        oldest.stats,
+                        oldest.suspect,
                         image,
-                        cfg,
-                        n_cols,
+                        source,
+                        &table_source,
+                        &wires,
+                        cull.as_ref(),
                         recovery,
+                        &mut integrity,
+                        &mut band_stats,
                         &mut sink,
                     )?;
                 }
@@ -1802,17 +2163,21 @@ pub(crate) fn run_ring(
         }
     }
     // Drain the tail of the ring.
-    while let Some((oldest, kernel_end, stats)) = ring.pop_front() {
-        device.wait_until(download_stream, kernel_end);
+    while let Some(oldest) = ring.pop_front() {
+        device.wait_until(download_stream, oldest.kernel_end);
         commit_slab(
-            device,
-            download_stream,
-            &oldest,
-            &stats,
+            &ctx,
+            oldest.upload,
+            oldest.stats,
+            oldest.suspect,
             image,
-            cfg,
-            n_cols,
+            source,
+            &table_source,
+            &wires,
+            cull.as_ref(),
             recovery,
+            &mut integrity,
+            &mut band_stats,
             &mut sink,
         )?;
     }
@@ -1836,6 +2201,8 @@ pub(crate) fn run_ring(
         slab_privatized,
         privatized_pairs: privatized_pairs_total,
         accum_fallback_pairs: fallback_pairs_total,
+        stats: band_stats,
+        integrity,
     })
 }
 
@@ -1878,14 +2245,21 @@ pub fn reconstruct_pipelined(
     )?;
 
     let elapsed_s = device.synchronize();
-    let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
-    // Culled combos never launched a thread; attribute their pairs here.
-    let mut stats = stats_from_records(device, pairs_total);
-    stats.pairs_out_of_range += outcome.culled_rows * n_cols as u64;
-    stats.culled_rows = outcome.culled_rows;
-    stats.compacted_pairs = outcome.compacted_pairs;
-    stats.privatized_pairs = outcome.privatized_pairs;
-    stats.accum_fallback_pairs = outcome.accum_fallback_pairs;
+    let stats = if cfg.integrity.enabled() {
+        // The committed per-slab sum is authoritative: launch records
+        // include condemned launches that scrub re-executed.
+        outcome.stats
+    } else {
+        let pairs_total = (n_rows * n_cols * (n_images - 1)) as u64;
+        // Culled combos never launched a thread; attribute their pairs here.
+        let mut stats = stats_from_records(device, pairs_total);
+        stats.pairs_out_of_range += outcome.culled_rows * n_cols as u64;
+        stats.culled_rows = outcome.culled_rows;
+        stats.compacted_pairs = outcome.compacted_pairs;
+        stats.privatized_pairs = outcome.privatized_pairs;
+        stats.accum_fallback_pairs = outcome.accum_fallback_pairs;
+        stats
+    };
     Ok(GpuReconstruction {
         image,
         stats,
@@ -1901,6 +2275,7 @@ pub fn reconstruct_pipelined(
         table_cache: outcome.cache_stats,
         slab_densities: outcome.slab_densities,
         slab_privatized: outcome.slab_privatized,
+        integrity: outcome.integrity,
     })
 }
 
@@ -1940,15 +2315,32 @@ pub fn reconstruct_checkpointed(
     let mut cache_stats = TableCacheStats::default();
     let mut slab_densities = Vec::new();
     let mut slab_privatized = Vec::new();
+    let mut integrity = IntegrityReport::default();
     for band in progress.uncovered(0..n_rows) {
         let (image, mut tracker) = progress.split_mut();
         let mut journal = journal.as_deref_mut();
-        let mut sink = |row0: usize, rows: usize, stats: &ReconStats, data: &[f64]| {
-            if let Some(j) = journal.as_mut() {
-                j.append(row0, rows, stats, data)?;
+        let mut sink = |event: SlabEvent<'_>| match event {
+            SlabEvent::Commit {
+                row0,
+                rows,
+                stats,
+                data,
+            } => {
+                if let Some(j) = journal.as_mut() {
+                    j.append(row0, rows, stats, data)?;
+                }
+                tracker.record(row0, rows, stats);
+                Ok(())
             }
-            tracker.record(row0, rows, stats);
-            Ok(())
+            // Durable quarantine before scrub re-executes: a crash between
+            // the poison and the re-commit must never resurrect condemned
+            // rows on replay.
+            SlabEvent::Poison { row0, rows } => {
+                if let Some(j) = journal.as_mut() {
+                    j.append_poison(row0, rows)?;
+                }
+                Ok(())
+            }
         };
         let outcome = run_ring(
             device,
@@ -1970,6 +2362,7 @@ pub fn reconstruct_checkpointed(
         cache_stats.merge(&outcome.cache_stats);
         slab_densities.extend(outcome.slab_densities);
         slab_privatized.extend(outcome.slab_privatized);
+        integrity.merge(&outcome.integrity);
     }
     // Counts every committed slab, replayed and fresh alike.
     let n_slabs = progress.committed_slabs();
@@ -1990,6 +2383,7 @@ pub fn reconstruct_checkpointed(
         table_cache: cache_stats,
         slab_densities,
         slab_privatized,
+        integrity,
     })
 }
 
@@ -2148,8 +2542,10 @@ mod tests {
         let clean = reconstruct(&device, &mut source, &geom, &cfg, Layout::Flat1d).unwrap();
 
         let device = big_device();
+        // Seed chosen so the keyed dice never fail 4 consecutive ordinals
+        // (which would exhaust the retry budget — by design).
         device.set_fault_plan(
-            cuda_sim::FaultPlan::new(99)
+            cuda_sim::FaultPlan::new(14)
                 .fail_nth_h2d(2)
                 .fail_nth_d2h(1)
                 .h2d_fault_rate(0.3)
@@ -2259,8 +2655,9 @@ mod tests {
         assert_eq!(clean.pipeline_depth, 3);
 
         let device = big_device();
+        // Seed chosen so the keyed dice never fail 4 consecutive ordinals.
         device.set_fault_plan(
-            cuda_sim::FaultPlan::new(7)
+            cuda_sim::FaultPlan::new(0)
                 .fail_nth_h2d(3)
                 .h2d_fault_rate(0.25),
         );

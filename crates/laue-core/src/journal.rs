@@ -11,10 +11,18 @@
 //! header:  magic "LAUEJRN1" | version u32 | key hash u64 |
 //!          n_bins u64 | n_rows u64 | n_cols u64 |
 //!          desc_len u32 | description bytes | crc32 of all of the above
-//! record:  payload_len u32 | crc32(payload) |
-//!          payload = row0 u64 | rows u64 | 10 × ReconStats u64 |
+//! record:  payload_len u32 | crc32(payload) | payload
+//! commit:  payload = kind 0 u64 | row0 u64 | rows u64 |
+//!                    10 × ReconStats u64 |
 //!                    rows·n_bins·n_cols × f64 (slab rows, bin-major)
+//! poison:  payload = kind 1 u64 | row0 u64 | rows u64
 //! ```
+//!
+//! A *poison* record quarantines a row band: an integrity check condemned
+//! the slab's data, so replay un-covers (and zeroes) those rows, dropping
+//! any earlier commit of them. The scrub writer appends the poison
+//! *before* re-executing, so a crash between condemnation and the clean
+//! re-commit can never resurrect condemned data on resume.
 //!
 //! Every field is little-endian. The file is keyed by a content hash of
 //! (scan fingerprint, dimensions, configuration, engine, slab plan): a
@@ -43,10 +51,16 @@ const MAGIC: [u8; 8] = *b"LAUEJRN1";
 // v2 widened the per-slab stats block from 6 to 8 words (culled_rows,
 // compacted_pairs); v3 widened it to 10 (privatized_pairs,
 // accum_fallback_pairs); v4 folds the resolved execution plan into the
-// journal key, so a plan flip forces a clean restart. An older journal
-// fails the version check and the run starts fresh — exactly the safe
-// behaviour for a format change.
-const VERSION: u32 = 4;
+// journal key, so a plan flip forces a clean restart; v5 prefixes every
+// payload with a record-kind word (commit/poison) and folds the integrity
+// mode into the key. An older journal fails the version check and the run
+// starts fresh — exactly the safe behaviour for a format change.
+const VERSION: u32 = 5;
+
+/// Payload kind word: a committed slab.
+const KIND_COMMIT: u64 = 0;
+/// Payload kind word: a poisoned (quarantined) row band.
+const KIND_POISON: u64 = 1;
 
 fn io_err(what: &str, e: std::io::Error) -> CoreError {
     CoreError::Journal(format!("{what}: {e}"))
@@ -95,6 +109,21 @@ pub struct CommittedSlab {
     pub data: Vec<f64>,
 }
 
+/// One replayed journal record, in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A durably committed slab.
+    Commit(CommittedSlab),
+    /// A quarantined row band: an integrity check condemned this slab, so
+    /// any earlier commit of these rows must not be trusted on replay.
+    Poison {
+        /// First detector row of the condemned band.
+        row0: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+}
+
 /// An open run journal positioned for appends.
 #[derive(Debug)]
 pub struct RunJournal {
@@ -105,7 +134,8 @@ pub struct RunJournal {
 
 impl RunJournal {
     /// Open (or create) the journal for `key` under `dir` and return it
-    /// together with the slabs already committed by a previous run.
+    /// together with the records already written by a previous run, in
+    /// append order.
     ///
     /// `dims` is `(n_bins, n_rows, n_cols)` of the output image. With
     /// `resume == false`, or when the existing file's key/dimensions do not
@@ -116,7 +146,7 @@ impl RunJournal {
         key: &JournalKey,
         dims: (usize, usize, usize),
         resume: bool,
-    ) -> Result<(RunJournal, Vec<CommittedSlab>)> {
+    ) -> Result<(RunJournal, Vec<JournalRecord>)> {
         fs::create_dir_all(dir).map_err(|e| io_err("create journal dir", e))?;
         let path = dir.join(format!("{:016x}.journal", key.hash));
         let mut file = OpenOptions::new()
@@ -175,7 +205,8 @@ impl RunJournal {
     ) -> Result<()> {
         let (n_bins, _, n_cols) = self.dims;
         debug_assert_eq!(data.len(), n_bins * rows * n_cols);
-        let mut payload = Vec::with_capacity(8 * (2 + STATS_WORDS) + 8 * data.len());
+        let mut payload = Vec::with_capacity(8 * (3 + STATS_WORDS) + 8 * data.len());
+        payload.extend_from_slice(&KIND_COMMIT.to_le_bytes());
         payload.extend_from_slice(&(row0 as u64).to_le_bytes());
         payload.extend_from_slice(&(rows as u64).to_le_bytes());
         for v in stats_words(stats) {
@@ -184,10 +215,26 @@ impl RunJournal {
         for v in data {
             payload.extend_from_slice(&v.to_le_bytes());
         }
+        self.write_record(&payload)
+    }
+
+    /// Append a poison record quarantining `rows` detector rows from
+    /// `row0`: an integrity check condemned the slab, and replay must not
+    /// trust any earlier commit of those rows. Durable before the method
+    /// returns, like [`append`](Self::append).
+    pub fn append_poison(&mut self, row0: usize, rows: usize) -> Result<()> {
+        let mut payload = Vec::with_capacity(8 * 3);
+        payload.extend_from_slice(&KIND_POISON.to_le_bytes());
+        payload.extend_from_slice(&(row0 as u64).to_le_bytes());
+        payload.extend_from_slice(&(rows as u64).to_le_bytes());
+        self.write_record(&payload)
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> Result<()> {
         let mut record = Vec::with_capacity(8 + payload.len());
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&crc32(&payload).to_le_bytes());
-        record.extend_from_slice(&payload);
+        record.extend_from_slice(&crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
         self.file
             .write_all(&record)
             .map_err(|e| io_err("append journal record", e))?;
@@ -265,13 +312,13 @@ impl<'a> Cursor<'a> {
 }
 
 /// Parse a journal byte image against the expected key and dimensions.
-/// Returns the intact committed slabs and the byte length of the valid
-/// prefix (`0` means "unusable — start fresh").
+/// Returns the intact records in append order and the byte length of the
+/// valid prefix (`0` means "unusable — start fresh").
 fn parse(
     bytes: &[u8],
     key: &JournalKey,
     dims: (usize, usize, usize),
-) -> (Vec<CommittedSlab>, usize) {
+) -> (Vec<JournalRecord>, usize) {
     let mut c = Cursor { bytes, pos: 0 };
     let fresh = (Vec::new(), 0);
 
@@ -308,7 +355,7 @@ fn parse(
 
     // Records, until EOF or a torn/corrupt tail.
     let (n_bins, n_rows, n_cols) = dims;
-    let mut slabs = Vec::new();
+    let mut records = Vec::new();
     let mut valid = c.pos;
     while let Some(len) = c.u32() {
         let Some(stored) = c.u32() else { break };
@@ -322,53 +369,63 @@ fn parse(
             bytes: payload,
             pos: 0,
         };
-        let (Some(row0), Some(rows)) = (p.u64(), p.u64()) else {
+        let (Some(kind), Some(row0), Some(rows)) = (p.u64(), p.u64(), p.u64()) else {
             break;
         };
         let (row0, rows) = (row0 as usize, rows as usize);
-        let mut words = [0u64; STATS_WORDS];
-        let mut ok = true;
-        for w in &mut words {
-            match p.u64() {
-                Some(v) => *w = v,
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        let n_values = n_bins * rows * n_cols;
-        if !ok
-            || rows == 0
-            || row0 + rows > n_rows
-            || payload.len() != 8 * (2 + STATS_WORDS) + 8 * n_values
-        {
+        if rows == 0 || row0 + rows > n_rows {
             break;
         }
-        let data: Vec<f64> = payload[8 * (2 + STATS_WORDS)..]
-            .chunks_exact(8)
-            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-            .collect();
-        slabs.push(CommittedSlab {
-            row0,
-            rows,
-            stats: ReconStats {
-                pairs_total: words[0],
-                pairs_below_cutoff: words[1],
-                pairs_invalid_geometry: words[2],
-                pairs_out_of_range: words[3],
-                pairs_deposited: words[4],
-                deposits: words[5],
-                culled_rows: words[6],
-                compacted_pairs: words[7],
-                privatized_pairs: words[8],
-                accum_fallback_pairs: words[9],
-            },
-            data,
-        });
+        match kind {
+            KIND_POISON => {
+                if payload.len() != 8 * 3 {
+                    break;
+                }
+                records.push(JournalRecord::Poison { row0, rows });
+            }
+            KIND_COMMIT => {
+                let mut words = [0u64; STATS_WORDS];
+                let mut ok = true;
+                for w in &mut words {
+                    match p.u64() {
+                        Some(v) => *w = v,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                let n_values = n_bins * rows * n_cols;
+                if !ok || payload.len() != 8 * (3 + STATS_WORDS) + 8 * n_values {
+                    break;
+                }
+                let data: Vec<f64> = payload[8 * (3 + STATS_WORDS)..]
+                    .chunks_exact(8)
+                    .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+                    .collect();
+                records.push(JournalRecord::Commit(CommittedSlab {
+                    row0,
+                    rows,
+                    stats: ReconStats {
+                        pairs_total: words[0],
+                        pairs_below_cutoff: words[1],
+                        pairs_invalid_geometry: words[2],
+                        pairs_out_of_range: words[3],
+                        pairs_deposited: words[4],
+                        deposits: words[5],
+                        culled_rows: words[6],
+                        compacted_pairs: words[7],
+                        privatized_pairs: words[8],
+                        accum_fallback_pairs: words[9],
+                    },
+                    data,
+                }));
+            }
+            _ => break,
+        }
         valid = c.pos;
     }
-    (slabs, valid)
+    (records, valid)
 }
 
 // ---------------------------------------------------------------------------
@@ -402,15 +459,27 @@ impl SlabProgress {
 
     /// Rebuild progress from journal records, applying them in append
     /// order (later records overwrite earlier rows, matching the download
-    /// assignment semantics).
+    /// assignment semantics). A poison record drops every earlier commit
+    /// that overlaps its band — those rows become uncovered again and are
+    /// recomputed by the resuming run, so condemned data never survives a
+    /// crash between condemnation and the clean re-commit.
     pub fn replay(
         n_bins: usize,
         n_rows: usize,
         n_cols: usize,
-        slabs: &[CommittedSlab],
+        records: &[JournalRecord],
     ) -> Result<SlabProgress> {
+        let mut live: Vec<&CommittedSlab> = Vec::new();
+        for rec in records {
+            match rec {
+                JournalRecord::Commit(s) => live.push(s),
+                JournalRecord::Poison { row0, rows } => {
+                    live.retain(|s| s.row0 + s.rows <= *row0 || row0 + rows <= s.row0);
+                }
+            }
+        }
         let mut p = SlabProgress::new(n_bins, n_rows, n_cols);
-        for s in slabs {
+        for s in live {
             p.image.assign_rows(s.row0, s.rows, &s.data)?;
             p.stats.merge(&s.stats);
             p.committed.push((s.row0, s.rows));
@@ -530,7 +599,13 @@ mod tests {
         drop(j);
 
         let (j2, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
-        assert_eq!(replayed, vec![s0.clone(), s1.clone()]);
+        assert_eq!(
+            replayed,
+            vec![
+                JournalRecord::Commit(s0.clone()),
+                JournalRecord::Commit(s1.clone())
+            ]
+        );
         let p = SlabProgress::replay(2, 6, 3, &replayed).unwrap();
         assert_eq!(p.committed_slabs(), 2);
         assert_eq!(p.committed_rows(), 5);
@@ -563,7 +638,11 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
 
         let (j2, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
-        assert_eq!(replayed, vec![s0], "intact prefix survives");
+        assert_eq!(
+            replayed,
+            vec![JournalRecord::Commit(s0)],
+            "intact prefix survives"
+        );
         assert_eq!(
             fs::metadata(&path).unwrap().len(),
             intact as u64,
@@ -607,6 +686,80 @@ mod tests {
         drop(j);
         let (_, replayed) = RunJournal::open(&dir, &key, (1, 5, 2), true).unwrap();
         assert!(replayed.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_quarantines_earlier_commits_on_replay() {
+        let dir = tmp_dir("poison");
+        let key = JournalKey::new("poison".into());
+        let dims = (1, 6, 2);
+        let (mut j, _) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        let s0 = slab(0, 2, 1, 2, 1.0);
+        let bad = slab(2, 2, 1, 2, 7.0); // the commit a later check condemns
+        let good = slab(2, 2, 1, 2, 2.0);
+        j.append(s0.row0, s0.rows, &s0.stats, &s0.data).unwrap();
+        j.append(bad.row0, bad.rows, &bad.stats, &bad.data).unwrap();
+        j.append_poison(2, 2).unwrap();
+        drop(j);
+
+        // Poison with no re-commit: the band is uncovered and zeroed.
+        let (mut j, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2], JournalRecord::Poison { row0: 2, rows: 2 });
+        let p = SlabProgress::replay(1, 6, 2, &replayed).unwrap();
+        assert_eq!(p.committed_slabs(), 1, "condemned commit dropped");
+        assert_eq!(p.uncovered(0..6), vec![2..6]);
+        assert_eq!(p.image.at(0, 2, 0), 0.0, "condemned rows zeroed");
+        assert_eq!(p.stats.pairs_total, 10, "condemned stats not merged");
+
+        // Poison followed by a clean re-commit covers the band again.
+        j.append(good.row0, good.rows, &good.stats, &good.data)
+            .unwrap();
+        drop(j);
+        let (_j, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        let p = SlabProgress::replay(1, 6, 2, &replayed).unwrap();
+        assert_eq!(p.committed_slabs(), 2);
+        assert_eq!(p.uncovered(0..6), vec![4..6]);
+        assert_eq!(p.image.at(0, 2, 0), 2.0, "re-commit wins");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_truncates_to_last_valid_record() {
+        let dir = tmp_dir("midflip");
+        let key = JournalKey::new("midflip".into());
+        let dims = (1, 4, 2);
+        let (mut j, _) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        let path = j.path().to_path_buf();
+        let header_len = fs::metadata(&path).unwrap().len() as usize;
+        let slabs: Vec<CommittedSlab> = (0..3).map(|r| slab(r, 1, 1, 2, r as f64)).collect();
+        for s in &slabs {
+            j.append(s.row0, s.rows, &s.stats, &s.data).unwrap();
+        }
+        drop(j);
+
+        // Flip one byte in the middle of the *second* record's CRC frame.
+        let mut bytes = fs::read(&path).unwrap();
+        let record_len = (bytes.len() - header_len) / 3;
+        let target = header_len + record_len + record_len / 2;
+        bytes[target] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        // Resume detects the corruption, keeps only the prefix before it,
+        // and truncates the file to the last valid record — the third
+        // (intact) record after the tear must not survive either, because
+        // replay past a corrupt frame cannot be trusted.
+        let (j2, replayed) = RunJournal::open(&dir, &key, dims, true).unwrap();
+        assert_eq!(replayed, vec![JournalRecord::Commit(slabs[0].clone())]);
+        assert_eq!(
+            fs::metadata(&path).unwrap().len() as usize,
+            header_len + record_len,
+            "truncated to the last valid record"
+        );
+        let p = SlabProgress::replay(1, 4, 2, &replayed).unwrap();
+        assert_eq!(p.uncovered(0..4), vec![1..4], "only rows 1..4 owed");
+        drop(j2);
         let _ = fs::remove_dir_all(&dir);
     }
 

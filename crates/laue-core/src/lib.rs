@@ -46,6 +46,7 @@ pub mod error;
 pub mod geometry;
 pub mod gpu;
 pub mod input;
+pub mod integrity;
 pub mod journal;
 pub mod multi;
 pub mod output;
@@ -56,10 +57,11 @@ pub mod post;
 pub mod stats;
 pub mod uncertainty;
 
-pub use config::{AccumulationMode, CompactionMode, PlanMode, ReconstructionConfig};
+pub use config::{AccumulationMode, CompactionMode, IntegrityMode, PlanMode, ReconstructionConfig};
 pub use error::CoreError;
 pub use geometry::ScanGeometry;
 pub use input::{InMemorySlabSource, RoiSlabSource, ScanView, SlabSource};
+pub use integrity::IntegrityReport;
 pub use output::DepthImage;
 pub use stats::ReconStats;
 

@@ -23,8 +23,9 @@ use crate::cache::{DepthTableCache, TableCacheStats};
 use crate::config::ReconstructionConfig;
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
-use crate::gpu::{run_ring, validate_inputs, GpuOptions, PipelineDepth, RecoveryLog};
+use crate::gpu::{run_ring, validate_inputs, GpuOptions, PipelineDepth, RecoveryLog, SlabEvent};
 use crate::input::SlabSource;
+use crate::integrity::IntegrityReport;
 use crate::journal::{RunJournal, SlabProgress};
 use crate::output::DepthImage;
 use crate::stats::ReconStats;
@@ -66,6 +67,9 @@ pub struct MultiGpuReconstruction {
     /// shared-memory budget, so a heterogeneous fleet can mix). Empty under
     /// `--accumulation atomic`.
     pub slab_privatized: Vec<bool>,
+    /// Integrity checks, detections, and corrections, merged over all
+    /// devices (all zeros when `--integrity off`).
+    pub integrity: IntegrityReport,
 }
 
 /// Split `n_rows` into `n` contiguous bands, remainder spread to the front.
@@ -202,6 +206,7 @@ pub fn reconstruct_multi_checkpointed(
     let mut table_cache = TableCacheStats::default();
     let mut slab_densities = Vec::new();
     let mut slab_privatized = Vec::new();
+    let mut integrity = IntegrityReport::default();
     let mut devices_lost = 0u32;
     let mut alive: Vec<bool> = devices.iter().map(|d| !d.is_lost()).collect();
     let mut participated: Vec<bool> = vec![false; devices.len()];
@@ -232,12 +237,25 @@ pub fn reconstruct_multi_checkpointed(
                 let before = progress.committed_rows();
                 let (image, mut tracker) = progress.split_mut();
                 let mut journal = journal.as_deref_mut();
-                let mut sink = |row0: usize, rows: usize, stats: &ReconStats, data: &[f64]| {
-                    if let Some(j) = journal.as_mut() {
-                        j.append(row0, rows, stats, data)?;
+                let mut sink = |event: SlabEvent<'_>| match event {
+                    SlabEvent::Commit {
+                        row0,
+                        rows,
+                        stats,
+                        data,
+                    } => {
+                        if let Some(j) = journal.as_mut() {
+                            j.append(row0, rows, stats, data)?;
+                        }
+                        tracker.record(row0, rows, stats);
+                        Ok(())
                     }
-                    tracker.record(row0, rows, stats);
-                    Ok(())
+                    SlabEvent::Poison { row0, rows } => {
+                        if let Some(j) = journal.as_mut() {
+                            j.append_poison(row0, rows)?;
+                        }
+                        Ok(())
+                    }
                 };
                 let attempt = run_ring(
                     device,
@@ -259,6 +277,7 @@ pub fn reconstruct_multi_checkpointed(
                         table_cache.merge(&outcome.cache_stats);
                         slab_densities.extend(outcome.slab_densities);
                         slab_privatized.extend(outcome.slab_privatized);
+                        integrity.merge(&outcome.integrity);
                     }
                     Err(e) if e.is_gpu_failure() => {
                         // The device is gone (or hopeless): drain it from
@@ -303,6 +322,7 @@ pub fn reconstruct_multi_checkpointed(
         n_slabs: progress.committed_slabs(),
         slab_densities,
         slab_privatized,
+        integrity,
     })
 }
 

@@ -749,6 +749,13 @@ pub fn plan_run(
                     let (mut sum_up, mut sum_down, mut sum_kernel) = (0.0f64, 0.0f64, 0.0f64);
                     let (mut first_up, mut last_down) = (0.0f64, 0.0f64);
                     let mut serial = 0.0f64;
+                    // Payload bytes the integrity layer would CRC (both
+                    // directions; the wire table and a cold resident table
+                    // are checked too).
+                    let mut checked_bytes = wire_bytes;
+                    if resident && !warmth.device_warm {
+                        checked_bytes += table_bytes;
+                    }
                     let mut row0 = 0usize;
                     let mut first = true;
                     while row0 < n_rows {
@@ -802,6 +809,7 @@ pub fn plan_run(
                                     + down_bytes as f64 / props.pcie_bw
                             }
                         };
+                        checked_bytes += f64_bytes + down_bytes;
                         sum_up += t_up;
                         sum_down += t_down;
                         sum_kernel += decision.kernel_s;
@@ -828,6 +836,23 @@ pub fn plan_run(
                     let mut host_flops = cull_host_flops;
                     if table_mode && !warmth.host_warm {
                         host_flops += table_mode_host_flops;
+                    }
+                    if cfg.integrity.enabled() {
+                        // CRC64: two passes (send side + landed side) over
+                        // every checked payload byte, charged to the
+                        // overlapped host CPU exactly as the engine does.
+                        host_flops += 2 * cuda_sim::Device::CRC64_FLOPS_PER_BYTE * checked_bytes;
+                        // ABFT: one dense host recompute of every slab —
+                        // triangulation for each (image, pixel) plus the
+                        // per-pair deposit work, mirroring the in-kernel
+                        // cost model on the host side.
+                        let evals = (n_pairs * n_rows * n_cols) as u64;
+                        host_flops += table_mode_host_flops
+                            + FLOPS_PER_PAIR * evals
+                            + (rates.frac_active
+                                * evals as f64
+                                * rates.extra_flops_per_active_inkernel)
+                                as u64;
                     }
                     let host_s = host.kernel_time(
                         &Cost {

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use cuda_sim::FaultPlan;
 use laue_core::gpu::Layout;
-use laue_core::{AccumulationMode, CompactionMode, PlanMode, ReconstructionConfig};
+use laue_core::{AccumulationMode, CompactionMode, IntegrityMode, PlanMode, ReconstructionConfig};
 
 use crate::engine::Engine;
 use crate::{GpuFailurePolicy, Pipeline, PipelineError, Result};
@@ -73,6 +73,12 @@ pub struct ReconstructArgs {
     /// `auto` the cost-model planner picks layout, table placement, ring
     /// depth, and slab rows, and resolves compaction/accumulation per slab.
     pub plan: PlanMode,
+    /// End-to-end data-integrity policy
+    /// (`--integrity off|verify|scrub`; default `off`).
+    pub integrity: IntegrityMode,
+    /// Launch-watchdog deadline multiplier (`--watchdog-multiplier`;
+    /// `None` keeps the config default).
+    pub watchdog_multiplier: Option<f64>,
     pub rows_per_slab: Option<usize>,
     /// Ring depth of the GPU transfer/compute pipeline (`--pipeline-depth`).
     pub pipeline_depth: Option<usize>,
@@ -201,14 +207,38 @@ pub fn parse_fault_plan(spec: &str) -> std::result::Result<FaultPlan, String> {
             "free-mem" => plan.report_mem_bytes(num()?),
             "dead-after" => plan.fail_after(num()?),
             "dead-after-launches" => plan.fail_after_launches(num()?),
+            "flip-h2d-nth" => plan.flip_nth_h2d(num()?),
+            "flip-d2h-nth" => plan.flip_nth_d2h(num()?),
+            "flip-byte" => plan.flip_byte_offset(num()?),
+            "flip-kernel-nth" => plan.flip_nth_kernel(num()?),
+            "flip-op" => plan.flip_op_index(num()?),
+            "stall-nth" => FaultPlan {
+                stuck_kernel_nth: Some(num()?),
+                ..plan
+            },
+            "stall-s" => {
+                let s: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --inject-gpu-fault {key}: {value:?}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!(
+                        "--inject-gpu-fault {key} wants a positive duration, got {value}"
+                    ));
+                }
+                FaultPlan { stall_s: s, ..plan }
+            }
             other => {
                 return Err(format!(
                     "unknown --inject-gpu-fault key {other:?} (try seed, alloc-nth, \
                      h2d-nth, d2h-nth, h2d-prob, d2h-prob, free-mem, dead-after, \
-                     dead-after-launches)"
+                     dead-after-launches, flip-h2d-nth, flip-d2h-nth, flip-byte, \
+                     flip-kernel-nth, flip-op, stall-nth, stall-s)"
                 ))
             }
         };
+    }
+    if plan.stuck_kernel_nth.is_some() && plan.stall_s <= 0.0 {
+        return Err("--inject-gpu-fault stall-nth needs stall-s=<seconds>".into());
     }
     Ok(plan)
 }
@@ -353,6 +383,8 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 compaction: CompactionMode::default(),
                 accumulation: AccumulationMode::default(),
                 plan: PlanMode::default(),
+                integrity: IntegrityMode::default(),
+                watchdog_multiplier: None,
                 rows_per_slab: None,
                 pipeline_depth: None,
                 table_cache_mb: None,
@@ -387,6 +419,8 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "compaction",
                     "accumulation",
                     "plan",
+                    "integrity",
+                    "watchdog-multiplier",
                     "rows-per-slab",
                     "pipeline-depth",
                     "table-cache-mb",
@@ -449,6 +483,18 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     Some(s) => PlanMode::parse(s)
                         .ok_or_else(|| format!("bad --plan {s:?} (try fixed, auto)"))?,
                 },
+                integrity: match flags.get("integrity") {
+                    None => IntegrityMode::default(),
+                    Some(s) => IntegrityMode::parse(s)
+                        .ok_or_else(|| format!("bad --integrity {s:?} (try off, verify, scrub)"))?,
+                },
+                watchdog_multiplier: flags
+                    .get("watchdog-multiplier")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("bad --watchdog-multiplier: {v:?}"))
+                    })
+                    .transpose()?,
                 rows_per_slab: flags
                     .get("rows-per-slab")
                     .map(|v| v.parse().map_err(|_| format!("bad --rows-per-slab: {v:?}")))
@@ -522,6 +568,7 @@ USAGE:
                    [--cutoff C] [--compaction off|auto|on]
                    [--accumulation atomic|privatized|auto]
                    [--plan fixed|auto]
+                   [--integrity off|verify|scrub] [--watchdog-multiplier X]
                    [--rows-per-slab R] [--pipeline-depth K]
                    [--table-cache-mb M] [--sim-workers N|0|auto]
                    [--on-gpu-failure abort|fallback-cpu]
@@ -583,6 +630,19 @@ GPU PIPELINE:
   --sim-workers N      simulated-kernel worker threads (0 or auto = all
                        host cores; default: deterministic sequential)
 
+DATA INTEGRITY:
+  --integrity off     no checking (default); silent corruption propagates
+  --integrity verify  CRC64-checksummed transfers, ABFT per-slab depth-sum
+                      verification against a host recompute, and a launch
+                      watchdog; a detected corruption aborts the run
+  --integrity scrub   verify, plus recovery: the condemned slab is poisoned
+                      in the journal and re-executed with backoff (host
+                      repair if the device keeps corrupting); the run
+                      completes bit-identical to a fault-free run and is
+                      marked INTEGRITY-DEGRADED when anything was corrected
+  --watchdog-multiplier X  treat a launch slower than X times its cost-model
+                      prediction as hung (default 4)
+
 GPU FAULT HANDLING:
   --on-gpu-failure abort         surface GPU errors (default)
   --on-gpu-failure fallback-cpu  re-run on the CPU engine and mark the
@@ -591,7 +651,9 @@ GPU FAULT HANDLING:
                                  comma-separated key=value with keys
                                  seed, alloc-nth, h2d-nth, d2h-nth,
                                  h2d-prob, d2h-prob, free-mem, dead-after,
-                                 dead-after-launches
+                                 dead-after-launches, and silent-corruption
+                                 keys flip-h2d-nth, flip-d2h-nth, flip-byte,
+                                 flip-kernel-nth, flip-op, stall-nth, stall-s
   --fault-device I               install the schedule on fleet device I
                                  only (gpu-multi failover testing)
 ";
@@ -602,6 +664,10 @@ fn recon_config(args: &ReconstructArgs) -> ReconstructionConfig {
     cfg.compaction = args.compaction;
     cfg.accumulation = args.accumulation;
     cfg.plan = args.plan;
+    cfg.integrity = args.integrity;
+    if let Some(w) = args.watchdog_multiplier {
+        cfg.watchdog_multiplier = w;
+    }
     cfg.rows_per_slab = args.rows_per_slab;
     cfg.pipeline_depth = args.pipeline_depth;
     cfg
@@ -737,6 +803,9 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     plan: None,
                     fallback: None,
                     recovery: crate::report::RecoveryAccounting::default(),
+                    integrity: laue_core::IntegrityReport::default(),
+                    faults_injected: None,
+                    trace_dropped: 0,
                 };
                 crate::export::write_mh5(path, &var_report, &cfg)?;
                 writeln!(out, "wrote {path} (per-bin variance; σ = sqrt)")?;
@@ -1037,6 +1106,72 @@ mod tests {
                 .unwrap_err()
                 .contains("--plan")
         );
+    }
+
+    #[test]
+    fn integrity_flags_parse() {
+        for (spec, mode) in [
+            ("off", IntegrityMode::Off),
+            ("verify", IntegrityMode::Verify),
+            ("scrub", IntegrityMode::Scrub),
+        ] {
+            let cmd = parse(&sv(&[
+                "reconstruct",
+                "--input",
+                "scan.mh5",
+                "--integrity",
+                spec,
+                "--watchdog-multiplier",
+                "6.5",
+            ]))
+            .unwrap();
+            let Command::Reconstruct(a) = cmd else {
+                panic!("wrong command")
+            };
+            assert_eq!(a.integrity, mode);
+            assert_eq!(a.watchdog_multiplier, Some(6.5));
+            let cfg = recon_config(&a);
+            assert_eq!(cfg.integrity, mode);
+            assert_eq!(cfg.watchdog_multiplier, 6.5);
+        }
+
+        // Defaults: off, config-default watchdog.
+        let cmd = parse(&sv(&["reconstruct", "--input", "scan.mh5"])).unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.integrity, IntegrityMode::Off);
+        assert_eq!(a.watchdog_multiplier, None);
+        assert!(parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "x",
+            "--integrity",
+            "paranoid"
+        ]))
+        .unwrap_err()
+        .contains("--integrity"));
+
+        // Silent-corruption fault keys round-trip into the plan.
+        let plan = parse_fault_plan(
+            "seed=9,flip-h2d-nth=2,flip-d2h-nth=3,flip-byte=17,\
+             flip-kernel-nth=1,flip-op=5,stall-nth=2,stall-s=0.5",
+        )
+        .unwrap();
+        assert_eq!(plan.flip_h2d_nth, Some(2));
+        assert_eq!(plan.flip_d2h_nth, Some(3));
+        assert_eq!(plan.flip_byte, 17);
+        assert_eq!(plan.flip_kernel_nth, Some(1));
+        assert_eq!(plan.flip_op, 5);
+        assert_eq!(plan.stuck_kernel_nth, Some(2));
+        assert_eq!(plan.stall_s, 0.5);
+        assert!(plan.is_active());
+        assert!(parse_fault_plan("stall-nth=2")
+            .unwrap_err()
+            .contains("stall-s"));
+        assert!(parse_fault_plan("stall-nth=2,stall-s=-1")
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

@@ -122,6 +122,9 @@ mod tests {
                 plan: None,
                 fallback: None,
                 recovery: crate::report::RecoveryAccounting::default(),
+                integrity: laue_core::IntegrityReport::default(),
+                faults_injected: None,
+                trace_dropped: 0,
             },
             cfg,
         )

@@ -1,7 +1,7 @@
 //! Run reports: what happened and where the virtual time went.
 
 use laue_core::cache::TableCacheStats;
-use laue_core::{DepthImage, ReconStats};
+use laue_core::{DepthImage, IntegrityReport, ReconStats};
 
 /// How a run came back from interruption or device loss: slabs replayed
 /// from a journal, slabs salvaged from a dead GPU run, rows recomputed on
@@ -125,6 +125,17 @@ pub struct RunReport {
     /// Checkpoint/resume and failover accounting (all zero when the run
     /// neither resumed, salvaged, nor lost a device).
     pub recovery: RecoveryAccounting,
+    /// Integrity-layer accounting: checks run, corruptions detected and
+    /// corrected, verification overhead. All zeros under `--integrity off`
+    /// and for CPU engines.
+    pub integrity: IntegrityReport,
+    /// What the device's fault plan actually injected (fault-injection
+    /// runs only; `None` when no plan was installed). Lets chaos harnesses
+    /// compare detected corruption against injected ground truth.
+    pub faults_injected: Option<cuda_sim::FaultStats>,
+    /// Per-launch trace slots the simulator dropped because a kernel asked
+    /// for more slots than the device records (diagnostic; normally 0).
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -238,8 +249,40 @@ impl RunReport {
                 self.recovery.salvaged_slabs, self.recovery.recomputed_slabs
             ));
         }
+        if self.integrity.checks_run > 0 {
+            s.push_str(&format!(
+                "; integrity: {} check(s), {} corruption(s) detected \
+                 ({} CRC, {} ABFT, {} watchdog), {} corrected, \
+                 verify overhead {:.4} s",
+                self.integrity.checks_run,
+                self.integrity.corruptions_detected,
+                self.integrity.transfer_crc_failures,
+                self.integrity.abft_mismatches,
+                self.integrity.watchdog_timeouts,
+                self.integrity.corruptions_corrected,
+                self.integrity.verify_overhead_s,
+            ));
+            if self.integrity.cpu_fallback_slabs > 0 {
+                s.push_str(&format!(
+                    " ({} slab(s) repaired from the host reference)",
+                    self.integrity.cpu_fallback_slabs
+                ));
+            }
+        }
+        if self.trace_dropped > 0 {
+            s.push_str(&format!(
+                "; {} launch-trace slot(s) dropped",
+                self.trace_dropped
+            ));
+        }
         if let Some(fallback) = &self.fallback {
             s.push_str(&format!("; DEGRADED: {fallback}"));
+        }
+        if self.integrity.degraded() {
+            s.push_str(
+                "; INTEGRITY-DEGRADED: silent corruption was detected and \
+                 repaired during this run",
+            );
         }
         s
     }
@@ -284,6 +327,9 @@ mod tests {
             plan: None,
             fallback: None,
             recovery: RecoveryAccounting::default(),
+            integrity: IntegrityReport::default(),
+            faults_injected: None,
+            trace_dropped: 0,
         }
     }
 
@@ -428,6 +474,49 @@ mod tests {
         assert!(s.contains("predicted 1.8000 s, 10.0 % off"), "{s}");
         assert!(s.contains("2 candidate(s) scored"), "{s}");
         assert!((r.plan.unwrap().prediction_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_integrity() {
+        let quiet = report().summary();
+        assert!(!quiet.contains("integrity"), "{quiet}");
+        assert!(!quiet.contains("INTEGRITY-DEGRADED"), "{quiet}");
+
+        // Clean verified run: checks reported, no degradation marker.
+        let mut r = report();
+        r.integrity.checks_run = 9;
+        r.integrity.verify_overhead_s = 0.0125;
+        let s = r.summary();
+        assert!(
+            s.contains("integrity: 9 check(s), 0 corruption(s) detected"),
+            "{s}"
+        );
+        assert!(s.contains("verify overhead 0.0125 s"), "{s}");
+        assert!(!s.contains("INTEGRITY-DEGRADED"), "{s}");
+
+        // Corruption caught and scrubbed: the run is marked degraded.
+        r.integrity.corruptions_detected = 2;
+        r.integrity.corruptions_corrected = 2;
+        r.integrity.abft_mismatches = 1;
+        r.integrity.transfer_crc_failures = 1;
+        r.integrity.cpu_fallback_slabs = 1;
+        let s = r.summary();
+        assert!(
+            s.contains("2 corruption(s) detected (1 CRC, 1 ABFT, 0 watchdog), 2 corrected"),
+            "{s}"
+        );
+        assert!(
+            s.contains("1 slab(s) repaired from the host reference"),
+            "{s}"
+        );
+        assert!(s.contains("INTEGRITY-DEGRADED"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_trace_drops() {
+        let mut r = report();
+        r.trace_dropped = 3;
+        assert!(r.summary().contains("3 launch-trace slot(s) dropped"));
     }
 
     #[test]

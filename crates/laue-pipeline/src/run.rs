@@ -11,8 +11,8 @@ use laue_core::journal::{JournalKey, RunJournal, SlabProgress};
 use laue_core::multi::{reconstruct_multi_checkpointed, MultiGpuReconstruction};
 use laue_core::planner::{plan_run, RunPlan, TableWarmth};
 use laue_core::{
-    cpu, AccumulationMode, CompactionMode, PlanMode, ReconstructionConfig, ScanGeometry, ScanView,
-    SlabSource,
+    cpu, AccumulationMode, CompactionMode, IntegrityReport, PlanMode, ReconstructionConfig,
+    ScanGeometry, ScanView, SlabSource,
 };
 use laue_wire::ScanFile;
 
@@ -197,6 +197,9 @@ impl Pipeline {
                     plan: None,
                     fallback: None,
                     recovery: RecoveryAccounting::default(),
+                    integrity: IntegrityReport::default(),
+                    faults_injected: None,
+                    trace_dropped: 0,
                 })
             }
             Engine::Gpu { .. }
@@ -289,11 +292,12 @@ impl Pipeline {
             None => SlabProgress::new(cfg.n_depth_bins, dims.1, dims.2),
         };
 
+        let devices_used: Vec<Arc<Device>>;
         let outcome = match engine {
             Engine::GpuMulti { devices } => {
                 let fleet = self.gpu_fleet(devices);
                 let refs: Vec<&Device> = fleet.iter().map(|d| d.as_ref()).collect();
-                reconstruct_multi_checkpointed(
+                let r = reconstruct_multi_checkpointed(
                     &refs,
                     source,
                     geom,
@@ -304,11 +308,13 @@ impl Pipeline {
                     &mut progress,
                     journal.as_mut(),
                 )
-                .map(GpuOutcome::Multi)
+                .map(GpuOutcome::Multi);
+                devices_used = fleet;
+                r
             }
             _ => {
                 let device = self.gpu_device();
-                gpu::reconstruct_checkpointed(
+                let r = gpu::reconstruct_checkpointed(
                     &device,
                     source,
                     geom,
@@ -319,9 +325,24 @@ impl Pipeline {
                     &mut progress,
                     journal.as_mut(),
                 )
-                .map(GpuOutcome::Single)
+                .map(GpuOutcome::Single);
+                devices_used = vec![device];
+                r
             }
         };
+        // Fault-injection ground truth and trace-drop diagnostics, summed
+        // over every device the run touched.
+        let mut faults_injected: Option<cuda_sim::FaultStats> = None;
+        let mut trace_dropped = 0u64;
+        for d in &devices_used {
+            if let Some(fs) = d.fault_stats() {
+                faults_injected
+                    .get_or_insert_with(Default::default)
+                    .merge(&fs);
+            }
+            trace_dropped += d.trace_dropped();
+        }
+        drop(devices_used);
 
         match outcome {
             Ok(out) => {
@@ -332,6 +353,8 @@ impl Pipeline {
                 let resolved_depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
                 let mut report =
                     gpu_report(engine, out, dims, input_bytes, resolved_depth, resume_info);
+                report.faults_injected = faults_injected;
+                report.trace_dropped = trace_dropped;
                 // The explain block compares the prediction against the
                 // measured virtual makespan of the very run it planned.
                 report.plan = run_plan.map(|p| PlanExplain {
@@ -347,16 +370,21 @@ impl Pipeline {
                 });
                 Ok(report)
             }
-            Err(e) => self.degrade_salvage(
-                source,
-                geom,
-                cfg,
-                engine,
-                e,
-                &mut progress,
-                journal,
-                resume_info,
-            ),
+            Err(e) => {
+                let mut report = self.degrade_salvage(
+                    source,
+                    geom,
+                    cfg,
+                    engine,
+                    e,
+                    &mut progress,
+                    journal,
+                    resume_info,
+                )?;
+                report.faults_injected = faults_injected;
+                report.trace_dropped = trace_dropped;
+                Ok(report)
+            }
         }
     }
 
@@ -541,6 +569,11 @@ impl Pipeline {
                 devices_lost,
                 resume,
             },
+            // Whatever the GPU verified before dying is moot: the CPU
+            // recomputed the uncovered bands from the source directly.
+            integrity: IntegrityReport::default(),
+            faults_injected: None,
+            trace_dropped: 0,
         })
     }
 }
@@ -590,6 +623,9 @@ fn gpu_report(
             plan: None,
             fallback: None,
             recovery: recovery(0),
+            integrity: out.integrity,
+            faults_injected: None,
+            trace_dropped: 0,
         },
         GpuOutcome::Multi(out) => RunReport {
             engine: engine.label(),
@@ -616,6 +652,9 @@ fn gpu_report(
             plan: None,
             fallback: None,
             recovery: recovery(out.devices_lost),
+            integrity: out.integrity,
+            faults_injected: None,
+            trace_dropped: 0,
         },
     }
 }
@@ -654,13 +693,14 @@ fn journal_key(
     );
     let _ = write!(
         d,
-        "slab={:?};ring={:?};engine={};compaction={};accumulation={};plan={}",
+        "slab={:?};ring={:?};engine={};compaction={};accumulation={};plan={};integrity={}",
         cfg.rows_per_slab,
         cfg.pipeline_depth,
         engine.label(),
         cfg.compaction.label(),
         cfg.accumulation.label(),
-        plan_token
+        plan_token,
+        cfg.integrity.label()
     );
     JournalKey::new(d)
 }
@@ -1304,5 +1344,223 @@ mod tests {
         assert!(p
             .run_scan_file("/nonexistent/scan.mh5", &cfg(), Engine::CpuSeq)
             .is_err());
+    }
+
+    #[test]
+    fn scrub_repairs_injected_transfer_corruption_bit_identically() {
+        let (path, _) = scan_file("scrub_h2d");
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let clean = Pipeline::default()
+            .run_scan_file(&path, &cfg(), gpu)
+            .unwrap();
+
+        let mut c = cfg();
+        c.integrity = laue_core::IntegrityMode::Scrub;
+        let p = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(5).flip_nth_h2d(2)),
+            ..Pipeline::default()
+        };
+        let r = p.run_scan_file(&path, &c, gpu).unwrap();
+        let injected = r.faults_injected.expect("fault plan installed");
+        assert!(injected.h2d_flipped >= 1, "{injected:?}");
+        assert!(r.integrity.transfer_crc_failures >= 1, "{:?}", r.integrity);
+        assert_eq!(
+            r.integrity.corruptions_corrected, r.integrity.corruptions_detected,
+            "every detection repaired: {:?}",
+            r.integrity
+        );
+        assert_eq!(r.image.data, clean.image.data, "repaired bit-identically");
+        assert_eq!(r.stats, clean.stats);
+        assert!(
+            r.summary().contains("INTEGRITY-DEGRADED"),
+            "{}",
+            r.summary()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scrub_reexecutes_a_slab_after_a_silent_kernel_flip() {
+        let (path, _) = scan_file("scrub_kernel");
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let clean = Pipeline::default()
+            .run_scan_file(&path, &cfg(), gpu)
+            .unwrap();
+
+        let mut c = cfg();
+        c.integrity = laue_core::IntegrityMode::Scrub;
+        let p = Pipeline {
+            fault_plan: Some(
+                cuda_sim::FaultPlan::new(5)
+                    .flip_nth_kernel(1)
+                    .flip_op_index(3),
+            ),
+            ..Pipeline::default()
+        };
+        let r = p.run_scan_file(&path, &c, gpu).unwrap();
+        let injected = r.faults_injected.expect("fault plan installed");
+        assert!(injected.kernel_flipped >= 1, "{injected:?}");
+        assert!(r.integrity.abft_mismatches >= 1, "{:?}", r.integrity);
+        assert!(
+            r.integrity.scrub_retries >= 1,
+            "the condemned slab re-executed: {:?}",
+            r.integrity
+        );
+        assert_eq!(r.image.data, clean.image.data, "repaired bit-identically");
+        assert_eq!(r.stats, clean.stats);
+        assert!(
+            r.summary().contains("INTEGRITY-DEGRADED"),
+            "{}",
+            r.summary()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_aborts_on_silent_corruption_instead_of_exporting_it() {
+        let (path, _) = scan_file("verify_abort");
+        let mut c = cfg();
+        c.integrity = laue_core::IntegrityMode::Verify;
+        let p = Pipeline {
+            fault_plan: Some(
+                cuda_sim::FaultPlan::new(5)
+                    .flip_nth_kernel(1)
+                    .flip_op_index(3),
+            ),
+            ..Pipeline::default()
+        };
+        let err = p
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::Gpu {
+                    layout: Layout::Flat1d,
+                },
+            )
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("integrity"), "{msg}");
+        assert!(msg.contains("scrub"), "points at the repair mode: {msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn watchdog_condemns_a_stalled_launch_under_scrub() {
+        let (path, _) = scan_file("watchdog");
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let clean = Pipeline::default()
+            .run_scan_file(&path, &cfg(), gpu)
+            .unwrap();
+
+        let mut c = cfg();
+        c.integrity = laue_core::IntegrityMode::Scrub;
+        let p = Pipeline {
+            // A stall far past any cost-model prediction: the kernel
+            // "succeeds" (sums intact) but blows its watchdog deadline.
+            fault_plan: Some(cuda_sim::FaultPlan::new(5).stall_nth_kernel(1, 5.0)),
+            ..Pipeline::default()
+        };
+        let r = p.run_scan_file(&path, &c, gpu).unwrap();
+        let injected = r.faults_injected.expect("fault plan installed");
+        assert!(injected.kernel_stalled >= 1, "{injected:?}");
+        assert!(r.integrity.watchdog_timeouts >= 1, "{:?}", r.integrity);
+        assert!(r.integrity.corruptions_detected >= 1, "{:?}", r.integrity);
+        assert_eq!(r.image.data, clean.image.data, "repaired bit-identically");
+        assert_eq!(r.stats, clean.stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression for submission-order-stable fault ordinals: one fault
+    /// spec must fire on the same transfers/launches whether the ring runs
+    /// serial or deep, because the dice are keyed on per-kind submission
+    /// ordinals, not on completion times or wall-clock interleaving.
+    #[test]
+    fn fault_ordinals_are_stable_across_pipeline_depths() {
+        let (path, _) = scan_file("ordinal_depth");
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let clean = Pipeline::default()
+            .run_scan_file(&path, &cfg(), gpu)
+            .unwrap();
+
+        let spec = cuda_sim::FaultPlan::new(0)
+            .h2d_fault_rate(0.25)
+            .flip_nth_d2h(2);
+        let run_at_depth = |depth: usize| {
+            let mut c = cfg();
+            c.integrity = laue_core::IntegrityMode::Scrub;
+            c.pipeline_depth = Some(depth);
+            let p = Pipeline {
+                fault_plan: Some(spec.clone()),
+                ..Pipeline::default()
+            };
+            p.run_scan_file(&path, &c, gpu).unwrap()
+        };
+        let serial = run_at_depth(1);
+        let deep = run_at_depth(3);
+        assert_eq!(
+            serial.faults_injected, deep.faults_injected,
+            "the same faults must fire at every ring depth"
+        );
+        assert_eq!(
+            serial.gpu_transfer_retries, deep.gpu_transfer_retries,
+            "identical transient-fault schedule"
+        );
+        assert_eq!(
+            serial.integrity.transfer_crc_failures, deep.integrity.transfer_crc_failures,
+            "identical silent-corruption detections"
+        );
+        for r in [&serial, &deep] {
+            assert_eq!(r.image.data, clean.image.data);
+            assert_eq!(r.stats, clean.stats);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn integrity_mode_participates_in_the_journal_key() {
+        let mut c = cfg();
+        let gpu = Engine::Gpu {
+            layout: Layout::Flat1d,
+        };
+        let off = journal_key(gpu, &c, (12, 8, 8), Some(1), "fixed");
+        c.integrity = laue_core::IntegrityMode::Scrub;
+        let scrub = journal_key(gpu, &c, (12, 8, 8), Some(1), "fixed");
+        assert_ne!(
+            off.hash, scrub.hash,
+            "an integrity flip must force a clean restart"
+        );
+    }
+
+    #[test]
+    fn multi_gpu_scrub_repairs_and_reports_fleet_integrity() {
+        let (path, _) = scan_file("multi_scrub");
+        let engine = Engine::GpuMulti { devices: 2 };
+        let clean = Pipeline::default()
+            .run_scan_file(&path, &cfg(), engine)
+            .unwrap();
+
+        let mut c = cfg();
+        c.integrity = laue_core::IntegrityMode::Scrub;
+        let p = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(5).flip_nth_h2d(2)),
+            // Corrupt one fleet device only — the report still aggregates.
+            fault_device: Some(0),
+            ..Pipeline::default()
+        };
+        let r = p.run_scan_file(&path, &c, engine).unwrap();
+        let injected = r.faults_injected.expect("fault plan installed");
+        assert!(injected.h2d_flipped >= 1, "{injected:?}");
+        assert!(r.integrity.transfer_crc_failures >= 1, "{:?}", r.integrity);
+        assert_eq!(r.image.data, clean.image.data, "repaired bit-identically");
+        assert_eq!(r.stats, clean.stats);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -112,6 +112,72 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
     )
 }
 
+/// One random silent-corruption schedule: which fault family fires, at
+/// which scheduled ordinal, and which checking mode must catch it.
+#[derive(Debug, Clone)]
+struct CorruptionCase {
+    seed: u64,
+    family: u8,
+    nth: u64,
+    byte: u64,
+    op: u64,
+    scrub: bool,
+    fleet: bool,
+    compaction: CompactionMode,
+    accumulation: AccumulationMode,
+}
+
+impl CorruptionCase {
+    fn fault_plan(&self) -> FaultPlan {
+        let plan = FaultPlan::new(self.seed);
+        match self.family {
+            0 => plan.flip_nth_h2d(self.nth).flip_byte_offset(self.byte),
+            1 => plan.flip_nth_d2h(self.nth).flip_byte_offset(self.byte),
+            2 => plan.flip_nth_kernel(self.nth).flip_op_index(self.op),
+            _ => plan.stall_nth_kernel(self.nth, 3.0),
+        }
+    }
+}
+
+fn arb_corruption() -> impl Strategy<Value = CorruptionCase> {
+    (
+        any::<u64>(),
+        0u8..4,
+        1u64..=5,
+        0u64..32,
+        0u64..4,
+        any::<bool>(),
+        any::<bool>(),
+        (
+            prop_oneof![
+                Just(CompactionMode::Off),
+                Just(CompactionMode::Auto),
+                Just(CompactionMode::On)
+            ],
+            prop_oneof![
+                Just(AccumulationMode::Atomic),
+                Just(AccumulationMode::Privatized),
+                Just(AccumulationMode::Auto)
+            ],
+        ),
+    )
+        .prop_map(
+            |(seed, family, nth, byte, op, scrub, fleet, (compaction, accumulation))| {
+                CorruptionCase {
+                    seed,
+                    family,
+                    nth,
+                    byte,
+                    op,
+                    scrub,
+                    fleet,
+                    compaction,
+                    accumulation,
+                }
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -485,6 +551,77 @@ proptest! {
             "fitted {} vs true {shift}",
             cal.offset_along_scan
         );
+    }
+
+    /// Under an arbitrary silent-corruption schedule, a checking run
+    /// either completes bit-identical to the fault-free reference or
+    /// aborts with a detected integrity violation — never a silent
+    /// mismatch. And a fault that actually fired is always detected:
+    /// checked transfers catch the flips in flight, the ABFT depth-sum
+    /// check (exact in the default sequential exec mode) catches the
+    /// kernel flip, and the watchdog catches the stall.
+    #[test]
+    fn integrity_never_admits_a_silent_mismatch(
+        s in arb_scenario(),
+        c in arb_corruption(),
+    ) {
+        let scan = SyntheticScanBuilder::new(s.rows, s.cols, s.steps)
+            .scatterers(3)
+            .noise(0.5)
+            .seed(s.seed)
+            .build()
+            .unwrap();
+        let mut cfg = ReconstructionConfig::new(-1500.0, 1500.0, 50);
+        // Several slabs per run, so the scheduled ordinals have launches
+        // and transfers to land on.
+        cfg.rows_per_slab = Some(2);
+        cfg.compaction = c.compaction;
+        cfg.accumulation = c.accumulation;
+        let engine = if c.fleet {
+            Engine::GpuMulti { devices: 2 }
+        } else {
+            Engine::GpuPipelined
+        };
+
+        let mut source =
+            InMemorySlabSource::new(scan.images.clone(), s.steps, s.rows, s.cols).unwrap();
+        let reference = Pipeline::default()
+            .run_source(&mut source, &scan.geometry, &cfg, engine)
+            .unwrap();
+
+        cfg.integrity = if c.scrub { IntegrityMode::Scrub } else { IntegrityMode::Verify };
+        let p = Pipeline {
+            fault_plan: Some(c.fault_plan()),
+            ..Pipeline::default()
+        };
+        let mut source =
+            InMemorySlabSource::new(scan.images.clone(), s.steps, s.rows, s.cols).unwrap();
+        match p.run_source(&mut source, &scan.geometry, &cfg, engine) {
+            Ok(r) => {
+                // The one forbidden outcome is completing with different
+                // data — everything below is bitwise.
+                prop_assert_eq!(&r.image.data, &reference.image.data, "silent mismatch: {:?}", c);
+                let silent = r.faults_injected.map_or(0, |f| f.total_silent());
+                if silent > 0 {
+                    prop_assert!(
+                        r.integrity.corruptions_detected > 0,
+                        "{silent} silent fault(s) fired undetected: {:?}",
+                        c
+                    );
+                }
+                prop_assert_eq!(
+                    r.integrity.corruptions_corrected,
+                    r.integrity.corruptions_detected
+                );
+            }
+            Err(e) => {
+                // Only verify is allowed to abort, and only on a
+                // *detected* violation; scrub must always repair.
+                let msg = e.to_string();
+                prop_assert!(!c.scrub, "scrub failed to repair: {msg} ({:?})", c);
+                prop_assert!(msg.contains("integrity"), "undiagnosed abort: {msg} ({:?})", c);
+            }
+        }
     }
 
     /// The planner always produces a runnable scan that covers its target
