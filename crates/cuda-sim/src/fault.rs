@@ -270,6 +270,18 @@ impl FaultStats {
         self.kernel_flipped += other.kernel_flipped;
         self.kernel_stalled += other.kernel_stalled;
     }
+
+    /// Merge any granularity of the fleet hierarchy — the devices of one
+    /// node, or the per-node totals of a cluster — into one aggregate.
+    /// `None` when no member carried a fault plan, so reports can
+    /// distinguish "no faults configured" from "configured, fired zero".
+    pub fn merge_all(stats: impl IntoIterator<Item = FaultStats>) -> Option<FaultStats> {
+        let mut acc: Option<FaultStats> = None;
+        for s in stats {
+            acc.get_or_insert_with(FaultStats::default).merge(&s);
+        }
+        acc
+    }
 }
 
 /// What the plan wants done to the payload of one (successful) transfer.

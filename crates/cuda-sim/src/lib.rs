@@ -58,6 +58,7 @@
 
 pub mod alloc;
 pub mod checksum;
+pub mod cluster;
 pub mod device;
 pub mod error;
 pub mod event;
@@ -71,6 +72,7 @@ pub mod sim;
 pub mod stream;
 pub mod trace;
 
+pub use cluster::{Cluster, ClusterConfig, Delivery, Interconnect, InterconnectProps};
 pub use device::{Device, TimeSpan};
 pub use error::{SimError, TransferDir};
 pub use event::Event;

@@ -62,6 +62,8 @@ fn main() {
     let mut ladder = Vec::new();
     for w in &workloads {
         let mut row = format!("    {{\"label\": \"{}\", \"bytes\": {}", w.label, w.bytes);
+        let mut serial = (0.0, 0.0, 0.0); // (total, comm, compute)
+        let mut pipe_total = 0.0;
         for (key, engine) in [
             ("cpu_seq", Engine::CpuSeq),
             (
@@ -76,6 +78,11 @@ fn main() {
             let r = pipeline
                 .run_source(&mut source, &w.scan.geometry, &cfg, engine)
                 .expect("pipeline run");
+            match key {
+                "gpu_serial" => serial = (r.total_time_s, r.comm_time_s, r.compute_time_s),
+                "gpu_pipe" => pipe_total = r.total_time_s,
+                _ => {}
+            }
             write!(
                 row,
                 ", \"{key}\": {{\"total_s\": {:.9}, \"comm_s\": {:.9}, \
@@ -93,6 +100,17 @@ fn main() {
             )
             .unwrap();
         }
+        // Which resource dominates the serial GPU run at this size, and how
+        // much of it the overlapped ring claws back — the §III comm-vs-comp
+        // axis as two derived columns.
+        let (serial_total, serial_comm, serial_compute) = serial;
+        write!(
+            row,
+            ", \"bus_bound\": {}, \"ring_saving_s\": {:.9}",
+            serial_comm > serial_compute,
+            serial_total - pipe_total
+        )
+        .unwrap();
         row.push('}');
         ladder.push(row);
     }

@@ -5,7 +5,7 @@
 //! baseline), a consumer Fermi with throttled double precision (GTX 580),
 //! and the next-generation Tesla K40 with native f64 atomics.
 
-use cuda_sim::{DeviceProps, HostProps};
+use cuda_sim::{DeviceProps, HostProps, InterconnectProps};
 
 /// The hardware-era device matrix: M2070 (paper), GTX 580, K40.
 pub fn era_matrix() -> Vec<DeviceProps> {
@@ -13,6 +13,19 @@ pub fn era_matrix() -> Vec<DeviceProps> {
         DeviceProps::tesla_m2070(),
         DeviceProps::gtx_580(),
         DeviceProps::tesla_k40(),
+    ]
+}
+
+/// The cluster-fabric matrix for the scaling studies: the era's QDR and
+/// FDR InfiniBand, an NVLink-class fabric as the optimistic ceiling, and
+/// gigabit Ethernet as the pessimistic floor. Leads with QDR — the
+/// pipeline's default interconnect.
+pub fn fabric_matrix() -> Vec<InterconnectProps> {
+    vec![
+        InterconnectProps::ib_qdr(),
+        InterconnectProps::ib_fdr(),
+        InterconnectProps::nvlink_class(),
+        InterconnectProps::gige(),
     ]
 }
 
@@ -24,6 +37,25 @@ pub fn paper_host() -> HostProps {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fabric_matrix_leads_with_the_default_and_resolves_by_name() {
+        let m = fabric_matrix();
+        assert_eq!(m[0], InterconnectProps::ib_qdr());
+        for f in &m {
+            assert_eq!(
+                InterconnectProps::by_name(&f.name).as_ref(),
+                Some(f),
+                "preset {} must resolve through by_name",
+                f.name
+            );
+        }
+        for i in 0..m.len() {
+            for j in i + 1..m.len() {
+                assert_ne!(m[i].name, m[j].name);
+            }
+        }
+    }
 
     #[test]
     fn era_matrix_leads_with_the_paper_device() {

@@ -12,6 +12,7 @@
 //! | `ablate_atomics` | design (§III-C) | atomic-add cost share |
 //! | `ablate_pipeline_depth` | related work | ring depth of the copy/compute pipeline |
 //! | `bench_report` | — | machine-readable pipeline benchmark (`BENCH_pipeline.json`) |
+//! | `bench_scaling` | — | cluster strong/weak scaling, overlap, topology, fabrics (`BENCH_scaling.json`) |
 //!
 //! The paper's datasets are 2.1–5.2 **GB** beamline scans; this harness
 //! generates geometrically similar synthetic scans at 1/1000 scale

@@ -53,9 +53,11 @@ const MAGIC: [u8; 8] = *b"LAUEJRN1";
 // accum_fallback_pairs); v4 folds the resolved execution plan into the
 // journal key, so a plan flip forces a clean restart; v5 prefixes every
 // payload with a record-kind word (commit/poison) and folds the integrity
-// mode into the key. An older journal fails the version check and the run
-// starts fresh — exactly the safe behaviour for a format change.
-const VERSION: u32 = 5;
+// mode into the key; v6 folds the cluster topology (node layout, reduction
+// routing, overlap) into the key, so resuming under a different cluster
+// shape restarts clean. An older journal fails the version check and the
+// run starts fresh — exactly the safe behaviour for a format change.
+const VERSION: u32 = 6;
 
 /// Payload kind word: a committed slab.
 const KIND_COMMIT: u64 = 0;

@@ -40,6 +40,7 @@
 
 pub mod cache;
 pub mod calibrate;
+pub mod cluster;
 pub mod config;
 pub mod cpu;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod post;
 pub mod stats;
 pub mod uncertainty;
 
+pub use cluster::{ClusterOptions, ClusterReconstruction, NodeOutcome, ReductionTopology};
 pub use config::{AccumulationMode, CompactionMode, IntegrityMode, PlanMode, ReconstructionConfig};
 pub use error::CoreError;
 pub use geometry::ScanGeometry;

@@ -192,14 +192,49 @@ pub fn reconstruct_multi_checkpointed(
     depth: PipelineDepth,
     cache: Option<&DepthTableCache>,
     progress: &mut SlabProgress,
+    journal: Option<&mut RunJournal>,
+) -> Result<MultiGpuReconstruction> {
+    // One scope range covering the whole detector (not a range of scopes,
+    // which is what clippy's single_range_in_vec_init guards against).
+    let scope = std::array::from_fn::<_, 1, _>(|_| 0..source.n_rows());
+    reconstruct_multi_scoped(
+        devices, source, geom, cfg, opts, depth, cache, &scope, progress, journal, None, true,
+    )
+}
+
+/// Scope-restricted fleet run: the workhorse behind both the whole-detector
+/// entry point above and the per-node bands of `cluster`. Only rows inside
+/// `scope` (disjoint, row-ordered ranges) are considered uncovered; the
+/// round-based failover loop is otherwise identical.
+///
+/// `on_commit` (when given) observes every fresh slab commit as
+/// `(row0, rows, at_s)`, where `at_s` is the committing device's virtual
+/// elapsed time read *without* synchronizing — the cluster layer uses it to
+/// release reduction segments into the interconnect while the rest of the
+/// band is still computing. `fresh_meters` controls whether a device's
+/// meters reset on its first participation in *this call*: a cluster
+/// failover round re-enters a node whose devices must keep accumulating
+/// virtual time, so it passes `false` after the node's first round.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_multi_scoped(
+    devices: &[&Device],
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
+    scope: &[std::ops::Range<usize>],
+    progress: &mut SlabProgress,
     mut journal: Option<&mut RunJournal>,
+    mut on_commit: Option<&mut dyn FnMut(usize, usize, f64)>,
+    fresh_meters: bool,
 ) -> Result<MultiGpuReconstruction> {
     if devices.is_empty() {
         return Err(CoreError::InvalidConfig("need at least one device".into()));
     }
     validate_inputs(source, geom, cfg)?;
     let mapper = geom.mapper()?;
-    let n_rows = source.n_rows();
     let depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
 
     let mut recovery = RecoveryLog::default();
@@ -214,7 +249,10 @@ pub fn reconstruct_multi_checkpointed(
     let mut last_gpu_err: Option<CoreError> = None;
 
     loop {
-        let pending = progress.uncovered(0..n_rows);
+        let pending: Vec<std::ops::Range<usize>> = scope
+            .iter()
+            .flat_map(|band| progress.uncovered(band.clone()))
+            .collect();
         if pending.is_empty() {
             break;
         }
@@ -230,13 +268,16 @@ pub fn reconstruct_multi_checkpointed(
             let di = alive_idx[k];
             let device = devices[di];
             if !participated[di] {
-                device.reset_meters();
+                if fresh_meters {
+                    device.reset_meters();
+                }
                 participated[di] = true;
             }
             for band in ranges {
                 let before = progress.committed_rows();
                 let (image, mut tracker) = progress.split_mut();
                 let mut journal = journal.as_deref_mut();
+                let mut observer = on_commit.as_deref_mut();
                 let mut sink = |event: SlabEvent<'_>| match event {
                     SlabEvent::Commit {
                         row0,
@@ -248,6 +289,13 @@ pub fn reconstruct_multi_checkpointed(
                             j.append(row0, rows, stats, data)?;
                         }
                         tracker.record(row0, rows, stats);
+                        if let Some(obs) = observer.as_mut() {
+                            // The device's non-mutating makespan read: when
+                            // this slab's download has been scheduled. A
+                            // synchronize() here would join stream cursors
+                            // and perturb the ring schedule.
+                            obs(row0, rows, device.elapsed_s());
+                        }
                         Ok(())
                     }
                     SlabEvent::Poison { row0, rows } => {

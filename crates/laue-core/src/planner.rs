@@ -39,9 +39,12 @@
 //! virtual elapsed time excludes it too — predictions are compared against
 //! measurements like for like.
 
-use cuda_sim::{ChainEstimator, Cost, DeviceProps, HostProps};
+use cuda_sim::{ChainEstimator, Cost, DeviceProps, HostProps, InterconnectProps};
 use laue_geometry::DepthMapper;
 
+use crate::cluster::{
+    node_bands, reduction_segment_bytes, route_hops, ClusterOptions, ReductionTopology,
+};
 use crate::config::{AccumulationMode, CompactionMode, ReconstructionConfig};
 use crate::error::CoreError;
 use crate::geometry::ScanGeometry;
@@ -906,6 +909,183 @@ pub fn plan_run(
     })
 }
 
+/// Marginal speedup per extra device on one shared-bus chassis. PR 6
+/// grounded intra-node multi-GPU at ~1.10× over eight devices (k ≥ 2 is
+/// exactly bus-bound), so each extra device past the first buys ~1.4 %.
+const INTRA_NODE_MARGINAL: f64 = 0.10 / 7.0;
+
+/// A cluster execution plan: chosen reduction settings plus the priced
+/// sweep over node count × topology × overlap.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// Reduction settings of the winner at the *requested* node count.
+    pub options: ClusterOptions,
+    /// Node count the choice is priced at (always the requested one — the
+    /// sweep over other counts is advisory, in `candidates`).
+    pub nodes: usize,
+    /// Predicted cluster makespan, seconds.
+    pub predicted_s: f64,
+    /// Predicted slowest-node compute, seconds.
+    pub compute_s: f64,
+    /// Predicted reduction time not hidden behind compute, seconds.
+    pub reduction_exposed_s: f64,
+    /// Stable label, e.g. `n8x1/tree+overlap`, folded into the journal
+    /// key under `--plan auto`.
+    pub label: String,
+    /// The underlying single-device run plan the per-node estimate scales.
+    pub per_node: RunPlan,
+    /// Every scored cluster candidate (node count × topology × overlap).
+    pub candidates: Vec<PlannedCandidate>,
+}
+
+/// Closed-form reduction estimate matching the executor's schedule shape:
+/// every byte funnels through the head node's receive link (the gather
+/// bound), plus the route's store-and-forward latency for the farthest
+/// node, with per-message overhead multiplied out under fine-grained
+/// overlap segments.
+#[allow(clippy::too_many_arguments)]
+fn reduction_estimate(
+    net: &InterconnectProps,
+    nodes: usize,
+    topology: ReductionTopology,
+    overlap: bool,
+    compute_s: f64,
+    n_rows: usize,
+    n_cols: usize,
+    n_bins: usize,
+    rows_per_slab: usize,
+) -> (f64, f64) {
+    if nodes <= 1 {
+        return (compute_s, 0.0);
+    }
+    let bands = node_bands(n_rows, nodes);
+    let msg = |rows: usize| net.message_time(reduction_segment_bytes(rows, n_cols, n_bins));
+    let max_hops = (1..bands.len())
+        .map(|i| route_hops(topology, i))
+        .max()
+        .unwrap_or(0);
+    if !overlap {
+        // One whole-band message per node after a global barrier: the head
+        // link drains them serially; the farthest route stacks its hops.
+        let drain: f64 = bands[1..].iter().map(|b| msg(b.len())).sum();
+        let path = bands[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, b)| route_hops(topology, i + 1) as f64 * msg(b.len()))
+            .fold(0.0, f64::max);
+        let exposed = drain.max(path);
+        (compute_s + exposed, exposed)
+    } else {
+        // Slab-sized segments released across the compute window: the
+        // drain can start almost immediately, so only the tail past the
+        // slowest node's compute is exposed — at minimum, the last
+        // segment's own trip down its route.
+        let drain: f64 = bands[1..]
+            .iter()
+            .map(|b| {
+                let slabs = b.len().div_ceil(rows_per_slab).max(1);
+                let per = b.len().div_ceil(slabs);
+                slabs as f64 * msg(per)
+            })
+            .sum();
+        let last_rows = bands.last().unwrap().len().min(rows_per_slab).max(1);
+        let tail = max_hops as f64 * msg(last_rows);
+        let total = (compute_s + tail).max(drain + tail);
+        (total, total - compute_s)
+    }
+}
+
+/// Price a cluster run: node count × reduction topology × overlap, on the
+/// same calibrated cost model as [`plan_run`]. The per-node compute
+/// estimate scales the single-device run plan by the slowest band's row
+/// share (bands are row-uniform to first order) and applies the PR 6
+/// shared-chassis margin for extra devices per node; the reduction
+/// estimate mirrors the executor's head-link-bound schedule. The chosen
+/// topology/overlap is the argmin at the requested node count — the sweep
+/// over power-of-two node counts is reported in `candidates` so scaling
+/// studies can read the priced curve.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_cluster(
+    props: &DeviceProps,
+    host: &HostProps,
+    net: &InterconnectProps,
+    nodes: usize,
+    devices_per_node: usize,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    warmth: TableWarmth,
+) -> Result<ClusterPlan> {
+    if nodes == 0 || devices_per_node == 0 {
+        return Err(CoreError::InvalidConfig(
+            "a cluster plan needs at least one node and one device per node".into(),
+        ));
+    }
+    let per_node = plan_run(props, host, source, geom, cfg, warmth)?;
+    let n_rows = source.n_rows();
+    let n_cols = source.n_cols();
+    let n_bins = cfg.n_depth_bins;
+    let intra = 1.0 + INTRA_NODE_MARGINAL * (devices_per_node.saturating_sub(1)) as f64;
+
+    let mut counts: Vec<usize> = Vec::new();
+    let mut k = 1;
+    while k < nodes {
+        counts.push(k);
+        k *= 2;
+    }
+    counts.push(nodes);
+
+    let mut candidates = Vec::new();
+    let mut best: Option<(ClusterOptions, f64, f64, f64)> = None;
+    for &k in &counts {
+        let max_band = node_bands(n_rows, k)
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(n_rows);
+        let compute_s = per_node.predicted_s * max_band as f64 / n_rows as f64 / intra;
+        for topology in [ReductionTopology::Tree, ReductionTopology::Ring] {
+            for overlap in [true, false] {
+                let (predicted_s, exposed) = reduction_estimate(
+                    net,
+                    k,
+                    topology,
+                    overlap,
+                    compute_s,
+                    n_rows,
+                    n_cols,
+                    n_bins,
+                    per_node.rows_per_slab,
+                );
+                let copts = ClusterOptions { topology, overlap };
+                candidates.push(PlannedCandidate {
+                    label: format!("n{k}x{devices_per_node}/{}", copts.label()),
+                    predicted_s,
+                    host_s: per_node.host_s,
+                });
+                if k == nodes {
+                    let better = best.is_none_or(|(_, b, _, _)| predicted_s < b);
+                    if better {
+                        best = Some((copts, predicted_s, compute_s, exposed));
+                    }
+                }
+            }
+        }
+    }
+    let (options, predicted_s, compute_s, reduction_exposed_s) =
+        best.expect("requested node count is always priced");
+    Ok(ClusterPlan {
+        options,
+        nodes,
+        predicted_s,
+        compute_s,
+        reduction_exposed_s,
+        label: format!("n{nodes}x{devices_per_node}/{}", options.label()),
+        per_node,
+        candidates,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -961,6 +1141,131 @@ mod tests {
                 ..test_rates()
             },
         }
+    }
+
+    #[test]
+    fn plan_cluster_prices_the_full_sweep_and_scales_compute_down() {
+        let (geom, stack) = test_scene();
+        let mut source = InMemorySlabSource::new(
+            stack,
+            geom.wire.n_steps,
+            geom.detector.n_rows,
+            geom.detector.n_cols,
+        )
+        .unwrap();
+        let cfg = ReconstructionConfig::new(-1500.0, 1500.0, 60);
+        let plan = plan_cluster(
+            &DeviceProps::tesla_m2070(),
+            &HostProps::xeon_e5630(),
+            &InterconnectProps::ib_qdr(),
+            4,
+            1,
+            &mut source,
+            &geom,
+            &cfg,
+            TableWarmth::default(),
+        )
+        .unwrap();
+        // counts {1, 2, 4} × 2 topologies × 2 overlap settings.
+        assert_eq!(plan.candidates.len(), 12);
+        assert!(plan.label.starts_with("n4x1/"));
+        assert!(plan.compute_s < plan.per_node.predicted_s);
+        assert!(plan.predicted_s >= plan.compute_s);
+        // On a fast fabric the overlapped variant never loses at the
+        // requested count.
+        assert!(plan.options.overlap);
+        // Single node is priced with zero reduction.
+        let n1: Vec<_> = plan
+            .candidates
+            .iter()
+            .filter(|c| c.label.starts_with("n1x1/"))
+            .collect();
+        assert!(n1
+            .iter()
+            .all(|c| (c.predicted_s - plan.per_node.predicted_s).abs() < 1e-12));
+    }
+
+    #[test]
+    fn reduction_estimate_rewards_overlap_when_compute_dominates() {
+        // Fabric sized so the drain is a visible fraction of compute but
+        // does not dominate it — the regime where releasing segments
+        // during the compute window actually hides them.
+        let fabric = InterconnectProps {
+            name: "fabric".to_string(),
+            bandwidth_bytes_per_s: 1.0e9,
+            latency_s: 1.0e-6,
+            duplex: cuda_sim::Duplex::Full,
+        };
+        let compute = 0.01;
+        let (on, on_exposed) = reduction_estimate(
+            &fabric,
+            8,
+            ReductionTopology::Tree,
+            true,
+            compute,
+            64,
+            48,
+            200,
+            8,
+        );
+        let (off, off_exposed) = reduction_estimate(
+            &fabric,
+            8,
+            ReductionTopology::Tree,
+            false,
+            compute,
+            64,
+            48,
+            200,
+            8,
+        );
+        assert!(off_exposed > 0.0);
+        assert!(on < off, "overlap must hide part of the reduction");
+        assert!(on_exposed < off_exposed);
+        // Ring routes pay at least as much as tree under a barrier.
+        let (off_ring, _) = reduction_estimate(
+            &fabric,
+            8,
+            ReductionTopology::Ring,
+            false,
+            compute,
+            64,
+            48,
+            200,
+            8,
+        );
+        assert!(off_ring >= off);
+
+        // When the fabric is so slow the drain dwarfs compute, the extra
+        // tail makes overlap a net loss — the trade-off plan_cluster
+        // prices instead of assuming overlap always wins.
+        let swamp = InterconnectProps {
+            bandwidth_bytes_per_s: 1.0e6,
+            ..fabric
+        };
+        let (on_slow, _) = reduction_estimate(
+            &swamp,
+            8,
+            ReductionTopology::Tree,
+            true,
+            compute,
+            64,
+            48,
+            200,
+            8,
+        );
+        let (off_slow, _) = reduction_estimate(
+            &swamp,
+            8,
+            ReductionTopology::Tree,
+            false,
+            compute,
+            64,
+            48,
+            200,
+            8,
+        );
+        assert!(on_slow >= off_slow);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Property tests for the reconstruction invariants:
 //! CPU ≡ GPU, chunking invariance, intensity conservation, cutoff monotonicity.
 
-use cuda_sim::{Device, DeviceProps, ExecMode};
+use cuda_sim::{Device, DeviceProps, ExecMode, Host, Interconnect, InterconnectProps};
 use laue_core::cache::{DepthTableCache, DepthTables, TableCacheStats, TableKey};
+use laue_core::cluster::reconstruct_cluster;
 use laue_core::gpu::{GpuOptions, Layout, PipelineDepth, Triangulation};
-use laue_core::{cpu, gpu, InMemorySlabSource, ReconstructionConfig, ScanGeometry, ScanView};
+use laue_core::{
+    cpu, gpu, AccumulationMode, ClusterOptions, CompactionMode, InMemorySlabSource,
+    ReconstructionConfig, ReductionTopology, ScanGeometry, ScanView,
+};
 use proptest::prelude::*;
 
 /// A generated scan scenario: geometry dims + synthetic stack.
@@ -223,5 +227,116 @@ proptest! {
         prop_assert_eq!(warm.host_table_flops, 0);
         prop_assert_eq!(&cold.image.data, &warm.image.data);
         prop_assert_eq!(cold.stats, warm.stats);
+    }
+}
+
+/// A generated cluster shape for the reduction-order property: node count
+/// (allowed to exceed the row count — excess nodes get empty bands), devices
+/// per node, topology, overlap, and the per-slab execution knobs.
+#[derive(Debug, Clone)]
+struct ClusterShape {
+    nodes: usize,
+    per_node: usize,
+    topology: ReductionTopology,
+    overlap: bool,
+    compaction: CompactionMode,
+    accumulation: AccumulationMode,
+}
+
+fn arb_cluster_shape() -> impl Strategy<Value = ClusterShape> {
+    (
+        1usize..=6,
+        1usize..=2,
+        prop_oneof![Just(ReductionTopology::Tree), Just(ReductionTopology::Ring)],
+        any::<bool>(),
+        prop_oneof![
+            Just(CompactionMode::Off),
+            Just(CompactionMode::Auto),
+            Just(CompactionMode::On)
+        ],
+        prop_oneof![
+            Just(AccumulationMode::Atomic),
+            Just(AccumulationMode::Privatized),
+            Just(AccumulationMode::Auto)
+        ],
+    )
+        .prop_map(
+            |(nodes, per_node, topology, overlap, compaction, accumulation)| ClusterShape {
+                nodes,
+                per_node,
+                topology,
+                overlap,
+                compaction,
+                accumulation,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both inter-node reduction orders (tree and ring, overlapped or
+    /// barriered) are bit-identical to the single-device reference for any
+    /// stack density, node count, devices-per-node, compaction mode, and
+    /// accumulation mode: row bands are disjoint, so the reduction is a
+    /// gather and no floating-point reassociation can occur.
+    #[test]
+    fn cluster_reduction_order_is_bitwise_invisible(
+        s in arb_scenario(),
+        shape in arb_cluster_shape(),
+    ) {
+        let geom = geometry(&s);
+        let mut cfg = config(&s);
+        cfg.compaction = shape.compaction;
+        cfg.accumulation = shape.accumulation;
+
+        let single = Device::new(DeviceProps::tiny(16 * 1024 * 1024));
+        let mut src =
+            InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let reference =
+            gpu::reconstruct(&single, &mut src, &geom, &cfg, Layout::Flat1d).unwrap();
+
+        let hosts: Vec<_> = (0..shape.nodes).map(|_| Host::new_default()).collect();
+        let devices: Vec<Vec<Device>> = hosts
+            .iter()
+            .map(|h| {
+                (0..shape.per_node)
+                    .map(|_| Device::new_on_host(DeviceProps::tiny(16 * 1024 * 1024), h))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<Vec<&Device>> =
+            devices.iter().map(|ds| ds.iter().collect()).collect();
+        let net = Interconnect::new("prop", shape.nodes, InterconnectProps::ib_qdr());
+        let mut src =
+            InMemorySlabSource::new(s.data.clone(), s.n_steps, s.n_rows, s.n_cols).unwrap();
+        let out = reconstruct_cluster(
+            &refs,
+            &net,
+            &mut src,
+            &geom,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::SERIAL,
+            None,
+            ClusterOptions { topology: shape.topology, overlap: shape.overlap },
+        )
+        .unwrap();
+
+        prop_assert_eq!(&reference.image.data, &out.image.data);
+        // Under per-slab `Auto` compaction/accumulation the dense-vs-compact
+        // decision depends on slab size, and node bands re-chunk the rows —
+        // so attribution counters may shift between launches. The physical
+        // counters cannot.
+        prop_assert_eq!(reference.stats.pairs_deposited, out.stats.pairs_deposited);
+        prop_assert_eq!(reference.stats.deposits, out.stats.deposits);
+        if shape.compaction != CompactionMode::Auto
+            && shape.accumulation != AccumulationMode::Auto
+        {
+            prop_assert_eq!(reference.stats, out.stats);
+        }
+        prop_assert_eq!(out.nodes.len(), shape.nodes);
+        let rows: usize = out.nodes.iter().map(|n| n.rows).sum();
+        prop_assert_eq!(rows, s.n_rows);
     }
 }

@@ -10,9 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use cuda_sim::FaultPlan;
+use cuda_sim::{FaultPlan, InterconnectProps};
 use laue_core::gpu::Layout;
-use laue_core::{AccumulationMode, CompactionMode, IntegrityMode, PlanMode, ReconstructionConfig};
+use laue_core::{
+    AccumulationMode, CompactionMode, IntegrityMode, PlanMode, ReconstructionConfig,
+    ReductionTopology,
+};
 
 use crate::engine::Engine;
 use crate::{GpuFailurePolicy, Pipeline, PipelineError, Result};
@@ -101,8 +104,18 @@ pub struct ReconstructArgs {
     /// (`--resume`; needs `--journal-dir`).
     pub resume: bool,
     /// Install the fault schedule on this fleet device only
-    /// (`--fault-device`, testing only).
+    /// (`--fault-device`, testing only; node-major flattened index for
+    /// `gpu-cluster` engines).
     pub fault_device: Option<usize>,
+    /// Inter-node reduction routing (`--reduction tree|ring|auto`;
+    /// `None` = auto). Cluster engines only.
+    pub reduction: Option<ReductionTopology>,
+    /// Overlap the inter-node reduction with the compute tail
+    /// (`--overlap on|off|auto`; `None` = auto). Cluster engines only.
+    pub overlap: Option<bool>,
+    /// Inter-node fabric preset (`--interconnect ib-qdr|ib-fdr|nvlink|
+    /// gige`; default ib-qdr). Cluster engines only.
+    pub interconnect: InterconnectProps,
 }
 
 /// Parse an engine name.
@@ -122,6 +135,31 @@ pub fn parse_engine(s: &str) -> std::result::Result<Engine, String> {
         }
         return Ok(Engine::GpuMulti { devices });
     }
+    if let Some(t) = s.strip_prefix("gpu-cluster:") {
+        // N nodes of M devices each: `gpu-cluster:4` or `gpu-cluster:4x2`.
+        let (n, m) = match t.split_once('x') {
+            Some((n, m)) => (n, Some(m)),
+            None => (t, None),
+        };
+        let nodes: usize = n
+            .parse()
+            .map_err(|_| format!("bad node count in engine {s:?}"))?;
+        let devices_per_node: usize = match m {
+            Some(m) => m
+                .parse()
+                .map_err(|_| format!("bad per-node device count in engine {s:?}"))?,
+            None => 1,
+        };
+        if nodes == 0 || devices_per_node == 0 {
+            return Err(format!(
+                "engine {s:?} needs at least one node and one device per node"
+            ));
+        }
+        return Ok(Engine::GpuCluster {
+            nodes,
+            devices_per_node,
+        });
+    }
     match s {
         "cpu" | "cpu-seq" => Ok(Engine::CpuSeq),
         "gpu" | "gpu-1d" => Ok(Engine::Gpu {
@@ -134,7 +172,7 @@ pub fn parse_engine(s: &str) -> std::result::Result<Engine, String> {
         "gpu-pipe" => Ok(Engine::GpuPipelined),
         other => Err(format!(
             "unknown engine {other:?} (try cpu, cpu-threaded:N, gpu-1d, gpu-3d, gpu-tables, \
-             gpu-pipe, gpu-multi:N)"
+             gpu-pipe, gpu-multi:N, gpu-cluster:N[xM])"
         )),
     }
 }
@@ -155,6 +193,34 @@ pub fn parse_sim_workers(s: &str) -> std::result::Result<usize, String> {
     } else {
         n
     })
+}
+
+/// Parse a `--reduction` value: a routing topology, or `auto` to let the
+/// plan mode decide (tree under `--plan fixed`, the cost model's argmin
+/// under `--plan auto`).
+pub fn parse_reduction(s: &str) -> std::result::Result<Option<ReductionTopology>, String> {
+    if s == "auto" {
+        return Ok(None);
+    }
+    ReductionTopology::parse(s)
+        .map(Some)
+        .ok_or_else(|| format!("bad --reduction {s:?} (try tree, ring, auto)"))
+}
+
+/// Parse an `--overlap` value: `on`, `off`, or `auto` (plan-mode decides).
+pub fn parse_overlap(s: &str) -> std::result::Result<Option<bool>, String> {
+    match s {
+        "auto" => Ok(None),
+        "on" => Ok(Some(true)),
+        "off" => Ok(Some(false)),
+        other => Err(format!("bad --overlap {other:?} (try on, off, auto)")),
+    }
+}
+
+/// Parse an `--interconnect` preset name.
+pub fn parse_interconnect(s: &str) -> std::result::Result<InterconnectProps, String> {
+    InterconnectProps::by_name(s)
+        .ok_or_else(|| format!("unknown --interconnect {s:?} (try ib-qdr, ib-fdr, nvlink, gige)"))
 }
 
 /// Parse an `--on-gpu-failure` policy name.
@@ -395,6 +461,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                 journal_dir: None,
                 resume: false,
                 fault_device: None,
+                reduction: None,
+                overlap: None,
+                interconnect: InterconnectProps::ib_qdr(),
             };
             Ok(Command::Batch { dir, engine, args })
         }
@@ -431,6 +500,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     "journal-dir",
                     "resume",
                     "fault-device",
+                    "reduction",
+                    "overlap",
+                    "interconnect",
                 ],
             )?;
             let input = flags
@@ -532,6 +604,18 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     .get("fault-device")
                     .map(|v| v.parse().map_err(|_| format!("bad --fault-device: {v:?}")))
                     .transpose()?,
+                reduction: match flags.get("reduction") {
+                    None => None,
+                    Some(s) => parse_reduction(s)?,
+                },
+                overlap: match flags.get("overlap") {
+                    None => None,
+                    Some(s) => parse_overlap(s)?,
+                },
+                interconnect: match flags.get("interconnect") {
+                    None => InterconnectProps::ib_qdr(),
+                    Some(s) => parse_interconnect(s)?,
+                },
             };
             if args.resume && args.journal_dir.is_none() {
                 return Err("--resume needs --journal-dir".into());
@@ -574,6 +658,8 @@ USAGE:
                    [--on-gpu-failure abort|fallback-cpu]
                    [--inject-gpu-fault k=v,…] [--fault-device I]
                    [--journal-dir <dir>] [--resume]
+                   [--interconnect ib-qdr|ib-fdr|nvlink|gige]
+                   [--reduction tree|ring|auto] [--overlap on|off|auto]
   laue validate    --input <scan.mh5> [same options as reconstruct]
   laue batch       --dir <directory> [--engine E] [--depth-start/-end UM]
                    [--bins N] [--cutoff C]
@@ -581,7 +667,9 @@ USAGE:
 
 ENGINES:
   cpu | cpu-threaded:N | gpu-1d | gpu-3d | gpu-tables | gpu-pipe | gpu-multi:N
-  (cpu-threaded:0 = one thread per available host core)
+  | gpu-cluster:N[xM]
+  (cpu-threaded:0 = one thread per available host core; gpu-cluster runs N
+  chassis of M devices each — M defaults to 1 — joined by a metered fabric)
 
 SPARSITY:
   --compaction off    dense traversal: every (pixel, pair) visited (default)
@@ -643,6 +731,24 @@ DATA INTEGRITY:
   --watchdog-multiplier X  treat a launch slower than X times its cost-model
                       prediction as hung (default 4)
 
+CLUSTER (gpu-cluster:N[xM]):
+  --interconnect P     fabric preset joining the nodes: ib-qdr (default),
+                       ib-fdr, nvlink, or gige; each link is a metered
+                       shared resource, so concurrent reduction segments
+                       queue and the wait lands in the run report
+  --reduction T        inter-node depth-image routing: tree (hierarchical
+                       gather, default under --plan fixed), ring (neighbour
+                       relay — less head-link pressure on big clusters), or
+                       auto (the cost model picks; implies pricing both)
+  --overlap V          on (default) starts each node's reduction sends as
+                       soon as its band is done, overlapping the fabric
+                       with the compute tail of slower nodes; off inserts
+                       a barrier first; auto defers to the cost model
+  Under --plan auto the planner sweeps node count × topology × overlap and
+  reports the full candidate table. The resolved topology is part of the
+  journal key; node loss re-bands remaining rows onto survivors and the
+  run completes DEGRADED but bit-identical.
+
 GPU FAULT HANDLING:
   --on-gpu-failure abort         surface GPU errors (default)
   --on-gpu-failure fallback-cpu  re-run on the CPU engine and mark the
@@ -685,6 +791,9 @@ fn recon_pipeline(args: &ReconstructArgs) -> Pipeline {
         journal_dir: args.journal_dir.clone().map(std::path::PathBuf::from),
         resume: args.resume,
         fault_device: args.fault_device,
+        reduction: args.reduction,
+        overlap: args.overlap,
+        interconnect: args.interconnect.clone(),
         ..Pipeline::default()
     }
 }
@@ -806,6 +915,7 @@ pub fn run<W: std::io::Write>(cmd: &Command, out: &mut W) -> Result<()> {
                     integrity: laue_core::IntegrityReport::default(),
                     faults_injected: None,
                     trace_dropped: 0,
+                    cluster: None,
                 };
                 crate::export::write_mh5(path, &var_report, &cfg)?;
                 writeln!(out, "wrote {path} (per-bin variance; σ = sqrt)")?;
@@ -953,6 +1063,106 @@ mod tests {
             "superseded by gpu-pipe"
         );
         assert!(parse_engine("cpu-threaded:x").is_err());
+    }
+
+    #[test]
+    fn cluster_engine_names_parse() {
+        assert_eq!(
+            parse_engine("gpu-cluster:3").unwrap(),
+            Engine::GpuCluster {
+                nodes: 3,
+                devices_per_node: 1
+            }
+        );
+        assert_eq!(
+            parse_engine("gpu-cluster:4x2").unwrap(),
+            Engine::GpuCluster {
+                nodes: 4,
+                devices_per_node: 2
+            }
+        );
+        assert!(parse_engine("gpu-cluster:0").is_err());
+        assert!(parse_engine("gpu-cluster:2x0").is_err());
+        assert!(parse_engine("gpu-cluster:").is_err());
+        assert!(parse_engine("gpu-cluster:2xtwo").is_err());
+    }
+
+    #[test]
+    fn cluster_flags_parse() {
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "scan.mh5",
+            "--engine",
+            "gpu-cluster:4x2",
+            "--reduction",
+            "ring",
+            "--overlap",
+            "off",
+            "--interconnect",
+            "nvlink",
+        ]))
+        .unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(
+            a.engine,
+            Engine::GpuCluster {
+                nodes: 4,
+                devices_per_node: 2
+            }
+        );
+        assert_eq!(a.reduction, Some(ReductionTopology::Ring));
+        assert_eq!(a.overlap, Some(false));
+        assert_eq!(a.interconnect.name, "nvlink");
+
+        // Absent flags: auto topology/overlap over the default fabric.
+        let cmd = parse(&sv(&["reconstruct", "--input", "scan.mh5"])).unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.reduction, None);
+        assert_eq!(a.overlap, None);
+        assert_eq!(a.interconnect, InterconnectProps::ib_qdr());
+
+        // "auto" is the explicit spelling of the default.
+        let cmd = parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "scan.mh5",
+            "--reduction",
+            "auto",
+            "--overlap",
+            "auto",
+        ]))
+        .unwrap();
+        let Command::Reconstruct(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.reduction, None);
+        assert_eq!(a.overlap, None);
+
+        // Bad values are parse errors that name the flag.
+        assert!(
+            parse(&sv(&["reconstruct", "--input", "x", "--reduction", "star"]))
+                .unwrap_err()
+                .contains("--reduction")
+        );
+        assert!(
+            parse(&sv(&["reconstruct", "--input", "x", "--overlap", "maybe"]))
+                .unwrap_err()
+                .contains("--overlap")
+        );
+        assert!(parse(&sv(&[
+            "reconstruct",
+            "--input",
+            "x",
+            "--interconnect",
+            "ethernet"
+        ]))
+        .unwrap_err()
+        .contains("--interconnect"));
     }
 
     #[test]

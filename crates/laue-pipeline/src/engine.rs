@@ -22,6 +22,15 @@ pub enum Engine {
     /// running the k-deep ring pipeline. A device that dies mid-run has its
     /// unfinished rows requeued onto the survivors.
     GpuMulti { devices: usize },
+    /// `nodes` chassis of `devices_per_node` GPUs each, linked by a metered
+    /// interconnect: row bands shard across nodes, each node runs the fleet
+    /// engine inside its own PCIe domain, and the depth image gathers back
+    /// to the head node over tree or ring routes. A node whose devices all
+    /// die has its rows re-banded onto the surviving nodes.
+    GpuCluster {
+        nodes: usize,
+        devices_per_node: usize,
+    },
 }
 
 impl Engine {
@@ -39,6 +48,10 @@ impl Engine {
             Engine::GpuTables => "gpu-tables".to_string(),
             Engine::GpuPipelined => "gpu-pipe".to_string(),
             Engine::GpuMulti { devices } => format!("gpu-multi({devices})"),
+            Engine::GpuCluster {
+                nodes,
+                devices_per_node,
+            } => format!("gpu-cluster({nodes}x{devices_per_node})"),
         }
     }
 
@@ -71,7 +84,7 @@ impl Engine {
                 },
                 PipelineDepth::SERIAL,
             ),
-            Engine::GpuPipelined | Engine::GpuMulti { .. } => (
+            Engine::GpuPipelined | Engine::GpuMulti { .. } | Engine::GpuCluster { .. } => (
                 GpuOptions {
                     layout: Layout::Flat1d,
                     triangulation: Triangulation::InKernel,
@@ -102,6 +115,10 @@ mod tests {
             Engine::GpuTables,
             Engine::GpuPipelined,
             Engine::GpuMulti { devices: 4 },
+            Engine::GpuCluster {
+                nodes: 4,
+                devices_per_node: 1,
+            },
         ];
         let labels: Vec<String> = engines.iter().map(|e| e.label()).collect();
         for i in 0..labels.len() {
@@ -112,5 +129,10 @@ mod tests {
         assert!(!Engine::CpuSeq.is_gpu());
         assert!(Engine::GpuPipelined.is_gpu());
         assert!(Engine::GpuMulti { devices: 2 }.is_gpu());
+        assert!(Engine::GpuCluster {
+            nodes: 2,
+            devices_per_node: 2
+        }
+        .is_gpu());
     }
 }

@@ -125,6 +125,7 @@ mod tests {
                 integrity: laue_core::IntegrityReport::default(),
                 faults_injected: None,
                 trace_dropped: 0,
+                cluster: None,
             },
             cfg,
         )

@@ -25,7 +25,7 @@ pub mod report;
 pub mod run;
 
 pub use engine::Engine;
-pub use report::{RecoveryAccounting, ResumeInfo, RunReport};
+pub use report::{ClusterReport, RecoveryAccounting, ResumeInfo, RunReport};
 pub use run::{file_fingerprint, GpuFailurePolicy, Pipeline, PipelineShared};
 
 /// Errors from the pipeline.

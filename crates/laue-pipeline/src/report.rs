@@ -64,6 +64,35 @@ impl PlanExplain {
     }
 }
 
+/// Multi-node accounting of a `gpu-cluster` run: fabric traffic, the
+/// reduction's exposed cost, and one [`laue_core::NodeOutcome`] per node
+/// (rows, virtual time, interconnect wait, node-granular integrity and
+/// fault-injection counters). `None` for every other engine.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Reduction routing and overlap, e.g. `tree+overlap`.
+    pub options: String,
+    /// Interconnect preset the fabric was modeled on (e.g. `ib-qdr`).
+    pub interconnect: String,
+    /// Slowest node's compute finish (the reduction overlaps the rest).
+    pub compute_s: f64,
+    /// Reduction time *not* hidden behind compute, seconds.
+    pub reduction_exposed_s: f64,
+    /// Seconds reduction segments queued on busy fabric links beyond
+    /// their uncontended message time, summed over nodes.
+    pub net_wait_s: f64,
+    /// Unique reduction payload bytes that left their origin node (the
+    /// fabric moves more — each relay hop re-transmits).
+    pub net_bytes: u64,
+    /// Messages the fabric carried (every hop counts).
+    pub net_messages: u64,
+    /// Nodes whose devices all died mid-run (rows re-banded onto
+    /// survivors).
+    pub nodes_lost: u32,
+    /// Per-node breakdown, head node first.
+    pub nodes: Vec<laue_core::NodeOutcome>,
+}
+
 /// Everything a reconstruction run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -136,6 +165,8 @@ pub struct RunReport {
     /// Per-launch trace slots the simulator dropped because a kernel asked
     /// for more slots than the device records (diagnostic; normally 0).
     pub trace_dropped: u64,
+    /// Multi-node accounting (`gpu-cluster` engines only).
+    pub cluster: Option<ClusterReport>,
 }
 
 impl RunReport {
@@ -224,6 +255,28 @@ impl RunReport {
                 100.0 * plan.prediction_error(),
                 plan.candidates.len(),
             ));
+        }
+        if let Some(c) = &self.cluster {
+            let alive = c.nodes.iter().filter(|n| !n.lost).count();
+            s.push_str(&format!(
+                "; cluster: {} node(s) over {} ({}), reduction exposed {:.4} s, \
+                 {} fabric message(s) moving {:.2} MiB of segments",
+                alive,
+                c.interconnect,
+                c.options,
+                c.reduction_exposed_s,
+                c.net_messages,
+                c.net_bytes as f64 / (1024.0 * 1024.0),
+            ));
+            if c.net_wait_s > 0.0 {
+                s.push_str(&format!(" ({:.4} s queued on busy links)", c.net_wait_s));
+            }
+            if c.nodes_lost > 0 {
+                s.push_str(&format!(
+                    "; DEGRADED: {} node(s) lost mid-run, rows re-banded onto survivors",
+                    c.nodes_lost
+                ));
+            }
         }
         if self.gpu_replans > 0 || self.gpu_transfer_retries > 0 {
             s.push_str(&format!(
@@ -330,6 +383,7 @@ mod tests {
             integrity: IntegrityReport::default(),
             faults_injected: None,
             trace_dropped: 0,
+            cluster: None,
         }
     }
 
@@ -510,6 +564,45 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("INTEGRITY-DEGRADED"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_cluster_accounting() {
+        let quiet = report().summary();
+        assert!(!quiet.contains("cluster:"), "{quiet}");
+        let mut r = report();
+        let lost = laue_core::NodeOutcome {
+            node: 2,
+            lost: true,
+            ..Default::default()
+        };
+        r.cluster = Some(ClusterReport {
+            options: "tree+overlap".into(),
+            interconnect: "ib-qdr".into(),
+            compute_s: 1.25,
+            reduction_exposed_s: 0.0625,
+            net_wait_s: 0.5,
+            net_bytes: 3 * 1024 * 1024,
+            net_messages: 7,
+            nodes_lost: 1,
+            nodes: vec![
+                laue_core::NodeOutcome::default(),
+                laue_core::NodeOutcome {
+                    node: 1,
+                    ..laue_core::NodeOutcome::default()
+                },
+                lost,
+            ],
+        });
+        let s = r.summary();
+        assert!(
+            s.contains("cluster: 2 node(s) over ib-qdr (tree+overlap)"),
+            "{s}"
+        );
+        assert!(s.contains("reduction exposed 0.0625 s"), "{s}");
+        assert!(s.contains("7 fabric message(s) moving 3.00 MiB"), "{s}");
+        assert!(s.contains("0.5000 s queued on busy links"), "{s}");
+        assert!(s.contains("DEGRADED: 1 node(s) lost mid-run"), "{s}");
     }
 
     #[test]

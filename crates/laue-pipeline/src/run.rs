@@ -4,20 +4,21 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use cuda_sim::{Device, DeviceProps, ExecMode, HostProps};
+use cuda_sim::{Device, DeviceProps, ExecMode, HostProps, Interconnect, InterconnectProps};
 use laue_core::cache::{DepthTableCache, TableCacheStats, TableKey};
+use laue_core::cluster::{reconstruct_cluster_checkpointed, ClusterReconstruction};
 use laue_core::gpu::{self, GpuReconstruction, PipelineDepth};
 use laue_core::journal::{JournalKey, RunJournal, SlabProgress};
 use laue_core::multi::{reconstruct_multi_checkpointed, MultiGpuReconstruction};
-use laue_core::planner::{plan_run, RunPlan, TableWarmth};
+use laue_core::planner::{plan_cluster, plan_run, RunPlan, TableWarmth};
 use laue_core::{
-    cpu, AccumulationMode, CompactionMode, IntegrityReport, PlanMode, ReconstructionConfig,
-    ScanGeometry, ScanView, SlabSource,
+    cpu, AccumulationMode, ClusterOptions, CompactionMode, IntegrityReport, PlanMode,
+    ReconstructionConfig, ReductionTopology, ScanGeometry, ScanView, SlabSource,
 };
 use laue_wire::ScanFile;
 
 use crate::engine::Engine;
-use crate::report::{PlanExplain, RecoveryAccounting, ResumeInfo, RunReport};
+use crate::report::{ClusterReport, PlanExplain, RecoveryAccounting, ResumeInfo, RunReport};
 use crate::Result;
 
 /// A cheap content fingerprint of a scan file (CRC-32 of the bytes, plus
@@ -54,6 +55,12 @@ pub enum GpuFailurePolicy {
 pub struct PipelineShared {
     device: Mutex<Option<Arc<Device>>>,
     fleet: Mutex<Vec<Arc<Device>>>,
+    /// Cluster nodes (`nodes[i][j]` = device `j` on chassis `i`). The
+    /// devices and their hosts persist across runs like the fleet does;
+    /// the interconnect is rebuilt fresh per run (its link pools have no
+    /// warm state worth keeping, and a clean fabric keeps run timelines
+    /// starting at t = 0).
+    cluster: Mutex<Vec<Vec<Arc<Device>>>>,
     cache: DepthTableCache,
 }
 
@@ -84,9 +91,22 @@ pub struct Pipeline {
     /// [`Pipeline::journal_dir`].
     pub resume: bool,
     /// Restrict [`Pipeline::fault_plan`] to one fleet device index
-    /// (multi-GPU failover testing). `None` installs the plan on every
-    /// device this pipeline creates.
+    /// (multi-GPU failover testing). For `gpu-cluster` engines the index
+    /// runs node-major over the flattened cluster (node 0's devices
+    /// first). `None` installs the plan on every device this pipeline
+    /// creates.
     pub fault_device: Option<usize>,
+    /// Inter-node fabric model for `gpu-cluster` engines (paper-era
+    /// default: InfiniBand QDR).
+    pub interconnect: InterconnectProps,
+    /// Inter-node reduction routing (`gpu-cluster` engines). `None` =
+    /// auto: tree under `--plan fixed`, the planner's argmin under
+    /// `--plan auto`.
+    pub reduction: Option<ReductionTopology>,
+    /// Overlap the reduction with the compute tail (`gpu-cluster`
+    /// engines). `None` = auto: on under `--plan fixed`, the planner's
+    /// argmin under `--plan auto`.
+    pub overlap: Option<bool>,
     /// Cross-run persistent state (devices + depth-table cache).
     pub shared: Arc<PipelineShared>,
 }
@@ -104,6 +124,9 @@ impl Default for Pipeline {
             journal_dir: None,
             resume: false,
             fault_device: None,
+            interconnect: InterconnectProps::ib_qdr(),
+            reduction: None,
+            overlap: None,
             shared: Arc::new(PipelineShared::default()),
         }
     }
@@ -200,12 +223,14 @@ impl Pipeline {
                     integrity: IntegrityReport::default(),
                     faults_injected: None,
                     trace_dropped: 0,
+                    cluster: None,
                 })
             }
             Engine::Gpu { .. }
             | Engine::GpuTables
             | Engine::GpuPipelined
-            | Engine::GpuMulti { .. } => self.run_gpu(source, geom, cfg, engine, fingerprint),
+            | Engine::GpuMulti { .. }
+            | Engine::GpuCluster { .. } => self.run_gpu(source, geom, cfg, engine, fingerprint),
         }
     }
 
@@ -233,7 +258,8 @@ impl Pipeline {
         // only under --plan fixed. The fleet engine splits bands
         // dynamically and keeps only the per-slab autos; CPU engines have
         // no plan space — neither gets a run-level plan.
-        let plan_auto = cfg.plan == PlanMode::Auto && !matches!(engine, Engine::GpuMulti { .. });
+        let plan_auto = cfg.plan == PlanMode::Auto
+            && !matches!(engine, Engine::GpuMulti { .. } | Engine::GpuCluster { .. });
         let mut cfg_local = cfg.clone();
         let mut run_plan: Option<RunPlan> = None;
         let (opts, depth) = if plan_auto {
@@ -266,10 +292,61 @@ impl Pipeline {
         } else {
             (opts, depth)
         };
+        // Cluster engines resolve their reduction knobs before the journal
+        // opens, so the topology can participate in its key. Under --plan
+        // auto the cost model prices node count × topology × overlap and
+        // owns the per-node plan too; under --plan fixed the pipeline's
+        // reduction/overlap fields apply, with auto resolving to the
+        // defaults (tree, overlapped).
+        let mut cluster_plan = None;
+        let copts = match engine {
+            Engine::GpuCluster {
+                nodes,
+                devices_per_node,
+            } => Some(if cfg.plan == PlanMode::Auto {
+                let table_key = TableKey::new(geom, cfg);
+                let warmth = TableWarmth {
+                    host_warm: self.shared.cache.peek_host(&table_key),
+                    // Cluster devices rebuild with the shape; never credit
+                    // residency the run may not actually have.
+                    device_warm: false,
+                    resident_budget: self.table_cache_budget(),
+                };
+                let plan = plan_cluster(
+                    &self.device,
+                    &self.host,
+                    &self.interconnect,
+                    nodes,
+                    devices_per_node,
+                    source,
+                    geom,
+                    cfg,
+                    warmth,
+                )?;
+                cfg_local.rows_per_slab = Some(plan.per_node.rows_per_slab);
+                cfg_local.pipeline_depth = None;
+                cfg_local.compaction = CompactionMode::Auto;
+                cfg_local.accumulation = AccumulationMode::Auto;
+                let chosen = plan.options;
+                cluster_plan = Some(plan);
+                chosen
+            } else {
+                ClusterOptions {
+                    topology: self.reduction.unwrap_or(ReductionTopology::Tree),
+                    overlap: self.overlap.unwrap_or(true),
+                }
+            }),
+            _ => None,
+        };
+        let (opts, depth) = match &cluster_plan {
+            Some(p) => (p.per_node.options, p.per_node.depth),
+            None => (opts, depth),
+        };
         let cfg = &cfg_local;
-        let plan_token = match &run_plan {
-            Some(p) => format!("auto:{}", p.label),
-            None => cfg.plan.label().to_string(),
+        let plan_token = match (&run_plan, &cluster_plan) {
+            (Some(p), _) => format!("auto:{}", p.label),
+            (None, Some(p)) => format!("auto:{}", p.label),
+            (None, None) => cfg.plan.label().to_string(),
         };
 
         // Open (or replay) the run journal.
@@ -277,7 +354,7 @@ impl Pipeline {
         let mut resume_info = None;
         let mut progress = match &self.journal_dir {
             Some(dir) => {
-                let key = journal_key(engine, cfg, dims, fingerprint, &plan_token);
+                let key = journal_key(engine, cfg, dims, fingerprint, &plan_token, copts.as_ref());
                 let jdims = (cfg.n_depth_bins, dims.1, dims.2);
                 let (j, slabs) = RunJournal::open(dir, &key, jdims, self.resume)?;
                 if !slabs.is_empty() {
@@ -310,6 +387,32 @@ impl Pipeline {
                 )
                 .map(GpuOutcome::Multi);
                 devices_used = fleet;
+                r
+            }
+            Engine::GpuCluster {
+                nodes,
+                devices_per_node,
+            } => {
+                let (fleet, net) = self.gpu_cluster(nodes, devices_per_node);
+                let refs: Vec<Vec<&Device>> = fleet
+                    .iter()
+                    .map(|node| node.iter().map(|d| d.as_ref()).collect())
+                    .collect();
+                let r = reconstruct_cluster_checkpointed(
+                    &refs,
+                    &net,
+                    source,
+                    geom,
+                    cfg,
+                    opts,
+                    depth,
+                    Some(&self.shared.cache),
+                    copts.expect("cluster options resolved for cluster engines"),
+                    &mut progress,
+                    journal.as_mut(),
+                )
+                .map(GpuOutcome::Cluster);
+                devices_used = fleet.into_iter().flatten().collect();
                 r
             }
             _ => {
@@ -351,23 +454,44 @@ impl Pipeline {
                     j.remove()?;
                 }
                 let resolved_depth = cfg.pipeline_depth.map(PipelineDepth).unwrap_or(depth);
-                let mut report =
-                    gpu_report(engine, out, dims, input_bytes, resolved_depth, resume_info);
+                let mut report = gpu_report(
+                    engine,
+                    out,
+                    dims,
+                    input_bytes,
+                    resolved_depth,
+                    resume_info,
+                    &self.interconnect.name,
+                );
                 report.faults_injected = faults_injected;
                 report.trace_dropped = trace_dropped;
                 // The explain block compares the prediction against the
                 // measured virtual makespan of the very run it planned.
-                report.plan = run_plan.map(|p| PlanExplain {
-                    chosen: p.label,
-                    predicted_s: p.predicted_s,
-                    host_s: p.host_s,
-                    measured_s: report.total_time_s,
-                    candidates: p
-                        .candidates
-                        .into_iter()
-                        .map(|c| (c.label, c.predicted_s))
-                        .collect(),
-                });
+                report.plan = match (run_plan, cluster_plan) {
+                    (Some(p), _) => Some(PlanExplain {
+                        chosen: p.label,
+                        predicted_s: p.predicted_s,
+                        host_s: p.host_s,
+                        measured_s: report.total_time_s,
+                        candidates: p
+                            .candidates
+                            .into_iter()
+                            .map(|c| (c.label, c.predicted_s))
+                            .collect(),
+                    }),
+                    (None, Some(p)) => Some(PlanExplain {
+                        chosen: p.label,
+                        predicted_s: p.predicted_s,
+                        host_s: p.per_node.host_s,
+                        measured_s: report.total_time_s,
+                        candidates: p
+                            .candidates
+                            .into_iter()
+                            .map(|c| (c.label, c.predicted_s))
+                            .collect(),
+                    }),
+                    (None, None) => None,
+                };
                 Ok(report)
             }
             Err(e) => {
@@ -446,6 +570,50 @@ impl Pipeline {
         slot.clone()
     }
 
+    /// The node fleets a `gpu-cluster` engine runs on, plus a fresh fabric.
+    /// Each node is its own simulated chassis — a private PCIe bus and host
+    /// CPU — so intra-node transfers never contend across nodes. The
+    /// devices persist across runs like the flat fleet's and rebuild when
+    /// the cluster shape or device model changes; the interconnect is
+    /// always fresh (its link pools carry no warm state). The fault
+    /// schedule is (re)installed on every run — on every device, or only
+    /// on the node-major flattened index [`Pipeline::fault_device`] names.
+    fn gpu_cluster(
+        &self,
+        nodes: usize,
+        per_node: usize,
+    ) -> (Vec<Vec<Arc<Device>>>, Arc<Interconnect>) {
+        let mut slot = self.shared.cluster.lock().unwrap();
+        let reusable = slot.len() == nodes
+            && slot
+                .iter()
+                .all(|ds| ds.len() == per_node && ds.iter().all(|d| *d.props() == self.device));
+        if !reusable {
+            let mut run = TableCacheStats::default();
+            for old in slot.drain(..).flatten() {
+                self.shared.cache.evict_device(old.id(), &mut run);
+            }
+            *slot = (0..nodes)
+                .map(|_| {
+                    let host = cuda_sim::Host::new_default();
+                    (0..per_node)
+                        .map(|_| Arc::new(Device::new_on_host(self.device.clone(), &host)))
+                        .collect()
+                })
+                .collect();
+        }
+        for (i, d) in slot.iter().flatten().enumerate() {
+            d.set_exec_mode(self.exec_mode);
+            let install = self.fault_device.is_none_or(|f| f == i);
+            match (&self.fault_plan, install) {
+                (Some(plan), true) => d.set_fault_plan(plan.clone()),
+                _ => d.clear_fault_plan(),
+            }
+        }
+        let net = Interconnect::new(&self.interconnect.name, nodes, self.interconnect.clone());
+        (slot.clone(), net)
+    }
+
     /// Forget every persistent device (single slot and fleet), evicting
     /// their resident depth tables — called when a GPU run failed so a
     /// later run never inherits a dead device.
@@ -455,6 +623,9 @@ impl Pipeline {
             self.shared.cache.evict_device(dead.id(), &mut run);
         }
         for dead in self.shared.fleet.lock().unwrap().drain(..) {
+            self.shared.cache.evict_device(dead.id(), &mut run);
+        }
+        for dead in self.shared.cluster.lock().unwrap().drain(..).flatten() {
             self.shared.cache.evict_device(dead.id(), &mut run);
         }
     }
@@ -535,6 +706,10 @@ impl Pipeline {
         // partial loss fails over internally and succeeds).
         let devices_lost = match failed {
             Engine::GpuMulti { devices } => devices as u32,
+            Engine::GpuCluster {
+                nodes,
+                devices_per_node,
+            } => (nodes * devices_per_node) as u32,
             _ => 0,
         };
         Ok(RunReport {
@@ -574,17 +749,20 @@ impl Pipeline {
             integrity: IntegrityReport::default(),
             faults_injected: None,
             trace_dropped: 0,
+            cluster: None,
         })
     }
 }
 
-/// How one GPU run came back: a single device or a fleet.
+/// How one GPU run came back: a single device, a fleet, or a cluster.
 enum GpuOutcome {
     Single(GpuReconstruction),
     Multi(MultiGpuReconstruction),
+    Cluster(ClusterReconstruction),
 }
 
-/// Assemble the [`RunReport`] of a successful GPU run.
+/// Assemble the [`RunReport`] of a successful GPU run. `fabric` names the
+/// interconnect preset (cluster engines only; ignored otherwise).
 fn gpu_report(
     engine: Engine,
     out: GpuOutcome,
@@ -592,6 +770,7 @@ fn gpu_report(
     input_bytes: u64,
     depth: PipelineDepth,
     resume: Option<ResumeInfo>,
+    fabric: &str,
 ) -> RunReport {
     let recovery = |devices_lost| RecoveryAccounting {
         salvaged_slabs: 0,
@@ -626,6 +805,7 @@ fn gpu_report(
             integrity: out.integrity,
             faults_injected: None,
             trace_dropped: 0,
+            cluster: None,
         },
         GpuOutcome::Multi(out) => RunReport {
             engine: engine.label(),
@@ -655,6 +835,48 @@ fn gpu_report(
             integrity: out.integrity,
             faults_injected: None,
             trace_dropped: 0,
+            cluster: None,
+        },
+        GpuOutcome::Cluster(out) => RunReport {
+            engine: engine.label(),
+            image: out.image,
+            stats: out.stats,
+            // The makespan includes the reduction's exposed tail; the
+            // comm/compute/transfer meters aggregate over every device in
+            // every chassis.
+            total_time_s: out.elapsed_s,
+            comm_time_s: out.per_device.iter().map(|m| m.comm_time_s).sum(),
+            bus_wait_s: out.per_device.iter().map(|m| m.bus_wait_s).sum(),
+            host_table_time_s: out.host_table_time_s,
+            compute_time_s: out.per_device.iter().map(|m| m.compute_time_s).sum(),
+            input_bytes,
+            dims,
+            rows_per_slab: 0,
+            n_slabs: out.n_slabs,
+            transfers: out.per_device.iter().map(|m| m.transfers).sum(),
+            gpu_replans: out.recovery.replans,
+            gpu_transfer_retries: out.recovery.transfer_retries,
+            pipeline_depth: depth.0,
+            table_cache: out.table_cache,
+            slab_densities: out.slab_densities,
+            slab_privatized: out.slab_privatized,
+            plan: None,
+            fallback: None,
+            recovery: recovery(out.devices_lost),
+            integrity: out.integrity,
+            faults_injected: None,
+            trace_dropped: 0,
+            cluster: Some(ClusterReport {
+                options: out.options.label(),
+                interconnect: fabric.to_string(),
+                compute_s: out.compute_s,
+                reduction_exposed_s: out.reduction_exposed_s,
+                net_wait_s: out.net_wait_s,
+                net_bytes: out.net_bytes,
+                net_messages: out.net_messages,
+                nodes_lost: out.nodes_lost,
+                nodes: out.nodes,
+            }),
         },
     }
 }
@@ -665,13 +887,16 @@ fn gpu_report(
 /// engine. The slab plan deliberately participates too, so changing it
 /// invalidates old journals even though replay would still be correct.
 /// Under `--plan auto` the token carries the *resolved* plan label, so a
-/// plan flip (flag or outcome) forces a clean restart.
+/// plan flip (flag or outcome) forces a clean restart. Cluster engines
+/// additionally fold their reduction topology and overlap setting in, so
+/// resuming under a different cluster shape restarts clean.
 fn journal_key(
     engine: Engine,
     cfg: &ReconstructionConfig,
     dims: (usize, usize, usize),
     fingerprint: Option<u64>,
     plan_token: &str,
+    copts: Option<&ClusterOptions>,
 ) -> JournalKey {
     let mut d = String::new();
     let _ = write!(
@@ -702,6 +927,14 @@ fn journal_key(
         plan_token,
         cfg.integrity.label()
     );
+    if let Some(c) = copts {
+        let _ = write!(
+            d,
+            ";reduction={};overlap={}",
+            c.topology.label(),
+            if c.overlap { "on" } else { "off" }
+        );
+    }
     JournalKey::new(d)
 }
 
@@ -1530,13 +1763,36 @@ mod tests {
         let gpu = Engine::Gpu {
             layout: Layout::Flat1d,
         };
-        let off = journal_key(gpu, &c, (12, 8, 8), Some(1), "fixed");
+        let off = journal_key(gpu, &c, (12, 8, 8), Some(1), "fixed", None);
         c.integrity = laue_core::IntegrityMode::Scrub;
-        let scrub = journal_key(gpu, &c, (12, 8, 8), Some(1), "fixed");
+        let scrub = journal_key(gpu, &c, (12, 8, 8), Some(1), "fixed", None);
         assert_ne!(
             off.hash, scrub.hash,
             "an integrity flip must force a clean restart"
         );
+    }
+
+    #[test]
+    fn cluster_topology_participates_in_the_journal_key() {
+        let c = cfg();
+        let engine = Engine::GpuCluster {
+            nodes: 4,
+            devices_per_node: 1,
+        };
+        let key = |copts: ClusterOptions| {
+            journal_key(engine, &c, (12, 8, 8), Some(1), "fixed", Some(&copts))
+        };
+        let tree = key(ClusterOptions::default());
+        let ring = key(ClusterOptions {
+            topology: ReductionTopology::Ring,
+            ..ClusterOptions::default()
+        });
+        let barrier = key(ClusterOptions {
+            overlap: false,
+            ..ClusterOptions::default()
+        });
+        assert_ne!(tree.hash, ring.hash, "topology flip forces a restart");
+        assert_ne!(tree.hash, barrier.hash, "overlap flip forces a restart");
     }
 
     #[test]
@@ -1561,6 +1817,183 @@ mod tests {
         assert!(r.integrity.transfer_crc_failures >= 1, "{:?}", r.integrity);
         assert_eq!(r.image.data, clean.image.data, "repaired bit-identically");
         assert_eq!(r.stats, clean.stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cluster_matches_single_gpu_at_every_shape_and_topology() {
+        let (path, _) = scan_file("cluster_agree");
+        let baseline = Pipeline::default()
+            .run_scan_file(&path, &cfg(), Engine::GpuPipelined)
+            .unwrap();
+        for (nodes, devices_per_node) in [(1, 1), (2, 1), (3, 1), (2, 2)] {
+            for topology in [ReductionTopology::Tree, ReductionTopology::Ring] {
+                for overlap in [true, false] {
+                    let p = Pipeline {
+                        reduction: Some(topology),
+                        overlap: Some(overlap),
+                        ..Pipeline::default()
+                    };
+                    let engine = Engine::GpuCluster {
+                        nodes,
+                        devices_per_node,
+                    };
+                    let r = p.run_scan_file(&path, &cfg(), engine).unwrap();
+                    let label = format!(
+                        "gpu-cluster:{nodes}x{devices_per_node} {}/{}",
+                        topology.label(),
+                        if overlap { "overlap" } else { "barrier" }
+                    );
+                    assert_eq!(
+                        r.image.data, baseline.image.data,
+                        "{label} diverges from gpu-pipe"
+                    );
+                    assert_eq!(r.stats, baseline.stats, "{label}");
+                    let c = r.cluster.as_ref().expect("cluster accounting");
+                    assert_eq!(c.nodes.len(), nodes, "{label}");
+                    assert_eq!(c.nodes_lost, 0, "{label}");
+                    if nodes > 1 {
+                        assert!(c.net_messages > 0, "{label} moved no segments");
+                        assert!(c.net_bytes > 0, "{label}");
+                    }
+                    assert!(r.summary().contains("cluster:"), "{}", r.summary());
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cluster_plan_auto_prices_the_sweep_and_stays_bit_identical() {
+        let (path, _) = scan_file("cluster_auto");
+        let baseline = Pipeline::default()
+            .run_scan_file(&path, &cfg(), Engine::GpuPipelined)
+            .unwrap();
+        let mut c = cfg();
+        c.plan = PlanMode::Auto;
+        let r = Pipeline::default()
+            .run_scan_file(
+                &path,
+                &c,
+                Engine::GpuCluster {
+                    nodes: 4,
+                    devices_per_node: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.image.data, baseline.image.data);
+        // The planned run resolves compaction/accumulation per slab, so the
+        // attribution counters differ from the dense baseline — the physics
+        // counters must not.
+        assert_eq!(r.stats.pairs_deposited, baseline.stats.pairs_deposited);
+        assert_eq!(r.stats.deposits, baseline.stats.deposits);
+        let plan = r.plan.as_ref().expect("cluster plan explain");
+        assert!(plan.chosen.starts_with("n4x1/"), "{}", plan.chosen);
+        // Node-count ladder {1,2,4} × topology × overlap.
+        assert_eq!(plan.candidates.len(), 12);
+        assert!(plan.predicted_s > 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cluster_node_loss_rebands_rows_onto_survivors() {
+        let (path, _) = scan_file("cluster_loss");
+        let engine = Engine::GpuCluster {
+            nodes: 3,
+            devices_per_node: 1,
+        };
+        // One row per slab so the victim has launches left when it dies.
+        let mut c = cfg();
+        c.rows_per_slab = Some(1);
+        let clean = Pipeline::default()
+            .run_scan_file(&path, &c, engine)
+            .unwrap();
+
+        // Kill node 0's device after its first launch; the survivors must
+        // absorb its remaining rows and still match bitwise.
+        let p = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(1).fail_after_launches(1)),
+            fault_device: Some(0),
+            ..Pipeline::default()
+        };
+        let r = p.run_scan_file(&path, &c, engine).unwrap();
+        assert_eq!(
+            r.image.data, clean.image.data,
+            "failover must stay bit-identical"
+        );
+        assert_eq!(r.stats, clean.stats);
+        let c = r.cluster.as_ref().expect("cluster accounting");
+        assert_eq!(c.nodes_lost, 1);
+        assert!(c.nodes[0].lost, "node 0 held the scripted fault");
+        assert!(
+            r.summary().contains("DEGRADED: 1 node(s) lost mid-run"),
+            "{}",
+            r.summary()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cluster_topology_flip_forces_a_clean_restart_end_to_end() {
+        let (path, _) = scan_file("clusterflip");
+        let jdir =
+            std::env::temp_dir().join(format!("pipeline_{}_clusterflip_jrn", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        let mut c = cfg();
+        // Serial single-row slabs: each node commits its first slab to the
+        // journal before the scripted fault kills its second launch.
+        c.rows_per_slab = Some(1);
+        c.pipeline_depth = Some(1);
+        let engine = Engine::GpuCluster {
+            nodes: 2,
+            devices_per_node: 1,
+        };
+        let baseline = Pipeline {
+            reduction: Some(ReductionTopology::Tree),
+            ..Pipeline::default()
+        }
+        .run_scan_file(&path, &c, engine)
+        .unwrap();
+
+        // Interrupt a tree-reduction run: the schedule dies on every node
+        // (no survivor to fail over to), leaving the journal behind.
+        let dying = Pipeline {
+            fault_plan: Some(cuda_sim::FaultPlan::new(0).fail_after_launches(1)),
+            reduction: Some(ReductionTopology::Tree),
+            journal_dir: Some(jdir.clone()),
+            ..Pipeline::default()
+        };
+        assert!(dying.run_scan_file(&path, &c, engine).is_err());
+        assert_eq!(std::fs::read_dir(&jdir).unwrap().count(), 1);
+
+        // Resuming under ring reduction must NOT replay those slabs: the
+        // topology is part of the journal key, so the run restarts clean.
+        let ring = Pipeline {
+            reduction: Some(ReductionTopology::Ring),
+            journal_dir: Some(jdir.clone()),
+            resume: true,
+            ..Pipeline::default()
+        };
+        let r = ring.run_scan_file(&path, &c, engine).unwrap();
+        assert!(
+            r.recovery.resume.is_none(),
+            "a journal from another reduction topology must not be replayed"
+        );
+        assert_eq!(r.image.data, baseline.image.data);
+
+        // Same topology, same key: the stale journal is still replayable.
+        let tree = Pipeline {
+            reduction: Some(ReductionTopology::Tree),
+            journal_dir: Some(jdir.clone()),
+            resume: true,
+            ..Pipeline::default()
+        };
+        let r = tree.run_scan_file(&path, &c, engine).unwrap();
+        let resume = r.recovery.resume.as_ref().expect("same-topology resume");
+        assert!(resume.slabs_replayed >= 1);
+        assert_eq!(r.image.data, baseline.image.data);
+
+        std::fs::remove_dir_all(&jdir).ok();
         std::fs::remove_file(&path).ok();
     }
 }

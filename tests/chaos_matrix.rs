@@ -34,6 +34,11 @@ const SPECS: &[(&str, &str)] = &[
 const ENGINES: &[&str] = &["gpu-pipe", "gpu-multi:2"];
 const MODES: &[&str] = &["verify", "scrub"];
 
+/// The distributed row of the matrix: not a silent-corruption schedule but
+/// a hard chassis loss on `gpu-cluster:3x1` (see
+/// `chaos_matrix_node_loss_rebands_onto_survivors`).
+const NODE_LOSS: &str = "node-loss";
+
 fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("laue_chaos_{}_{name}", std::process::id()))
 }
@@ -179,10 +184,16 @@ fn chaos_matrix_never_exports_a_silent_mismatch() {
     let only = std::env::var("LAUE_FAULT_SPEC").ok();
     if let Some(name) = &only {
         assert!(
-            SPECS.iter().any(|(n, _)| n == name),
-            "unknown LAUE_FAULT_SPEC {name:?}; known: {:?}",
+            SPECS.iter().any(|(n, _)| n == name) || name == NODE_LOSS,
+            "unknown LAUE_FAULT_SPEC {name:?}; known: {:?} + {NODE_LOSS:?}",
             SPECS.iter().map(|(n, _)| *n).collect::<Vec<_>>()
         );
+        if name == NODE_LOSS {
+            // The node-loss row runs in its own test below; nothing in the
+            // corruption sweep is selected.
+            std::fs::remove_file(&scan_path).ok();
+            return;
+        }
     }
 
     for engine in ENGINES {
@@ -212,5 +223,115 @@ fn chaos_matrix_never_exports_a_silent_mismatch() {
         }
     }
 
+    std::fs::remove_file(&scan_path).ok();
+}
+
+/// The node-loss row: kill one chassis' only device mid-round on
+/// `gpu-cluster:3x1` under `--integrity verify`. The survivors must re-band
+/// the dead node's uncovered rows, the run must complete and report itself
+/// DEGRADED, and the export must stay bit-identical to the fault-free
+/// cluster reference — losing a third of the fleet may cost time, never
+/// bits.
+#[test]
+fn chaos_matrix_node_loss_rebands_onto_survivors() {
+    let only = std::env::var("LAUE_FAULT_SPEC").ok();
+    if only.as_deref().is_some_and(|o| o != NODE_LOSS) {
+        return;
+    }
+
+    let scan = SyntheticScanBuilder::new(10, 8, 12)
+        .scatterers(5)
+        .background(12.0)
+        .noise(2.0)
+        .seed(23)
+        .build()
+        .unwrap();
+    let scan_path = tmp("nl_scan").with_extension("mh5");
+    write_scan(
+        &scan_path,
+        &scan.geometry,
+        &scan.images,
+        Some(&scan.truth),
+        3,
+    )
+    .unwrap();
+    let scan_s = scan_path.to_string_lossy().to_string();
+
+    // Single-row slabs so the victim dies with launches still owed: 8 rows
+    // band 3/3/2 across three nodes, the fault arms after node 0's first
+    // launch, and its remaining rows re-band onto nodes 1 and 2.
+    let argv_for = |out: &str, jdir: &str| {
+        sv(&[
+            "reconstruct",
+            "--input",
+            &scan_s,
+            "--engine",
+            "gpu-cluster:3x1",
+            "--bins",
+            "200",
+            "--rows-per-slab",
+            "1",
+            "--journal-dir",
+            jdir,
+            "--integrity",
+            "verify",
+            "--fault-device",
+            "0",
+            "--out",
+            out,
+        ])
+    };
+
+    let clean_out = tmp("nl_clean").with_extension("mh5");
+    let clean_jdir = tmp("nl_clean_jrn");
+    let _ = std::fs::remove_dir_all(&clean_jdir);
+    let argv = argv_for(&clean_out.to_string_lossy(), &clean_jdir.to_string_lossy());
+    cli::run(&cli::parse(&argv).unwrap(), &mut Vec::new()).unwrap();
+    let clean = read_image(&clean_out);
+    std::fs::remove_file(&clean_out).ok();
+    let _ = std::fs::remove_dir_all(&clean_jdir);
+
+    let out_path = tmp("nl_out").with_extension("mh5");
+    let jdir = tmp("nl_jrn");
+    let _ = std::fs::remove_dir_all(&jdir);
+    let mut argv = argv_for(&out_path.to_string_lossy(), &jdir.to_string_lossy());
+    argv.extend(sv(&["--inject-gpu-fault", "seed=5,dead-after-launches=1"]));
+    let cmd = cli::parse(&argv).unwrap();
+    let mut buf = Vec::new();
+    cli::run(&cmd, &mut buf).unwrap_or_else(|e| panic!("node-loss run must survive: {e}"));
+    let summary = String::from_utf8(buf).unwrap();
+
+    let data = read_image(&out_path);
+    assert_eq!(data.len(), clean.len(), "node-loss: dims changed");
+    for (i, (a, b)) in data.iter().zip(&clean).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "node-loss: SILENT MISMATCH at voxel {i}: {a} vs {b}"
+        );
+    }
+    assert!(
+        summary.contains("DEGRADED: 1 node(s) lost mid-run"),
+        "node-loss: the fault never fired or the report hides it:\n{summary}"
+    );
+    assert_eq!(
+        std::fs::read_dir(&jdir).map(|d| d.count()).unwrap_or(0),
+        0,
+        "node-loss: journal left behind"
+    );
+
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rpt = std::fs::File::create(dir.join("node-loss_gpu-cluster-3x1_verify.txt")).unwrap();
+    writeln!(rpt, "spec: seed=5,dead-after-launches=1 (--fault-device 0)").unwrap();
+    writeln!(rpt, "engine: gpu-cluster:3x1  integrity: verify").unwrap();
+    writeln!(
+        rpt,
+        "status: PASS (DEGRADED, survivors re-banded, bit-identical)"
+    )
+    .unwrap();
+    writeln!(rpt, "--- run summary ---\n{summary}").unwrap();
+
+    std::fs::remove_file(&out_path).ok();
+    std::fs::remove_dir_all(&jdir).ok();
     std::fs::remove_file(&scan_path).ok();
 }
