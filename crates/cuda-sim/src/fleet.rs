@@ -1,0 +1,184 @@
+//! Fleet-level clock coordination: one shared timeline over many devices.
+//!
+//! A [`crate::Device`] owns its *own* virtual timeline: every run starts
+//! from `reset_meters()` at t = 0 and `synchronize()` reports the run's
+//! makespan in isolation. That is the right model for benchmarking one
+//! reconstruction, but a multi-tenant service schedules many runs across
+//! a fleet of devices over continuous time — job 7 starts on device 2
+//! when device 2 *frees up*, not at zero.
+//!
+//! [`FleetClock`] supplies the missing layer without touching device
+//! internals: it keeps a busy-until horizon per device on one shared
+//! fleet timeline and maps each measured makespan onto it. The scheduler
+//! runs a job (or fused batch) on a device as usual, takes the measured
+//! duration, and calls [`FleetClock::dispatch`]; the clock answers when
+//! the work started and finished in *fleet* time, honouring both the
+//! job's arrival/ready time and the device's previous commitment. Waiting
+//! in queue is therefore visible as `start − ready`, and device idle gaps
+//! (a device free while no job is ready) accrue naturally when `ready`
+//! exceeds the device's horizon.
+//!
+//! The clock is deliberately sequential-decision: dispatch order is the
+//! scheduler's choice, and two identical call sequences produce identical
+//! timelines — the same determinism discipline the rest of the simulator
+//! keeps, extended to the fleet.
+
+/// One device's occupancy on the shared fleet timeline.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceTrack {
+    /// Fleet time until which the device is committed.
+    busy_until: f64,
+    /// Total busy seconds dispatched to this device.
+    busy_s: f64,
+    /// Work intervals dispatched (jobs or fused batches).
+    dispatches: u64,
+}
+
+/// A dispatch decision: when the work ran in fleet time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSpan {
+    /// Fleet time the work began (max of ready time and device horizon).
+    pub start_s: f64,
+    /// Fleet time the work completed.
+    pub end_s: f64,
+}
+
+impl FleetSpan {
+    /// Seconds the work spent waiting between ready and start.
+    pub fn queued_s(&self, ready_s: f64) -> f64 {
+        (self.start_s - ready_s).max(0.0)
+    }
+}
+
+/// Busy-until horizons for a fleet of devices on one shared timeline.
+#[derive(Debug, Clone)]
+pub struct FleetClock {
+    tracks: Vec<DeviceTrack>,
+}
+
+impl FleetClock {
+    /// A fleet of `n_devices` idle devices, all horizons at t = 0.
+    pub fn new(n_devices: usize) -> FleetClock {
+        assert!(n_devices > 0, "a fleet needs at least one device");
+        FleetClock {
+            tracks: vec![DeviceTrack::default(); n_devices],
+        }
+    }
+
+    /// Number of devices on the timeline.
+    pub fn n_devices(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Commit `duration_s` of work to `device`, no earlier than `ready_s`
+    /// (the job's arrival or its resume point after preemption). Returns
+    /// the fleet-time interval the work occupies; the device's horizon
+    /// advances to its end.
+    pub fn dispatch(&mut self, device: usize, ready_s: f64, duration_s: f64) -> FleetSpan {
+        assert!(
+            duration_s >= 0.0 && ready_s >= 0.0,
+            "times must be non-negative"
+        );
+        let track = &mut self.tracks[device];
+        let start_s = track.busy_until.max(ready_s);
+        let end_s = start_s + duration_s;
+        track.busy_until = end_s;
+        track.busy_s += duration_s;
+        track.dispatches += 1;
+        FleetSpan { start_s, end_s }
+    }
+
+    /// Fleet time at which `device` frees up.
+    pub fn free_at(&self, device: usize) -> f64 {
+        self.tracks[device].busy_until
+    }
+
+    /// The device that frees up earliest (ties → lowest index), with its
+    /// free time — the scheduler's earliest-finish placement query.
+    pub fn earliest_free(&self) -> (usize, f64) {
+        self.tracks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.busy_until))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+
+    /// Latest horizon across the fleet — the service makespan so far.
+    pub fn makespan_s(&self) -> f64 {
+        self.tracks.iter().fold(0.0f64, |m, t| m.max(t.busy_until))
+    }
+
+    /// Busy seconds dispatched to `device`.
+    pub fn busy_s(&self, device: usize) -> f64 {
+        self.tracks[device].busy_s
+    }
+
+    /// Work intervals dispatched to `device`.
+    pub fn dispatches(&self, device: usize) -> u64 {
+        self.tracks[device].dispatches
+    }
+
+    /// Fleet-wide utilization so far: busy device-seconds over available
+    /// device-seconds (`makespan × n_devices`). 0 when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        let makespan = self.makespan_s();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.tracks.iter().map(|t| t.busy_s).sum();
+        busy / (makespan * self.tracks.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_honours_ready_time_and_device_horizon() {
+        let mut fleet = FleetClock::new(2);
+        // Idle device, ready at 5: starts exactly at ready.
+        let a = fleet.dispatch(0, 5.0, 2.0);
+        assert_eq!((a.start_s, a.end_s), (5.0, 7.0));
+        assert_eq!(a.queued_s(5.0), 0.0);
+        // Same device, ready earlier than the horizon: queued behind it.
+        let b = fleet.dispatch(0, 1.0, 1.0);
+        assert_eq!((b.start_s, b.end_s), (7.0, 8.0));
+        assert_eq!(b.queued_s(1.0), 6.0);
+        // Other device is still idle.
+        let c = fleet.dispatch(1, 1.0, 1.0);
+        assert_eq!((c.start_s, c.end_s), (1.0, 2.0));
+        assert_eq!(fleet.makespan_s(), 8.0);
+        assert_eq!(fleet.free_at(0), 8.0);
+        assert_eq!(fleet.dispatches(0), 2);
+    }
+
+    #[test]
+    fn earliest_free_and_utilization() {
+        let mut fleet = FleetClock::new(3);
+        assert_eq!(fleet.earliest_free(), (0, 0.0));
+        fleet.dispatch(0, 0.0, 4.0);
+        fleet.dispatch(1, 0.0, 1.0);
+        fleet.dispatch(2, 0.0, 2.0);
+        assert_eq!(fleet.earliest_free(), (1, 1.0));
+        // 7 busy device-seconds over 4 s × 3 devices.
+        assert!((fleet.utilization() - 7.0 / 12.0).abs() < 1e-12);
+        assert_eq!(fleet.busy_s(0), 4.0);
+    }
+
+    #[test]
+    fn identical_sequences_are_identical_timelines() {
+        let run = || {
+            let mut fleet = FleetClock::new(2);
+            let mut ends = Vec::new();
+            for i in 0..10 {
+                let (dev, _) = fleet.earliest_free();
+                let span = fleet.dispatch(dev, i as f64 * 0.3, 0.5 + (i % 3) as f64 * 0.2);
+                ends.push((dev, span.start_s.to_bits(), span.end_s.to_bits()));
+            }
+            (ends, fleet.makespan_s().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -63,6 +63,7 @@ pub mod device;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod fleet;
 pub mod host;
 pub mod kernel;
 pub mod memory;
@@ -77,6 +78,7 @@ pub use device::{Device, TimeSpan};
 pub use error::{SimError, TransferDir};
 pub use event::Event;
 pub use fault::{FaultPlan, FaultStats};
+pub use fleet::{FleetClock, FleetSpan};
 pub use host::{Duplex, Host, HostConfig};
 pub use kernel::{Dim3, LaunchConfig, ThreadCtx};
 pub use memory::{DeviceBuffer, DeviceScalar};

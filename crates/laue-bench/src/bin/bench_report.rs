@@ -60,8 +60,16 @@ fn main() {
     let cfg = standard_config();
     let pipeline = Pipeline::default();
     let mut ladder = Vec::new();
+    let mut ladder_totals = Vec::new(); // (label, cpu_s, gpu_serial_s, gpu_pipe_s)
     for w in &workloads {
-        let mut row = format!("    {{\"label\": \"{}\", \"bytes\": {}", w.label, w.bytes);
+        // Every row (and every section below) carries the quick marker so
+        // a consumer can never mistake the abbreviated quick ladder for
+        // the full Fig 8 one.
+        let mut row = format!(
+            "    {{\"quick\": {quick}, \"label\": \"{}\", \"bytes\": {}",
+            w.label, w.bytes
+        );
+        let mut cpu_total = 0.0;
         let mut serial = (0.0, 0.0, 0.0); // (total, comm, compute)
         let mut pipe_total = 0.0;
         for (key, engine) in [
@@ -79,6 +87,7 @@ fn main() {
                 .run_source(&mut source, &w.scan.geometry, &cfg, engine)
                 .expect("pipeline run");
             match key {
+                "cpu_seq" => cpu_total = r.total_time_s,
                 "gpu_serial" => serial = (r.total_time_s, r.comm_time_s, r.compute_time_s),
                 "gpu_pipe" => pipe_total = r.total_time_s,
                 _ => {}
@@ -113,6 +122,33 @@ fn main() {
         .unwrap();
         row.push('}');
         ladder.push(row);
+        ladder_totals.push((w.label.clone(), cpu_total, serial.0, pipe_total));
+    }
+
+    // Ladder gates: the paper's headline orderings must hold at *every*
+    // Fig 8 size — GPU beats CPU and the overlapped ring never loses to
+    // the serial schedule. They only mean something on the full
+    // multi-size ladder; the quick mode's single 0.5 MB row (marked
+    // "quick" above) is skipped.
+    if quick {
+        println!("ladder gates skipped (quick mode: single-row ladder)");
+    } else {
+        for (label, cpu_s, serial_s, pipe_s) in &ladder_totals {
+            assert!(
+                serial_s < cpu_s,
+                "ladder gate: gpu-serial ({serial_s:.4} s) must beat cpu-seq \
+                 ({cpu_s:.4} s) at {label}"
+            );
+            assert!(
+                pipe_s <= serial_s,
+                "ladder gate: the overlapped ring ({pipe_s:.4} s) must not lose \
+                 to the serial schedule ({serial_s:.4} s) at {label}"
+            );
+        }
+        println!(
+            "ladder gates: gpu < cpu and pipe <= serial at all {} sizes",
+            ladder_totals.len()
+        );
     }
 
     // 2. Ring-depth ablation on the largest stack, memory-capped so it
@@ -384,17 +420,20 @@ fn main() {
     writeln!(json, "  \"datasize\": [").unwrap();
     writeln!(json, "{}", ladder.join(",\n")).unwrap();
     writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"depth_ablation_quick\": {quick},").unwrap();
     writeln!(json, "  \"depth_ablation\": [").unwrap();
     writeln!(json, "{}", ablation.join(",\n")).unwrap();
     writeln!(json, "  ],").unwrap();
     writeln!(json, "  \"ring_depth3_over_serial\": {ring_ratio:.6},").unwrap();
     writeln!(json, "  \"table_cache\": {{").unwrap();
+    writeln!(json, "    \"quick\": {quick},").unwrap();
     writeln!(json, "    \"cold_total_s\": {:.9},", cold.total_time_s).unwrap();
     writeln!(json, "    \"warm_total_s\": {:.9},", warm.total_time_s).unwrap();
     writeln!(json, "    \"cold\": {},", json_stats(&cold.table_cache)).unwrap();
     writeln!(json, "    \"warm\": {}", json_stats(&warm.table_cache)).unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"failover\": {{").unwrap();
+    writeln!(json, "    \"quick\": {quick},").unwrap();
     writeln!(
         json,
         "    \"clean_total_s\": {:.9},",
@@ -427,6 +466,7 @@ fn main() {
     .unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"compaction\": {{").unwrap();
+    writeln!(json, "    \"quick\": {quick},").unwrap();
     writeln!(json, "    \"cutoff\": {sparse_cutoff:.6},").unwrap();
     writeln!(
         json,
@@ -463,6 +503,7 @@ fn main() {
     writeln!(json, "    \"culled_rows\": {}", compact.stats.culled_rows).unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"accumulation\": {{").unwrap();
+    writeln!(json, "    \"quick\": {quick},").unwrap();
     writeln!(
         json,
         "    \"atomic_compute_s\": {:.9},",
@@ -490,6 +531,7 @@ fn main() {
     .unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"planner\": {{").unwrap();
+    writeln!(json, "    \"quick\": {quick},").unwrap();
     writeln!(json, "    \"chosen\": \"{}\",", explain.chosen).unwrap();
     writeln!(json, "    \"predicted_s\": {:.9},", explain.predicted_s).unwrap();
     writeln!(json, "    \"measured_s\": {:.9},", explain.measured_s).unwrap();
@@ -505,6 +547,7 @@ fn main() {
     writeln!(json, "    \"auto_over_best\": {planner_ratio:.6}").unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"integrity\": {{").unwrap();
+    writeln!(json, "    \"quick\": {quick},").unwrap();
     writeln!(
         json,
         "    \"off_total_s\": {:.9},",
@@ -521,8 +564,20 @@ fn main() {
     .unwrap();
     writeln!(
         json,
-        "    \"verify_overhead_s\": {:.9},",
-        verify.integrity.verify_overhead_s
+        "    \"verify_host_cpu_s\": {:.9},",
+        verify.integrity.verify_host_cpu_s
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"exposed_overhead_s\": {:.9},",
+        verify.integrity.exposed_overhead_s
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"measured_delta_s\": {:.9},",
+        verify.total_time_s - integrity_off.total_time_s
     )
     .unwrap();
     writeln!(json, "    \"scrub_total_s\": {:.9},", scrub.total_time_s).unwrap();

@@ -63,6 +63,30 @@ impl Workload {
         }
     }
 
+    /// Generate a workload with an explicit `rows` × `cols` detector.
+    ///
+    /// The weak-scaling study needs per-node work that partitions
+    /// *exactly*: `of_megabytes` rounds its byte target to a square
+    /// detector side, so doubling the target does not double the pair
+    /// count. Scaling rows only (cols fixed) keeps every node's shard
+    /// structurally identical, which is what makes a weak-scaling
+    /// efficiency of 1.0 the true ceiling.
+    pub fn of_dims(rows: usize, cols: usize, seed: u64) -> Workload {
+        let scan = SyntheticScanBuilder::new(rows, cols, N_STEPS)
+            .scatterers((rows * cols / 16).max(4))
+            .background(20.0)
+            .noise(1.0)
+            .seed(seed)
+            .build()
+            .expect("workload generation");
+        let bytes = (N_STEPS * rows * cols * 2) as u64;
+        Workload {
+            label: format!("{rows}x{cols}"),
+            scan,
+            bytes,
+        }
+    }
+
     /// The paper's Fig 8 sizes at 1/1000 scale.
     pub fn fig8_set() -> Vec<Workload> {
         [2.1, 2.7, 3.6, 5.2]
@@ -191,6 +215,15 @@ mod tests {
             .collect();
         assert!(ws[1].bytes > ws[0].bytes);
         assert!(ws[1].side() > ws[0].side());
+    }
+
+    #[test]
+    fn of_dims_scales_rows_exactly() {
+        let w1 = Workload::of_dims(20, 10, 9);
+        let w2 = Workload::of_dims(40, 10, 9);
+        assert_eq!(w2.bytes, 2 * w1.bytes, "rows-only scaling doubles exactly");
+        assert_eq!(w1.scan.geometry.detector.n_cols, 10);
+        assert_eq!(w2.scan.geometry.detector.n_rows, 40);
     }
 
     #[test]

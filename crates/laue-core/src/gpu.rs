@@ -38,6 +38,8 @@
 //!   table, depth table, intensities) ship as one batched bus transaction
 //!   (`memcpy_htod_batched`), paying the PCIe latency once per slab.
 
+pub mod batch;
+
 use std::collections::VecDeque;
 use std::ops::Range;
 
@@ -222,9 +224,12 @@ pub struct RecoveryLog {
 ///
 /// With `integrity` attached the copy is a CRC-checked one: the CRC's host
 /// FLOPs (charged inside the checked variants) are billed to
-/// `verify_overhead_s`, and every [`cuda_sim::SimError::CorruptTransfer`]
+/// `verify_host_cpu_s`, every [`cuda_sim::SimError::CorruptTransfer`]
 /// counts as a detected corruption — corrected when a retry eventually
-/// lands the payload cleanly.
+/// lands the payload cleanly — and the backoff idle time those CRC
+/// retries insert on the stream is billed to `exposed_overhead_s` (it
+/// extends the makespan; plain transient-fault backoffs do not count,
+/// they are recovery the run pays with or without integrity).
 fn retry_transfer<T>(
     device: &Device,
     stream: StreamId,
@@ -235,6 +240,7 @@ fn retry_transfer<T>(
     let mut backoff = BACKOFF_BASE_S;
     let mut attempts = 0u32;
     let mut crc_hits = 0u64;
+    let mut crc_backoff_s = 0.0f64;
     let host_t0 = device.host_flops_time_s();
     let result = loop {
         match copy() {
@@ -242,6 +248,7 @@ fn retry_transfer<T>(
             Err(e) if e.is_transient() && attempts < MAX_TRANSFER_RETRIES => {
                 if matches!(e, cuda_sim::SimError::CorruptTransfer { .. }) {
                     crc_hits += 1;
+                    crc_backoff_s += backoff;
                 }
                 attempts += 1;
                 recovery.transfer_retries += 1;
@@ -258,7 +265,8 @@ fn retry_transfer<T>(
     };
     if let Some(report) = integrity {
         report.checks_run += 1;
-        report.verify_overhead_s += device.host_flops_time_s() - host_t0;
+        report.verify_host_cpu_s += device.host_flops_time_s() - host_t0;
+        report.exposed_overhead_s += crc_backoff_s;
         report.transfer_crc_failures += crc_hits;
         report.corruptions_detected += crc_hits;
         if result.is_ok() {
@@ -1614,7 +1622,7 @@ fn commit_slab(
     let reference = integrity::slab_reference(source, ctx.geom, ctx.mapper, cfg, row0, rows)?;
     let host_t0 = device.host_flops_time_s();
     device.charge_host_flops(reference.host_flops);
-    integrity.verify_overhead_s += device.host_flops_time_s() - host_t0;
+    integrity.verify_host_cpu_s += device.host_flops_time_s() - host_t0;
     integrity.checks_run += 1;
 
     let observed = integrity::bin_sums(&image.extract_rows(row0, rows), cfg.n_depth_bins);
@@ -1655,6 +1663,10 @@ fn commit_slab(
         sink(SlabEvent::Poison { row0, rows })?;
     }
     drop(upload);
+    // Everything past this point is pure makespan extension: the clean
+    // slab would have freed its slot at `freed_at`, so whatever later
+    // edge the retries push it to is integrity-exposed time.
+    let clean_freed_at = freed_at;
     let mut committed_stats = stats;
     let mut backoff = integrity::SCRUB_BACKOFF_BASE_S;
     let mut repaired = false;
@@ -1701,6 +1713,7 @@ fn commit_slab(
         image.assign_rows(row0, rows, &reference.data)?;
         integrity.cpu_fallback_slabs += 1;
     }
+    integrity.exposed_overhead_s += (freed_at - clean_freed_at).max(0.0);
     integrity.corruptions_corrected += 1;
     band_stats.merge(&committed_stats);
     commit(image, &committed_stats, sink)?;
@@ -2300,8 +2313,44 @@ pub fn reconstruct_checkpointed(
     depth: PipelineDepth,
     cache: Option<&DepthTableCache>,
     progress: &mut SlabProgress,
-    mut journal: Option<&mut RunJournal>,
+    journal: Option<&mut RunJournal>,
 ) -> Result<GpuReconstruction> {
+    reconstruct_checkpointed_bounded(
+        device,
+        source,
+        geom,
+        cfg,
+        opts,
+        depth,
+        cache,
+        progress,
+        journal,
+        usize::MAX,
+    )
+    .map(|(out, _)| out)
+}
+
+/// As [`reconstruct_checkpointed`], but processes at most `max_rows`
+/// fresh (uncommitted) rows before returning — the preemption quantum the
+/// serve scheduler runs long jobs in. The second return value is `true`
+/// when the whole detector is now committed; `false` means the job was
+/// paused at a slab boundary and can be resumed — on this device or any
+/// other — by calling again with the same `progress`/`journal` (chunking
+/// invariance makes the eventual output bit-identical no matter where the
+/// quantum cuts fell or which device ran which quantum).
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_checkpointed_bounded(
+    device: &Device,
+    source: &mut dyn SlabSource,
+    geom: &ScanGeometry,
+    cfg: &ReconstructionConfig,
+    opts: GpuOptions,
+    depth: PipelineDepth,
+    cache: Option<&DepthTableCache>,
+    progress: &mut SlabProgress,
+    mut journal: Option<&mut RunJournal>,
+    max_rows: usize,
+) -> Result<(GpuReconstruction, bool)> {
     validate_inputs(source, geom, cfg)?;
     let mapper = geom.mapper()?;
     let n_rows = source.n_rows();
@@ -2316,7 +2365,13 @@ pub fn reconstruct_checkpointed(
     let mut slab_densities = Vec::new();
     let mut slab_privatized = Vec::new();
     let mut integrity = IntegrityReport::default();
+    let mut quantum = max_rows;
     for band in progress.uncovered(0..n_rows) {
+        if quantum == 0 {
+            break;
+        }
+        let band = band.start..band.end.min(band.start.saturating_add(quantum));
+        quantum -= band.len();
         let (image, mut tracker) = progress.split_mut();
         let mut journal = journal.as_deref_mut();
         let mut sink = |event: SlabEvent<'_>| match event {
@@ -2368,23 +2423,27 @@ pub fn reconstruct_checkpointed(
     let n_slabs = progress.committed_slabs();
 
     let elapsed_s = device.synchronize();
-    Ok(GpuReconstruction {
-        image: progress.image.clone(),
-        stats: progress.stats,
-        meters: device.meters(),
-        rows_per_slab,
-        n_slabs,
-        elapsed_s,
-        peak_device_mem: device.mem_peak(),
-        host_table_flops,
-        host_table_time_s: device.host_flops_time_s(),
-        recovery,
-        pipeline_depth: depth_used,
-        table_cache: cache_stats,
-        slab_densities,
-        slab_privatized,
-        integrity,
-    })
+    let complete = progress.is_complete(0..n_rows);
+    Ok((
+        GpuReconstruction {
+            image: progress.image.clone(),
+            stats: progress.stats,
+            meters: device.meters(),
+            rows_per_slab,
+            n_slabs,
+            elapsed_s,
+            peak_device_mem: device.mem_peak(),
+            host_table_flops,
+            host_table_time_s: device.host_flops_time_s(),
+            recovery,
+            pipeline_depth: depth_used,
+            table_cache: cache_stats,
+            slab_densities,
+            slab_privatized,
+            integrity,
+        },
+        complete,
+    ))
 }
 
 #[cfg(test)]

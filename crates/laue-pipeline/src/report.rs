@@ -306,14 +306,15 @@ impl RunReport {
             s.push_str(&format!(
                 "; integrity: {} check(s), {} corruption(s) detected \
                  ({} CRC, {} ABFT, {} watchdog), {} corrected, \
-                 verify overhead {:.4} s",
+                 verify host-CPU {:.4} s, exposed {:.4} s",
                 self.integrity.checks_run,
                 self.integrity.corruptions_detected,
                 self.integrity.transfer_crc_failures,
                 self.integrity.abft_mismatches,
                 self.integrity.watchdog_timeouts,
                 self.integrity.corruptions_corrected,
-                self.integrity.verify_overhead_s,
+                self.integrity.verify_host_cpu_s,
+                self.integrity.exposed_overhead_s,
             ));
             if self.integrity.cpu_fallback_slabs > 0 {
                 s.push_str(&format!(
@@ -539,13 +540,16 @@ mod tests {
         // Clean verified run: checks reported, no degradation marker.
         let mut r = report();
         r.integrity.checks_run = 9;
-        r.integrity.verify_overhead_s = 0.0125;
+        r.integrity.verify_host_cpu_s = 0.0125;
         let s = r.summary();
         assert!(
             s.contains("integrity: 9 check(s), 0 corruption(s) detected"),
             "{s}"
         );
-        assert!(s.contains("verify overhead 0.0125 s"), "{s}");
+        assert!(
+            s.contains("verify host-CPU 0.0125 s, exposed 0.0000 s"),
+            "{s}"
+        );
         assert!(!s.contains("INTEGRITY-DEGRADED"), "{s}");
 
         // Corruption caught and scrubbed: the run is marked degraded.

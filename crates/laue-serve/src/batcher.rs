@@ -1,0 +1,165 @@
+//! The batch former: which queued jobs ride one fused launch.
+//!
+//! Policy, not mechanism — the mechanism (one coalesced upload, one
+//! fused kernel, bit-identical per-job outputs) lives in
+//! [`laue_core::gpu::batch`]. This module decides *membership*: a job
+//! joins a fused batch only if it is small enough that fixed per-launch
+//! costs dominate it (the `max_threads` knob), its config is
+//! fused-compatible, and the batch's total resident footprint stays
+//! inside the share of device memory the service sets aside for
+//! batching. Everything oversized takes the ordinary per-job engines,
+//! where slab chunking and preemption apply.
+
+use laue_core::gpu::batch::fused_compatible;
+
+use crate::job::JobSpec;
+use crate::queue::QueuedJob;
+
+/// Batch-forming policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Master switch: `false` degrades the service to per-job FIFO
+    /// dispatch (the baseline the goodput CI gate compares against).
+    pub enabled: bool,
+    /// Most jobs one fused launch may carry.
+    pub max_jobs: usize,
+    /// Device bytes a batch's members may jointly hold resident.
+    pub mem_budget: u64,
+    /// A job is "small" (batchable) only below this many kernel threads
+    /// — above it, per-launch overhead is already amortized and fusing
+    /// would just serialize unrelated work behind one synchronize.
+    pub max_threads: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            enabled: true,
+            max_jobs: 16,
+            mem_budget: 64 * 1024 * 1024,
+            max_threads: 2048,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// The FIFO baseline: batching off, everything else default.
+    pub fn unbatched() -> BatchPolicy {
+        BatchPolicy {
+            enabled: false,
+            ..BatchPolicy::default()
+        }
+    }
+
+    /// May this job ever join a fused batch under this policy?
+    pub fn eligible(&self, spec: &JobSpec) -> bool {
+        self.enabled
+            && spec.shape.threads() <= self.max_threads
+            && spec.shape.fused_bytes() <= self.mem_budget
+            && fused_compatible(&spec.config())
+    }
+
+    /// Membership test the queue harvest uses: eligibility plus a
+    /// running memory budget (`used` bytes already claimed by accepted
+    /// members). Returns the job's footprint on acceptance.
+    pub fn admit_to_batch(&self, job: &QueuedJob, used: &mut u64) -> bool {
+        if !self.eligible(&job.spec) {
+            return false;
+        }
+        let bytes = job.spec.shape.fused_bytes();
+        if *used + bytes > self.mem_budget {
+            return false;
+        }
+        *used += bytes;
+        true
+    }
+}
+
+/// What the batch former did over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Fused launches issued.
+    pub batches: u64,
+    /// Jobs completed inside fused launches.
+    pub fused_jobs: u64,
+    /// Largest batch formed.
+    pub max_batch: u64,
+    /// Jobs dispatched alone (oversized, or batching disabled).
+    pub singles: u64,
+}
+
+impl BatchStats {
+    /// Record one fused launch of `n` jobs.
+    pub fn record_batch(&mut self, n: usize) {
+        self.batches += 1;
+        self.fused_jobs += n as u64;
+        self.max_batch = self.max_batch.max(n as u64);
+    }
+
+    /// Mean jobs per fused launch (0 when none ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.fused_jobs as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobClass, JobShape};
+    use crate::queue::QueuedJob;
+
+    fn queued(shape: JobShape) -> QueuedJob {
+        QueuedJob::new(
+            JobSpec {
+                id: 0,
+                tenant: 0,
+                class: JobClass::Batch,
+                arrival_s: 0.0,
+                shape,
+                seed: 1,
+            },
+            0.1,
+        )
+    }
+
+    #[test]
+    fn small_jobs_are_eligible_large_are_not() {
+        let policy = BatchPolicy::default();
+        assert!(policy.eligible(&queued(JobShape::small()).spec));
+        assert!(!policy.eligible(&queued(JobShape::large()).spec));
+        assert!(!BatchPolicy::unbatched().eligible(&queued(JobShape::small()).spec));
+    }
+
+    #[test]
+    fn memory_budget_caps_membership() {
+        let shape = JobShape::small();
+        let policy = BatchPolicy {
+            mem_budget: shape.fused_bytes() * 2,
+            ..BatchPolicy::default()
+        };
+        let mut used = 0;
+        assert!(policy.admit_to_batch(&queued(shape), &mut used));
+        assert!(policy.admit_to_batch(&queued(shape), &mut used));
+        assert!(
+            !policy.admit_to_batch(&queued(shape), &mut used),
+            "third doesn't fit"
+        );
+        assert_eq!(used, shape.fused_bytes() * 2);
+    }
+
+    #[test]
+    fn stats_track_batches() {
+        let mut s = BatchStats::default();
+        s.record_batch(3);
+        s.record_batch(5);
+        s.singles += 1;
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.fused_jobs, 8);
+        assert_eq!(s.max_batch, 5);
+        assert!((s.mean_batch() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! The device fleet: simulated GPUs, chassis grouping, shared caches.
+//!
+//! A service fleet is more than a `Vec<Device>`. Devices are grouped
+//! into chassis — each [`cuda_sim::Host`] models one node's shared PCIe
+//! bus and host CPU, so two devices in the same chassis contend for
+//! upload bandwidth exactly as PR 4's multi-GPU runs do. Across the
+//! whole fleet sits one [`DepthTableCache`]: depth tables are keyed by
+//! geometry + config, not by tenant, so tenant B's production run hits
+//! the table tenant A's run computed — the cross-tenant sharing the
+//! service exists to exploit. The [`FleetClock`] maps each device's
+//! per-run measured makespan onto the shared service timeline.
+
+use std::sync::Arc;
+
+use cuda_sim::{Device, DeviceProps, FleetClock, Host, HostProps};
+use laue_core::cache::DepthTableCache;
+
+/// A fleet of identical simulated devices on a shared service timeline.
+pub struct GpuFleet {
+    devices: Vec<Device>,
+    chassis_of: Vec<usize>,
+    /// Busy-until horizons on the shared fleet timeline.
+    pub clock: FleetClock,
+    cache: Arc<DepthTableCache>,
+    host_props: HostProps,
+}
+
+impl GpuFleet {
+    /// Build `n_devices` devices, packed `per_chassis` to a host, with a
+    /// fleet-wide depth-table cache of `cache_bytes`.
+    pub fn new(
+        n_devices: usize,
+        per_chassis: usize,
+        props: DeviceProps,
+        cache_bytes: u64,
+    ) -> GpuFleet {
+        assert!(n_devices > 0 && per_chassis > 0);
+        let mut devices = Vec::with_capacity(n_devices);
+        let mut chassis_of = Vec::with_capacity(n_devices);
+        let mut chassis: Vec<Arc<Host>> = Vec::new();
+        for i in 0..n_devices {
+            let c = i / per_chassis;
+            if c == chassis.len() {
+                chassis.push(Host::new_default());
+            }
+            devices.push(Device::new_on_host(props.clone(), &chassis[c]));
+            chassis_of.push(c);
+        }
+        GpuFleet {
+            devices,
+            chassis_of,
+            clock: FleetClock::new(n_devices),
+            cache: Arc::new(DepthTableCache::new(cache_bytes)),
+            host_props: HostProps::xeon_e5630(),
+        }
+    }
+
+    /// Devices in the fleet.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device `i`.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Chassis (host) index device `i` sits in.
+    pub fn chassis(&self, i: usize) -> usize {
+        self.chassis_of[i]
+    }
+
+    /// The fleet-wide depth-table cache, shared across tenants and
+    /// devices (per-device residency tracked inside the cache).
+    pub fn cache(&self) -> &DepthTableCache {
+        &self.cache
+    }
+
+    /// Props of the (homogeneous) devices — the admission predictor's
+    /// cost-model input.
+    pub fn device_props(&self) -> &DeviceProps {
+        self.devices[0].props()
+    }
+
+    /// Host CPU model for planner predictions.
+    pub fn host_props(&self) -> &HostProps {
+        &self.host_props
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_pack_into_chassis() {
+        let fleet = GpuFleet::new(5, 2, DeviceProps::tiny(16 * 1024 * 1024), 1 << 20);
+        assert_eq!(fleet.n_devices(), 5);
+        assert_eq!(
+            (0..5).map(|i| fleet.chassis(i)).collect::<Vec<_>>(),
+            [0, 0, 1, 1, 2]
+        );
+        // Same chassis ⇒ same underlying host engine; distinct device ids.
+        assert_ne!(fleet.device(0).id(), fleet.device(1).id());
+        assert_eq!(fleet.clock.n_devices(), 5);
+        assert_eq!(fleet.cache().budget(), 1 << 20);
+    }
+}

@@ -1,0 +1,62 @@
+//! `laue-serve` — reconstruction-as-a-service over the simulated fleet.
+//!
+//! A beamline does not run one reconstruction; it runs a *service*:
+//! multiple user groups (tenants) submitting streams of heterogeneous
+//! jobs against a fixed pool of GPUs, caring about tail latency and
+//! fairness as much as raw throughput. This crate turns the single-run
+//! engines of `laue-core` into that service:
+//!
+//! * **Workloads** ([`workload`]) — reproducible open-loop (Poisson) and
+//!   closed-loop (think-time) arrival processes over small/large job
+//!   mixes and tenant populations.
+//! * **Admission** ([`admission`]) — per-tenant depth bounds plus a
+//!   predicted-backlog bound priced by the PR 7 cost-model planner,
+//!   memoized per job shape.
+//! * **Queues** ([`queue`]) — strict interactive-over-batch priority,
+//!   weighted fair sharing across tenants inside a class.
+//! * **Fused batching** ([`batcher`] policy, `laue_core::gpu::batch`
+//!   mechanism) — ready small jobs ride one coalesced upload and one
+//!   fused kernel launch, amortizing the fixed PCIe-latency and
+//!   launch-overhead costs that dominate small jobs. Per-job outputs
+//!   stay bit-identical to standalone runs.
+//! * **Preemption & migration** ([`scheduler`]) — long jobs run in row
+//!   quanta through the checkpointed engine; an unfinished job re-queues
+//!   with its slab-granular [`SlabProgress`](laue_core::journal) and may
+//!   resume on a different device (or chassis) bit-identically — the
+//!   crash-recovery journal doubling as the scheduler's context switch.
+//! * **The fleet** ([`fleet`]) — devices grouped into chassis (shared
+//!   PCIe + host CPU per node), one cross-tenant depth-table cache, and
+//!   a [`cuda_sim::FleetClock`] mapping measured per-run makespans onto
+//!   one shared service timeline.
+//!
+//! Everything is deterministic in the (config, workload) pair: the same
+//! inputs produce the same timeline, latencies, and images, bit for bit.
+//!
+//! # Example
+//!
+//! ```
+//! use laue_serve::{serve, ServeConfig, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::small_heavy(12, 2000.0, 7);
+//! let cfg = ServeConfig::for_tenants(spec.n_tenants);
+//! let report = serve(&cfg, spec.generate()).unwrap();
+//! assert_eq!(report.outcomes.len(), 12);
+//! assert!(report.batch.fused_jobs > 0, "small-heavy mixes batch");
+//! assert!(report.p99_s() >= report.p50_s());
+//! ```
+
+pub mod admission;
+pub mod batcher;
+pub mod fleet;
+pub mod job;
+pub mod queue;
+pub mod scheduler;
+pub mod workload;
+
+pub use admission::{AdmissionPolicy, AdmissionStats, ServicePredictor};
+pub use batcher::{BatchPolicy, BatchStats};
+pub use fleet::GpuFleet;
+pub use job::{JobClass, JobOutcome, JobShape, JobSpec, RejectReason};
+pub use queue::{QueuedJob, TenantQueues};
+pub use scheduler::{serve, ServeConfig, ServeReport};
+pub use workload::{Arrival, ClosedLoop, Workload, WorkloadSpec};

@@ -1,0 +1,256 @@
+//! Workload generation: open-loop and closed-loop arrival processes.
+//!
+//! Two canonical arrival disciplines drive a service evaluation:
+//!
+//! * **Open loop** — jobs arrive on a Poisson process at a fixed rate,
+//!   oblivious to how the service is doing. This is the discipline that
+//!   exposes saturation: push the rate past capacity and queues (and tail
+//!   latencies) grow without bound. The saturation sweep in
+//!   `bench_serve` walks this rate across the knee.
+//! * **Closed loop** — a fixed population of clients each keeps exactly
+//!   one job in flight, submitting the next one a think-time after the
+//!   previous completes. Offered load self-limits to the service rate,
+//!   which is how interactive beamline users actually behave.
+//!
+//! Both are driven by the deterministic [`rand::rngs::StdRng`], so a
+//! `(spec, seed)` pair always produces the same trace — the property the
+//! bit-identity suite and the CI gates rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::job::{JobClass, JobShape, JobSpec};
+
+/// Arrival discipline for a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Poisson arrivals at `rate_hz` jobs per fleet second.
+    Open {
+        /// Mean arrival rate, jobs per virtual second.
+        rate_hz: f64,
+    },
+    /// `clients` closed-loop clients, each re-submitting `think_s` after
+    /// its previous job completes (exponentially distributed think time).
+    Closed {
+        /// Concurrent client population.
+        clients: usize,
+        /// Mean think time between a completion and the next submission.
+        think_s: f64,
+    },
+}
+
+/// A reproducible multi-tenant workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// RNG seed: same spec + seed ⇒ same trace, always.
+    pub seed: u64,
+    /// Total jobs to submit across all tenants.
+    pub n_jobs: usize,
+    /// Tenants, assigned round-robin-with-jitter across jobs.
+    pub n_tenants: usize,
+    /// Fraction of jobs drawn with [`JobShape::small`] (the fused
+    /// batcher's population); the rest are [`JobShape::large`].
+    pub small_fraction: f64,
+    /// Fraction of jobs submitted as [`JobClass::Interactive`].
+    pub interactive_fraction: f64,
+    /// Arrival discipline.
+    pub arrival: Arrival,
+}
+
+impl WorkloadSpec {
+    /// The small-job-heavy mix the batching CI gate runs: 90% small
+    /// interactive-leaning jobs arriving open-loop at `rate_hz`.
+    pub fn small_heavy(n_jobs: usize, rate_hz: f64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            n_jobs,
+            n_tenants: 3,
+            small_fraction: 0.9,
+            interactive_fraction: 0.5,
+            arrival: Arrival::Open { rate_hz },
+        }
+    }
+
+    /// A mixed production workload: half small, half large, mostly batch
+    /// class — the mix that exercises preemption and migration.
+    pub fn mixed(n_jobs: usize, rate_hz: f64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            n_jobs,
+            n_tenants: 4,
+            small_fraction: 0.5,
+            interactive_fraction: 0.25,
+            arrival: Arrival::Open { rate_hz },
+        }
+    }
+
+    /// Generate the workload. Open-loop specs return the full trace;
+    /// closed-loop specs return each client's *first* job (arrivals
+    /// staggered by one think draw) plus a [`ClosedLoop`] continuation
+    /// the scheduler consults on every completion.
+    pub fn generate(&self) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.arrival {
+            Arrival::Open { rate_hz } => {
+                assert!(rate_hz > 0.0, "open-loop rate must be positive");
+                let mut t = 0.0f64;
+                let mut jobs = Vec::with_capacity(self.n_jobs);
+                for id in 0..self.n_jobs as u64 {
+                    t += exponential(&mut rng, 1.0 / rate_hz);
+                    jobs.push(self.draw_job(id, t, &mut rng));
+                }
+                Workload {
+                    initial: jobs,
+                    closed: None,
+                }
+            }
+            Arrival::Closed { clients, think_s } => {
+                assert!(clients > 0, "closed loop needs at least one client");
+                let clients = clients.min(self.n_jobs);
+                let mut jobs = Vec::with_capacity(clients);
+                for id in 0..clients as u64 {
+                    let t = exponential(&mut rng, think_s);
+                    jobs.push(self.draw_job(id, t, &mut rng));
+                }
+                jobs.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).unwrap());
+                Workload {
+                    initial: jobs,
+                    closed: Some(ClosedLoop {
+                        spec: self.clone(),
+                        think_s,
+                        remaining: self.n_jobs - clients,
+                        next_id: clients as u64,
+                        rng,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn draw_job(&self, id: u64, arrival_s: f64, rng: &mut StdRng) -> JobSpec {
+        let shape = if rng.gen::<f64>() < self.small_fraction {
+            JobShape::small()
+        } else {
+            JobShape::large()
+        };
+        let class = if rng.gen::<f64>() < self.interactive_fraction {
+            JobClass::Interactive
+        } else {
+            JobClass::Batch
+        };
+        JobSpec {
+            id,
+            tenant: rng.gen_range(0..self.n_tenants),
+            class,
+            arrival_s,
+            shape,
+            seed: self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(id),
+        }
+    }
+}
+
+/// A generated workload: the upfront trace plus an optional closed-loop
+/// continuation.
+#[derive(Debug)]
+pub struct Workload {
+    /// Jobs known at t = 0, sorted by arrival time.
+    pub initial: Vec<JobSpec>,
+    /// Closed-loop state, `None` for open-loop workloads.
+    pub closed: Option<ClosedLoop>,
+}
+
+/// Closed-loop continuation: asked on every completion whether the
+/// finishing client submits again.
+#[derive(Debug)]
+pub struct ClosedLoop {
+    spec: WorkloadSpec,
+    think_s: f64,
+    remaining: usize,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl ClosedLoop {
+    /// The finishing client thinks, then (while the job budget lasts)
+    /// submits its next job. Returns `None` once `n_jobs` are out.
+    pub fn next_job(&mut self, finish_s: f64) -> Option<JobSpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let arrival = finish_s + exponential(&mut self.rng, self.think_s);
+        Some(self.spec.draw_job(id, arrival, &mut self.rng))
+    }
+}
+
+/// Exponential draw with the given mean, via inverse CDF. `1 - u` keeps
+/// the argument strictly positive (the shim's uniform is in `[0, 1)`).
+fn exponential(rng: &mut StdRng, mean_s: f64) -> f64 {
+    -mean_s * (1.0 - rng.gen::<f64>()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_traces_are_deterministic_and_sorted() {
+        let spec = WorkloadSpec::small_heavy(50, 200.0, 7);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.initial.len(), 50);
+        assert!(a.closed.is_none());
+        for (x, y) in a.initial.iter().zip(&b.initial) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+        }
+        assert!(a
+            .initial
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        let small = a
+            .initial
+            .iter()
+            .filter(|j| j.shape == JobShape::small())
+            .count();
+        assert!(small >= 35, "90% small mix should dominate: {small}/50");
+    }
+
+    #[test]
+    fn open_loop_rate_sets_mean_spacing() {
+        let spec = WorkloadSpec::small_heavy(2000, 100.0, 3);
+        let jobs = spec.generate().initial;
+        let span = jobs.last().unwrap().arrival_s;
+        let rate = jobs.len() as f64 / span;
+        assert!(
+            (rate - 100.0).abs() < 10.0,
+            "empirical rate {rate:.1} should be ≈ 100"
+        );
+    }
+
+    #[test]
+    fn closed_loop_limits_outstanding_jobs() {
+        let mut spec = WorkloadSpec::mixed(10, 1.0, 9);
+        spec.arrival = Arrival::Closed {
+            clients: 3,
+            think_s: 0.01,
+        };
+        let mut w = spec.generate();
+        assert_eq!(w.initial.len(), 3, "one upfront job per client");
+        let closed = w.closed.as_mut().unwrap();
+        let mut total = w.initial.len();
+        let mut t = 1.0;
+        while let Some(next) = closed.next_job(t) {
+            assert!(next.arrival_s > t, "resubmission happens after finish");
+            t = next.arrival_s;
+            total += 1;
+        }
+        assert_eq!(total, 10, "budget is exactly n_jobs");
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`core`] | `laue-core` | the reconstruction algorithm + CPU/GPU engines |
 //! | [`wire`] | `laue-wire` | forward model & synthetic workload generator |
 //! | [`pipeline`] | `laue-pipeline` | end-to-end runs, reports, exports |
+//! | [`serve`] | `laue-serve` | multi-tenant job scheduling over a simulated GPU fleet |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use laue_core as core;
 pub use laue_geometry as geometry;
 pub use laue_pipeline as pipeline;
+pub use laue_serve as serve;
 pub use laue_wire as wire;
 pub use mh5 as container;
 
@@ -70,6 +72,10 @@ pub mod prelude {
     pub use laue_geometry::{Beam, DepthMapper, DetectorGeometry, Vec3, WireGeometry};
     pub use laue_pipeline::{
         Engine, GpuFailurePolicy, Pipeline, RecoveryAccounting, ResumeInfo, RunReport,
+    };
+    pub use laue_serve::{
+        serve, AdmissionPolicy, BatchPolicy, JobClass, JobShape, JobSpec, ServeConfig, ServeReport,
+        Workload, WorkloadSpec,
     };
     pub use laue_wire::{
         read_scan, write_scan, SamplePlan, Scatterer, SyntheticScan, SyntheticScanBuilder,

@@ -81,6 +81,105 @@ fn resume_is_bit_identical_at_every_slab_boundary() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The serve-layer preemption contract, exercised at its foundation: a
+/// quantum-bounded run stopped at *every* slab boundary carries its
+/// [`SlabProgress`] checkpoint to a different device on a **different
+/// chassis** (fresh PCIe bus, fresh host CPU) and finishes bit-identical
+/// to an uninterrupted single-device run. Migration is resume; if the
+/// checkpoint were device- or chassis-flavored in any way, this catches it.
+#[test]
+fn preemption_resumes_on_a_foreign_chassis_at_every_slab_boundary() {
+    let scan = SyntheticScanBuilder::new(12, 10, 14)
+        .scatterers(6)
+        .background(15.0)
+        .seed(11)
+        .build()
+        .unwrap();
+    let cfg = cfg();
+    let source = || InMemorySlabSource::new(scan.images.clone(), 14, 12, 10).unwrap();
+
+    let baseline = gpu::reconstruct_with_options(
+        &Device::new(DeviceProps::tesla_m2070()),
+        &mut source(),
+        &scan.geometry,
+        &cfg,
+        GpuOptions::default(),
+    )
+    .unwrap();
+
+    // Preempt after `boundary` committed slabs (2 rows each), resume the
+    // tail on a device that shares nothing with the first.
+    for boundary in 1..6 {
+        let mut progress = SlabProgress::new(cfg.n_depth_bins, 12, 10);
+        let chassis_a = laue::sim::Host::new_default();
+        let dev_a = Device::new_on_host(DeviceProps::tesla_m2070(), &chassis_a);
+        let (_, complete) = gpu::reconstruct_checkpointed_bounded(
+            &dev_a,
+            &mut source(),
+            &scan.geometry,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::default(),
+            None,
+            &mut progress,
+            None,
+            2 * boundary,
+        )
+        .unwrap();
+        assert!(!complete, "boundary {boundary} must leave a tail");
+        assert_eq!(progress.committed_rows(), 2 * boundary);
+
+        let chassis_b = laue::sim::Host::new_default();
+        let dev_b = Device::new_on_host(DeviceProps::tesla_m2070(), &chassis_b);
+        let (out, complete) = gpu::reconstruct_checkpointed_bounded(
+            &dev_b,
+            &mut source(),
+            &scan.geometry,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::default(),
+            None,
+            &mut progress,
+            None,
+            usize::MAX,
+        )
+        .unwrap();
+        assert!(complete, "boundary {boundary} tail must finish");
+        assert_eq!(
+            out.image.data, baseline.image.data,
+            "migrated resume at boundary {boundary} changed the bits"
+        );
+        assert_eq!(out.stats, baseline.stats, "boundary {boundary} stats");
+    }
+
+    // The worst case: a new device on a new chassis for every quantum —
+    // the job tours six machines and still lands on the same bits.
+    let mut progress = SlabProgress::new(cfg.n_depth_bins, 12, 10);
+    let mut last = None;
+    for hop in 0..6 {
+        let chassis = laue::sim::Host::new_default();
+        let dev = Device::new_on_host(DeviceProps::tesla_m2070(), &chassis);
+        let (out, complete) = gpu::reconstruct_checkpointed_bounded(
+            &dev,
+            &mut source(),
+            &scan.geometry,
+            &cfg,
+            GpuOptions::default(),
+            PipelineDepth::default(),
+            None,
+            &mut progress,
+            None,
+            2,
+        )
+        .unwrap();
+        assert_eq!(complete, hop == 5, "six 2-row quanta cover 12 rows");
+        last = Some(out);
+    }
+    let toured = last.unwrap();
+    assert_eq!(toured.image.data, baseline.image.data);
+    assert_eq!(toured.stats, baseline.stats);
+}
+
 #[test]
 fn fleet_losing_any_one_device_completes_on_survivors() {
     let path = write_demo_scan("failover");
